@@ -1,0 +1,89 @@
+// Shared helpers for the reproduction benchmarks (one binary per paper
+// table/figure; see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+// the recorded results).
+//
+// The makespan numbers these benchmarks print are *simulated* seconds from
+// the engine models (DESIGN.md substitution #2); the DAG-partitioning
+// benchmark (Fig. 13) measures real wall-clock time of the partitioning
+// algorithms, exactly like the paper.
+
+#ifndef MUSKETEER_BENCH_BENCH_COMMON_H_
+#define MUSKETEER_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/core/musketeer.h"
+#include "src/workloads/datasets.h"
+#include "src/workloads/workflows.h"
+
+namespace musketeer {
+
+// Runs a workflow, aborting with a readable message on failure.
+inline RunResult MustRun(Dfs* dfs, const WorkflowSpec& wf,
+                         const RunOptions& options) {
+  Musketeer m(dfs);
+  auto result = m.Run(wf, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: workflow '%s' failed: %s\n", wf.id.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+inline RunOptions ForEngine(
+    EngineKind engine, ClusterConfig cluster,
+    CodeGenOptions::Flavor flavor = CodeGenOptions::Flavor::kMusketeer) {
+  RunOptions options;
+  options.cluster = std::move(cluster);
+  options.engines = {engine};
+  options.codegen.flavor = flavor;
+  return options;
+}
+
+// Engines used in a run, e.g. "Hadoop+PowerGraph".
+inline std::string EnginesUsed(const RunResult& result) {
+  std::string out;
+  EngineKind last = EngineKind::kHadoop;
+  bool first = true;
+  for (const JobPlan& plan : result.plans) {
+    if (first || plan.engine != last) {
+      if (!first) {
+        out += "+";
+      }
+      out += EngineKindName(plan.engine);
+      last = plan.engine;
+      first = false;
+    }
+  }
+  return out;
+}
+
+// ---- Table printing --------------------------------------------------------
+
+inline void PrintHeader(const std::string& title, const std::string& note) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!note.empty()) {
+    std::printf("%s\n", note.c_str());
+  }
+}
+
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%s%-24s", i == 0 ? "" : " ", cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, const char* fmt = "%.1f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_BENCH_BENCH_COMMON_H_

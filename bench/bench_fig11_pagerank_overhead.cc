@@ -1,0 +1,56 @@
+// Figure 11: generated-code overhead for five-iteration PageRank on the
+// Twitter graph, for every back-end compatible with the workflow (§6.4).
+// Expected shape: average overhead below 30% everywhere.
+
+#include "bench/bench_common.h"
+
+namespace musketeer {
+namespace {
+
+double RunPageRank(const GraphDataset& graph, EngineKind engine,
+                   CodeGenOptions::Flavor flavor, int nodes) {
+  Dfs dfs;
+  dfs.Put("vertices", graph.vertices);
+  dfs.Put("edges", graph.edges);
+  WorkflowSpec wf{.id = "pagerank-5",
+                  .language = FrontendLanguage::kGas,
+                  .source = PageRankGas(5)};
+  RunOptions options =
+      ForEngine(engine, nodes == 1 ? SingleMachine() : Ec2Cluster(nodes), flavor);
+  return MustRun(&dfs, wf, options).makespan;
+}
+
+}  // namespace
+}  // namespace musketeer
+
+int main() {
+  using namespace musketeer;
+  GraphDataset twitter = TwitterGraph();
+
+  PrintHeader("Figure 11: PageRank generated-code overhead on Twitter",
+              "overhead of Musketeer-generated jobs over hand-written "
+              "baselines (paper: < 30% on average)");
+  PrintRow({"system", "nodes", "generated (s)", "hand-tuned (s)", "overhead"});
+
+  struct Config {
+    EngineKind engine;
+    int nodes;
+  };
+  const Config kConfigs[] = {
+      {EngineKind::kHadoop, 100},  {EngineKind::kSpark, 100},
+      {EngineKind::kNaiad, 100},   {EngineKind::kPowerGraph, 16},
+      {EngineKind::kGraphChi, 1},
+  };
+  for (const Config& config : kConfigs) {
+    double generated = RunPageRank(twitter, config.engine,
+                                   CodeGenOptions::Flavor::kMusketeer,
+                                   config.nodes);
+    double hand = RunPageRank(twitter, config.engine,
+                              CodeGenOptions::Flavor::kIdealHandTuned,
+                              config.nodes);
+    PrintRow({EngineKindName(config.engine), Fmt(config.nodes, "%.0f"),
+              Fmt(generated), Fmt(hand),
+              Fmt((generated / hand - 1.0) * 100.0, "%+.1f%%")});
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 12: impact of operator merging and shared scans (§4.3.2/4.3.3) on
+//  (a) the top-shopper workflow (three operators, one shared scan) and
+//  (b) cross-community PageRank, sweeping input size on the EC2 cluster.
+// Expected shape: merging removes per-job overheads (a one-off ~25-50 s win)
+// plus a linear shared-scan benefit as the input grows (2-5x overall).
+
+#include "bench/bench_common.h"
+
+namespace musketeer {
+namespace {
+
+double RunTopShopper(double nominal_rows, bool merging) {
+  Dfs dfs;
+  dfs.Put("purchases", MakePurchases(nominal_rows, 4000, 10, 31));
+  WorkflowSpec wf{.id = "top-shopper",
+                  .language = FrontendLanguage::kBeer,
+                  .source = TopShopperBeer(5, 5000.0)};
+  RunOptions options = ForEngine(EngineKind::kHadoop, Ec2Cluster(100));
+  options.partition.enable_merging = merging;
+  options.codegen.shared_scans = merging;
+  return MustRun(&dfs, wf, options).makespan;
+}
+
+double RunHybrid(const CommunityPair& communities, double scale, bool merging) {
+  Dfs dfs;
+  // Scale both communities' nominal edge counts by `scale`.
+  auto scaled = [scale](const TablePtr& t) {
+    auto copy = std::make_shared<Table>(*t);
+    copy->set_scale(t->scale() * scale);
+    return copy;
+  };
+  dfs.Put("lj_edges", scaled(communities.a.edges));
+  dfs.Put("web_edges", scaled(communities.b.edges));
+  WorkflowSpec wf{.id = "cross-community-pagerank",
+                  .language = FrontendLanguage::kBeer,
+                  .source = CrossCommunityPageRankBeer(5)};
+  RunOptions options;
+  options.cluster = Ec2Cluster(100);
+  options.engines = {EngineKind::kHadoop, EngineKind::kNaiad};
+  options.partition.enable_merging = merging;
+  options.codegen.shared_scans = merging;
+  return MustRun(&dfs, wf, options).makespan;
+}
+
+}  // namespace
+}  // namespace musketeer
+
+int main() {
+  using namespace musketeer;
+
+  PrintHeader("Figure 12a: top-shopper with and without operator merging",
+              "EC2 100 nodes, Hadoop; columns = purchases (nominal rows)");
+  PrintRow({"config", "100M", "400M", "1.6B", "6.4B"});
+  const double kRows[] = {1e8, 4e8, 1.6e9, 6.4e9};
+  std::vector<std::string> on{"merging on"};
+  std::vector<std::string> off{"merging off"};
+  for (double rows : kRows) {
+    on.push_back(Fmt(RunTopShopper(rows, true)));
+    off.push_back(Fmt(RunTopShopper(rows, false)));
+  }
+  PrintRow(on);
+  PrintRow(off);
+
+  PrintHeader("Figure 12b: cross-community PageRank with/without merging",
+              "EC2 100 nodes; columns = input scale multiplier");
+  CommunityPair communities = MakeOverlappingCommunities();
+  PrintRow({"config", "x1", "x2", "x4"});
+  std::vector<std::string> hon{"merging on"};
+  std::vector<std::string> hoff{"merging off"};
+  for (double scale : {1.0, 2.0, 4.0}) {
+    hon.push_back(Fmt(RunHybrid(communities, scale, true)));
+    hoff.push_back(Fmt(RunHybrid(communities, scale, false)));
+  }
+  PrintRow(hon);
+  PrintRow(hoff);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 13: runtime of the DAG partitioning algorithms — exhaustive search
+// vs. the dynamic-programming heuristic — as the number of operators grows
+// (§6.6). Unlike the makespan benchmarks, this measures REAL wall-clock time
+// of Musketeer's own algorithms (google-benchmark), exactly as the paper did:
+// prefixes of an extended 18-operator NetFlix workflow are partitioned with
+// both algorithms.
+// Expected shape: exhaustive runs in well under a second up to ~13 operators
+// and grows exponentially beyond; the DP heuristic stays in the milliseconds
+// and scales gracefully to 18 operators.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace musketeer {
+namespace {
+
+// Builds the extended NetFlix DAG truncated to its first `num_ops` operators
+// (keeping the relative structure; inputs are preserved).
+std::unique_ptr<Dag> NetflixPrefix(int num_ops) {
+  auto full = ParseWorkflow(FrontendLanguage::kBeer, NetflixExtendedBeer(100));
+  if (!full.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", full.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto prefix = std::make_unique<Dag>();
+  int ops = 0;
+  for (const OperatorNode& n : (*full)->nodes()) {
+    if (n.kind != OpKind::kInput && ops >= num_ops) {
+      break;
+    }
+    prefix->AddNode(n.kind, n.output, n.inputs, n.params);
+    if (n.kind != OpKind::kInput) {
+      ++ops;
+    }
+  }
+  return prefix;
+}
+
+RelationSizes NetflixSizes() {
+  return {{"ratings", 2.5 * kGB}, {"movies", 0.5 * kMB}};
+}
+
+void BM_Exhaustive(benchmark::State& state) {
+  int num_ops = static_cast<int>(state.range(0));
+  std::unique_ptr<Dag> dag = NetflixPrefix(num_ops);
+  CostModel model(Ec2Cluster(100), nullptr, "netflix");
+  auto sizes = model.PredictSizes(*dag, NetflixSizes());
+  if (!sizes.ok()) {
+    state.SkipWithError(sizes.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto result = PartitionExhaustive(*dag, model, *sizes);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_DpHeuristic(benchmark::State& state) {
+  int num_ops = static_cast<int>(state.range(0));
+  std::unique_ptr<Dag> dag = NetflixPrefix(num_ops);
+  CostModel model(Ec2Cluster(100), nullptr, "netflix");
+  auto sizes = model.PredictSizes(*dag, NetflixSizes());
+  if (!sizes.ok()) {
+    state.SkipWithError(sizes.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto result = PartitionDp(*dag, model, *sizes);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+// Exhaustive search is exponential: cap it where the paper stopped finding
+// it practical. The DP heuristic runs the full range.
+BENCHMARK(BM_Exhaustive)->DenseRange(2, 18, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DpHeuristic)->DenseRange(2, 18, 1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace musketeer
+
+BENCHMARK_MAIN();

@@ -1,0 +1,268 @@
+// Figure 14: quality of Musketeer's automated mapping decisions over 33
+// workflow configurations (§6.7). For each configuration we compare the
+// makespan of:
+//   (1) Musketeer's first-run choice (no workflow history),
+//   (2) its choice with partial history (one prior run's job outputs),
+//   (3) its choice with full history (per-operator profiling run),
+//   (4) a hand-built decision tree picking one engine for everything,
+// against the best achievable option (minimum over all forced single-engine
+// runs and the automatic choices). A choice within 10% of the best is
+// "good", within 30% "reasonable", else "poor".
+// Expected shape: ~50% good with no knowledge, >80% with partial history,
+// 100% good/optimal with full history; the decision tree does much worse.
+
+#include <functional>
+
+#include "bench/bench_common.h"
+
+namespace musketeer {
+namespace {
+
+struct Config {
+  std::string name;
+  std::function<void(Dfs*)> seed;
+  WorkflowSpec workflow;
+  ClusterConfig cluster;
+};
+
+std::vector<Config> BuildConfigs() {
+  std::vector<Config> configs;
+
+  auto add = [&configs](std::string name, std::function<void(Dfs*)> seed,
+                        FrontendLanguage language, std::string source,
+                        ClusterConfig cluster) {
+    Config c;
+    c.name = std::move(name);
+    c.seed = std::move(seed);
+    c.workflow.id = c.name;
+    c.workflow.language = language;
+    c.workflow.source = std::move(source);
+    c.cluster = std::move(cluster);
+    configs.push_back(std::move(c));
+  };
+
+  // top-shopper at four sizes (local cluster).
+  for (double rows : {1e7, 1e8, 1e9, 8e9}) {
+    add("top-shopper-" + Fmt(rows, "%.0e"),
+        [rows](Dfs* dfs) {
+          dfs->Put("purchases", MakePurchases(rows, 4000, 10, 31));
+        },
+        FrontendLanguage::kBeer, TopShopperBeer(5, 5000.0), LocalCluster());
+  }
+
+  // TPC-H Q17 at four scale factors, local and EC2.
+  for (double sf : {1.0, 10.0, 50.0, 100.0}) {
+    add("tpch-q17-sf" + Fmt(sf, "%.0f"),
+        [sf](Dfs* dfs) {
+          TpchDataset data = MakeTpch(sf);
+          dfs->Put("lineitem", data.lineitem);
+          dfs->Put("part", data.part);
+        },
+        FrontendLanguage::kHive, TpchQ17Hive(),
+        sf <= 10 ? LocalCluster() : Ec2Cluster(100));
+  }
+
+  // NetFlix at four movie counts (EC2).
+  for (int64_t movies : {25, 50, 100, 200}) {
+    add("netflix-" + std::to_string(movies),
+        [](Dfs* dfs) {
+          NetflixDataset data = MakeNetflix();
+          dfs->Put("ratings", data.ratings);
+          dfs->Put("movies", data.movies);
+        },
+        FrontendLanguage::kBeer, NetflixBeer(movies), Ec2Cluster(100));
+  }
+
+  // PageRank: three graphs x two cluster scales.
+  struct GraphCase {
+    const char* name;
+    GraphDataset (*make)();
+  };
+  const GraphCase kGraphs[] = {{"lj", &LiveJournalGraph},
+                               {"orkut", &OrkutGraph},
+                               {"twitter", &TwitterGraph}};
+  for (const GraphCase& g : kGraphs) {
+    for (int nodes : {16, 100}) {
+      GraphDataset data = g.make();
+      add(std::string("pagerank-") + g.name + "-" + std::to_string(nodes),
+          [data](Dfs* dfs) {
+            dfs->Put("vertices", data.vertices);
+            dfs->Put("edges", data.edges);
+          },
+          FrontendLanguage::kGas, PageRankGas(5), Ec2Cluster(nodes));
+    }
+  }
+
+  // SSSP at two scales.
+  for (int nodes : {16, 100}) {
+    GraphDataset data = TwitterGraphWithCosts();
+    add("sssp-" + std::to_string(nodes),
+        [data](Dfs* dfs) {
+          dfs->Put("vertices", data.vertices);
+          dfs->Put("edges", data.edges);
+        },
+        FrontendLanguage::kGas, SsspGas(5), Ec2Cluster(nodes));
+  }
+
+  // k-means at three point counts.
+  for (double points : {1e6, 1e7, 1e8}) {
+    add("kmeans-" + Fmt(points, "%.0e"),
+        [points](Dfs* dfs) {
+          KmeansDataset data = MakeKmeans(points, 400, 20, 13);
+          dfs->Put("points", data.points);
+          dfs->Put("centers", data.centers);
+        },
+        FrontendLanguage::kBeer, KmeansBeer(5), Ec2Cluster(100));
+  }
+
+  // Cross-community PageRank at two scales.
+  for (double scale : {1.0, 4.0}) {
+    CommunityPair pair = MakeOverlappingCommunities();
+    auto scaled = [scale](const TablePtr& t) {
+      auto copy = std::make_shared<Table>(*t);
+      copy->set_scale(t->scale() * scale);
+      return TablePtr(copy);
+    };
+    TablePtr a = scaled(pair.a.edges);
+    TablePtr b = scaled(pair.b.edges);
+    add("cross-community-x" + Fmt(scale, "%.0f"),
+        [a, b](Dfs* dfs) {
+          dfs->Put("lj_edges", a);
+          dfs->Put("web_edges", b);
+        },
+        FrontendLanguage::kBeer, CrossCommunityPageRankBeer(5), LocalCluster());
+  }
+
+  // PROJECT micro at five sizes.
+  for (double mb : {128.0, 512.0, 2048.0, 8192.0, 32768.0}) {
+    add("project-" + Fmt(mb, "%.0fMB"),
+        [mb](Dfs* dfs) { dfs->Put("lines", MakeAsciiLines(mb * kMB, 2000, 17)); },
+        FrontendLanguage::kBeer, ProjectBeer(), LocalCluster());
+  }
+
+  // Simple JOIN at three sizes.
+  for (double scale : {1.0, 20.0, 100.0}) {
+    GraphDataset lj = LiveJournalGraph();
+    auto scaled_edges = std::make_shared<Table>(*lj.edges);
+    scaled_edges->set_scale(lj.edges->scale() * scale);
+    TablePtr v = lj.vertices;
+    TablePtr e = scaled_edges;
+    add("join-x" + Fmt(scale, "%.0f"),
+        [v, e](Dfs* dfs) {
+          dfs->Put("vertices_rel", v);
+          dfs->Put("edges_rel", e);
+        },
+        FrontendLanguage::kBeer, SimpleJoinBeer(), LocalCluster());
+  }
+
+  return configs;
+}
+
+struct Tally {
+  int good = 0;
+  int reasonable = 0;
+  int poor = 0;
+
+  void Add(double makespan, double best) {
+    if (makespan <= best * 1.10) {
+      ++good;
+    } else if (makespan <= best * 1.30) {
+      ++reasonable;
+    } else {
+      ++poor;
+    }
+  }
+};
+
+double RunWith(const Config& config, const std::vector<EngineKind>& engines,
+               HistoryStore* history, bool conservative = false) {
+  Dfs dfs;
+  config.seed(&dfs);
+  Musketeer m(&dfs);
+  RunOptions options;
+  options.cluster = config.cluster;
+  options.engines = engines;
+  options.history = history;
+  options.conservative_first_run = conservative;
+  auto result = m.Run(config.workflow, options);
+  return result.ok() ? result->makespan : kInfiniteCost;
+}
+
+}  // namespace
+}  // namespace musketeer
+
+int main() {
+  using namespace musketeer;
+  std::vector<Config> configs = BuildConfigs();
+
+  PrintHeader("Figure 14: automated mapping quality over " +
+                  std::to_string(configs.size()) + " configurations",
+              "good = within 10% of the best option, reasonable = within 30%");
+
+  Tally no_history;
+  Tally partial_history;
+  Tally full_history;
+  Tally decision_tree;
+
+  for (const Config& config : configs) {
+    // Best achievable: minimum over every forced single engine.
+    double best = kInfiniteCost;
+    for (EngineKind engine : kAllEngines) {
+      best = std::min(best, RunWith(config, {engine}, nullptr));
+    }
+
+    // (1) First run, no knowledge: conservative merge gating applies.
+    double first = RunWith(config, {}, nullptr, /*conservative=*/true);
+    no_history.Add(first, best);
+
+    // (2) Partial history: sizes observed from the first run's job outputs
+    // unlock some merges.
+    HistoryStore history;
+    RunWith(config, {}, &history, /*conservative=*/true);
+    HistoryStore partial = history.WithPartialKnowledge(0.6);
+    double with_partial = RunWith(config, {}, &partial, /*conservative=*/true);
+    partial_history.Add(with_partial, best);
+
+    // (3) Full history: per-operator profiling run first.
+    HistoryStore full;
+    {
+      Dfs dfs;
+      config.seed(&dfs);
+      Musketeer m(&dfs);
+      RunOptions options;
+      options.cluster = config.cluster;
+      (void)m.ProfileWorkflow(config.workflow, options, &full);
+    }
+    double with_full = RunWith(config, {}, &full, /*conservative=*/true);
+    full_history.Add(with_full, best);
+
+    // (4) Decision tree: one engine for the whole workflow.
+    Dfs dfs;
+    config.seed(&dfs);
+    Musketeer m(&dfs);
+    auto dag = m.Lower(config.workflow, /*optimize=*/true);
+    double tree_makespan = kInfiniteCost;
+    if (dag.ok()) {
+      Bytes total_input = 0;
+      for (const auto& [name, bytes] : m.DfsSizes()) {
+        total_input += bytes;
+      }
+      EngineKind choice = DecisionTreeChoice(**dag, total_input, config.cluster);
+      tree_makespan = RunWith(config, {choice}, nullptr);
+    }
+    decision_tree.Add(tree_makespan, best);
+  }
+
+  int n = static_cast<int>(configs.size());
+  PrintRow({"strategy", "good", "reasonable", "poor"});
+  auto pct = [n](int v) { return Fmt(100.0 * v / n, "%.0f%%"); };
+  PrintRow({"no knowledge", pct(no_history.good), pct(no_history.reasonable),
+            pct(no_history.poor)});
+  PrintRow({"partial history", pct(partial_history.good),
+            pct(partial_history.reasonable), pct(partial_history.poor)});
+  PrintRow({"full history", pct(full_history.good), pct(full_history.reasonable),
+            pct(full_history.poor)});
+  PrintRow({"decision tree", pct(decision_tree.good),
+            pct(decision_tree.reasonable), pct(decision_tree.poor)});
+  return 0;
+}

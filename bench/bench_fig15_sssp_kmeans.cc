@@ -1,0 +1,80 @@
+// Figure 15: makespan of SSSP (Twitter graph with edge costs) and k-means
+// clustering (100M points, 100 clusters, 2 dimensions, 5 iterations) on the
+// EC2 cluster for every compatible back-end, with Musketeer's automatic
+// choice marked (§6.7).
+// Expected shape: SSSP is vertex-centric and fastest on the specialized
+// path (Naiad); k-means cannot be expressed vertex-centrically, and its
+// CROSS JOIN formulation generates enormous intermediate data (the paper's
+// Spark run hit OOM on it) — Musketeer picks Naiad in both cases.
+
+#include "bench/bench_common.h"
+
+namespace musketeer {
+namespace {
+
+void RunWorkflow(const char* title, const WorkflowSpec& wf,
+                 const std::function<void(Dfs*)>& seed,
+                 const std::vector<EngineKind>& engines) {
+  PrintHeader(title, "EC2, 100 nodes; (club) marks Musketeer's automatic pick");
+
+  // Musketeer's automatic decision.
+  EngineKind chosen = EngineKind::kHadoop;
+  {
+    Dfs dfs;
+    seed(&dfs);
+    Musketeer m(&dfs);
+    RunOptions options;
+    options.cluster = Ec2Cluster(100);
+    auto result = m.Run(wf, options);
+    if (result.ok() && !result->plans.empty()) {
+      chosen = result->plans.front().engine;
+    }
+  }
+
+  PrintRow({"system", "makespan (s)"});
+  for (EngineKind engine : engines) {
+    Dfs dfs;
+    seed(&dfs);
+    Musketeer m(&dfs);
+    auto result = m.Run(wf, ForEngine(engine, Ec2Cluster(100)));
+    std::string label = EngineKindName(engine);
+    if (engine == chosen) {
+      label += " (club)";
+    }
+    PrintRow({label, result.ok() ? Fmt(result->makespan) : "n/a"});
+  }
+}
+
+}  // namespace
+}  // namespace musketeer
+
+int main() {
+  using namespace musketeer;
+
+  GraphDataset sssp_graph = TwitterGraphWithCosts();
+  WorkflowSpec sssp{.id = "sssp",
+                    .language = FrontendLanguage::kGas,
+                    .source = SsspGas(5)};
+  RunWorkflow("Figure 15a: SSSP on Twitter with edge costs (5 iterations)",
+              sssp,
+              [&sssp_graph](Dfs* dfs) {
+                dfs->Put("vertices", sssp_graph.vertices);
+                dfs->Put("edges", sssp_graph.edges);
+              },
+              {EngineKind::kHadoop, EngineKind::kSpark, EngineKind::kNaiad,
+               EngineKind::kPowerGraph, EngineKind::kGraphChi});
+
+  KmeansDataset kmeans_data = MakeKmeans(1e8, 500, 100, 13);
+  WorkflowSpec kmeans{.id = "kmeans",
+                      .language = FrontendLanguage::kBeer,
+                      .source = KmeansBeer(5)};
+  RunWorkflow(
+      "Figure 15b: k-means, 100M points, k=100, 2 dims (5 iterations)", kmeans,
+      [&kmeans_data](Dfs* dfs) {
+        dfs->Put("points", kmeans_data.points);
+        dfs->Put("centers", kmeans_data.centers);
+      },
+      // Vertex-centric engines cannot express k-means (no graph idiom).
+      {EngineKind::kHadoop, EngineKind::kSpark, EngineKind::kNaiad});
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 3: five-iteration PageRank on the Orkut (3M/117M) and Twitter
+// (43M/1.4B) graphs across systems and EC2 cluster sizes (§2.2).
+// Expected shape: GraphLINQ-on-Naiad wins on the big graph at 100 nodes;
+// PowerGraph is best at 16 nodes (vertex-cut sharding) and gains nothing
+// beyond 16; GraphChi is surprisingly competitive on one machine for the
+// small graph; Hadoop is far behind (per-iteration job overheads).
+
+#include "bench/bench_common.h"
+
+namespace musketeer {
+namespace {
+
+void RunGraph(const char* title, const GraphDataset& graph) {
+  PrintHeader(title, "values = makespan (s); '-' = engine uses one machine");
+  PrintRow({"system", "16 nodes", "100 nodes"});
+  const EngineKind kSystems[] = {EngineKind::kHadoop, EngineKind::kSpark,
+                                 EngineKind::kNaiad, EngineKind::kPowerGraph,
+                                 EngineKind::kGraphChi};
+  for (EngineKind engine : kSystems) {
+    std::vector<std::string> row{EngineKindName(engine)};
+    for (int nodes : {16, 100}) {
+      if (!IsDistributedEngine(engine) && nodes != 16) {
+        row.push_back("-");
+        continue;
+      }
+      Dfs dfs;
+      dfs.Put("vertices", graph.vertices);
+      dfs.Put("edges", graph.edges);
+      WorkflowSpec wf{.id = "pagerank-5",
+                      .language = FrontendLanguage::kGas,
+                      .source = PageRankGas(5)};
+      RunResult result = MustRun(&dfs, wf, ForEngine(engine, Ec2Cluster(nodes)));
+      row.push_back(Fmt(result.makespan));
+    }
+    PrintRow(row);
+  }
+}
+
+}  // namespace
+}  // namespace musketeer
+
+int main() {
+  musketeer::RunGraph("Figure 3a: PageRank on Orkut (3M vertices, 117M edges)",
+                      musketeer::OrkutGraph());
+  musketeer::RunGraph("Figure 3b: PageRank on Twitter (43M vertices, 1.4B edges)",
+                      musketeer::TwitterGraph());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 7: TPC-H query 17 on EC2, scale factors 10-100 (§6.2).
+// Four configurations:
+//   Hive (native)        — Hive's own rigid Hadoop plan
+//   Musketeer Hive->Hadoop — Musketeer's generated Hadoop code
+//   Lindi (native)       — Lindi's Naiad code: single-threaded I/O and a
+//                          non-associative GROUP BY on one machine
+//   Musketeer ->Naiad    — Musketeer maps the same workflow to Naiad with
+//                          its improved (associative) GROUP BY operator
+// Expected shape: Musketeer->Naiad halves the Hive makespan (2x); the
+// native Lindi version scales far worse (up to ~9x at scale 100).
+
+#include "bench/bench_common.h"
+
+namespace musketeer {
+namespace {
+
+struct Config {
+  const char* label;
+  FrontendLanguage language;
+  EngineKind engine;
+  CodeGenOptions::Flavor flavor;
+};
+
+const Config kConfigs[] = {
+    {"Hive(native)->Hadoop", FrontendLanguage::kHive, EngineKind::kHadoop,
+     CodeGenOptions::Flavor::kNativeHive},
+    {"Musketeer Hive->Hadoop", FrontendLanguage::kHive, EngineKind::kHadoop,
+     CodeGenOptions::Flavor::kMusketeer},
+    {"Lindi(native)->Naiad", FrontendLanguage::kLindi, EngineKind::kNaiad,
+     CodeGenOptions::Flavor::kNativeLindi},
+    {"Musketeer Hive->Naiad", FrontendLanguage::kHive, EngineKind::kNaiad,
+     CodeGenOptions::Flavor::kMusketeer},
+};
+
+}  // namespace
+}  // namespace musketeer
+
+int main() {
+  using namespace musketeer;
+  PrintHeader("Figure 7: TPC-H Q17 makespan on EC2 (100 nodes)",
+              "columns: TPC-H scale factor (7.5 GB at SF 10 ... 75 GB at SF 100)");
+  std::vector<std::string> head{"configuration"};
+  const double kScaleFactors[] = {10, 32, 100};
+  for (double sf : kScaleFactors) {
+    head.push_back("SF " + Fmt(sf, "%.0f"));
+  }
+  PrintRow(head);
+
+  for (const Config& config : kConfigs) {
+    std::vector<std::string> row{config.label};
+    for (double sf : kScaleFactors) {
+      TpchDataset data = MakeTpch(sf);
+      Dfs dfs;
+      dfs.Put("lineitem", data.lineitem);
+      dfs.Put("part", data.part);
+      WorkflowSpec wf{.id = "tpch-q17",
+                      .language = config.language,
+                      .source = config.language == FrontendLanguage::kHive
+                                    ? TpchQ17Hive()
+                                    : TpchQ17Lindi()};
+      RunResult result =
+          MustRun(&dfs, wf, ForEngine(config.engine, Ec2Cluster(100),
+                                      config.flavor));
+      row.push_back(Fmt(result.makespan));
+    }
+    PrintRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Figure 8: Musketeer's automatic mapping vs. per-system baselines for five
+// iterations of PageRank on Orkut and Twitter at 1, 16 and 100 nodes (a, b),
+// plus resource efficiency on Twitter (c).
+// Expected shape: Musketeer's pick is close to the best-in-class baseline at
+// every scale — GraphChi on one node, Naiad/PowerGraph at 16, Naiad at 100.
+
+#include "bench/bench_common.h"
+
+namespace musketeer {
+namespace {
+
+const EngineKind kBaselines[] = {EngineKind::kHadoop, EngineKind::kSpark,
+                                 EngineKind::kNaiad, EngineKind::kPowerGraph,
+                                 EngineKind::kGraphChi};
+
+double RunPageRank(const GraphDataset& graph, RunOptions options,
+                   std::string* engines_used = nullptr) {
+  Dfs dfs;
+  dfs.Put("vertices", graph.vertices);
+  dfs.Put("edges", graph.edges);
+  WorkflowSpec wf{.id = "pagerank-5",
+                  .language = FrontendLanguage::kGas,
+                  .source = PageRankGas(5)};
+  RunResult result = MustRun(&dfs, wf, options);
+  if (engines_used != nullptr) {
+    *engines_used = EnginesUsed(result);
+  }
+  return result.makespan;
+}
+
+void RunFigure(const char* title, const GraphDataset& graph) {
+  PrintHeader(title, "values = makespan (s); Musketeer row picks its own engine");
+  PrintRow({"system", "1 node", "16 nodes", "100 nodes"});
+  for (EngineKind engine : kBaselines) {
+    std::vector<std::string> row{EngineKindName(engine)};
+    for (int nodes : {1, 16, 100}) {
+      if (!IsDistributedEngine(engine) && nodes != 1) {
+        row.push_back("-");
+        continue;
+      }
+      if (IsDistributedEngine(engine) && nodes == 1) {
+        row.push_back("-");
+        continue;
+      }
+      RunOptions options =
+          ForEngine(engine, nodes == 1 ? SingleMachine() : Ec2Cluster(nodes),
+                    CodeGenOptions::Flavor::kIdealHandTuned);
+      row.push_back(Fmt(RunPageRank(graph, options)));
+    }
+    PrintRow(row);
+  }
+
+  std::vector<std::string> mrow{"Musketeer(auto)"};
+  std::vector<std::string> chosen;
+  for (int nodes : {1, 16, 100}) {
+    RunOptions options;
+    options.cluster = nodes == 1 ? SingleMachine() : Ec2Cluster(nodes);
+    std::string engines;
+    mrow.push_back(Fmt(RunPageRank(graph, options, &engines)));
+    chosen.push_back(engines);
+  }
+  PrintRow(mrow);
+  std::printf("Musketeer chose: 1 node -> %s, 16 nodes -> %s, 100 nodes -> %s\n",
+              chosen[0].c_str(), chosen[1].c_str(), chosen[2].c_str());
+}
+
+// Fig. 8c: resource efficiency = fastest single-node aggregate time divided
+// by (makespan x nodes used).
+void RunEfficiency(const GraphDataset& graph) {
+  PrintHeader("Figure 8c: resource efficiency, PageRank on Twitter",
+              "efficiency = best single-node time / (makespan * nodes); higher "
+              "is better");
+
+  double best_single = 1e300;
+  for (EngineKind engine :
+       {EngineKind::kGraphChi, EngineKind::kMetis, EngineKind::kSerialC}) {
+    RunOptions options = ForEngine(engine, SingleMachine(),
+                                   CodeGenOptions::Flavor::kIdealHandTuned);
+    Dfs dfs;
+    dfs.Put("vertices", graph.vertices);
+    dfs.Put("edges", graph.edges);
+    WorkflowSpec wf{.id = "pagerank-5",
+                    .language = FrontendLanguage::kGas,
+                    .source = PageRankGas(5)};
+    Musketeer m(&dfs);
+    auto result = m.Run(wf, options);
+    if (result.ok()) {
+      best_single = std::min(best_single, result->makespan);
+    }
+  }
+
+  PrintRow({"configuration", "nodes", "makespan (s)", "efficiency"});
+  struct Config {
+    const char* label;
+    EngineKind engine;
+    int nodes;
+  };
+  const Config kConfigs[] = {
+      {"GraphChi", EngineKind::kGraphChi, 1},
+      {"PowerGraph", EngineKind::kPowerGraph, 16},
+      {"Naiad", EngineKind::kNaiad, 16},
+      {"Naiad", EngineKind::kNaiad, 100},
+      {"Spark", EngineKind::kSpark, 100},
+  };
+  for (const Config& config : kConfigs) {
+    RunOptions options = ForEngine(
+        config.engine, config.nodes == 1 ? SingleMachine() : Ec2Cluster(config.nodes),
+        CodeGenOptions::Flavor::kIdealHandTuned);
+    double makespan = RunPageRank(graph, options);
+    double efficiency = best_single / (makespan * config.nodes);
+    PrintRow({config.label, Fmt(config.nodes, "%.0f"), Fmt(makespan),
+              Fmt(efficiency * 100, "%.1f%%")});
+  }
+
+  // Musketeer's automatic choice at each scale.
+  for (int nodes : {1, 16, 100}) {
+    RunOptions options;
+    options.cluster = nodes == 1 ? SingleMachine() : Ec2Cluster(nodes);
+    std::string engines;
+    double makespan = RunPageRank(graph, options, &engines);
+    double efficiency = best_single / (makespan * nodes);
+    PrintRow({"Musketeer(" + engines + ")", Fmt(nodes, "%.0f"), Fmt(makespan),
+              Fmt(efficiency * 100, "%.1f%%")});
+  }
+}
+
+}  // namespace
+}  // namespace musketeer
+
+int main() {
+  musketeer::RunFigure("Figure 8a: PageRank on Orkut — Musketeer vs baselines",
+                       musketeer::OrkutGraph());
+  musketeer::GraphDataset twitter = musketeer::TwitterGraph();
+  musketeer::RunFigure("Figure 8b: PageRank on Twitter — Musketeer vs baselines",
+                       twitter);
+  musketeer::RunEfficiency(twitter);
+  return 0;
+}

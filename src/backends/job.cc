@@ -1,0 +1,66 @@
+#include "src/backends/job.h"
+
+namespace musketeer {
+
+const char* WhileExecName(WhileExec mode) {
+  switch (mode) {
+    case WhileExec::kNone:
+      return "none";
+    case WhileExec::kNativeLoop:
+      return "native-loop";
+    case WhileExec::kPerIterationJobs:
+      return "per-iteration-jobs";
+    case WhileExec::kVertexRuntime:
+      return "vertex-runtime";
+  }
+  return "unknown";
+}
+
+WhileExec WhileModeFor(EngineKind kind, bool vertex_idiom) {
+  switch (kind) {
+    case EngineKind::kPowerGraph:
+    case EngineKind::kGraphChi:
+      return WhileExec::kVertexRuntime;
+    case EngineKind::kNaiad:
+      return vertex_idiom ? WhileExec::kVertexRuntime : WhileExec::kNativeLoop;
+    case EngineKind::kSpark:
+    case EngineKind::kSerialC:
+      return WhileExec::kNativeLoop;
+    case EngineKind::kHadoop:
+    case EngineKind::kMetis:
+      return WhileExec::kPerIterationJobs;
+  }
+  return WhileExec::kNativeLoop;
+}
+
+bool IsShuffleOp(OpKind kind) {
+  switch (kind) {
+    case OpKind::kJoin:
+    case OpKind::kCrossJoin:
+    case OpKind::kGroupBy:
+    case OpKind::kAgg:
+    case OpKind::kIntersect:
+    case OpKind::kDifference:
+    case OpKind::kDistinct:
+    case OpKind::kMax:
+    case OpKind::kMin:
+    case OpKind::kTopN:
+    case OpKind::kSort:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsRowwiseOp(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSelect:
+    case OpKind::kProject:
+    case OpKind::kMap:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace musketeer

@@ -1,0 +1,186 @@
+#include "src/backends/perf_model.h"
+
+#include <algorithm>
+
+namespace musketeer {
+
+namespace {
+
+EngineRates HadoopRates() {
+  EngineRates r;
+  r.job_overhead_s = 25.0;  // JVM spin-up, task scheduling, job setup
+  r.pull_mbps = 90.0;       // excellent parallel streaming from HDFS
+  r.push_mbps = 55.0;
+  r.load_mbps = 0.0;
+  r.process_mbps = 60.0;
+  r.shuffle_mbps = 30.0;
+  r.coord_s_per_node = 0.05;
+  return r;
+}
+
+EngineRates SparkRates() {
+  EngineRates r;
+  r.job_overhead_s = 8.0;
+  r.pull_mbps = 80.0;
+  r.push_mbps = 40.0;
+  r.load_mbps = 80.0;  // materializes inputs into RDDs before computing
+  r.process_mbps = 90.0;
+  r.shuffle_mbps = 30.0;
+  r.superstep_s = 2.0;  // driver round-trip + task launch per iteration
+  r.coord_s_per_node = 0.05;
+  return r;
+}
+
+EngineRates NaiadRates() {
+  EngineRates r;
+  r.job_overhead_s = 3.0;
+  // With Musketeer's parallel-I/O and HDFS support patches (Table 2).
+  r.pull_mbps = 90.0;
+  r.push_mbps = 60.0;
+  r.load_mbps = 0.0;
+  r.process_mbps = 110.0;
+  r.graph_process_mbps = 150.0;  // GraphLINQ-style vertex execution
+  r.shuffle_mbps = 30.0;
+  r.superstep_s = 0.3;
+  r.coord_s_per_node = 0.01;
+  return r;
+}
+
+EngineRates PowerGraphRates() {
+  EngineRates r;
+  r.job_overhead_s = 8.0;
+  r.pull_mbps = 70.0;
+  r.push_mbps = 50.0;
+  r.load_mbps = 35.0;  // vertex-cut sharding of the input graph
+  r.process_mbps = 150.0;
+  r.graph_process_mbps = 150.0;
+  r.shuffle_mbps = 50.0;
+  r.shuffle_fraction = 0.12;  // sharding keeps most gather/scatter local
+  r.superstep_s = 0.4;
+  r.coord_s_per_node = 0.05;
+  r.max_scalable_nodes = 16;  // no benefit beyond 16 nodes (§2.2, fn. 5)
+  return r;
+}
+
+EngineRates GraphChiRates() {
+  EngineRates r;
+  r.job_overhead_s = 2.0;
+  r.pull_mbps = 100.0;  // HDFS connector added by Musketeer (Table 2)
+  r.push_mbps = 80.0;
+  r.load_mbps = 60.0;  // builds its on-disk shards before computing
+  r.process_mbps = 80.0;
+  r.graph_process_mbps = 80.0;  // out-of-core streaming, one machine
+  r.shuffle_mbps = 0.0;         // no network
+  r.superstep_s = 0.2;
+  r.max_scalable_nodes = 1;
+  return r;
+}
+
+EngineRates MetisRates() {
+  EngineRates r;
+  r.job_overhead_s = 1.0;
+  r.pull_mbps = 110.0;
+  r.push_mbps = 85.0;
+  r.load_mbps = 0.0;
+  r.process_mbps = 80.0;    // multi-core, one machine
+  r.shuffle_mbps = 400.0;   // in-memory repartition
+  r.max_scalable_nodes = 1;
+  return r;
+}
+
+EngineRates SerialCRates() {
+  EngineRates r;
+  r.job_overhead_s = 0.2;
+  r.pull_mbps = 110.0;
+  r.push_mbps = 85.0;
+  r.load_mbps = 0.0;
+  r.process_mbps = 140.0;   // tight C loop, but a single thread
+  r.shuffle_mbps = 500.0;   // pointer shuffling in memory
+  r.max_scalable_nodes = 1;
+  return r;
+}
+
+}  // namespace
+
+const EngineRates& RatesFor(EngineKind kind) {
+  static const EngineRates hadoop = HadoopRates();
+  static const EngineRates spark = SparkRates();
+  static const EngineRates naiad = NaiadRates();
+  static const EngineRates powergraph = PowerGraphRates();
+  static const EngineRates graphchi = GraphChiRates();
+  static const EngineRates metis = MetisRates();
+  static const EngineRates serial = SerialCRates();
+  switch (kind) {
+    case EngineKind::kHadoop:
+      return hadoop;
+    case EngineKind::kSpark:
+      return spark;
+    case EngineKind::kNaiad:
+      return naiad;
+    case EngineKind::kPowerGraph:
+      return powergraph;
+    case EngineKind::kGraphChi:
+      return graphchi;
+    case EngineKind::kMetis:
+      return metis;
+    case EngineKind::kSerialC:
+      return serial;
+  }
+  return hadoop;
+}
+
+int EffectiveNodes(EngineKind kind, const ClusterConfig& cluster) {
+  if (!IsDistributedEngine(kind)) {
+    return 1;
+  }
+  return std::min(cluster.num_nodes, RatesFor(kind).max_scalable_nodes);
+}
+
+namespace {
+
+// Cluster hardware factor: engine rates are calibrated against a 100 MB/s
+// streaming node; slower/faster disks scale proportionally.
+double HardwareFactor(const ClusterConfig& cluster) {
+  return cluster.node_read_mbps / 100.0;
+}
+
+}  // namespace
+
+double PullBandwidth(EngineKind kind, const ClusterConfig& cluster) {
+  return MBps(RatesFor(kind).pull_mbps) * EffectiveNodes(kind, cluster) *
+         HardwareFactor(cluster);
+}
+
+double PushBandwidth(EngineKind kind, const ClusterConfig& cluster) {
+  return MBps(RatesFor(kind).push_mbps) * EffectiveNodes(kind, cluster) *
+         HardwareFactor(cluster);
+}
+
+double LoadBandwidth(EngineKind kind, const ClusterConfig& cluster) {
+  double rate = RatesFor(kind).load_mbps;
+  if (rate <= 0) {
+    return 0;
+  }
+  return MBps(rate) * EffectiveNodes(kind, cluster) * HardwareFactor(cluster);
+}
+
+double ProcessBandwidth(EngineKind kind, const ClusterConfig& cluster,
+                        bool graph_path) {
+  const EngineRates& r = RatesFor(kind);
+  double rate = (graph_path && r.graph_process_mbps > 0) ? r.graph_process_mbps
+                                                         : r.process_mbps;
+  return MBps(rate) * EffectiveNodes(kind, cluster);
+}
+
+double ShuffleBandwidth(EngineKind kind, const ClusterConfig& cluster) {
+  const EngineRates& r = RatesFor(kind);
+  if (r.shuffle_mbps <= 0) {
+    return MBps(1000.0);  // local engine: effectively free repartitioning
+  }
+  int nodes = EffectiveNodes(kind, cluster);
+  double net_factor =
+      IsDistributedEngine(kind) ? cluster.network_mbps / 40.0 : 1.0;
+  return MBps(r.shuffle_mbps) * nodes * net_factor;
+}
+
+}  // namespace musketeer

@@ -1,0 +1,64 @@
+// Shared job-pricing formula.
+//
+// Both sides of Musketeer price jobs with the same formula:
+//  * the cost model (§5.2) prices *predicted* data volumes when partitioning
+//    the DAG and choosing engines, and
+//  * the engine simulators price *observed* volumes when executing.
+// Keeping one implementation guarantees the scheduler's estimates and the
+// simulator's charges agree up to size-prediction error — which is precisely
+// the error the paper's history mechanism (Fig. 14) exists to remove.
+
+#ifndef MUSKETEER_SRC_BACKENDS_PRICING_H_
+#define MUSKETEER_SRC_BACKENDS_PRICING_H_
+
+#include <vector>
+
+#include "src/backends/job.h"
+#include "src/backends/perf_model.h"
+
+namespace musketeer {
+
+// One operator execution to be priced (already flattened over iterations).
+struct PricedOp {
+  Bytes in_bytes = 0;
+  bool shuffle = false;         // repartitions its input over the network
+  bool charge_process = true;   // starts its own pass over the data
+  bool single_node = false;     // collapses to one machine (Lindi GROUP BY)
+  bool graph_path = false;      // runs on the engine's vertex-centric path
+};
+
+struct JobShape {
+  Bytes pull_bytes = 0;  // read from the DFS at job start
+  Bytes push_bytes = 0;  // written back at job end
+  Bytes load_bytes = 0;  // through the engine's LOAD phase (0 = skip)
+  std::vector<PricedOp> ops;
+  int job_count = 1;     // internal engine jobs (MR loops spawn many)
+  int supersteps = 0;    // iterations run natively inside the engine
+  double process_efficiency = 1.0;
+  bool single_threaded_io = false;
+};
+
+// Fraction of the normal PROCESS cost charged for operators fused into an
+// enclosing scan (they still consume CPU, just no extra pass over the data).
+inline constexpr double kFusedProcessFraction = 0.10;
+
+// Per-node input rate when an engine reads with one thread per machine.
+inline constexpr double kSingleThreadedPullMbps = 15.0;
+
+// NIC-limited rate at which a single worker collects a non-associative
+// operator's entire input (native Lindi GROUP BY, §6.2).
+inline constexpr double kSingleNodeCollectMbps = 120.0;
+
+// GraphChi keeps the working set in memory when the graph is small enough,
+// skipping its out-of-core shard streaming (§2.2: it is surprisingly
+// competitive on the small Orkut graph).
+inline constexpr Bytes kGraphChiInMemoryBytes = 8.0 * 1024 * 1024 * 1024;
+inline constexpr double kGraphChiInMemoryBoost = 1.8;
+
+// Simulated seconds to run a job of this shape on this engine and cluster.
+SimSeconds PriceJob(EngineKind engine, const ClusterConfig& cluster,
+                    const JobShape& shape);
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_BACKENDS_PRICING_H_

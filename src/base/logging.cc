@@ -1,0 +1,60 @@
+#include "src/base/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace musketeer {
+
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("MUSKETEER_LOG");
+  if (env == nullptr) {
+    return LogLevel::kOff;
+  }
+  if (std::strcmp(env, "debug") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (std::strcmp(env, "info") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(env, "warning") == 0) {
+    return LogLevel::kWarning;
+  }
+  if (std::strcmp(env, "error") == 0) {
+    return LogLevel::kError;
+  }
+  return LogLevel::kOff;
+}
+
+LogLevel g_level = InitialLevel();
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
+  const char* base = std::strrchr(file, '/');
+  base = (base != nullptr) ? base + 1 : file;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), base, line, msg.c_str());
+}
+
+}  // namespace musketeer

@@ -1,0 +1,53 @@
+// Minimal leveled logging for Musketeer. Logging is off by default so tests
+// and benchmarks stay quiet; set MUSKETEER_LOG=info (or debug) in the
+// environment, or call SetLogLevel(), to see workflow-manager decisions.
+
+#ifndef MUSKETEER_SRC_BASE_LOGGING_H_
+#define MUSKETEER_SRC_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace musketeer {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Internal: emits one formatted line to stderr.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() {
+    if (level_ >= GetLogLevel()) {
+      LogMessage(level_, file_, line_, stream_.str());
+    }
+  }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (level_ >= GetLogLevel()) {
+      stream_ << v;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace musketeer
+
+#define MLOG_DEBUG ::musketeer::LogStream(::musketeer::LogLevel::kDebug, __FILE__, __LINE__)
+#define MLOG_INFO ::musketeer::LogStream(::musketeer::LogLevel::kInfo, __FILE__, __LINE__)
+#define MLOG_WARN ::musketeer::LogStream(::musketeer::LogLevel::kWarning, __FILE__, __LINE__)
+#define MLOG_ERROR ::musketeer::LogStream(::musketeer::LogLevel::kError, __FILE__, __LINE__)
+
+#endif  // MUSKETEER_SRC_BASE_LOGGING_H_

@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All data generators in Musketeer are seeded so experiment runs are
+// reproducible bit-for-bit across machines. The generator is SplitMix64: a
+// tiny, fast, well-distributed 64-bit PRNG, good enough for synthetic-data
+// purposes (not for cryptography).
+
+#ifndef MUSKETEER_SRC_BASE_RNG_H_
+#define MUSKETEER_SRC_BASE_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace musketeer {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit value.
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Zipf-like skewed integer in [0, n): probability of rank r proportional to
+  // 1/(r+1)^alpha. Uses inverse-CDF sampling on an approximated harmonic sum,
+  // which is accurate enough for generating power-law graph degrees.
+  uint64_t NextZipf(uint64_t n, double alpha) {
+    // Approximate generalized harmonic number via the integral.
+    double u = NextDouble();
+    if (alpha == 1.0) {
+      double h = std::log(static_cast<double>(n) + 1.0);
+      return static_cast<uint64_t>(std::exp(u * h)) - 1;
+    }
+    double one_minus = 1.0 - alpha;
+    double h = (std::pow(static_cast<double>(n) + 1.0, one_minus) - 1.0) / one_minus;
+    double x = std::pow(u * h * one_minus + 1.0, 1.0 / one_minus) - 1.0;
+    uint64_t r = static_cast<uint64_t>(x);
+    return r >= n ? n - 1 : r;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_BASE_RNG_H_

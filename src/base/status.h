@@ -1,0 +1,136 @@
+// Lightweight error-propagation primitives used throughout Musketeer.
+//
+// Musketeer is built without exceptions on its hot paths; fallible operations
+// return Status (or StatusOr<T> when they also produce a value). The design
+// mirrors the absl::Status API surface that the rest of the codebase expects,
+// without pulling in a third-party dependency.
+
+#ifndef MUSKETEER_SRC_BASE_STATUS_H_
+#define MUSKETEER_SRC_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace musketeer {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kOutOfRange,
+};
+
+// Human-readable name for a status code ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error result. Cheap to copy on the success path (no
+// allocation); errors carry a message describing what went wrong.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Formats as "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status OutOfRangeError(std::string message);
+
+// Holds either a value of type T or an error Status. Accessing the value of
+// an errored StatusOr is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr constructed from OK status without a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates an error Status from a fallible expression.
+#define MUSKETEER_RETURN_IF_ERROR(expr)         \
+  do {                                          \
+    ::musketeer::Status _status = (expr);       \
+    if (!_status.ok()) {                        \
+      return _status;                           \
+    }                                           \
+  } while (0)
+
+// Evaluates a StatusOr expression; on success binds the value to `lhs`,
+// otherwise returns the error. Usage:
+//   MUSKETEER_ASSIGN_OR_RETURN(auto table, LoadTable(path));
+#define MUSKETEER_ASSIGN_OR_RETURN(lhs, expr)                   \
+  MUSKETEER_ASSIGN_OR_RETURN_IMPL_(                             \
+      MUSKETEER_STATUS_CONCAT_(_status_or, __LINE__), lhs, expr)
+
+#define MUSKETEER_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) {                                       \
+    return tmp.status();                                 \
+  }                                                      \
+  lhs = std::move(tmp).value()
+
+#define MUSKETEER_STATUS_CONCAT_INNER_(a, b) a##b
+#define MUSKETEER_STATUS_CONCAT_(a, b) MUSKETEER_STATUS_CONCAT_INNER_(a, b)
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_BASE_STATUS_H_

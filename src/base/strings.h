@@ -1,0 +1,50 @@
+// Small string utilities shared by the front-end parsers, CSV reader and the
+// code generators. All helpers are allocation-conscious and locale-free.
+
+#ifndef MUSKETEER_SRC_BASE_STRINGS_H_
+#define MUSKETEER_SRC_BASE_STRINGS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace musketeer {
+
+// Splits `input` on `sep`; adjacent separators yield empty pieces.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+// Splits on arbitrary whitespace runs; never yields empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view input);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+// Joins `pieces` with `sep` between them.
+std::string StrJoin(const std::vector<std::string>& pieces, std::string_view sep);
+
+// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Uppercases ASCII letters.
+std::string AsciiToUpper(std::string_view input);
+// Lowercases ASCII letters.
+std::string AsciiToLower(std::string_view input);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Strict numeric parsing: the whole string must be consumed.
+std::optional<int64_t> ParseInt64(std::string_view s);
+std::optional<double> ParseDouble(std::string_view s);
+
+// Formats a byte count as a human-readable string ("1.5 GB").
+std::string HumanBytes(double bytes);
+
+// Formats a duration in seconds as a human-readable string ("2m31s").
+std::string HumanSeconds(double seconds);
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_BASE_STRINGS_H_

@@ -1,0 +1,28 @@
+// Byte-size and simulated-time conventions used across the cost model and
+// the engine simulators.
+//
+// Simulated time is a plain double of seconds (SimSeconds). Data volumes are
+// doubles of bytes (Bytes) because nominal sizes routinely exceed what the
+// executed sample materializes, and fractional bytes are fine for modeling.
+
+#ifndef MUSKETEER_SRC_BASE_UNITS_H_
+#define MUSKETEER_SRC_BASE_UNITS_H_
+
+#include <cstdint>
+
+namespace musketeer {
+
+using SimSeconds = double;
+using Bytes = double;
+
+constexpr Bytes kKB = 1024.0;
+constexpr Bytes kMB = 1024.0 * 1024.0;
+constexpr Bytes kGB = 1024.0 * 1024.0 * 1024.0;
+constexpr Bytes kTB = 1024.0 * kGB;
+
+// Converts a MB/s rate into bytes/second.
+constexpr double MBps(double mb_per_s) { return mb_per_s * kMB; }
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_BASE_UNITS_H_

@@ -1,0 +1,38 @@
+#include "src/cluster/cluster.h"
+
+namespace musketeer {
+
+ClusterConfig LocalCluster() {
+  ClusterConfig c;
+  c.name = "local-7";
+  c.num_nodes = 7;
+  c.cores_per_node = 8;
+  c.node_read_mbps = 100.0;
+  c.node_write_mbps = 60.0;
+  c.network_mbps = 60.0;  // dedicated switch, low contention
+  return c;
+}
+
+ClusterConfig Ec2Cluster(int num_nodes) {
+  ClusterConfig c;
+  c.name = "ec2-" + std::to_string(num_nodes);
+  c.num_nodes = num_nodes;
+  c.cores_per_node = 4;  // m1.xlarge
+  c.node_read_mbps = 80.0;
+  c.node_write_mbps = 50.0;
+  c.network_mbps = 35.0;  // shared tenancy
+  return c;
+}
+
+ClusterConfig SingleMachine() {
+  ClusterConfig c;
+  c.name = "single";
+  c.num_nodes = 1;
+  c.cores_per_node = 8;
+  c.node_read_mbps = 120.0;
+  c.node_write_mbps = 80.0;
+  c.network_mbps = 0.0;
+  return c;
+}
+
+}  // namespace musketeer

@@ -1,0 +1,53 @@
+// Cluster model.
+//
+// Substitutes the paper's physical testbeds: a 100-node Amazon EC2 cluster of
+// m1.xlarge instances and a dedicated seven-machine local cluster, both with
+// a shared HDFS storage layer. The model captures what the engine simulators
+// need: node count and per-node streaming I/O / network bandwidth. Distributed
+// engines aggregate bandwidth across the nodes they use; single-machine
+// engines (Metis, GraphChi, serial C) get exactly one node's worth.
+
+#ifndef MUSKETEER_SRC_CLUSTER_CLUSTER_H_
+#define MUSKETEER_SRC_CLUSTER_CLUSTER_H_
+
+#include <algorithm>
+#include <string>
+
+#include "src/base/units.h"
+
+namespace musketeer {
+
+struct ClusterConfig {
+  std::string name;
+  int num_nodes = 1;
+  int cores_per_node = 4;
+  // Per-node HDFS streaming bandwidth (multi-threaded readers/writers).
+  double node_read_mbps = 100.0;
+  double node_write_mbps = 60.0;
+  // Per-node all-to-all shuffle bandwidth.
+  double network_mbps = 40.0;
+
+  // Aggregate read bandwidth (bytes/s) over `nodes` participating machines.
+  double ReadBandwidth(int nodes) const {
+    return MBps(node_read_mbps) * std::min(nodes, num_nodes);
+  }
+  double WriteBandwidth(int nodes) const {
+    return MBps(node_write_mbps) * std::min(nodes, num_nodes);
+  }
+  double ShuffleBandwidth(int nodes) const {
+    return MBps(network_mbps) * std::min(nodes, num_nodes);
+  }
+};
+
+// The dedicated seven-machine local cluster from §2.1 / §6.1.
+ClusterConfig LocalCluster();
+
+// EC2 m1.xlarge cluster of the given size (§2.2 / §6.1 uses 16 and 100).
+ClusterConfig Ec2Cluster(int num_nodes);
+
+// A single workstation, for serial / single-machine runs.
+ClusterConfig SingleMachine();
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_CLUSTER_CLUSTER_H_

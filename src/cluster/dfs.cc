@@ -1,0 +1,35 @@
+#include "src/cluster/dfs.h"
+
+#include <algorithm>
+
+namespace musketeer {
+
+void Dfs::Put(const std::string& name, TablePtr table) {
+  relations_[name] = std::move(table);
+}
+
+StatusOr<TablePtr> Dfs::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return NotFoundError("DFS relation '" + name + "' does not exist");
+  }
+  return it->second;
+}
+
+bool Dfs::Contains(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+void Dfs::Erase(const std::string& name) { relations_.erase(name); }
+
+std::vector<std::string> Dfs::ListRelations() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, table] : relations_) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace musketeer

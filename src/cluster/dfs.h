@@ -1,0 +1,54 @@
+// Simulated shared distributed filesystem (stands in for HDFS).
+//
+// All workflow inputs, outputs and *inter-job* intermediates live here, as in
+// the paper's deployment ("we use a shared HDFS as the storage layer").
+// Engines pull inputs from the DFS, push outputs back, and every system
+// boundary crossing therefore pays I/O — which is exactly what makes
+// combining back-ends a measurable trade-off (Fig. 9).
+
+#ifndef MUSKETEER_SRC_CLUSTER_DFS_H_
+#define MUSKETEER_SRC_CLUSTER_DFS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/units.h"
+#include "src/relational/table.h"
+
+namespace musketeer {
+
+class Dfs {
+ public:
+  // Stores (or replaces) a relation.
+  void Put(const std::string& name, TablePtr table);
+
+  // Fetches a relation; NotFound if absent.
+  StatusOr<TablePtr> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+  void Erase(const std::string& name);
+
+  std::vector<std::string> ListRelations() const;
+
+  // Aggregate statistics maintained by the engines (bytes moved through the
+  // DFS over a workflow's lifetime).
+  void RecordRead(Bytes bytes) { bytes_read_ += bytes; }
+  void RecordWrite(Bytes bytes) { bytes_written_ += bytes; }
+  Bytes bytes_read() const { return bytes_read_; }
+  Bytes bytes_written() const { return bytes_written_; }
+  void ResetStats() {
+    bytes_read_ = 0;
+    bytes_written_ = 0;
+  }
+
+ private:
+  std::unordered_map<std::string, TablePtr> relations_;
+  Bytes bytes_read_ = 0;
+  Bytes bytes_written_ = 0;
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_CLUSTER_DFS_H_

@@ -1,0 +1,152 @@
+#include "src/core/musketeer.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/base/logging.h"
+
+namespace musketeer {
+
+SchemaMap Musketeer::DfsSchemas() const {
+  SchemaMap out;
+  for (const std::string& name : dfs_->ListRelations()) {
+    auto table = dfs_->Get(name);
+    if (table.ok()) {
+      out[name] = (*table)->schema();
+    }
+  }
+  return out;
+}
+
+RelationSizes Musketeer::DfsSizes() const {
+  RelationSizes out;
+  for (const std::string& name : dfs_->ListRelations()) {
+    auto table = dfs_->Get(name);
+    if (table.ok()) {
+      out[name] = (*table)->nominal_bytes();
+    }
+  }
+  return out;
+}
+
+StatusOr<std::unique_ptr<Dag>> Musketeer::Lower(const WorkflowSpec& workflow,
+                                                bool optimize) const {
+  MUSKETEER_ASSIGN_OR_RETURN(std::unique_ptr<Dag> dag,
+                             ParseWorkflow(workflow.language, workflow.source));
+  if (!optimize) {
+    return dag;
+  }
+  return OptimizeDag(*dag, DfsSchemas());
+}
+
+StatusOr<RunResult> Musketeer::Run(const WorkflowSpec& workflow,
+                                   const RunOptions& options) {
+  // 1. Front-end translation to the IR.
+  MUSKETEER_ASSIGN_OR_RETURN(std::unique_ptr<Dag> dag,
+                             ParseWorkflow(workflow.language, workflow.source));
+  SchemaMap base_schemas = DfsSchemas();
+
+  RunResult result;
+
+  // 2. IR optimization.
+  if (options.optimize_ir) {
+    MUSKETEER_ASSIGN_OR_RETURN(
+        dag, OptimizeDag(*dag, base_schemas, {}, &result.optimizer_stats));
+  } else {
+    MUSKETEER_RETURN_IF_ERROR(dag->Validate());
+    MUSKETEER_RETURN_IF_ERROR(dag->InferSchemas(base_schemas).status());
+  }
+
+  // 3. Partitioning + automatic (or restricted) engine mapping.
+  CostModel model(options.cluster, options.history, workflow.id,
+                  options.conservative_first_run);
+  MUSKETEER_ASSIGN_OR_RETURN(std::vector<Bytes> sizes,
+                             model.PredictSizes(*dag, DfsSizes()));
+  PartitionOptions popts = options.partition;
+  if (popts.engines.empty()) {
+    popts.engines = options.engines;
+  }
+  MUSKETEER_ASSIGN_OR_RETURN(result.partitioning,
+                             PartitionDag(*dag, model, sizes, popts));
+
+  // 4. Code generation.
+  for (const JobAssignment& job : result.partitioning.jobs) {
+    MUSKETEER_ASSIGN_OR_RETURN(
+        JobPlan plan, BackendFor(job.engine)
+                          .GeneratePlan(*dag, job.ops, base_schemas,
+                                        options.codegen));
+    result.plans.push_back(std::move(plan));
+  }
+
+  // 5. Execution with critical-path scheduling: a job starts when every job
+  // producing one of its inputs has finished; independent jobs overlap.
+  Bytes read_before = dfs_->bytes_read();
+  Bytes written_before = dfs_->bytes_written();
+  std::unordered_map<std::string, SimSeconds> ready_at;  // relation -> time
+  SimSeconds makespan = 0;
+  for (size_t i = 0; i < result.plans.size(); ++i) {
+    const JobPlan& plan = result.plans[i];
+    SimSeconds start = 0;
+    for (const std::string& in : plan.inputs) {
+      auto it = ready_at.find(in);
+      if (it != ready_at.end()) {
+        start = std::max(start, it->second);
+      }
+    }
+    MUSKETEER_ASSIGN_OR_RETURN(JobResult jr,
+                               ExecuteJob(plan, options.cluster, dfs_));
+    MLOG_INFO << jr.detail;
+    SimSeconds finish = start + jr.makespan;
+    for (const std::string& out : plan.outputs) {
+      ready_at[out] = finish;
+    }
+    makespan = std::max(makespan, finish);
+    result.total_engine_time += jr.makespan;
+    result.job_results.push_back(std::move(jr));
+  }
+  result.makespan = makespan;
+  result.dfs_bytes_read = dfs_->bytes_read() - read_before;
+  result.dfs_bytes_written = dfs_->bytes_written() - written_before;
+
+  // 6. Collect the workflow's sink relations.
+  for (int sink : dag->Sinks()) {
+    const std::string& name = dag->node(sink).output;
+    auto table = dfs_->Get(name);
+    if (table.ok()) {
+      result.outputs[name] = *table;
+    }
+  }
+
+  // 7. Record observed sizes for future runs (§5.2 "workflow history"):
+  // every job-output relation plus the loop-body internals each engine
+  // observed at steady state.
+  if (options.history != nullptr) {
+    for (const JobPlan& plan : result.plans) {
+      for (const std::string& out : plan.outputs) {
+        auto table = dfs_->Get(out);
+        if (table.ok()) {
+          options.history->Record(workflow.id, out, (*table)->nominal_bytes());
+        }
+      }
+    }
+    for (const JobResult& jr : result.job_results) {
+      for (const auto& [relation, bytes] : jr.observed_sizes) {
+        options.history->Record(workflow.id, relation, bytes);
+      }
+    }
+  }
+  return result;
+}
+
+Status Musketeer::ProfileWorkflow(const WorkflowSpec& workflow,
+                                  const RunOptions& options,
+                                  HistoryStore* history) {
+  RunOptions profiling = options;
+  profiling.partition.enable_merging = false;
+  profiling.partition.force_dp = true;  // per-operator jobs; DP is instant
+  profiling.history = history;
+  return Run(workflow, profiling).status();
+}
+
+}  // namespace musketeer

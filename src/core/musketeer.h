@@ -1,0 +1,98 @@
+// The Musketeer workflow manager (§4, Figure 5).
+//
+// End-to-end pipeline: front-end source is parsed to the IR DAG, the IR is
+// optimized, the DAG is partitioned into back-end jobs with the cost
+// function (automatically choosing engines, or restricted to user-specified
+// ones), per-job code is generated, and the jobs execute on the simulated
+// cluster against the shared DFS. Independent jobs overlap; the workflow
+// makespan is the critical path through the job graph.
+//
+// Typical use:
+//   Dfs dfs;
+//   dfs.Put("edges", edge_table);
+//   Musketeer m(&dfs);
+//   WorkflowSpec wf{.id = "pagerank", .language = FrontendLanguage::kGas,
+//                   .source = kPageRankGas};
+//   auto result = m.Run(wf, {.cluster = Ec2Cluster(100)});
+//   // result->makespan, result->plans[i].generated_code, result->outputs...
+
+#ifndef MUSKETEER_SRC_CORE_MUSKETEER_H_
+#define MUSKETEER_SRC_CORE_MUSKETEER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/dfs.h"
+#include "src/engines/engine.h"
+#include "src/frontends/frontend.h"
+#include "src/ir/eval.h"
+#include "src/opt/passes.h"
+#include "src/scheduler/decision_tree.h"
+#include "src/scheduler/partitioner.h"
+
+namespace musketeer {
+
+struct WorkflowSpec {
+  std::string id;  // stable name; keys the history store
+  FrontendLanguage language = FrontendLanguage::kBeer;
+  std::string source;
+};
+
+struct RunOptions {
+  ClusterConfig cluster = LocalCluster();
+  // Engines the partitioner may use; empty = all seven (automatic mapping).
+  std::vector<EngineKind> engines;
+  CodeGenOptions codegen;
+  PartitionOptions partition;
+  bool optimize_ir = true;
+  // History store consulted by the cost model and updated with observed
+  // relation sizes after the run (when non-null).
+  HistoryStore* history = nullptr;
+  // First-run conservatism (§5.2): refuse to merge past generative
+  // operators whose output size history does not know yet.
+  bool conservative_first_run = false;
+};
+
+struct RunResult {
+  SimSeconds makespan = 0;          // critical path over the job graph
+  SimSeconds total_engine_time = 0; // sum of all job makespans
+  Partitioning partitioning;
+  std::vector<JobPlan> plans;            // one per partition job
+  std::vector<JobResult> job_results;
+  TableMap outputs;                      // the workflow's sink relations
+  Bytes dfs_bytes_read = 0;
+  Bytes dfs_bytes_written = 0;
+  OptimizeStats optimizer_stats;
+};
+
+class Musketeer {
+ public:
+  // `dfs` holds workflow inputs and receives outputs; not owned.
+  explicit Musketeer(Dfs* dfs) : dfs_(dfs) {}
+
+  // Parses and (optionally) optimizes a workflow without executing it.
+  StatusOr<std::unique_ptr<Dag>> Lower(const WorkflowSpec& workflow,
+                                       bool optimize = true) const;
+
+  // Full pipeline: parse, optimize, partition, generate, execute.
+  StatusOr<RunResult> Run(const WorkflowSpec& workflow,
+                          const RunOptions& options = {});
+
+  // Runs the workflow operator-by-operator (merging disabled) purely to
+  // populate `history` with every intermediate relation size — the paper's
+  // per-operator profiling run that yields "full history" (§6.7).
+  Status ProfileWorkflow(const WorkflowSpec& workflow, const RunOptions& options,
+                         HistoryStore* history);
+
+  // Schemas and nominal sizes of every relation currently in the DFS.
+  SchemaMap DfsSchemas() const;
+  RelationSizes DfsSizes() const;
+
+ private:
+  Dfs* dfs_;
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_CORE_MUSKETEER_H_

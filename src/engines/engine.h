@@ -1,0 +1,42 @@
+// Simulated execution engines.
+//
+// ExecuteJob runs a JobPlan against the DFS: it pulls the job's inputs,
+// executes the plan's sub-DAG on real data (all engines share the relational
+// kernel, so results are engine-independent and verified against the
+// reference interpreter by tests), pushes outputs back to the DFS, and
+// returns the simulated makespan charged according to the engine's
+// performance model (see src/backends/perf_model.cc for the calibration and
+// DESIGN.md for the substitution rationale).
+
+#ifndef MUSKETEER_SRC_ENGINES_ENGINE_H_
+#define MUSKETEER_SRC_ENGINES_ENGINE_H_
+
+#include <string>
+
+#include "src/backends/job.h"
+#include "src/backends/pricing.h"
+#include "src/cluster/dfs.h"
+
+namespace musketeer {
+
+struct JobResult {
+  SimSeconds makespan = 0;
+  Bytes bytes_pulled = 0;
+  Bytes bytes_pushed = 0;
+  int internal_jobs = 1;   // engine jobs actually run (MR loops spawn many)
+  int supersteps = 0;      // natively-run iterations
+  std::string detail;      // human-readable phase breakdown
+  // Observed nominal sizes of every relation the job computed, including
+  // loop-body internals at steady state — harvested into the history store
+  // so later cost estimates are exact (§5.2).
+  std::vector<std::pair<std::string, Bytes>> observed_sizes;
+};
+
+// Executes `plan` on `cluster`, reading inputs from and writing outputs to
+// `dfs`. On success the job's output relations are stored in the DFS.
+StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster,
+                               Dfs* dfs);
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_ENGINES_ENGINE_H_

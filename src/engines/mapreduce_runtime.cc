@@ -1,0 +1,555 @@
+#include "src/engines/mapreduce_runtime.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/backends/job.h"
+#include "src/relational/ops.h"
+
+namespace musketeer {
+
+namespace {
+
+// ---- task plumbing ---------------------------------------------------------
+
+// Contiguous input splits, one per map task.
+std::vector<std::vector<Row>> SplitRows(const std::vector<Row>& rows, int n) {
+  std::vector<std::vector<Row>> splits;
+  n = std::max(1, n);
+  size_t per = (rows.size() + n - 1) / std::max<size_t>(1, n);
+  per = std::max<size_t>(per, 1);
+  for (size_t start = 0; start < rows.size(); start += per) {
+    size_t end = std::min(rows.size(), start + per);
+    splits.emplace_back(rows.begin() + start, rows.begin() + end);
+  }
+  if (splits.empty()) {
+    splits.emplace_back();
+  }
+  return splits;
+}
+
+int PartitionOf(const Row& row, const std::vector<int>& key_cols, int reducers) {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  if (key_cols.empty()) {
+    return 0;  // global operators gather on one reducer
+  }
+  for (int c : key_cols) {
+    h ^= HashValue(row[c]) + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return static_cast<int>(h % static_cast<size_t>(reducers));
+}
+
+// Runs the map phase of one input: splits rows, applies `map_fn` per split
+// (fused row-wise work happens inside), and scatters output rows to reducer
+// buckets by key hash.
+using SplitFn = std::function<StatusOr<std::vector<Row>>(std::vector<Row> split)>;
+
+struct ShuffleBuckets {
+  // buckets[reducer] = rows destined for that reduce task.
+  std::vector<std::vector<Row>> buckets;
+};
+
+Status MapAndScatter(const std::vector<Row>& input, int num_mappers,
+                     int num_reducers, const std::vector<int>& key_cols,
+                     const SplitFn& map_fn, ShuffleBuckets* out,
+                     MapReduceStats* stats) {
+  out->buckets.resize(num_reducers);
+  for (std::vector<Row>& split : SplitRows(input, num_mappers)) {
+    ++stats->map_tasks;
+    MUSKETEER_ASSIGN_OR_RETURN(std::vector<Row> mapped, map_fn(std::move(split)));
+    stats->map_output_records += static_cast<int64_t>(mapped.size());
+    for (Row& row : mapped) {
+      out->buckets[PartitionOf(row, key_cols, num_reducers)].push_back(
+          std::move(row));
+    }
+  }
+  for (const auto& b : out->buckets) {
+    stats->shuffled_records += static_cast<int64_t>(b.size());
+  }
+  return OkStatus();
+}
+
+// ---- combiner support ------------------------------------------------------
+
+// Decomposes aggregations into partial (map-side) and final (reduce-side)
+// steps; AVG becomes (SUM, COUNT), COUNT becomes COUNT then SUM.
+struct CombinerPlan {
+  std::vector<AggSpec> partial;           // run on each map task's output
+  std::vector<int> partial_group;         // group columns in the input
+  // For final assembly: per original agg, indices of its partial columns
+  // (offset *after* the group columns in the partial schema).
+  struct FinalAgg {
+    AggFn fn;
+    int partial_a = 0;   // first partial column
+    int partial_b = -1;  // second (AVG count), -1 if unused
+  };
+  std::vector<FinalAgg> finals;
+};
+
+StatusOr<CombinerPlan> PlanCombiner(const std::vector<int>& group_cols,
+                                    const std::vector<NamedAgg>& aggs,
+                                    const Schema& in_schema) {
+  CombinerPlan plan;
+  plan.partial_group = group_cols;
+  int next = 0;
+  for (const NamedAgg& agg : aggs) {
+    int col = 0;
+    if (agg.fn != AggFn::kCount) {
+      auto idx = in_schema.IndexOf(agg.column);
+      if (!idx.has_value()) {
+        return InvalidArgumentError("AGG column '" + agg.column + "' missing");
+      }
+      col = *idx;
+    }
+    CombinerPlan::FinalAgg f;
+    f.fn = agg.fn;
+    switch (agg.fn) {
+      case AggFn::kSum:
+      case AggFn::kMin:
+      case AggFn::kMax:
+        plan.partial.push_back({agg.fn, col, agg.output_name});
+        f.partial_a = next++;
+        break;
+      case AggFn::kCount:
+        plan.partial.push_back({AggFn::kCount, col, agg.output_name});
+        f.partial_a = next++;
+        break;
+      case AggFn::kAvg:
+        plan.partial.push_back({AggFn::kSum, col, agg.output_name + "__sum"});
+        plan.partial.push_back({AggFn::kCount, col, agg.output_name + "__n"});
+        f.partial_a = next++;
+        f.partial_b = next++;
+        break;
+    }
+    plan.finals.push_back(f);
+  }
+  return plan;
+}
+
+// Merges combined partial rows on the reduce side into the final schema
+// produced by the reference GroupByAgg.
+StatusOr<Table> FinalizeCombined(const std::vector<Row>& partial_rows,
+                                 const CombinerPlan& plan,
+                                 const Schema& out_schema, size_t num_group) {
+  struct Acc {
+    Row group;
+    std::vector<double> sums;
+    std::vector<double> mins;
+    std::vector<double> maxs;
+  };
+  size_t num_partial = plan.partial.size();
+  std::unordered_map<Row, Acc, RowHash, RowEq> groups;
+  for (const Row& row : partial_rows) {
+    Row key(row.begin(), row.begin() + num_group);
+    Acc& acc = groups[key];
+    if (acc.sums.empty()) {
+      acc.group = key;
+      acc.sums.assign(num_partial, 0.0);
+      acc.mins.assign(num_partial, 1e300);
+      acc.maxs.assign(num_partial, -1e300);
+    }
+    for (size_t j = 0; j < num_partial; ++j) {
+      double v = AsDouble(row[num_group + j]);
+      acc.sums[j] += v;  // SUM/COUNT partials merge by summation
+      acc.mins[j] = std::min(acc.mins[j], v);
+      acc.maxs[j] = std::max(acc.maxs[j], v);
+    }
+  }
+  Table out(out_schema);
+  for (auto& [key, acc] : groups) {
+    Row row = acc.group;
+    for (size_t j = 0; j < plan.finals.size(); ++j) {
+      const CombinerPlan::FinalAgg& f = plan.finals[j];
+      double v = 0;
+      switch (f.fn) {
+        case AggFn::kSum:
+        case AggFn::kCount:
+          v = acc.sums[f.partial_a];
+          break;
+        case AggFn::kMin:
+          v = acc.mins[f.partial_a];
+          break;
+        case AggFn::kMax:
+          v = acc.maxs[f.partial_a];
+          break;
+        case AggFn::kAvg: {
+          double n = acc.sums[f.partial_b];
+          v = n > 0 ? acc.sums[f.partial_a] / n : 0;
+          break;
+        }
+      }
+      if (out_schema.field(num_group + j).type == FieldType::kInt64) {
+        row.push_back(static_cast<int64_t>(v));
+      } else {
+        row.push_back(v);
+      }
+    }
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+// ---- the runtime -----------------------------------------------------------
+
+class MapReduceRuntime {
+ public:
+  MapReduceRuntime(const MapReduceOptions& options, MapReduceStats* stats)
+      : options_(options), stats_(stats) {}
+
+  Status Run(const Dag& dag, const TableMap& base, TableMap* produced) {
+    TableMap relations = base;
+    std::vector<TablePtr> by_node(dag.num_nodes());
+    for (const OperatorNode& node : dag.nodes()) {
+      if (node.kind == OpKind::kInput) {
+        const auto& p = std::get<InputParams>(node.params);
+        auto it = relations.find(p.relation);
+        if (it == relations.end()) {
+          return NotFoundError("base relation '" + p.relation + "' not provided");
+        }
+        by_node[node.id] = it->second;
+        relations[node.output] = it->second;
+        continue;
+      }
+      if (node.kind == OpKind::kWhile) {
+        MUSKETEER_RETURN_IF_ERROR(
+            RunWhile(dag, node, base, by_node, &relations, produced));
+        continue;
+      }
+      std::vector<const Table*> inputs;
+      for (int i : node.inputs) {
+        inputs.push_back(by_node[i].get());
+      }
+      MUSKETEER_ASSIGN_OR_RETURN(Table result, RunOperator(node, inputs));
+      result.set_scale(OutputScale(node, inputs));
+      auto table = std::make_shared<Table>(std::move(result));
+      by_node[node.id] = table;
+      relations[node.output] = table;
+      (*produced)[node.output] = table;
+    }
+    return OkStatus();
+  }
+
+ private:
+  Status RunWhile(const Dag& dag, const OperatorNode& node, const TableMap& base,
+                  std::vector<TablePtr>& by_node, TableMap* relations,
+                  TableMap* produced) {
+    const auto& p = std::get<WhileParams>(node.params);
+    TableMap body_base = base;
+    for (size_t i = 0; i < p.bindings.size(); ++i) {
+      body_base[p.bindings[i].loop_input] = by_node[node.inputs[i]];
+    }
+    for (size_t i = p.bindings.size(); i < node.inputs.size(); ++i) {
+      body_base[dag.node(node.inputs[i]).output] = by_node[node.inputs[i]];
+    }
+    TableMap iter_out;
+    for (int64_t iter = 0; iter < p.iterations; ++iter) {
+      iter_out.clear();
+      MUSKETEER_RETURN_IF_ERROR(Run(*p.body, body_base, &iter_out));
+      bool stable = p.until_fixpoint;
+      for (const LoopBinding& b : p.bindings) {
+        TablePtr next = iter_out.at(b.body_output);
+        stable = stable && Table::SameContent(*body_base[b.loop_input], *next);
+        body_base[b.loop_input] = std::move(next);
+      }
+      if (stable) {
+        break;
+      }
+    }
+    TablePtr result = iter_out.at(p.result);
+    by_node[node.id] = result;
+    (*relations)[node.output] = result;
+    (*produced)[node.output] = result;
+    return OkStatus();
+  }
+
+  // Preserves the scale-propagation rules of the relational kernel.
+  static double OutputScale(const OperatorNode& node,
+                            const std::vector<const Table*>& inputs) {
+    switch (OpSizeBehavior(node.kind)) {
+      case SizeBehavior::kAdditive: {
+        double rows = 0;
+        double nominal = 0;
+        for (const Table* t : inputs) {
+          rows += static_cast<double>(t->num_rows());
+          nominal += t->nominal_rows();
+        }
+        return rows > 0 ? nominal / rows : inputs[0]->scale();
+      }
+      case SizeBehavior::kConstant:
+        return 1.0;
+      default: {
+        double scale = 0;
+        for (const Table* t : inputs) {
+          scale = std::max(scale, t->scale());
+        }
+        return scale;
+      }
+    }
+  }
+
+  StatusOr<Table> RunOperator(const OperatorNode& node,
+                              const std::vector<const Table*>& inputs) {
+    if (IsRowwiseOp(node.kind) || node.kind == OpKind::kUnion) {
+      return RunMapOnly(node, inputs);
+    }
+    if (!IsShuffleOp(node.kind)) {
+      // UDFs / black boxes run as one opaque task.
+      ++stats_->stages;
+      ++stats_->map_tasks;
+      return EvaluateOperator(node, inputs);
+    }
+    return RunShuffleStage(node, inputs);
+  }
+
+  // Map-only stage: row-wise operators (and UNION's concatenation) applied
+  // per input split; no shuffle.
+  StatusOr<Table> RunMapOnly(const OperatorNode& node,
+                             const std::vector<const Table*>& inputs) {
+    ++stats_->stages;
+    if (node.kind == OpKind::kUnion) {
+      stats_->map_tasks += 2;
+      return EvaluateOperator(node, inputs);
+    }
+    Table out;
+    bool first = true;
+    for (std::vector<Row>& split : SplitRows(inputs[0]->rows(), options_.num_mappers)) {
+      ++stats_->map_tasks;
+      Table split_table(inputs[0]->schema(), std::move(split));
+      split_table.set_scale(inputs[0]->scale());
+      MUSKETEER_ASSIGN_OR_RETURN(Table part,
+                                 EvaluateOperator(node, {&split_table}));
+      if (first) {
+        out = Table(part.schema());
+        first = false;
+      }
+      for (Row& row : *part.mutable_rows()) {
+        out.AddRow(std::move(row));
+      }
+    }
+    return out;
+  }
+
+  StatusOr<Table> RunShuffleStage(const OperatorNode& node,
+                                  const std::vector<const Table*>& inputs) {
+    ++stats_->stages;
+    switch (node.kind) {
+      case OpKind::kGroupBy:
+        return RunGroupBy(node, *inputs[0]);
+      case OpKind::kJoin:
+        return RunJoin(node, *inputs[0], *inputs[1]);
+      case OpKind::kDistinct:
+      case OpKind::kIntersect:
+      case OpKind::kDifference:
+        return RunSetOp(node, inputs);
+      default:
+        return RunGlobal(node, inputs);
+    }
+  }
+
+  StatusOr<Table> RunGroupBy(const OperatorNode& node, const Table& in) {
+    const auto& p = std::get<GroupByParams>(node.params);
+    std::vector<int> group_cols;
+    for (const std::string& name : p.group_columns) {
+      auto idx = in.schema().IndexOf(name);
+      if (!idx.has_value()) {
+        return InvalidArgumentError("GROUP BY column '" + name + "' missing");
+      }
+      group_cols.push_back(*idx);
+    }
+    // Output schema, computed cheaply on an empty input.
+    Table empty_in(in.schema());
+    MUSKETEER_ASSIGN_OR_RETURN(Table schema_probe,
+                               EvaluateOperator(node, {&empty_in}));
+    const Schema& out_schema = schema_probe.schema();
+
+    if (!options_.use_combiners) {
+      // Plain path: scatter raw rows by group key, reduce with the kernel.
+      ShuffleBuckets buckets;
+      MUSKETEER_RETURN_IF_ERROR(MapAndScatter(
+          in.rows(), options_.num_mappers, options_.num_reducers, group_cols,
+          [](std::vector<Row> split) { return split; }, &buckets, stats_));
+      Table out(out_schema);
+      for (std::vector<Row>& bucket : buckets.buckets) {
+        ++stats_->reduce_tasks;
+        if (bucket.empty()) {
+          continue;  // empty partitions contribute nothing
+        }
+        Table part_in(in.schema(), std::move(bucket));
+        MUSKETEER_ASSIGN_OR_RETURN(Table part, EvaluateOperator(node, {&part_in}));
+        for (Row& row : *part.mutable_rows()) {
+          out.AddRow(std::move(row));
+        }
+      }
+      if (group_cols.empty() && out.num_rows() == 0) {
+        return EvaluateOperator(node, {&in});  // global agg over empty input
+      }
+      return out;
+    }
+
+    // Combiner path: per-map partial aggregation, reduce merges partials.
+    // Partial rows lead with the group columns.
+    MUSKETEER_ASSIGN_OR_RETURN(CombinerPlan plan,
+                               PlanCombiner(group_cols, p.aggs, in.schema()));
+    std::vector<int> partial_key_cols(group_cols.size());
+    for (size_t i = 0; i < group_cols.size(); ++i) {
+      partial_key_cols[i] = static_cast<int>(i);
+    }
+    ShuffleBuckets buckets;
+    Schema in_schema = in.schema();
+    MapReduceStats* stats = stats_;
+    MUSKETEER_RETURN_IF_ERROR(MapAndScatter(
+        in.rows(), options_.num_mappers, options_.num_reducers, partial_key_cols,
+        [&](std::vector<Row> split) -> StatusOr<std::vector<Row>> {
+          if (split.empty()) {
+            return std::vector<Row>{};
+          }
+          Table split_table(in_schema, std::move(split));
+          MUSKETEER_ASSIGN_OR_RETURN(
+              Table partial, GroupByAgg(split_table, group_cols, plan.partial));
+          stats->combined_output_records +=
+              static_cast<int64_t>(partial.num_rows());
+          return *partial.mutable_rows();
+        },
+        &buckets, stats_));
+
+    Table out(out_schema);
+    for (std::vector<Row>& bucket : buckets.buckets) {
+      ++stats_->reduce_tasks;
+      if (bucket.empty()) {
+        continue;
+      }
+      MUSKETEER_ASSIGN_OR_RETURN(
+          Table part, FinalizeCombined(bucket, plan, out_schema, group_cols.size()));
+      for (Row& row : *part.mutable_rows()) {
+        out.AddRow(std::move(row));
+      }
+    }
+    if (group_cols.empty() && out.num_rows() == 0) {
+      return EvaluateOperator(node, {&in});
+    }
+    return out;
+  }
+
+  StatusOr<Table> RunJoin(const OperatorNode& node, const Table& left,
+                          const Table& right) {
+    const auto& p = std::get<JoinParams>(node.params);
+    auto li = left.schema().IndexOf(p.left_key);
+    auto ri = right.schema().IndexOf(p.right_key);
+    if (!li.has_value() || !ri.has_value()) {
+      return InvalidArgumentError("JOIN key missing in MapReduce stage");
+    }
+    ShuffleBuckets lbuckets;
+    ShuffleBuckets rbuckets;
+    MUSKETEER_RETURN_IF_ERROR(
+        MapAndScatter(left.rows(), options_.num_mappers, options_.num_reducers,
+                      {*li}, [](std::vector<Row> s) { return s; }, &lbuckets,
+                      stats_));
+    MUSKETEER_RETURN_IF_ERROR(
+        MapAndScatter(right.rows(), options_.num_mappers, options_.num_reducers,
+                      {*ri}, [](std::vector<Row> s) { return s; }, &rbuckets,
+                      stats_));
+    Table out;
+    bool first = true;
+    for (int r = 0; r < options_.num_reducers; ++r) {
+      ++stats_->reduce_tasks;
+      Table l(left.schema(), std::move(lbuckets.buckets[r]));
+      Table rt(right.schema(), std::move(rbuckets.buckets[r]));
+      MUSKETEER_ASSIGN_OR_RETURN(Table part, HashJoin(l, rt, *li, *ri));
+      if (first) {
+        out = Table(part.schema());
+        first = false;
+      }
+      for (Row& row : *part.mutable_rows()) {
+        out.AddRow(std::move(row));
+      }
+    }
+    return out;
+  }
+
+  StatusOr<Table> RunSetOp(const OperatorNode& node,
+                           const std::vector<const Table*>& inputs) {
+    // Whole-row keys: co-partition all inputs and apply the kernel per
+    // reducer (identical rows meet on the same reducer).
+    std::vector<int> key_cols;
+    for (size_t c = 0; c < inputs[0]->schema().num_fields(); ++c) {
+      key_cols.push_back(static_cast<int>(c));
+    }
+    std::vector<ShuffleBuckets> buckets(inputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if (inputs[i]->schema().num_fields() != inputs[0]->schema().num_fields()) {
+        return InvalidArgumentError("set-operation arity mismatch");
+      }
+      MUSKETEER_RETURN_IF_ERROR(
+          MapAndScatter(inputs[i]->rows(), options_.num_mappers,
+                        options_.num_reducers, key_cols,
+                        [](std::vector<Row> s) { return s; }, &buckets[i],
+                        stats_));
+    }
+    Table out(inputs[0]->schema());
+    for (int r = 0; r < options_.num_reducers; ++r) {
+      ++stats_->reduce_tasks;
+      std::vector<Table> parts;
+      std::vector<const Table*> part_ptrs;
+      for (size_t i = 0; i < inputs.size(); ++i) {
+        parts.emplace_back(inputs[i]->schema(), std::move(buckets[i].buckets[r]));
+      }
+      for (const Table& t : parts) {
+        part_ptrs.push_back(&t);
+      }
+      MUSKETEER_ASSIGN_OR_RETURN(Table part, EvaluateOperator(node, part_ptrs));
+      for (Row& row : *part.mutable_rows()) {
+        out.AddRow(std::move(row));
+      }
+    }
+    return out;
+  }
+
+  // Global operators (AGG, MAX, MIN, TOP-N, SORT, CROSS JOIN): a map-side
+  // pre-reduction where valid, then a single reduce task.
+  StatusOr<Table> RunGlobal(const OperatorNode& node,
+                            const std::vector<const Table*>& inputs) {
+    bool pre_reducible = node.kind == OpKind::kMax || node.kind == OpKind::kMin ||
+                         node.kind == OpKind::kTopN;
+    if (pre_reducible && options_.use_combiners) {
+      Table gathered(inputs[0]->schema());
+      for (std::vector<Row>& split :
+           SplitRows(inputs[0]->rows(), options_.num_mappers)) {
+        ++stats_->map_tasks;
+        Table split_table(inputs[0]->schema(), std::move(split));
+        if (split_table.num_rows() == 0) {
+          continue;
+        }
+        MUSKETEER_ASSIGN_OR_RETURN(Table part,
+                                   EvaluateOperator(node, {&split_table}));
+        stats_->combined_output_records += static_cast<int64_t>(part.num_rows());
+        for (Row& row : *part.mutable_rows()) {
+          gathered.AddRow(std::move(row));
+        }
+      }
+      ++stats_->reduce_tasks;
+      stats_->shuffled_records += static_cast<int64_t>(gathered.num_rows());
+      return EvaluateOperator(node, {&gathered});
+    }
+    ++stats_->map_tasks;
+    ++stats_->reduce_tasks;
+    for (const Table* t : inputs) {
+      stats_->shuffled_records += static_cast<int64_t>(t->num_rows());
+    }
+    return EvaluateOperator(node, inputs);
+  }
+
+  MapReduceOptions options_;
+  MapReduceStats* stats_;
+};
+
+}  // namespace
+
+StatusOr<MapReduceResult> ExecuteViaMapReduce(const Dag& dag, const TableMap& base,
+                                              const MapReduceOptions& options) {
+  MapReduceResult result;
+  MapReduceRuntime runtime(options, &result.stats);
+  MUSKETEER_RETURN_IF_ERROR(runtime.Run(dag, base, &result.relations));
+  return result;
+}
+
+}  // namespace musketeer

@@ -1,0 +1,333 @@
+#include "src/engines/rdd_runtime.h"
+
+#include <algorithm>
+
+#include "src/backends/job.h"
+#include "src/relational/ops.h"
+
+namespace musketeer {
+
+namespace {
+
+// An in-memory partitioned dataset.
+struct Rdd {
+  Schema schema;
+  std::vector<std::vector<Row>> partitions;
+  double scale = 1.0;
+
+  size_t TotalRows() const {
+    size_t n = 0;
+    for (const auto& p : partitions) {
+      n += p.size();
+    }
+    return n;
+  }
+};
+
+Rdd Parallelize(const Table& table, int num_partitions) {
+  Rdd rdd;
+  rdd.schema = table.schema();
+  rdd.scale = table.scale();
+  rdd.partitions.resize(std::max(1, num_partitions));
+  size_t i = 0;
+  for (const Row& row : table.rows()) {
+    rdd.partitions[i++ % rdd.partitions.size()].push_back(row);
+  }
+  return rdd;
+}
+
+Table Collect(const Rdd& rdd) {
+  Table out(rdd.schema);
+  out.set_scale(rdd.scale);
+  for (const auto& partition : rdd.partitions) {
+    for (const Row& row : partition) {
+      out.AddRow(row);
+    }
+  }
+  return out;
+}
+
+size_t KeyHash(const Row& row, const std::vector<int>& cols) {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (int c : cols) {
+    h ^= HashValue(row[c]) + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+class RddRuntime {
+ public:
+  RddRuntime(const RddOptions& options, RddStats* stats)
+      : p_(std::max(1, options.num_partitions)), stats_(stats) {}
+
+  Status Run(const Dag& dag, const TableMap& base, TableMap* produced) {
+    TableMap relations = base;
+    std::vector<std::shared_ptr<Rdd>> by_node(dag.num_nodes());
+    for (const OperatorNode& node : dag.nodes()) {
+      if (node.kind == OpKind::kInput) {
+        const auto& p = std::get<InputParams>(node.params);
+        auto it = relations.find(p.relation);
+        if (it == relations.end()) {
+          return NotFoundError("base relation '" + p.relation + "' not provided");
+        }
+        by_node[node.id] = std::make_shared<Rdd>(Parallelize(*it->second, p_));
+        continue;
+      }
+      if (node.kind == OpKind::kWhile) {
+        const auto& wp = std::get<WhileParams>(node.params);
+        TableMap body_base = base;
+        for (size_t i = 0; i < wp.bindings.size(); ++i) {
+          body_base[wp.bindings[i].loop_input] =
+              std::make_shared<Table>(Collect(*by_node[node.inputs[i]]));
+        }
+        for (size_t i = wp.bindings.size(); i < node.inputs.size(); ++i) {
+          body_base[dag.node(node.inputs[i]).output] =
+              std::make_shared<Table>(Collect(*by_node[node.inputs[i]]));
+        }
+        TableMap iter_out;
+        for (int64_t iter = 0; iter < wp.iterations; ++iter) {
+          iter_out.clear();
+          MUSKETEER_RETURN_IF_ERROR(Run(*wp.body, body_base, &iter_out));
+          bool stable = wp.until_fixpoint;
+          for (const LoopBinding& b : wp.bindings) {
+            TablePtr next = iter_out.at(b.body_output);
+            stable = stable && Table::SameContent(*body_base[b.loop_input], *next);
+            body_base[b.loop_input] = std::move(next);
+          }
+          if (stable) {
+            break;
+          }
+        }
+        TablePtr result = iter_out.at(wp.result);
+        by_node[node.id] = std::make_shared<Rdd>(Parallelize(*result, p_));
+        (*produced)[node.output] = result;
+        relations[node.output] = result;
+        continue;
+      }
+
+      std::vector<const Rdd*> inputs;
+      for (int i : node.inputs) {
+        inputs.push_back(by_node[i].get());
+      }
+      MUSKETEER_ASSIGN_OR_RETURN(Rdd result, RunOperator(node, inputs));
+      // Nominal-scale propagation mirrors the kernel's rules.
+      result.scale = OutputScale(node, inputs);
+      auto rdd = std::make_shared<Rdd>(std::move(result));
+      by_node[node.id] = rdd;
+      auto table = std::make_shared<Table>(Collect(*rdd));
+      (*produced)[node.output] = table;
+      relations[node.output] = table;
+    }
+    return OkStatus();
+  }
+
+ private:
+  static double OutputScale(const OperatorNode& node,
+                            const std::vector<const Rdd*>& inputs) {
+    switch (OpSizeBehavior(node.kind)) {
+      case SizeBehavior::kAdditive: {
+        double rows = 0;
+        double nominal = 0;
+        for (const Rdd* r : inputs) {
+          rows += static_cast<double>(r->TotalRows());
+          nominal += static_cast<double>(r->TotalRows()) * r->scale;
+        }
+        return rows > 0 ? nominal / rows : inputs[0]->scale;
+      }
+      case SizeBehavior::kConstant:
+        return 1.0;
+      default: {
+        double scale = 0;
+        for (const Rdd* r : inputs) {
+          scale = std::max(scale, r->scale);
+        }
+        return scale;
+      }
+    }
+  }
+
+  StatusOr<Rdd> RunOperator(const OperatorNode& node,
+                            const std::vector<const Rdd*>& inputs) {
+    if (IsRowwiseOp(node.kind)) {
+      return RunNarrow(node, *inputs[0]);
+    }
+    if (node.kind == OpKind::kUnion) {
+      return RunUnion(*inputs[0], *inputs[1]);
+    }
+    if (node.kind == OpKind::kGroupBy) {
+      return RunKeyed(node, inputs, GroupKeyCols(node, inputs[0]->schema));
+    }
+    if (node.kind == OpKind::kJoin) {
+      return RunJoin(node, *inputs[0], *inputs[1]);
+    }
+    if (node.kind == OpKind::kDistinct || node.kind == OpKind::kIntersect ||
+        node.kind == OpKind::kDifference) {
+      std::vector<int> all_cols;
+      for (size_t c = 0; c < inputs[0]->schema.num_fields(); ++c) {
+        all_cols.push_back(static_cast<int>(c));
+      }
+      return RunKeyed(node, inputs, all_cols);
+    }
+    // Global operators (AGG, MAX, MIN, TOP-N, SORT, CROSS JOIN, UDF):
+    // collect to the driver and apply the kernel — the single-partition path.
+    ++stats_->wide_stages;
+    std::vector<Table> collected;
+    std::vector<const Table*> ptrs;
+    for (const Rdd* r : inputs) {
+      stats_->shuffled_records += static_cast<int64_t>(r->TotalRows());
+      collected.push_back(Collect(*r));
+    }
+    for (const Table& t : collected) {
+      ptrs.push_back(&t);
+    }
+    MUSKETEER_ASSIGN_OR_RETURN(Table out, EvaluateOperator(node, ptrs));
+    return Parallelize(out, 1);
+  }
+
+  // Narrow dependency: apply per partition, no data movement.
+  StatusOr<Rdd> RunNarrow(const OperatorNode& node, const Rdd& in) {
+    Rdd out;
+    out.partitions.resize(in.partitions.size());
+    bool schema_set = false;
+    for (size_t i = 0; i < in.partitions.size(); ++i) {
+      ++stats_->narrow_tasks;
+      Table part(in.schema, in.partitions[i]);
+      MUSKETEER_ASSIGN_OR_RETURN(Table result, EvaluateOperator(node, {&part}));
+      if (!schema_set) {
+        out.schema = result.schema();
+        schema_set = true;
+      }
+      out.partitions[i] = std::move(*result.mutable_rows());
+    }
+    return out;
+  }
+
+  StatusOr<Rdd> RunUnion(const Rdd& a, const Rdd& b) {
+    if (a.schema.num_fields() != b.schema.num_fields()) {
+      return InvalidArgumentError("UNION arity mismatch");
+    }
+    Rdd out;
+    out.schema = a.schema;
+    out.partitions = a.partitions;
+    out.partitions.insert(out.partitions.end(), b.partitions.begin(),
+                          b.partitions.end());
+    stats_->narrow_tasks += static_cast<int>(out.partitions.size());
+    return out;
+  }
+
+  static std::vector<int> GroupKeyCols(const OperatorNode& node,
+                                       const Schema& schema) {
+    std::vector<int> cols;
+    for (const std::string& name :
+         std::get<GroupByParams>(node.params).group_columns) {
+      auto idx = schema.IndexOf(name);
+      if (idx.has_value()) {
+        cols.push_back(*idx);
+      }
+    }
+    return cols;
+  }
+
+  // Hash-repartitions `in` by `cols` into p_ partitions.
+  std::vector<std::vector<Row>> Repartition(const Rdd& in,
+                                            const std::vector<int>& cols) {
+    ++stats_->wide_stages;
+    std::vector<std::vector<Row>> out(p_);
+    for (const auto& partition : in.partitions) {
+      for (const Row& row : partition) {
+        out[KeyHash(row, cols) % static_cast<size_t>(p_)].push_back(row);
+      }
+      stats_->shuffled_records += static_cast<int64_t>(partition.size());
+    }
+    return out;
+  }
+
+  // Wide dependency with key-local semantics: repartition every input by the
+  // operator's key, apply the kernel per co-partition.
+  StatusOr<Rdd> RunKeyed(const OperatorNode& node,
+                         const std::vector<const Rdd*>& inputs,
+                         const std::vector<int>& key_cols) {
+    if (key_cols.empty()) {
+      // Global aggregation: single partition.
+      ++stats_->wide_stages;
+      std::vector<Table> collected;
+      std::vector<const Table*> ptrs;
+      for (const Rdd* r : inputs) {
+        stats_->shuffled_records += static_cast<int64_t>(r->TotalRows());
+        collected.push_back(Collect(*r));
+      }
+      for (const Table& t : collected) {
+        ptrs.push_back(&t);
+      }
+      MUSKETEER_ASSIGN_OR_RETURN(Table out, EvaluateOperator(node, ptrs));
+      return Parallelize(out, 1);
+    }
+    std::vector<std::vector<std::vector<Row>>> parts;
+    for (const Rdd* r : inputs) {
+      parts.push_back(Repartition(*r, key_cols));
+    }
+    Rdd out;
+    out.partitions.resize(p_);
+    bool schema_set = false;
+    for (int i = 0; i < p_; ++i) {
+      std::vector<Table> tables;
+      std::vector<const Table*> ptrs;
+      for (size_t j = 0; j < inputs.size(); ++j) {
+        tables.emplace_back(inputs[j]->schema, std::move(parts[j][i]));
+      }
+      for (const Table& t : tables) {
+        ptrs.push_back(&t);
+      }
+      MUSKETEER_ASSIGN_OR_RETURN(Table result, EvaluateOperator(node, ptrs));
+      if (!schema_set) {
+        out.schema = result.schema();
+        schema_set = true;
+      }
+      out.partitions[i] = std::move(*result.mutable_rows());
+    }
+    return out;
+  }
+
+  StatusOr<Rdd> RunJoin(const OperatorNode& node, const Rdd& left,
+                        const Rdd& right) {
+    const auto& p = std::get<JoinParams>(node.params);
+    auto li = left.schema.IndexOf(p.left_key);
+    auto ri = right.schema.IndexOf(p.right_key);
+    if (!li.has_value() || !ri.has_value()) {
+      return InvalidArgumentError("JOIN key missing in RDD stage");
+    }
+    std::vector<std::vector<Row>> lparts =
+        Repartition(left, {*li});
+    std::vector<std::vector<Row>> rparts =
+        Repartition(right, {*ri});
+    Rdd out;
+    out.partitions.resize(p_);
+    bool schema_set = false;
+    for (int i = 0; i < p_; ++i) {
+      Table l(left.schema, std::move(lparts[i]));
+      Table r(right.schema, std::move(rparts[i]));
+      MUSKETEER_ASSIGN_OR_RETURN(Table result, HashJoin(l, r, *li, *ri));
+      if (!schema_set) {
+        out.schema = result.schema();
+        schema_set = true;
+      }
+      out.partitions[i] = std::move(*result.mutable_rows());
+    }
+    return out;
+  }
+
+  int p_;
+  RddStats* stats_;
+};
+
+}  // namespace
+
+StatusOr<RddResult> ExecuteViaRdd(const Dag& dag, const TableMap& base,
+                                  const RddOptions& options) {
+  RddResult result;
+  RddRuntime runtime(options, &result.stats);
+  MUSKETEER_RETURN_IF_ERROR(runtime.Run(dag, base, &result.relations));
+  return result;
+}
+
+}  // namespace musketeer

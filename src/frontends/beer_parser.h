@@ -1,0 +1,48 @@
+// BEER: Musketeer's own SQL-like workflow DSL with support for iteration.
+//
+// A workflow is a sequence of statements, each defining one named relation:
+//
+//   name = SELECT col[, col...] FROM rel [WHERE expr];       -- '*' keeps all
+//   name = JOIN relA, relB ON relA.k = relB.k;
+//   name = CROSSJOIN relA, relB;
+//   name = UNION relA, relB;
+//   name = INTERSECT relA, relB;
+//   name = DIFFERENCE relA, relB;
+//   name = DISTINCT rel;
+//   name = AGG fn(col) AS out[, fn(col) AS out...] FROM rel
+//          [GROUP BY col[, col...]];             -- fn in SUM,COUNT,MIN,MAX,AVG
+//   name = MAP expr AS out[, expr AS out...] FROM rel;       -- column algebra
+//   name = MAX(col) FROM rel;                                -- extreme row
+//   name = MIN(col) FROM rel;
+//   name = TOPN(col, n) FROM rel;
+//   name = SORT rel BY col[, col...];
+//
+// Iteration (the WHILE operator, §4.2):
+//
+//   WHILE <n> LOOP lv = init UPDATE next [, lv2 = init2 UPDATE next2] {
+//     <statements using lv, lv2 and outer relations>
+//   } YIELD rel AS name;
+//
+// Each iteration runs the body; afterwards every loop variable `lv` is
+// rebound to the body relation `next`. After <n> iterations, the body
+// relation `rel` becomes visible to the rest of the workflow as `name`.
+//
+// Relations referenced before being defined become workflow inputs (base
+// relations read from the DFS).
+
+#ifndef MUSKETEER_SRC_FRONTENDS_BEER_PARSER_H_
+#define MUSKETEER_SRC_FRONTENDS_BEER_PARSER_H_
+
+#include "src/frontends/frontend.h"
+
+namespace musketeer {
+
+class BeerFrontend : public Frontend {
+ public:
+  FrontendLanguage language() const override { return FrontendLanguage::kBeer; }
+  StatusOr<std::unique_ptr<Dag>> Parse(const std::string& source) const override;
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_FRONTENDS_BEER_PARSER_H_

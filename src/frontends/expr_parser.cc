@@ -1,0 +1,134 @@
+#include "src/frontends/expr_parser.h"
+
+namespace musketeer {
+
+namespace {
+
+StatusOr<ExprPtr> ParseOr(TokenCursor* c);
+
+StatusOr<ExprPtr> ParsePrimary(TokenCursor* c) {
+  const Token& t = c->Peek();
+  switch (t.kind) {
+    case TokenKind::kInteger: {
+      int64_t v = t.int_value;
+      c->Next();
+      return Expr::Literal(v);
+    }
+    case TokenKind::kDouble: {
+      double v = t.double_value;
+      c->Next();
+      return Expr::Literal(v);
+    }
+    case TokenKind::kString: {
+      std::string v = t.text;
+      c->Next();
+      return Expr::Literal(std::move(v));
+    }
+    case TokenKind::kIdentifier: {
+      std::string name = c->Next().text;
+      // Qualified reference: rel.col -> col.
+      if (c->Peek().IsSymbol(".") && c->Peek(1).kind == TokenKind::kIdentifier) {
+        c->Next();
+        name = c->Next().text;
+      }
+      return Expr::Column(std::move(name));
+    }
+    case TokenKind::kSymbol:
+      if (c->ConsumeSymbol("(")) {
+        MUSKETEER_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr(c));
+        MUSKETEER_RETURN_IF_ERROR(c->ExpectSymbol(")"));
+        return inner;
+      }
+      if (c->ConsumeSymbol("-")) {
+        MUSKETEER_ASSIGN_OR_RETURN(ExprPtr inner, ParsePrimary(c));
+        return Expr::Binary(BinOp::kSub, Expr::Literal(static_cast<int64_t>(0)),
+                            std::move(inner));
+      }
+      break;
+    default:
+      break;
+  }
+  return c->ErrorHere("expected expression");
+}
+
+StatusOr<ExprPtr> ParseMul(TokenCursor* c) {
+  MUSKETEER_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary(c));
+  while (true) {
+    BinOp op;
+    if (c->Peek().IsSymbol("*")) {
+      op = BinOp::kMul;
+    } else if (c->Peek().IsSymbol("/")) {
+      op = BinOp::kDiv;
+    } else {
+      return lhs;
+    }
+    c->Next();
+    MUSKETEER_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary(c));
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+StatusOr<ExprPtr> ParseAdd(TokenCursor* c) {
+  MUSKETEER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMul(c));
+  while (true) {
+    BinOp op;
+    if (c->Peek().IsSymbol("+")) {
+      op = BinOp::kAdd;
+    } else if (c->Peek().IsSymbol("-")) {
+      op = BinOp::kSub;
+    } else {
+      return lhs;
+    }
+    c->Next();
+    MUSKETEER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMul(c));
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+StatusOr<ExprPtr> ParseCmp(TokenCursor* c) {
+  MUSKETEER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdd(c));
+  BinOp op;
+  const Token& t = c->Peek();
+  if (t.IsSymbol("=") || t.IsSymbol("==")) {
+    op = BinOp::kEq;
+  } else if (t.IsSymbol("!=")) {
+    op = BinOp::kNe;
+  } else if (t.IsSymbol("<")) {
+    op = BinOp::kLt;
+  } else if (t.IsSymbol("<=")) {
+    op = BinOp::kLe;
+  } else if (t.IsSymbol(">")) {
+    op = BinOp::kGt;
+  } else if (t.IsSymbol(">=")) {
+    op = BinOp::kGe;
+  } else {
+    return lhs;
+  }
+  c->Next();
+  MUSKETEER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdd(c));
+  return Expr::Binary(op, std::move(lhs), std::move(rhs));
+}
+
+StatusOr<ExprPtr> ParseAnd(TokenCursor* c) {
+  MUSKETEER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseCmp(c));
+  while (c->ConsumeKeyword("AND")) {
+    MUSKETEER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseCmp(c));
+    lhs = Expr::Binary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+StatusOr<ExprPtr> ParseOr(TokenCursor* c) {
+  MUSKETEER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd(c));
+  while (c->ConsumeKeyword("OR")) {
+    MUSKETEER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd(c));
+    lhs = Expr::Binary(BinOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+}  // namespace
+
+StatusOr<ExprPtr> ParseExpression(TokenCursor* cursor) { return ParseOr(cursor); }
+
+}  // namespace musketeer

@@ -1,0 +1,19 @@
+// Shared scalar-expression parser (WHERE clauses, GAS apply chains, Lindi
+// lambda bodies). Standard precedence climbing:
+//   OR < AND < comparisons < additive < multiplicative < primary.
+// Qualified column references ("rel.col") resolve to the bare column name;
+// the relational layer keeps column names unique within a schema.
+
+#ifndef MUSKETEER_SRC_FRONTENDS_EXPR_PARSER_H_
+#define MUSKETEER_SRC_FRONTENDS_EXPR_PARSER_H_
+
+#include "src/frontends/lexer.h"
+#include "src/ir/expr.h"
+
+namespace musketeer {
+
+StatusOr<ExprPtr> ParseExpression(TokenCursor* cursor);
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_FRONTENDS_EXPR_PARSER_H_

@@ -1,0 +1,271 @@
+#include "src/frontends/gas_parser.h"
+
+#include "src/base/strings.h"
+#include "src/frontends/expr_parser.h"
+#include "src/frontends/lexer.h"
+
+namespace musketeer {
+
+namespace {
+
+// Column-name conventions of the GAS front-end.
+constexpr char kIdCol[] = "id";
+constexpr char kValueCol[] = "vertex_value";
+constexpr char kDegreeCol[] = "vertex_degree";
+constexpr char kSrcCol[] = "src";
+constexpr char kDstCol[] = "dst";
+constexpr char kMsgCol[] = "msg";
+constexpr char kAccCol[] = "acc";
+
+struct GasSpec {
+  AggFn gather = AggFn::kSum;
+  // Apply chain expressed over the gathered accumulator (column `acc`).
+  ExprPtr apply;
+  // Scatter expression over the joined (edge, vertex-state) row.
+  ExprPtr scatter;
+  int64_t iterations = 1;
+  std::string vertices = "vertices";
+  std::string edges = "edges";
+  std::string result = "gas_result";
+};
+
+std::optional<BinOp> ArithFromKeyword(const Token& t) {
+  if (t.IsKeyword("SUM")) {
+    return BinOp::kAdd;
+  }
+  if (t.IsKeyword("SUB")) {
+    return BinOp::kSub;
+  }
+  if (t.IsKeyword("MUL")) {
+    return BinOp::kMul;
+  }
+  if (t.IsKeyword("DIV")) {
+    return BinOp::kDiv;
+  }
+  return std::nullopt;
+}
+
+class GasParser {
+ public:
+  explicit GasParser(TokenCursor* cursor) : cursor_(*cursor) {}
+
+  StatusOr<GasSpec> ParseSpec() {
+    GasSpec spec;
+    bool saw_gather = false;
+    bool saw_apply = false;
+    bool saw_scatter = false;
+    bool saw_stop = false;
+    while (!cursor_.AtEnd()) {
+      if (cursor_.ConsumeKeyword("GATHER")) {
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("="));
+        MUSKETEER_RETURN_IF_ERROR(ParseGather(&spec));
+        saw_gather = true;
+      } else if (cursor_.ConsumeKeyword("APPLY")) {
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("="));
+        MUSKETEER_ASSIGN_OR_RETURN(spec.apply, ParseChain(Expr::Column(kAccCol)));
+        saw_apply = true;
+      } else if (cursor_.ConsumeKeyword("SCATTER")) {
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("="));
+        MUSKETEER_ASSIGN_OR_RETURN(spec.scatter, ParseChain(Expr::Column(kValueCol)));
+        saw_scatter = true;
+      } else if (cursor_.ConsumeKeyword("ITERATION_STOP")) {
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("="));
+        MUSKETEER_RETURN_IF_ERROR(ParseIterationStop(&spec));
+        saw_stop = true;
+      } else if (cursor_.ConsumeKeyword("ITERATION")) {
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("="));
+        MUSKETEER_RETURN_IF_ERROR(ParseIterationUpdate());
+      } else if (cursor_.ConsumeKeyword("VERTICES")) {
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("="));
+        MUSKETEER_ASSIGN_OR_RETURN(spec.vertices,
+                                   cursor_.ExpectIdentifier("relation name"));
+      } else if (cursor_.ConsumeKeyword("EDGES")) {
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("="));
+        MUSKETEER_ASSIGN_OR_RETURN(spec.edges,
+                                   cursor_.ExpectIdentifier("relation name"));
+      } else if (cursor_.ConsumeKeyword("RESULT")) {
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("="));
+        MUSKETEER_ASSIGN_OR_RETURN(spec.result,
+                                   cursor_.ExpectIdentifier("relation name"));
+      } else {
+        return cursor_.ErrorHere("expected a GAS section keyword");
+      }
+    }
+    if (!saw_gather || !saw_apply || !saw_scatter || !saw_stop) {
+      return InvalidArgumentError(
+          "GAS workflow must define GATHER, APPLY, SCATTER and ITERATION_STOP");
+    }
+    return spec;
+  }
+
+ private:
+  // GATHER = { FN (vertex_value) }
+  Status ParseGather(GasSpec* spec) {
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("{"));
+    const Token& t = cursor_.Peek();
+    if (t.IsKeyword("SUM")) {
+      spec->gather = AggFn::kSum;
+    } else if (t.IsKeyword("MIN")) {
+      spec->gather = AggFn::kMin;
+    } else if (t.IsKeyword("MAX")) {
+      spec->gather = AggFn::kMax;
+    } else if (t.IsKeyword("COUNT")) {
+      spec->gather = AggFn::kCount;
+    } else if (t.IsKeyword("AVG")) {
+      spec->gather = AggFn::kAvg;
+    } else {
+      return cursor_.ErrorHere("expected gather aggregation (SUM/MIN/MAX/COUNT/AVG)");
+    }
+    cursor_.Next();
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("("));
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectIdentifier("gathered column").status());
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(")"));
+    return cursor_.ExpectSymbol("}");
+  }
+
+  // { OP [vertex_value, operand] ... } — sequential updates to the running
+  // value, which starts as `seed`.
+  StatusOr<ExprPtr> ParseChain(ExprPtr seed) {
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("{"));
+    ExprPtr cur = std::move(seed);
+    while (!cursor_.Peek().IsSymbol("}")) {
+      auto op = ArithFromKeyword(cursor_.Peek());
+      if (!op.has_value()) {
+        return cursor_.ErrorHere("expected SUM/SUB/MUL/DIV step");
+      }
+      cursor_.Next();
+      MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("["));
+      // First argument names the running value; accept and ignore its name.
+      MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectIdentifier("running value").status());
+      MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(","));
+      ExprPtr operand;
+      const Token& arg = cursor_.Peek();
+      if (arg.kind == TokenKind::kInteger) {
+        operand = Expr::Literal(cursor_.Next().int_value);
+      } else if (arg.kind == TokenKind::kDouble) {
+        operand = Expr::Literal(cursor_.Next().double_value);
+      } else if (arg.kind == TokenKind::kIdentifier) {
+        operand = Expr::Column(cursor_.Next().text);
+      } else {
+        return cursor_.ErrorHere("expected literal or column operand");
+      }
+      MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("]"));
+      cursor_.ConsumeSymbol(",");  // optional separators between steps
+      cur = Expr::Binary(*op, std::move(cur), std::move(operand));
+    }
+    cursor_.Next();  // }
+    return cur;
+  }
+
+  // ITERATION_STOP = (iteration < N)
+  Status ParseIterationStop(GasSpec* spec) {
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("("));
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectIdentifier("iteration counter").status());
+    if (!cursor_.ConsumeSymbol("<") && !cursor_.ConsumeSymbol("<=")) {
+      return cursor_.ErrorHere("expected '<' or '<=' in ITERATION_STOP");
+    }
+    if (cursor_.Peek().kind != TokenKind::kInteger) {
+      return cursor_.ErrorHere("expected iteration bound");
+    }
+    spec->iterations = cursor_.Next().int_value;
+    if (spec->iterations < 1) {
+      return cursor_.ErrorHere("iteration bound must be >= 1");
+    }
+    return cursor_.ExpectSymbol(")");
+  }
+
+  // ITERATION = { SUM [iteration, 1] } — the counter update; only unit
+  // increments are supported, so the block is validated and discarded.
+  Status ParseIterationUpdate() {
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("{"));
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectKeyword("SUM"));
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("["));
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectIdentifier("iteration counter").status());
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(","));
+    if (cursor_.Peek().kind != TokenKind::kInteger || cursor_.Peek().int_value != 1) {
+      return cursor_.ErrorHere("only unit iteration increments are supported");
+    }
+    cursor_.Next();
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("]"));
+    // Tolerate a trailing ')' as in the paper's listing.
+    cursor_.ConsumeSymbol(")");
+    return cursor_.ExpectSymbol("}");
+  }
+
+  TokenCursor& cursor_;
+};
+
+// Builds the reverse-GraphX data-flow lowering described in the header.
+std::unique_ptr<Dag> LowerGas(const GasSpec& spec) {
+  auto body = std::make_unique<Dag>();
+  int v_in = body->AddInput(spec.vertices);
+  int e_in = body->AddInput(spec.edges);
+
+  // JOIN edges with vertex state on the source id ("scatter" direction).
+  int joined = body->AddNode(OpKind::kJoin, "__gas_scatter_join", {e_in, v_in},
+                             JoinParams{kSrcCol, kIdCol});
+
+  // Per-edge message to the destination.
+  std::vector<NamedExpr> msg_outputs;
+  msg_outputs.push_back(NamedExpr{kIdCol, Expr::Column(kDstCol)});
+  msg_outputs.push_back(NamedExpr{kMsgCol, spec.scatter});
+  int msgs = body->AddNode(OpKind::kMap, "__gas_messages", {joined},
+                           MapParams{std::move(msg_outputs)});
+
+  // For extremum gathers (SSSP's MIN), each vertex also "sends itself" its
+  // current state so vertices without incoming messages keep their value.
+  if (spec.gather == AggFn::kMin || spec.gather == AggFn::kMax) {
+    std::vector<NamedExpr> self_outputs;
+    self_outputs.push_back(NamedExpr{kIdCol, Expr::Column(kIdCol)});
+    self_outputs.push_back(NamedExpr{kMsgCol, Expr::Column(kValueCol)});
+    int self_msgs = body->AddNode(OpKind::kMap, "__gas_self_messages", {v_in},
+                                  MapParams{std::move(self_outputs)});
+    msgs = body->AddNode(OpKind::kUnion, "__gas_all_messages", {msgs, self_msgs},
+                         UnionParams{});
+  }
+
+  // "Gather": aggregate incoming messages per destination vertex.
+  std::vector<NamedAgg> gather_aggs;
+  gather_aggs.push_back(NamedAgg{spec.gather, kMsgCol, kAccCol});
+  int gathered =
+      body->AddNode(OpKind::kGroupBy, "__gas_gathered", {msgs},
+                    GroupByParams{{kIdCol}, std::move(gather_aggs)});
+
+  // Join the accumulator back onto the vertex state.
+  int rejoin = body->AddNode(OpKind::kJoin, "__gas_apply_join", {v_in, gathered},
+                             JoinParams{kIdCol, kIdCol});
+
+  // "Apply": new state from the accumulator; degree is carried through.
+  std::vector<NamedExpr> apply_outputs;
+  apply_outputs.push_back(NamedExpr{kIdCol, Expr::Column(kIdCol)});
+  apply_outputs.push_back(NamedExpr{kValueCol, spec.apply});
+  apply_outputs.push_back(NamedExpr{kDegreeCol, Expr::Column(kDegreeCol)});
+  body->AddNode(OpKind::kMap, "__gas_next_vertices", {rejoin},
+                MapParams{std::move(apply_outputs)});
+
+  auto dag = std::make_unique<Dag>();
+  int v0 = dag->AddInput(spec.vertices);
+  int e0 = dag->AddInput(spec.edges);
+
+  WhileParams params;
+  params.iterations = spec.iterations;
+  params.body = std::shared_ptr<const Dag>(body.release());
+  params.bindings.push_back(LoopBinding{spec.vertices, "__gas_next_vertices"});
+  params.result = "__gas_next_vertices";
+  dag->AddNode(OpKind::kWhile, spec.result, {v0, e0}, std::move(params));
+  return dag;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Dag>> GasFrontend::Parse(const std::string& source) const {
+  MUSKETEER_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  TokenCursor cursor(std::move(tokens));
+  GasParser parser(&cursor);
+  MUSKETEER_ASSIGN_OR_RETURN(GasSpec spec, parser.ParseSpec());
+  std::unique_ptr<Dag> dag = LowerGas(spec);
+  MUSKETEER_RETURN_IF_ERROR(dag->Validate());
+  return dag;
+}
+
+}  // namespace musketeer

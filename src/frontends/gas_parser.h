@@ -1,0 +1,51 @@
+// Gather-Apply-Scatter DSL front-end (§4.1.2, Listing 2).
+//
+// Users express vertex-centric graph computations by defining the three GAS
+// steps over a vertex state column, plus an iteration bound:
+//
+//   GATHER = {
+//     SUM (vertex_value)                     -- gather aggregation
+//   }
+//   APPLY = {
+//     MUL [vertex_value, 0.85]               -- chained state updates,
+//     SUM [vertex_value, 0.15]               --   applied in order
+//   }
+//   SCATTER = {
+//     DIV [vertex_value, vertex_degree]      -- message computed per edge
+//   }
+//   ITERATION_STOP = (iteration < 20)
+//   ITERATION = {
+//     SUM [iteration, 1]
+//   }
+//
+// Conventions: the vertex relation is named `vertices` with columns
+// (id, vertex_value, vertex_degree); the edge relation is `edges` with
+// columns (src, dst). Optional overrides:
+//
+//   VERTICES = my_vertex_relation
+//   EDGES = my_edge_relation
+//   RESULT = my_output_name           -- default "gas_result"
+//
+// The parser lowers GAS to the data-flow pattern used by GraphX in reverse
+// (§4.3.1): a WHILE loop whose body JOINs edges with the vertex state on the
+// source id, MAPs the scatter expression along each edge, GROUP BYs on the
+// destination id with the gather aggregation, JOINs the result back to the
+// vertex state, and MAPs the apply chain to produce the next state. This is
+// exactly the shape Musketeer's idiom recognizer detects.
+
+#ifndef MUSKETEER_SRC_FRONTENDS_GAS_PARSER_H_
+#define MUSKETEER_SRC_FRONTENDS_GAS_PARSER_H_
+
+#include "src/frontends/frontend.h"
+
+namespace musketeer {
+
+class GasFrontend : public Frontend {
+ public:
+  FrontendLanguage language() const override { return FrontendLanguage::kGas; }
+  StatusOr<std::unique_ptr<Dag>> Parse(const std::string& source) const override;
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_FRONTENDS_GAS_PARSER_H_

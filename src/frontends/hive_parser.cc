@@ -1,0 +1,238 @@
+#include "src/frontends/hive_parser.h"
+
+#include <unordered_map>
+
+#include "src/base/strings.h"
+#include "src/frontends/expr_parser.h"
+#include "src/frontends/lexer.h"
+
+namespace musketeer {
+
+namespace {
+
+struct SelectItem {
+  bool is_agg = false;
+  std::string column;
+  AggFn fn = AggFn::kSum;
+  std::string alias;  // output name for aggregations
+};
+
+std::optional<AggFn> AggFnFromName(const std::string& name) {
+  if (EqualsIgnoreCase(name, "SUM")) {
+    return AggFn::kSum;
+  }
+  if (EqualsIgnoreCase(name, "COUNT")) {
+    return AggFn::kCount;
+  }
+  if (EqualsIgnoreCase(name, "MIN")) {
+    return AggFn::kMin;
+  }
+  if (EqualsIgnoreCase(name, "MAX")) {
+    return AggFn::kMax;
+  }
+  if (EqualsIgnoreCase(name, "AVG")) {
+    return AggFn::kAvg;
+  }
+  return std::nullopt;
+}
+
+class HiveParser {
+ public:
+  HiveParser(TokenCursor* cursor, Dag* dag) : cursor_(*cursor), dag_(dag) {}
+
+  Status ParseAll() {
+    while (!cursor_.AtEnd()) {
+      if (cursor_.Peek().IsKeyword("SELECT")) {
+        MUSKETEER_RETURN_IF_ERROR(ParseSelect());
+      } else {
+        MUSKETEER_RETURN_IF_ERROR(ParseJoin());
+      }
+    }
+    return OkStatus();
+  }
+
+ private:
+  int ResolveRelation(const std::string& name) {
+    auto it = defined_.find(name);
+    if (it != defined_.end()) {
+      return it->second;
+    }
+    int id = dag_->AddInput(name);
+    defined_[name] = id;
+    return id;
+  }
+
+  Status Define(const std::string& name, int node) {
+    if (!defined_.emplace(name, node).second) {
+      return cursor_.ErrorHere("relation '" + name + "' already defined");
+    }
+    return OkStatus();
+  }
+
+  Status ParseSelect() {
+    cursor_.Next();  // SELECT
+    std::vector<SelectItem> items;
+    do {
+      SelectItem item;
+      MUSKETEER_ASSIGN_OR_RETURN(std::string first,
+                                 cursor_.ExpectIdentifier("select item"));
+      auto fn = AggFnFromName(first);
+      if (fn.has_value() && cursor_.Peek().IsSymbol("(")) {
+        cursor_.Next();  // (
+        item.is_agg = true;
+        item.fn = *fn;
+        if (!cursor_.ConsumeSymbol("*")) {
+          MUSKETEER_ASSIGN_OR_RETURN(item.column, cursor_.ExpectIdentifier("column"));
+        } else if (item.fn != AggFn::kCount) {
+          return cursor_.ErrorHere("'*' only valid in COUNT(*)");
+        }
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(")"));
+        // Optional alias identifier (not a keyword).
+        if (cursor_.Peek().kind == TokenKind::kIdentifier &&
+            !cursor_.Peek().IsKeyword("FROM")) {
+          item.alias = cursor_.Next().text;
+        } else {
+          item.alias = AsciiToLower(AggFnName(item.fn)) + "_" +
+                       (item.column.empty() ? "all" : item.column);
+        }
+      } else {
+        // Plain column; strip an optional "rel." qualifier.
+        item.column = first;
+        if (cursor_.Peek().IsSymbol(".") &&
+            cursor_.Peek(1).kind == TokenKind::kIdentifier) {
+          cursor_.Next();
+          item.column = cursor_.Next().text;
+        }
+      }
+      items.push_back(std::move(item));
+    } while (cursor_.ConsumeSymbol(","));
+
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectKeyword("FROM"));
+    MUSKETEER_ASSIGN_OR_RETURN(std::string rel,
+                               cursor_.ExpectIdentifier("relation name"));
+    int in = ResolveRelation(rel);
+
+    ExprPtr where;
+    if (cursor_.ConsumeKeyword("WHERE")) {
+      MUSKETEER_ASSIGN_OR_RETURN(where, ParseExpression(&cursor_));
+    }
+
+    std::vector<std::string> group_cols;
+    bool has_group_by = false;
+    if (cursor_.ConsumeKeyword("GROUP")) {
+      MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectKeyword("BY"));
+      has_group_by = true;
+      do {
+        MUSKETEER_ASSIGN_OR_RETURN(std::string col,
+                                   cursor_.ExpectIdentifier("group column"));
+        group_cols.push_back(std::move(col));
+        // HiveQL in the paper separates group columns with AND; accept ','
+        // as well.
+      } while (cursor_.ConsumeKeyword("AND") || cursor_.ConsumeSymbol(","));
+    }
+
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectKeyword("AS"));
+    MUSKETEER_ASSIGN_OR_RETURN(std::string name,
+                               cursor_.ExpectIdentifier("result name"));
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(";"));
+
+    bool has_agg = false;
+    for (const SelectItem& item : items) {
+      has_agg = has_agg || item.is_agg;
+    }
+
+    if (where != nullptr) {
+      int filtered = dag_->AddNode(OpKind::kSelect, name + "__filtered", {in},
+                                   SelectParams{where});
+      in = filtered;
+    }
+
+    int result;
+    if (has_agg || has_group_by) {
+      std::vector<NamedAgg> aggs;
+      for (const SelectItem& item : items) {
+        if (item.is_agg) {
+          aggs.push_back(NamedAgg{item.fn, item.column, item.alias});
+        }
+      }
+      if (group_cols.empty()) {
+        // Non-aggregate items without GROUP BY are invalid SQL.
+        for (const SelectItem& item : items) {
+          if (!item.is_agg) {
+            return cursor_.ErrorHere("column '" + item.column +
+                                     "' must appear in GROUP BY");
+          }
+        }
+        result = dag_->AddNode(OpKind::kAgg, name, {in}, AggParams{std::move(aggs)});
+      } else {
+        result = dag_->AddNode(OpKind::kGroupBy, name, {in},
+                               GroupByParams{group_cols, std::move(aggs)});
+      }
+    } else {
+      std::vector<std::string> cols;
+      for (const SelectItem& item : items) {
+        cols.push_back(item.column);
+      }
+      result = dag_->AddNode(OpKind::kProject, name, {in},
+                             ProjectParams{std::move(cols)});
+    }
+    return Define(name, result);
+  }
+
+  // relA JOIN relB ON relA.k = relB.k AS name;
+  Status ParseJoin() {
+    MUSKETEER_ASSIGN_OR_RETURN(std::string left,
+                               cursor_.ExpectIdentifier("left relation"));
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectKeyword("JOIN"));
+    MUSKETEER_ASSIGN_OR_RETURN(std::string right,
+                               cursor_.ExpectIdentifier("right relation"));
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectKeyword("ON"));
+    MUSKETEER_ASSIGN_OR_RETURN(std::string q1, cursor_.ExpectIdentifier("relation"));
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("."));
+    MUSKETEER_ASSIGN_OR_RETURN(std::string k1, cursor_.ExpectIdentifier("column"));
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("="));
+    MUSKETEER_ASSIGN_OR_RETURN(std::string q2, cursor_.ExpectIdentifier("relation"));
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("."));
+    MUSKETEER_ASSIGN_OR_RETURN(std::string k2, cursor_.ExpectIdentifier("column"));
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectKeyword("AS"));
+    MUSKETEER_ASSIGN_OR_RETURN(std::string name,
+                               cursor_.ExpectIdentifier("result name"));
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(";"));
+
+    std::string left_key;
+    std::string right_key;
+    if (q1 == left && q2 == right) {
+      left_key = k1;
+      right_key = k2;
+    } else if (q1 == right && q2 == left) {
+      left_key = k2;
+      right_key = k1;
+    } else {
+      return cursor_.ErrorHere("ON qualifiers must reference '" + left + "' and '" +
+                               right + "'");
+    }
+    int li = ResolveRelation(left);
+    int ri = ResolveRelation(right);
+    int id = dag_->AddNode(OpKind::kJoin, name, {li, ri},
+                           JoinParams{std::move(left_key), std::move(right_key)});
+    return Define(name, id);
+  }
+
+  TokenCursor& cursor_;
+  Dag* dag_;
+  std::unordered_map<std::string, int> defined_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Dag>> HiveFrontend::Parse(const std::string& source) const {
+  MUSKETEER_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  TokenCursor cursor(std::move(tokens));
+  auto dag = std::make_unique<Dag>();
+  HiveParser parser(&cursor, dag.get());
+  MUSKETEER_RETURN_IF_ERROR(parser.ParseAll());
+  MUSKETEER_RETURN_IF_ERROR(dag->Validate());
+  return dag;
+}
+
+}  // namespace musketeer

@@ -1,0 +1,28 @@
+// HiveQL-subset front-end, covering the query shapes of the paper's Listing 1
+// (max-property-price) and the TPC-H workflows:
+//
+//   SELECT item[, item...] FROM rel [WHERE expr]
+//     [GROUP BY col [AND col...]] AS name;
+//   relA JOIN relB ON relA.k = relB.k AS name;
+//
+// A select item is either a column name or an aggregation call
+// `FN(col)` (SUM, COUNT, MIN, MAX, AVG), optionally aliased with
+// `FN(col) alias`. Plain-column items must match the GROUP BY clause when
+// aggregations are present. Every statement names its result with AS.
+
+#ifndef MUSKETEER_SRC_FRONTENDS_HIVE_PARSER_H_
+#define MUSKETEER_SRC_FRONTENDS_HIVE_PARSER_H_
+
+#include "src/frontends/frontend.h"
+
+namespace musketeer {
+
+class HiveFrontend : public Frontend {
+ public:
+  FrontendLanguage language() const override { return FrontendLanguage::kHive; }
+  StatusOr<std::unique_ptr<Dag>> Parse(const std::string& source) const override;
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_FRONTENDS_HIVE_PARSER_H_

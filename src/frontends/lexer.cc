@@ -1,0 +1,231 @@
+#include "src/frontends/lexer.h"
+
+#include <cctype>
+
+#include "src/base/strings.h"
+
+namespace musketeer {
+
+bool Token::IsKeyword(const char* kw) const {
+  return kind == TokenKind::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> out;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto peek = [&](size_t ahead) -> char {
+    return (i + ahead < n) ? source[i + ahead] : '\0';
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: '#' or '--' to end of line.
+    if (c == '#' || (c == '-' && peek(1) == '-')) {
+      while (i < n && source[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      Token t;
+      t.kind = TokenKind::kIdentifier;
+      t.text = source.substr(start, i - start);
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        ++i;
+      }
+      if (i < n && source[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (source[i] == 'e' || source[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (source[i] == '+' || source[i] == '-')) {
+          ++i;
+        }
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+          ++i;
+        }
+      }
+      std::string text = source.substr(start, i - start);
+      Token t;
+      t.line = line;
+      t.text = text;
+      if (is_double) {
+        auto v = ParseDouble(text);
+        if (!v.has_value()) {
+          return InvalidArgumentError("line " + std::to_string(line) +
+                                      ": bad number '" + text + "'");
+        }
+        t.kind = TokenKind::kDouble;
+        t.double_value = *v;
+      } else {
+        auto v = ParseInt64(text);
+        if (!v.has_value()) {
+          return InvalidArgumentError("line " + std::to_string(line) +
+                                      ": bad number '" + text + "'");
+        }
+        t.kind = TokenKind::kInteger;
+        t.int_value = *v;
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      size_t start = i;
+      while (i < n && source[i] != quote) {
+        if (source[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      if (i >= n) {
+        return InvalidArgumentError("line " + std::to_string(line) +
+                                    ": unterminated string literal");
+      }
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = source.substr(start, i - start);
+      t.line = line;
+      out.push_back(std::move(t));
+      ++i;  // closing quote
+      continue;
+    }
+    // Multi-character symbols first.
+    static const char* kTwoChar[] = {"<=", ">=", "!=", "==", "=>", "->"};
+    bool matched = false;
+    for (const char* sym : kTwoChar) {
+      if (c == sym[0] && peek(1) == sym[1]) {
+        Token t;
+        t.kind = TokenKind::kSymbol;
+        t.text = sym;
+        t.line = line;
+        out.push_back(std::move(t));
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      continue;
+    }
+    static const std::string kSingles = "()[]{},;.=<>+-*/";
+    if (kSingles.find(c) != std::string::npos) {
+      Token t;
+      t.kind = TokenKind::kSymbol;
+      t.text = std::string(1, c);
+      t.line = line;
+      out.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    return InvalidArgumentError("line " + std::to_string(line) +
+                                ": unexpected character '" + std::string(1, c) + "'");
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  out.push_back(std::move(end));
+  return out;
+}
+
+const Token& TokenCursor::Peek(int ahead) const {
+  size_t p = pos_ + static_cast<size_t>(ahead);
+  if (p >= tokens_.size()) {
+    return tokens_.back();  // kEnd sentinel
+  }
+  return tokens_[p];
+}
+
+const Token& TokenCursor::Next() {
+  const Token& t = Peek();
+  if (pos_ + 1 < tokens_.size()) {
+    ++pos_;
+  }
+  return t;
+}
+
+bool TokenCursor::ConsumeSymbol(const char* s) {
+  if (Peek().IsSymbol(s)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenCursor::ConsumeKeyword(const char* kw) {
+  if (Peek().IsKeyword(kw)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Status TokenCursor::ExpectSymbol(const char* s) {
+  if (!ConsumeSymbol(s)) {
+    return ErrorHere(std::string("expected '") + s + "'");
+  }
+  return OkStatus();
+}
+
+Status TokenCursor::ExpectKeyword(const char* kw) {
+  if (!ConsumeKeyword(kw)) {
+    return ErrorHere(std::string("expected keyword '") + kw + "'");
+  }
+  return OkStatus();
+}
+
+StatusOr<std::string> TokenCursor::ExpectIdentifier(const char* what) {
+  if (Peek().kind != TokenKind::kIdentifier) {
+    return ErrorHere(std::string("expected ") + what);
+  }
+  return Next().text;
+}
+
+Status TokenCursor::ErrorHere(const std::string& message) const {
+  const Token& t = Peek();
+  std::string tok;
+  switch (t.kind) {
+    case TokenKind::kEnd:
+      tok = "<end of input>";
+      break;
+    default:
+      tok = "'" + t.text + "'";
+  }
+  return InvalidArgumentError("line " + std::to_string(t.line) + ": " + message +
+                              ", found " + tok);
+}
+
+}  // namespace musketeer

@@ -1,0 +1,71 @@
+// Shared tokenizer for the four front-end languages (BEER, HiveQL subset,
+// GAS DSL, Lindi). Keywords are not distinguished at the lexer level; parsers
+// match identifiers case-insensitively.
+
+#ifndef MUSKETEER_SRC_FRONTENDS_LEXER_H_
+#define MUSKETEER_SRC_FRONTENDS_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace musketeer {
+
+enum class TokenKind {
+  kIdentifier,
+  kInteger,
+  kDouble,
+  kString,  // quoted literal, quotes stripped
+  kSymbol,  // punctuation / operator, in `text`
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0;
+  int line = 0;
+
+  bool IsSymbol(const char* s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+  // Case-insensitive keyword match.
+  bool IsKeyword(const char* kw) const;
+};
+
+// Tokenizes `source`. Comments run from '#' or '--' to end of line.
+// Multi-character symbols recognized: <= >= != == => ->
+StatusOr<std::vector<Token>> Tokenize(const std::string& source);
+
+// Cursor over a token stream with common helpers; parsers wrap this.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(int ahead = 0) const;
+  const Token& Next();
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  // Consumes the token if it matches; returns whether it did.
+  bool ConsumeSymbol(const char* s);
+  bool ConsumeKeyword(const char* kw);
+
+  // Consumes a required token or produces a descriptive error.
+  Status ExpectSymbol(const char* s);
+  Status ExpectKeyword(const char* kw);
+  StatusOr<std::string> ExpectIdentifier(const char* what);
+
+  // Error naming the current token and line.
+  Status ErrorHere(const std::string& message) const;
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_FRONTENDS_LEXER_H_

@@ -1,0 +1,258 @@
+#include "src/frontends/lindi_parser.h"
+
+#include <unordered_map>
+
+#include "src/base/strings.h"
+#include "src/frontends/expr_parser.h"
+#include "src/frontends/lexer.h"
+
+namespace musketeer {
+
+namespace {
+
+std::optional<AggFn> AggFnFromMethod(const std::string& name) {
+  if (EqualsIgnoreCase(name, "Sum")) {
+    return AggFn::kSum;
+  }
+  if (EqualsIgnoreCase(name, "Count")) {
+    return AggFn::kCount;
+  }
+  if (EqualsIgnoreCase(name, "Min")) {
+    return AggFn::kMin;
+  }
+  if (EqualsIgnoreCase(name, "Max")) {
+    return AggFn::kMax;
+  }
+  if (EqualsIgnoreCase(name, "Avg")) {
+    return AggFn::kAvg;
+  }
+  return std::nullopt;
+}
+
+class LindiParser {
+ public:
+  LindiParser(TokenCursor* cursor, Dag* dag) : cursor_(*cursor), dag_(dag) {}
+
+  Status ParseAll() {
+    while (!cursor_.AtEnd()) {
+      MUSKETEER_RETURN_IF_ERROR(ParseStatement());
+    }
+    return OkStatus();
+  }
+
+ private:
+  int ResolveRelation(const std::string& name) {
+    auto it = defined_.find(name);
+    if (it != defined_.end()) {
+      return it->second;
+    }
+    int id = dag_->AddInput(name);
+    defined_[name] = id;
+    return id;
+  }
+
+  // Fresh unique name for chain intermediates.
+  std::string TempName(const std::string& final_name) {
+    return final_name + "__t" + std::to_string(temp_counter_++);
+  }
+
+  Status ParseStatement() {
+    MUSKETEER_ASSIGN_OR_RETURN(std::string name,
+                               cursor_.ExpectIdentifier("result name"));
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("="));
+    MUSKETEER_ASSIGN_OR_RETURN(std::string source,
+                               cursor_.ExpectIdentifier("source relation"));
+    int cur = ResolveRelation(source);
+
+    // Pending GroupBy columns awaiting aggregation methods.
+    std::optional<std::vector<std::string>> pending_group;
+    std::vector<NamedAgg> pending_aggs;
+
+    while (cursor_.ConsumeSymbol(".")) {
+      MUSKETEER_ASSIGN_OR_RETURN(std::string method,
+                                 cursor_.ExpectIdentifier("method name"));
+      MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol("("));
+
+      auto agg = AggFnFromMethod(method);
+      if (agg.has_value()) {
+        NamedAgg spec;
+        spec.fn = *agg;
+        if (!cursor_.Peek().IsSymbol(")")) {
+          MUSKETEER_ASSIGN_OR_RETURN(spec.column, cursor_.ExpectIdentifier("column"));
+          if (cursor_.ConsumeSymbol(",")) {
+            MUSKETEER_ASSIGN_OR_RETURN(spec.output_name,
+                                       cursor_.ExpectIdentifier("alias"));
+          }
+        } else if (spec.fn != AggFn::kCount) {
+          return cursor_.ErrorHere(method + "() requires a column");
+        }
+        if (spec.output_name.empty()) {
+          spec.output_name = AsciiToLower(AggFnName(spec.fn)) + "_" +
+                             (spec.column.empty() ? "all" : spec.column);
+        }
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(")"));
+        if (pending_group.has_value()) {
+          pending_aggs.push_back(std::move(spec));
+          // Flush when the chain ends or the next method is not an agg.
+          if (!NextMethodIsAgg()) {
+            cur = dag_->AddNode(
+                OpKind::kGroupBy, NameFor(name), {cur},
+                GroupByParams{*pending_group, std::move(pending_aggs)});
+            pending_group.reset();
+            pending_aggs.clear();
+          }
+        } else {
+          cur = dag_->AddNode(OpKind::kAgg, NameFor(name), {cur},
+                              AggParams{{std::move(spec)}});
+        }
+        continue;
+      }
+
+      if (pending_group.has_value()) {
+        return cursor_.ErrorHere("GroupBy(...) must be followed by an aggregation");
+      }
+
+      if (EqualsIgnoreCase(method, "Select")) {
+        std::vector<std::string> cols;
+        do {
+          MUSKETEER_ASSIGN_OR_RETURN(std::string col,
+                                     cursor_.ExpectIdentifier("column"));
+          cols.push_back(std::move(col));
+        } while (cursor_.ConsumeSymbol(","));
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(")"));
+        cur = dag_->AddNode(OpKind::kProject, NameFor(name), {cur},
+                            ProjectParams{std::move(cols)});
+      } else if (EqualsIgnoreCase(method, "Where")) {
+        MUSKETEER_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpression(&cursor_));
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(")"));
+        cur = dag_->AddNode(OpKind::kSelect, NameFor(name), {cur},
+                            SelectParams{std::move(cond)});
+      } else if (EqualsIgnoreCase(method, "Join")) {
+        MUSKETEER_ASSIGN_OR_RETURN(std::string other,
+                                   cursor_.ExpectIdentifier("relation"));
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(","));
+        MUSKETEER_ASSIGN_OR_RETURN(std::string lk, cursor_.ExpectIdentifier("column"));
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(","));
+        MUSKETEER_ASSIGN_OR_RETURN(std::string rk, cursor_.ExpectIdentifier("column"));
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(")"));
+        int ri = ResolveRelation(other);
+        cur = dag_->AddNode(OpKind::kJoin, NameFor(name), {cur, ri},
+                            JoinParams{std::move(lk), std::move(rk)});
+      } else if (EqualsIgnoreCase(method, "GroupBy")) {
+        std::vector<std::string> cols;
+        do {
+          MUSKETEER_ASSIGN_OR_RETURN(std::string col,
+                                     cursor_.ExpectIdentifier("column"));
+          cols.push_back(std::move(col));
+        } while (cursor_.ConsumeSymbol(","));
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(")"));
+        pending_group = std::move(cols);
+      } else if (EqualsIgnoreCase(method, "Union") ||
+                 EqualsIgnoreCase(method, "Intersect") ||
+                 EqualsIgnoreCase(method, "Except")) {
+        MUSKETEER_ASSIGN_OR_RETURN(std::string other,
+                                   cursor_.ExpectIdentifier("relation"));
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(")"));
+        int ri = ResolveRelation(other);
+        OpKind kind = OpKind::kUnion;
+        OpParams params = UnionParams{};
+        if (EqualsIgnoreCase(method, "Intersect")) {
+          kind = OpKind::kIntersect;
+          params = IntersectParams{};
+        } else if (EqualsIgnoreCase(method, "Except")) {
+          kind = OpKind::kDifference;
+          params = DifferenceParams{};
+        }
+        cur = dag_->AddNode(kind, NameFor(name), {cur, ri}, std::move(params));
+      } else if (EqualsIgnoreCase(method, "Distinct")) {
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(")"));
+        cur = dag_->AddNode(OpKind::kDistinct, NameFor(name), {cur},
+                            DistinctParams{});
+      } else if (EqualsIgnoreCase(method, "Map")) {
+        std::vector<NamedExpr> outputs;
+        do {
+          MUSKETEER_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression(&cursor_));
+          std::string out;
+          if (cursor_.ConsumeKeyword("AS")) {
+            MUSKETEER_ASSIGN_OR_RETURN(out, cursor_.ExpectIdentifier("column"));
+          } else if (e->kind() == ExprKind::kColumn) {
+            out = e->column_name();
+          } else {
+            return cursor_.ErrorHere("computed Map column needs 'AS name'");
+          }
+          outputs.push_back(NamedExpr{std::move(out), std::move(e)});
+        } while (cursor_.ConsumeSymbol(","));
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(")"));
+        cur = dag_->AddNode(OpKind::kMap, NameFor(name), {cur},
+                            MapParams{std::move(outputs)});
+      } else if (EqualsIgnoreCase(method, "Top")) {
+        MUSKETEER_ASSIGN_OR_RETURN(std::string col, cursor_.ExpectIdentifier("column"));
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(","));
+        if (cursor_.Peek().kind != TokenKind::kInteger) {
+          return cursor_.ErrorHere("expected integer N");
+        }
+        int64_t n = cursor_.Next().int_value;
+        MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(")"));
+        cur = dag_->AddNode(OpKind::kTopN, NameFor(name), {cur},
+                            TopNParams{std::move(col), n});
+      } else {
+        return cursor_.ErrorHere("unknown Lindi method '" + method + "'");
+      }
+    }
+
+    MUSKETEER_RETURN_IF_ERROR(cursor_.ExpectSymbol(";"));
+    if (pending_group.has_value()) {
+      return cursor_.ErrorHere("GroupBy(...) chain missing its aggregation");
+    }
+    // The last chain node must carry the statement's name; earlier nodes got
+    // temporaries. If the statement was a bare alias (no methods), add a
+    // DISTINCT-free pass-through via PROJECT of all columns is unnecessary —
+    // instead simply alias in the symbol table.
+    if (dag_->node(cur).output != name) {
+      if (dag_->node(cur).kind == OpKind::kInput) {
+        // Pure alias: name = rel;
+        defined_[name] = cur;
+        return OkStatus();
+      }
+      dag_->mutable_node(cur)->output = name;
+    }
+    if (defined_.count(name) > 0 && defined_[name] != cur) {
+      return cursor_.ErrorHere("relation '" + name + "' already defined");
+    }
+    defined_[name] = cur;
+    return OkStatus();
+  }
+
+  // Names the node being added: temporaries while more methods follow, the
+  // final name handled in ParseStatement by renaming the last node.
+  std::string NameFor(const std::string& final_name) {
+    return TempName(final_name);
+  }
+
+  bool NextMethodIsAgg() {
+    if (!cursor_.Peek().IsSymbol(".")) {
+      return false;
+    }
+    const Token& m = cursor_.Peek(1);
+    return m.kind == TokenKind::kIdentifier && AggFnFromMethod(m.text).has_value();
+  }
+
+  TokenCursor& cursor_;
+  Dag* dag_;
+  std::unordered_map<std::string, int> defined_;
+  int temp_counter_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Dag>> LindiFrontend::Parse(const std::string& source) const {
+  MUSKETEER_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  TokenCursor cursor(std::move(tokens));
+  auto dag = std::make_unique<Dag>();
+  LindiParser parser(&cursor, dag.get());
+  MUSKETEER_RETURN_IF_ERROR(parser.ParseAll());
+  MUSKETEER_RETURN_IF_ERROR(dag->Validate());
+  return dag;
+}
+
+}  // namespace musketeer

@@ -1,0 +1,37 @@
+// Lindi front-end: a LINQ-style chained-operator language (the paper's Lindi
+// is the LINQ-like layer over Naiad). Each statement pipes a relation through
+// a method chain and names the result:
+//
+//   name = rel.Select(col, col...);          -- projection
+//   name = rel.Where(expr);                  -- filter
+//   name = rel.Join(other, leftKey, rightKey);
+//   name = rel.GroupBy(col, ...).Sum(col);   -- also Max/Min/Count/Avg;
+//                                            -- chain several aggregations
+//   name = rel.Union(other);
+//   name = rel.Intersect(other);
+//   name = rel.Except(other);
+//   name = rel.Distinct();
+//   name = rel.Count();                      -- global aggregate
+//   name = rel.Map(expr AS col, ...);        -- computed projection
+//   name = rel.Top(col, n);
+//
+// Methods chain arbitrarily: a = x.Where(p > 10).Select(id, p).Distinct();
+// Aggregation output columns are named fn_column (e.g. "max_price") unless
+// given as Max(price, alias).
+
+#ifndef MUSKETEER_SRC_FRONTENDS_LINDI_PARSER_H_
+#define MUSKETEER_SRC_FRONTENDS_LINDI_PARSER_H_
+
+#include "src/frontends/frontend.h"
+
+namespace musketeer {
+
+class LindiFrontend : public Frontend {
+ public:
+  FrontendLanguage language() const override { return FrontendLanguage::kLindi; }
+  StatusOr<std::unique_ptr<Dag>> Parse(const std::string& source) const override;
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_FRONTENDS_LINDI_PARSER_H_

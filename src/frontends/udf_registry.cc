@@ -1,0 +1,30 @@
+#include "src/frontends/udf_registry.h"
+
+#include <unordered_map>
+
+namespace musketeer {
+
+namespace {
+
+std::unordered_map<std::string, UdfDefinition>& Registry() {
+  static auto* registry = new std::unordered_map<std::string, UdfDefinition>();
+  return *registry;
+}
+
+}  // namespace
+
+void RegisterUdf(UdfDefinition def) {
+  Registry()[def.name] = std::move(def);
+}
+
+StatusOr<UdfDefinition> LookupUdf(const std::string& name) {
+  auto it = Registry().find(name);
+  if (it == Registry().end()) {
+    return NotFoundError("no UDF registered under '" + name + "'");
+  }
+  return it->second;
+}
+
+void ClearUdfRegistry() { Registry().clear(); }
+
+}  // namespace musketeer

@@ -1,0 +1,41 @@
+// User-defined function registry (§4.1.3).
+//
+// Front-end abstractions with no corresponding IR operator map to UDFs: a
+// named table function registered ahead of parsing, callable from BEER as
+//
+//   out = UDF my_function(rel_a, rel_b);
+//
+// Every engine executes a UDF through the same registered implementation
+// (the paper's engines would run user-provided Java/C++ through foreign-
+// function interfaces; §8 discusses the optimization cost of that).
+// Registration is process-global and thread-compatible (registration happens
+// at startup, lookups afterwards).
+
+#ifndef MUSKETEER_SRC_FRONTENDS_UDF_REGISTRY_H_
+#define MUSKETEER_SRC_FRONTENDS_UDF_REGISTRY_H_
+
+#include <string>
+
+#include "src/ir/operator.h"
+
+namespace musketeer {
+
+struct UdfDefinition {
+  std::string name;
+  int arity = 1;         // number of input relations
+  Schema output_schema;  // declared result schema
+  UdfFn fn;
+};
+
+// Registers (or replaces) a UDF definition.
+void RegisterUdf(UdfDefinition def);
+
+// Looks up a UDF by name (case-sensitive).
+StatusOr<UdfDefinition> LookupUdf(const std::string& name);
+
+// Removes every registered UDF (tests).
+void ClearUdfRegistry();
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_FRONTENDS_UDF_REGISTRY_H_

@@ -1,0 +1,233 @@
+#include "src/ir/eval.h"
+
+#include "src/relational/ops.h"
+
+namespace musketeer {
+
+namespace {
+
+StatusOr<Table> EvalGroupByLike(const OperatorNode& node, const Table& in) {
+  std::vector<std::string> group_columns;
+  std::vector<NamedAgg> aggs;
+  if (node.kind == OpKind::kGroupBy) {
+    const auto& p = std::get<GroupByParams>(node.params);
+    group_columns = p.group_columns;
+    aggs = p.aggs;
+  } else {
+    aggs = std::get<AggParams>(node.params).aggs;
+  }
+  std::vector<int> group_idx;
+  for (const std::string& c : group_columns) {
+    auto idx = in.schema().IndexOf(c);
+    if (!idx.has_value()) {
+      return InvalidArgumentError("GROUP BY: no column '" + c + "'");
+    }
+    group_idx.push_back(*idx);
+  }
+  std::vector<AggSpec> specs;
+  for (const NamedAgg& a : aggs) {
+    int col = 0;
+    if (a.fn != AggFn::kCount) {
+      auto idx = in.schema().IndexOf(a.column);
+      if (!idx.has_value()) {
+        return InvalidArgumentError("AGG: no column '" + a.column + "'");
+      }
+      col = *idx;
+    }
+    specs.push_back(AggSpec{a.fn, col, a.output_name});
+  }
+  return GroupByAgg(in, group_idx, specs);
+}
+
+}  // namespace
+
+StatusOr<Table> EvaluateOperator(const OperatorNode& node,
+                                 const std::vector<const Table*>& inputs) {
+  switch (node.kind) {
+    case OpKind::kInput:
+    case OpKind::kWhile:
+      return InternalError(std::string(OpKindName(node.kind)) +
+                           " must be handled by the DAG executor");
+    case OpKind::kSelect: {
+      const auto& p = std::get<SelectParams>(node.params);
+      MUSKETEER_ASSIGN_OR_RETURN(RowPredicate pred,
+                                 p.condition->CompilePredicate(inputs[0]->schema()));
+      return SelectRows(*inputs[0], pred);
+    }
+    case OpKind::kProject: {
+      const auto& p = std::get<ProjectParams>(node.params);
+      std::vector<int> cols;
+      for (const std::string& c : p.columns) {
+        auto idx = inputs[0]->schema().IndexOf(c);
+        if (!idx.has_value()) {
+          return InvalidArgumentError("PROJECT: no column '" + c + "' in " +
+                                      inputs[0]->schema().ToString());
+        }
+        cols.push_back(*idx);
+      }
+      return ProjectColumns(*inputs[0], cols);
+    }
+    case OpKind::kMap: {
+      const auto& p = std::get<MapParams>(node.params);
+      Schema out_schema;
+      std::vector<RowProjector> projectors;
+      for (const NamedExpr& ne : p.outputs) {
+        MUSKETEER_ASSIGN_OR_RETURN(FieldType t, ne.expr->InferType(inputs[0]->schema()));
+        out_schema.AddField({ne.name, t});
+        MUSKETEER_ASSIGN_OR_RETURN(RowProjector proj,
+                                   ne.expr->Compile(inputs[0]->schema()));
+        // Coerce to the inferred type so downstream type checks hold even
+        // when a mixed int/double expression evaluates integral.
+        if (t == FieldType::kDouble) {
+          projectors.emplace_back(
+              [proj](const Row& row) -> Value { return AsDouble(proj(row)); });
+        } else {
+          projectors.push_back(proj);
+        }
+      }
+      return MapRows(*inputs[0], out_schema, projectors);
+    }
+    case OpKind::kJoin: {
+      const auto& p = std::get<JoinParams>(node.params);
+      auto li = inputs[0]->schema().IndexOf(p.left_key);
+      auto ri = inputs[1]->schema().IndexOf(p.right_key);
+      if (!li.has_value() || !ri.has_value()) {
+        return InvalidArgumentError("JOIN: key column missing");
+      }
+      return HashJoin(*inputs[0], *inputs[1], *li, *ri);
+    }
+    case OpKind::kCrossJoin:
+      return CrossJoin(*inputs[0], *inputs[1]);
+    case OpKind::kUnion:
+      return UnionAll(*inputs[0], *inputs[1]);
+    case OpKind::kIntersect:
+      return Intersect(*inputs[0], *inputs[1]);
+    case OpKind::kDifference:
+      return Difference(*inputs[0], *inputs[1]);
+    case OpKind::kDistinct:
+      return Distinct(*inputs[0]);
+    case OpKind::kGroupBy:
+    case OpKind::kAgg:
+      return EvalGroupByLike(node, *inputs[0]);
+    case OpKind::kMax:
+    case OpKind::kMin: {
+      const auto& p = std::get<ExtremeParams>(node.params);
+      auto idx = inputs[0]->schema().IndexOf(p.column);
+      if (!idx.has_value()) {
+        return InvalidArgumentError("MAX/MIN: no column '" + p.column + "'");
+      }
+      return ExtremeRow(*inputs[0], *idx, node.kind == OpKind::kMax);
+    }
+    case OpKind::kTopN: {
+      const auto& p = std::get<TopNParams>(node.params);
+      auto idx = inputs[0]->schema().IndexOf(p.column);
+      if (!idx.has_value()) {
+        return InvalidArgumentError("TOP_N: no column '" + p.column + "'");
+      }
+      return TopNBy(*inputs[0], *idx, static_cast<size_t>(p.n));
+    }
+    case OpKind::kSort: {
+      const auto& p = std::get<SortParams>(node.params);
+      std::vector<int> cols;
+      for (const std::string& c : p.columns) {
+        auto idx = inputs[0]->schema().IndexOf(c);
+        if (!idx.has_value()) {
+          return InvalidArgumentError("SORT: no column '" + c + "'");
+        }
+        cols.push_back(*idx);
+      }
+      return SortBy(*inputs[0], cols);
+    }
+    case OpKind::kUdf: {
+      const auto& p = std::get<UdfParams>(node.params);
+      if (!p.fn) {
+        return FailedPreconditionError("UDF '" + p.name + "' has no implementation");
+      }
+      return p.fn(inputs);
+    }
+    case OpKind::kBlackBox: {
+      const auto& p = std::get<BlackBoxParams>(node.params);
+      if (!p.fn) {
+        return FailedPreconditionError("black-box operator has no simulation hook");
+      }
+      return p.fn(inputs);
+    }
+  }
+  return InternalError("bad op kind");
+}
+
+StatusOr<TableMap> EvaluateDag(const Dag& dag, const TableMap& base) {
+  TableMap relations = base;
+  std::vector<TablePtr> by_node(dag.num_nodes());
+
+  for (const OperatorNode& node : dag.nodes()) {
+    if (node.kind == OpKind::kInput) {
+      const auto& p = std::get<InputParams>(node.params);
+      auto it = relations.find(p.relation);
+      if (it == relations.end()) {
+        return NotFoundError("base relation '" + p.relation + "' not provided");
+      }
+      by_node[node.id] = it->second;
+      relations[node.output] = it->second;
+      continue;
+    }
+    if (node.kind == OpKind::kWhile) {
+      const auto& p = std::get<WhileParams>(node.params);
+      // Seed loop-carried relations from the WHILE node's inputs; pass
+      // loop-invariant extra inputs under their producing relation names.
+      TableMap body_base = base;
+      for (size_t i = 0; i < p.bindings.size(); ++i) {
+        body_base[p.bindings[i].loop_input] = by_node[node.inputs[i]];
+      }
+      for (size_t i = p.bindings.size(); i < node.inputs.size(); ++i) {
+        body_base[dag.node(node.inputs[i]).output] = by_node[node.inputs[i]];
+      }
+      TableMap iter_state;
+      for (int64_t iter = 0; iter < p.iterations; ++iter) {
+        MUSKETEER_ASSIGN_OR_RETURN(iter_state, EvaluateDag(*p.body, body_base));
+        bool stable = p.until_fixpoint;
+        for (const LoopBinding& b : p.bindings) {
+          TablePtr next = iter_state[b.body_output];
+          stable = stable && Table::SameContent(*body_base[b.loop_input], *next);
+          body_base[b.loop_input] = std::move(next);
+        }
+        if (stable) {
+          break;
+        }
+      }
+      auto it = iter_state.find(p.result);
+      if (it == iter_state.end()) {
+        return InternalError("WHILE result relation '" + p.result + "' missing");
+      }
+      by_node[node.id] = it->second;
+      relations[node.output] = it->second;
+      continue;
+    }
+    std::vector<const Table*> inputs;
+    inputs.reserve(node.inputs.size());
+    for (int i : node.inputs) {
+      inputs.push_back(by_node[i].get());
+    }
+    auto result = EvaluateOperator(node, inputs);
+    if (!result.ok()) {
+      return Status(result.status().code(),
+                    node.DebugString() + ": " + result.status().message());
+    }
+    auto table = std::make_shared<Table>(std::move(result).value());
+    by_node[node.id] = table;
+    relations[node.output] = table;
+  }
+  return relations;
+}
+
+StatusOr<Table> EvaluateDagRelation(const Dag& dag, const TableMap& base,
+                                    const std::string& name) {
+  MUSKETEER_ASSIGN_OR_RETURN(TableMap all, EvaluateDag(dag, base));
+  auto it = all.find(name);
+  if (it == all.end()) {
+    return NotFoundError("relation '" + name + "' not produced by the workflow");
+  }
+  return *it->second;
+}
+
+}  // namespace musketeer

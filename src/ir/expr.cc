@@ -1,0 +1,236 @@
+#include "src/ir/expr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace musketeer {
+
+namespace {
+
+Value EvalBinary(BinOp op, const Value& a, const Value& b) {
+  auto boolean = [](bool v) -> Value { return static_cast<int64_t>(v ? 1 : 0); };
+  switch (op) {
+    case BinOp::kEq:
+      return boolean(ValuesEqual(a, b));
+    case BinOp::kNe:
+      return boolean(!ValuesEqual(a, b));
+    case BinOp::kLt:
+      return boolean(CompareValues(a, b) < 0);
+    case BinOp::kLe:
+      return boolean(CompareValues(a, b) <= 0);
+    case BinOp::kGt:
+      return boolean(CompareValues(a, b) > 0);
+    case BinOp::kGe:
+      return boolean(CompareValues(a, b) >= 0);
+    case BinOp::kAnd:
+      return boolean(AsDouble(a) != 0 && AsDouble(b) != 0);
+    case BinOp::kOr:
+      return boolean(AsDouble(a) != 0 || AsDouble(b) != 0);
+    default:
+      break;
+  }
+  // Arithmetic: stay integral when both sides are ints and op is not division.
+  if (a.index() == 0 && b.index() == 0 && op != BinOp::kDiv) {
+    int64_t x = std::get<int64_t>(a);
+    int64_t y = std::get<int64_t>(b);
+    switch (op) {
+      case BinOp::kAdd:
+        return x + y;
+      case BinOp::kSub:
+        return x - y;
+      case BinOp::kMul:
+        return x * y;
+      default:
+        break;
+    }
+  }
+  double x = AsDouble(a);
+  double y = AsDouble(b);
+  switch (op) {
+    case BinOp::kAdd:
+      return x + y;
+    case BinOp::kSub:
+      return x - y;
+    case BinOp::kMul:
+      return x * y;
+    case BinOp::kDiv:
+      return y == 0 ? 0.0 : x / y;
+    default:
+      return 0.0;
+  }
+}
+
+bool IsComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+    case BinOp::kAnd:
+    case BinOp::kOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kEq:
+      return "=";
+    case BinOp::kNe:
+      return "!=";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAnd:
+      return "AND";
+    case BinOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Column(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kColumn;
+  e->column_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Literal(Value value) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_ = std::move(value);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kBinary;
+  e->op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+StatusOr<FieldType> Expr::InferType(const Schema& schema) const {
+  switch (kind_) {
+    case ExprKind::kColumn: {
+      auto idx = schema.IndexOf(column_);
+      if (!idx.has_value()) {
+        return InvalidArgumentError("unknown column '" + column_ + "' in schema " +
+                                    schema.ToString());
+      }
+      return schema.field(*idx).type;
+    }
+    case ExprKind::kLiteral:
+      return ValueType(literal_);
+    case ExprKind::kBinary: {
+      if (IsComparison(op_)) {
+        return FieldType::kInt64;
+      }
+      MUSKETEER_ASSIGN_OR_RETURN(FieldType lt, lhs_->InferType(schema));
+      MUSKETEER_ASSIGN_OR_RETURN(FieldType rt, rhs_->InferType(schema));
+      if (lt == FieldType::kString || rt == FieldType::kString) {
+        return InvalidArgumentError("arithmetic on string column in " + ToString());
+      }
+      if (lt == FieldType::kInt64 && rt == FieldType::kInt64 && op_ != BinOp::kDiv) {
+        return FieldType::kInt64;
+      }
+      return FieldType::kDouble;
+    }
+  }
+  return InternalError("bad expr kind");
+}
+
+StatusOr<RowProjector> Expr::Compile(const Schema& schema) const {
+  switch (kind_) {
+    case ExprKind::kColumn: {
+      auto idx = schema.IndexOf(column_);
+      if (!idx.has_value()) {
+        return InvalidArgumentError("unknown column '" + column_ + "' in schema " +
+                                    schema.ToString());
+      }
+      int i = *idx;
+      return RowProjector([i](const Row& row) { return row[i]; });
+    }
+    case ExprKind::kLiteral: {
+      Value v = literal_;
+      return RowProjector([v](const Row&) { return v; });
+    }
+    case ExprKind::kBinary: {
+      MUSKETEER_ASSIGN_OR_RETURN(RowProjector l, lhs_->Compile(schema));
+      MUSKETEER_ASSIGN_OR_RETURN(RowProjector r, rhs_->Compile(schema));
+      BinOp op = op_;
+      return RowProjector(
+          [op, l, r](const Row& row) { return EvalBinary(op, l(row), r(row)); });
+    }
+  }
+  return InternalError("bad expr kind");
+}
+
+StatusOr<RowPredicate> Expr::CompilePredicate(const Schema& schema) const {
+  MUSKETEER_ASSIGN_OR_RETURN(RowProjector proj, Compile(schema));
+  return RowPredicate([proj](const Row& row) { return AsDouble(proj(row)) != 0; });
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return column_;
+    case ExprKind::kLiteral:
+      return ValueToString(literal_);
+    case ExprKind::kBinary:
+      return "(" + lhs_->ToString() + " " + BinOpName(op_) + " " +
+             rhs_->ToString() + ")";
+  }
+  return "?";
+}
+
+bool Expr::ResolvesAgainst(const Schema& schema) const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return schema.IndexOf(column_).has_value();
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kBinary:
+      return lhs_->ResolvesAgainst(schema) && rhs_->ResolvesAgainst(schema);
+  }
+  return false;
+}
+
+void Expr::CollectColumns(std::vector<std::string>* out) const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      if (std::find(out->begin(), out->end(), column_) == out->end()) {
+        out->push_back(column_);
+      }
+      return;
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kBinary:
+      lhs_->CollectColumns(out);
+      rhs_->CollectColumns(out);
+      return;
+  }
+}
+
+}  // namespace musketeer

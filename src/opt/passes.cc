@@ -1,0 +1,316 @@
+#include "src/opt/passes.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace musketeer {
+
+namespace {
+
+// Name-linked operator list, easier to rewrite than the id-linked Dag.
+struct LNode {
+  OpKind kind;
+  std::string output;
+  std::vector<std::string> inputs;  // producing relation names
+  OpParams params;
+};
+
+std::vector<LNode> ToLogical(const Dag& dag) {
+  std::vector<LNode> out;
+  out.reserve(dag.nodes().size());
+  for (const OperatorNode& n : dag.nodes()) {
+    LNode l;
+    l.kind = n.kind;
+    l.output = n.output;
+    l.params = n.params;
+    for (int in : n.inputs) {
+      l.inputs.push_back(dag.node(in).output);
+    }
+    out.push_back(std::move(l));
+  }
+  return out;
+}
+
+StatusOr<std::unique_ptr<Dag>> FromLogical(const std::vector<LNode>& nodes) {
+  auto dag = std::make_unique<Dag>();
+  std::unordered_map<std::string, int> by_name;
+  std::vector<bool> placed(nodes.size(), false);
+  size_t remaining = nodes.size();
+  while (remaining > 0) {
+    bool progress = false;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (placed[i]) {
+        continue;
+      }
+      bool ready = true;
+      for (const std::string& in : nodes[i].inputs) {
+        if (by_name.count(in) == 0) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) {
+        continue;
+      }
+      std::vector<int> ids;
+      for (const std::string& in : nodes[i].inputs) {
+        ids.push_back(by_name[in]);
+      }
+      int id = dag->AddNode(nodes[i].kind, nodes[i].output, std::move(ids),
+                            nodes[i].params);
+      by_name[nodes[i].output] = id;
+      placed[i] = true;
+      --remaining;
+      progress = true;
+    }
+    if (!progress) {
+      return InternalError("optimizer produced an unresolvable operator list");
+    }
+  }
+  return dag;
+}
+
+// Consumer counts per relation name.
+std::unordered_map<std::string, int> CountConsumers(const std::vector<LNode>& nodes) {
+  std::unordered_map<std::string, int> counts;
+  for (const LNode& n : nodes) {
+    for (const std::string& in : n.inputs) {
+      ++counts[in];
+    }
+  }
+  return counts;
+}
+
+int IndexOfProducer(const std::vector<LNode>& nodes, const std::string& name) {
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].output == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+// Schema of each relation name in the logical list.
+StatusOr<std::unordered_map<std::string, Schema>> LogicalSchemas(
+    const std::vector<LNode>& nodes, const SchemaMap& base) {
+  MUSKETEER_ASSIGN_OR_RETURN(std::unique_ptr<Dag> dag, FromLogical(nodes));
+  MUSKETEER_ASSIGN_OR_RETURN(std::vector<Schema> schemas, dag->InferSchemas(base));
+  std::unordered_map<std::string, Schema> out;
+  for (const OperatorNode& n : dag->nodes()) {
+    out[n.output] = schemas[n.id];
+  }
+  return out;
+}
+
+// ---- Individual rewrites ---------------------------------------------------
+// Each returns true if it changed the list (one rewrite per call; the driver
+// loops to fixpoint).
+
+// SELECT(SELECT(x)) -> SELECT(x) with AND-ed condition, when the inner select
+// has no other consumers.
+bool FuseAdjacentSelects(std::vector<LNode>* nodes) {
+  auto consumers = CountConsumers(*nodes);
+  for (size_t i = 0; i < nodes->size(); ++i) {
+    LNode& outer = (*nodes)[i];
+    if (outer.kind != OpKind::kSelect) {
+      continue;
+    }
+    int inner_idx = IndexOfProducer(*nodes, outer.inputs[0]);
+    if (inner_idx < 0) {
+      continue;
+    }
+    LNode& inner = (*nodes)[inner_idx];
+    if (inner.kind != OpKind::kSelect || consumers[inner.output] != 1) {
+      continue;
+    }
+    ExprPtr combined =
+        Expr::Binary(BinOp::kAnd, std::get<SelectParams>(inner.params).condition,
+                     std::get<SelectParams>(outer.params).condition);
+    outer.params = SelectParams{std::move(combined)};
+    outer.inputs[0] = inner.inputs[0];
+    nodes->erase(nodes->begin() + inner_idx);
+    return true;
+  }
+  return false;
+}
+
+// PROJECT(PROJECT(x)) -> PROJECT(x), when the inner project is sole-consumed.
+bool FuseAdjacentProjects(std::vector<LNode>* nodes) {
+  auto consumers = CountConsumers(*nodes);
+  for (size_t i = 0; i < nodes->size(); ++i) {
+    LNode& outer = (*nodes)[i];
+    if (outer.kind != OpKind::kProject) {
+      continue;
+    }
+    int inner_idx = IndexOfProducer(*nodes, outer.inputs[0]);
+    if (inner_idx < 0) {
+      continue;
+    }
+    LNode& inner = (*nodes)[inner_idx];
+    if (inner.kind != OpKind::kProject || consumers[inner.output] != 1) {
+      continue;
+    }
+    // The outer column list is already expressed in the inner's output
+    // namespace, which is a subset of the inner's input namespace — so it is
+    // valid directly against the inner input.
+    outer.inputs[0] = inner.inputs[0];
+    nodes->erase(nodes->begin() + inner_idx);
+    return true;
+  }
+  return false;
+}
+
+// SELECT over JOIN or UNION: push the filter toward the inputs.
+//   y = SELECT c FROM (a JOIN b)  ->  y = (SELECT c FROM a) JOIN b
+// when c only references columns of one side and the join is sole-consumed.
+//   y = SELECT c FROM (a UNION b) ->  y = (SELECT c FROM a) UNION (SELECT c FROM b)
+StatusOr<bool> PushDownSelections(std::vector<LNode>* nodes, const SchemaMap& base,
+                                  int* uniq) {
+  auto consumers = CountConsumers(*nodes);
+  MUSKETEER_ASSIGN_OR_RETURN(auto schemas, LogicalSchemas(*nodes, base));
+  for (size_t i = 0; i < nodes->size(); ++i) {
+    LNode& sel = (*nodes)[i];
+    if (sel.kind != OpKind::kSelect) {
+      continue;
+    }
+    int prod_idx = IndexOfProducer(*nodes, sel.inputs[0]);
+    if (prod_idx < 0) {
+      continue;
+    }
+    LNode& prod = (*nodes)[prod_idx];
+    if (consumers[prod.output] != 1) {
+      continue;
+    }
+    const ExprPtr& cond = std::get<SelectParams>(sel.params).condition;
+
+    if (prod.kind == OpKind::kJoin) {
+      for (int side = 0; side < 2; ++side) {
+        const Schema& in_schema = schemas.at(prod.inputs[side]);
+        if (!cond->ResolvesAgainst(in_schema)) {
+          continue;
+        }
+        // Insert a filter on this side; the join keeps the select's name so
+        // downstream consumers are unaffected; the select node disappears.
+        LNode filter;
+        filter.kind = OpKind::kSelect;
+        filter.output = prod.inputs[side] + "__pushed" + std::to_string((*uniq)++);
+        filter.inputs = {prod.inputs[side]};
+        filter.params = SelectParams{cond};
+
+        prod.inputs[side] = filter.output;
+        prod.output = sel.output;
+        nodes->erase(nodes->begin() + i);
+        nodes->push_back(std::move(filter));
+        return true;
+      }
+      continue;
+    }
+
+    if (prod.kind == OpKind::kUnion) {
+      LNode fa;
+      fa.kind = OpKind::kSelect;
+      fa.output = prod.inputs[0] + "__pushed" + std::to_string((*uniq)++);
+      fa.inputs = {prod.inputs[0]};
+      fa.params = SelectParams{cond};
+      LNode fb;
+      fb.kind = OpKind::kSelect;
+      fb.output = prod.inputs[1] + "__pushed" + std::to_string((*uniq)++);
+      fb.inputs = {prod.inputs[1]};
+      fb.params = SelectParams{cond};
+
+      prod.inputs[0] = fa.output;
+      prod.inputs[1] = fb.output;
+      prod.output = sel.output;
+      nodes->erase(nodes->begin() + i);
+      nodes->push_back(std::move(fa));
+      nodes->push_back(std::move(fb));
+      return true;
+    }
+  }
+  return false;
+}
+
+// Removes operators that no workflow output depends on. INPUT nodes are kept
+// only if consumed (unconsumed inputs were either user mistakes or left over
+// from rewrites). Nodes that were sinks in the *original* DAG are the
+// workflow outputs and always survive.
+bool EliminateDead(std::vector<LNode>* nodes,
+                   const std::unordered_set<std::string>& outputs) {
+  std::unordered_set<std::string> live = outputs;
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const LNode& n : *nodes) {
+      if (live.count(n.output) == 0) {
+        continue;
+      }
+      for (const std::string& in : n.inputs) {
+        if (live.insert(in).second) {
+          grew = true;
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < nodes->size(); ++i) {
+    if (live.count((*nodes)[i].output) == 0) {
+      nodes->erase(nodes->begin() + i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Dag>> OptimizeDag(const Dag& dag, const SchemaMap& base,
+                                           const OptimizeOptions& options,
+                                           OptimizeStats* stats) {
+  MUSKETEER_RETURN_IF_ERROR(dag.Validate());
+  // Sanity: the input must type-check before we rely on schemas for rewrites.
+  MUSKETEER_RETURN_IF_ERROR(dag.InferSchemas(base).status());
+
+  std::vector<LNode> nodes = ToLogical(dag);
+  std::unordered_set<std::string> outputs;
+  for (int sink : dag.Sinks()) {
+    outputs.insert(dag.node(sink).output);
+  }
+
+  OptimizeStats local;
+  int uniq = 0;
+  for (int round = 0; round < options.max_rewrite_rounds; ++round) {
+    bool changed = false;
+    if (options.fuse_adjacent_selects && FuseAdjacentSelects(&nodes)) {
+      ++local.selects_fused;
+      changed = true;
+    }
+    if (!changed && options.fuse_adjacent_projects && FuseAdjacentProjects(&nodes)) {
+      ++local.projects_fused;
+      changed = true;
+    }
+    if (!changed && options.push_down_selections) {
+      MUSKETEER_ASSIGN_OR_RETURN(bool pushed, PushDownSelections(&nodes, base, &uniq));
+      if (pushed) {
+        ++local.selections_pushed;
+        changed = true;
+      }
+    }
+    if (!changed && options.eliminate_dead_operators &&
+        EliminateDead(&nodes, outputs)) {
+      ++local.dead_removed;
+      changed = true;
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  MUSKETEER_ASSIGN_OR_RETURN(std::unique_ptr<Dag> out, FromLogical(nodes));
+  MUSKETEER_RETURN_IF_ERROR(out->Validate());
+  MUSKETEER_RETURN_IF_ERROR(out->InferSchemas(base).status());
+  return out;
+}
+
+}  // namespace musketeer

@@ -1,0 +1,43 @@
+// IR optimization passes (§4.2 "Optimizing the IR").
+//
+// Musketeer applies standard query-rewriting optimizations at the
+// intermediate level so every front-end and back-end benefits: selective
+// operators are moved closer to the start of the workflow, adjacent filters
+// and projections are fused, and operators that no longer contribute to a
+// workflow output are dropped. All passes are semantics-preserving (verified
+// by tests that compare reference-interpreter results before and after).
+
+#ifndef MUSKETEER_SRC_OPT_PASSES_H_
+#define MUSKETEER_SRC_OPT_PASSES_H_
+
+#include <memory>
+
+#include "src/ir/dag.h"
+
+namespace musketeer {
+
+struct OptimizeOptions {
+  bool push_down_selections = true;
+  bool fuse_adjacent_selects = true;
+  bool fuse_adjacent_projects = true;
+  bool eliminate_dead_operators = true;
+  int max_rewrite_rounds = 64;
+};
+
+struct OptimizeStats {
+  int selections_pushed = 0;
+  int selects_fused = 0;
+  int projects_fused = 0;
+  int dead_removed = 0;
+};
+
+// Applies rewrite passes to fixpoint (bounded by max_rewrite_rounds) and
+// returns the optimized DAG. `base` supplies schemas of the workflow's input
+// relations, needed to decide rewrite applicability.
+StatusOr<std::unique_ptr<Dag>> OptimizeDag(const Dag& dag, const SchemaMap& base,
+                                           const OptimizeOptions& options = {},
+                                           OptimizeStats* stats = nullptr);
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_OPT_PASSES_H_

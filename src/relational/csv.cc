@@ -1,0 +1,102 @@
+#include "src/relational/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/base/strings.h"
+
+namespace musketeer {
+
+StatusOr<Table> ParseCsv(const std::string& text, const Schema& schema,
+                         char delimiter) {
+  Table out(schema);
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line;
+    if (end == std::string::npos) {
+      line = std::string_view(text).substr(start);
+      start = text.size() + 1;
+    } else {
+      line = std::string_view(text).substr(start, end - start);
+      start = end + 1;
+    }
+    ++line_no;
+    line = StripWhitespace(line);
+    if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string> fields = StrSplit(line, delimiter);
+    if (fields.size() != schema.num_fields()) {
+      return InvalidArgumentError("line " + std::to_string(line_no) + ": expected " +
+                                  std::to_string(schema.num_fields()) +
+                                  " fields, got " + std::to_string(fields.size()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      switch (schema.field(c).type) {
+        case FieldType::kInt64: {
+          auto v = ParseInt64(fields[c]);
+          if (!v.has_value()) {
+            return InvalidArgumentError("line " + std::to_string(line_no) +
+                                        ": bad integer '" + fields[c] + "'");
+          }
+          row.push_back(*v);
+          break;
+        }
+        case FieldType::kDouble: {
+          auto v = ParseDouble(fields[c]);
+          if (!v.has_value()) {
+            return InvalidArgumentError("line " + std::to_string(line_no) +
+                                        ": bad double '" + fields[c] + "'");
+          }
+          row.push_back(*v);
+          break;
+        }
+        case FieldType::kString:
+          row.push_back(fields[c]);
+          break;
+      }
+    }
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+std::string WriteCsv(const Table& table, char delimiter) {
+  std::ostringstream os;
+  for (const Row& row : table.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        os << delimiter;
+      }
+      os << ValueToString(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+StatusOr<Table> LoadCsvFile(const std::string& path, const Schema& schema,
+                            char delimiter) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str(), schema, delimiter);
+}
+
+Status SaveCsvFile(const Table& table, const std::string& path, char delimiter) {
+  std::ofstream out(path);
+  if (!out) {
+    return InternalError("cannot write " + path);
+  }
+  out << WriteCsv(table, delimiter);
+  return OkStatus();
+}
+
+}  // namespace musketeer

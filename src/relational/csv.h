@@ -1,0 +1,32 @@
+// CSV import/export for relations. The on-disk format is the one the paper's
+// HDFS-resident inputs use: one record per line, fields separated by a
+// configurable delimiter (space for graph edge lists, comma for tables).
+
+#ifndef MUSKETEER_SRC_RELATIONAL_CSV_H_
+#define MUSKETEER_SRC_RELATIONAL_CSV_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/relational/table.h"
+
+namespace musketeer {
+
+// Parses `text` into a table with the given schema. Fields are converted
+// according to schema types; malformed lines produce an error naming the
+// line number.
+StatusOr<Table> ParseCsv(const std::string& text, const Schema& schema,
+                         char delimiter = ',');
+
+// Serializes a table (no header row).
+std::string WriteCsv(const Table& table, char delimiter = ',');
+
+// File variants.
+StatusOr<Table> LoadCsvFile(const std::string& path, const Schema& schema,
+                            char delimiter = ',');
+Status SaveCsvFile(const Table& table, const std::string& path,
+                   char delimiter = ',');
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_RELATIONAL_CSV_H_

@@ -1,0 +1,27 @@
+#include "src/relational/schema.h"
+
+namespace musketeer {
+
+std::optional<int> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += fields_[i].name;
+    out += ":";
+    out += FieldTypeName(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace musketeer

@@ -1,0 +1,48 @@
+// Relation schemas: named, typed columns.
+
+#ifndef MUSKETEER_SRC_RELATIONAL_SCHEMA_H_
+#define MUSKETEER_SRC_RELATIONAL_SCHEMA_H_
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/relational/value.h"
+
+namespace musketeer {
+
+struct Field {
+  std::string name;
+  FieldType type;
+
+  bool operator==(const Field& other) const = default;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+  Schema(std::initializer_list<Field> fields) : fields_(fields) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  // Column index by name, or nullopt if absent. Name matching is exact.
+  std::optional<int> IndexOf(const std::string& name) const;
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  // "name:TYPE, name:TYPE, ..." — used in error messages and codegen.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const = default;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,112 @@
+#include "src/relational/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace musketeer {
+
+Status Table::Validate() const {
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    const Row& row = rows_[r];
+    if (row.size() != schema_.num_fields()) {
+      return InternalError("row " + std::to_string(r) + " has " +
+                           std::to_string(row.size()) + " values, schema has " +
+                           std::to_string(schema_.num_fields()));
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (ValueType(row[c]) != schema_.field(c).type) {
+        return InternalError("row " + std::to_string(r) + " col " +
+                             std::to_string(c) + " (" + schema_.field(c).name +
+                             ") has type " + FieldTypeName(ValueType(row[c])) +
+                             ", schema says " +
+                             FieldTypeName(schema_.field(c).type));
+      }
+    }
+  }
+  return OkStatus();
+}
+
+double Table::avg_row_bytes() const {
+  if (rows_.empty()) {
+    // Fall back to schema-based width so empty relations still cost something
+    // reasonable in the simulator.
+    double w = 0;
+    for (const Field& f : schema_.fields()) {
+      w += (f.type == FieldType::kString) ? 16.0 : 8.0;
+    }
+    return w > 0 ? w : 8.0;
+  }
+  size_t sample = std::min<size_t>(rows_.size(), 1024);
+  double total = 0;
+  for (size_t i = 0; i < sample; ++i) {
+    for (const Value& v : rows_[i]) {
+      total += ValueBytes(v);
+    }
+  }
+  return total / static_cast<double>(sample);
+}
+
+std::string Table::DebugString(size_t limit) const {
+  std::ostringstream os;
+  os << "[" << schema_.ToString() << "] " << rows_.size() << " rows (scale "
+     << scale_ << ")\n";
+  for (size_t i = 0; i < rows_.size() && i < limit; ++i) {
+    for (size_t c = 0; c < rows_[i].size(); ++c) {
+      if (c > 0) {
+        os << " | ";
+      }
+      os << ValueToString(rows_[i][c]);
+    }
+    os << "\n";
+  }
+  if (rows_.size() > limit) {
+    os << "... (" << rows_.size() - limit << " more)\n";
+  }
+  return os.str();
+}
+
+void Table::SortRows() { std::sort(rows_.begin(), rows_.end(), RowLess()); }
+
+namespace {
+
+// Value equality with a floating-point tolerance: distributed engines sum
+// doubles in partition order, which differs from the reference interpreter's
+// input order by last-ULP rounding. Integers and strings compare exactly.
+bool ValuesCloseEnough(const Value& a, const Value& b) {
+  if (a.index() == 1 || b.index() == 1) {
+    double x = AsDouble(a);
+    double y = AsDouble(b);
+    double tolerance = 1e-9 * std::max({std::abs(x), std::abs(y), 1.0});
+    return std::abs(x - y) <= tolerance;
+  }
+  return ValuesEqual(a, b);
+}
+
+}  // namespace
+
+bool Table::SameContent(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows()) {
+    return false;
+  }
+  if (a.schema().num_fields() != b.schema().num_fields()) {
+    return false;
+  }
+  std::vector<Row> ra = a.rows();
+  std::vector<Row> rb = b.rows();
+  std::sort(ra.begin(), ra.end(), RowLess());
+  std::sort(rb.begin(), rb.end(), RowLess());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i].size() != rb[i].size()) {
+      return false;
+    }
+    for (size_t c = 0; c < ra[i].size(); ++c) {
+      if (!ValuesCloseEnough(ra[i][c], rb[i][c])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace musketeer

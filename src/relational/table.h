@@ -1,0 +1,87 @@
+// In-memory relations plus the nominal-size metadata that drives the engine
+// simulators.
+//
+// A Table holds the rows Musketeer actually executes on (the "sample") and a
+// `scale` factor: the workload generators materialize a scaled-down sample of
+// the paper's data sets (e.g., 1/1000th of the Twitter graph) and set scale
+// so that nominal_rows() == the data set size the paper used. Engine
+// simulators charge time against nominal sizes while computing real results
+// on the sample; correctness checks always compare sample contents.
+
+#ifndef MUSKETEER_SRC_RELATIONAL_TABLE_H_
+#define MUSKETEER_SRC_RELATIONAL_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/units.h"
+#include "src/relational/schema.h"
+#include "src/relational/value.h"
+
+namespace musketeer {
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>* mutable_rows() { return &rows_; }
+
+  size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  void AddRow(Row row) { rows_.push_back(std::move(row)); }
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  // Validates that every row matches the schema arity and types.
+  Status Validate() const;
+
+  // --- Nominal-size metadata -------------------------------------------
+  // scale = nominal rows per sample row (>= 1.0). Propagated through
+  // relational operators so engine simulators can charge full-size time.
+  double scale() const { return scale_; }
+  void set_scale(double scale) { scale_ = scale; }
+
+  double nominal_rows() const { return static_cast<double>(rows_.size()) * scale_; }
+
+  // Average serialized bytes per row of the sample (measured on up to the
+  // first 1024 rows; exact for narrow tables).
+  double avg_row_bytes() const;
+
+  // Nominal serialized footprint: nominal_rows * avg_row_bytes.
+  Bytes nominal_bytes() const { return nominal_rows() * avg_row_bytes(); }
+
+  // Actual sample footprint.
+  Bytes sample_bytes() const {
+    return static_cast<double>(rows_.size()) * avg_row_bytes();
+  }
+
+  // Renders the first `limit` rows for debugging.
+  std::string DebugString(size_t limit = 10) const;
+
+  // Sorts rows into canonical order (for order-insensitive comparisons).
+  void SortRows();
+
+  // True if both tables contain the same multiset of rows (ignoring order)
+  // and the same schema types.
+  static bool SameContent(const Table& a, const Table& b);
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+  double scale_ = 1.0;
+};
+
+using TablePtr = std::shared_ptr<const Table>;
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_RELATIONAL_TABLE_H_

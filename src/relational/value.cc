@@ -1,0 +1,113 @@
+#include "src/relational/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace musketeer {
+
+const char* FieldTypeName(FieldType type) {
+  switch (type) {
+    case FieldType::kInt64:
+      return "INT";
+    case FieldType::kDouble:
+      return "DOUBLE";
+    case FieldType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+double AsDouble(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return static_cast<double>(std::get<int64_t>(v));
+    case 1:
+      return std::get<double>(v);
+    default:
+      return 0.0;
+  }
+}
+
+int64_t AsInt64(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::get<int64_t>(v);
+    case 1:
+      return static_cast<int64_t>(std::get<double>(v));
+    default:
+      return 0;
+  }
+}
+
+std::string ValueToString(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::to_string(std::get<int64_t>(v));
+    case 1: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(v));
+      return buf;
+    }
+    default:
+      return std::get<std::string>(v);
+  }
+}
+
+int CompareValues(const Value& a, const Value& b) {
+  bool a_str = a.index() == 2;
+  bool b_str = b.index() == 2;
+  if (a_str != b_str) {
+    return a_str ? 1 : -1;  // numerics order before strings
+  }
+  if (a_str) {
+    const std::string& sa = std::get<std::string>(a);
+    const std::string& sb = std::get<std::string>(b);
+    if (sa < sb) {
+      return -1;
+    }
+    return sa == sb ? 0 : 1;
+  }
+  // Both numeric. Compare exactly when both are ints to avoid precision loss.
+  if (a.index() == 0 && b.index() == 0) {
+    int64_t ia = std::get<int64_t>(a);
+    int64_t ib = std::get<int64_t>(b);
+    if (ia < ib) {
+      return -1;
+    }
+    return ia == ib ? 0 : 1;
+  }
+  double da = AsDouble(a);
+  double db = AsDouble(b);
+  if (da < db) {
+    return -1;
+  }
+  return da == db ? 0 : 1;
+}
+
+size_t HashValue(const Value& v) {
+  switch (v.index()) {
+    case 0: {
+      // Hash via double representation when integral so that 3 and 3.0 agree.
+      int64_t i = std::get<int64_t>(v);
+      return std::hash<double>{}(static_cast<double>(i));
+    }
+    case 1: {
+      double d = std::get<double>(v);
+      return std::hash<double>{}(d);
+    }
+    default:
+      return std::hash<std::string>{}(std::get<std::string>(v));
+  }
+}
+
+double ValueBytes(const Value& v) {
+  switch (v.index()) {
+    case 0:
+    case 1:
+      return 8.0;
+    default:
+      return static_cast<double>(std::get<std::string>(v).size()) + 1.0;
+  }
+}
+
+}  // namespace musketeer

@@ -1,0 +1,101 @@
+// Typed cell values for Musketeer's relational kernel.
+//
+// The kernel supports the three column types the paper's workloads need:
+// 64-bit integers (ids, counts), doubles (ranks, prices) and strings (names,
+// log tokens). Values order and hash across the numeric types coherently so
+// joins/group-bys behave even when front-ends mix INT and DOUBLE columns.
+
+#ifndef MUSKETEER_SRC_RELATIONAL_VALUE_H_
+#define MUSKETEER_SRC_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace musketeer {
+
+enum class FieldType { kInt64, kDouble, kString };
+
+const char* FieldTypeName(FieldType type);
+
+using Value = std::variant<int64_t, double, std::string>;
+
+inline FieldType ValueType(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return FieldType::kInt64;
+    case 1:
+      return FieldType::kDouble;
+    default:
+      return FieldType::kString;
+  }
+}
+
+// Numeric view of a value; strings convert to 0 (callers validate types at
+// plan-build time, this is a belt-and-braces fallback, not a parse).
+double AsDouble(const Value& v);
+int64_t AsInt64(const Value& v);
+
+// Renders the value the way the CSV writer does.
+std::string ValueToString(const Value& v);
+
+// Total order across values: numerics compare numerically (int vs double
+// compare by magnitude), strings compare lexicographically, and numerics
+// order before strings.
+int CompareValues(const Value& a, const Value& b);
+
+inline bool ValuesEqual(const Value& a, const Value& b) {
+  return CompareValues(a, b) == 0;
+}
+
+// Hash consistent with ValuesEqual: ints and integral doubles collide.
+size_t HashValue(const Value& v);
+
+using Row = std::vector<Value>;
+
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : row) {
+      h ^= HashValue(v) + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!ValuesEqual(a[i], b[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    size_t n = a.size() < b.size() ? a.size() : b.size();
+    for (size_t i = 0; i < n; ++i) {
+      int c = CompareValues(a[i], b[i]);
+      if (c != 0) {
+        return c < 0;
+      }
+    }
+    return a.size() < b.size();
+  }
+};
+
+// Approximate on-disk footprint of one value, used for nominal-size
+// accounting (ints/doubles as 8-byte fields, strings as length + separator).
+double ValueBytes(const Value& v);
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_RELATIONAL_VALUE_H_

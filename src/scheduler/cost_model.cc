@@ -1,0 +1,291 @@
+#include "src/scheduler/cost_model.h"
+
+#include <algorithm>
+
+#include "src/backends/pricing.h"
+#include "src/opt/idiom.h"
+
+namespace musketeer {
+
+CostModel::CostModel(ClusterConfig cluster, const HistoryStore* history,
+                     std::string workflow_id, bool conservative_merging)
+    : cluster_(std::move(cluster)),
+      history_(history),
+      workflow_id_(std::move(workflow_id)),
+      conservative_merging_(conservative_merging) {}
+
+Bytes CostModel::PredictNodeSize(const Dag& /*dag*/, const OperatorNode& node,
+                                 const std::vector<Bytes>& in_bytes) const {
+  // Observed history beats any bound.
+  if (history_ != nullptr) {
+    auto h = history_->Lookup(workflow_id_, node.output);
+    if (h.has_value()) {
+      return *h;
+    }
+  }
+  Bytes total_in = 0;
+  for (Bytes b : in_bytes) {
+    total_in += b;
+  }
+  switch (OpSizeBehavior(node.kind)) {
+    case SizeBehavior::kSelective:
+    case SizeBehavior::kPreserving:
+      // Conservative upper bound: no more data than came in.
+      return in_bytes.empty() ? 0 : in_bytes[0];
+    case SizeBehavior::kAdditive:
+      return total_in;
+    case SizeBehavior::kConstant:
+      return 128.0;
+    case SizeBehavior::kGenerative:
+      // JOIN & friends: unknown bound; be conservative until history says
+      // otherwise ("Musketeer applies conservative data size bounds", §5.2).
+      return kConservativeGenerativeFactor * total_in;
+  }
+  return total_in;
+}
+
+StatusOr<std::vector<Bytes>> CostModel::PredictSizes(
+    const Dag& dag, const RelationSizes& base_sizes) const {
+  std::vector<Bytes> sizes(dag.num_nodes(), 0);
+  for (const OperatorNode& node : dag.nodes()) {
+    if (node.kind == OpKind::kInput) {
+      const std::string& rel = std::get<InputParams>(node.params).relation;
+      auto it = base_sizes.find(rel);
+      if (it != base_sizes.end()) {
+        sizes[node.id] = it->second;
+        continue;
+      }
+      if (history_ != nullptr) {
+        auto h = history_->Lookup(workflow_id_, rel);
+        if (h.has_value()) {
+          sizes[node.id] = *h;
+          continue;
+        }
+      }
+      return NotFoundError("no size information for base relation '" + rel + "'");
+    }
+    if (node.kind == OpKind::kWhile) {
+      const auto& wp = std::get<WhileParams>(node.params);
+      // Predict one loop trip (steady-state approximation): the body sees
+      // the loop seeds plus the loop-invariant extra inputs.
+      RelationSizes body_base = base_sizes;
+      for (size_t i = 0; i < wp.bindings.size(); ++i) {
+        body_base[wp.bindings[i].loop_input] = sizes[node.inputs[i]];
+      }
+      for (size_t i = wp.bindings.size(); i < node.inputs.size(); ++i) {
+        body_base[dag.node(node.inputs[i]).output] = sizes[node.inputs[i]];
+      }
+      MUSKETEER_ASSIGN_OR_RETURN(std::vector<Bytes> body_sizes,
+                                 PredictSizes(*wp.body, body_base));
+      sizes[node.id] = body_sizes[wp.body->ProducerOf(wp.result)];
+      continue;
+    }
+    std::vector<Bytes> in;
+    for (int i : node.inputs) {
+      in.push_back(sizes[i]);
+    }
+    sizes[node.id] = PredictNodeSize(dag, node, in);
+  }
+  return sizes;
+}
+
+double CostModel::JobCost(const Dag& dag, const std::vector<int>& ops,
+                          EngineKind engine,
+                          const std::vector<Bytes>& sizes) const {
+  const Backend& backend = BackendFor(engine);
+  if (!backend.CanRunAsSingleJob(dag, ops)) {
+    return kInfiniteCost;
+  }
+  std::vector<int> sorted = ops;
+  std::sort(sorted.begin(), sorted.end());
+  std::unordered_map<int, bool> in_set;
+  for (int id : sorted) {
+    in_set[id] = true;
+  }
+
+  // Conservative first-run merge gating (§5.2): a generative operator with
+  // no historical output size ends its job — its consumers cannot share it.
+  if (conservative_merging_) {
+    for (int id : sorted) {
+      const OperatorNode& node = dag.node(id);
+      if (node.kind != OpKind::kWhile &&
+          OpSizeBehavior(node.kind) == SizeBehavior::kGenerative) {
+        bool known = history_ != nullptr &&
+                     history_->Lookup(workflow_id_, node.output).has_value();
+        if (!known) {
+          for (int c : dag.ConsumersOf(id)) {
+            if (in_set.count(c)) {
+              return kInfiniteCost;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  JobShape shape;
+  shape.process_efficiency = backend.generated_process_efficiency();
+
+  // PULL: externally-produced inputs (deduplicated per producer).
+  std::unordered_map<int, bool> pulled;
+  for (int id : sorted) {
+    for (int p : dag.node(id).inputs) {
+      if (!in_set.count(p) && !pulled.count(p)) {
+        pulled[p] = true;
+        shape.pull_bytes += sizes[p];
+      }
+    }
+  }
+  if (RatesFor(engine).load_mbps > 0) {
+    shape.load_bytes = shape.pull_bytes;
+  }
+
+  // PUSH: outputs leaving the job.
+  for (int id : sorted) {
+    std::vector<int> consumers = dag.ConsumersOf(id);
+    bool external = consumers.empty();
+    for (int c : consumers) {
+      external = external || !in_set.count(c);
+    }
+    if (external) {
+      shape.push_bytes += sizes[id];
+    }
+  }
+
+  bool spark_miss = engine == EngineKind::kSpark;
+  bool miss_charged = false;
+
+  // Per-operator processing.
+  for (int id : sorted) {
+    const OperatorNode& node = dag.node(id);
+    if (node.kind == OpKind::kWhile) {
+      const auto& wp = std::get<WhileParams>(node.params);
+      bool idiom = IsGraphIdiom(dag, id);
+      WhileExec mode = WhileModeFor(engine, idiom);
+      bool graph_path = mode == WhileExec::kVertexRuntime;
+
+      RelationSizes body_base;
+      for (size_t i = 0; i < wp.bindings.size(); ++i) {
+        body_base[wp.bindings[i].loop_input] = sizes[node.inputs[i]];
+      }
+      for (size_t i = wp.bindings.size(); i < node.inputs.size(); ++i) {
+        body_base[dag.node(node.inputs[i]).output] = sizes[node.inputs[i]];
+      }
+      auto body_sizes_or = PredictSizes(*wp.body, body_base);
+      if (!body_sizes_or.ok()) {
+        return kInfiniteCost;
+      }
+      const std::vector<Bytes>& body_sizes = *body_sizes_or;
+
+      int body_shuffles = 0;
+      Bytes materialized = 0;
+      bool charged_scan = false;
+      bool charged_gather = false;
+      for (const OperatorNode& bn : wp.body->nodes()) {
+        if (bn.kind == OpKind::kInput) {
+          continue;
+        }
+        Bytes in_bytes = 0;
+        for (int bi : bn.inputs) {
+          in_bytes += body_sizes[bi];
+        }
+        if (graph_path) {
+          // Vertex runtime: one graph-rate edge scan plus gather
+          // communication per superstep (mirrors ExecuteJob's model).
+          if (bn.kind == OpKind::kJoin && !charged_scan) {
+            charged_scan = true;
+            shape.ops.push_back(
+                PricedOp{.in_bytes = in_bytes * static_cast<double>(wp.iterations),
+                         .shuffle = false,
+                         .charge_process = true,
+                         .graph_path = true});
+          } else if ((bn.kind == OpKind::kGroupBy || bn.kind == OpKind::kAgg) &&
+                     !charged_gather) {
+            charged_gather = true;
+            shape.ops.push_back(
+                PricedOp{.in_bytes = in_bytes * static_cast<double>(wp.iterations),
+                         .shuffle = true,
+                         .charge_process = false,
+                         .graph_path = true});
+          }
+          continue;
+        }
+        PricedOp priced;
+        priced.in_bytes = in_bytes * static_cast<double>(wp.iterations);
+        priced.shuffle = IsShuffleOp(bn.kind);
+        priced.charge_process = !IsRowwiseOp(bn.kind);
+        shape.ops.push_back(priced);
+        if (IsShuffleOp(bn.kind)) {
+          ++body_shuffles;
+          materialized += body_sizes[bn.id] * static_cast<double>(wp.iterations);
+        }
+      }
+      switch (mode) {
+        case WhileExec::kPerIterationJobs:
+          shape.job_count += std::max(1, body_shuffles) *
+                             static_cast<int>(wp.iterations) - 1;
+          shape.pull_bytes += materialized;
+          shape.push_bytes += materialized;
+          break;
+        default:
+          shape.supersteps += static_cast<int>(wp.iterations);
+          break;
+      }
+      continue;
+    }
+
+    Bytes in_bytes = 0;
+    for (int i : node.inputs) {
+      in_bytes += sizes[i];
+    }
+    PricedOp priced;
+    priced.in_bytes = in_bytes;
+    priced.shuffle = IsShuffleOp(node.kind);
+    priced.charge_process = !IsRowwiseOp(node.kind);
+    shape.ops.push_back(priced);
+
+    // Spark type-inference miss (mirrors the executor): a join feeding a
+    // differently-keyed aggregation — possibly through row-wise reshaping —
+    // costs an extra pass over the join output.
+    if (spark_miss && !miss_charged && node.kind == OpKind::kJoin) {
+      const auto& jp = std::get<JoinParams>(node.params);
+      int cur = id;
+      bool reshaped = false;
+      while (true) {
+        std::vector<int> consumers = dag.ConsumersOf(cur);
+        if (consumers.size() != 1 || !in_set.count(consumers[0])) {
+          break;
+        }
+        const OperatorNode& consumer = dag.node(consumers[0]);
+        if (IsRowwiseOp(consumer.kind)) {
+          reshaped = true;
+          cur = consumer.id;
+          continue;
+        }
+        bool miss = false;
+        if (consumer.kind == OpKind::kGroupBy) {
+          const auto& gp = std::get<GroupByParams>(consumer.params);
+          miss = reshaped || gp.group_columns.size() != 1 ||
+                 gp.group_columns[0] != jp.left_key;
+        } else if (consumer.kind == OpKind::kAgg) {
+          miss = true;
+        }
+        if (miss) {
+          miss_charged = true;
+          shape.ops.push_back(PricedOp{.in_bytes = sizes[id],
+                                       .shuffle = false,
+                                       .charge_process = true});
+        }
+        break;
+      }
+    }
+  }
+
+  if (engine == EngineKind::kGraphChi &&
+      shape.pull_bytes < kGraphChiInMemoryBytes) {
+    shape.process_efficiency *= kGraphChiInMemoryBoost;
+  }
+  return PriceJob(engine, cluster_, shape);
+}
+
+}  // namespace musketeer

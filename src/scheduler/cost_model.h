@@ -1,0 +1,73 @@
+// The cost function (§5.2).
+//
+// Scores running a set of operators as one job on a given engine. Three
+// ingredients, exactly as in the paper:
+//  1. Data volume: per-operator output-size bounds applied to the run-time
+//     input sizes predict intermediate and output volumes. Generative
+//     operators (JOIN) have no useful bound, so without history the model
+//     uses a conservative multiple of the inputs.
+//  2. Operator performance: the one-off calibrated PULL/LOAD/PROCESS/PUSH
+//     rates per engine (src/backends/perf_model.cc, the paper's Table 1).
+//  3. Workflow history: observed relation sizes from prior runs of the same
+//     workflow replace the bounds (src/scheduler/history.h).
+
+#ifndef MUSKETEER_SRC_SCHEDULER_COST_MODEL_H_
+#define MUSKETEER_SRC_SCHEDULER_COST_MODEL_H_
+
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/backends/backend.h"
+#include "src/cluster/cluster.h"
+#include "src/scheduler/history.h"
+
+namespace musketeer {
+
+inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
+
+// Known sizes of the workflow's base (DFS-resident) relations.
+using RelationSizes = std::unordered_map<std::string, Bytes>;
+
+class CostModel {
+ public:
+  // `history` may be nullptr (first run, no workflow knowledge).
+  // With `conservative_merging` set, the model refuses to merge past a
+  // generative operator whose output size is not known from history (§5.2:
+  // on first execution Musketeer "only merges selective operators and
+  // generative operators with small output bounds", so JOINs end their job
+  // until history tightens their bounds).
+  CostModel(ClusterConfig cluster, const HistoryStore* history,
+            std::string workflow_id, bool conservative_merging = false);
+
+  // Predicts the nominal output bytes of every node. Base INPUT sizes come
+  // from `base_sizes` (run-time information: the inputs sit in the DFS).
+  StatusOr<std::vector<Bytes>> PredictSizes(const Dag& dag,
+                                            const RelationSizes& base_sizes) const;
+
+  // Estimated makespan of running `ops` as a single job on `engine`;
+  // kInfiniteCost when the engine cannot run the set as one job.
+  // `sizes` must come from PredictSizes on the same DAG.
+  double JobCost(const Dag& dag, const std::vector<int>& ops, EngineKind engine,
+                 const std::vector<Bytes>& sizes) const;
+
+  const ClusterConfig& cluster() const { return cluster_; }
+
+  // Conservative output multiplier for generative operators without history.
+  static constexpr double kConservativeGenerativeFactor = 3.0;
+
+ private:
+  // Predicted size of one operator's output from its input sizes.
+  Bytes PredictNodeSize(const Dag& dag, const OperatorNode& node,
+                        const std::vector<Bytes>& in_bytes) const;
+
+  ClusterConfig cluster_;
+  const HistoryStore* history_;  // not owned, may be null
+  std::string workflow_id_;
+  bool conservative_merging_;
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_SCHEDULER_COST_MODEL_H_

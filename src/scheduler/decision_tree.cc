@@ -1,0 +1,38 @@
+#include "src/scheduler/decision_tree.h"
+
+#include "src/opt/idiom.h"
+
+namespace musketeer {
+
+EngineKind DecisionTreeChoice(const Dag& dag, Bytes total_input_bytes,
+                              const ClusterConfig& cluster) {
+  bool iterative = false;
+  bool has_join = false;
+  for (const OperatorNode& n : dag.nodes()) {
+    iterative = iterative || n.kind == OpKind::kWhile;
+    has_join = has_join || n.kind == OpKind::kJoin ||
+               n.kind == OpKind::kCrossJoin;
+  }
+  bool graph = false;
+  for (const GraphIdiomMatch& m : DetectGraphIdioms(dag)) {
+    graph = graph || m.vertex_centric;
+  }
+
+  // Rigid thresholds, single engine for the whole workflow.
+  if (graph) {
+    return cluster.num_nodes >= 16 ? EngineKind::kPowerGraph
+                                   : EngineKind::kGraphChi;
+  }
+  if (iterative) {
+    return EngineKind::kSpark;  // "in-memory engines are for iteration"
+  }
+  if (total_input_bytes < 1.0 * kGB) {
+    return EngineKind::kMetis;  // "small data fits one machine"
+  }
+  if (has_join && total_input_bytes > 10.0 * kGB) {
+    return EngineKind::kHadoop;  // "big joins need a big shuffle"
+  }
+  return EngineKind::kHadoop;
+}
+
+}  // namespace musketeer

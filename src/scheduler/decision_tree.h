@@ -1,0 +1,23 @@
+// The decision-tree baseline of §6.7 (Fig. 14).
+//
+// A hand-built tree over back-end features and known characteristics picks a
+// single engine for the whole workflow. Its fixed thresholds and inability
+// to account for operator merging, shared scans or combinations of engines
+// are exactly why it loses to Musketeer's cost function in the paper.
+
+#ifndef MUSKETEER_SRC_SCHEDULER_DECISION_TREE_H_
+#define MUSKETEER_SRC_SCHEDULER_DECISION_TREE_H_
+
+#include "src/backends/engine_kind.h"
+#include "src/base/units.h"
+#include "src/cluster/cluster.h"
+#include "src/ir/dag.h"
+
+namespace musketeer {
+
+EngineKind DecisionTreeChoice(const Dag& dag, Bytes total_input_bytes,
+                              const ClusterConfig& cluster);
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_SCHEDULER_DECISION_TREE_H_

@@ -1,0 +1,52 @@
+#include "src/scheduler/history.h"
+
+namespace musketeer {
+
+void HistoryStore::Record(const std::string& workflow, const std::string& relation,
+                          Bytes bytes) {
+  auto& per_wf = data_[workflow];
+  auto it = per_wf.find(relation);
+  if (it != per_wf.end()) {
+    it->second.bytes = bytes;
+    return;
+  }
+  Entry e;
+  e.bytes = bytes;
+  e.order = static_cast<int>(per_wf.size());
+  per_wf.emplace(relation, e);
+}
+
+std::optional<Bytes> HistoryStore::Lookup(const std::string& workflow,
+                                          const std::string& relation) const {
+  auto wf = data_.find(workflow);
+  if (wf == data_.end()) {
+    return std::nullopt;
+  }
+  auto it = wf->second.find(relation);
+  if (it == wf->second.end()) {
+    return std::nullopt;
+  }
+  return it->second.bytes;
+}
+
+int HistoryStore::EntriesFor(const std::string& workflow) const {
+  auto wf = data_.find(workflow);
+  return wf == data_.end() ? 0 : static_cast<int>(wf->second.size());
+}
+
+void HistoryStore::Clear() { data_.clear(); }
+
+HistoryStore HistoryStore::WithPartialKnowledge(double fraction) const {
+  HistoryStore out;
+  for (const auto& [workflow, relations] : data_) {
+    int total = static_cast<int>(relations.size());
+    for (const auto& [relation, entry] : relations) {
+      if (entry.order < fraction * total) {
+        out.Record(workflow, relation, entry.bytes);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace musketeer

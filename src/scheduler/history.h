@@ -1,0 +1,49 @@
+// Workflow history store (§5.2, item 3).
+//
+// Musketeer records information about each job it runs — in particular the
+// observed sizes of every relation a workflow produces — and uses it to
+// refine the cost model's data-volume predictions on subsequent runs of the
+// same workflow. Without history, generative operators (JOIN) have unknown
+// output bounds and the model falls back to conservative estimates.
+
+#ifndef MUSKETEER_SRC_SCHEDULER_HISTORY_H_
+#define MUSKETEER_SRC_SCHEDULER_HISTORY_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/base/units.h"
+
+namespace musketeer {
+
+class HistoryStore {
+ public:
+  // Records the observed nominal size of `relation` produced by `workflow`.
+  void Record(const std::string& workflow, const std::string& relation,
+              Bytes bytes);
+
+  std::optional<Bytes> Lookup(const std::string& workflow,
+                              const std::string& relation) const;
+
+  // Number of relations recorded for `workflow`.
+  int EntriesFor(const std::string& workflow) const;
+
+  void Clear();
+
+  // Keeps only entries whose insertion index (per workflow) is below
+  // `fraction` of the total — used to model partially-acquired history.
+  HistoryStore WithPartialKnowledge(double fraction) const;
+
+ private:
+  struct Entry {
+    Bytes bytes = 0;
+    int order = 0;  // insertion order within the workflow
+  };
+  // workflow -> relation -> entry
+  std::unordered_map<std::string, std::unordered_map<std::string, Entry>> data_;
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_SCHEDULER_HISTORY_H_

@@ -1,0 +1,316 @@
+#include "src/workloads/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace musketeer {
+
+namespace {
+
+Schema VertexSchema() {
+  return Schema({{"id", FieldType::kInt64},
+                 {"vertex_value", FieldType::kDouble},
+                 {"vertex_degree", FieldType::kInt64}});
+}
+
+Schema EdgeSchema(bool with_costs) {
+  Schema s({{"src", FieldType::kInt64}, {"dst", FieldType::kInt64}});
+  if (with_costs) {
+    s.AddField({"cost", FieldType::kDouble});
+  }
+  return s;
+}
+
+}  // namespace
+
+GraphDataset MakePowerLawGraph(const GraphSpec& spec) {
+  Rng rng(spec.seed);
+  const int n = spec.sample_vertices;
+  const double avg_degree =
+      spec.nominal_vertices > 0 ? spec.nominal_edges / spec.nominal_vertices : 8.0;
+
+  // Sample edges: every vertex gets at least one out-edge; destination ids
+  // are Zipf-skewed so in-degree follows a power law like real social graphs.
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  std::vector<int64_t> out_degree(n, 0);
+  for (int v = 0; v < n; ++v) {
+    // Out-degree: 1 + geometric-ish around the average.
+    int64_t degree = 1 + static_cast<int64_t>(rng.NextDouble() * 2.0 * avg_degree);
+    degree = std::min<int64_t>(degree, n - 1);
+    std::set<int64_t> dsts;
+    while (static_cast<int64_t>(dsts.size()) < degree) {
+      int64_t dst = static_cast<int64_t>(rng.NextZipf(n, spec.zipf_alpha));
+      if (dst != v) {
+        dsts.insert(dst);
+      }
+    }
+    for (int64_t dst : dsts) {
+      edges.emplace_back(v, dst);
+    }
+    out_degree[v] = degree;
+  }
+
+  auto edge_table = std::make_shared<Table>(EdgeSchema(spec.with_costs));
+  edge_table->Reserve(edges.size());
+  for (const auto& [src, dst] : edges) {
+    Row row{src, dst};
+    if (spec.with_costs) {
+      row.push_back(1.0 + rng.NextDouble() * 9.0);
+    }
+    edge_table->AddRow(std::move(row));
+  }
+  if (spec.nominal_edges > 0) {
+    edge_table->set_scale(spec.nominal_edges /
+                          static_cast<double>(edges.size()));
+  }
+
+  auto vertex_table = std::make_shared<Table>(VertexSchema());
+  vertex_table->Reserve(n);
+  for (int v = 0; v < n; ++v) {
+    // With edge costs (SSSP), vertex 0 is the source and starts at zero.
+    double value = (spec.with_costs && v == 0) ? 0.0 : spec.initial_value;
+    vertex_table->AddRow({static_cast<int64_t>(v), value, out_degree[v]});
+  }
+  if (spec.nominal_vertices > 0) {
+    vertex_table->set_scale(spec.nominal_vertices / static_cast<double>(n));
+  }
+
+  GraphDataset out;
+  out.name = spec.name;
+  out.vertices = vertex_table;
+  out.edges = edge_table;
+  return out;
+}
+
+GraphDataset LiveJournalGraph() {
+  GraphSpec spec;
+  spec.name = "livejournal";
+  spec.nominal_vertices = 4.8e6;
+  spec.nominal_edges = 69e6;
+  spec.sample_vertices = 1200;
+  spec.seed = 42;
+  return MakePowerLawGraph(spec);
+}
+
+GraphDataset OrkutGraph() {
+  GraphSpec spec;
+  spec.name = "orkut";
+  spec.nominal_vertices = 3.0e6;
+  spec.nominal_edges = 117e6;
+  spec.sample_vertices = 1000;
+  spec.seed = 43;
+  return MakePowerLawGraph(spec);
+}
+
+GraphDataset TwitterGraph() {
+  GraphSpec spec;
+  spec.name = "twitter";
+  spec.nominal_vertices = 43e6;
+  spec.nominal_edges = 1.4e9;
+  spec.sample_vertices = 1500;
+  spec.seed = 44;
+  return MakePowerLawGraph(spec);
+}
+
+GraphDataset TwitterGraphWithCosts() {
+  GraphSpec spec;
+  spec.name = "twitter-costs";
+  spec.nominal_vertices = 43e6;
+  spec.nominal_edges = 1.4e9;
+  spec.sample_vertices = 1500;
+  spec.seed = 44;
+  spec.with_costs = true;
+  spec.initial_value = 1e18;  // SSSP: unreached
+  return MakePowerLawGraph(spec);
+}
+
+CommunityPair MakeOverlappingCommunities() {
+  CommunityPair out;
+  out.a = LiveJournalGraph();
+
+  // Community B: an independent web graph that shares roughly a third of
+  // A's edges (same vertex-id space), so INTERSECT yields a real overlap.
+  GraphSpec spec;
+  spec.name = "webcommunity";
+  spec.nominal_vertices = 5.8e6;
+  spec.nominal_edges = 82e6;
+  spec.sample_vertices = 1200;
+  spec.seed = 45;
+  GraphDataset b = MakePowerLawGraph(spec);
+
+  // Replace a third of B's edges with A's edges.
+  auto merged = std::make_shared<Table>(b.edges->schema());
+  const auto& a_rows = out.a.edges->rows();
+  const auto& b_rows = b.edges->rows();
+  size_t shared = a_rows.size() / 3;
+  for (size_t i = 0; i < shared && i < a_rows.size(); ++i) {
+    merged->AddRow(a_rows[i * 3 % a_rows.size()]);
+  }
+  for (size_t i = shared; i < b_rows.size(); ++i) {
+    merged->AddRow(b_rows[i]);
+  }
+  merged->set_scale(b.edges->scale());
+  b.edges = merged;
+  out.b = std::move(b);
+  return out;
+}
+
+TablePtr MakeAsciiLines(Bytes nominal_bytes, int sample_rows, uint64_t seed) {
+  Rng rng(seed);
+  Schema schema({{"first", FieldType::kString}, {"second", FieldType::kString}});
+  auto table = std::make_shared<Table>(schema);
+  table->Reserve(sample_rows);
+  static const char* kWords[] = {"alpha", "bravo", "charlie", "delta",  "echo",
+                                 "foxtrot", "golf", "hotel",  "india", "juliett"};
+  for (int i = 0; i < sample_rows; ++i) {
+    std::string first = kWords[rng.NextBounded(10)];
+    first += std::to_string(rng.NextBounded(100000));
+    std::string second = kWords[rng.NextBounded(10)];
+    second += "-";
+    second += kWords[rng.NextBounded(10)];
+    table->AddRow({std::move(first), std::move(second)});
+  }
+  double sample_bytes = table->sample_bytes();
+  if (sample_bytes > 0) {
+    table->set_scale(nominal_bytes / sample_bytes);
+  }
+  return table;
+}
+
+TablePtr MakeUniformKv(double nominal_rows, int sample_rows, int64_t key_range,
+                       uint64_t seed) {
+  Rng rng(seed);
+  Schema schema({{"k", FieldType::kInt64}, {"v", FieldType::kInt64}});
+  auto table = std::make_shared<Table>(schema);
+  table->Reserve(sample_rows);
+  for (int i = 0; i < sample_rows; ++i) {
+    table->AddRow({rng.NextInRange(0, key_range - 1),
+                   rng.NextInRange(0, 1000000)});
+  }
+  table->set_scale(nominal_rows / sample_rows);
+  return table;
+}
+
+TpchDataset MakeTpch(double scale_factor, int sample_rows, uint64_t seed) {
+  Rng rng(seed);
+  TpchDataset out;
+
+  // lineitem: ~6M rows per scale factor in real TPC-H.
+  Schema li_schema({{"partkey", FieldType::kInt64},
+                    {"quantity", FieldType::kDouble},
+                    {"extendedprice", FieldType::kDouble}});
+  auto lineitem = std::make_shared<Table>(li_schema);
+  const int64_t part_keys = std::max<int64_t>(200, sample_rows / 10);
+  lineitem->Reserve(sample_rows);
+  for (int i = 0; i < sample_rows; ++i) {
+    lineitem->AddRow({rng.NextInRange(0, part_keys - 1),
+                      1.0 + rng.NextDouble() * 49.0,
+                      900.0 + rng.NextDouble() * 100000.0});
+  }
+  // Size by bytes, not rows: the paper quotes 7.5 GB at SF 10 through 75 GB
+  // at SF 100 for the Q17 input; lineitem dominates that footprint.
+  lineitem->set_scale(0.72 * kGB * scale_factor / lineitem->sample_bytes());
+  out.lineitem = lineitem;
+
+  // part: 200k rows per scale factor.
+  Schema part_schema({{"partkey", FieldType::kInt64},
+                      {"brand", FieldType::kInt64},
+                      {"container", FieldType::kInt64}});
+  auto part = std::make_shared<Table>(part_schema);
+  part->Reserve(part_keys);
+  for (int64_t k = 0; k < part_keys; ++k) {
+    part->AddRow({k, rng.NextInRange(1, 25), rng.NextInRange(1, 40)});
+  }
+  part->set_scale(0.03 * kGB * scale_factor / part->sample_bytes());
+  out.part = part;
+  return out;
+}
+
+NetflixDataset MakeNetflix(int sample_users, uint64_t seed) {
+  Rng rng(seed);
+  NetflixDataset out;
+
+  Schema movie_schema({{"movie", FieldType::kInt64}, {"genre", FieldType::kInt64}});
+  const int64_t kSampleMovies = 200;
+  auto movies = std::make_shared<Table>(movie_schema);
+  for (int64_t m = 0; m < kSampleMovies; ++m) {
+    movies->AddRow({m, rng.NextInRange(0, 20)});
+  }
+  movies->set_scale(17000.0 / static_cast<double>(kSampleMovies));
+  out.movies = movies;
+
+  Schema rating_schema({{"user", FieldType::kInt64},
+                        {"movie", FieldType::kInt64},
+                        {"rating", FieldType::kDouble}});
+  auto ratings = std::make_shared<Table>(rating_schema);
+  for (int64_t u = 0; u < sample_users; ++u) {
+    int64_t count = 5 + static_cast<int64_t>(rng.NextBounded(30));
+    for (int64_t i = 0; i < count; ++i) {
+      // Popularity-skewed movie choice, like the real data.
+      int64_t m = static_cast<int64_t>(rng.NextZipf(kSampleMovies, 0.8));
+      ratings->AddRow({u, m, 1.0 + static_cast<double>(rng.NextBounded(5))});
+    }
+  }
+  // Paper: 100M-row / 2.5 GB ratings table.
+  ratings->set_scale(100.0e6 / static_cast<double>(ratings->num_rows()));
+  out.ratings = ratings;
+  return out;
+}
+
+TablePtr MakePurchases(double nominal_rows, int sample_rows, int num_regions,
+                       uint64_t seed) {
+  Rng rng(seed);
+  Schema schema({{"uid", FieldType::kInt64},
+                 {"region", FieldType::kInt64},
+                 {"amount", FieldType::kDouble}});
+  auto table = std::make_shared<Table>(schema);
+  table->Reserve(sample_rows);
+  int64_t num_users = std::max(10, sample_rows / 8);
+  for (int i = 0; i < sample_rows; ++i) {
+    table->AddRow({rng.NextInRange(0, num_users - 1),
+                   rng.NextInRange(0, num_regions - 1),
+                   rng.NextDouble() * 500.0});
+  }
+  table->set_scale(nominal_rows / sample_rows);
+  return table;
+}
+
+KmeansDataset MakeKmeans(double nominal_points, int sample_points, int k,
+                         uint64_t seed) {
+  Rng rng(seed);
+  KmeansDataset out;
+
+  Schema point_schema({{"pid", FieldType::kInt64},
+                       {"px", FieldType::kDouble},
+                       {"py", FieldType::kDouble}});
+  auto points = std::make_shared<Table>(point_schema);
+  points->Reserve(sample_points);
+  for (int i = 0; i < sample_points; ++i) {
+    // Clustered around k latent centers so the algorithm has structure.
+    int c = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(k)));
+    double cx = (c % 10) * 10.0;
+    double cy = (c / 10) * 10.0;
+    points->AddRow({static_cast<int64_t>(i), cx + rng.NextDouble() * 4.0 - 2.0,
+                    cy + rng.NextDouble() * 4.0 - 2.0});
+  }
+  points->set_scale(nominal_points / sample_points);
+  out.points = points;
+
+  Schema center_schema({{"cid", FieldType::kInt64},
+                        {"cx", FieldType::kDouble},
+                        {"cy", FieldType::kDouble}});
+  auto centers = std::make_shared<Table>(center_schema);
+  for (int c = 0; c < k; ++c) {
+    centers->AddRow({static_cast<int64_t>(c), (c % 10) * 10.0 + rng.NextDouble(),
+                     (c / 10) * 10.0 + rng.NextDouble()});
+  }
+  out.centers = centers;
+  return out;
+}
+
+}  // namespace musketeer

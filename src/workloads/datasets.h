@@ -1,0 +1,96 @@
+// Synthetic data sets standing in for the paper's inputs (see DESIGN.md,
+// substitution #4).
+//
+// Every generator materializes a deterministic, scaled-down *sample* and sets
+// the table's `scale` so that nominal_rows()/nominal_bytes() match the data
+// set the paper used (e.g., the Twitter graph's 43M vertices / 1.4B edges).
+// Engines execute the sample for correctness and charge simulated time
+// against the nominal sizes.
+
+#ifndef MUSKETEER_SRC_WORKLOADS_DATASETS_H_
+#define MUSKETEER_SRC_WORKLOADS_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/relational/table.h"
+
+namespace musketeer {
+
+// ---- Graphs ---------------------------------------------------------------
+
+struct GraphDataset {
+  std::string name;
+  TablePtr vertices;  // (id, vertex_value, vertex_degree)
+  TablePtr edges;     // (src, dst) or (src, dst, cost) when with_costs
+};
+
+struct GraphSpec {
+  std::string name;
+  double nominal_vertices = 0;
+  double nominal_edges = 0;
+  int sample_vertices = 1000;
+  uint64_t seed = 1;
+  double initial_value = 1.0;  // vertex_value seed (PageRank rank)
+  bool with_costs = false;     // adds an edge cost column (SSSP)
+  double zipf_alpha = 0.7;     // in-degree skew
+};
+
+// Power-law random graph with the requested nominal dimensions.
+GraphDataset MakePowerLawGraph(const GraphSpec& spec);
+
+// The paper's graphs (§2.1/2.2, §6): sizes from the paper, structure synthetic.
+GraphDataset LiveJournalGraph();  // 4.8M vertices, 69M edges
+GraphDataset OrkutGraph();        // 3.0M vertices, 117M edges
+GraphDataset TwitterGraph();      // 43M vertices, 1.4B edges
+GraphDataset TwitterGraphWithCosts();
+// Synthetic second web community for cross-community PageRank (§6.3):
+// 5.8M vertices / 82M edges, sharing edges with LiveJournal.
+struct CommunityPair {
+  GraphDataset a;  // LiveJournal-like
+  GraphDataset b;  // web-community-like; shares ~1/3 of a's edges
+};
+CommunityPair MakeOverlappingCommunities();
+
+// ---- Relational tables ----------------------------------------------------
+
+// Two-column ASCII lines for the PROJECT micro-benchmark (Fig. 2a):
+// nominal footprint `nominal_bytes`, sample of `sample_rows` rows.
+TablePtr MakeAsciiLines(Bytes nominal_bytes, int sample_rows, uint64_t seed);
+
+// Uniform (key, value) rows for the symmetric JOIN micro-benchmark.
+TablePtr MakeUniformKv(double nominal_rows, int sample_rows, int64_t key_range,
+                       uint64_t seed);
+
+// TPC-H-like tables for query 17 at the given scale factor: lineitem
+// (partkey, quantity, extendedprice) and part (partkey, brand, container).
+struct TpchDataset {
+  TablePtr lineitem;
+  TablePtr part;
+};
+TpchDataset MakeTpch(double scale_factor, int sample_rows = 20000,
+                     uint64_t seed = 7);
+
+// NetFlix-like tables (§6.4): ratings (user, movie, rating) with 100M nominal
+// rows / 2.5 GB, and a 17,000-row movie list (movie, genre).
+struct NetflixDataset {
+  TablePtr ratings;
+  TablePtr movies;
+};
+NetflixDataset MakeNetflix(int sample_users = 400, uint64_t seed = 11);
+
+// Purchases (uid, region, amount) for top-shopper (§6.5).
+TablePtr MakePurchases(double nominal_rows, int sample_rows, int num_regions,
+                       uint64_t seed);
+
+// k-means: points (pid, px, py) and initial centers (cid, cx, cy).
+struct KmeansDataset {
+  TablePtr points;   // 100M nominal rows (paper: 100M random points)
+  TablePtr centers;  // k rows
+};
+KmeansDataset MakeKmeans(double nominal_points, int sample_points, int k,
+                         uint64_t seed);
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_WORKLOADS_DATASETS_H_

@@ -1,0 +1,168 @@
+#include "src/workloads/workflows.h"
+
+#include <sstream>
+
+namespace musketeer {
+
+std::string TpchQ17Hive() {
+  // Note: the per-part average quantity is computed over *all* lineitems of
+  // the part (the query's correlated subquery), not just the brand-filtered
+  // ones — so the GROUP BY processes the full lineitem table.
+  return R"(
+    SELECT partkey, quantity, extendedprice FROM lineitem AS li;
+    SELECT partkey, AVG(quantity) avg_qty FROM li GROUP BY partkey AS part_avg;
+    SELECT partkey FROM part WHERE brand = 23 AND container = 13 AS brand_parts;
+    li JOIN brand_parts ON li.partkey = brand_parts.partkey AS brand_lines;
+    brand_lines JOIN part_avg ON brand_lines.partkey = part_avg.partkey
+      AS with_avg;
+    SELECT SUM(extendedprice) total FROM with_avg
+      WHERE quantity < 0.2 * avg_qty AS q17_result;
+  )";
+}
+
+std::string TpchQ17Lindi() {
+  return R"(
+    li = lineitem.Select(partkey, quantity, extendedprice);
+    part_avg = li.GroupBy(partkey).Avg(quantity, avg_qty);
+    brand_parts = part.Where(brand = 23 AND container = 13).Select(partkey);
+    brand_lines = li.Join(brand_parts, partkey, partkey);
+    with_avg = brand_lines.Join(part_avg, partkey, partkey);
+    q17_result = with_avg.Where(quantity < 0.2 * avg_qty)
+                         .Sum(extendedprice, total);
+  )";
+}
+
+std::string TopShopperBeer(int64_t region, double threshold) {
+  std::ostringstream os;
+  os << "region_purchases = SELECT * FROM purchases WHERE region = " << region
+     << ";\n"
+     << "user_totals = AGG SUM(amount) AS total FROM region_purchases "
+        "GROUP BY uid;\n"
+     << "top_shoppers = SELECT * FROM user_totals WHERE total > " << threshold
+     << ";\n";
+  return os.str();
+}
+
+std::string NetflixBeer(int64_t max_movie) {
+  std::ostringstream os;
+  os << "sel_movies = SELECT * FROM movies WHERE movie < " << max_movie << ";\n";
+  os << R"(
+    rated = JOIN ratings, sel_movies ON ratings.movie = sel_movies.movie;
+    rated_b = MAP movie AS movie2, user AS user2, rating AS rating2 FROM rated;
+    pairs = JOIN rated, rated_b ON rated.user = rated_b.user2;
+    scored = MAP movie, movie2, rating * rating2 AS s FROM pairs;
+    sim = AGG SUM(s) AS simsum, COUNT(s) AS n FROM scored GROUP BY movie, movie2;
+    sim_strong = SELECT * FROM sim WHERE n >= 8;
+    cand = JOIN sim_strong, rated ON sim_strong.movie = rated.movie;
+    contrib = MAP user, movie2, simsum / n * rating AS c FROM cand;
+    pred = AGG SUM(c) AS score FROM contrib GROUP BY user, movie2;
+    best = AGG MAX(score) AS best_score FROM pred GROUP BY user;
+    top = JOIN pred, best ON pred.user = best.user;
+    recommendation = SELECT * FROM top WHERE score >= best_score;
+  )";
+  return os.str();
+}
+
+std::string NetflixExtendedBeer(int64_t max_movie) {
+  std::ostringstream os;
+  // The 13-operator recommender plus a post-processing tail: per-user
+  // normalized scores joined back against the movie list with popularity
+  // aggregation — the 18-operator version used to stress the partitioners.
+  os << NetflixBeer(max_movie);
+  os << R"(
+    rec_named = JOIN recommendation, sel_movies
+                ON recommendation.movie2 = sel_movies.movie;
+    rec_cols = MAP user, movie2, score, genre AS g FROM rec_named;
+    genre_pop = AGG COUNT(user) AS fans FROM rec_cols GROUP BY g;
+    top_genre = MAX(fans) FROM genre_pop;
+    final_report = CROSSJOIN top_genre, rec_cols;
+  )";
+  return os.str();
+}
+
+std::string PageRankGas(int iterations) {
+  std::ostringstream os;
+  os << "GATHER = { SUM (vertex_value) }\n"
+     << "APPLY = {\n"
+     << "  MUL [vertex_value, 0.85]\n"
+     << "  SUM [vertex_value, 0.15]\n"
+     << "}\n"
+     << "SCATTER = { DIV [vertex_value, vertex_degree] }\n"
+     << "ITERATION_STOP = (iteration < " << iterations << ")\n"
+     << "ITERATION = { SUM [iteration, 1] }\n"
+     << "RESULT = pagerank\n";
+  return os.str();
+}
+
+std::string PageRankBeer(int iterations) {
+  std::ostringstream os;
+  os << "WHILE " << iterations << " LOOP v = vertices UPDATE v_next {\n"
+     << R"(
+      contribs = JOIN edges, v ON edges.src = v.id;
+      msgs = MAP dst AS id, vertex_value / vertex_degree AS msg FROM contribs;
+      gathered = AGG SUM(msg) AS acc FROM msgs GROUP BY id;
+      rejoined = JOIN v, gathered ON v.id = gathered.id;
+      v_next = MAP id, acc * 0.85 + 0.15 AS vertex_value, vertex_degree
+               FROM rejoined;
+    } YIELD v_next AS pagerank;
+  )";
+  return os.str();
+}
+
+std::string SsspGas(int iterations) {
+  std::ostringstream os;
+  os << "GATHER = { MIN (vertex_value) }\n"
+     << "APPLY = { }\n"  // new distance = min over incoming candidates
+     << "SCATTER = { SUM [vertex_value, cost] }\n"
+     << "ITERATION_STOP = (iteration < " << iterations << ")\n"
+     << "RESULT = sssp\n";
+  return os.str();
+}
+
+std::string KmeansBeer(int iterations) {
+  std::ostringstream os;
+  os << "WHILE " << iterations << " LOOP cs = centers UPDATE new_centers {\n"
+     << R"(
+      pairs = CROSSJOIN points, cs;
+      dists = MAP pid, cid, px, py,
+              (px - cx) * (px - cx) + (py - cy) * (py - cy) AS d FROM pairs;
+      nearest = AGG MIN(d) AS best_d FROM dists GROUP BY pid;
+      tagged = JOIN dists, nearest ON dists.pid = nearest.pid;
+      assigned = SELECT * FROM tagged WHERE d <= best_d;
+      new_centers = AGG AVG(px) AS cx, AVG(py) AS cy FROM assigned
+                    GROUP BY cid;
+    } YIELD new_centers AS kmeans_centers;
+  )";
+  return os.str();
+}
+
+std::string CrossCommunityPageRankBeer(int iterations) {
+  std::ostringstream os;
+  os << R"(
+    common_edges = INTERSECT lj_edges, web_edges;
+    degrees = AGG COUNT(dst) AS vertex_degree FROM common_edges GROUP BY src;
+    verts = MAP src AS id, 1.0 AS vertex_value, vertex_degree FROM degrees;
+  )";
+  os << "WHILE " << iterations << " LOOP v = verts UPDATE v_next {\n"
+     << R"(
+      contribs = JOIN common_edges, v ON common_edges.src = v.id;
+      msgs = MAP dst AS id, vertex_value / vertex_degree AS msg FROM contribs;
+      gathered = AGG SUM(msg) AS acc FROM msgs GROUP BY id;
+      rejoined = JOIN v, gathered ON v.id = gathered.id;
+      v_next = MAP id, acc * 0.85 + 0.15 AS vertex_value, vertex_degree
+               FROM rejoined;
+    } YIELD v_next AS cc_pagerank;
+  )";
+  return os.str();
+}
+
+std::string SimpleJoinBeer() {
+  return "joined = JOIN vertices_rel, edges_rel "
+         "ON vertices_rel.id = edges_rel.src;\n";
+}
+
+std::string ProjectBeer() {
+  return "first_col = SELECT first FROM lines;\n";
+}
+
+}  // namespace musketeer

@@ -1,0 +1,58 @@
+// The paper's evaluation workflows (§6.1): three batch (TPC-H Q17,
+// top-shopper, NetFlix recommender), three iterative (PageRank, SSSP,
+// k-means) and one hybrid (cross-community PageRank), expressed in the
+// front-end languages the paper used them with.
+
+#ifndef MUSKETEER_SRC_WORKLOADS_WORKFLOWS_H_
+#define MUSKETEER_SRC_WORKLOADS_WORKFLOWS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace musketeer {
+
+// TPC-H query 17 ("small-quantity-order revenue") in HiveQL; ~7 operators,
+// three key repartitionings (multiple Hadoop jobs, one Naiad job).
+std::string TpchQ17Hive();
+// The same query in the Lindi front-end.
+std::string TpchQ17Lindi();
+
+// top-shopper (§6.5): filter purchases by region, aggregate per user, apply
+// a spend threshold. Three operators, one shared scan when merged.
+std::string TopShopperBeer(int64_t region, double threshold);
+
+// NetFlix movie recommender (§6.4): 13 operators, data-intensive self-join.
+// `max_movie` controls how many movies feed the prediction (the paper's
+// x-axis). Inputs: ratings(user, movie, rating), movies(movie, genre).
+std::string NetflixBeer(int64_t max_movie);
+// Extended 18-operator variant used for the DAG-partitioning runtime
+// experiment (Fig. 13).
+std::string NetflixExtendedBeer(int64_t max_movie);
+
+// Five-iteration PageRank in the GAS DSL (Listing 2).
+std::string PageRankGas(int iterations);
+
+// PageRank written relationally in BEER — exercises idiom recognition on a
+// workflow that never mentions GAS (§4.3.1).
+std::string PageRankBeer(int iterations);
+
+// Single-source shortest paths in the GAS DSL (MIN gather + edge costs).
+std::string SsspGas(int iterations);
+
+// k-means clustering in BEER (CROSS JOIN formulation, §6.7 fn. 8).
+// Inputs: points(pid, px, py), centers(cid, cx, cy).
+std::string KmeansBeer(int iterations);
+
+// Hybrid cross-community PageRank (§6.3): INTERSECT two edge sets, derive
+// degrees, then run PageRank on the common sub-graph.
+std::string CrossCommunityPageRankBeer(int iterations);
+
+// The simple JOIN workflow of §2.1 / §7 (student comparison).
+std::string SimpleJoinBeer();
+
+// The PROJECT micro-benchmark of §2.1 (extract one column).
+std::string ProjectBeer();
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_WORKLOADS_WORKFLOWS_H_

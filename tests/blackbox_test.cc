@@ -1,0 +1,100 @@
+// Black-box operators (§4.1.3): computations with no IR equivalent are
+// pinned to one "native" back-end; the partitioner must place them there and
+// every other engine must refuse them.
+
+#include <gtest/gtest.h>
+
+#include "src/core/musketeer.h"
+
+namespace musketeer {
+namespace {
+
+// Builds a DAG with a Naiad-only black-box operator between two relational
+// stages: filter -> black box -> aggregate.
+std::unique_ptr<Dag> BlackBoxDag() {
+  auto dag = std::make_unique<Dag>();
+  int in = dag->AddInput("events");
+  int filtered = dag->AddNode(
+      OpKind::kSelect, "recent", {in},
+      SelectParams{Expr::Binary(BinOp::kGt, Expr::Column("what"),
+                                Expr::Literal(int64_t{10}))});
+  BlackBoxParams bb;
+  bb.backend = "Naiad";
+  bb.code = "// opaque native Naiad vertex code";
+  bb.output_schema =
+      Schema({{"uid", FieldType::kInt64}, {"score", FieldType::kDouble}});
+  bb.fn = [](const std::vector<const Table*>& inputs) -> StatusOr<Table> {
+    Table out(Schema({{"uid", FieldType::kInt64}, {"score", FieldType::kDouble}}));
+    for (const Row& row : inputs[0]->rows()) {
+      out.AddRow({row[0], AsDouble(row[1]) * 0.5});
+    }
+    out.set_scale(inputs[0]->scale());
+    return out;
+  };
+  int scored = dag->AddNode(OpKind::kBlackBox, "scored", {filtered}, std::move(bb));
+  dag->AddNode(OpKind::kGroupBy, "totals", {scored},
+               GroupByParams{{"uid"}, {{AggFn::kSum, "score", "total"}}});
+  return dag;
+}
+
+TablePtr Events() {
+  Schema s({{"uid", FieldType::kInt64}, {"what", FieldType::kInt64}});
+  auto t = std::make_shared<Table>(s);
+  for (int64_t i = 0; i < 60; ++i) {
+    t->AddRow({i % 5, i});
+  }
+  return t;
+}
+
+TEST(BlackBoxTest, OnlyTargetEngineSupportsIt) {
+  auto dag = BlackBoxDag();
+  int bb = dag->ProducerOf("scored");
+  EXPECT_TRUE(BackendFor(EngineKind::kNaiad).SupportsOperator(*dag, bb));
+  for (EngineKind other : {EngineKind::kHadoop, EngineKind::kSpark,
+                           EngineKind::kMetis, EngineKind::kSerialC}) {
+    EXPECT_FALSE(BackendFor(other).SupportsOperator(*dag, bb))
+        << EngineKindName(other);
+  }
+}
+
+TEST(BlackBoxTest, PartitionerRoutesAroundIt) {
+  auto dag = BlackBoxDag();
+  CostModel model(LocalCluster(), nullptr, "bb");
+  auto sizes = model.PredictSizes(*dag, {{"events", 1 * kGB}});
+  ASSERT_TRUE(sizes.ok()) << sizes.status();
+  // Even with every engine available, the black box pins its job to Naiad.
+  auto part = PartitionDag(*dag, model, *sizes);
+  ASSERT_TRUE(part.ok()) << part.status();
+  int bb = dag->ProducerOf("scored");
+  bool found = false;
+  for (const JobAssignment& job : part->jobs) {
+    for (int op : job.ops) {
+      if (op == bb) {
+        EXPECT_EQ(job.engine, EngineKind::kNaiad);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BlackBoxTest, ExecutesThroughItsSimulationHook) {
+  auto dag = BlackBoxDag();
+  TableMap base{{"events", Events()}};
+  auto result = EvaluateDagRelation(*dag, base, "totals");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_rows(), 5u);
+}
+
+TEST(BlackBoxTest, ForcingAnotherEngineFails) {
+  auto dag = BlackBoxDag();
+  CostModel model(LocalCluster(), nullptr, "bb");
+  auto sizes = model.PredictSizes(*dag, {{"events", 1 * kGB}});
+  ASSERT_TRUE(sizes.ok());
+  PartitionOptions options;
+  options.engines = {EngineKind::kHadoop};
+  EXPECT_FALSE(PartitionDag(*dag, model, *sizes, options).ok());
+}
+
+}  // namespace
+}  // namespace musketeer

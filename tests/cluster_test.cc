@@ -1,0 +1,68 @@
+// Cluster model and DFS tests.
+
+#include "src/cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/dfs.h"
+
+namespace musketeer {
+namespace {
+
+TEST(ClusterTest, PresetsHaveExpectedShapes) {
+  ClusterConfig local = LocalCluster();
+  EXPECT_EQ(local.num_nodes, 7);
+  ClusterConfig ec2 = Ec2Cluster(100);
+  EXPECT_EQ(ec2.num_nodes, 100);
+  EXPECT_EQ(ec2.name, "ec2-100");
+  ClusterConfig single = SingleMachine();
+  EXPECT_EQ(single.num_nodes, 1);
+}
+
+TEST(ClusterTest, BandwidthAggregatesAcrossNodes) {
+  ClusterConfig ec2 = Ec2Cluster(10);
+  EXPECT_DOUBLE_EQ(ec2.ReadBandwidth(10), 10 * MBps(ec2.node_read_mbps));
+  // Capped at the cluster size.
+  EXPECT_DOUBLE_EQ(ec2.ReadBandwidth(50), 10 * MBps(ec2.node_read_mbps));
+  EXPECT_LT(ec2.WriteBandwidth(10), ec2.ReadBandwidth(10));
+}
+
+TEST(DfsTest, PutGetEraseAndList) {
+  Dfs dfs;
+  auto t = std::make_shared<Table>(Schema({{"x", FieldType::kInt64}}));
+  EXPECT_FALSE(dfs.Contains("a"));
+  EXPECT_FALSE(dfs.Get("a").ok());
+  dfs.Put("b", t);
+  dfs.Put("a", t);
+  EXPECT_TRUE(dfs.Contains("a"));
+  EXPECT_TRUE(dfs.Get("a").ok());
+  EXPECT_EQ(dfs.ListRelations(), (std::vector<std::string>{"a", "b"}));
+  dfs.Erase("a");
+  EXPECT_FALSE(dfs.Contains("a"));
+  EXPECT_EQ(dfs.ListRelations(), (std::vector<std::string>{"b"}));
+}
+
+TEST(DfsTest, PutReplacesExisting) {
+  Dfs dfs;
+  auto t1 = std::make_shared<Table>(Schema({{"x", FieldType::kInt64}}));
+  auto t2 = std::make_shared<Table>(Schema({{"y", FieldType::kDouble}}));
+  dfs.Put("r", t1);
+  dfs.Put("r", t2);
+  auto got = dfs.Get("r");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->schema().field(0).name, "y");
+}
+
+TEST(DfsTest, IoAccounting) {
+  Dfs dfs;
+  dfs.RecordRead(100);
+  dfs.RecordRead(50);
+  dfs.RecordWrite(30);
+  EXPECT_DOUBLE_EQ(dfs.bytes_read(), 150);
+  EXPECT_DOUBLE_EQ(dfs.bytes_written(), 30);
+  dfs.ResetStats();
+  EXPECT_DOUBLE_EQ(dfs.bytes_read(), 0);
+}
+
+}  // namespace
+}  // namespace musketeer

@@ -1,0 +1,160 @@
+// Additional coverage: optimizer dead-operator elimination, per-engine code
+// generation output, CSV file round-trips, and DAG DOT export of loops.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/backends/backend.h"
+#include "src/frontends/frontend.h"
+#include "src/opt/passes.h"
+#include "src/relational/csv.h"
+
+namespace musketeer {
+namespace {
+
+TEST(DeadEliminationTest, UnconsumedOperatorsSurviveOnlyIfWorkflowOutputs) {
+  // Both `wanted` and `also_wanted` are sinks (workflow outputs) — nothing
+  // may be removed even though neither is consumed.
+  const char* kSource = R"(
+    wanted = SELECT * FROM rel WHERE v > 1;
+    also_wanted = DISTINCT rel;
+  )";
+  auto dag = ParseWorkflow(FrontendLanguage::kBeer, kSource);
+  ASSERT_TRUE(dag.ok());
+  SchemaMap base{{"rel", Schema({{"v", FieldType::kInt64}})}};
+  OptimizeStats stats;
+  auto optimized = OptimizeDag(**dag, base, {}, &stats);
+  ASSERT_TRUE(optimized.ok()) << optimized.status();
+  EXPECT_EQ(stats.dead_removed, 0);
+  EXPECT_EQ((*optimized)->num_nodes(), (*dag)->num_nodes());
+}
+
+TEST(CodegenCoverageTest, EveryEngineEmitsItsOwnStyle) {
+  auto dag = ParseWorkflow(FrontendLanguage::kBeer,
+                           "out = AGG SUM(v) AS s FROM rel GROUP BY k;\n");
+  ASSERT_TRUE(dag.ok());
+  SchemaMap base{
+      {"rel", Schema({{"k", FieldType::kInt64}, {"v", FieldType::kDouble}})}};
+  std::vector<int> ops;
+  for (const auto& n : (*dag)->nodes()) {
+    if (n.kind != OpKind::kInput) {
+      ops.push_back(n.id);
+    }
+  }
+  struct Expectation {
+    EngineKind engine;
+    const char* marker;
+  };
+  const Expectation kExpectations[] = {
+      {EngineKind::kHadoop, "Java"},   {EngineKind::kSpark, "Scala"},
+      {EngineKind::kNaiad, "C#"},      {EngineKind::kMetis, "Metis"},
+      {EngineKind::kSerialC, "serial C"},
+  };
+  for (const Expectation& e : kExpectations) {
+    auto plan = BackendFor(e.engine).GeneratePlan(**dag, ops, base, {});
+    ASSERT_TRUE(plan.ok()) << EngineKindName(e.engine) << ": " << plan.status();
+    EXPECT_NE(plan->generated_code.find(e.marker), std::string::npos)
+        << EngineKindName(e.engine) << " code:\n" << plan->generated_code;
+    EXPECT_NE(plan->generated_code.find("write("), std::string::npos);
+    EXPECT_NE(plan->generated_code.find("groupBy"), std::string::npos);
+  }
+}
+
+TEST(CodegenCoverageTest, GraphEnginesEmitVertexPrograms) {
+  auto dag = ParseWorkflow(FrontendLanguage::kGas, R"(
+    GATHER = { SUM (vertex_value) }
+    APPLY = { MUL [vertex_value, 0.85] SUM [vertex_value, 0.15] }
+    SCATTER = { DIV [vertex_value, vertex_degree] }
+    ITERATION_STOP = (iteration < 2)
+  )");
+  ASSERT_TRUE(dag.ok());
+  SchemaMap base{
+      {"vertices", Schema({{"id", FieldType::kInt64},
+                           {"vertex_value", FieldType::kDouble},
+                           {"vertex_degree", FieldType::kInt64}})},
+      {"edges",
+       Schema({{"src", FieldType::kInt64}, {"dst", FieldType::kInt64}})}};
+  int while_id = (*dag)->ProducerOf("gas_result");
+  for (EngineKind engine : {EngineKind::kPowerGraph, EngineKind::kGraphChi}) {
+    auto plan = BackendFor(engine).GeneratePlan(**dag, {while_id}, base, {});
+    ASSERT_TRUE(plan.ok()) << EngineKindName(engine);
+    EXPECT_NE(plan->generated_code.find("vertex"), std::string::npos);
+    EXPECT_NE(plan->generated_code.find("iterate(2)"), std::string::npos);
+    EXPECT_TRUE(plan->graph_path);
+  }
+}
+
+TEST(CsvFileTest, SaveAndLoadRoundTrip) {
+  Schema schema({{"id", FieldType::kInt64},
+                 {"name", FieldType::kString},
+                 {"score", FieldType::kDouble}});
+  Table t(schema);
+  t.AddRow({int64_t{1}, std::string("ada"), 3.5});
+  t.AddRow({int64_t{2}, std::string("bob"), -1.25});
+
+  std::string path =
+      (std::filesystem::temp_directory_path() / "musketeer_csv_test.csv").string();
+  ASSERT_TRUE(SaveCsvFile(t, path).ok());
+  auto loaded = LoadCsvFile(path, schema);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(Table::SameContent(t, *loaded));
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(LoadCsvFile("/nonexistent/nowhere.csv", schema).ok());
+}
+
+TEST(DotExportTest, WhileLoopsRenderAsNodes) {
+  auto dag = ParseWorkflow(FrontendLanguage::kBeer, R"(
+    WHILE 3 LOOP x = seeds UPDATE x2 {
+      x2 = DISTINCT x;
+    } YIELD x2 AS out;
+  )");
+  ASSERT_TRUE(dag.ok());
+  std::string dot = (*dag)->ToDot();
+  EXPECT_NE(dot.find("WHILE"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(FrontendErrorTest, HiveAndLindiAndGasRejectMalformedInput) {
+  // Hive: missing AS name.
+  EXPECT_FALSE(ParseWorkflow(FrontendLanguage::kHive,
+                             "SELECT a FROM t;")
+                   .ok());
+  // Hive: dangling JOIN clause.
+  EXPECT_FALSE(ParseWorkflow(FrontendLanguage::kHive, "a JOIN b AS c;").ok());
+  // Lindi: unknown method.
+  EXPECT_FALSE(
+      ParseWorkflow(FrontendLanguage::kLindi, "x = t.Frobnicate();").ok());
+  // Lindi: missing semicolon.
+  EXPECT_FALSE(
+      ParseWorkflow(FrontendLanguage::kLindi, "x = t.Distinct()").ok());
+  // GAS: bad iteration bound.
+  EXPECT_FALSE(ParseWorkflow(FrontendLanguage::kGas, R"(
+    GATHER = { SUM (vertex_value) }
+    APPLY = { }
+    SCATTER = { DIV [vertex_value, vertex_degree] }
+    ITERATION_STOP = (iteration < 0)
+  )")
+                   .ok());
+  // GAS: unknown section.
+  EXPECT_FALSE(ParseWorkflow(FrontendLanguage::kGas, "SHUFFLE = { }").ok());
+}
+
+TEST(FrontendErrorTest, BeerRejectsDoubleDefinitionAndBadWhile) {
+  EXPECT_FALSE(ParseWorkflow(FrontendLanguage::kBeer,
+                             "a = DISTINCT x;\na = DISTINCT y;\n")
+                   .ok());
+  EXPECT_FALSE(ParseWorkflow(FrontendLanguage::kBeer,
+                             "WHILE 0 LOOP a = b UPDATE a2 { a2 = DISTINCT a; } "
+                             "YIELD a2 AS out;")
+                   .ok());
+  EXPECT_FALSE(ParseWorkflow(FrontendLanguage::kBeer,
+                             "WHILE 2 LOOP a = b UPDATE a2 { a2 = DISTINCT a; "
+                             "YIELD a2 AS out;")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace musketeer

@@ -1,0 +1,187 @@
+// Parameterized cross-engine equivalence: every evaluation workflow produces
+// bit-identical results on every compatible back-end, and identical to the
+// reference interpreter. This is the end-to-end guarantee that decoupling
+// front-ends from back-ends does not change workflow semantics.
+
+#include <gtest/gtest.h>
+
+#include "src/core/musketeer.h"
+#include "src/workloads/datasets.h"
+#include "src/workloads/workflows.h"
+
+namespace musketeer {
+namespace {
+
+enum class Wf {
+  kTopShopper,
+  kTpchHive,
+  kTpchLindi,
+  kNetflix,
+  kSimpleJoin,
+  kPageRank,
+  kSssp,
+  kKmeans,
+  kCrossCommunity,
+};
+
+const char* WfName(Wf wf) {
+  switch (wf) {
+    case Wf::kTopShopper:
+      return "TopShopper";
+    case Wf::kTpchHive:
+      return "TpchHive";
+    case Wf::kTpchLindi:
+      return "TpchLindi";
+    case Wf::kNetflix:
+      return "Netflix";
+    case Wf::kSimpleJoin:
+      return "SimpleJoin";
+    case Wf::kPageRank:
+      return "PageRank";
+    case Wf::kSssp:
+      return "Sssp";
+    case Wf::kKmeans:
+      return "Kmeans";
+    case Wf::kCrossCommunity:
+      return "CrossCommunity";
+  }
+  return "?";
+}
+
+struct WfSetup {
+  WorkflowSpec workflow;
+  std::string result_relation;
+  TableMap inputs;
+  bool graph_capable = false;  // PowerGraph/GraphChi can run it
+};
+
+WfSetup MakeSetup(Wf wf) {
+  WfSetup s;
+  switch (wf) {
+    case Wf::kTopShopper:
+      s.workflow = {"top-shopper", FrontendLanguage::kBeer,
+                    TopShopperBeer(5, 300.0)};
+      s.result_relation = "top_shoppers";
+      s.inputs = {{"purchases", MakePurchases(1e6, 1500, 10, 21)}};
+      break;
+    case Wf::kTpchHive:
+    case Wf::kTpchLindi: {
+      TpchDataset data = MakeTpch(10, 3000);
+      s.workflow = {"tpch-q17",
+                    wf == Wf::kTpchHive ? FrontendLanguage::kHive
+                                        : FrontendLanguage::kLindi,
+                    wf == Wf::kTpchHive ? TpchQ17Hive() : TpchQ17Lindi()};
+      s.result_relation = "q17_result";
+      s.inputs = {{"lineitem", data.lineitem}, {"part", data.part}};
+      break;
+    }
+    case Wf::kNetflix: {
+      NetflixDataset data = MakeNetflix(50);
+      s.workflow = {"netflix", FrontendLanguage::kBeer, NetflixBeer(60)};
+      s.result_relation = "recommendation";
+      s.inputs = {{"ratings", data.ratings}, {"movies", data.movies}};
+      break;
+    }
+    case Wf::kSimpleJoin: {
+      GraphDataset lj = LiveJournalGraph();
+      s.workflow = {"join", FrontendLanguage::kBeer, SimpleJoinBeer()};
+      s.result_relation = "joined";
+      s.inputs = {{"vertices_rel", lj.vertices}, {"edges_rel", lj.edges}};
+      break;
+    }
+    case Wf::kPageRank: {
+      GraphDataset g = OrkutGraph();
+      s.workflow = {"pagerank", FrontendLanguage::kGas, PageRankGas(3)};
+      s.result_relation = "pagerank";
+      s.inputs = {{"vertices", g.vertices}, {"edges", g.edges}};
+      s.graph_capable = true;
+      break;
+    }
+    case Wf::kSssp: {
+      GraphSpec spec;
+      spec.name = "sssp-test";
+      spec.sample_vertices = 120;
+      spec.nominal_vertices = 120;
+      spec.seed = 5;
+      spec.with_costs = true;
+      spec.initial_value = 1e18;
+      GraphDataset g = MakePowerLawGraph(spec);
+      s.workflow = {"sssp", FrontendLanguage::kGas, SsspGas(4)};
+      s.result_relation = "sssp";
+      s.inputs = {{"vertices", g.vertices}, {"edges", g.edges}};
+      s.graph_capable = true;
+      break;
+    }
+    case Wf::kKmeans: {
+      KmeansDataset data = MakeKmeans(1e7, 300, 4, 13);
+      s.workflow = {"kmeans", FrontendLanguage::kBeer, KmeansBeer(3)};
+      s.result_relation = "kmeans_centers";
+      s.inputs = {{"points", data.points}, {"centers", data.centers}};
+      break;
+    }
+    case Wf::kCrossCommunity: {
+      CommunityPair pair = MakeOverlappingCommunities();
+      s.workflow = {"cross-community", FrontendLanguage::kBeer,
+                    CrossCommunityPageRankBeer(3)};
+      s.result_relation = "cc_pagerank";
+      s.inputs = {{"lj_edges", pair.a.edges}, {"web_edges", pair.b.edges}};
+      break;
+    }
+  }
+  return s;
+}
+
+using Case = std::tuple<Wf, EngineKind>;
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EngineEquivalenceTest, MatchesReferenceInterpreter) {
+  auto [wf, engine] = GetParam();
+  WfSetup setup = MakeSetup(wf);
+
+  if (IsGraphOnlyEngine(engine) && !setup.graph_capable) {
+    GTEST_SKIP() << "workflow not expressible on a graph-only engine";
+  }
+
+  // Reference execution via the plain interpreter (no engines involved).
+  auto dag = ParseWorkflow(setup.workflow.language, setup.workflow.source);
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  auto expected = EvaluateDagRelation(**dag, setup.inputs, setup.result_relation);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  // Full Musketeer pipeline on the chosen engine.
+  Dfs dfs;
+  for (const auto& [name, table] : setup.inputs) {
+    dfs.Put(name, table);
+  }
+  Musketeer m(&dfs);
+  RunOptions options;
+  options.cluster = Ec2Cluster(16);
+  options.engines = {engine};
+  auto result = m.Run(setup.workflow, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->outputs.count(setup.result_relation), 1u);
+  EXPECT_TRUE(Table::SameContent(*expected,
+                                 *result->outputs[setup.result_relation]))
+      << "engine " << EngineKindName(engine) << " diverged on "
+      << WfName(wf);
+  EXPECT_GT(result->makespan, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkflowsAllEngines, EngineEquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values(Wf::kTopShopper, Wf::kTpchHive, Wf::kTpchLindi,
+                          Wf::kNetflix, Wf::kSimpleJoin, Wf::kPageRank,
+                          Wf::kSssp, Wf::kKmeans, Wf::kCrossCommunity),
+        ::testing::Values(EngineKind::kHadoop, EngineKind::kSpark,
+                          EngineKind::kNaiad, EngineKind::kMetis,
+                          EngineKind::kSerialC, EngineKind::kPowerGraph,
+                          EngineKind::kGraphChi)),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return std::string(WfName(std::get<0>(info.param))) + "_" +
+             EngineKindName(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace musketeer

@@ -1,0 +1,107 @@
+// Tokenizer tests shared by all four front-ends.
+
+#include "src/frontends/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace musketeer {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& src) {
+  auto tokens = Tokenize(src);
+  EXPECT_TRUE(tokens.ok()) << tokens.status();
+  return std::move(tokens).value();
+}
+
+TEST(LexerTest, IdentifiersNumbersStrings) {
+  auto tokens = MustTokenize("foo _bar2 42 3.14 1e3 'hi there' \"quoted\"");
+  ASSERT_EQ(tokens.size(), 8u);  // incl. end sentinel
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "foo");
+  EXPECT_EQ(tokens[1].text, "_bar2");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[2].int_value, 42);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 3.14);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[4].double_value, 1000.0);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[5].text, "hi there");
+  EXPECT_EQ(tokens[6].text, "quoted");
+  EXPECT_EQ(tokens[7].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, MultiCharSymbols) {
+  auto tokens = MustTokenize("<= >= != == => -> < > =");
+  EXPECT_EQ(tokens[0].text, "<=");
+  EXPECT_EQ(tokens[1].text, ">=");
+  EXPECT_EQ(tokens[2].text, "!=");
+  EXPECT_EQ(tokens[3].text, "==");
+  EXPECT_EQ(tokens[4].text, "=>");
+  EXPECT_EQ(tokens[5].text, "->");
+  EXPECT_EQ(tokens[6].text, "<");
+  EXPECT_EQ(tokens[7].text, ">");
+  EXPECT_EQ(tokens[8].text, "=");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = MustTokenize("a # comment to end\nb -- another\nc");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto tokens = MustTokenize("a\nb\n\nc");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 4);
+}
+
+TEST(LexerTest, ErrorsOnUnterminatedString) {
+  EXPECT_FALSE(Tokenize("x = 'oops").ok());
+}
+
+TEST(LexerTest, ErrorsOnUnknownCharacter) {
+  auto status = Tokenize("a @ b");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.status().message().find("'@'"), std::string::npos);
+}
+
+TEST(LexerTest, KeywordMatchingIsCaseInsensitive) {
+  auto tokens = MustTokenize("select SeLeCt SELECT");
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[1].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[2].IsKeyword("select"));
+  EXPECT_FALSE(tokens[2].IsKeyword("SELEC"));
+}
+
+TEST(TokenCursorTest, ExpectAndConsume) {
+  auto tokens = MustTokenize("a = ( b )");
+  TokenCursor cursor(std::move(tokens));
+  auto id = cursor.ExpectIdentifier("name");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, "a");
+  EXPECT_TRUE(cursor.ConsumeSymbol("="));
+  EXPECT_FALSE(cursor.ConsumeSymbol("="));
+  EXPECT_TRUE(cursor.ExpectSymbol("(").ok());
+  EXPECT_TRUE(cursor.ConsumeKeyword("b"));
+  EXPECT_TRUE(cursor.ExpectSymbol(")").ok());
+  EXPECT_TRUE(cursor.AtEnd());
+  // Reading past the end stays at the sentinel.
+  EXPECT_EQ(cursor.Next().kind, TokenKind::kEnd);
+  EXPECT_EQ(cursor.Peek().kind, TokenKind::kEnd);
+}
+
+TEST(TokenCursorTest, ErrorMessagesNameLineAndToken) {
+  auto tokens = MustTokenize("x\ny");
+  TokenCursor cursor(std::move(tokens));
+  cursor.Next();
+  Status err = cursor.ErrorHere("expected something");
+  EXPECT_NE(err.message().find("line 2"), std::string::npos);
+  EXPECT_NE(err.message().find("'y'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace musketeer

@@ -1,0 +1,125 @@
+// Parameterized pricing-model properties over every engine: the invariants
+// the cost function and simulators must keep for the paper's arguments to
+// hold (monotonicity in bytes, overhead floors, scale-out behavior).
+
+#include <gtest/gtest.h>
+
+#include "src/backends/pricing.h"
+
+namespace musketeer {
+namespace {
+
+class PricingInvariantTest : public ::testing::TestWithParam<EngineKind> {};
+
+JobShape ScanShape(Bytes bytes) {
+  JobShape shape;
+  shape.pull_bytes = bytes;
+  shape.push_bytes = bytes / 2;
+  shape.ops.push_back(PricedOp{.in_bytes = bytes, .shuffle = false});
+  return shape;
+}
+
+TEST_P(PricingInvariantTest, MonotoneInDataVolume) {
+  EngineKind engine = GetParam();
+  ClusterConfig cluster = LocalCluster();
+  double prev = 0;
+  for (double gb : {0.1, 1.0, 10.0, 100.0}) {
+    double t = PriceJob(engine, cluster, ScanShape(gb * kGB));
+    EXPECT_GT(t, prev) << EngineKindName(engine) << " at " << gb << " GB";
+    prev = t;
+  }
+}
+
+TEST_P(PricingInvariantTest, JobOverheadIsAFloor) {
+  EngineKind engine = GetParam();
+  JobShape empty;
+  double t = PriceJob(engine, LocalCluster(), empty);
+  EXPECT_GE(t, RatesFor(engine).job_overhead_s);
+  // Two internal jobs double the overhead.
+  empty.job_count = 2;
+  EXPECT_NEAR(PriceJob(engine, LocalCluster(), empty),
+              2 * RatesFor(engine).job_overhead_s, 1e-9);
+}
+
+TEST_P(PricingInvariantTest, MoreNodesNeverHurt) {
+  EngineKind engine = GetParam();
+  JobShape shape = ScanShape(50 * kGB);
+  shape.ops[0].shuffle = true;
+  double at16 = PriceJob(engine, Ec2Cluster(16), shape);
+  double at100 = PriceJob(engine, Ec2Cluster(100), shape);
+  EXPECT_LE(at100, at16 * 1.0001) << EngineKindName(engine);
+  if (IsDistributedEngine(engine) &&
+      RatesFor(engine).max_scalable_nodes > 16) {
+    EXPECT_LT(at100, at16) << EngineKindName(engine);
+  }
+  if (!IsDistributedEngine(engine)) {
+    EXPECT_NEAR(at100, at16, 1e-9) << EngineKindName(engine);
+  }
+}
+
+TEST_P(PricingInvariantTest, LowerEfficiencyCostsMore) {
+  EngineKind engine = GetParam();
+  JobShape shape = ScanShape(20 * kGB);
+  shape.ops[0].shuffle = true;
+  double ideal = PriceJob(engine, LocalCluster(), shape);
+  shape.process_efficiency = 0.8;
+  double generated = PriceJob(engine, LocalCluster(), shape);
+  EXPECT_GT(generated, ideal) << EngineKindName(engine);
+  // Efficiency touches PROCESS/shuffle only — never more than the whole job.
+  EXPECT_LT(generated, ideal / 0.8 + 1e-9) << EngineKindName(engine);
+}
+
+TEST_P(PricingInvariantTest, FusionNeverSlowsAJob) {
+  EngineKind engine = GetParam();
+  JobShape fused = ScanShape(20 * kGB);
+  fused.ops.push_back(
+      PricedOp{.in_bytes = 20 * kGB, .shuffle = false, .charge_process = false});
+  JobShape unfused = ScanShape(20 * kGB);
+  unfused.ops.push_back(
+      PricedOp{.in_bytes = 20 * kGB, .shuffle = false, .charge_process = true});
+  EXPECT_LT(PriceJob(engine, LocalCluster(), fused),
+            PriceJob(engine, LocalCluster(), unfused))
+      << EngineKindName(engine);
+}
+
+TEST_P(PricingInvariantTest, SuperstepsAddLinearCost) {
+  EngineKind engine = GetParam();
+  JobShape shape = ScanShape(1 * kGB);
+  double base = PriceJob(engine, Ec2Cluster(16), shape);
+  shape.supersteps = 10;
+  double with_steps = PriceJob(engine, Ec2Cluster(16), shape);
+  const EngineRates& r = RatesFor(engine);
+  double expected = 10 * (r.superstep_s +
+                          r.coord_s_per_node * EffectiveNodes(engine, Ec2Cluster(16)));
+  EXPECT_NEAR(with_steps - base, expected, 1e-9) << EngineKindName(engine);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, PricingInvariantTest,
+                         ::testing::ValuesIn(kAllEngines),
+                         [](const ::testing::TestParamInfo<EngineKind>& info) {
+                           return EngineKindName(info.param);
+                         });
+
+TEST(PricingModelTest, GraphPathFasterThanGenericWhereAvailable) {
+  JobShape shape;
+  shape.ops.push_back(PricedOp{.in_bytes = 50 * kGB, .graph_path = false});
+  JobShape graph = shape;
+  graph.ops[0].graph_path = true;
+  // Naiad's GraphLINQ path is strictly faster than its generic operators;
+  // PowerGraph only *has* the vertex path, so both rates coincide.
+  EXPECT_LT(PriceJob(EngineKind::kNaiad, Ec2Cluster(16), graph),
+            PriceJob(EngineKind::kNaiad, Ec2Cluster(16), shape));
+  EXPECT_LE(PriceJob(EngineKind::kPowerGraph, Ec2Cluster(16), graph),
+            PriceJob(EngineKind::kPowerGraph, Ec2Cluster(16), shape));
+}
+
+TEST(PricingModelTest, SingleNodeOpIgnoresClusterWidth) {
+  JobShape shape;
+  shape.ops.push_back(PricedOp{.in_bytes = 10 * kGB, .single_node = true});
+  double at16 = PriceJob(EngineKind::kNaiad, Ec2Cluster(16), shape);
+  double at100 = PriceJob(EngineKind::kNaiad, Ec2Cluster(100), shape);
+  EXPECT_NEAR(at16, at100, 1e-9);
+}
+
+}  // namespace
+}  // namespace musketeer

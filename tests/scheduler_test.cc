@@ -1,0 +1,276 @@
+// Scheduler tests: size prediction with and without history, job costing,
+// the DP heuristic vs. exhaustive search, and the decision-tree baseline.
+
+#include "src/scheduler/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/frontends/frontend.h"
+#include "src/scheduler/decision_tree.h"
+#include "src/workloads/workflows.h"
+
+namespace musketeer {
+namespace {
+
+std::unique_ptr<Dag> MaxPropertyPriceDag() {
+  auto dag = ParseWorkflow(FrontendLanguage::kBeer, R"(
+    locs = SELECT id, street, town FROM properties;
+    id_price = JOIN locs, prices ON locs.id = prices.id;
+    street_price = AGG MAX(price) AS max_price FROM id_price
+                   GROUP BY street, town;
+  )");
+  EXPECT_TRUE(dag.ok()) << dag.status();
+  return std::move(dag).value();
+}
+
+RelationSizes PropertySizes() {
+  return {{"properties", 4 * kGB}, {"prices", 2 * kGB}};
+}
+
+TEST(CostModelTest, ConservativeBoundsWithoutHistory) {
+  auto dag = MaxPropertyPriceDag();
+  CostModel model(LocalCluster(), nullptr, "wf");
+  auto sizes = model.PredictSizes(*dag, PropertySizes());
+  ASSERT_TRUE(sizes.ok()) << sizes.status();
+  int join_id = dag->ProducerOf("id_price");
+  // Generative JOIN: conservative multiple of the inputs.
+  EXPECT_GT((*sizes)[join_id], 6 * kGB);
+}
+
+TEST(CostModelTest, HistoryOverridesBounds) {
+  auto dag = MaxPropertyPriceDag();
+  HistoryStore history;
+  history.Record("wf", "id_price", 0.5 * kGB);
+  CostModel model(LocalCluster(), &history, "wf");
+  auto sizes = model.PredictSizes(*dag, PropertySizes());
+  ASSERT_TRUE(sizes.ok());
+  EXPECT_DOUBLE_EQ((*sizes)[dag->ProducerOf("id_price")], 0.5 * kGB);
+}
+
+TEST(CostModelTest, MissingBaseSizeIsAnError) {
+  auto dag = MaxPropertyPriceDag();
+  CostModel model(LocalCluster(), nullptr, "wf");
+  EXPECT_FALSE(model.PredictSizes(*dag, {}).ok());
+}
+
+TEST(CostModelTest, InfiniteCostForUnsupportedSets) {
+  auto dag = MaxPropertyPriceDag();
+  CostModel model(LocalCluster(), nullptr, "wf");
+  auto sizes = model.PredictSizes(*dag, PropertySizes());
+  ASSERT_TRUE(sizes.ok());
+  std::vector<int> all_ops;
+  for (const auto& n : dag->nodes()) {
+    if (n.kind != OpKind::kInput) {
+      all_ops.push_back(n.id);
+    }
+  }
+  // Two shuffles -> impossible on Hadoop, fine on Naiad.
+  EXPECT_EQ(model.JobCost(*dag, all_ops, EngineKind::kHadoop, *sizes),
+            kInfiniteCost);
+  EXPECT_LT(model.JobCost(*dag, all_ops, EngineKind::kNaiad, *sizes),
+            kInfiniteCost);
+}
+
+TEST(CostModelTest, MergedJobCheaperThanSplit) {
+  auto dag = MaxPropertyPriceDag();
+  CostModel model(LocalCluster(), nullptr, "wf");
+  auto sizes = model.PredictSizes(*dag, PropertySizes());
+  ASSERT_TRUE(sizes.ok());
+  std::vector<int> ops;
+  for (const auto& n : dag->nodes()) {
+    if (n.kind != OpKind::kInput) {
+      ops.push_back(n.id);
+    }
+  }
+  double merged = model.JobCost(*dag, ops, EngineKind::kNaiad, *sizes);
+  double split = 0;
+  for (int op : ops) {
+    split += model.JobCost(*dag, {op}, EngineKind::kNaiad, *sizes);
+  }
+  EXPECT_LT(merged, split);
+}
+
+TEST(PartitionerTest, DpSplitsMapReduceAtShuffles) {
+  auto dag = MaxPropertyPriceDag();
+  CostModel model(LocalCluster(), nullptr, "wf");
+  auto sizes = model.PredictSizes(*dag, PropertySizes());
+  ASSERT_TRUE(sizes.ok());
+  PartitionOptions options;
+  options.engines = {EngineKind::kHadoop};
+  auto part = PartitionDp(*dag, model, *sizes, options);
+  ASSERT_TRUE(part.ok()) << part.status();
+  EXPECT_EQ(part->jobs.size(), 2u);  // (project+join) | (group-by)
+  for (const auto& job : part->jobs) {
+    EXPECT_EQ(job.engine, EngineKind::kHadoop);
+  }
+}
+
+TEST(PartitionerTest, GeneralEngineMergesEverything) {
+  auto dag = MaxPropertyPriceDag();
+  CostModel model(LocalCluster(), nullptr, "wf");
+  auto sizes = model.PredictSizes(*dag, PropertySizes());
+  ASSERT_TRUE(sizes.ok());
+  PartitionOptions options;
+  options.engines = {EngineKind::kNaiad};
+  auto part = PartitionDp(*dag, model, *sizes, options);
+  ASSERT_TRUE(part.ok()) << part.status();
+  EXPECT_EQ(part->jobs.size(), 1u);
+}
+
+TEST(PartitionerTest, MergingDisabledYieldsOneJobPerOperator) {
+  auto dag = MaxPropertyPriceDag();
+  CostModel model(LocalCluster(), nullptr, "wf");
+  auto sizes = model.PredictSizes(*dag, PropertySizes());
+  ASSERT_TRUE(sizes.ok());
+  PartitionOptions options;
+  options.enable_merging = false;
+  auto part = PartitionDp(*dag, model, *sizes, options);
+  ASSERT_TRUE(part.ok()) << part.status();
+  EXPECT_EQ(part->jobs.size(), 3u);
+}
+
+TEST(PartitionerTest, ExhaustiveMatchesOrBeatsDp) {
+  auto dag = MaxPropertyPriceDag();
+  CostModel model(LocalCluster(), nullptr, "wf");
+  auto sizes = model.PredictSizes(*dag, PropertySizes());
+  ASSERT_TRUE(sizes.ok());
+  auto dp = PartitionDp(*dag, model, *sizes);
+  auto ex = PartitionExhaustive(*dag, model, *sizes);
+  ASSERT_TRUE(dp.ok());
+  ASSERT_TRUE(ex.ok());
+  EXPECT_LE(ex->total_cost, dp->total_cost * 1.0000001);
+}
+
+TEST(PartitionerTest, ExhaustiveBeatsDpOnFigure16Shape) {
+  // Fig. 16: a diamond where the final JOIN should merge with the PROJECT on
+  // one branch; the depth-first linear order interposes the other branch's
+  // AGG, breaking the merge for MapReduce engines. The exhaustive search is
+  // not bound to the linear order and finds the cheaper plan.
+  const char* kSource = R"(
+    proj = SELECT k, v FROM left_rel;
+    agg = AGG SUM(v2) AS sv FROM right_rel GROUP BY k2;
+    final = JOIN proj, agg ON proj.k = agg.k2;
+  )";
+  auto dag = ParseWorkflow(FrontendLanguage::kBeer, kSource);
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  // Reorder: ensure linear (id) order is proj < agg < join, which blocks the
+  // proj+join segment under the DP's contiguity restriction.
+  RelationSizes sizes_in{{"left_rel", 8 * kGB}, {"right_rel", 8 * kGB}};
+  CostModel model(LocalCluster(), nullptr, "wf");
+  auto sizes = model.PredictSizes(**dag, sizes_in);
+  ASSERT_TRUE(sizes.ok());
+  PartitionOptions options;
+  options.engines = {EngineKind::kHadoop};  // restricted-expressivity engine
+  auto dp = PartitionDp(**dag, model, *sizes, options);
+  auto ex = PartitionExhaustive(**dag, model, *sizes, options);
+  ASSERT_TRUE(dp.ok()) << dp.status();
+  ASSERT_TRUE(ex.ok()) << ex.status();
+  EXPECT_LT(ex->total_cost, dp->total_cost);
+  // Exhaustive merges PROJECT with the JOIN; DP cannot.
+  bool found_merge = false;
+  for (const auto& job : ex->jobs) {
+    if (job.ops.size() == 2) {
+      found_merge = true;
+    }
+  }
+  EXPECT_TRUE(found_merge);
+}
+
+TEST(PartitionerTest, MultipleLinearOrdersRecoverFigure16Merge) {
+  // §8's proposed fix, implemented as PartitionOptions::dp_linear_orders:
+  // with several randomized topological orders, the DP finds the
+  // JOIN+PROJECT merge that the single depth-first order breaks.
+  const char* kSource = R"(
+    proj = SELECT k, v FROM left_rel;
+    agg = AGG SUM(v2) AS sv FROM right_rel GROUP BY k2;
+    final = JOIN proj, agg ON proj.k = agg.k2;
+  )";
+  auto dag = ParseWorkflow(FrontendLanguage::kBeer, kSource);
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  RelationSizes sizes_in{{"left_rel", 8 * kGB}, {"right_rel", 8 * kGB}};
+  CostModel model(LocalCluster(), nullptr, "wf");
+  auto sizes = model.PredictSizes(**dag, sizes_in);
+  ASSERT_TRUE(sizes.ok());
+  PartitionOptions options;
+  options.engines = {EngineKind::kHadoop};
+
+  auto single = PartitionDp(**dag, model, *sizes, options);
+  ASSERT_TRUE(single.ok());
+
+  options.dp_linear_orders = 8;
+  auto multi = PartitionDp(**dag, model, *sizes, options);
+  ASSERT_TRUE(multi.ok());
+  EXPECT_LT(multi->total_cost, single->total_cost);
+
+  auto exhaustive = PartitionExhaustive(**dag, model, *sizes, options);
+  ASSERT_TRUE(exhaustive.ok());
+  EXPECT_NEAR(multi->total_cost, exhaustive->total_cost,
+              exhaustive->total_cost * 1e-9);
+}
+
+TEST(PartitionerTest, AutomaticMappingPrefersGraphEngineForPageRank) {
+  auto dag = ParseWorkflow(FrontendLanguage::kGas, PageRankGas(5));
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  RelationSizes sizes_in{{"vertices", 1 * kGB}, {"edges", 21 * kGB}};
+  CostModel model(Ec2Cluster(100), nullptr, "pagerank");
+  auto sizes = model.PredictSizes(**dag, sizes_in);
+  ASSERT_TRUE(sizes.ok());
+  auto part = PartitionDag(**dag, model, *sizes);
+  ASSERT_TRUE(part.ok()) << part.status();
+  ASSERT_EQ(part->jobs.size(), 1u);
+  // At 100 nodes the specialized path on Naiad (GraphLINQ) or PowerGraph
+  // should win; Hadoop/Metis/Serial must not be chosen.
+  EXPECT_TRUE(part->jobs[0].engine == EngineKind::kNaiad ||
+              part->jobs[0].engine == EngineKind::kPowerGraph)
+      << EngineKindName(part->jobs[0].engine);
+}
+
+TEST(PartitionerTest, SmallInputsMapToSingleMachine) {
+  auto dag = MaxPropertyPriceDag();
+  CostModel model(LocalCluster(), nullptr, "wf");
+  RelationSizes small{{"properties", 100 * kMB}, {"prices", 50 * kMB}};
+  auto sizes = model.PredictSizes(*dag, small);
+  ASSERT_TRUE(sizes.ok());
+  // Fig. 2a's system set: the high-overhead distributed engines lose to
+  // single-machine execution on small inputs.
+  PartitionOptions options;
+  options.engines = {EngineKind::kHadoop, EngineKind::kSpark, EngineKind::kMetis,
+                     EngineKind::kSerialC};
+  auto part = PartitionDag(*dag, model, *sizes, options);
+  ASSERT_TRUE(part.ok());
+  for (const auto& job : part->jobs) {
+    EXPECT_FALSE(IsDistributedEngine(job.engine))
+        << EngineKindName(job.engine);
+  }
+}
+
+TEST(HistoryTest, PartialKnowledgeKeepsPrefix) {
+  HistoryStore history;
+  history.Record("wf", "a", 1);
+  history.Record("wf", "b", 2);
+  history.Record("wf", "c", 3);
+  history.Record("wf", "d", 4);
+  HistoryStore half = history.WithPartialKnowledge(0.5);
+  EXPECT_EQ(half.EntriesFor("wf"), 2);
+  EXPECT_TRUE(half.Lookup("wf", "a").has_value());
+  EXPECT_FALSE(half.Lookup("wf", "d").has_value());
+  EXPECT_FALSE(half.Lookup("other", "a").has_value());
+}
+
+TEST(DecisionTreeTest, FollowsItsRigidRules) {
+  auto graph = ParseWorkflow(FrontendLanguage::kGas, PageRankGas(5));
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(DecisionTreeChoice(**graph, 20 * kGB, Ec2Cluster(100)),
+            EngineKind::kPowerGraph);
+  EXPECT_EQ(DecisionTreeChoice(**graph, 20 * kGB, SingleMachine()),
+            EngineKind::kGraphChi);
+
+  auto batch = MaxPropertyPriceDag();
+  EXPECT_EQ(DecisionTreeChoice(*batch, 100 * kMB, LocalCluster()),
+            EngineKind::kMetis);
+  EXPECT_EQ(DecisionTreeChoice(*batch, 50 * kGB, LocalCluster()),
+            EngineKind::kHadoop);
+}
+
+}  // namespace
+}  // namespace musketeer

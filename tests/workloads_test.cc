@@ -1,0 +1,256 @@
+// Workload tests: generators produce consistent data sets with the paper's
+// nominal dimensions; every evaluation workflow parses and computes sensible
+// results on its sample.
+
+#include "src/workloads/workflows.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "src/frontends/frontend.h"
+#include "src/ir/eval.h"
+#include "src/workloads/datasets.h"
+
+namespace musketeer {
+namespace {
+
+TEST(DatasetsTest, GraphsHaveNominalPaperSizes) {
+  GraphDataset twitter = TwitterGraph();
+  EXPECT_NEAR(twitter.vertices->nominal_rows(), 43e6, 43e6 * 0.01);
+  EXPECT_NEAR(twitter.edges->nominal_rows(), 1.4e9, 1.4e9 * 0.01);
+  GraphDataset lj = LiveJournalGraph();
+  EXPECT_NEAR(lj.vertices->nominal_rows(), 4.8e6, 4.8e6 * 0.01);
+  EXPECT_NEAR(lj.edges->nominal_rows(), 69e6, 69e6 * 0.01);
+}
+
+TEST(DatasetsTest, GraphDegreesMatchEdges) {
+  GraphDataset g = OrkutGraph();
+  std::map<int64_t, int64_t> out_degree;
+  for (const Row& e : g.edges->rows()) {
+    ++out_degree[AsInt64(e[0])];
+  }
+  for (const Row& v : g.vertices->rows()) {
+    EXPECT_EQ(AsInt64(v[2]), out_degree[AsInt64(v[0])])
+        << "vertex " << AsInt64(v[0]);
+  }
+}
+
+TEST(DatasetsTest, GraphGenerationIsDeterministic) {
+  GraphDataset a = OrkutGraph();
+  GraphDataset b = OrkutGraph();
+  EXPECT_TRUE(Table::SameContent(*a.edges, *b.edges));
+  EXPECT_TRUE(Table::SameContent(*a.vertices, *b.vertices));
+}
+
+TEST(DatasetsTest, AsciiLinesHitNominalBytes) {
+  TablePtr t = MakeAsciiLines(2 * kGB, 1000, 5);
+  EXPECT_NEAR(t->nominal_bytes(), 2 * kGB, 2 * kGB * 0.01);
+}
+
+TEST(DatasetsTest, OverlappingCommunitiesShareEdges) {
+  CommunityPair pair = MakeOverlappingCommunities();
+  auto common = Intersect(*pair.a.edges, *pair.b.edges);
+  ASSERT_TRUE(common.ok());
+  EXPECT_GT(common->num_rows(), pair.a.edges->num_rows() / 10);
+  EXPECT_LT(common->num_rows(), pair.a.edges->num_rows());
+}
+
+TEST(DatasetsTest, SsspGraphHasZeroCostSource) {
+  GraphDataset g = TwitterGraphWithCosts();
+  EXPECT_EQ(g.edges->schema().num_fields(), 3u);
+  bool found_source = false;
+  for (const Row& v : g.vertices->rows()) {
+    if (AsInt64(v[0]) == 0) {
+      EXPECT_DOUBLE_EQ(AsDouble(v[1]), 0.0);
+      found_source = true;
+    } else {
+      EXPECT_GT(AsDouble(v[1]), 1e17);
+    }
+  }
+  EXPECT_TRUE(found_source);
+}
+
+// --- Workflow semantics -----------------------------------------------------
+
+TEST(WorkflowsTest, TpchQ17HiveAndLindiAgree) {
+  TpchDataset data = MakeTpch(/*scale_factor=*/10, /*sample_rows=*/5000);
+  TableMap base{{"lineitem", data.lineitem}, {"part", data.part}};
+
+  auto hive = ParseWorkflow(FrontendLanguage::kHive, TpchQ17Hive());
+  ASSERT_TRUE(hive.ok()) << hive.status();
+  auto hive_result = EvaluateDagRelation(**hive, base, "q17_result");
+  ASSERT_TRUE(hive_result.ok()) << hive_result.status();
+
+  auto lindi = ParseWorkflow(FrontendLanguage::kLindi, TpchQ17Lindi());
+  ASSERT_TRUE(lindi.ok()) << lindi.status();
+  auto lindi_result = EvaluateDagRelation(**lindi, base, "q17_result");
+  ASSERT_TRUE(lindi_result.ok()) << lindi_result.status();
+
+  ASSERT_EQ(hive_result->num_rows(), 1u);
+  ASSERT_EQ(lindi_result->num_rows(), 1u);
+  EXPECT_NEAR(AsDouble(hive_result->rows()[0][0]),
+              AsDouble(lindi_result->rows()[0][0]), 1e-6);
+}
+
+TEST(WorkflowsTest, PageRankGasMatchesBeerFormulation) {
+  GraphDataset g = OrkutGraph();
+  TableMap base{{"vertices", g.vertices}, {"edges", g.edges}};
+
+  auto gas = ParseWorkflow(FrontendLanguage::kGas, PageRankGas(4));
+  ASSERT_TRUE(gas.ok()) << gas.status();
+  auto gas_result = EvaluateDagRelation(**gas, base, "pagerank");
+  ASSERT_TRUE(gas_result.ok()) << gas_result.status();
+
+  auto beer = ParseWorkflow(FrontendLanguage::kBeer, PageRankBeer(4));
+  ASSERT_TRUE(beer.ok()) << beer.status();
+  auto beer_result = EvaluateDagRelation(**beer, base, "pagerank");
+  ASSERT_TRUE(beer_result.ok()) << beer_result.status();
+
+  EXPECT_TRUE(Table::SameContent(*gas_result, *beer_result));
+}
+
+TEST(WorkflowsTest, PageRankMassStaysBounded) {
+  GraphDataset g = LiveJournalGraph();
+  TableMap base{{"vertices", g.vertices}, {"edges", g.edges}};
+  auto gas = ParseWorkflow(FrontendLanguage::kGas, PageRankGas(5));
+  ASSERT_TRUE(gas.ok());
+  auto result = EvaluateDagRelation(**gas, base, "pagerank");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GT(result->num_rows(), 0u);
+  for (const Row& r : result->rows()) {
+    double rank = AsDouble(r[1]);
+    EXPECT_GT(rank, 0.0);
+    EXPECT_LT(rank, 200.0);
+  }
+}
+
+// Dijkstra reference for the SSSP workflow.
+std::map<int64_t, double> Dijkstra(const Table& edges, int64_t source) {
+  std::map<int64_t, std::vector<std::pair<int64_t, double>>> adj;
+  for (const Row& e : edges.rows()) {
+    adj[AsInt64(e[0])].push_back({AsInt64(e[1]), AsDouble(e[2])});
+  }
+  std::map<int64_t, double> dist;
+  using Item = std::pair<double, int64_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.push({0.0, source});
+  dist[source] = 0.0;
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v] + 1e-12) {
+      continue;
+    }
+    for (const auto& [u, w] : adj[v]) {
+      if (dist.count(u) == 0 || dist[u] > d + w) {
+        dist[u] = d + w;
+        pq.push({dist[u], u});
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(WorkflowsTest, SsspMatchesDijkstraWithinHopBound) {
+  GraphSpec spec;
+  spec.name = "sssp-small";
+  spec.sample_vertices = 60;
+  spec.nominal_vertices = 60;
+  spec.nominal_edges = 0;  // sample == nominal
+  spec.seed = 9;
+  spec.with_costs = true;
+  spec.initial_value = 1e18;
+  GraphDataset g = MakePowerLawGraph(spec);
+
+  const int kIterations = 70;  // >= diameter: converged
+  auto gas = ParseWorkflow(FrontendLanguage::kGas, SsspGas(kIterations));
+  ASSERT_TRUE(gas.ok()) << gas.status();
+  TableMap base{{"vertices", g.vertices}, {"edges", g.edges}};
+  auto result = EvaluateDagRelation(**gas, base, "sssp");
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  std::map<int64_t, double> expected = Dijkstra(*g.edges, 0);
+  int reached = 0;
+  for (const Row& r : result->rows()) {
+    int64_t v = AsInt64(r[0]);
+    double d = AsDouble(r[1]);
+    if (d < 1e17) {
+      ASSERT_TRUE(expected.count(v) > 0) << "vertex " << v;
+      EXPECT_NEAR(d, expected[v], 1e-6) << "vertex " << v;
+      ++reached;
+    }
+  }
+  EXPECT_GT(reached, 10);
+}
+
+TEST(WorkflowsTest, KmeansCentersMoveTowardClusters) {
+  KmeansDataset data = MakeKmeans(/*nominal_points=*/1e8, /*sample_points=*/500,
+                                  /*k=*/4, /*seed=*/13);
+  auto beer = ParseWorkflow(FrontendLanguage::kBeer, KmeansBeer(5));
+  ASSERT_TRUE(beer.ok()) << beer.status();
+  TableMap base{{"points", data.points}, {"centers", data.centers}};
+  auto result = EvaluateDagRelation(**beer, base, "kmeans_centers");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LE(result->num_rows(), 4u);
+  EXPECT_GE(result->num_rows(), 2u);
+  // Centers stay in the data's bounding box.
+  for (const Row& r : result->rows()) {
+    EXPECT_GE(AsDouble(r[1]), -5.0);
+    EXPECT_LE(AsDouble(r[1]), 40.0);
+  }
+}
+
+TEST(WorkflowsTest, NetflixProducesPerUserRecommendations) {
+  NetflixDataset data = MakeNetflix(/*sample_users=*/60);
+  auto beer = ParseWorkflow(FrontendLanguage::kBeer, NetflixBeer(100));
+  ASSERT_TRUE(beer.ok()) << beer.status();
+  EXPECT_EQ((*beer)->TotalOperatorCount(), 13);
+  TableMap base{{"ratings", data.ratings}, {"movies", data.movies}};
+  auto result = EvaluateDagRelation(**beer, base, "recommendation");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->num_rows(), 0u);
+  // Every recommended movie's score equals the user's best score.
+  auto sidx = result->schema().IndexOf("score");
+  auto bidx = result->schema().IndexOf("best_score");
+  ASSERT_TRUE(sidx.has_value());
+  ASSERT_TRUE(bidx.has_value());
+  for (const Row& r : result->rows()) {
+    EXPECT_DOUBLE_EQ(AsDouble(r[*sidx]), AsDouble(r[*bidx]));
+  }
+}
+
+TEST(WorkflowsTest, NetflixExtendedHasEighteenOperators) {
+  auto beer = ParseWorkflow(FrontendLanguage::kBeer, NetflixExtendedBeer(100));
+  ASSERT_TRUE(beer.ok()) << beer.status();
+  EXPECT_EQ((*beer)->TotalOperatorCount(), 18);
+}
+
+TEST(WorkflowsTest, CrossCommunityPageRankRuns) {
+  CommunityPair pair = MakeOverlappingCommunities();
+  auto beer =
+      ParseWorkflow(FrontendLanguage::kBeer, CrossCommunityPageRankBeer(3));
+  ASSERT_TRUE(beer.ok()) << beer.status();
+  TableMap base{{"lj_edges", pair.a.edges}, {"web_edges", pair.b.edges}};
+  auto result = EvaluateDagRelation(**beer, base, "cc_pagerank");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->num_rows(), 0u);
+}
+
+TEST(WorkflowsTest, TopShopperFindsOnlyQualifyingUsers) {
+  TablePtr purchases = MakePurchases(1e6, 2000, 10, 21);
+  auto beer =
+      ParseWorkflow(FrontendLanguage::kBeer, TopShopperBeer(5, 300.0));
+  ASSERT_TRUE(beer.ok()) << beer.status();
+  auto result =
+      EvaluateDagRelation(**beer, {{"purchases", purchases}}, "top_shoppers");
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (const Row& r : result->rows()) {
+    EXPECT_GT(AsDouble(r[1]), 300.0);
+  }
+}
+
+}  // namespace
+}  // namespace musketeer

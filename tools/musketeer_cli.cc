@@ -1,0 +1,305 @@
+// musketeer — command-line workflow runner.
+//
+// Runs a workflow written in any of the four front-end languages against
+// CSV inputs, letting Musketeer choose back-end engines (or forcing them),
+// and writes result relations back to CSV.
+//
+// Usage:
+//   musketeer [options] <workflow-file>
+//
+// Options:
+//   --language=beer|hive|gas|lindi   front-end (default: by file extension)
+//   --input=NAME=FILE:SCHEMA         input relation, e.g.
+//                                    --input=prices=prices.csv:id:int,price:double
+//   --scale=NAME=FACTOR              treat NAME as FACTOR x larger than its
+//                                    sample (simulated nominal size)
+//   --cluster=local|single|ec2:N     cluster model (default: local)
+//   --engines=naiad,hadoop,...       restrict engine choice (default: all)
+//   --output=NAME=FILE               write relation NAME to FILE as CSV
+//   --explain                        also print IR, partitioning & job code
+//
+// Example:
+//   ./build/tools/musketeer --input=purchases=p.csv:uid:int,region:int,amount:double
+//       --output=top_shoppers=out.csv --explain top_shopper.beer
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "src/base/strings.h"
+#include "src/core/musketeer.h"
+#include "src/relational/csv.h"
+
+using namespace musketeer;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "musketeer: %s\n", message.c_str());
+  return 1;
+}
+
+std::optional<FrontendLanguage> LanguageFromName(const std::string& name) {
+  if (EqualsIgnoreCase(name, "beer")) {
+    return FrontendLanguage::kBeer;
+  }
+  if (EqualsIgnoreCase(name, "hive")) {
+    return FrontendLanguage::kHive;
+  }
+  if (EqualsIgnoreCase(name, "gas")) {
+    return FrontendLanguage::kGas;
+  }
+  if (EqualsIgnoreCase(name, "lindi")) {
+    return FrontendLanguage::kLindi;
+  }
+  return std::nullopt;
+}
+
+std::optional<EngineKind> EngineFromName(const std::string& name) {
+  for (EngineKind kind : kAllEngines) {
+    if (EqualsIgnoreCase(name, EngineKindName(kind))) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+// "id:int,street:string,price:double" -> Schema.
+std::optional<Schema> ParseSchemaSpec(const std::string& spec) {
+  Schema schema;
+  for (const std::string& field : StrSplit(spec, ',')) {
+    std::vector<std::string> parts = StrSplit(field, ':');
+    if (parts.size() != 2) {
+      return std::nullopt;
+    }
+    FieldType type;
+    if (EqualsIgnoreCase(parts[1], "int")) {
+      type = FieldType::kInt64;
+    } else if (EqualsIgnoreCase(parts[1], "double")) {
+      type = FieldType::kDouble;
+    } else if (EqualsIgnoreCase(parts[1], "string")) {
+      type = FieldType::kString;
+    } else {
+      return std::nullopt;
+    }
+    schema.AddField({std::string(StripWhitespace(parts[0])), type});
+  }
+  return schema.num_fields() > 0 ? std::optional<Schema>(schema) : std::nullopt;
+}
+
+void PrintUsage() {
+  std::printf(
+      "usage: musketeer [options] <workflow-file>\n"
+      "  --language=beer|hive|gas|lindi\n"
+      "  --input=NAME=FILE:SCHEMA      (SCHEMA: col:int|double|string,...)\n"
+      "  --scale=NAME=FACTOR\n"
+      "  --cluster=local|single|ec2:N\n"
+      "  --engines=naiad,hadoop,...\n"
+      "  --output=NAME=FILE\n"
+      "  --explain\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workflow_path;
+  std::optional<FrontendLanguage> language;
+  ClusterConfig cluster = LocalCluster();
+  std::vector<EngineKind> engines;
+  std::vector<std::pair<std::string, std::string>> outputs;  // relation, file
+  bool explain = false;
+
+  Dfs dfs;
+  std::vector<std::pair<std::string, double>> scales;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    }
+    if (arg == "--explain") {
+      explain = true;
+      continue;
+    }
+    if (StartsWith(arg, "--language=")) {
+      language = LanguageFromName(arg.substr(11));
+      if (!language.has_value()) {
+        return Fail("unknown language in " + arg);
+      }
+      continue;
+    }
+    if (StartsWith(arg, "--cluster=")) {
+      std::string spec = arg.substr(10);
+      if (spec == "local") {
+        cluster = LocalCluster();
+      } else if (spec == "single") {
+        cluster = SingleMachine();
+      } else if (StartsWith(spec, "ec2:")) {
+        auto n = ParseInt64(spec.substr(4));
+        if (!n.has_value() || *n < 1) {
+          return Fail("bad node count in " + arg);
+        }
+        cluster = Ec2Cluster(static_cast<int>(*n));
+      } else {
+        return Fail("unknown cluster '" + spec + "'");
+      }
+      continue;
+    }
+    if (StartsWith(arg, "--engines=")) {
+      for (const std::string& name : StrSplit(arg.substr(10), ',')) {
+        auto kind = EngineFromName(name);
+        if (!kind.has_value()) {
+          return Fail("unknown engine '" + name + "'");
+        }
+        engines.push_back(*kind);
+      }
+      continue;
+    }
+    if (StartsWith(arg, "--input=")) {
+      std::string spec = arg.substr(8);
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        return Fail("--input needs NAME=FILE:SCHEMA");
+      }
+      std::string name = spec.substr(0, eq);
+      std::string rest = spec.substr(eq + 1);
+      size_t colon = rest.find(':');
+      if (colon == std::string::npos) {
+        return Fail("--input needs a schema after the file name");
+      }
+      std::string file = rest.substr(0, colon);
+      auto schema = ParseSchemaSpec(rest.substr(colon + 1));
+      if (!schema.has_value()) {
+        return Fail("bad schema spec in " + arg);
+      }
+      auto table = LoadCsvFile(file, *schema);
+      if (!table.ok()) {
+        return Fail("loading " + file + ": " + table.status().ToString());
+      }
+      dfs.Put(name, std::make_shared<Table>(std::move(table).value()));
+      continue;
+    }
+    if (StartsWith(arg, "--scale=")) {
+      std::string spec = arg.substr(8);
+      size_t eq = spec.find('=');
+      auto factor = eq == std::string::npos
+                        ? std::nullopt
+                        : ParseDouble(spec.substr(eq + 1));
+      if (!factor.has_value() || *factor <= 0) {
+        return Fail("--scale needs NAME=FACTOR");
+      }
+      scales.emplace_back(spec.substr(0, eq), *factor);
+      continue;
+    }
+    if (StartsWith(arg, "--output=")) {
+      std::string spec = arg.substr(9);
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        return Fail("--output needs NAME=FILE");
+      }
+      outputs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+      continue;
+    }
+    if (StartsWith(arg, "--")) {
+      PrintUsage();
+      return Fail("unknown option " + arg);
+    }
+    workflow_path = arg;
+  }
+
+  if (workflow_path.empty()) {
+    PrintUsage();
+    return Fail("no workflow file given");
+  }
+
+  // Apply nominal scales.
+  for (const auto& [name, factor] : scales) {
+    auto table = dfs.Get(name);
+    if (!table.ok()) {
+      return Fail("--scale names unknown input '" + name + "'");
+    }
+    auto scaled = std::make_shared<Table>(**table);
+    scaled->set_scale(factor);
+    dfs.Put(name, scaled);
+  }
+
+  // Infer language from the file extension if not given.
+  if (!language.has_value()) {
+    size_t dot = workflow_path.rfind('.');
+    if (dot != std::string::npos) {
+      language = LanguageFromName(workflow_path.substr(dot + 1));
+    }
+    if (!language.has_value()) {
+      return Fail("cannot infer language; pass --language=");
+    }
+  }
+
+  std::ifstream in(workflow_path);
+  if (!in) {
+    return Fail("cannot open " + workflow_path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  WorkflowSpec workflow;
+  workflow.id = workflow_path;
+  workflow.language = *language;
+  workflow.source = buf.str();
+
+  Musketeer m(&dfs);
+  RunOptions options;
+  options.cluster = cluster;
+  options.engines = engines;
+
+  if (explain) {
+    auto dag = m.Lower(workflow, /*optimize=*/true);
+    if (!dag.ok()) {
+      return Fail(dag.status().ToString());
+    }
+    std::printf("--- optimized IR (%d operators) ---\n%s\n",
+                (*dag)->TotalOperatorCount(), (*dag)->DebugString().c_str());
+  }
+
+  auto result = m.Run(workflow, options);
+  if (!result.ok()) {
+    return Fail(result.status().ToString());
+  }
+
+  std::printf("%zu job(s), %.1f simulated seconds on %s:\n",
+              result->plans.size(), result->makespan, cluster.name.c_str());
+  for (size_t i = 0; i < result->plans.size(); ++i) {
+    std::printf("  job %zu: %s (%.1f s)\n", i + 1,
+                result->plans[i].name.c_str(),
+                result->job_results[i].makespan);
+  }
+  if (explain) {
+    for (const JobPlan& plan : result->plans) {
+      std::printf("\n--- %s ---\n%s", plan.name.c_str(),
+                  plan.generated_code.c_str());
+    }
+  }
+
+  for (const auto& [relation, file] : outputs) {
+    auto table = dfs.Get(relation);
+    if (!table.ok()) {
+      return Fail("workflow produced no relation '" + relation + "'");
+    }
+    Status saved = SaveCsvFile(**table, file);
+    if (!saved.ok()) {
+      return Fail(saved.ToString());
+    }
+    std::printf("wrote %s (%zu rows) to %s\n", relation.c_str(),
+                (*table)->num_rows(), file.c_str());
+  }
+
+  // Without --output, show the sink relations inline.
+  if (outputs.empty()) {
+    for (const auto& [name, table] : result->outputs) {
+      std::printf("\n%s:\n%s", name.c_str(), table->DebugString(10).c_str());
+    }
+  }
+  return 0;
+}
