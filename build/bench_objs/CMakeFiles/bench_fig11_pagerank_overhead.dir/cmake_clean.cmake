@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_pagerank_overhead"
+  "../bench/bench_fig11_pagerank_overhead.pdb"
+  "CMakeFiles/bench_fig11_pagerank_overhead.dir/bench_fig11_pagerank_overhead.cc.o"
+  "CMakeFiles/bench_fig11_pagerank_overhead.dir/bench_fig11_pagerank_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_pagerank_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_merging"
+  "../bench/bench_fig12_merging.pdb"
+  "CMakeFiles/bench_fig12_merging.dir/bench_fig12_merging.cc.o"
+  "CMakeFiles/bench_fig12_merging.dir/bench_fig12_merging.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_merging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

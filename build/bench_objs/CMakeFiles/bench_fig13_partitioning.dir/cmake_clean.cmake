@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_partitioning"
+  "../bench/bench_fig13_partitioning.pdb"
+  "CMakeFiles/bench_fig13_partitioning.dir/bench_fig13_partitioning.cc.o"
+  "CMakeFiles/bench_fig13_partitioning.dir/bench_fig13_partitioning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_auto_mapping"
+  "../bench/bench_fig14_auto_mapping.pdb"
+  "CMakeFiles/bench_fig14_auto_mapping.dir/bench_fig14_auto_mapping.cc.o"
+  "CMakeFiles/bench_fig14_auto_mapping.dir/bench_fig14_auto_mapping.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_auto_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

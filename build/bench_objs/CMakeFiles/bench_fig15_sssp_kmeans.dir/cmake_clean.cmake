@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_sssp_kmeans"
+  "../bench/bench_fig15_sssp_kmeans.pdb"
+  "CMakeFiles/bench_fig15_sssp_kmeans.dir/bench_fig15_sssp_kmeans.cc.o"
+  "CMakeFiles/bench_fig15_sssp_kmeans.dir/bench_fig15_sssp_kmeans.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_sssp_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

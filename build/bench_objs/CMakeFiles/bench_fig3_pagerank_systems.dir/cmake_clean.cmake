@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_pagerank_systems"
+  "../bench/bench_fig3_pagerank_systems.pdb"
+  "CMakeFiles/bench_fig3_pagerank_systems.dir/bench_fig3_pagerank_systems.cc.o"
+  "CMakeFiles/bench_fig3_pagerank_systems.dir/bench_fig3_pagerank_systems.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_pagerank_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

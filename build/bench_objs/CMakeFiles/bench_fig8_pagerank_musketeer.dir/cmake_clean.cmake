@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_pagerank_musketeer"
+  "../bench/bench_fig8_pagerank_musketeer.pdb"
+  "CMakeFiles/bench_fig8_pagerank_musketeer.dir/bench_fig8_pagerank_musketeer.cc.o"
+  "CMakeFiles/bench_fig8_pagerank_musketeer.dir/bench_fig8_pagerank_musketeer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_pagerank_musketeer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec7_student_join"
+  "../bench/bench_sec7_student_join.pdb"
+  "CMakeFiles/bench_sec7_student_join.dir/bench_sec7_student_join.cc.o"
+  "CMakeFiles/bench_sec7_student_join.dir/bench_sec7_student_join.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_student_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_calibration"
+  "../bench/bench_table1_calibration.pdb"
+  "CMakeFiles/bench_table1_calibration.dir/bench_table1_calibration.cc.o"
+  "CMakeFiles/bench_table1_calibration.dir/bench_table1_calibration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

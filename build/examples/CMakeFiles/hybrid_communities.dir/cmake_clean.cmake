@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_communities.dir/hybrid_communities.cpp.o"
+  "CMakeFiles/hybrid_communities.dir/hybrid_communities.cpp.o.d"
+  "hybrid_communities"
+  "hybrid_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_portability.dir/pagerank_portability.cpp.o"
+  "CMakeFiles/pagerank_portability.dir/pagerank_portability.cpp.o.d"
+  "pagerank_portability"
+  "pagerank_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

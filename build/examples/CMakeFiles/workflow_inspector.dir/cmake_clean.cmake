@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_inspector.dir/workflow_inspector.cpp.o"
+  "CMakeFiles/workflow_inspector.dir/workflow_inspector.cpp.o.d"
+  "workflow_inspector"
+  "workflow_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

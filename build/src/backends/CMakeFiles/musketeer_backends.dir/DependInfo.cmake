@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backends/backends.cc" "src/backends/CMakeFiles/musketeer_backends.dir/backends.cc.o" "gcc" "src/backends/CMakeFiles/musketeer_backends.dir/backends.cc.o.d"
+  "/root/repo/src/backends/codegen.cc" "src/backends/CMakeFiles/musketeer_backends.dir/codegen.cc.o" "gcc" "src/backends/CMakeFiles/musketeer_backends.dir/codegen.cc.o.d"
+  "/root/repo/src/backends/engine_kind.cc" "src/backends/CMakeFiles/musketeer_backends.dir/engine_kind.cc.o" "gcc" "src/backends/CMakeFiles/musketeer_backends.dir/engine_kind.cc.o.d"
+  "/root/repo/src/backends/job.cc" "src/backends/CMakeFiles/musketeer_backends.dir/job.cc.o" "gcc" "src/backends/CMakeFiles/musketeer_backends.dir/job.cc.o.d"
+  "/root/repo/src/backends/perf_model.cc" "src/backends/CMakeFiles/musketeer_backends.dir/perf_model.cc.o" "gcc" "src/backends/CMakeFiles/musketeer_backends.dir/perf_model.cc.o.d"
+  "/root/repo/src/backends/pricing.cc" "src/backends/CMakeFiles/musketeer_backends.dir/pricing.cc.o" "gcc" "src/backends/CMakeFiles/musketeer_backends.dir/pricing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/musketeer_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/musketeer_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/musketeer_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/musketeer_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/musketeer_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

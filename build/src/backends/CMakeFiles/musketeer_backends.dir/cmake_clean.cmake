@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_backends.dir/backends.cc.o"
+  "CMakeFiles/musketeer_backends.dir/backends.cc.o.d"
+  "CMakeFiles/musketeer_backends.dir/codegen.cc.o"
+  "CMakeFiles/musketeer_backends.dir/codegen.cc.o.d"
+  "CMakeFiles/musketeer_backends.dir/engine_kind.cc.o"
+  "CMakeFiles/musketeer_backends.dir/engine_kind.cc.o.d"
+  "CMakeFiles/musketeer_backends.dir/job.cc.o"
+  "CMakeFiles/musketeer_backends.dir/job.cc.o.d"
+  "CMakeFiles/musketeer_backends.dir/perf_model.cc.o"
+  "CMakeFiles/musketeer_backends.dir/perf_model.cc.o.d"
+  "CMakeFiles/musketeer_backends.dir/pricing.cc.o"
+  "CMakeFiles/musketeer_backends.dir/pricing.cc.o.d"
+  "libmusketeer_backends.a"
+  "libmusketeer_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

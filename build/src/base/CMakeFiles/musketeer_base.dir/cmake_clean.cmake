@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_base.dir/logging.cc.o"
+  "CMakeFiles/musketeer_base.dir/logging.cc.o.d"
+  "CMakeFiles/musketeer_base.dir/status.cc.o"
+  "CMakeFiles/musketeer_base.dir/status.cc.o.d"
+  "CMakeFiles/musketeer_base.dir/strings.cc.o"
+  "CMakeFiles/musketeer_base.dir/strings.cc.o.d"
+  "libmusketeer_base.a"
+  "libmusketeer_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

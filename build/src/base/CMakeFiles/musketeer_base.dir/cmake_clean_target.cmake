@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmusketeer_base.a"
+)

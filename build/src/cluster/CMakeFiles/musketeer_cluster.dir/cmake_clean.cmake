@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_cluster.dir/cluster.cc.o"
+  "CMakeFiles/musketeer_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/musketeer_cluster.dir/dfs.cc.o"
+  "CMakeFiles/musketeer_cluster.dir/dfs.cc.o.d"
+  "libmusketeer_cluster.a"
+  "libmusketeer_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_core.dir/musketeer.cc.o"
+  "CMakeFiles/musketeer_core.dir/musketeer.cc.o.d"
+  "libmusketeer_core.a"
+  "libmusketeer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engines/engine.cc" "src/engines/CMakeFiles/musketeer_engines.dir/engine.cc.o" "gcc" "src/engines/CMakeFiles/musketeer_engines.dir/engine.cc.o.d"
+  "/root/repo/src/engines/executor.cc" "src/engines/CMakeFiles/musketeer_engines.dir/executor.cc.o" "gcc" "src/engines/CMakeFiles/musketeer_engines.dir/executor.cc.o.d"
+  "/root/repo/src/engines/mapreduce_runtime.cc" "src/engines/CMakeFiles/musketeer_engines.dir/mapreduce_runtime.cc.o" "gcc" "src/engines/CMakeFiles/musketeer_engines.dir/mapreduce_runtime.cc.o.d"
+  "/root/repo/src/engines/rdd_runtime.cc" "src/engines/CMakeFiles/musketeer_engines.dir/rdd_runtime.cc.o" "gcc" "src/engines/CMakeFiles/musketeer_engines.dir/rdd_runtime.cc.o.d"
+  "/root/repo/src/engines/timely_runtime.cc" "src/engines/CMakeFiles/musketeer_engines.dir/timely_runtime.cc.o" "gcc" "src/engines/CMakeFiles/musketeer_engines.dir/timely_runtime.cc.o.d"
+  "/root/repo/src/engines/vertex_runtime.cc" "src/engines/CMakeFiles/musketeer_engines.dir/vertex_runtime.cc.o" "gcc" "src/engines/CMakeFiles/musketeer_engines.dir/vertex_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backends/CMakeFiles/musketeer_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/musketeer_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/musketeer_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/musketeer_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/musketeer_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/musketeer_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_engines.dir/engine.cc.o"
+  "CMakeFiles/musketeer_engines.dir/engine.cc.o.d"
+  "CMakeFiles/musketeer_engines.dir/executor.cc.o"
+  "CMakeFiles/musketeer_engines.dir/executor.cc.o.d"
+  "CMakeFiles/musketeer_engines.dir/mapreduce_runtime.cc.o"
+  "CMakeFiles/musketeer_engines.dir/mapreduce_runtime.cc.o.d"
+  "CMakeFiles/musketeer_engines.dir/rdd_runtime.cc.o"
+  "CMakeFiles/musketeer_engines.dir/rdd_runtime.cc.o.d"
+  "CMakeFiles/musketeer_engines.dir/timely_runtime.cc.o"
+  "CMakeFiles/musketeer_engines.dir/timely_runtime.cc.o.d"
+  "CMakeFiles/musketeer_engines.dir/vertex_runtime.cc.o"
+  "CMakeFiles/musketeer_engines.dir/vertex_runtime.cc.o.d"
+  "libmusketeer_engines.a"
+  "libmusketeer_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontends/beer_parser.cc" "src/frontends/CMakeFiles/musketeer_frontends.dir/beer_parser.cc.o" "gcc" "src/frontends/CMakeFiles/musketeer_frontends.dir/beer_parser.cc.o.d"
+  "/root/repo/src/frontends/expr_parser.cc" "src/frontends/CMakeFiles/musketeer_frontends.dir/expr_parser.cc.o" "gcc" "src/frontends/CMakeFiles/musketeer_frontends.dir/expr_parser.cc.o.d"
+  "/root/repo/src/frontends/frontend.cc" "src/frontends/CMakeFiles/musketeer_frontends.dir/frontend.cc.o" "gcc" "src/frontends/CMakeFiles/musketeer_frontends.dir/frontend.cc.o.d"
+  "/root/repo/src/frontends/gas_parser.cc" "src/frontends/CMakeFiles/musketeer_frontends.dir/gas_parser.cc.o" "gcc" "src/frontends/CMakeFiles/musketeer_frontends.dir/gas_parser.cc.o.d"
+  "/root/repo/src/frontends/hive_parser.cc" "src/frontends/CMakeFiles/musketeer_frontends.dir/hive_parser.cc.o" "gcc" "src/frontends/CMakeFiles/musketeer_frontends.dir/hive_parser.cc.o.d"
+  "/root/repo/src/frontends/lexer.cc" "src/frontends/CMakeFiles/musketeer_frontends.dir/lexer.cc.o" "gcc" "src/frontends/CMakeFiles/musketeer_frontends.dir/lexer.cc.o.d"
+  "/root/repo/src/frontends/lindi_parser.cc" "src/frontends/CMakeFiles/musketeer_frontends.dir/lindi_parser.cc.o" "gcc" "src/frontends/CMakeFiles/musketeer_frontends.dir/lindi_parser.cc.o.d"
+  "/root/repo/src/frontends/udf_registry.cc" "src/frontends/CMakeFiles/musketeer_frontends.dir/udf_registry.cc.o" "gcc" "src/frontends/CMakeFiles/musketeer_frontends.dir/udf_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/musketeer_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/musketeer_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/musketeer_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

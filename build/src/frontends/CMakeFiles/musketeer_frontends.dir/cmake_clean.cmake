@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_frontends.dir/beer_parser.cc.o"
+  "CMakeFiles/musketeer_frontends.dir/beer_parser.cc.o.d"
+  "CMakeFiles/musketeer_frontends.dir/expr_parser.cc.o"
+  "CMakeFiles/musketeer_frontends.dir/expr_parser.cc.o.d"
+  "CMakeFiles/musketeer_frontends.dir/frontend.cc.o"
+  "CMakeFiles/musketeer_frontends.dir/frontend.cc.o.d"
+  "CMakeFiles/musketeer_frontends.dir/gas_parser.cc.o"
+  "CMakeFiles/musketeer_frontends.dir/gas_parser.cc.o.d"
+  "CMakeFiles/musketeer_frontends.dir/hive_parser.cc.o"
+  "CMakeFiles/musketeer_frontends.dir/hive_parser.cc.o.d"
+  "CMakeFiles/musketeer_frontends.dir/lexer.cc.o"
+  "CMakeFiles/musketeer_frontends.dir/lexer.cc.o.d"
+  "CMakeFiles/musketeer_frontends.dir/lindi_parser.cc.o"
+  "CMakeFiles/musketeer_frontends.dir/lindi_parser.cc.o.d"
+  "CMakeFiles/musketeer_frontends.dir/udf_registry.cc.o"
+  "CMakeFiles/musketeer_frontends.dir/udf_registry.cc.o.d"
+  "libmusketeer_frontends.a"
+  "libmusketeer_frontends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_frontends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/dag.cc" "src/ir/CMakeFiles/musketeer_ir.dir/dag.cc.o" "gcc" "src/ir/CMakeFiles/musketeer_ir.dir/dag.cc.o.d"
+  "/root/repo/src/ir/eval.cc" "src/ir/CMakeFiles/musketeer_ir.dir/eval.cc.o" "gcc" "src/ir/CMakeFiles/musketeer_ir.dir/eval.cc.o.d"
+  "/root/repo/src/ir/expr.cc" "src/ir/CMakeFiles/musketeer_ir.dir/expr.cc.o" "gcc" "src/ir/CMakeFiles/musketeer_ir.dir/expr.cc.o.d"
+  "/root/repo/src/ir/operator.cc" "src/ir/CMakeFiles/musketeer_ir.dir/operator.cc.o" "gcc" "src/ir/CMakeFiles/musketeer_ir.dir/operator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/musketeer_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/musketeer_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_ir.dir/dag.cc.o"
+  "CMakeFiles/musketeer_ir.dir/dag.cc.o.d"
+  "CMakeFiles/musketeer_ir.dir/eval.cc.o"
+  "CMakeFiles/musketeer_ir.dir/eval.cc.o.d"
+  "CMakeFiles/musketeer_ir.dir/expr.cc.o"
+  "CMakeFiles/musketeer_ir.dir/expr.cc.o.d"
+  "CMakeFiles/musketeer_ir.dir/operator.cc.o"
+  "CMakeFiles/musketeer_ir.dir/operator.cc.o.d"
+  "libmusketeer_ir.a"
+  "libmusketeer_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/idiom.cc" "src/opt/CMakeFiles/musketeer_opt.dir/idiom.cc.o" "gcc" "src/opt/CMakeFiles/musketeer_opt.dir/idiom.cc.o.d"
+  "/root/repo/src/opt/passes.cc" "src/opt/CMakeFiles/musketeer_opt.dir/passes.cc.o" "gcc" "src/opt/CMakeFiles/musketeer_opt.dir/passes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/musketeer_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/musketeer_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/musketeer_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

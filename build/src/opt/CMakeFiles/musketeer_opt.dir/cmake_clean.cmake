@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_opt.dir/idiom.cc.o"
+  "CMakeFiles/musketeer_opt.dir/idiom.cc.o.d"
+  "CMakeFiles/musketeer_opt.dir/passes.cc.o"
+  "CMakeFiles/musketeer_opt.dir/passes.cc.o.d"
+  "libmusketeer_opt.a"
+  "libmusketeer_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_relational.dir/csv.cc.o"
+  "CMakeFiles/musketeer_relational.dir/csv.cc.o.d"
+  "CMakeFiles/musketeer_relational.dir/ops.cc.o"
+  "CMakeFiles/musketeer_relational.dir/ops.cc.o.d"
+  "CMakeFiles/musketeer_relational.dir/schema.cc.o"
+  "CMakeFiles/musketeer_relational.dir/schema.cc.o.d"
+  "CMakeFiles/musketeer_relational.dir/table.cc.o"
+  "CMakeFiles/musketeer_relational.dir/table.cc.o.d"
+  "CMakeFiles/musketeer_relational.dir/value.cc.o"
+  "CMakeFiles/musketeer_relational.dir/value.cc.o.d"
+  "libmusketeer_relational.a"
+  "libmusketeer_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

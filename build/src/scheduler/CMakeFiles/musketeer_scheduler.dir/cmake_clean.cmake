@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_scheduler.dir/cost_model.cc.o"
+  "CMakeFiles/musketeer_scheduler.dir/cost_model.cc.o.d"
+  "CMakeFiles/musketeer_scheduler.dir/decision_tree.cc.o"
+  "CMakeFiles/musketeer_scheduler.dir/decision_tree.cc.o.d"
+  "CMakeFiles/musketeer_scheduler.dir/history.cc.o"
+  "CMakeFiles/musketeer_scheduler.dir/history.cc.o.d"
+  "CMakeFiles/musketeer_scheduler.dir/partitioner.cc.o"
+  "CMakeFiles/musketeer_scheduler.dir/partitioner.cc.o.d"
+  "libmusketeer_scheduler.a"
+  "libmusketeer_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/datasets.cc" "src/workloads/CMakeFiles/musketeer_workloads.dir/datasets.cc.o" "gcc" "src/workloads/CMakeFiles/musketeer_workloads.dir/datasets.cc.o.d"
+  "/root/repo/src/workloads/workflows.cc" "src/workloads/CMakeFiles/musketeer_workloads.dir/workflows.cc.o" "gcc" "src/workloads/CMakeFiles/musketeer_workloads.dir/workflows.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/musketeer_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/musketeer_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_workloads.dir/datasets.cc.o"
+  "CMakeFiles/musketeer_workloads.dir/datasets.cc.o.d"
+  "CMakeFiles/musketeer_workloads.dir/workflows.cc.o"
+  "CMakeFiles/musketeer_workloads.dir/workflows.cc.o.d"
+  "libmusketeer_workloads.a"
+  "libmusketeer_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

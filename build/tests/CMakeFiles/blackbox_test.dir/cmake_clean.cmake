@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackbox_test.dir/blackbox_test.cc.o"
+  "CMakeFiles/blackbox_test.dir/blackbox_test.cc.o.d"
+  "blackbox_test"
+  "blackbox_test.pdb"
+  "blackbox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontends_test.dir/frontends_test.cc.o"
+  "CMakeFiles/frontends_test.dir/frontends_test.cc.o.d"
+  "frontends_test"
+  "frontends_test.pdb"
+  "frontends_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontends_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substrates_test.dir/substrates_test.cc.o"
+  "CMakeFiles/substrates_test.dir/substrates_test.cc.o.d"
+  "substrates_test"
+  "substrates_test.pdb"
+  "substrates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substrates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
