@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kOutOfRange:
       return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }
@@ -58,6 +60,9 @@ Status InternalError(std::string message) {
 }
 Status OutOfRangeError(std::string message) {
   return Status(StatusCode::kOutOfRange, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
 }
 
 }  // namespace musketeer

@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kOutOfRange,
+  kResourceExhausted,  // backpressure: a bounded queue/pool is full
 };
 
 // Human-readable name for a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -68,6 +69,7 @@ Status FailedPreconditionError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 // Holds either a value of type T or an error Status. Accessing the value of
 // an errored StatusOr is a programming error (asserts in debug builds).

@@ -1,14 +1,17 @@
 #include "src/cluster/dfs.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace musketeer {
 
 void Dfs::Put(const std::string& name, TablePtr table) {
+  std::unique_lock lock(mu_);
   relations_[name] = std::move(table);
 }
 
 StatusOr<TablePtr> Dfs::Get(const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = relations_.find(name);
   if (it == relations_.end()) {
     return NotFoundError("DFS relation '" + name + "' does not exist");
@@ -17,16 +20,23 @@ StatusOr<TablePtr> Dfs::Get(const std::string& name) const {
 }
 
 bool Dfs::Contains(const std::string& name) const {
+  std::shared_lock lock(mu_);
   return relations_.count(name) > 0;
 }
 
-void Dfs::Erase(const std::string& name) { relations_.erase(name); }
+void Dfs::Erase(const std::string& name) {
+  std::unique_lock lock(mu_);
+  relations_.erase(name);
+}
 
 std::vector<std::string> Dfs::ListRelations() const {
   std::vector<std::string> names;
-  names.reserve(relations_.size());
-  for (const auto& [name, table] : relations_) {
-    names.push_back(name);
+  {
+    std::shared_lock lock(mu_);
+    names.reserve(relations_.size());
+    for (const auto& [name, table] : relations_) {
+      names.push_back(name);
+    }
   }
   std::sort(names.begin(), names.end());
   return names;

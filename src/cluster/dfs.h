@@ -5,10 +5,19 @@
 // Engines pull inputs from the DFS, push outputs back, and every system
 // boundary crossing therefore pays I/O — which is exactly what makes
 // combining back-ends a measurable trade-off (Fig. 9).
+//
+// Thread-safety contract: a single Dfs is shared by every concurrently
+// executing workflow (src/service/), so the namespace is guarded by a
+// shared_mutex (concurrent readers, exclusive writers) and the byte
+// counters are relaxed atomics. Tables themselves are immutable once Put
+// (TablePtr is shared_ptr<const Table>), so handing out the pointer under a
+// shared lock is safe.
 
 #ifndef MUSKETEER_SRC_CLUSTER_DFS_H_
 #define MUSKETEER_SRC_CLUSTER_DFS_H_
 
+#include <atomic>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +30,10 @@ namespace musketeer {
 
 class Dfs {
  public:
+  Dfs() = default;
+  Dfs(const Dfs&) = delete;
+  Dfs& operator=(const Dfs&) = delete;
+
   // Stores (or replaces) a relation.
   void Put(const std::string& name, TablePtr table);
 
@@ -33,20 +46,37 @@ class Dfs {
   std::vector<std::string> ListRelations() const;
 
   // Aggregate statistics maintained by the engines (bytes moved through the
-  // DFS over a workflow's lifetime).
-  void RecordRead(Bytes bytes) { bytes_read_ += bytes; }
-  void RecordWrite(Bytes bytes) { bytes_written_ += bytes; }
-  Bytes bytes_read() const { return bytes_read_; }
-  Bytes bytes_written() const { return bytes_written_; }
+  // DFS over a workflow's lifetime). Relaxed ordering: the counters are
+  // monotonic tallies, never used to synchronize other memory.
+  void RecordRead(Bytes bytes) {
+    AtomicAdd(&bytes_read_, bytes);
+  }
+  void RecordWrite(Bytes bytes) {
+    AtomicAdd(&bytes_written_, bytes);
+  }
+  Bytes bytes_read() const { return bytes_read_.load(std::memory_order_relaxed); }
+  Bytes bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
   void ResetStats() {
-    bytes_read_ = 0;
-    bytes_written_ = 0;
+    bytes_read_.store(0, std::memory_order_relaxed);
+    bytes_written_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  std::unordered_map<std::string, TablePtr> relations_;
-  Bytes bytes_read_ = 0;
-  Bytes bytes_written_ = 0;
+  // Bytes is a double; fetch_add on atomic<double> is C++20 but not lock-free
+  // everywhere, so spell it as a CAS loop that any toolchain compiles.
+  static void AtomicAdd(std::atomic<Bytes>* counter, Bytes delta) {
+    Bytes current = counter->load(std::memory_order_relaxed);
+    while (!counter->compare_exchange_weak(current, current + delta,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, TablePtr> relations_;  // guarded by mu_
+  std::atomic<Bytes> bytes_read_{0};
+  std::atomic<Bytes> bytes_written_{0};
 };
 
 }  // namespace musketeer

@@ -40,19 +40,19 @@ StatusOr<std::unique_ptr<Dag>> Musketeer::Lower(const WorkflowSpec& workflow,
   return OptimizeDag(*dag, DfsSchemas());
 }
 
-StatusOr<RunResult> Musketeer::Run(const WorkflowSpec& workflow,
-                                   const RunOptions& options) {
+StatusOr<WorkflowPlan> Musketeer::Plan(const WorkflowSpec& workflow,
+                                       const RunOptions& options) const {
   // 1. Front-end translation to the IR.
   MUSKETEER_ASSIGN_OR_RETURN(std::unique_ptr<Dag> dag,
                              ParseWorkflow(workflow.language, workflow.source));
   SchemaMap base_schemas = DfsSchemas();
 
-  RunResult result;
+  WorkflowPlan out;
 
   // 2. IR optimization.
   if (options.optimize_ir) {
     MUSKETEER_ASSIGN_OR_RETURN(
-        dag, OptimizeDag(*dag, base_schemas, {}, &result.optimizer_stats));
+        dag, OptimizeDag(*dag, base_schemas, {}, &out.optimizer_stats));
   } else {
     MUSKETEER_RETURN_IF_ERROR(dag->Validate());
     MUSKETEER_RETURN_IF_ERROR(dag->InferSchemas(base_schemas).status());
@@ -67,17 +67,33 @@ StatusOr<RunResult> Musketeer::Run(const WorkflowSpec& workflow,
   if (popts.engines.empty()) {
     popts.engines = options.engines;
   }
-  MUSKETEER_ASSIGN_OR_RETURN(result.partitioning,
+  MUSKETEER_ASSIGN_OR_RETURN(out.partitioning,
                              PartitionDag(*dag, model, sizes, popts));
 
   // 4. Code generation.
-  for (const JobAssignment& job : result.partitioning.jobs) {
+  for (const JobAssignment& job : out.partitioning.jobs) {
     MUSKETEER_ASSIGN_OR_RETURN(
         JobPlan plan, BackendFor(job.engine)
                           .GeneratePlan(*dag, job.ops, base_schemas,
                                         options.codegen));
-    result.plans.push_back(std::move(plan));
+    out.plans.push_back(std::move(plan));
   }
+
+  // Remember the sink relations so Execute() can collect outputs without
+  // re-deriving the DAG.
+  for (int sink : dag->Sinks()) {
+    out.sink_relations.push_back(dag->node(sink).output);
+  }
+  return out;
+}
+
+StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
+                                       const WorkflowPlan& plan,
+                                       const RunOptions& options) {
+  RunResult result;
+  result.partitioning = plan.partitioning;
+  result.plans = plan.plans;
+  result.optimizer_stats = plan.optimizer_stats;
 
   // 5. Execution with critical-path scheduling: a job starts when every job
   // producing one of its inputs has finished; independent jobs overlap.
@@ -86,19 +102,19 @@ StatusOr<RunResult> Musketeer::Run(const WorkflowSpec& workflow,
   std::unordered_map<std::string, SimSeconds> ready_at;  // relation -> time
   SimSeconds makespan = 0;
   for (size_t i = 0; i < result.plans.size(); ++i) {
-    const JobPlan& plan = result.plans[i];
+    const JobPlan& job = result.plans[i];
     SimSeconds start = 0;
-    for (const std::string& in : plan.inputs) {
+    for (const std::string& in : job.inputs) {
       auto it = ready_at.find(in);
       if (it != ready_at.end()) {
         start = std::max(start, it->second);
       }
     }
     MUSKETEER_ASSIGN_OR_RETURN(JobResult jr,
-                               ExecuteJob(plan, options.cluster, dfs_));
+                               ExecuteJob(job, options.cluster, dfs_));
     MLOG_INFO << jr.detail;
     SimSeconds finish = start + jr.makespan;
-    for (const std::string& out : plan.outputs) {
+    for (const std::string& out : job.outputs) {
       ready_at[out] = finish;
     }
     makespan = std::max(makespan, finish);
@@ -110,8 +126,7 @@ StatusOr<RunResult> Musketeer::Run(const WorkflowSpec& workflow,
   result.dfs_bytes_written = dfs_->bytes_written() - written_before;
 
   // 6. Collect the workflow's sink relations.
-  for (int sink : dag->Sinks()) {
-    const std::string& name = dag->node(sink).output;
+  for (const std::string& name : plan.sink_relations) {
     auto table = dfs_->Get(name);
     if (table.ok()) {
       result.outputs[name] = *table;
@@ -122,8 +137,8 @@ StatusOr<RunResult> Musketeer::Run(const WorkflowSpec& workflow,
   // every job-output relation plus the loop-body internals each engine
   // observed at steady state.
   if (options.history != nullptr) {
-    for (const JobPlan& plan : result.plans) {
-      for (const std::string& out : plan.outputs) {
+    for (const JobPlan& job : result.plans) {
+      for (const std::string& out : job.outputs) {
         auto table = dfs_->Get(out);
         if (table.ok()) {
           options.history->Record(workflow.id, out, (*table)->nominal_bytes());
@@ -137,6 +152,12 @@ StatusOr<RunResult> Musketeer::Run(const WorkflowSpec& workflow,
     }
   }
   return result;
+}
+
+StatusOr<RunResult> Musketeer::Run(const WorkflowSpec& workflow,
+                                   const RunOptions& options) {
+  MUSKETEER_ASSIGN_OR_RETURN(WorkflowPlan plan, Plan(workflow, options));
+  return Execute(workflow, plan, options);
 }
 
 Status Musketeer::ProfileWorkflow(const WorkflowSpec& workflow,

@@ -7,6 +7,12 @@
 // cluster against the shared DFS. Independent jobs overlap; the workflow
 // makespan is the critical path through the job graph.
 //
+// The pipeline is split at the plan/execute boundary: Plan() runs
+// parse→optimize→partition→codegen and yields an immutable WorkflowPlan;
+// Execute() runs a plan's jobs against the DFS. Run() composes the two.
+// The split is what lets the concurrent workflow service (src/service/)
+// cache plans for repeated submissions and jump straight to execution.
+//
 // Typical use:
 //   Dfs dfs;
 //   dfs.Put("edges", edge_table);
@@ -54,6 +60,15 @@ struct RunOptions {
   bool conservative_first_run = false;
 };
 
+// Everything Plan() produces and Execute() consumes. Immutable once built,
+// so one plan may be shared (and executed) by concurrent runs.
+struct WorkflowPlan {
+  Partitioning partitioning;
+  std::vector<JobPlan> plans;             // one per partition job
+  std::vector<std::string> sink_relations;  // the workflow's output relations
+  OptimizeStats optimizer_stats;
+};
+
 struct RunResult {
   SimSeconds makespan = 0;          // critical path over the job graph
   SimSeconds total_engine_time = 0; // sum of all job makespans
@@ -74,6 +89,16 @@ class Musketeer {
   // Parses and (optionally) optimizes a workflow without executing it.
   StatusOr<std::unique_ptr<Dag>> Lower(const WorkflowSpec& workflow,
                                        bool optimize = true) const;
+
+  // Front half of the pipeline: parse, optimize, partition, generate.
+  StatusOr<WorkflowPlan> Plan(const WorkflowSpec& workflow,
+                              const RunOptions& options = {}) const;
+
+  // Back half: executes a previously built plan's jobs against the DFS with
+  // critical-path scheduling, collects sinks and records history.
+  StatusOr<RunResult> Execute(const WorkflowSpec& workflow,
+                              const WorkflowPlan& plan,
+                              const RunOptions& options = {});
 
   // Full pipeline: parse, optimize, partition, generate, execute.
   StatusOr<RunResult> Run(const WorkflowSpec& workflow,

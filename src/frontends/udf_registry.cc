@@ -1,10 +1,19 @@
 #include "src/frontends/udf_registry.h"
 
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 namespace musketeer {
 
 namespace {
+
+// Guarded by RegistryMutex(): concurrent workflow submissions (the service's
+// worker pool) parse — and therefore look UDFs up — in parallel.
+std::shared_mutex& RegistryMutex() {
+  static auto* mu = new std::shared_mutex();
+  return *mu;
+}
 
 std::unordered_map<std::string, UdfDefinition>& Registry() {
   static auto* registry = new std::unordered_map<std::string, UdfDefinition>();
@@ -14,10 +23,12 @@ std::unordered_map<std::string, UdfDefinition>& Registry() {
 }  // namespace
 
 void RegisterUdf(UdfDefinition def) {
+  std::unique_lock lock(RegistryMutex());
   Registry()[def.name] = std::move(def);
 }
 
 StatusOr<UdfDefinition> LookupUdf(const std::string& name) {
+  std::shared_lock lock(RegistryMutex());
   auto it = Registry().find(name);
   if (it == Registry().end()) {
     return NotFoundError("no UDF registered under '" + name + "'");
@@ -25,6 +36,9 @@ StatusOr<UdfDefinition> LookupUdf(const std::string& name) {
   return it->second;
 }
 
-void ClearUdfRegistry() { Registry().clear(); }
+void ClearUdfRegistry() {
+  std::unique_lock lock(RegistryMutex());
+  Registry().clear();
+}
 
 }  // namespace musketeer

@@ -8,8 +8,9 @@
 // Every engine executes a UDF through the same registered implementation
 // (the paper's engines would run user-provided Java/C++ through foreign-
 // function interfaces; §8 discusses the optimization cost of that).
-// Registration is process-global and thread-compatible (registration happens
-// at startup, lookups afterwards).
+// Registration is process-global and thread-safe: lookups happen from the
+// workflow service's concurrent parser threads, so the registry is guarded
+// by a shared_mutex (register at startup, look up from anywhere).
 
 #ifndef MUSKETEER_SRC_FRONTENDS_UDF_REGISTRY_H_
 #define MUSKETEER_SRC_FRONTENDS_UDF_REGISTRY_H_

@@ -1,9 +1,35 @@
 #include "src/scheduler/history.h"
 
+#include <mutex>
+
 namespace musketeer {
+
+HistoryStore::HistoryStore(const HistoryStore& other) {
+  std::shared_lock lock(other.mu_);
+  data_ = other.data_;
+}
+
+HistoryStore& HistoryStore::operator=(const HistoryStore& other) {
+  if (this == &other) {
+    return *this;
+  }
+  // Consistent ordering by address avoids deadlock if two threads assign the
+  // same pair of stores in opposite directions.
+  if (this < &other) {
+    std::unique_lock lhs(mu_);
+    std::shared_lock rhs(other.mu_);
+    data_ = other.data_;
+  } else {
+    std::shared_lock rhs(other.mu_);
+    std::unique_lock lhs(mu_);
+    data_ = other.data_;
+  }
+  return *this;
+}
 
 void HistoryStore::Record(const std::string& workflow, const std::string& relation,
                           Bytes bytes) {
+  std::unique_lock lock(mu_);
   auto& per_wf = data_[workflow];
   auto it = per_wf.find(relation);
   if (it != per_wf.end()) {
@@ -18,6 +44,7 @@ void HistoryStore::Record(const std::string& workflow, const std::string& relati
 
 std::optional<Bytes> HistoryStore::Lookup(const std::string& workflow,
                                           const std::string& relation) const {
+  std::shared_lock lock(mu_);
   auto wf = data_.find(workflow);
   if (wf == data_.end()) {
     return std::nullopt;
@@ -30,14 +57,19 @@ std::optional<Bytes> HistoryStore::Lookup(const std::string& workflow,
 }
 
 int HistoryStore::EntriesFor(const std::string& workflow) const {
+  std::shared_lock lock(mu_);
   auto wf = data_.find(workflow);
   return wf == data_.end() ? 0 : static_cast<int>(wf->second.size());
 }
 
-void HistoryStore::Clear() { data_.clear(); }
+void HistoryStore::Clear() {
+  std::unique_lock lock(mu_);
+  data_.clear();
+}
 
 HistoryStore HistoryStore::WithPartialKnowledge(double fraction) const {
   HistoryStore out;
+  std::shared_lock lock(mu_);
   for (const auto& [workflow, relations] : data_) {
     int total = static_cast<int>(relations.size());
     for (const auto& [relation, entry] : relations) {

@@ -5,11 +5,20 @@
 // refine the cost model's data-volume predictions on subsequent runs of the
 // same workflow. Without history, generative operators (JOIN) have unknown
 // output bounds and the model falls back to conservative estimates.
+//
+// Thread-safety contract: one HistoryStore is shared by every concurrent
+// workflow the service runs (src/service/), with cost models calling Lookup
+// while finished runs call Record. All accessors take a shared_mutex, so
+// concurrent runs of the same workflow refine estimates without data races.
+// A Lookup racing a Record sees either the old or the new size — both are
+// valid observations, matching the paper's "history refines over runs"
+// semantics.
 
 #ifndef MUSKETEER_SRC_SCHEDULER_HISTORY_H_
 #define MUSKETEER_SRC_SCHEDULER_HISTORY_H_
 
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -19,6 +28,11 @@ namespace musketeer {
 
 class HistoryStore {
  public:
+  HistoryStore() = default;
+  // Copyable (WithPartialKnowledge returns by value); locks the source.
+  HistoryStore(const HistoryStore& other);
+  HistoryStore& operator=(const HistoryStore& other);
+
   // Records the observed nominal size of `relation` produced by `workflow`.
   void Record(const std::string& workflow, const std::string& relation,
               Bytes bytes);
@@ -40,7 +54,8 @@ class HistoryStore {
     Bytes bytes = 0;
     int order = 0;  // insertion order within the workflow
   };
-  // workflow -> relation -> entry
+  mutable std::shared_mutex mu_;
+  // workflow -> relation -> entry; guarded by mu_
   std::unordered_map<std::string, std::unordered_map<std::string, Entry>> data_;
 };
 

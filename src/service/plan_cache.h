@@ -1,0 +1,77 @@
+// Plan cache for repeated workflow submissions.
+//
+// Tupleware-style observation: analytics services see the *same* workflows
+// over and over, so re-running parse→optimize→partition→codegen per
+// submission is pure overhead. The cache maps a plan key — workflow id,
+// FNV-1a hash of the source text, the permitted engine set, and the cluster
+// it was planned for — to the immutable WorkflowPlan, letting repeat
+// submissions jump straight to execution.
+//
+// Sharing a cached plan across runs is sound because WorkflowPlan is
+// immutable and execution only reads it. A cached plan reflects the history
+// / DFS statistics at planning time; callers that want cost re-estimation
+// after history refinement call Invalidate() or disable the cache.
+//
+// Thread-safe: one instance is shared by every worker in the service pool.
+
+#ifndef MUSKETEER_SRC_SERVICE_PLAN_CACHE_H_
+#define MUSKETEER_SRC_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/core/musketeer.h"
+
+namespace musketeer {
+
+// 64-bit FNV-1a; stable across runs (keys may be logged / compared).
+uint64_t HashSource(const std::string& source);
+
+// Canonical cache key for (workflow id, source hash, engine set, cluster).
+std::string PlanCacheKey(const WorkflowSpec& spec, const RunOptions& options);
+
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 128) : capacity_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // Returns the cached plan for the key, or nullptr. Bumps LRU recency.
+  std::shared_ptr<const WorkflowPlan> Get(const std::string& key);
+
+  // Inserts (or replaces) the plan under `key`, evicting the least recently
+  // used entry when over capacity.
+  void Put(const std::string& key, std::shared_ptr<const WorkflowPlan> plan);
+
+  // Drops every entry whose workflow id matches (prefix match on the key).
+  void Invalidate(const std::string& workflow_id);
+
+  void Clear();
+
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  using LruList = std::list<std::string>;  // front = most recent
+  struct Entry {
+    std::shared_ptr<const WorkflowPlan> plan;
+    LruList::iterator lru_pos;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;  // guarded by mu_
+  LruList lru_;                                     // guarded by mu_
+  uint64_t hits_ = 0;                               // guarded by mu_
+  uint64_t misses_ = 0;                             // guarded by mu_
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_SERVICE_PLAN_CACHE_H_

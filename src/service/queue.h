@@ -1,0 +1,102 @@
+// Bounded multi-producer/multi-consumer queue for the workflow service.
+//
+// Submissions land here and worker threads drain it. The bound is the
+// service's backpressure mechanism: TryPush fails (→ workflow REJECTED) when
+// the queue is full, while Push blocks the producer until a slot frees up.
+// Close() wakes every waiter and makes the queue drain-only, which is how
+// the service shuts its worker pool down without losing accepted work.
+
+#ifndef MUSKETEER_SRC_SERVICE_QUEUE_H_
+#define MUSKETEER_SRC_SERVICE_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace musketeer {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Non-blocking: false when the queue is full or closed.
+  bool TryPush(T item) {
+    std::unique_lock lock(mu_);
+    if (closed_ || items_.size() >= capacity_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while full; false when the queue was closed before the item
+  // could be accepted.
+  bool Push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while empty; nullopt once the queue is closed *and* drained.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Makes the queue reject new items and wakes all waiters. Idempotent.
+  void Close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;  // guarded by mu_
+  bool closed_ = false;  // guarded by mu_
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_SERVICE_QUEUE_H_

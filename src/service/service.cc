@@ -1,0 +1,283 @@
+#include "src/service/service.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace musketeer {
+
+const char* WorkflowStateName(WorkflowState state) {
+  switch (state) {
+    case WorkflowState::kQueued:
+      return "QUEUED";
+    case WorkflowState::kRunning:
+      return "RUNNING";
+    case WorkflowState::kDone:
+      return "DONE";
+    case WorkflowState::kFailed:
+      return "FAILED";
+    case WorkflowState::kRejected:
+      return "REJECTED";
+  }
+  return "UNKNOWN";
+}
+
+// ---- WorkflowTicket --------------------------------------------------------
+
+WorkflowState WorkflowTicket::state() const {
+  std::lock_guard lock(mu_);
+  return state_;
+}
+
+bool WorkflowTicket::terminal() const {
+  std::lock_guard lock(mu_);
+  return state_ != WorkflowState::kQueued && state_ != WorkflowState::kRunning;
+}
+
+void WorkflowTicket::Wait() const {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] {
+    return state_ != WorkflowState::kQueued && state_ != WorkflowState::kRunning;
+  });
+}
+
+bool WorkflowTicket::WaitFor(std::chrono::milliseconds timeout) const {
+  std::unique_lock lock(mu_);
+  return cv_.wait_for(lock, timeout, [&] {
+    return state_ != WorkflowState::kQueued && state_ != WorkflowState::kRunning;
+  });
+}
+
+const StatusOr<RunResult>& WorkflowTicket::result() const {
+  std::lock_guard lock(mu_);
+  return result_;
+}
+
+double WorkflowTicket::queue_seconds() const {
+  std::lock_guard lock(mu_);
+  const Clock::time_point until =
+      started_at_ == Clock::time_point{} ? finished_at_ : started_at_;
+  if (until == Clock::time_point{}) {
+    return 0;
+  }
+  return std::chrono::duration<double>(until - submitted_at_).count();
+}
+
+double WorkflowTicket::total_seconds() const {
+  std::lock_guard lock(mu_);
+  if (finished_at_ == Clock::time_point{}) {
+    return 0;
+  }
+  return std::chrono::duration<double>(finished_at_ - submitted_at_).count();
+}
+
+bool WorkflowTicket::plan_cache_hit() const {
+  std::lock_guard lock(mu_);
+  return plan_cache_hit_;
+}
+
+void WorkflowTicket::MarkRunning() {
+  std::lock_guard lock(mu_);
+  state_ = WorkflowState::kRunning;
+  started_at_ = Clock::now();
+}
+
+void WorkflowTicket::Finish(WorkflowState state, StatusOr<RunResult> result,
+                            bool cache_hit) {
+  {
+    std::lock_guard lock(mu_);
+    state_ = state;
+    result_ = std::move(result);
+    finished_at_ = Clock::now();
+    plan_cache_hit_ = cache_hit;
+  }
+  cv_.notify_all();
+}
+
+// ---- WorkflowService -------------------------------------------------------
+
+WorkflowService::WorkflowService(Dfs* dfs, ServiceConfig config)
+    : dfs_(dfs),
+      config_(std::move(config)),
+      queue_(config_.queue_capacity),
+      plan_cache_(config_.plan_cache_capacity) {
+  if (!config_.manual_start) {
+    Start();
+  }
+}
+
+WorkflowService::~WorkflowService() { Shutdown(); }
+
+void WorkflowService::Start() {
+  std::lock_guard lock(mu_);
+  if (started_ || shutdown_) {
+    return;
+  }
+  started_ = true;
+  workers_.reserve(static_cast<size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkflowHandle WorkflowService::MakeTicket(WorkflowSpec spec) {
+  uint64_t id;
+  {
+    std::lock_guard lock(mu_);
+    id = next_id_++;
+  }
+  // private ctor: not reachable through make_shared
+  return WorkflowHandle(new WorkflowTicket(id, std::move(spec)));
+}
+
+WorkflowHandle WorkflowService::Submit(WorkflowSpec spec) {
+  return Enqueue(std::move(spec), config_.default_options, /*blocking=*/false);
+}
+
+WorkflowHandle WorkflowService::Submit(WorkflowSpec spec, RunOptions options) {
+  return Enqueue(std::move(spec), std::move(options), /*blocking=*/false);
+}
+
+WorkflowHandle WorkflowService::SubmitBlocking(WorkflowSpec spec) {
+  return Enqueue(std::move(spec), config_.default_options, /*blocking=*/true);
+}
+
+WorkflowHandle WorkflowService::SubmitBlocking(WorkflowSpec spec,
+                                               RunOptions options) {
+  return Enqueue(std::move(spec), std::move(options), /*blocking=*/true);
+}
+
+WorkflowHandle WorkflowService::Enqueue(WorkflowSpec spec, RunOptions options,
+                                        bool blocking) {
+  WorkflowHandle ticket = MakeTicket(std::move(spec));
+  {
+    // Count the submission as outstanding *before* it is visible to a
+    // worker, so Drain() can never observe accepted-but-uncounted work.
+    std::lock_guard lock(mu_);
+    ++outstanding_;
+  }
+  QueueItem item{ticket, std::move(options)};
+  const bool accepted =
+      blocking ? queue_.Push(std::move(item)) : queue_.TryPush(std::move(item));
+  if (!accepted) {
+    ticket->Finish(WorkflowState::kRejected,
+                   ResourceExhaustedError(
+                       "workflow service queue is full (capacity " +
+                       std::to_string(queue_.capacity()) + ")"),
+                   /*cache_hit=*/false);
+    OnTicketTerminal(WorkflowState::kRejected);
+    return ticket;
+  }
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.submitted;
+  }
+  return ticket;
+}
+
+void WorkflowService::WorkerLoop() {
+  while (true) {
+    std::optional<QueueItem> item = queue_.Pop();
+    if (!item.has_value()) {
+      return;  // closed and drained
+    }
+    RunOne(*item);
+  }
+}
+
+void WorkflowService::RunOne(const QueueItem& item) {
+  item.ticket->MarkRunning();
+  MLOG_DEBUG << "service: workflow '" << item.ticket->spec().id << "' (#"
+             << item.ticket->id() << ") running";
+
+  Musketeer m(dfs_);
+  const WorkflowSpec& spec = item.ticket->spec();
+  const std::string cache_key = PlanCacheKey(spec, item.options);
+
+  bool cache_hit = false;
+  std::shared_ptr<const WorkflowPlan> plan;
+  if (config_.plan_cache_capacity > 0) {
+    plan = plan_cache_.Get(cache_key);
+    cache_hit = plan != nullptr;
+  }
+  StatusOr<RunResult> result = InternalError("unreachable");
+  if (plan == nullptr) {
+    StatusOr<WorkflowPlan> built = m.Plan(spec, item.options);
+    if (!built.ok()) {
+      result = built.status();
+    } else {
+      plan = std::make_shared<const WorkflowPlan>(std::move(built).value());
+      if (config_.plan_cache_capacity > 0) {
+        plan_cache_.Put(cache_key, plan);
+      }
+    }
+  }
+  if (plan != nullptr) {
+    if (config_.dispatch_latency.count() > 0) {
+      std::this_thread::sleep_for(config_.dispatch_latency *
+                                  static_cast<int>(plan->plans.size()));
+    }
+    result = m.Execute(spec, *plan, item.options);
+  }
+
+  const WorkflowState state =
+      result.ok() ? WorkflowState::kDone : WorkflowState::kFailed;
+  item.ticket->Finish(state, std::move(result), cache_hit);
+  OnTicketTerminal(state);
+}
+
+void WorkflowService::OnTicketTerminal(WorkflowState state) {
+  {
+    std::lock_guard lock(mu_);
+    switch (state) {
+      case WorkflowState::kDone:
+        ++stats_.completed;
+        break;
+      case WorkflowState::kFailed:
+        ++stats_.failed;
+        break;
+      case WorkflowState::kRejected:
+        ++stats_.rejected;
+        break;
+      default:
+        break;
+    }
+    --outstanding_;
+  }
+  idle_cv_.notify_all();
+}
+
+void WorkflowService::Drain() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void WorkflowService::Shutdown() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(mu_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+    workers.swap(workers_);
+  }
+  queue_.Close();  // wakes idle workers; queued items still drain
+  for (std::thread& t : workers) {
+    t.join();
+  }
+}
+
+ServiceStats WorkflowService::stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard lock(mu_);
+    out = stats_;
+  }
+  out.plan_cache_hits = plan_cache_.hits();
+  out.plan_cache_misses = plan_cache_.misses();
+  out.queue_depth = queue_.size();
+  return out;
+}
+
+}  // namespace musketeer

@@ -1,0 +1,207 @@
+// Concurrent multi-tenant workflow service.
+//
+// The paper's Musketeer is a long-running manager that many users submit
+// workflows to; this service supplies that front door. Submissions enter a
+// bounded queue (backpressure: a full queue REJECTs non-blocking submits)
+// and a pool of worker threads drains it, each worker driving the full
+// parse→optimize→partition→codegen→execute pipeline against one shared Dfs
+// and one shared HistoryStore. Repeated submissions of an identical
+// workflow hit the plan cache and skip straight to execution.
+//
+// Lifecycle of a submission:
+//   Submit()         → QUEUED   (or REJECTED when the queue is full)
+//   worker picks up  → RUNNING
+//   pipeline result  → DONE / FAILED
+//
+// Every submission returns a WorkflowHandle — a future-like ticket with the
+// terminal-state wait, the StatusOr<RunResult>, and queue/total latency
+// measurements (the service's SLO surface).
+//
+// Thread-safety contract (see DESIGN.md "Workflow service"): Dfs and
+// HistoryStore are internally synchronized; WorkflowPlan and Table are
+// immutable once published; the service's own state (tickets, stats) is
+// guarded by per-object mutexes. Per-run RunResult.dfs_bytes_* deltas are
+// computed from the shared counters and therefore include bytes moved by
+// concurrently executing workflows; use ServiceStats / Dfs totals for
+// aggregate accounting under concurrency.
+
+#ifndef MUSKETEER_SRC_SERVICE_SERVICE_H_
+#define MUSKETEER_SRC_SERVICE_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/musketeer.h"
+#include "src/service/plan_cache.h"
+#include "src/service/queue.h"
+
+namespace musketeer {
+
+enum class WorkflowState {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kRejected,
+};
+
+const char* WorkflowStateName(WorkflowState state);
+
+// Future-like per-submission ticket. Created by WorkflowService::Submit;
+// shared between the submitter and the worker that runs the workflow.
+class WorkflowTicket {
+ public:
+  uint64_t id() const { return id_; }
+  const WorkflowSpec& spec() const { return spec_; }
+
+  WorkflowState state() const;
+  bool terminal() const;  // DONE, FAILED or REJECTED
+
+  // Blocks until the ticket reaches a terminal state.
+  void Wait() const;
+  // Bounded wait; false on timeout.
+  bool WaitFor(std::chrono::milliseconds timeout) const;
+
+  // The pipeline outcome. Only meaningful in a terminal state (Wait first);
+  // FAILED carries the pipeline error, REJECTED a ResourceExhausted status.
+  const StatusOr<RunResult>& result() const;
+
+  // Seconds spent QUEUED (submit → worker pickup) and submit → terminal.
+  // Wall-clock, not simulated time.
+  double queue_seconds() const;
+  double total_seconds() const;
+
+  // True when execution reused a cached plan.
+  bool plan_cache_hit() const;
+
+ private:
+  friend class WorkflowService;
+  using Clock = std::chrono::steady_clock;
+
+  WorkflowTicket(uint64_t id, WorkflowSpec spec)
+      : id_(id), spec_(std::move(spec)), submitted_at_(Clock::now()) {}
+
+  void MarkRunning();
+  void Finish(WorkflowState state, StatusOr<RunResult> result, bool cache_hit);
+
+  const uint64_t id_;
+  const WorkflowSpec spec_;
+  const Clock::time_point submitted_at_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  WorkflowState state_ = WorkflowState::kQueued;          // guarded by mu_
+  StatusOr<RunResult> result_{InternalError("workflow not finished")};
+  Clock::time_point started_at_{};                        // guarded by mu_
+  Clock::time_point finished_at_{};                       // guarded by mu_
+  bool plan_cache_hit_ = false;                           // guarded by mu_
+};
+
+using WorkflowHandle = std::shared_ptr<WorkflowTicket>;
+
+struct ServiceConfig {
+  int num_workers = 4;
+  size_t queue_capacity = 64;
+  // Plan cache for repeated submissions; capacity 0 disables it.
+  size_t plan_cache_capacity = 128;
+  // Applied to every submission that does not carry its own RunOptions.
+  // `default_options.history` is how the shared HistoryStore is plumbed in.
+  RunOptions default_options;
+  // Models the synchronous round-trip of dispatching one engine job to a
+  // remote cluster (the paper's deployment blocks on Hadoop/Spark job
+  // submission). Charged per engine job as real wall-clock sleep; this wait
+  // — not CPU — is what the worker pool overlaps. 0 disables it.
+  std::chrono::milliseconds dispatch_latency{0};
+  // When set, the constructor does not spawn workers; call Start(). Lets
+  // tests fill the queue deterministically before anything drains it.
+  bool manual_start = false;
+};
+
+struct ServiceStats {
+  uint64_t submitted = 0;  // accepted into the queue
+  uint64_t rejected = 0;   // bounced off the full queue
+  uint64_t completed = 0;  // DONE
+  uint64_t failed = 0;     // FAILED
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  size_t queue_depth = 0;  // instantaneous
+};
+
+class WorkflowService {
+ public:
+  // `dfs` is the shared storage layer every workflow reads and writes; not
+  // owned. Workers start immediately unless config.manual_start.
+  explicit WorkflowService(Dfs* dfs, ServiceConfig config = {});
+
+  // Drains in-flight work (Shutdown) before destruction.
+  ~WorkflowService();
+
+  WorkflowService(const WorkflowService&) = delete;
+  WorkflowService& operator=(const WorkflowService&) = delete;
+
+  // Spawns the worker pool. Idempotent; only needed with manual_start.
+  void Start();
+
+  // Non-blocking submission with the service-wide default options; returns
+  // a REJECTED ticket when the queue is full or the service is shut down.
+  WorkflowHandle Submit(WorkflowSpec spec);
+  WorkflowHandle Submit(WorkflowSpec spec, RunOptions options);
+
+  // Blocking submission: waits for queue space instead of rejecting
+  // (REJECTED only if the service shuts down while waiting).
+  WorkflowHandle SubmitBlocking(WorkflowSpec spec);
+  WorkflowHandle SubmitBlocking(WorkflowSpec spec, RunOptions options);
+
+  // Blocks until every accepted submission has reached a terminal state.
+  // New submissions may still arrive while draining.
+  void Drain();
+
+  // Stops accepting submissions, finishes queued + running work, joins the
+  // workers. Idempotent.
+  void Shutdown();
+
+  // Counter visibility: a submission's terminal state is published to its
+  // ticket *before* the service counters update, so after Ticket::Wait()
+  // the ticket is settled but stats() may trail by that submission; after
+  // Drain() the counters cover everything accepted so far.
+  ServiceStats stats() const;
+
+  int num_workers() const { return config_.num_workers; }
+  size_t queue_capacity() const { return queue_.capacity(); }
+
+ private:
+  struct QueueItem {
+    WorkflowHandle ticket;
+    RunOptions options;
+  };
+
+  WorkflowHandle MakeTicket(WorkflowSpec spec);
+  WorkflowHandle Enqueue(WorkflowSpec spec, RunOptions options, bool blocking);
+  void WorkerLoop();
+  void RunOne(const QueueItem& item);
+  void OnTicketTerminal(WorkflowState state);
+
+  Dfs* const dfs_;
+  const ServiceConfig config_;
+  BoundedQueue<QueueItem> queue_;
+  PlanCache plan_cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::vector<std::thread> workers_;  // guarded by mu_ (spawn/join)
+  bool started_ = false;              // guarded by mu_
+  bool shutdown_ = false;             // guarded by mu_
+  uint64_t next_id_ = 1;              // guarded by mu_
+  uint64_t outstanding_ = 0;          // accepted, not yet terminal
+  ServiceStats stats_;                // guarded by mu_ (counter fields)
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_SERVICE_SERVICE_H_

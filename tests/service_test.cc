@@ -1,0 +1,430 @@
+// Concurrency tests for the workflow service (src/service/): queue
+// semantics, rejection policy, plan caching, and — the central claim — that
+// N workflows run concurrently over one shared Dfs + HistoryStore produce
+// exactly the results of N sequential runs (deterministic outputs, identical
+// makespans, no lost history entries). Run under -fsanitize=thread via
+// tools/check.sh to catch data races mechanically.
+
+#include "src/service/service.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/service/plan_cache.h"
+#include "src/service/queue.h"
+#include "src/workloads/datasets.h"
+#include "src/workloads/workflows.h"
+
+namespace musketeer {
+namespace {
+
+// ---- BoundedQueue ----------------------------------------------------------
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.Pop(), std::optional<int>(1));
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenStops) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.TryPush(7));
+  q.Close();
+  EXPECT_FALSE(q.TryPush(8));      // closed rejects producers
+  EXPECT_EQ(q.Pop(), std::optional<int>(7));  // accepted work still drains
+  EXPECT_EQ(q.Pop(), std::nullopt);           // then signals exhaustion
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersConsumers) {
+  constexpr int kPerProducer = 200;
+  constexpr int kProducers = 4;
+  BoundedQueue<int> q(8);
+  std::atomic<int> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q] {
+      for (int i = 1; i <= kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
+  EXPECT_EQ(sum.load(), kProducers * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+// ---- PlanCache -------------------------------------------------------------
+
+WorkflowSpec JoinSpec() {
+  return {.id = "svc-join",
+          .language = FrontendLanguage::kBeer,
+          .source = SimpleJoinBeer()};
+}
+
+TEST(PlanCacheTest, KeySeparatesIdSourceEnginesCluster) {
+  WorkflowSpec a = JoinSpec();
+  RunOptions opts;
+  const std::string base = PlanCacheKey(a, opts);
+
+  WorkflowSpec renamed = a;
+  renamed.id = "other";
+  EXPECT_NE(PlanCacheKey(renamed, opts), base);
+
+  WorkflowSpec edited = a;
+  edited.source += " ";
+  EXPECT_NE(PlanCacheKey(edited, opts), base);
+
+  RunOptions restricted = opts;
+  restricted.engines = {EngineKind::kHadoop};
+  EXPECT_NE(PlanCacheKey(a, restricted), base);
+
+  RunOptions bigger = opts;
+  bigger.cluster = Ec2Cluster(16);
+  EXPECT_NE(PlanCacheKey(a, bigger), base);
+
+  // Engine order must not matter.
+  RunOptions ab = opts;
+  ab.engines = {EngineKind::kHadoop, EngineKind::kSpark};
+  RunOptions ba = opts;
+  ba.engines = {EngineKind::kSpark, EngineKind::kHadoop};
+  EXPECT_EQ(PlanCacheKey(a, ab), PlanCacheKey(a, ba));
+}
+
+TEST(PlanCacheTest, LruEvictionAndInvalidation) {
+  PlanCache cache(2);
+  auto plan = std::make_shared<const WorkflowPlan>();
+  cache.Put("a\x1f" "1", plan);
+  cache.Put("b\x1f" "1", plan);
+  EXPECT_NE(cache.Get("a\x1f" "1"), nullptr);  // a now most recent
+  cache.Put("c\x1f" "1", plan);                // evicts b
+  EXPECT_EQ(cache.Get("b\x1f" "1"), nullptr);
+  EXPECT_NE(cache.Get("a\x1f" "1"), nullptr);
+  EXPECT_NE(cache.Get("c\x1f" "1"), nullptr);
+
+  cache.Invalidate("a");
+  EXPECT_EQ(cache.Get("a\x1f" "1"), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// ---- Service fixtures ------------------------------------------------------
+
+// Seeds `dfs` with inputs for the three workloads the tests mix: the simple
+// JOIN (§2.1), top-shopper (§6.5) and a short PageRank (GAS).
+void SeedDfs(Dfs* dfs) {
+  GraphSpec spec;
+  spec.name = "svc-graph";
+  spec.nominal_vertices = 50000;
+  spec.nominal_edges = 400000;
+  spec.sample_vertices = 300;
+  GraphDataset graph = MakePowerLawGraph(spec);
+  dfs->Put("vertices_rel", graph.vertices);
+  dfs->Put("edges_rel", graph.edges);
+  dfs->Put("vertices", graph.vertices);
+  dfs->Put("edges", graph.edges);
+  dfs->Put("purchases", MakePurchases(/*nominal_rows=*/1e6, /*sample_rows=*/2000,
+                                      /*num_regions=*/8, /*seed=*/3));
+}
+
+std::vector<WorkflowSpec> MixedSpecs() {
+  return {
+      JoinSpec(),
+      {.id = "svc-topshopper",
+       .language = FrontendLanguage::kBeer,
+       .source = TopShopperBeer(/*region=*/2, /*threshold=*/50.0)},
+      {.id = "svc-pagerank",
+       .language = FrontendLanguage::kGas,
+       .source = PageRankGas(/*iterations=*/2)},
+  };
+}
+
+// ---- Rejection policy ------------------------------------------------------
+
+TEST(WorkflowServiceTest, FullQueueRejectsDeterministically) {
+  Dfs dfs;
+  SeedDfs(&dfs);
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 2;
+  config.manual_start = true;  // queue fills before anything drains
+  WorkflowService service(&dfs, config);
+
+  WorkflowHandle a = service.Submit(JoinSpec());
+  WorkflowHandle b = service.Submit(JoinSpec());
+  WorkflowHandle c = service.Submit(JoinSpec());
+  EXPECT_EQ(a->state(), WorkflowState::kQueued);
+  EXPECT_EQ(b->state(), WorkflowState::kQueued);
+  EXPECT_EQ(c->state(), WorkflowState::kRejected);
+  EXPECT_EQ(c->result().status().code(), StatusCode::kResourceExhausted);
+
+  service.Start();
+  service.Drain();  // the consistency point for stats (see Drain contract)
+  EXPECT_EQ(a->state(), WorkflowState::kDone);
+  EXPECT_EQ(b->state(), WorkflowState::kDone);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(WorkflowServiceTest, SubmitBlockingNeverRejects) {
+  Dfs dfs;
+  SeedDfs(&dfs);
+  ServiceConfig config;
+  config.num_workers = 2;
+  config.queue_capacity = 1;  // every submission fights for one slot
+  WorkflowService service(&dfs, config);
+
+  std::vector<WorkflowHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(service.SubmitBlocking(JoinSpec()));
+  }
+  service.Drain();
+  for (const WorkflowHandle& h : handles) {
+    EXPECT_EQ(h->state(), WorkflowState::kDone) << h->result().status();
+  }
+  EXPECT_EQ(service.stats().rejected, 0u);
+}
+
+TEST(WorkflowServiceTest, FailedWorkflowCarriesPipelineError) {
+  Dfs dfs;
+  SeedDfs(&dfs);
+  ServiceConfig config;
+  config.num_workers = 1;
+  WorkflowService service(&dfs, config);
+  WorkflowHandle h = service.Submit(
+      {.id = "bad", .language = FrontendLanguage::kBeer, .source = "syntax !!"});
+  h->Wait();
+  EXPECT_EQ(h->state(), WorkflowState::kFailed);
+  EXPECT_FALSE(h->result().ok());
+}
+
+// ---- The central concurrency-correctness claim -----------------------------
+
+TEST(WorkflowServiceTest, ConcurrentMatchesSequential) {
+  constexpr int kCopies = 4;  // each workflow submitted this many times
+
+  Dfs dfs;
+  SeedDfs(&dfs);
+  HistoryStore history;
+  RunOptions options;
+  options.history = &history;
+  std::vector<WorkflowSpec> specs = MixedSpecs();
+
+  // Full history first (the paper's profiling run) so every subsequent run
+  // — sequential or concurrent — plans from identical cost-model inputs.
+  Musketeer m(&dfs);
+  for (const WorkflowSpec& spec : specs) {
+    ASSERT_TRUE(m.ProfileWorkflow(spec, options, &history).ok()) << spec.id;
+  }
+
+  // Sequential baseline.
+  struct Baseline {
+    SimSeconds makespan = 0;
+    TableMap outputs;
+    int history_entries = 0;
+  };
+  std::unordered_map<std::string, Baseline> baselines;
+  for (const WorkflowSpec& spec : specs) {
+    auto result = m.Run(spec, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    baselines[spec.id] = Baseline{result->makespan, result->outputs,
+                                  history.EntriesFor(spec.id)};
+  }
+
+  // Concurrent: every spec × kCopies racing over the same Dfs + history.
+  ServiceConfig config;
+  config.num_workers = 8;
+  config.queue_capacity = 64;
+  config.default_options = options;
+  WorkflowService service(&dfs, config);
+
+  std::vector<WorkflowHandle> handles;
+  for (int copy = 0; copy < kCopies; ++copy) {
+    for (const WorkflowSpec& spec : specs) {
+      handles.push_back(service.Submit(spec));
+    }
+  }
+  service.Drain();
+
+  for (const WorkflowHandle& h : handles) {
+    ASSERT_EQ(h->state(), WorkflowState::kDone) << h->result().status();
+    const Baseline& want = baselines.at(h->spec().id);
+    const RunResult& got = *h->result();
+    // Identical makespans: simulated time must not depend on interleaving.
+    EXPECT_DOUBLE_EQ(got.makespan, want.makespan) << h->spec().id;
+    // Deterministic outputs.
+    ASSERT_EQ(got.outputs.size(), want.outputs.size()) << h->spec().id;
+    for (const auto& [name, table] : want.outputs) {
+      auto it = got.outputs.find(name);
+      ASSERT_NE(it, got.outputs.end()) << name;
+      EXPECT_TRUE(Table::SameContent(*it->second, *table)) << name;
+    }
+  }
+  // No lost history entries: concurrent Records landed and changed nothing.
+  for (const WorkflowSpec& spec : specs) {
+    EXPECT_EQ(history.EntriesFor(spec.id), baselines.at(spec.id).history_entries)
+        << spec.id;
+  }
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, handles.size());
+  EXPECT_EQ(stats.completed, handles.size());
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+// ---- Plan cache integration ------------------------------------------------
+
+TEST(WorkflowServiceTest, RepeatedSubmissionHitsPlanCache) {
+  Dfs dfs;
+  SeedDfs(&dfs);
+  ServiceConfig config;
+  config.num_workers = 1;  // serialize: second submission sees the cache
+  WorkflowService service(&dfs, config);
+
+  WorkflowHandle first = service.Submit(JoinSpec());
+  first->Wait();
+  WorkflowHandle second = service.Submit(JoinSpec());
+  second->Wait();
+
+  ASSERT_EQ(first->state(), WorkflowState::kDone);
+  ASSERT_EQ(second->state(), WorkflowState::kDone);
+  EXPECT_FALSE(first->plan_cache_hit());
+  EXPECT_TRUE(second->plan_cache_hit());
+  // The cached plan replays to the same answer.
+  EXPECT_DOUBLE_EQ(first->result()->makespan, second->result()->makespan);
+  EXPECT_EQ(second->result()->plans.size(), first->result()->plans.size());
+  EXPECT_GE(service.stats().plan_cache_hits, 1u);
+}
+
+TEST(WorkflowServiceTest, PlanCacheDisabledNeverHits) {
+  Dfs dfs;
+  SeedDfs(&dfs);
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.plan_cache_capacity = 0;
+  WorkflowService service(&dfs, config);
+  for (int i = 0; i < 3; ++i) {
+    service.Submit(JoinSpec())->Wait();
+  }
+  EXPECT_EQ(service.stats().plan_cache_hits, 0u);
+}
+
+// ---- Multi-tenant submission storm -----------------------------------------
+
+TEST(WorkflowServiceTest, ConcurrentSubmittersAllAccountedFor) {
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 5;
+
+  Dfs dfs;
+  SeedDfs(&dfs);
+  HistoryStore history;
+  ServiceConfig config;
+  config.num_workers = 4;
+  config.queue_capacity = kThreads * kPerThread;
+  config.default_options.history = &history;
+  WorkflowService service(&dfs, config);
+
+  std::vector<WorkflowSpec> specs = MixedSpecs();
+  std::vector<std::thread> submitters;
+  std::mutex handles_mu;
+  std::vector<WorkflowHandle> handles;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        WorkflowHandle h =
+            service.SubmitBlocking(specs[(t + i) % specs.size()]);
+        std::lock_guard lock(handles_mu);
+        handles.push_back(std::move(h));
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  service.Drain();
+
+  for (const WorkflowHandle& h : handles) {
+    EXPECT_EQ(h->state(), WorkflowState::kDone) << h->result().status();
+    EXPECT_GE(h->total_seconds(), h->queue_seconds());
+  }
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.completed + stats.failed, stats.submitted);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+// ---- Shared-state primitives under contention ------------------------------
+
+TEST(SharedStateTest, DfsConcurrentReadersWritersAndCounters) {
+  Dfs dfs;
+  SeedDfs(&dfs);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 300;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string name = "rel-" + std::to_string(t);
+        auto table = std::make_shared<Table>();
+        dfs.Put(name, table);
+        EXPECT_TRUE(dfs.Contains(name));
+        EXPECT_TRUE(dfs.Get(name).ok());
+        dfs.RecordRead(1.0);
+        dfs.RecordWrite(2.0);
+        (void)dfs.ListRelations();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(dfs.bytes_read(), kThreads * kOps * 1.0);
+  EXPECT_DOUBLE_EQ(dfs.bytes_written(), kThreads * kOps * 2.0);
+}
+
+TEST(SharedStateTest, HistoryStoreConcurrentRecordLookup) {
+  HistoryStore history;
+  constexpr int kThreads = 8;
+  constexpr int kRelations = 100;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string wf = "wf-" + std::to_string(t % 2);  // contended
+      for (int i = 0; i < kRelations; ++i) {
+        history.Record(wf, "rel-" + std::to_string(i), i * 10.0);
+        auto got = history.Lookup(wf, "rel-" + std::to_string(i));
+        ASSERT_TRUE(got.has_value());
+        EXPECT_DOUBLE_EQ(*got, i * 10.0);
+      }
+      (void)history.EntriesFor(wf);
+      HistoryStore partial = history.WithPartialKnowledge(0.5);
+      EXPECT_LE(partial.EntriesFor(wf), kRelations);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(history.EntriesFor("wf-0"), kRelations);
+  EXPECT_EQ(history.EntriesFor("wf-1"), kRelations);
+}
+
+}  // namespace
+}  // namespace musketeer

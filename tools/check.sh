@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full verification gate: normal build + tier-1 suite, then a ThreadSanitizer
+# build running the same suite (including service_test, the concurrency
+# stress). Run from anywhere; builds land in <repo>/build and <repo>/build-tsan.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc)"
+
+echo "== [1/2] normal build + tests =="
+cmake -S "$repo" -B "$repo/build" >/dev/null
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+echo "== [2/2] ThreadSanitizer build + tests =="
+cmake -S "$repo" -B "$repo/build-tsan" -DMUSKETEER_SANITIZE=thread >/dev/null
+cmake --build "$repo/build-tsan" -j "$jobs"
+ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs"
+
+echo "== all checks passed =="

@@ -1,11 +1,14 @@
-// musketeer — command-line workflow runner.
+// musketeer — command-line workflow runner and service driver.
 //
 // Runs a workflow written in any of the four front-end languages against
 // CSV inputs, letting Musketeer choose back-end engines (or forcing them),
-// and writes result relations back to CSV.
+// and writes result relations back to CSV. With --serve the CLI instead
+// stands up the concurrent workflow service (src/service/) and pushes every
+// given workflow file through its submission queue and worker pool.
 //
 // Usage:
-//   musketeer [options] <workflow-file>
+//   musketeer [options] <workflow-file>            one-shot run
+//   musketeer [options] --serve=N <files...>       service mode, N workers
 //
 // Options:
 //   --language=beer|hive|gas|lindi   front-end (default: by file extension)
@@ -17,20 +20,28 @@
 //   --engines=naiad,hadoop,...       restrict engine choice (default: all)
 //   --output=NAME=FILE               write relation NAME to FILE as CSV
 //   --explain                        also print IR, partitioning & job code
+//   --serve=N                        run a workflow service with N workers;
+//                                    every positional file is submitted
+//   --repeat=K                       service mode: submit each file K times
+//   --queue=CAP                      service mode: submission queue bound
+//   --no-plan-cache                  service mode: disable the plan cache
 //
 // Example:
 //   ./build/tools/musketeer --input=purchases=p.csv:uid:int,region:int,amount:double
 //       --output=top_shoppers=out.csv --explain top_shopper.beer
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <vector>
 
 #include "src/base/strings.h"
 #include "src/core/musketeer.h"
 #include "src/relational/csv.h"
+#include "src/service/service.h"
 
 using namespace musketeer;
 
@@ -92,24 +103,130 @@ std::optional<Schema> ParseSchemaSpec(const std::string& spec) {
 void PrintUsage() {
   std::printf(
       "usage: musketeer [options] <workflow-file>\n"
+      "       musketeer [options] --serve=N <workflow-files...>\n"
       "  --language=beer|hive|gas|lindi\n"
       "  --input=NAME=FILE:SCHEMA      (SCHEMA: col:int|double|string,...)\n"
       "  --scale=NAME=FACTOR\n"
       "  --cluster=local|single|ec2:N\n"
       "  --engines=naiad,hadoop,...\n"
       "  --output=NAME=FILE\n"
-      "  --explain\n");
+      "  --explain\n"
+      "  --serve=N --repeat=K --queue=CAP --no-plan-cache\n");
+}
+
+// Infers the front-end language for `path` from --language or the extension.
+std::optional<FrontendLanguage> LanguageForFile(
+    const std::string& path, std::optional<FrontendLanguage> forced) {
+  if (forced.has_value()) {
+    return forced;
+  }
+  size_t dot = path.rfind('.');
+  if (dot == std::string::npos) {
+    return std::nullopt;
+  }
+  return LanguageFromName(path.substr(dot + 1));
+}
+
+std::optional<WorkflowSpec> LoadWorkflowFile(
+    const std::string& path, std::optional<FrontendLanguage> forced) {
+  auto language = LanguageForFile(path, forced);
+  if (!language.has_value()) {
+    return std::nullopt;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  WorkflowSpec spec;
+  spec.id = path;
+  spec.language = *language;
+  spec.source = buf.str();
+  return spec;
+}
+
+// Service mode: submit every workflow file `repeat` times through the
+// concurrent service and report per-submission status plus throughput.
+int RunServe(Dfs* dfs, const std::vector<std::string>& paths,
+             std::optional<FrontendLanguage> forced_language,
+             const RunOptions& base_options, int workers, int repeat,
+             size_t queue_capacity, bool plan_cache) {
+  std::vector<WorkflowSpec> specs;
+  for (const std::string& path : paths) {
+    auto spec = LoadWorkflowFile(path, forced_language);
+    if (!spec.has_value()) {
+      return Fail("cannot load workflow '" + path +
+                  "' (missing file or unknown language)");
+    }
+    specs.push_back(std::move(*spec));
+  }
+
+  HistoryStore history;
+  ServiceConfig config;
+  config.num_workers = workers;
+  config.queue_capacity = queue_capacity;
+  config.plan_cache_capacity = plan_cache ? 128 : 0;
+  config.default_options = base_options;
+  config.default_options.history = &history;
+  WorkflowService service(dfs, config);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<WorkflowHandle> handles;
+  for (int r = 0; r < repeat; ++r) {
+    for (const WorkflowSpec& spec : specs) {
+      handles.push_back(service.SubmitBlocking(spec));
+    }
+  }
+  service.Drain();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::printf("%-28s %-9s %10s %10s %10s %6s\n", "workflow", "state",
+              "sim (s)", "queue (ms)", "total (ms)", "cache");
+  for (const WorkflowHandle& h : handles) {
+    char sim[32] = "-";
+    if (h->state() == WorkflowState::kDone) {
+      std::snprintf(sim, sizeof(sim), "%.1f", h->result()->makespan);
+    }
+    std::printf("%-28s %-9s %10s %10.2f %10.2f %6s\n", h->spec().id.c_str(),
+                WorkflowStateName(h->state()), sim, h->queue_seconds() * 1e3,
+                h->total_seconds() * 1e3, h->plan_cache_hit() ? "hit" : "miss");
+  }
+  for (const WorkflowHandle& h : handles) {
+    if (!h->result().ok() && h->state() != WorkflowState::kQueued) {
+      std::fprintf(stderr, "%s: %s\n", h->spec().id.c_str(),
+                   h->result().status().ToString().c_str());
+    }
+  }
+  ServiceStats stats = service.stats();
+  std::printf(
+      "\n%llu submitted, %llu done, %llu failed, %llu rejected; "
+      "plan cache %llu hit / %llu miss\n",
+      (unsigned long long)stats.submitted, (unsigned long long)stats.completed,
+      (unsigned long long)stats.failed, (unsigned long long)stats.rejected,
+      (unsigned long long)stats.plan_cache_hits,
+      (unsigned long long)stats.plan_cache_misses);
+  std::printf("%d worker(s): %zu submissions in %.3f s = %.1f submissions/s\n",
+              workers, handles.size(), elapsed,
+              elapsed > 0 ? handles.size() / elapsed : 0.0);
+  return stats.failed == 0 && stats.rejected == 0 ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string workflow_path;
+  std::vector<std::string> workflow_paths;
   std::optional<FrontendLanguage> language;
   ClusterConfig cluster = LocalCluster();
   std::vector<EngineKind> engines;
   std::vector<std::pair<std::string, std::string>> outputs;  // relation, file
   bool explain = false;
+  int serve_workers = 0;  // 0 = one-shot mode
+  int repeat = 1;
+  int64_t queue_capacity = 64;
+  bool plan_cache = true;
 
   Dfs dfs;
   std::vector<std::pair<std::string, double>> scales;
@@ -122,6 +239,34 @@ int main(int argc, char** argv) {
     }
     if (arg == "--explain") {
       explain = true;
+      continue;
+    }
+    if (StartsWith(arg, "--serve=")) {
+      auto n = ParseInt64(arg.substr(8));
+      if (!n.has_value() || *n < 1) {
+        return Fail("--serve needs a worker count >= 1");
+      }
+      serve_workers = static_cast<int>(*n);
+      continue;
+    }
+    if (StartsWith(arg, "--repeat=")) {
+      auto n = ParseInt64(arg.substr(9));
+      if (!n.has_value() || *n < 1) {
+        return Fail("--repeat needs a count >= 1");
+      }
+      repeat = static_cast<int>(*n);
+      continue;
+    }
+    if (StartsWith(arg, "--queue=")) {
+      auto n = ParseInt64(arg.substr(8));
+      if (!n.has_value() || *n < 1) {
+        return Fail("--queue needs a capacity >= 1");
+      }
+      queue_capacity = *n;
+      continue;
+    }
+    if (arg == "--no-plan-cache") {
+      plan_cache = false;
       continue;
     }
     if (StartsWith(arg, "--language=")) {
@@ -207,12 +352,15 @@ int main(int argc, char** argv) {
       PrintUsage();
       return Fail("unknown option " + arg);
     }
-    workflow_path = arg;
+    workflow_paths.push_back(arg);
   }
 
-  if (workflow_path.empty()) {
+  if (workflow_paths.empty()) {
     PrintUsage();
     return Fail("no workflow file given");
+  }
+  if (serve_workers == 0 && workflow_paths.size() > 1) {
+    return Fail("multiple workflow files need --serve=N");
   }
 
   // Apply nominal scales.
@@ -226,33 +374,24 @@ int main(int argc, char** argv) {
     dfs.Put(name, scaled);
   }
 
-  // Infer language from the file extension if not given.
-  if (!language.has_value()) {
-    size_t dot = workflow_path.rfind('.');
-    if (dot != std::string::npos) {
-      language = LanguageFromName(workflow_path.substr(dot + 1));
-    }
-    if (!language.has_value()) {
-      return Fail("cannot infer language; pass --language=");
-    }
-  }
-
-  std::ifstream in(workflow_path);
-  if (!in) {
-    return Fail("cannot open " + workflow_path);
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-
-  WorkflowSpec workflow;
-  workflow.id = workflow_path;
-  workflow.language = *language;
-  workflow.source = buf.str();
-
-  Musketeer m(&dfs);
   RunOptions options;
   options.cluster = cluster;
   options.engines = engines;
+
+  if (serve_workers > 0) {
+    return RunServe(&dfs, workflow_paths, language, options, serve_workers,
+                    repeat, static_cast<size_t>(queue_capacity), plan_cache);
+  }
+
+  const std::string& workflow_path = workflow_paths[0];
+  auto loaded = LoadWorkflowFile(workflow_path, language);
+  if (!loaded.has_value()) {
+    return Fail("cannot load workflow '" + workflow_path +
+                "' (missing file, or pass --language=)");
+  }
+  WorkflowSpec workflow = std::move(*loaded);
+
+  Musketeer m(&dfs);
 
   if (explain) {
     auto dag = m.Lower(workflow, /*optimize=*/true);
