@@ -84,6 +84,45 @@ inline std::string Fmt(double v, const char* fmt = "%.1f") {
   return buf;
 }
 
+// ---- Machine-readable scaling records --------------------------------------
+
+// Collects {op, rows, threads, wall_ms} measurements and writes them as a
+// JSON array (e.g. BENCH_parallel_scaling.json) so scaling plots can be
+// produced without scraping stdout.
+class BenchJsonWriter {
+ public:
+  void Add(const std::string& op, size_t rows, int threads, double wall_ms) {
+    records_.push_back(Record{op, rows, threads, wall_ms});
+  }
+
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f,
+                   "  {\"op\": \"%s\", \"rows\": %zu, \"threads\": %d, "
+                   "\"wall_ms\": %.3f}%s\n",
+                   r.op.c_str(), r.rows, r.threads, r.wall_ms,
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  struct Record {
+    std::string op;
+    size_t rows;
+    int threads;
+    double wall_ms;
+  };
+  std::vector<Record> records_;
+};
+
 }  // namespace musketeer
 
 #endif  // MUSKETEER_BENCH_BENCH_COMMON_H_

@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "src/base/parallel.h"
 
 namespace musketeer {
 namespace {
@@ -71,10 +72,55 @@ void BM_DpHeuristic(benchmark::State& state) {
   }
 }
 
+// Parallel exhaustive search: the same algorithm fanned out over subtree
+// prefixes with a shared cost bound. Must choose the IDENTICAL partitioning
+// as the sequential search (checked every iteration; errors out otherwise).
+// On machines with fewer cores than the thread argument the extra threads
+// time-slice, so speedup saturates at the core count.
+void BM_ExhaustiveParallel(benchmark::State& state) {
+  int num_ops = static_cast<int>(state.range(0));
+  int threads = static_cast<int>(state.range(1));
+  std::unique_ptr<Dag> dag = NetflixPrefix(num_ops);
+  CostModel model(Ec2Cluster(100), nullptr, "netflix");
+  auto sizes = model.PredictSizes(*dag, NetflixSizes());
+  if (!sizes.ok()) {
+    state.SkipWithError(sizes.status().ToString().c_str());
+    return;
+  }
+  auto reference = [&] {
+    ScopedParallelThreads one(1);
+    return PartitionExhaustive(*dag, model, *sizes);
+  }();
+  if (!reference.ok()) {
+    state.SkipWithError(reference.status().ToString().c_str());
+    return;
+  }
+  ScopedParallelThreads width(threads);
+  for (auto _ : state) {
+    auto result = PartitionExhaustive(*dag, model, *sizes);
+    if (!result.ok() || result->total_cost != reference->total_cost ||
+        result->jobs.size() != reference->jobs.size()) {
+      state.SkipWithError("parallel partitioning diverged from sequential");
+      return;
+    }
+    for (size_t j = 0; j < result->jobs.size(); ++j) {
+      if (result->jobs[j].ops != reference->jobs[j].ops ||
+          result->jobs[j].engine != reference->jobs[j].engine) {
+        state.SkipWithError("parallel partitioning diverged from sequential");
+        return;
+      }
+    }
+    benchmark::DoNotOptimize(result);
+  }
+}
+
 // Exhaustive search is exponential: cap it where the paper stopped finding
 // it practical. The DP heuristic runs the full range.
 BENCHMARK(BM_Exhaustive)->DenseRange(2, 18, 1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DpHeuristic)->DenseRange(2, 18, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExhaustiveParallel)
+    ->ArgsProduct({{12}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace musketeer

@@ -1,0 +1,147 @@
+// Parallel data-plane scaling: wall-clock time of the hot relational kernels
+// (hash join, grouped aggregation, sort) at 1/2/4/8 threads over >= 1M-row
+// inputs. Unlike the makespan benchmarks this measures REAL time of
+// Musketeer's own kernels; it also re-checks the determinism contract by
+// comparing every multi-threaded output bit-for-bit against the 1-thread
+// baseline (non-zero exit on any divergence).
+//
+// Results are written to BENCH_parallel_scaling.json as
+// [{"op", "rows", "threads", "wall_ms"}, ...]. Note: on machines with fewer
+// cores than the requested thread count the extra threads time-slice one
+// core, so wall-clock speedup tops out at the core count even though the
+// pool genuinely runs that many threads.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/base/parallel.h"
+#include "src/relational/ops.h"
+
+namespace musketeer {
+namespace {
+
+constexpr size_t kJoinRows = 1'000'000;
+constexpr size_t kAggRows = 2'000'000;
+constexpr int64_t kAggGroups = 1024;
+const std::vector<int> kThreadCounts = {1, 2, 4, 8};
+
+// Deterministic pseudo-random table: key in [0, key_range), an int payload,
+// and a double whose summation order is observable in the low bits.
+Table MakeInput(size_t rows, int64_t key_range, uint64_t seed) {
+  Schema schema({{"k", FieldType::kInt64},
+                 {"v", FieldType::kInt64},
+                 {"x", FieldType::kDouble}});
+  Table t(schema);
+  t.Reserve(rows);
+  uint64_t state = seed;
+  for (size_t i = 0; i < rows; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    int64_t k = static_cast<int64_t>(state >> 33) % key_range;
+    int64_t v = static_cast<int64_t>(state >> 17) % 1000;
+    double x = static_cast<double>(static_cast<int64_t>(state % 100003)) / 7.0;
+    t.AddRow({k, v, x});
+  }
+  return t;
+}
+
+// Minimum wall-clock milliseconds of `reps` runs; the result of the last run
+// is stored in *out for the bit-identity check.
+template <typename Fn>
+double MinWallMs(int reps, const Fn& fn, Table* out) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    Table result = fn();
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (r == 0 || ms < best) {
+      best = ms;
+    }
+    *out = std::move(result);
+  }
+  return best;
+}
+
+struct BenchOp {
+  std::string name;
+  size_t rows;
+  std::function<Table()> run;
+};
+
+int RunAll() {
+  std::printf("Building inputs (%zu join rows, %zu agg rows)...\n", kJoinRows,
+              kAggRows);
+  // Join sides keyed over [0, rows): ~1 match per probe row, so the output
+  // stays join-input-sized instead of exploding quadratically.
+  Table join_left = MakeInput(kJoinRows, static_cast<int64_t>(kJoinRows), 42);
+  Table join_right = MakeInput(kJoinRows, static_cast<int64_t>(kJoinRows), 7);
+  Table agg_in = MakeInput(kAggRows, kAggGroups, 1234);
+  std::vector<AggSpec> aggs{{AggFn::kSum, 2, "sx"},
+                            {AggFn::kAvg, 2, "ax"},
+                            {AggFn::kMin, 1, "mn"},
+                            {AggFn::kMax, 1, "mx"},
+                            {AggFn::kCount, 0, "c"}};
+
+  std::vector<BenchOp> ops;
+  ops.push_back({"hash_join", kJoinRows, [&] {
+                   return std::move(HashJoin(join_left, join_right, 0, 0))
+                       .value();
+                 }});
+  ops.push_back({"group_by_agg", kAggRows, [&] {
+                   return std::move(GroupByAgg(agg_in, {0}, aggs)).value();
+                 }});
+  ops.push_back({"sort", kAggRows, [&] { return SortBy(agg_in, {0, 1}); }});
+
+  PrintHeader("Parallel kernel scaling",
+              "wall-clock ms (min of 3); every row bit-checked against the "
+              "1-thread baseline");
+  PrintRow({"op", "rows", "threads", "wall_ms", "speedup"});
+
+  BenchJsonWriter json;
+  bool all_identical = true;
+  for (const BenchOp& op : ops) {
+    Table baseline;
+    double baseline_ms = 0;
+    for (int threads : kThreadCounts) {
+      ScopedParallelThreads width(threads);
+      Table result;
+      const double ms = MinWallMs(3, op.run, &result);
+      if (threads == 1) {
+        baseline = std::move(result);
+        baseline_ms = ms;
+      } else if (!Table::Identical(baseline, result)) {
+        std::fprintf(stderr,
+                     "FATAL: %s at %d threads diverges from the 1-thread "
+                     "baseline\n",
+                     op.name.c_str(), threads);
+        all_identical = false;
+      }
+      json.Add(op.name, op.rows, threads, ms);
+      PrintRow({op.name, std::to_string(op.rows), std::to_string(threads),
+                Fmt(ms, "%.2f"), Fmt(baseline_ms / ms, "%.2fx")});
+    }
+  }
+
+  const std::string json_path = "BENCH_parallel_scaling.json";
+  if (!json.WriteTo(json_path)) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%zu records), pool spawned %d worker thread(s)\n",
+              json_path.c_str(), ops.size() * kThreadCounts.size(),
+              TaskPool::Global().num_workers());
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace musketeer
+
+int main() { return musketeer::RunAll(); }

@@ -1,0 +1,201 @@
+#include "src/base/parallel.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace musketeer {
+namespace {
+
+int ClampThreads(int n) {
+  if (n < 1) return 1;
+  if (n > TaskPool::kMaxPoolThreads) return TaskPool::kMaxPoolThreads;
+  return n;
+}
+
+int DefaultThreadsFromEnv() {
+  if (const char* env = std::getenv("MUSKETEER_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return ClampThreads(static_cast<int>(v));
+  }
+  return HardwareThreads();
+}
+
+std::atomic<int>& GlobalThreads() {
+  static std::atomic<int> threads{DefaultThreadsFromEnv()};
+  return threads;
+}
+
+// 0 = no override; pool workers and ScopedParallelThreads set this.
+thread_local int tls_thread_override = 0;
+
+}  // namespace
+
+int HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ParallelThreads() {
+  if (tls_thread_override > 0) return tls_thread_override;
+  return GlobalThreads().load(std::memory_order_relaxed);
+}
+
+void SetParallelThreads(int n) {
+  GlobalThreads().store(ClampThreads(n), std::memory_order_relaxed);
+}
+
+ScopedParallelThreads::ScopedParallelThreads(int n)
+    : saved_(tls_thread_override) {
+  tls_thread_override = ClampThreads(n);
+}
+
+ScopedParallelThreads::~ScopedParallelThreads() {
+  tls_thread_override = saved_;
+}
+
+// ---------------------------------------------------------------------------
+// TaskPool
+// ---------------------------------------------------------------------------
+
+TaskPool& TaskPool::Global() {
+  static TaskPool pool;
+  return pool;
+}
+
+TaskPool::TaskPool() = default;
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int TaskPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+void TaskPool::EnsureWorkersLocked(int target) {
+  if (target > kMaxPoolThreads) target = kMaxPoolThreads;
+  while (static_cast<int>(workers_.size()) < target) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void TaskPool::WorkOn(Job* job) {
+  for (;;) {
+    size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->num_tasks) return;
+    (*job->task)(i);
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      if (++job->completed == job->num_tasks) job->done.notify_all();
+    }
+  }
+}
+
+void TaskPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        if (stop_) return true;
+        for (auto it = jobs_.begin(); it != jobs_.end();) {
+          if ((*it)->next.load(std::memory_order_relaxed) >=
+              (*it)->num_tasks) {
+            it = jobs_.erase(it);  // exhausted; helpers finish on their own
+          } else if ((*it)->helpers < (*it)->max_helpers) {
+            return true;
+          } else {
+            ++it;
+          }
+        }
+        return false;
+      });
+      if (stop_) return;
+      for (const auto& j : jobs_) {
+        if (j->next.load(std::memory_order_relaxed) < j->num_tasks &&
+            j->helpers < j->max_helpers) {
+          job = j;
+          ++j->helpers;
+          break;
+        }
+      }
+    }
+    if (job != nullptr) {
+      // Nested kernels inside a task run at the submitter's width.
+      ScopedParallelThreads width(job->inherited_width);
+      WorkOn(job.get());
+    }
+  }
+}
+
+void TaskPool::Run(size_t num_tasks, int parallelism,
+                   const std::function<void(size_t)>& task) {
+  if (num_tasks == 0) return;
+  int helpers = static_cast<int>(
+      std::min<size_t>(num_tasks - 1,
+                       static_cast<size_t>(ClampThreads(parallelism) - 1)));
+  if (helpers <= 0) {
+    for (size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->task = &task;
+  job->num_tasks = num_tasks;
+  job->max_helpers = helpers;
+  job->inherited_width = ParallelThreads();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnsureWorkersLocked(helpers);
+    jobs_.push_back(job);
+  }
+  work_cv_.notify_all();
+
+  WorkOn(job.get());  // the caller is always one of the job's threads
+
+  {
+    // Wait for helpers still finishing their last task; the lock also
+    // publishes their writes to the caller.
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done.wait(lock, [&] { return job->completed == job->num_tasks; });
+  }
+  {
+    // Drop the queue's reference promptly (workers also prune lazily).
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (it->get() == job.get()) {
+        jobs_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ParallelChunks
+// ---------------------------------------------------------------------------
+
+void ParallelChunks(size_t n, size_t grain,
+                    const std::function<void(size_t, size_t, size_t)>& fn) {
+  size_t chunks = NumChunks(n, grain);
+  if (chunks == 0) return;
+  int threads = ParallelThreads();
+  if (chunks == 1 || threads <= 1) {
+    for (size_t c = 0; c < chunks; ++c) {
+      fn(c, c * grain, std::min(n, (c + 1) * grain));
+    }
+    return;
+  }
+  TaskPool::Global().Run(chunks, threads, [&](size_t c) {
+    fn(c, c * grain, std::min(n, (c + 1) * grain));
+  });
+}
+
+}  // namespace musketeer

@@ -1,0 +1,174 @@
+// Shared intra-query parallel execution layer (morsel-driven parallelism,
+// after Leis et al., SIGMOD 2014).
+//
+// The core primitive is ParallelChunks: split a range of `n` items into
+// fixed-size chunks ("morsels") and run one task per chunk on a shared task
+// pool. The determinism contract every caller relies on:
+//
+//   * Chunk boundaries depend only on (n, grain) — never on the thread
+//     count. Thread count decides WHO runs a chunk, not WHAT a chunk is.
+//   * Each task writes only to its own chunk-indexed slot; callers merge
+//     slots in chunk order (or a fixed pairwise tree) after the barrier.
+//
+// Together these make every parallel operator bit-identical to its
+// sequential execution: the same partial results are produced and combined
+// in the same order regardless of parallelism (floating-point summation
+// trees included). `ScopedParallelThreads(1)` therefore degrades any
+// parallel code path to plain sequential execution with identical output —
+// this is how engine quirks (`single_threaded_io`, the serial-C backend)
+// keep their modeled single-threaded behavior.
+//
+// The pool supports concurrent Run() calls (service workers each driving a
+// query) and nested Run() calls (an engine runtime's per-split task invoking
+// a parallel relational kernel): the caller always participates in its own
+// job, so progress never depends on a pool worker being available.
+
+#ifndef MUSKETEER_SRC_BASE_PARALLEL_H_
+#define MUSKETEER_SRC_BASE_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace musketeer {
+
+// Rows per morsel for relational kernels. Fixed (not derived from the thread
+// count) so chunk boundaries — and thus merge trees — are identical at every
+// parallelism level.
+inline constexpr size_t kMorselRows = 8192;
+
+// Number of chunks covering n items at the given grain.
+inline size_t NumChunks(size_t n, size_t grain) {
+  return n == 0 ? 0 : (n + grain - 1) / grain;
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count configuration.
+// ---------------------------------------------------------------------------
+
+// The machine's hardware concurrency (at least 1).
+int HardwareThreads();
+
+// The parallelism for parallel kernels on this thread: the innermost active
+// ScopedParallelThreads override if any, else the process-wide default. The
+// default comes from the MUSKETEER_THREADS environment variable when set,
+// otherwise HardwareThreads().
+int ParallelThreads();
+
+// Sets the process-wide default parallelism (clamped to >= 1). Thread-safe.
+void SetParallelThreads(int n);
+
+// RAII parallelism override for the current thread (and parallel work it
+// spawns). Thread-local so concurrent service workers can run at different
+// widths without racing on a global; pool workers inherit the width of the
+// job they execute.
+class ScopedParallelThreads {
+ public:
+  explicit ScopedParallelThreads(int n);
+  ~ScopedParallelThreads();
+
+  ScopedParallelThreads(const ScopedParallelThreads&) = delete;
+  ScopedParallelThreads& operator=(const ScopedParallelThreads&) = delete;
+
+ private:
+  int saved_;
+};
+
+// ---------------------------------------------------------------------------
+// Task pool.
+// ---------------------------------------------------------------------------
+
+// A shared pool of helper threads executing indexed task batches. One
+// process-wide instance (Global()) backs all parallel kernels.
+//
+// Run(num_tasks, parallelism, task) invokes task(0..num_tasks-1), each index
+// exactly once, using up to `parallelism` threads including the caller. The
+// caller participates until the batch is finished, so nested and concurrent
+// Run() calls cannot deadlock even with zero free pool workers. Tasks of one
+// batch may run in any order and concurrently; Run returns after all of them
+// completed (with a happens-before edge from every task to the return).
+//
+// Workers are spawned lazily up to the largest parallelism ever requested
+// (capped at kMaxPoolThreads) — deliberately not capped at hardware
+// concurrency, so explicit thread counts (benches, TSan interleaving tests)
+// exercise real multithreading even on small machines.
+class TaskPool {
+ public:
+  static TaskPool& Global();
+
+  TaskPool();
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  static constexpr int kMaxPoolThreads = 64;
+
+  // Runs task(i) for i in [0, num_tasks) on up to `parallelism` threads
+  // (caller included). Blocks until every task finished. `task` may itself
+  // call Run (nested parallelism).
+  void Run(size_t num_tasks, int parallelism,
+           const std::function<void(size_t)>& task);
+
+  // Threads spawned so far (observability, tests).
+  int num_workers() const;
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* task = nullptr;
+    size_t num_tasks = 0;
+    int max_helpers = 0;         // guarded by pool mu_
+    int helpers = 0;             // guarded by pool mu_
+    int inherited_width = 1;     // ParallelThreads() of the submitter
+    std::atomic<size_t> next{0};
+
+    std::mutex mu;
+    std::condition_variable done;
+    size_t completed = 0;  // guarded by mu
+  };
+
+  void WorkerLoop();
+  // Executes tasks of `job` until none remain, then returns.
+  static void WorkOn(Job* job);
+  // Grows the worker set towards `target` threads. Requires mu_.
+  void EnsureWorkersLocked(int target);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;  // guarded by mu_
+  std::vector<std::thread> workers_;       // guarded by mu_
+  bool stop_ = false;                      // guarded by mu_
+};
+
+// ---------------------------------------------------------------------------
+// Chunked parallel-for.
+// ---------------------------------------------------------------------------
+
+// Runs fn(chunk_index, begin, end) over [0, n) split into `grain`-sized
+// chunks, using ParallelThreads() threads. Chunk boundaries depend only on
+// (n, grain). fn must confine writes to chunk-private state (e.g. slot
+// [chunk_index] of a presized vector).
+void ParallelChunks(size_t n, size_t grain,
+                    const std::function<void(size_t, size_t, size_t)>& fn);
+
+// As ParallelChunks, but collects one R per chunk, in chunk order. R must be
+// default-constructible and movable.
+template <typename R, typename Fn>
+std::vector<R> ParallelMapChunks(size_t n, size_t grain, const Fn& fn) {
+  std::vector<R> out(NumChunks(n, grain));
+  ParallelChunks(n, grain, [&](size_t chunk, size_t begin, size_t end) {
+    out[chunk] = fn(chunk, begin, end);
+  });
+  return out;
+}
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_BASE_PARALLEL_H_

@@ -1,9 +1,11 @@
 #include "src/engines/engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <unordered_set>
 
+#include "src/base/parallel.h"
 #include "src/base/strings.h"
 #include "src/engines/executor.h"
 #include "src/engines/mapreduce_runtime.h"
@@ -85,6 +87,16 @@ StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster
     MUSKETEER_ASSIGN_OR_RETURN(TablePtr table, dfs->Get(name));
     base[name] = table;
     pull_bytes += table->nominal_bytes();
+  }
+
+  // Data-plane parallelism fidelity: engines the paper models as
+  // single-threaded degrade to one thread for the whole job — SerialC's
+  // generated C program is sequential by construction, and a
+  // single_threaded_io quirk (native Lindi, §2.1) pins the job's I/O path to
+  // one thread. Everything else runs at the session's thread budget.
+  std::optional<ScopedParallelThreads> forced_serial;
+  if (plan.engine == EngineKind::kSerialC || plan.quirks.single_threaded_io) {
+    forced_serial.emplace(1);
   }
 
   // 2. Execute the sub-DAG on real data, tracing volumes. The trace drives

@@ -1,9 +1,11 @@
 #include "src/engines/mapreduce_runtime.h"
 
 #include <algorithm>
+#include <iterator>
 #include <unordered_map>
 
 #include "src/backends/job.h"
+#include "src/base/parallel.h"
 #include "src/relational/ops.h"
 
 namespace musketeer {
@@ -41,8 +43,13 @@ int PartitionOf(const Row& row, const std::vector<int>& key_cols, int reducers) 
 
 // Runs the map phase of one input: splits rows, applies `map_fn` per split
 // (fused row-wise work happens inside), and scatters output rows to reducer
-// buckets by key hash.
-using SplitFn = std::function<StatusOr<std::vector<Row>>(std::vector<Row> split)>;
+// buckets by key hash. Map tasks run in parallel on the shared task pool;
+// each scatters into task-private buckets which are concatenated in split
+// order, so bucket contents are identical to the sequential execution.
+// `combined_records` is the task's combiner-output delta (stats are
+// aggregated by the caller after the parallel phase).
+using SplitFn = std::function<StatusOr<std::vector<Row>>(
+    std::vector<Row> split, int64_t* combined_records)>;
 
 struct ShuffleBuckets {
   // buckets[reducer] = rows destined for that reduce task.
@@ -53,14 +60,39 @@ Status MapAndScatter(const std::vector<Row>& input, int num_mappers,
                      int num_reducers, const std::vector<int>& key_cols,
                      const SplitFn& map_fn, ShuffleBuckets* out,
                      MapReduceStats* stats) {
-  out->buckets.resize(num_reducers);
-  for (std::vector<Row>& split : SplitRows(input, num_mappers)) {
-    ++stats->map_tasks;
-    MUSKETEER_ASSIGN_OR_RETURN(std::vector<Row> mapped, map_fn(std::move(split)));
-    stats->map_output_records += static_cast<int64_t>(mapped.size());
-    for (Row& row : mapped) {
-      out->buckets[PartitionOf(row, key_cols, num_reducers)].push_back(
+  std::vector<std::vector<Row>> splits = SplitRows(input, num_mappers);
+  struct MapTaskOut {
+    Status status;
+    std::vector<std::vector<Row>> buckets;
+    int64_t map_output = 0;
+    int64_t combined = 0;
+  };
+  std::vector<MapTaskOut> tasks(splits.size());
+  ParallelChunks(splits.size(), 1, [&](size_t t, size_t, size_t) {
+    MapTaskOut& o = tasks[t];
+    StatusOr<std::vector<Row>> mapped = map_fn(std::move(splits[t]), &o.combined);
+    if (!mapped.ok()) {
+      o.status = mapped.status();
+      return;
+    }
+    o.map_output = static_cast<int64_t>(mapped->size());
+    o.buckets.resize(num_reducers);
+    for (Row& row : *mapped) {
+      o.buckets[PartitionOf(row, key_cols, num_reducers)].push_back(
           std::move(row));
+    }
+  });
+  out->buckets.resize(num_reducers);
+  for (MapTaskOut& o : tasks) {
+    MUSKETEER_RETURN_IF_ERROR(o.status);
+    ++stats->map_tasks;
+    stats->map_output_records += o.map_output;
+    stats->combined_output_records += o.combined;
+    for (int r = 0; r < num_reducers; ++r) {
+      std::vector<Row>& dst = out->buckets[r];
+      std::vector<Row>& src = o.buckets[r];
+      dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+                 std::make_move_iterator(src.end()));
     }
   }
   for (const auto& b : out->buckets) {
@@ -310,21 +342,33 @@ class MapReduceRuntime {
       stats_->map_tasks += 2;
       return EvaluateOperator(node, inputs);
     }
+    std::vector<std::vector<Row>> splits =
+        SplitRows(inputs[0]->rows(), options_.num_mappers);
+    struct TaskOut {
+      Status status;
+      Table table;
+    };
+    std::vector<TaskOut> parts(splits.size());
+    ParallelChunks(splits.size(), 1, [&](size_t t, size_t, size_t) {
+      Table split_table(inputs[0]->schema(), std::move(splits[t]));
+      split_table.set_scale(inputs[0]->scale());
+      StatusOr<Table> part = EvaluateOperator(node, {&split_table});
+      if (part.ok()) {
+        parts[t].table = std::move(*part);
+      } else {
+        parts[t].status = part.status();
+      }
+    });
     Table out;
     bool first = true;
-    for (std::vector<Row>& split : SplitRows(inputs[0]->rows(), options_.num_mappers)) {
+    for (TaskOut& t : parts) {
+      MUSKETEER_RETURN_IF_ERROR(t.status);
       ++stats_->map_tasks;
-      Table split_table(inputs[0]->schema(), std::move(split));
-      split_table.set_scale(inputs[0]->scale());
-      MUSKETEER_ASSIGN_OR_RETURN(Table part,
-                                 EvaluateOperator(node, {&split_table}));
       if (first) {
-        out = Table(part.schema());
+        out = Table(t.table.schema());
         first = false;
       }
-      for (Row& row : *part.mutable_rows()) {
-        out.AddRow(std::move(row));
-      }
+      out.AppendRows(std::move(*t.table.mutable_rows()));
     }
     return out;
   }
@@ -367,18 +411,30 @@ class MapReduceRuntime {
       ShuffleBuckets buckets;
       MUSKETEER_RETURN_IF_ERROR(MapAndScatter(
           in.rows(), options_.num_mappers, options_.num_reducers, group_cols,
-          [](std::vector<Row> split) { return split; }, &buckets, stats_));
+          [](std::vector<Row> split, int64_t*) { return split; }, &buckets,
+          stats_));
+      struct ReduceOut {
+        Status status;
+        Table table;
+      };
+      std::vector<ReduceOut> parts(buckets.buckets.size());
+      ParallelChunks(buckets.buckets.size(), 1, [&](size_t r, size_t, size_t) {
+        if (buckets.buckets[r].empty()) {
+          return;  // empty partitions contribute nothing
+        }
+        Table part_in(in.schema(), std::move(buckets.buckets[r]));
+        StatusOr<Table> part = EvaluateOperator(node, {&part_in});
+        if (part.ok()) {
+          parts[r].table = std::move(*part);
+        } else {
+          parts[r].status = part.status();
+        }
+      });
       Table out(out_schema);
-      for (std::vector<Row>& bucket : buckets.buckets) {
+      for (ReduceOut& r : parts) {
         ++stats_->reduce_tasks;
-        if (bucket.empty()) {
-          continue;  // empty partitions contribute nothing
-        }
-        Table part_in(in.schema(), std::move(bucket));
-        MUSKETEER_ASSIGN_OR_RETURN(Table part, EvaluateOperator(node, {&part_in}));
-        for (Row& row : *part.mutable_rows()) {
-          out.AddRow(std::move(row));
-        }
+        MUSKETEER_RETURN_IF_ERROR(r.status);
+        out.AppendRows(std::move(*r.table.mutable_rows()));
       }
       if (group_cols.empty() && out.num_rows() == 0) {
         return EvaluateOperator(node, {&in});  // global agg over empty input
@@ -396,33 +452,43 @@ class MapReduceRuntime {
     }
     ShuffleBuckets buckets;
     Schema in_schema = in.schema();
-    MapReduceStats* stats = stats_;
     MUSKETEER_RETURN_IF_ERROR(MapAndScatter(
         in.rows(), options_.num_mappers, options_.num_reducers, partial_key_cols,
-        [&](std::vector<Row> split) -> StatusOr<std::vector<Row>> {
+        [&](std::vector<Row> split,
+            int64_t* combined) -> StatusOr<std::vector<Row>> {
           if (split.empty()) {
             return std::vector<Row>{};
           }
           Table split_table(in_schema, std::move(split));
           MUSKETEER_ASSIGN_OR_RETURN(
               Table partial, GroupByAgg(split_table, group_cols, plan.partial));
-          stats->combined_output_records +=
-              static_cast<int64_t>(partial.num_rows());
+          *combined += static_cast<int64_t>(partial.num_rows());
           return *partial.mutable_rows();
         },
         &buckets, stats_));
 
+    struct ReduceOut {
+      Status status;
+      Table table;
+    };
+    std::vector<ReduceOut> parts(buckets.buckets.size());
+    ParallelChunks(buckets.buckets.size(), 1, [&](size_t r, size_t, size_t) {
+      if (buckets.buckets[r].empty()) {
+        return;
+      }
+      StatusOr<Table> part = FinalizeCombined(buckets.buckets[r], plan,
+                                              out_schema, group_cols.size());
+      if (part.ok()) {
+        parts[r].table = std::move(*part);
+      } else {
+        parts[r].status = part.status();
+      }
+    });
     Table out(out_schema);
-    for (std::vector<Row>& bucket : buckets.buckets) {
+    for (ReduceOut& r : parts) {
       ++stats_->reduce_tasks;
-      if (bucket.empty()) {
-        continue;
-      }
-      MUSKETEER_ASSIGN_OR_RETURN(
-          Table part, FinalizeCombined(bucket, plan, out_schema, group_cols.size()));
-      for (Row& row : *part.mutable_rows()) {
-        out.AddRow(std::move(row));
-      }
+      MUSKETEER_RETURN_IF_ERROR(r.status);
+      out.AppendRows(std::move(*r.table.mutable_rows()));
     }
     if (group_cols.empty() && out.num_rows() == 0) {
       return EvaluateOperator(node, {&in});
@@ -440,28 +506,37 @@ class MapReduceRuntime {
     }
     ShuffleBuckets lbuckets;
     ShuffleBuckets rbuckets;
-    MUSKETEER_RETURN_IF_ERROR(
-        MapAndScatter(left.rows(), options_.num_mappers, options_.num_reducers,
-                      {*li}, [](std::vector<Row> s) { return s; }, &lbuckets,
-                      stats_));
-    MUSKETEER_RETURN_IF_ERROR(
-        MapAndScatter(right.rows(), options_.num_mappers, options_.num_reducers,
-                      {*ri}, [](std::vector<Row> s) { return s; }, &rbuckets,
-                      stats_));
-    Table out;
-    bool first = true;
-    for (int r = 0; r < options_.num_reducers; ++r) {
-      ++stats_->reduce_tasks;
+    MUSKETEER_RETURN_IF_ERROR(MapAndScatter(
+        left.rows(), options_.num_mappers, options_.num_reducers, {*li},
+        [](std::vector<Row> s, int64_t*) { return s; }, &lbuckets, stats_));
+    MUSKETEER_RETURN_IF_ERROR(MapAndScatter(
+        right.rows(), options_.num_mappers, options_.num_reducers, {*ri},
+        [](std::vector<Row> s, int64_t*) { return s; }, &rbuckets, stats_));
+    struct ReduceOut {
+      Status status;
+      Table table;
+    };
+    std::vector<ReduceOut> parts(options_.num_reducers);
+    ParallelChunks(parts.size(), 1, [&](size_t r, size_t, size_t) {
       Table l(left.schema(), std::move(lbuckets.buckets[r]));
       Table rt(right.schema(), std::move(rbuckets.buckets[r]));
-      MUSKETEER_ASSIGN_OR_RETURN(Table part, HashJoin(l, rt, *li, *ri));
+      StatusOr<Table> part = HashJoin(l, rt, *li, *ri);
+      if (part.ok()) {
+        parts[r].table = std::move(*part);
+      } else {
+        parts[r].status = part.status();
+      }
+    });
+    Table out;
+    bool first = true;
+    for (ReduceOut& r : parts) {
+      ++stats_->reduce_tasks;
+      MUSKETEER_RETURN_IF_ERROR(r.status);
       if (first) {
-        out = Table(part.schema());
+        out = Table(r.table.schema());
         first = false;
       }
-      for (Row& row : *part.mutable_rows()) {
-        out.AddRow(std::move(row));
-      }
+      out.AppendRows(std::move(*r.table.mutable_rows()));
     }
     return out;
   }
@@ -479,15 +554,17 @@ class MapReduceRuntime {
       if (inputs[i]->schema().num_fields() != inputs[0]->schema().num_fields()) {
         return InvalidArgumentError("set-operation arity mismatch");
       }
-      MUSKETEER_RETURN_IF_ERROR(
-          MapAndScatter(inputs[i]->rows(), options_.num_mappers,
-                        options_.num_reducers, key_cols,
-                        [](std::vector<Row> s) { return s; }, &buckets[i],
-                        stats_));
+      MUSKETEER_RETURN_IF_ERROR(MapAndScatter(
+          inputs[i]->rows(), options_.num_mappers, options_.num_reducers,
+          key_cols, [](std::vector<Row> s, int64_t*) { return s; }, &buckets[i],
+          stats_));
     }
-    Table out(inputs[0]->schema());
-    for (int r = 0; r < options_.num_reducers; ++r) {
-      ++stats_->reduce_tasks;
+    struct ReduceOut {
+      Status status;
+      Table table;
+    };
+    std::vector<ReduceOut> results(options_.num_reducers);
+    ParallelChunks(results.size(), 1, [&](size_t r, size_t, size_t) {
       std::vector<Table> parts;
       std::vector<const Table*> part_ptrs;
       for (size_t i = 0; i < inputs.size(); ++i) {
@@ -496,10 +573,18 @@ class MapReduceRuntime {
       for (const Table& t : parts) {
         part_ptrs.push_back(&t);
       }
-      MUSKETEER_ASSIGN_OR_RETURN(Table part, EvaluateOperator(node, part_ptrs));
-      for (Row& row : *part.mutable_rows()) {
-        out.AddRow(std::move(row));
+      StatusOr<Table> part = EvaluateOperator(node, part_ptrs);
+      if (part.ok()) {
+        results[r].table = std::move(*part);
+      } else {
+        results[r].status = part.status();
       }
+    });
+    Table out(inputs[0]->schema());
+    for (ReduceOut& r : results) {
+      ++stats_->reduce_tasks;
+      MUSKETEER_RETURN_IF_ERROR(r.status);
+      out.AppendRows(std::move(*r.table.mutable_rows()));
     }
     return out;
   }
@@ -511,20 +596,32 @@ class MapReduceRuntime {
     bool pre_reducible = node.kind == OpKind::kMax || node.kind == OpKind::kMin ||
                          node.kind == OpKind::kTopN;
     if (pre_reducible && options_.use_combiners) {
-      Table gathered(inputs[0]->schema());
-      for (std::vector<Row>& split :
-           SplitRows(inputs[0]->rows(), options_.num_mappers)) {
-        ++stats_->map_tasks;
-        Table split_table(inputs[0]->schema(), std::move(split));
+      std::vector<std::vector<Row>> splits =
+          SplitRows(inputs[0]->rows(), options_.num_mappers);
+      struct TaskOut {
+        Status status;
+        Table table;
+      };
+      std::vector<TaskOut> parts(splits.size());
+      ParallelChunks(splits.size(), 1, [&](size_t t, size_t, size_t) {
+        Table split_table(inputs[0]->schema(), std::move(splits[t]));
         if (split_table.num_rows() == 0) {
-          continue;
+          return;
         }
-        MUSKETEER_ASSIGN_OR_RETURN(Table part,
-                                   EvaluateOperator(node, {&split_table}));
-        stats_->combined_output_records += static_cast<int64_t>(part.num_rows());
-        for (Row& row : *part.mutable_rows()) {
-          gathered.AddRow(std::move(row));
+        StatusOr<Table> part = EvaluateOperator(node, {&split_table});
+        if (part.ok()) {
+          parts[t].table = std::move(*part);
+        } else {
+          parts[t].status = part.status();
         }
+      });
+      Table gathered(inputs[0]->schema());
+      for (TaskOut& t : parts) {
+        ++stats_->map_tasks;
+        MUSKETEER_RETURN_IF_ERROR(t.status);
+        stats_->combined_output_records +=
+            static_cast<int64_t>(t.table.num_rows());
+        gathered.AppendRows(std::move(*t.table.mutable_rows()));
       }
       ++stats_->reduce_tasks;
       stats_->shuffled_records += static_cast<int64_t>(gathered.num_rows());

@@ -1,8 +1,10 @@
 #include "src/engines/rdd_runtime.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "src/backends/job.h"
+#include "src/base/parallel.h"
 #include "src/relational/ops.h"
 
 namespace musketeer {
@@ -39,6 +41,7 @@ Rdd Parallelize(const Table& table, int num_partitions) {
 Table Collect(const Rdd& rdd) {
   Table out(rdd.schema);
   out.set_scale(rdd.scale);
+  out.Reserve(rdd.TotalRows());
   for (const auto& partition : rdd.partitions) {
     for (const Row& row : partition) {
       out.AddRow(row);
@@ -184,20 +187,29 @@ class RddRuntime {
     return Parallelize(out, 1);
   }
 
-  // Narrow dependency: apply per partition, no data movement.
+  // Narrow dependency: apply per partition, no data movement. Partition
+  // tasks run in parallel; each writes only its own output slot.
   StatusOr<Rdd> RunNarrow(const OperatorNode& node, const Rdd& in) {
     Rdd out;
     out.partitions.resize(in.partitions.size());
-    bool schema_set = false;
-    for (size_t i = 0; i < in.partitions.size(); ++i) {
-      ++stats_->narrow_tasks;
+    std::vector<Status> statuses(in.partitions.size());
+    std::vector<Schema> schemas(in.partitions.size());
+    ParallelChunks(in.partitions.size(), 1, [&](size_t i, size_t, size_t) {
       Table part(in.schema, in.partitions[i]);
-      MUSKETEER_ASSIGN_OR_RETURN(Table result, EvaluateOperator(node, {&part}));
-      if (!schema_set) {
-        out.schema = result.schema();
-        schema_set = true;
+      StatusOr<Table> result = EvaluateOperator(node, {&part});
+      if (!result.ok()) {
+        statuses[i] = result.status();
+        return;
       }
-      out.partitions[i] = std::move(*result.mutable_rows());
+      schemas[i] = result->schema();
+      out.partitions[i] = std::move(*result->mutable_rows());
+    });
+    for (const Status& s : statuses) {
+      MUSKETEER_RETURN_IF_ERROR(s);
+    }
+    stats_->narrow_tasks += static_cast<int>(in.partitions.size());
+    if (!schemas.empty()) {
+      out.schema = schemas[0];
     }
     return out;
   }
@@ -228,16 +240,29 @@ class RddRuntime {
     return cols;
   }
 
-  // Hash-repartitions `in` by `cols` into p_ partitions.
+  // Hash-repartitions `in` by `cols` into p_ partitions. Source partitions
+  // scatter in parallel into source-private buckets, concatenated in source
+  // order — identical bucket contents to the sequential scatter.
   std::vector<std::vector<Row>> Repartition(const Rdd& in,
                                             const std::vector<int>& cols) {
     ++stats_->wide_stages;
-    std::vector<std::vector<Row>> out(p_);
-    for (const auto& partition : in.partitions) {
-      for (const Row& row : partition) {
-        out[KeyHash(row, cols) % static_cast<size_t>(p_)].push_back(row);
+    std::vector<std::vector<std::vector<Row>>> scattered(in.partitions.size());
+    ParallelChunks(in.partitions.size(), 1, [&](size_t i, size_t, size_t) {
+      std::vector<std::vector<Row>>& buckets = scattered[i];
+      buckets.resize(p_);
+      for (const Row& row : in.partitions[i]) {
+        buckets[KeyHash(row, cols) % static_cast<size_t>(p_)].push_back(row);
       }
-      stats_->shuffled_records += static_cast<int64_t>(partition.size());
+    });
+    std::vector<std::vector<Row>> out(p_);
+    for (size_t i = 0; i < scattered.size(); ++i) {
+      for (int b = 0; b < p_; ++b) {
+        std::vector<Row>& src = scattered[i][b];
+        out[b].insert(out[b].end(), std::make_move_iterator(src.begin()),
+                      std::make_move_iterator(src.end()));
+      }
+      stats_->shuffled_records +=
+          static_cast<int64_t>(in.partitions[i].size());
     }
     return out;
   }
@@ -268,8 +293,9 @@ class RddRuntime {
     }
     Rdd out;
     out.partitions.resize(p_);
-    bool schema_set = false;
-    for (int i = 0; i < p_; ++i) {
+    std::vector<Status> statuses(p_);
+    std::vector<Schema> schemas(p_);
+    ParallelChunks(p_, 1, [&](size_t i, size_t, size_t) {
       std::vector<Table> tables;
       std::vector<const Table*> ptrs;
       for (size_t j = 0; j < inputs.size(); ++j) {
@@ -278,13 +304,18 @@ class RddRuntime {
       for (const Table& t : tables) {
         ptrs.push_back(&t);
       }
-      MUSKETEER_ASSIGN_OR_RETURN(Table result, EvaluateOperator(node, ptrs));
-      if (!schema_set) {
-        out.schema = result.schema();
-        schema_set = true;
+      StatusOr<Table> result = EvaluateOperator(node, ptrs);
+      if (!result.ok()) {
+        statuses[i] = result.status();
+        return;
       }
-      out.partitions[i] = std::move(*result.mutable_rows());
+      schemas[i] = result->schema();
+      out.partitions[i] = std::move(*result->mutable_rows());
+    });
+    for (const Status& s : statuses) {
+      MUSKETEER_RETURN_IF_ERROR(s);
     }
+    out.schema = schemas[0];
     return out;
   }
 
@@ -302,17 +333,23 @@ class RddRuntime {
         Repartition(right, {*ri});
     Rdd out;
     out.partitions.resize(p_);
-    bool schema_set = false;
-    for (int i = 0; i < p_; ++i) {
+    std::vector<Status> statuses(p_);
+    std::vector<Schema> schemas(p_);
+    ParallelChunks(p_, 1, [&](size_t i, size_t, size_t) {
       Table l(left.schema, std::move(lparts[i]));
       Table r(right.schema, std::move(rparts[i]));
-      MUSKETEER_ASSIGN_OR_RETURN(Table result, HashJoin(l, r, *li, *ri));
-      if (!schema_set) {
-        out.schema = result.schema();
-        schema_set = true;
+      StatusOr<Table> result = HashJoin(l, r, *li, *ri);
+      if (!result.ok()) {
+        statuses[i] = result.status();
+        return;
       }
-      out.partitions[i] = std::move(*result.mutable_rows());
+      schemas[i] = result->schema();
+      out.partitions[i] = std::move(*result->mutable_rows());
+    });
+    for (const Status& s : statuses) {
+      MUSKETEER_RETURN_IF_ERROR(s);
     }
+    out.schema = schemas[0];
     return out;
   }
 

@@ -5,6 +5,14 @@
 #include "src/backends/job.h"
 #include "src/relational/ops.h"
 
+// Parallelism note: this runtime is deliberately NOT morsel-parallelized.
+// It models Naiad's record-at-a-time dataflow — operators hold mutable
+// per-port state (buffers, notifications) that a streamed record mutates on
+// every OnRecv, so the whole dataflow is one sequential pass by
+// construction. Stateful operators that evaluate a whole relation at a
+// notification barrier call the shared relational kernels, which
+// parallelize internally (see DESIGN.md "Parallel data plane").
+
 namespace musketeer {
 
 namespace {

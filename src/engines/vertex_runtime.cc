@@ -1,8 +1,11 @@
 #include "src/engines/vertex_runtime.h"
 
 #include <algorithm>
+#include <iterator>
 #include <unordered_map>
+#include <utility>
 
+#include "src/base/parallel.h"
 #include "src/opt/idiom.h"
 #include "src/relational/ops.h"
 
@@ -231,6 +234,14 @@ struct Gathered {
     ++count;
   }
 
+  // Folds another accumulator in (associative; AVG via (sum, count)).
+  void Merge(const Gathered& o) {
+    sum += o.sum;
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+    count += o.count;
+  }
+
   Value Finalize(AggFn fn, FieldType msg_type) const {
     double v = 0;
     switch (fn) {
@@ -272,22 +283,40 @@ StatusOr<Table> RunSupersteps(const VertexProgram& program, const Table& vertice
       index.emplace(v[program.vertex_key], &v);
     }
 
-    // Scatter: per-edge messages to destination buckets.
-    std::unordered_map<Value, Gathered, ValueHash, ValueEq> inbox;
-    for (const Row& edge : edges.rows()) {
-      auto it = index.find(edge[program.edge_key]);
-      if (it == index.end()) {
-        continue;  // dangling edge: inner-join semantics
+    // Scatter: per-edge messages to destination buckets. Edge morsels fill
+    // chunk-local inboxes in parallel (the vertex index is read-only here);
+    // the per-destination accumulators then merge in chunk order, a fixed
+    // tree independent of the thread count.
+    using Inbox = std::unordered_map<Value, Gathered, ValueHash, ValueEq>;
+    const std::vector<Row>& erows = edges.rows();
+    auto chunk_inboxes = ParallelMapChunks<std::pair<Inbox, int64_t>>(
+        erows.size(), kMorselRows,
+        [&](size_t, size_t begin, size_t end) {
+          std::pair<Inbox, int64_t> out;
+          for (size_t e = begin; e < end; ++e) {
+            const Row& edge = erows[e];
+            auto it = index.find(edge[program.edge_key]);
+            if (it == index.end()) {
+              continue;  // dangling edge: inner-join semantics
+            }
+            Row joined = program.vertex_on_left
+                             ? JoinRow(*it->second, program.vertex_key, edge,
+                                       program.edge_key)
+                             : JoinRow(edge, program.edge_key, *it->second,
+                                       program.vertex_key);
+            Value dst = program.message.projectors[0](joined);
+            Value msg = program.message.projectors[1](joined);
+            out.first[dst].Add(msg);
+            ++out.second;
+          }
+          return out;
+        });
+    Inbox inbox;
+    for (auto& [chunk_inbox, sent] : chunk_inboxes) {
+      stats->messages_sent += sent;
+      for (auto& [dst, gathered] : chunk_inbox) {
+        inbox[dst].Merge(gathered);
       }
-      Row joined = program.vertex_on_left
-                       ? JoinRow(*it->second, program.vertex_key, edge,
-                                 program.edge_key)
-                       : JoinRow(edge, program.edge_key, *it->second,
-                                 program.vertex_key);
-      Value dst = program.message.projectors[0](joined);
-      Value msg = program.message.projectors[1](joined);
-      inbox[dst].Add(msg);
-      ++stats->messages_sent;
     }
     // Self-messages (extremum gathers keep the current state alive).
     if (program.self_message.has_value()) {
@@ -299,25 +328,38 @@ StatusOr<Table> RunSupersteps(const VertexProgram& program, const Table& vertice
       }
     }
 
-    // Gather + apply: vertices with messages produce the next state.
+    // Gather + apply: vertices with messages produce the next state. State
+    // morsels apply in parallel against the read-only inbox; per-chunk next
+    // vectors concatenate in chunk order (= state order, as sequentially).
+    auto apply_parts = ParallelMapChunks<std::vector<Row>>(
+        state.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+          std::vector<Row> chunk_next;
+          for (size_t s = begin; s < end; ++s) {
+            const Row& v = state[s];
+            auto it = inbox.find(v[program.vertex_key]);
+            if (it == inbox.end()) {
+              continue;  // no messages: dropped by the rejoin (inner join)
+            }
+            Row acc_row{it->first,
+                        it->second.Finalize(program.gather, program.msg_type)};
+            Row joined = program.rejoin_vertex_on_left
+                             ? JoinRow(v, program.vertex_key, acc_row, 0)
+                             : JoinRow(acc_row, 0, v, program.vertex_key);
+            Row updated;
+            updated.reserve(program.apply.projectors.size());
+            for (const RowProjector& proj : program.apply.projectors) {
+              updated.push_back(proj(joined));
+            }
+            chunk_next.push_back(std::move(updated));
+          }
+          return chunk_next;
+        });
     std::vector<Row> next;
     next.reserve(inbox.size());
-    for (const Row& v : state) {
-      auto it = inbox.find(v[program.vertex_key]);
-      if (it == inbox.end()) {
-        continue;  // no messages: dropped by the rejoin (inner join)
-      }
-      Row acc_row{it->first, it->second.Finalize(program.gather, program.msg_type)};
-      Row joined = program.rejoin_vertex_on_left
-                       ? JoinRow(v, program.vertex_key, acc_row, 0)
-                       : JoinRow(acc_row, 0, v, program.vertex_key);
-      Row updated;
-      updated.reserve(program.apply.projectors.size());
-      for (const RowProjector& proj : program.apply.projectors) {
-        updated.push_back(proj(joined));
-      }
-      next.push_back(std::move(updated));
-      ++stats->vertex_updates;
+    for (std::vector<Row>& part : apply_parts) {
+      stats->vertex_updates += static_cast<int64_t>(part.size());
+      next.insert(next.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
     }
     if (until_fixpoint) {
       Table before(program.apply.schema, state);

@@ -1,9 +1,20 @@
 #include "src/relational/ops.h"
 
 #include <algorithm>
+#include <iterator>
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+
+#include "src/base/parallel.h"
+
+// Parallelization strategy (see DESIGN.md "Parallel data plane"): every
+// kernel splits its input into fixed kMorselRows chunks, computes
+// chunk-private partial results, and combines them in chunk order (or a
+// fixed pairwise tree). Chunk layout and merge order never depend on the
+// thread count, so output is bit-identical at any parallelism — including
+// floating-point aggregation, whose summation tree is fixed by the chunking.
 
 namespace musketeer {
 
@@ -16,6 +27,61 @@ struct ValueHash {
 struct ValueEq {
   bool operator()(const Value& a, const Value& b) const { return ValuesEqual(a, b); }
 };
+
+// Fan-out of the partitioned hash-join build. Fixed (like kMorselRows) so
+// the per-partition tables are identical at every thread count.
+constexpr size_t kJoinPartitions = 64;
+
+// Stable parallel merge sort: per-morsel stable_sort, then rounds of stable
+// std::merge over adjacent runs (ties take the left run first). The result
+// is the stable-sort permutation — unique for a given comparator — so it is
+// identical to std::stable_sort over the whole range.
+template <typename Less>
+void ParallelStableSortRows(std::vector<Row>* rows, const Less& less) {
+  const size_t n = rows->size();
+  const size_t chunks = NumChunks(n, kMorselRows);
+  if (chunks <= 1) {
+    std::stable_sort(rows->begin(), rows->end(), less);
+    return;
+  }
+  ParallelChunks(n, kMorselRows, [&](size_t, size_t begin, size_t end) {
+    std::stable_sort(rows->begin() + begin, rows->begin() + end, less);
+  });
+
+  std::vector<size_t> bounds;
+  bounds.reserve(chunks + 1);
+  for (size_t c = 0; c < chunks; ++c) bounds.push_back(c * kMorselRows);
+  bounds.push_back(n);
+
+  std::vector<Row> tmp(n);
+  std::vector<Row>* src = rows;
+  std::vector<Row>* dst = &tmp;
+  while (bounds.size() > 2) {
+    const size_t runs = bounds.size() - 1;
+    const size_t pairs = runs / 2;
+    ParallelChunks(pairs, 1, [&](size_t p, size_t, size_t) {
+      const size_t lo = bounds[2 * p];
+      const size_t mid = bounds[2 * p + 1];
+      const size_t hi = bounds[2 * p + 2];
+      std::merge(std::make_move_iterator(src->begin() + lo),
+                 std::make_move_iterator(src->begin() + mid),
+                 std::make_move_iterator(src->begin() + mid),
+                 std::make_move_iterator(src->begin() + hi),
+                 dst->begin() + lo, less);
+    });
+    if (runs % 2 == 1) {  // odd run out: carry over unmerged
+      std::move(src->begin() + bounds[runs - 1], src->begin() + bounds[runs],
+                dst->begin() + bounds[runs - 1]);
+    }
+    std::vector<size_t> next;
+    next.reserve(pairs + 2);
+    for (size_t i = 0; i < bounds.size(); i += 2) next.push_back(bounds[i]);
+    if (bounds.size() % 2 == 0) next.push_back(n);
+    bounds = std::move(next);
+    std::swap(src, dst);
+  }
+  if (src != rows) *rows = std::move(tmp);
+}
 
 }  // namespace
 
@@ -50,11 +116,19 @@ bool AggFnIsAssociative(AggFn fn) {
 Table SelectRows(const Table& in, const RowPredicate& pred) {
   Table out(in.schema());
   out.set_scale(in.scale());
-  for (const Row& row : in.rows()) {
-    if (pred(row)) {
-      out.AddRow(row);
-    }
-  }
+  const std::vector<Row>& rows = in.rows();
+  auto parts = ParallelMapChunks<std::vector<Row>>(
+      rows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        std::vector<Row> kept;
+        for (size_t i = begin; i < end; ++i) {
+          if (pred(rows[i])) kept.push_back(rows[i]);
+        }
+        return kept;
+      });
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out.Reserve(total);
+  for (auto& p : parts) out.AppendRows(std::move(p));
   return out;
 }
 
@@ -70,15 +144,20 @@ StatusOr<Table> ProjectColumns(const Table& in, const std::vector<int>& columns)
   }
   Table out(out_schema);
   out.set_scale(in.scale());
-  out.Reserve(in.num_rows());
-  for (const Row& row : in.rows()) {
-    Row r;
-    r.reserve(columns.size());
-    for (int c : columns) {
-      r.push_back(row[c]);
-    }
-    out.AddRow(std::move(r));
-  }
+  const std::vector<Row>& rows = in.rows();
+  std::vector<Row>* out_rows = out.mutable_rows();
+  out_rows->resize(rows.size());
+  ParallelChunks(rows.size(), kMorselRows,
+                 [&](size_t, size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     Row r;
+                     r.reserve(columns.size());
+                     for (int c : columns) {
+                       r.push_back(rows[i][c]);
+                     }
+                     (*out_rows)[i] = std::move(r);
+                   }
+                 });
   return out;
 }
 
@@ -86,15 +165,20 @@ Table MapRows(const Table& in, const Schema& out_schema,
               const std::vector<RowProjector>& projectors) {
   Table out(out_schema);
   out.set_scale(in.scale());
-  out.Reserve(in.num_rows());
-  for (const Row& row : in.rows()) {
-    Row r;
-    r.reserve(projectors.size());
-    for (const RowProjector& p : projectors) {
-      r.push_back(p(row));
-    }
-    out.AddRow(std::move(r));
-  }
+  const std::vector<Row>& rows = in.rows();
+  std::vector<Row>* out_rows = out.mutable_rows();
+  out_rows->resize(rows.size());
+  ParallelChunks(rows.size(), kMorselRows,
+                 [&](size_t, size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     Row r;
+                     r.reserve(projectors.size());
+                     for (const RowProjector& p : projectors) {
+                       r.push_back(p(rows[i]));
+                     }
+                     (*out_rows)[i] = std::move(r);
+                   }
+                 });
   return out;
 }
 
@@ -119,36 +203,76 @@ StatusOr<Table> HashJoin(const Table& left, const Table& right, int lkey, int rk
     }
   }
 
-  // Build on the smaller side for speed; probe order fixed as left-then-right
-  // so output content is independent of build choice.
-  std::unordered_multimap<Value, const Row*, ValueHash, ValueEq> build;
-  build.reserve(right.num_rows());
-  for (const Row& row : right.rows()) {
-    build.emplace(row[rkey], &row);
-  }
+  // Partitioned build over the right side: scatter row indices to
+  // kJoinPartitions buckets per morsel, concatenate buckets in morsel order
+  // (preserving right-row index order inside each partition), then build one
+  // key → row-indices table per partition in parallel.
+  const std::vector<Row>& rrows = right.rows();
+  auto scattered = ParallelMapChunks<std::vector<std::vector<size_t>>>(
+      rrows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        std::vector<std::vector<size_t>> buckets(kJoinPartitions);
+        for (size_t i = begin; i < end; ++i) {
+          buckets[HashValue(rrows[i][rkey]) % kJoinPartitions].push_back(i);
+        }
+        return buckets;
+      });
+
+  using PartitionTable =
+      std::unordered_map<Value, std::vector<size_t>, ValueHash, ValueEq>;
+  std::vector<PartitionTable> tables(kJoinPartitions);
+  ParallelChunks(kJoinPartitions, 1, [&](size_t p, size_t, size_t) {
+    size_t total = 0;
+    for (const auto& chunk : scattered) total += chunk[p].size();
+    PartitionTable& table = tables[p];
+    table.reserve(total);
+    for (const auto& chunk : scattered) {
+      for (size_t ridx : chunk[p]) {
+        table[rrows[ridx][rkey]].push_back(ridx);
+      }
+    }
+  });
+
+  // Probe in left-row order; a left row's matches emit in right-row index
+  // order. This fixed emission order makes the join deterministic across
+  // thread counts (the old unordered_multimap equal_range order was
+  // implementation-defined).
+  const std::vector<Row>& lrows = left.rows();
+  auto parts = ParallelMapChunks<std::vector<Row>>(
+      lrows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        std::vector<Row> matched;
+        for (size_t i = begin; i < end; ++i) {
+          const Row& lrow = lrows[i];
+          const PartitionTable& table =
+              tables[HashValue(lrow[lkey]) % kJoinPartitions];
+          auto it = table.find(lrow[lkey]);
+          if (it == table.end()) continue;
+          for (size_t ridx : it->second) {
+            const Row& rrow = rrows[ridx];
+            Row r;
+            r.reserve(out_schema.num_fields());
+            r.push_back(lrow[lkey]);
+            for (int c = 0; c < static_cast<int>(lrow.size()); ++c) {
+              if (c != lkey) {
+                r.push_back(lrow[c]);
+              }
+            }
+            for (int c = 0; c < static_cast<int>(rrow.size()); ++c) {
+              if (c != rkey) {
+                r.push_back(rrow[c]);
+              }
+            }
+            matched.push_back(std::move(r));
+          }
+        }
+        return matched;
+      });
 
   Table out(out_schema);
   out.set_scale(std::max(left.scale(), right.scale()));
-  for (const Row& lrow : left.rows()) {
-    auto [it, end] = build.equal_range(lrow[lkey]);
-    for (; it != end; ++it) {
-      const Row& rrow = *it->second;
-      Row r;
-      r.reserve(out_schema.num_fields());
-      r.push_back(lrow[lkey]);
-      for (int c = 0; c < static_cast<int>(lrow.size()); ++c) {
-        if (c != lkey) {
-          r.push_back(lrow[c]);
-        }
-      }
-      for (int c = 0; c < static_cast<int>(rrow.size()); ++c) {
-        if (c != rkey) {
-          r.push_back(rrow[c]);
-        }
-      }
-      out.AddRow(std::move(r));
-    }
-  }
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out.Reserve(total);
+  for (auto& p : parts) out.AppendRows(std::move(p));
   return out;
 }
 
@@ -162,14 +286,20 @@ Table CrossJoin(const Table& left, const Table& right) {
   }
   Table out(out_schema);
   out.set_scale(std::max(left.scale(), right.scale()));
-  out.Reserve(left.num_rows() * right.num_rows());
-  for (const Row& lrow : left.rows()) {
-    for (const Row& rrow : right.rows()) {
-      Row r = lrow;
-      r.insert(r.end(), rrow.begin(), rrow.end());
-      out.AddRow(std::move(r));
-    }
-  }
+  const std::vector<Row>& lrows = left.rows();
+  const std::vector<Row>& rrows = right.rows();
+  std::vector<Row>* out_rows = out.mutable_rows();
+  out_rows->resize(lrows.size() * rrows.size());
+  ParallelChunks(lrows.size(), kMorselRows,
+                 [&](size_t, size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     for (size_t j = 0; j < rrows.size(); ++j) {
+                       Row r = lrows[i];
+                       r.insert(r.end(), rrows[j].begin(), rrows[j].end());
+                       (*out_rows)[i * rrows.size() + j] = std::move(r);
+                     }
+                   }
+                 });
   return out;
 }
 
@@ -185,29 +315,57 @@ StatusOr<Table> UnionAll(const Table& a, const Table& b) {
   } else {
     out.set_scale(std::max(a.scale(), b.scale()));
   }
-  out.Reserve(a.num_rows() + b.num_rows());
-  for (const Row& row : a.rows()) {
-    out.AddRow(row);
-  }
-  for (const Row& row : b.rows()) {
-    out.AddRow(row);
+  std::vector<Row>* out_rows = out.mutable_rows();
+  out_rows->resize(a.num_rows() + b.num_rows());
+  ParallelChunks(a.num_rows(), kMorselRows,
+                 [&](size_t, size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     (*out_rows)[i] = a.rows()[i];
+                   }
+                 });
+  ParallelChunks(b.num_rows(), kMorselRows,
+                 [&](size_t, size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     (*out_rows)[a.num_rows() + i] = b.rows()[i];
+                   }
+                 });
+  return out;
+}
+
+namespace {
+
+// INTERSECT / DIFFERENCE share their shape: a parallel membership scan of
+// `a` against a hash set of `b`, then a sequential first-occurrence dedup
+// emitting in `a` order.
+Table SetOpFilter(const Table& a, const Table& b, bool want_member) {
+  std::unordered_set<Row, RowHash, RowEq> in_b(b.rows().begin(), b.rows().end());
+  const std::vector<Row>& rows = a.rows();
+  std::vector<uint8_t> keep(rows.size(), 0);
+  ParallelChunks(rows.size(), kMorselRows,
+                 [&](size_t, size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     bool member = in_b.count(rows[i]) > 0;
+                     keep[i] = (member == want_member) ? 1 : 0;
+                   }
+                 });
+  std::unordered_set<Row, RowHash, RowEq> emitted;
+  Table out(a.schema());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (keep[i] && emitted.insert(rows[i]).second) {
+      out.AddRow(rows[i]);
+    }
   }
   return out;
 }
+
+}  // namespace
 
 StatusOr<Table> Intersect(const Table& a, const Table& b) {
   if (a.schema().num_fields() != b.schema().num_fields()) {
     return InvalidArgumentError("INTERSECT arity mismatch");
   }
-  std::unordered_set<Row, RowHash, RowEq> in_b(b.rows().begin(), b.rows().end());
-  std::unordered_set<Row, RowHash, RowEq> emitted;
-  Table out(a.schema());
+  Table out = SetOpFilter(a, b, /*want_member=*/true);
   out.set_scale(std::max(a.scale(), b.scale()));
-  for (const Row& row : a.rows()) {
-    if (in_b.count(row) > 0 && emitted.insert(row).second) {
-      out.AddRow(row);
-    }
-  }
   return out;
 }
 
@@ -215,29 +373,79 @@ StatusOr<Table> Difference(const Table& a, const Table& b) {
   if (a.schema().num_fields() != b.schema().num_fields()) {
     return InvalidArgumentError("DIFFERENCE arity mismatch");
   }
-  std::unordered_set<Row, RowHash, RowEq> in_b(b.rows().begin(), b.rows().end());
-  std::unordered_set<Row, RowHash, RowEq> emitted;
-  Table out(a.schema());
+  Table out = SetOpFilter(a, b, /*want_member=*/false);
   out.set_scale(a.scale());
-  for (const Row& row : a.rows()) {
-    if (in_b.count(row) == 0 && emitted.insert(row).second) {
-      out.AddRow(row);
+  return out;
+}
+
+Table Distinct(const Table& in) {
+  const std::vector<Row>& rows = in.rows();
+  // Chunk-local dedup (preserving chunk order), then a sequential global
+  // dedup over the chunk survivors in chunk order — emission order equals
+  // global first-occurrence order.
+  auto parts = ParallelMapChunks<std::vector<Row>>(
+      rows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        std::unordered_set<Row, RowHash, RowEq> local;
+        std::vector<Row> unique;
+        for (size_t i = begin; i < end; ++i) {
+          if (local.insert(rows[i]).second) unique.push_back(rows[i]);
+        }
+        return unique;
+      });
+  std::unordered_set<Row, RowHash, RowEq> seen;
+  Table out(in.schema());
+  out.set_scale(in.scale());
+  for (auto& part : parts) {
+    for (Row& row : part) {
+      if (seen.insert(row).second) {
+        out.AddRow(std::move(row));
+      }
     }
   }
   return out;
 }
 
-Table Distinct(const Table& in) {
-  std::unordered_set<Row, RowHash, RowEq> seen;
-  Table out(in.schema());
-  out.set_scale(in.scale());
-  for (const Row& row : in.rows()) {
-    if (seen.insert(row).second) {
-      out.AddRow(row);
+namespace {
+
+// Per-group running aggregate state; one slot per AggSpec.
+struct Acc {
+  std::vector<double> sums;
+  std::vector<double> mins;
+  std::vector<double> maxs;
+  std::vector<int64_t> counts;
+};
+
+// Partial aggregation over one morsel: groups in first-occurrence order.
+struct GroupPartial {
+  std::unordered_map<Row, size_t, RowHash, RowEq> index;  // key → slot
+  std::vector<Row> keys;                                  // slot → key
+  std::vector<Acc> accs;
+};
+
+// Folds `b` into `a`. Groups new to `a` append in `b`'s slot order, so the
+// merged first-occurrence order equals the first-occurrence order of the
+// concatenated inputs; the per-slot combines form the FP summation tree.
+void MergeGroupPartial(GroupPartial* a, GroupPartial&& b) {
+  for (size_t slot = 0; slot < b.keys.size(); ++slot) {
+    auto it = a->index.find(b.keys[slot]);
+    if (it == a->index.end()) {
+      a->index.emplace(b.keys[slot], a->keys.size());
+      a->keys.push_back(std::move(b.keys[slot]));
+      a->accs.push_back(std::move(b.accs[slot]));
+      continue;
+    }
+    Acc& dst = a->accs[it->second];
+    const Acc& src = b.accs[slot];
+    for (size_t i = 0; i < dst.sums.size(); ++i) {
+      dst.sums[i] += src.sums[i];
+      dst.mins[i] = std::min(dst.mins[i], src.mins[i]);
+      dst.maxs[i] = std::max(dst.maxs[i], src.maxs[i]);
+      dst.counts[i] += src.counts[i];
     }
   }
-  return out;
 }
+
+}  // namespace
 
 StatusOr<Table> GroupByAgg(const Table& in, const std::vector<int>& group_columns,
                            const std::vector<AggSpec>& aggs) {
@@ -253,39 +461,54 @@ StatusOr<Table> GroupByAgg(const Table& in, const std::vector<int>& group_column
     }
   }
 
-  struct Acc {
-    std::vector<double> sums;
-    std::vector<double> mins;
-    std::vector<double> maxs;
-    std::vector<int64_t> counts;
-    Row key_row;
-  };
+  // Phase 1: thread-local partial aggregates, one per morsel. Every AggFn is
+  // associative (AVG decomposes into (sum, count)), so partials combine.
+  const std::vector<Row>& rows = in.rows();
+  auto partials = ParallelMapChunks<GroupPartial>(
+      rows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        GroupPartial part;
+        for (size_t i = begin; i < end; ++i) {
+          const Row& row = rows[i];
+          Row key;
+          key.reserve(group_columns.size());
+          for (int c : group_columns) {
+            key.push_back(row[c]);
+          }
+          auto [it, inserted] = part.index.try_emplace(key, part.keys.size());
+          if (inserted) {
+            part.keys.push_back(std::move(key));
+            Acc acc;
+            acc.sums.assign(aggs.size(), 0.0);
+            acc.mins.assign(aggs.size(), std::numeric_limits<double>::infinity());
+            acc.maxs.assign(aggs.size(), -std::numeric_limits<double>::infinity());
+            acc.counts.assign(aggs.size(), 0);
+            part.accs.push_back(std::move(acc));
+          }
+          Acc& acc = part.accs[it->second];
+          for (size_t i2 = 0; i2 < aggs.size(); ++i2) {
+            acc.counts[i2] += 1;
+            if (aggs[i2].fn == AggFn::kCount) {
+              continue;
+            }
+            double v = AsDouble(row[aggs[i2].column]);
+            acc.sums[i2] += v;
+            acc.mins[i2] = std::min(acc.mins[i2], v);
+            acc.maxs[i2] = std::max(acc.maxs[i2], v);
+          }
+        }
+        return part;
+      });
 
-  std::unordered_map<Row, Acc, RowHash, RowEq> groups;
-  for (const Row& row : in.rows()) {
-    Row key;
-    key.reserve(group_columns.size());
-    for (int c : group_columns) {
-      key.push_back(row[c]);
-    }
-    Acc& acc = groups[key];
-    if (acc.sums.empty()) {
-      acc.sums.assign(aggs.size(), 0.0);
-      acc.mins.assign(aggs.size(), std::numeric_limits<double>::infinity());
-      acc.maxs.assign(aggs.size(), -std::numeric_limits<double>::infinity());
-      acc.counts.assign(aggs.size(), 0);
-      acc.key_row = key;
-    }
-    for (size_t i = 0; i < aggs.size(); ++i) {
-      acc.counts[i] += 1;
-      if (aggs[i].fn == AggFn::kCount) {
-        continue;
-      }
-      double v = AsDouble(row[aggs[i].column]);
-      acc.sums[i] += v;
-      acc.mins[i] = std::min(acc.mins[i], v);
-      acc.maxs[i] = std::max(acc.maxs[i], v);
-    }
+  // Phase 2: fixed pairwise merge tree over the partials (merge chunk
+  // 2p+step into 2p each round). The tree shape depends only on the chunk
+  // count, never the thread count — FP results are bit-stable.
+  for (size_t step = 1; step < partials.size(); step *= 2) {
+    size_t pairs = 0;
+    for (size_t l = 0; l + step < partials.size(); l += 2 * step) ++pairs;
+    ParallelChunks(pairs, 1, [&](size_t p, size_t, size_t) {
+      const size_t l = 2 * step * p;
+      MergeGroupPartial(&partials[l], std::move(partials[l + step]));
+    });
   }
 
   Schema out_schema;
@@ -305,36 +528,44 @@ StatusOr<Table> GroupByAgg(const Table& in, const std::vector<int>& group_column
 
   Table out(out_schema);
   out.set_scale(in.scale());
-  out.Reserve(groups.size());
-  for (auto& [key, acc] : groups) {
-    Row r = key;
-    for (size_t i = 0; i < aggs.size(); ++i) {
-      double v = 0;
-      switch (aggs[i].fn) {
-        case AggFn::kSum:
-          v = acc.sums[i];
-          break;
-        case AggFn::kCount:
-          v = static_cast<double>(acc.counts[i]);
-          break;
-        case AggFn::kMin:
-          v = acc.mins[i];
-          break;
-        case AggFn::kMax:
-          v = acc.maxs[i];
-          break;
-        case AggFn::kAvg:
-          v = acc.counts[i] > 0 ? acc.sums[i] / static_cast<double>(acc.counts[i]) : 0;
-          break;
+  if (!partials.empty()) {
+    GroupPartial& groups = partials[0];
+    std::vector<Row>* out_rows = out.mutable_rows();
+    out_rows->resize(groups.keys.size());
+    ParallelChunks(groups.keys.size(), kMorselRows,
+                   [&](size_t, size_t begin, size_t end) {
+      for (size_t g = begin; g < end; ++g) {
+        const Acc& acc = groups.accs[g];
+        Row r = std::move(groups.keys[g]);
+        for (size_t i = 0; i < aggs.size(); ++i) {
+          double v = 0;
+          switch (aggs[i].fn) {
+            case AggFn::kSum:
+              v = acc.sums[i];
+              break;
+            case AggFn::kCount:
+              v = static_cast<double>(acc.counts[i]);
+              break;
+            case AggFn::kMin:
+              v = acc.mins[i];
+              break;
+            case AggFn::kMax:
+              v = acc.maxs[i];
+              break;
+            case AggFn::kAvg:
+              v = acc.counts[i] > 0 ? acc.sums[i] / static_cast<double>(acc.counts[i]) : 0;
+              break;
+          }
+          FieldType t = out_schema.field(group_columns.size() + i).type;
+          if (t == FieldType::kInt64) {
+            r.push_back(static_cast<int64_t>(v));
+          } else {
+            r.push_back(v);
+          }
+        }
+        (*out_rows)[g] = std::move(r);
       }
-      FieldType t = out_schema.field(group_columns.size() + i).type;
-      if (t == FieldType::kInt64) {
-        r.push_back(static_cast<int64_t>(v));
-      } else {
-        r.push_back(v);
-      }
-    }
-    out.AddRow(std::move(r));
+    });
   }
 
   // Handle the empty-input global aggregate: SQL-ish engines return one row
@@ -364,45 +595,53 @@ StatusOr<Table> ExtremeRow(const Table& in, int column, bool take_max) {
   if (in.num_rows() == 0) {
     return out;
   }
-  const Row* best = nullptr;
+  const std::vector<Row>& rows = in.rows();
   RowLess less;
-  for (const Row& row : in.rows()) {
-    if (best == nullptr) {
-      best = &row;
-      continue;
-    }
-    int c = CompareValues(row[column], (*best)[column]);
-    bool better = take_max ? (c > 0) : (c < 0);
-    // Deterministic tie-break by full-row order.
-    if (better || (c == 0 && less(row, *best))) {
-      best = &row;
-    }
+  // Total order on rows: (key, full-row tie-break); earlier row wins exact
+  // duplicates. Per-chunk selection folded in chunk order equals the
+  // sequential scan.
+  auto better = [&](const Row& a, const Row& b) {
+    int c = CompareValues(a[column], b[column]);
+    bool strictly = take_max ? (c > 0) : (c < 0);
+    return strictly || (c == 0 && less(a, b));
+  };
+  auto bests = ParallelMapChunks<size_t>(
+      rows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        size_t best = begin;
+        for (size_t i = begin + 1; i < end; ++i) {
+          if (better(rows[i], rows[best])) best = i;
+        }
+        return best;
+      });
+  size_t best = bests[0];
+  for (size_t k = 1; k < bests.size(); ++k) {
+    if (better(rows[bests[k]], rows[best])) best = bests[k];
   }
-  out.AddRow(*best);
+  out.AddRow(rows[best]);
   return out;
 }
 
 Table SortBy(const Table& in, const std::vector<int>& columns) {
   Table out = in;
-  std::stable_sort(out.mutable_rows()->begin(), out.mutable_rows()->end(),
-                   [&columns](const Row& a, const Row& b) {
-                     for (int c : columns) {
-                       int cmp = CompareValues(a[c], b[c]);
-                       if (cmp != 0) {
-                         return cmp < 0;
-                       }
-                     }
-                     return false;
-                   });
+  ParallelStableSortRows(out.mutable_rows(),
+                         [&columns](const Row& a, const Row& b) {
+                           for (int c : columns) {
+                             int cmp = CompareValues(a[c], b[c]);
+                             if (cmp != 0) {
+                               return cmp < 0;
+                             }
+                           }
+                           return false;
+                         });
   return out;
 }
 
 Table TopNBy(const Table& in, int column, size_t n) {
   Table out = in;
-  std::stable_sort(out.mutable_rows()->begin(), out.mutable_rows()->end(),
-                   [column](const Row& a, const Row& b) {
-                     return CompareValues(a[column], b[column]) > 0;
-                   });
+  ParallelStableSortRows(out.mutable_rows(),
+                         [column](const Row& a, const Row& b) {
+                           return CompareValues(a[column], b[column]) > 0;
+                         });
   if (out.mutable_rows()->size() > n) {
     out.mutable_rows()->resize(n);
   }

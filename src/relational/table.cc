@@ -109,4 +109,24 @@ bool Table::SameContent(const Table& a, const Table& b) {
   return true;
 }
 
+bool Table::Identical(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows() ||
+      a.schema().num_fields() != b.schema().num_fields()) {
+    return false;
+  }
+  for (size_t c = 0; c < a.schema().num_fields(); ++c) {
+    if (a.schema().field(c).type != b.schema().field(c).type) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    // std::variant ==: same alternative, then exact value equality. No
+    // cross-numeric coercion and no floating-point tolerance.
+    if (a.rows()[i] != b.rows()[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace musketeer

@@ -41,6 +41,18 @@ class Table {
   void AddRow(Row row) { rows_.push_back(std::move(row)); }
   void Reserve(size_t n) { rows_.reserve(n); }
 
+  // Moves `rows` onto the end of the table in order (bulk materialization;
+  // one reallocation at most when preceded by Reserve).
+  void AppendRows(std::vector<Row>&& rows) {
+    if (rows_.empty() && rows_.capacity() < rows.size()) {
+      rows_ = std::move(rows);  // steal; a larger Reserve stays in place
+      return;
+    }
+    rows_.insert(rows_.end(), std::make_move_iterator(rows.begin()),
+                 std::make_move_iterator(rows.end()));
+    rows.clear();
+  }
+
   // Validates that every row matches the schema arity and types.
   Status Validate() const;
 
@@ -73,6 +85,11 @@ class Table {
   // True if both tables contain the same multiset of rows (ignoring order)
   // and the same schema types.
   static bool SameContent(const Table& a, const Table& b);
+
+  // Exact equality: same schema types, same row order, and bit-identical
+  // values (variant alternative + exact ==; no cross-numeric coercion).
+  // This is the parallel data plane's determinism check.
+  static bool Identical(const Table& a, const Table& b);
 
  private:
   Schema schema_;

@@ -1,9 +1,12 @@
 #include "src/scheduler/partitioner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <memory>
 #include <unordered_set>
 
+#include "src/base/parallel.h"
 #include "src/base/rng.h"
 
 namespace musketeer {
@@ -165,7 +168,30 @@ StatusOr<Partitioning> PartitionDp(const Dag& dag, const CostModel& model,
 
 namespace {
 
-// Exhaustive enumeration state.
+bool ConnectedToJob(const Dag& dag, int op, const std::vector<int>& job) {
+  for (int in : dag.node(op).inputs) {
+    for (int member : job) {
+      if (member == in) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool SomeEngineRuns(const Dag& dag, const std::vector<EngineKind>& engines,
+                    const std::vector<int>& job) {
+  for (EngineKind e : engines) {
+    if (BackendFor(e).CanRunAsSingleJob(dag, job)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Exhaustive enumeration state. One instance searches either the full tree
+// (Run) or, when seeded with a prefix assignment, one subtree of the
+// parallel search (Seed + Search).
 class ExhaustiveSearch {
  public:
   ExhaustiveSearch(const Dag& dag, const CostModel& model,
@@ -195,6 +221,32 @@ class ExhaustiveSearch {
     return out;
   }
 
+  // Seeds the search with a fixed assignment of the first `idx` operators in
+  // enumeration order; Search() then explores exactly the completions of
+  // that prefix (one subtree of the sequential recursion).
+  void Seed(const std::vector<std::vector<int>>& jobs, size_t idx) {
+    assignment_.assign(dag_.num_nodes(), -1);
+    jobs_ = jobs;
+    for (size_t j = 0; j < jobs_.size(); ++j) {
+      for (int op : jobs_[j]) {
+        assignment_[op] = static_cast<int>(j);
+      }
+    }
+    seed_idx_ = idx;
+  }
+
+  // A shared lower bound on the cost of the best candidate any concurrent
+  // subtree has committed. Pruning against it is strict (>), so a candidate
+  // tying the global minimum is never pruned — the winning subtree finds
+  // exactly the candidate the sequential search would.
+  void set_shared_bound(std::atomic<double>* bound) { shared_bound_ = bound; }
+
+  void Search() { Recurse(seed_idx_); }
+
+  bool found() const { return best_cost_ < kInfiniteCost; }
+  double best_cost() const { return best_cost_; }
+  const std::vector<JobAssignment>& best_jobs() const { return best_jobs_; }
+
  private:
   void Recurse(size_t idx) {
     if (idx == order_.size()) {
@@ -205,11 +257,11 @@ class ExhaustiveSearch {
     if (merging_) {
       // Try extending every existing job the operator connects to.
       for (size_t j = 0; j < jobs_.size(); ++j) {
-        if (!ConnectedToJob(op, jobs_[j])) {
+        if (!ConnectedToJob(dag_, op, jobs_[j])) {
           continue;
         }
         jobs_[j].push_back(op);
-        if (SomeEngineRuns(jobs_[j])) {
+        if (SomeEngineRuns(dag_, engines_, jobs_[j])) {
           assignment_[op] = static_cast<int>(j);
           Recurse(idx + 1);
           assignment_[op] = -1;
@@ -223,26 +275,6 @@ class ExhaustiveSearch {
     Recurse(idx + 1);
     assignment_[op] = -1;
     jobs_.pop_back();
-  }
-
-  bool ConnectedToJob(int op, const std::vector<int>& job) const {
-    for (int in : dag_.node(op).inputs) {
-      for (int member : job) {
-        if (member == in) {
-          return true;
-        }
-      }
-    }
-    return false;
-  }
-
-  bool SomeEngineRuns(const std::vector<int>& job) const {
-    for (EngineKind e : engines_) {
-      if (BackendFor(e).CanRunAsSingleJob(dag_, job)) {
-        return true;
-      }
-    }
-    return false;
   }
 
   // Quotient graph over jobs must be acyclic (a job can only start once all
@@ -296,6 +328,10 @@ class ExhaustiveSearch {
       if (total >= best_cost_) {
         return;  // prune
       }
+      if (shared_bound_ != nullptr &&
+          total > shared_bound_->load(std::memory_order_relaxed)) {
+        return;  // prune against concurrent subtrees (strict: ties survive)
+      }
       JobAssignment a;
       a.ops = job;
       std::sort(a.ops.begin(), a.ops.end());
@@ -304,6 +340,13 @@ class ExhaustiveSearch {
       result.push_back(std::move(a));
     }
     best_cost_ = total;
+    if (shared_bound_ != nullptr) {
+      double cur = shared_bound_->load(std::memory_order_relaxed);
+      while (total < cur &&
+             !shared_bound_->compare_exchange_weak(cur, total,
+                                                   std::memory_order_relaxed)) {
+      }
+    }
     // Order jobs topologically over the quotient graph so downstream
     // execution can run them front-to-back.
     size_t m = result.size();
@@ -372,19 +415,106 @@ class ExhaustiveSearch {
 
   std::vector<std::vector<int>> jobs_;
   std::vector<int> assignment_;  // node id -> job index (-1 = unassigned)
+  size_t seed_idx_ = 0;
+  std::atomic<double>* shared_bound_ = nullptr;
   double best_cost_ = kInfiniteCost;
   std::vector<JobAssignment> best_jobs_;
   std::map<std::vector<int>, std::pair<EngineKind, double>> cost_cache_;
 };
+
+// A fixed assignment of the first `idx` operators (in enumeration order) —
+// the root of one search subtree.
+struct SearchPrefix {
+  std::vector<std::vector<int>> jobs;
+  size_t idx = 0;
+};
+
+// Level-synchronous expansion of the recursion's first levels until at least
+// `target` subtree roots exist. Children are generated in the exact order
+// Recurse tries them (extend job 0..k, then a fresh job), so the returned
+// prefixes enumerate subtrees in the sequential DFS encounter order — the
+// property the deterministic reduction in PartitionExhaustive relies on.
+std::vector<SearchPrefix> EnumeratePrefixes(
+    const Dag& dag, const std::vector<EngineKind>& engines, bool merging,
+    const std::vector<int>& order, size_t target) {
+  std::vector<SearchPrefix> frontier{SearchPrefix{}};
+  while (frontier.size() < target && frontier.front().idx < order.size()) {
+    std::vector<SearchPrefix> next;
+    for (const SearchPrefix& p : frontier) {
+      int op = order[p.idx];
+      if (merging) {
+        for (size_t j = 0; j < p.jobs.size(); ++j) {
+          if (!ConnectedToJob(dag, op, p.jobs[j])) {
+            continue;
+          }
+          SearchPrefix child = p;
+          child.jobs[j].push_back(op);
+          child.idx = p.idx + 1;
+          if (SomeEngineRuns(dag, engines, child.jobs[j])) {
+            next.push_back(std::move(child));
+          }
+        }
+      }
+      SearchPrefix fresh = p;
+      fresh.jobs.push_back({op});
+      fresh.idx = p.idx + 1;
+      next.push_back(std::move(fresh));
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
 
 }  // namespace
 
 StatusOr<Partitioning> PartitionExhaustive(const Dag& dag, const CostModel& model,
                                            const std::vector<Bytes>& sizes,
                                            const PartitionOptions& options) {
-  ExhaustiveSearch search(dag, model, sizes, EnginesOrDefault(options),
-                          options.enable_merging);
-  return search.Run();
+  std::vector<EngineKind> engines = EnginesOrDefault(options);
+  std::vector<int> order = OperatorOrder(dag);
+  if (order.empty()) {
+    return InvalidArgumentError("workflow has no operators");
+  }
+  int threads = ParallelThreads();
+  if (threads <= 1 || order.size() < 4) {
+    ExhaustiveSearch search(dag, model, sizes, engines, options.enable_merging);
+    return search.Run();
+  }
+
+  // Parallel search: fan the top levels of the enumeration out as seeded
+  // subtree searches sharing a best-cost bound, then reduce
+  // deterministically. Strict-> pruning plus a strict-< reduction in subtree
+  // (DFS encounter) order make the chosen partitioning identical to the
+  // sequential search's, independent of thread scheduling.
+  std::vector<SearchPrefix> prefixes = EnumeratePrefixes(
+      dag, engines, options.enable_merging, order,
+      static_cast<size_t>(threads) * 4);
+  std::atomic<double> bound{kInfiniteCost};
+  std::vector<std::unique_ptr<ExhaustiveSearch>> searches(prefixes.size());
+  ParallelChunks(prefixes.size(), 1, [&](size_t i, size_t, size_t) {
+    auto search = std::make_unique<ExhaustiveSearch>(dag, model, sizes, engines,
+                                                     options.enable_merging);
+    search->Seed(prefixes[i].jobs, prefixes[i].idx);
+    search->set_shared_bound(&bound);
+    search->Search();
+    searches[i] = std::move(search);
+  });
+  const ExhaustiveSearch* best = nullptr;
+  for (const auto& search : searches) {
+    if (search->found() &&
+        (best == nullptr || search->best_cost() < best->best_cost())) {
+      best = search.get();
+    }
+  }
+  if (best == nullptr) {
+    return FailedPreconditionError(
+        "no engine combination can execute this workflow");
+  }
+  Partitioning out;
+  out.total_cost = best->best_cost();
+  out.used_exhaustive = true;
+  out.jobs = best->best_jobs();
+  return out;
 }
 
 StatusOr<Partitioning> PartitionDag(const Dag& dag, const CostModel& model,

@@ -1,8 +1,10 @@
 #include "src/service/service.h"
 
+#include <optional>
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/base/parallel.h"
 
 namespace musketeer {
 
@@ -176,6 +178,12 @@ WorkflowHandle WorkflowService::Enqueue(WorkflowSpec spec, RunOptions options,
 }
 
 void WorkflowService::WorkerLoop() {
+  // Pin this worker's intra-query parallelism for every workflow it runs;
+  // the override is thread-local, so concurrent workers do not interfere.
+  std::optional<ScopedParallelThreads> width;
+  if (config_.threads > 0) {
+    width.emplace(config_.threads);
+  }
   while (true) {
     std::optional<QueueItem> item = queue_.Pop();
     if (!item.has_value()) {

@@ -113,6 +113,10 @@ struct ServiceConfig {
   // Applied to every submission that does not carry its own RunOptions.
   // `default_options.history` is how the shared HistoryStore is plumbed in.
   RunOptions default_options;
+  // Intra-query parallelism per worker: each worker thread runs its
+  // workflows' data-plane kernels at this width. 0 inherits the process
+  // default (MUSKETEER_THREADS env, else hardware concurrency).
+  int threads = 0;
   // Models the synchronous round-trip of dispatching one engine job to a
   // remote cluster (the paper's deployment blocks on Hadoop/Spark job
   // submission). Charged per engine job as real wall-clock sleep; this wait

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/base/parallel.h"
 #include "src/core/musketeer.h"
 #include "src/workloads/datasets.h"
 #include "src/workloads/workflows.h"
@@ -166,6 +167,47 @@ TEST_P(EngineEquivalenceTest, MatchesReferenceInterpreter) {
       << "engine " << EngineKindName(engine) << " diverged on "
       << WfName(wf);
   EXPECT_GT(result->makespan, 0);
+}
+
+// The morsel-driven data plane's determinism contract, end to end: the full
+// pipeline run at several thread widths is BIT-identical (row order included,
+// Table::Identical not just SameContent) to the same pipeline forced onto one
+// thread. Covers every workflow x engine combination above.
+TEST_P(EngineEquivalenceTest, ParallelMatchesSequentialBitIdentical) {
+  auto [wf, engine] = GetParam();
+  WfSetup setup = MakeSetup(wf);
+
+  if (IsGraphOnlyEngine(engine) && !setup.graph_capable) {
+    GTEST_SKIP() << "workflow not expressible on a graph-only engine";
+  }
+
+  auto run_at = [&](int threads) {
+    ScopedParallelThreads width(threads);
+    Dfs dfs;
+    for (const auto& [name, table] : setup.inputs) {
+      dfs.Put(name, table);
+    }
+    Musketeer m(&dfs);
+    RunOptions options;
+    options.cluster = Ec2Cluster(16);
+    options.engines = {engine};
+    return m.Run(setup.workflow, options);
+  };
+
+  auto sequential = run_at(1);
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+  ASSERT_EQ(sequential->outputs.count(setup.result_relation), 1u);
+
+  for (int threads : {2, 4}) {
+    auto parallel = run_at(threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    ASSERT_EQ(parallel->outputs.count(setup.result_relation), 1u);
+    EXPECT_TRUE(
+        Table::Identical(*sequential->outputs[setup.result_relation],
+                         *parallel->outputs[setup.result_relation]))
+        << "engine " << EngineKindName(engine) << " on " << WfName(wf)
+        << " is not bit-identical at " << threads << " threads";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,20 +1,28 @@
 #!/usr/bin/env bash
 # Full verification gate: normal build + tier-1 suite, then a ThreadSanitizer
-# build running the same suite (including service_test, the concurrency
-# stress). Run from anywhere; builds land in <repo>/build and <repo>/build-tsan.
+# build running the same suite (including service_test and parallel_test, the
+# concurrency stresses), then a Release build with assertions kept live.
+# Run from anywhere; builds land in <repo>/build, <repo>/build-tsan and
+# <repo>/build-relassert.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc)"
 
-echo "== [1/2] normal build + tests =="
+echo "== [1/3] normal build + tests =="
 cmake -S "$repo" -B "$repo/build" >/dev/null
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
-echo "== [2/2] ThreadSanitizer build + tests =="
+echo "== [2/3] ThreadSanitizer build + tests =="
 cmake -S "$repo" -B "$repo/build-tsan" -DMUSKETEER_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs"
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs"
+
+echo "== [3/3] Release-with-assertions build + tests =="
+cmake -S "$repo" -B "$repo/build-relassert" -DCMAKE_BUILD_TYPE=Release \
+      -DMUSKETEER_KEEP_ASSERTS=ON >/dev/null
+cmake --build "$repo/build-relassert" -j "$jobs"
+ctest --test-dir "$repo/build-relassert" --output-on-failure -j "$jobs"
 
 echo "== all checks passed =="

@@ -19,6 +19,9 @@
 //   --cluster=local|single|ec2:N     cluster model (default: local)
 //   --engines=naiad,hadoop,...       restrict engine choice (default: all)
 //   --output=NAME=FILE               write relation NAME to FILE as CSV
+//   --threads=N                      intra-query data-plane parallelism
+//                                    (default: MUSKETEER_THREADS env, else
+//                                    hardware concurrency)
 //   --explain                        also print IR, partitioning & job code
 //   --serve=N                        run a workflow service with N workers;
 //                                    every positional file is submitted
@@ -38,6 +41,7 @@
 #include <sstream>
 #include <vector>
 
+#include "src/base/parallel.h"
 #include "src/base/strings.h"
 #include "src/core/musketeer.h"
 #include "src/relational/csv.h"
@@ -110,6 +114,8 @@ void PrintUsage() {
       "  --cluster=local|single|ec2:N\n"
       "  --engines=naiad,hadoop,...\n"
       "  --output=NAME=FILE\n"
+      "  --threads=N                   (default: MUSKETEER_THREADS env,\n"
+      "                                 else hardware concurrency)\n"
       "  --explain\n"
       "  --serve=N --repeat=K --queue=CAP --no-plan-cache\n");
 }
@@ -267,6 +273,14 @@ int main(int argc, char** argv) {
     }
     if (arg == "--no-plan-cache") {
       plan_cache = false;
+      continue;
+    }
+    if (StartsWith(arg, "--threads=")) {
+      auto n = ParseInt64(arg.substr(10));
+      if (!n.has_value() || *n < 1) {
+        return Fail("--threads needs a thread count >= 1");
+      }
+      SetParallelThreads(static_cast<int>(*n));
       continue;
     }
     if (StartsWith(arg, "--language=")) {
