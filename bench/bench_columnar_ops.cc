@@ -1,0 +1,168 @@
+// Columnar vs row-of-variants data plane: wall-clock time of the hot
+// relational kernels (hash join, grouped aggregation, sort) on the typed
+// columnar kernels (src/relational/ops.cc) against the preserved row
+// reference (tests/row_reference.cc) at 1 and N threads.
+//
+// The row baseline includes the Row materialization at the kernel boundary —
+// that is the inherent cost of row-of-variants storage (the seed plane paid
+// it at load time instead). Every columnar result is also bit-checked
+// (Table::Identical) against the row result, re-asserting the migration
+// contract on big inputs; the binary exits non-zero on divergence or if the
+// single-threaded join/group-by speedup falls below the 1.5x floor the
+// columnar refactor promises.
+//
+// Results are written to BENCH_columnar.json as
+// [{"op", "rows", "threads", "wall_ms"}, ...] with op names suffixed
+// _row / _columnar.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/base/parallel.h"
+#include "src/relational/ops.h"
+#include "tests/row_reference.h"
+
+namespace musketeer {
+namespace {
+
+constexpr size_t kJoinRows = 1'000'000;
+constexpr size_t kAggRows = 2'000'000;
+constexpr int64_t kAggGroups = 1024;
+constexpr int kMaxThreads = 8;
+constexpr double kSpeedupFloor = 1.5;  // join/group-by at 1 thread
+
+// Deterministic pseudo-random table: key in [0, key_range), an int payload,
+// and a double whose summation order is observable in the low bits.
+Table MakeInput(size_t rows, int64_t key_range, uint64_t seed) {
+  Schema schema({{"k", FieldType::kInt64},
+                 {"v", FieldType::kInt64},
+                 {"x", FieldType::kDouble}});
+  Table t(schema);
+  t.Reserve(rows);
+  uint64_t state = seed;
+  for (size_t i = 0; i < rows; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    int64_t k = static_cast<int64_t>(state >> 33) % key_range;
+    int64_t v = static_cast<int64_t>(state >> 17) % 1000;
+    double x = static_cast<double>(static_cast<int64_t>(state % 100003)) / 7.0;
+    t.AddRow({k, v, x});
+  }
+  return t;
+}
+
+// Minimum wall-clock milliseconds of `reps` runs; the result of the last run
+// is stored in *out for the bit-identity check.
+template <typename Fn>
+double MinWallMs(int reps, const Fn& fn, Table* out) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    Table result = fn();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    if (r == 0 || ms < best) {
+      best = ms;
+    }
+    *out = std::move(result);
+  }
+  return best;
+}
+
+struct BenchOp {
+  std::string name;
+  size_t rows;
+  bool enforce_floor;            // 1.5x contract applies (join / group-by)
+  std::function<Table()> row;    // row-of-variants reference
+  std::function<Table()> col;    // columnar kernel
+};
+
+int RunAll() {
+  std::printf("Building inputs (%zu join rows, %zu agg rows)...\n", kJoinRows,
+              kAggRows);
+  // Join sides keyed over [0, rows): ~1 match per probe row, so the output
+  // stays join-input-sized instead of exploding quadratically.
+  Table join_left = MakeInput(kJoinRows, static_cast<int64_t>(kJoinRows), 42);
+  Table join_right = MakeInput(kJoinRows, static_cast<int64_t>(kJoinRows), 7);
+  Table agg_in = MakeInput(kAggRows, kAggGroups, 1234);
+  std::vector<AggSpec> aggs{{AggFn::kSum, 2, "sx"},
+                            {AggFn::kAvg, 2, "ax"},
+                            {AggFn::kMin, 1, "mn"},
+                            {AggFn::kMax, 1, "mx"},
+                            {AggFn::kCount, 0, "c"}};
+  const std::vector<int> group_cols = {0};
+  const std::vector<int> sort_cols = {0, 1};
+
+  std::vector<BenchOp> ops;
+  ops.push_back(
+      {"hash_join", kJoinRows, /*enforce_floor=*/true,
+       [&] {
+         return std::move(rowref::HashJoin(join_left, join_right, 0, 0))
+             .value();
+       },
+       [&] { return std::move(HashJoin(join_left, join_right, 0, 0)).value(); }});
+  ops.push_back(
+      {"group_by_agg", kAggRows, /*enforce_floor=*/true,
+       [&] { return std::move(rowref::GroupByAgg(agg_in, group_cols, aggs)).value(); },
+       [&] { return std::move(GroupByAgg(agg_in, group_cols, aggs)).value(); }});
+  ops.push_back({"sort", kAggRows, /*enforce_floor=*/false,
+                 [&] { return rowref::SortBy(agg_in, sort_cols); },
+                 [&] { return SortBy(agg_in, sort_cols); }});
+
+  PrintHeader("Columnar vs row data plane",
+              "wall-clock ms (min of 3); columnar output bit-checked against "
+              "the row reference");
+  PrintRow({"op", "rows", "threads", "row_ms", "col_ms", "speedup"});
+
+  BenchJsonWriter json;
+  bool ok = true;
+  for (const BenchOp& op : ops) {
+    for (int threads : {1, kMaxThreads}) {
+      ScopedParallelThreads width(threads);
+      Table row_result;
+      Table col_result;
+      const double row_ms = MinWallMs(3, op.row, &row_result);
+      const double col_ms = MinWallMs(3, op.col, &col_result);
+      if (!Table::Identical(row_result, col_result)) {
+        std::fprintf(stderr,
+                     "FATAL: %s columnar output diverges from the row "
+                     "reference at %d threads\n",
+                     op.name.c_str(), threads);
+        ok = false;
+      }
+      const double speedup = row_ms / col_ms;
+      if (op.enforce_floor && threads == 1 && speedup < kSpeedupFloor) {
+        std::fprintf(stderr,
+                     "FATAL: %s single-threaded columnar speedup %.2fx is "
+                     "below the %.1fx floor\n",
+                     op.name.c_str(), speedup, kSpeedupFloor);
+        ok = false;
+      }
+      json.Add(op.name + "_row", op.rows, threads, row_ms);
+      json.Add(op.name + "_columnar", op.rows, threads, col_ms);
+      PrintRow({op.name, std::to_string(op.rows), std::to_string(threads),
+                Fmt(row_ms, "%.2f"), Fmt(col_ms, "%.2f"),
+                Fmt(speedup, "%.2fx")});
+    }
+  }
+
+  const std::string json_path = "BENCH_columnar.json";
+  if (!json.WriteTo(json_path)) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s, pool spawned %d worker thread(s)\n",
+              json_path.c_str(), TaskPool::Global().num_workers());
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace musketeer
+
+int main() { return musketeer::RunAll(); }

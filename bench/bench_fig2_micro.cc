@@ -76,8 +76,8 @@ void RunJoin() {
   // against the vertex set. Model it by joining against a 1-in-50 edge
   // subset (~1.4M nominal rows).
   auto edge_subset = std::make_shared<Table>(lj.edges->schema());
-  for (size_t i = 0; i < lj.edges->rows().size(); i += 50) {
-    edge_subset->AddRow(lj.edges->rows()[i]);
+  for (size_t i = 0; i < lj.edges->num_rows(); i += 50) {
+    edge_subset->AppendRowFrom(*lj.edges, i);
   }
   edge_subset->set_scale(lj.edges->scale());
 

@@ -71,7 +71,7 @@ int main() {
       checksum = 0;
       auto out = result->outputs.find("pagerank");
       if (out != result->outputs.end()) {
-        for (const Row& r : out->second->rows()) {
+        for (const Row& r : out->second->MaterializeRows()) {
           checksum += AsDouble(r[1]);
         }
       }

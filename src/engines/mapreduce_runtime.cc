@@ -1,7 +1,6 @@
 #include "src/engines/mapreduce_runtime.h"
 
 #include <algorithm>
-#include <iterator>
 #include <unordered_map>
 
 #include "src/backends/job.h"
@@ -14,72 +13,71 @@ namespace {
 
 // ---- task plumbing ---------------------------------------------------------
 
-// Contiguous input splits, one per map task.
-std::vector<std::vector<Row>> SplitRows(const std::vector<Row>& rows, int n) {
-  std::vector<std::vector<Row>> splits;
+// Contiguous input splits, one per map task (column slices, no row copies of
+// variant cells).
+std::vector<Table> SplitTable(const Table& in, int n) {
+  std::vector<Table> splits;
   n = std::max(1, n);
-  size_t per = (rows.size() + n - 1) / std::max<size_t>(1, n);
+  size_t per = (in.num_rows() + n - 1) / std::max<size_t>(1, n);
   per = std::max<size_t>(per, 1);
-  for (size_t start = 0; start < rows.size(); start += per) {
-    size_t end = std::min(rows.size(), start + per);
-    splits.emplace_back(rows.begin() + start, rows.begin() + end);
+  for (size_t start = 0; start < in.num_rows(); start += per) {
+    size_t end = std::min(in.num_rows(), start + per);
+    splits.push_back(in.Slice(start, end));
   }
   if (splits.empty()) {
-    splits.emplace_back();
+    splits.emplace_back(in.schema());
   }
   return splits;
 }
 
-int PartitionOf(const Row& row, const std::vector<int>& key_cols, int reducers) {
-  size_t h = 0x9e3779b97f4a7c15ULL;
+int PartitionOf(const Table& t, size_t row, const std::vector<int>& key_cols,
+                int reducers) {
   if (key_cols.empty()) {
     return 0;  // global operators gather on one reducer
   }
-  for (int c : key_cols) {
-    h ^= HashValue(row[c]) + 0x9e3779b9 + (h << 6) + (h >> 2);
-  }
-  return static_cast<int>(h % static_cast<size_t>(reducers));
+  return static_cast<int>(HashRow(t, row, key_cols) %
+                          static_cast<size_t>(reducers));
 }
 
-// Runs the map phase of one input: splits rows, applies `map_fn` per split
-// (fused row-wise work happens inside), and scatters output rows to reducer
-// buckets by key hash. Map tasks run in parallel on the shared task pool;
-// each scatters into task-private buckets which are concatenated in split
-// order, so bucket contents are identical to the sequential execution.
+// Runs the map phase of one input: splits the table, applies `map_fn` per
+// split (fused row-wise work happens inside), and scatters output rows to
+// reducer buckets by key hash. Map tasks run in parallel on the shared task
+// pool; each scatters into task-private buckets which are concatenated in
+// split order, so bucket contents are identical to the sequential execution.
 // `combined_records` is the task's combiner-output delta (stats are
 // aggregated by the caller after the parallel phase).
-using SplitFn = std::function<StatusOr<std::vector<Row>>(
-    std::vector<Row> split, int64_t* combined_records)>;
+using SplitFn =
+    std::function<StatusOr<Table>(Table split, int64_t* combined_records)>;
 
 struct ShuffleBuckets {
-  // buckets[reducer] = rows destined for that reduce task.
-  std::vector<std::vector<Row>> buckets;
+  // buckets[reducer] = rows destined for that reduce task. Every bucket
+  // carries the mapped schema even when empty.
+  std::vector<Table> buckets;
 };
 
-Status MapAndScatter(const std::vector<Row>& input, int num_mappers,
-                     int num_reducers, const std::vector<int>& key_cols,
-                     const SplitFn& map_fn, ShuffleBuckets* out,
-                     MapReduceStats* stats) {
-  std::vector<std::vector<Row>> splits = SplitRows(input, num_mappers);
+Status MapAndScatter(const Table& input, int num_mappers, int num_reducers,
+                     const std::vector<int>& key_cols, const SplitFn& map_fn,
+                     ShuffleBuckets* out, MapReduceStats* stats) {
+  std::vector<Table> splits = SplitTable(input, num_mappers);
   struct MapTaskOut {
     Status status;
-    std::vector<std::vector<Row>> buckets;
+    std::vector<Table> buckets;
     int64_t map_output = 0;
     int64_t combined = 0;
   };
   std::vector<MapTaskOut> tasks(splits.size());
   ParallelChunks(splits.size(), 1, [&](size_t t, size_t, size_t) {
     MapTaskOut& o = tasks[t];
-    StatusOr<std::vector<Row>> mapped = map_fn(std::move(splits[t]), &o.combined);
+    StatusOr<Table> mapped = map_fn(std::move(splits[t]), &o.combined);
     if (!mapped.ok()) {
       o.status = mapped.status();
       return;
     }
-    o.map_output = static_cast<int64_t>(mapped->size());
-    o.buckets.resize(num_reducers);
-    for (Row& row : *mapped) {
-      o.buckets[PartitionOf(row, key_cols, num_reducers)].push_back(
-          std::move(row));
+    o.map_output = static_cast<int64_t>(mapped->num_rows());
+    o.buckets.assign(num_reducers, Table(mapped->schema()));
+    for (size_t i = 0; i < mapped->num_rows(); ++i) {
+      o.buckets[PartitionOf(*mapped, i, key_cols, num_reducers)].AppendRowFrom(
+          *mapped, i);
     }
   });
   out->buckets.resize(num_reducers);
@@ -89,14 +87,11 @@ Status MapAndScatter(const std::vector<Row>& input, int num_mappers,
     stats->map_output_records += o.map_output;
     stats->combined_output_records += o.combined;
     for (int r = 0; r < num_reducers; ++r) {
-      std::vector<Row>& dst = out->buckets[r];
-      std::vector<Row>& src = o.buckets[r];
-      dst.insert(dst.end(), std::make_move_iterator(src.begin()),
-                 std::make_move_iterator(src.end()));
+      out->buckets[r].AppendTable(std::move(o.buckets[r]));
     }
   }
-  for (const auto& b : out->buckets) {
-    stats->shuffled_records += static_cast<int64_t>(b.size());
+  for (const Table& b : out->buckets) {
+    stats->shuffled_records += static_cast<int64_t>(b.num_rows());
   }
   return OkStatus();
 }
@@ -159,8 +154,10 @@ StatusOr<CombinerPlan> PlanCombiner(const std::vector<int>& group_cols,
 }
 
 // Merges combined partial rows on the reduce side into the final schema
-// produced by the reference GroupByAgg.
-StatusOr<Table> FinalizeCombined(const std::vector<Row>& partial_rows,
+// produced by the reference GroupByAgg. Group keys are materialized to
+// row-of-variants keys: partial tables are tiny (one row per distinct group
+// per map task), so the compatibility path costs nothing measurable.
+StatusOr<Table> FinalizeCombined(const Table& partial_rows,
                                  const CombinerPlan& plan,
                                  const Schema& out_schema, size_t num_group) {
   struct Acc {
@@ -171,8 +168,12 @@ StatusOr<Table> FinalizeCombined(const std::vector<Row>& partial_rows,
   };
   size_t num_partial = plan.partial.size();
   std::unordered_map<Row, Acc, RowHash, RowEq> groups;
-  for (const Row& row : partial_rows) {
-    Row key(row.begin(), row.begin() + num_group);
+  for (size_t i = 0; i < partial_rows.num_rows(); ++i) {
+    Row key;
+    key.reserve(num_group);
+    for (size_t c = 0; c < num_group; ++c) {
+      key.push_back(partial_rows.ValueAt(i, c));
+    }
     Acc& acc = groups[key];
     if (acc.sums.empty()) {
       acc.group = key;
@@ -181,7 +182,7 @@ StatusOr<Table> FinalizeCombined(const std::vector<Row>& partial_rows,
       acc.maxs.assign(num_partial, -1e300);
     }
     for (size_t j = 0; j < num_partial; ++j) {
-      double v = AsDouble(row[num_group + j]);
+      double v = AsDouble(partial_rows.ValueAt(i, num_group + j));
       acc.sums[j] += v;  // SUM/COUNT partials merge by summation
       acc.mins[j] = std::min(acc.mins[j], v);
       acc.maxs[j] = std::max(acc.maxs[j], v);
@@ -216,7 +217,7 @@ StatusOr<Table> FinalizeCombined(const std::vector<Row>& partial_rows,
         row.push_back(v);
       }
     }
-    out.AddRow(std::move(row));
+    out.AddRow(row);
   }
   return out;
 }
@@ -342,17 +343,15 @@ class MapReduceRuntime {
       stats_->map_tasks += 2;
       return EvaluateOperator(node, inputs);
     }
-    std::vector<std::vector<Row>> splits =
-        SplitRows(inputs[0]->rows(), options_.num_mappers);
+    std::vector<Table> splits = SplitTable(*inputs[0], options_.num_mappers);
     struct TaskOut {
       Status status;
       Table table;
     };
     std::vector<TaskOut> parts(splits.size());
     ParallelChunks(splits.size(), 1, [&](size_t t, size_t, size_t) {
-      Table split_table(inputs[0]->schema(), std::move(splits[t]));
-      split_table.set_scale(inputs[0]->scale());
-      StatusOr<Table> part = EvaluateOperator(node, {&split_table});
+      splits[t].set_scale(inputs[0]->scale());
+      StatusOr<Table> part = EvaluateOperator(node, {&splits[t]});
       if (part.ok()) {
         parts[t].table = std::move(*part);
       } else {
@@ -360,15 +359,10 @@ class MapReduceRuntime {
       }
     });
     Table out;
-    bool first = true;
     for (TaskOut& t : parts) {
       MUSKETEER_RETURN_IF_ERROR(t.status);
       ++stats_->map_tasks;
-      if (first) {
-        out = Table(t.table.schema());
-        first = false;
-      }
-      out.AppendRows(std::move(*t.table.mutable_rows()));
+      out.AppendTable(std::move(t.table));
     }
     return out;
   }
@@ -410,20 +404,18 @@ class MapReduceRuntime {
       // Plain path: scatter raw rows by group key, reduce with the kernel.
       ShuffleBuckets buckets;
       MUSKETEER_RETURN_IF_ERROR(MapAndScatter(
-          in.rows(), options_.num_mappers, options_.num_reducers, group_cols,
-          [](std::vector<Row> split, int64_t*) { return split; }, &buckets,
-          stats_));
+          in, options_.num_mappers, options_.num_reducers, group_cols,
+          [](Table split, int64_t*) { return split; }, &buckets, stats_));
       struct ReduceOut {
         Status status;
         Table table;
       };
       std::vector<ReduceOut> parts(buckets.buckets.size());
       ParallelChunks(buckets.buckets.size(), 1, [&](size_t r, size_t, size_t) {
-        if (buckets.buckets[r].empty()) {
+        if (buckets.buckets[r].num_rows() == 0) {
           return;  // empty partitions contribute nothing
         }
-        Table part_in(in.schema(), std::move(buckets.buckets[r]));
-        StatusOr<Table> part = EvaluateOperator(node, {&part_in});
+        StatusOr<Table> part = EvaluateOperator(node, {&buckets.buckets[r]});
         if (part.ok()) {
           parts[r].table = std::move(*part);
         } else {
@@ -434,7 +426,7 @@ class MapReduceRuntime {
       for (ReduceOut& r : parts) {
         ++stats_->reduce_tasks;
         MUSKETEER_RETURN_IF_ERROR(r.status);
-        out.AppendRows(std::move(*r.table.mutable_rows()));
+        out.AppendTable(std::move(r.table));
       }
       if (group_cols.empty() && out.num_rows() == 0) {
         return EvaluateOperator(node, {&in});  // global agg over empty input
@@ -451,19 +443,16 @@ class MapReduceRuntime {
       partial_key_cols[i] = static_cast<int>(i);
     }
     ShuffleBuckets buckets;
-    Schema in_schema = in.schema();
     MUSKETEER_RETURN_IF_ERROR(MapAndScatter(
-        in.rows(), options_.num_mappers, options_.num_reducers, partial_key_cols,
-        [&](std::vector<Row> split,
-            int64_t* combined) -> StatusOr<std::vector<Row>> {
-          if (split.empty()) {
-            return std::vector<Row>{};
+        in, options_.num_mappers, options_.num_reducers, partial_key_cols,
+        [&](Table split, int64_t* combined) -> StatusOr<Table> {
+          if (split.num_rows() == 0) {
+            return Table(split.schema());
           }
-          Table split_table(in_schema, std::move(split));
-          MUSKETEER_ASSIGN_OR_RETURN(
-              Table partial, GroupByAgg(split_table, group_cols, plan.partial));
+          MUSKETEER_ASSIGN_OR_RETURN(Table partial,
+                                     GroupByAgg(split, group_cols, plan.partial));
           *combined += static_cast<int64_t>(partial.num_rows());
-          return *partial.mutable_rows();
+          return partial;
         },
         &buckets, stats_));
 
@@ -473,7 +462,7 @@ class MapReduceRuntime {
     };
     std::vector<ReduceOut> parts(buckets.buckets.size());
     ParallelChunks(buckets.buckets.size(), 1, [&](size_t r, size_t, size_t) {
-      if (buckets.buckets[r].empty()) {
+      if (buckets.buckets[r].num_rows() == 0) {
         return;
       }
       StatusOr<Table> part = FinalizeCombined(buckets.buckets[r], plan,
@@ -488,7 +477,7 @@ class MapReduceRuntime {
     for (ReduceOut& r : parts) {
       ++stats_->reduce_tasks;
       MUSKETEER_RETURN_IF_ERROR(r.status);
-      out.AppendRows(std::move(*r.table.mutable_rows()));
+      out.AppendTable(std::move(r.table));
     }
     if (group_cols.empty() && out.num_rows() == 0) {
       return EvaluateOperator(node, {&in});
@@ -507,20 +496,19 @@ class MapReduceRuntime {
     ShuffleBuckets lbuckets;
     ShuffleBuckets rbuckets;
     MUSKETEER_RETURN_IF_ERROR(MapAndScatter(
-        left.rows(), options_.num_mappers, options_.num_reducers, {*li},
-        [](std::vector<Row> s, int64_t*) { return s; }, &lbuckets, stats_));
+        left, options_.num_mappers, options_.num_reducers, {*li},
+        [](Table s, int64_t*) { return s; }, &lbuckets, stats_));
     MUSKETEER_RETURN_IF_ERROR(MapAndScatter(
-        right.rows(), options_.num_mappers, options_.num_reducers, {*ri},
-        [](std::vector<Row> s, int64_t*) { return s; }, &rbuckets, stats_));
+        right, options_.num_mappers, options_.num_reducers, {*ri},
+        [](Table s, int64_t*) { return s; }, &rbuckets, stats_));
     struct ReduceOut {
       Status status;
       Table table;
     };
     std::vector<ReduceOut> parts(options_.num_reducers);
     ParallelChunks(parts.size(), 1, [&](size_t r, size_t, size_t) {
-      Table l(left.schema(), std::move(lbuckets.buckets[r]));
-      Table rt(right.schema(), std::move(rbuckets.buckets[r]));
-      StatusOr<Table> part = HashJoin(l, rt, *li, *ri);
+      StatusOr<Table> part =
+          HashJoin(lbuckets.buckets[r], rbuckets.buckets[r], *li, *ri);
       if (part.ok()) {
         parts[r].table = std::move(*part);
       } else {
@@ -528,15 +516,10 @@ class MapReduceRuntime {
       }
     });
     Table out;
-    bool first = true;
     for (ReduceOut& r : parts) {
       ++stats_->reduce_tasks;
       MUSKETEER_RETURN_IF_ERROR(r.status);
-      if (first) {
-        out = Table(r.table.schema());
-        first = false;
-      }
-      out.AppendRows(std::move(*r.table.mutable_rows()));
+      out.AppendTable(std::move(r.table));
     }
     return out;
   }
@@ -555,9 +538,8 @@ class MapReduceRuntime {
         return InvalidArgumentError("set-operation arity mismatch");
       }
       MUSKETEER_RETURN_IF_ERROR(MapAndScatter(
-          inputs[i]->rows(), options_.num_mappers, options_.num_reducers,
-          key_cols, [](std::vector<Row> s, int64_t*) { return s; }, &buckets[i],
-          stats_));
+          *inputs[i], options_.num_mappers, options_.num_reducers, key_cols,
+          [](Table s, int64_t*) { return s; }, &buckets[i], stats_));
     }
     struct ReduceOut {
       Status status;
@@ -565,13 +547,9 @@ class MapReduceRuntime {
     };
     std::vector<ReduceOut> results(options_.num_reducers);
     ParallelChunks(results.size(), 1, [&](size_t r, size_t, size_t) {
-      std::vector<Table> parts;
       std::vector<const Table*> part_ptrs;
       for (size_t i = 0; i < inputs.size(); ++i) {
-        parts.emplace_back(inputs[i]->schema(), std::move(buckets[i].buckets[r]));
-      }
-      for (const Table& t : parts) {
-        part_ptrs.push_back(&t);
+        part_ptrs.push_back(&buckets[i].buckets[r]);
       }
       StatusOr<Table> part = EvaluateOperator(node, part_ptrs);
       if (part.ok()) {
@@ -584,7 +562,7 @@ class MapReduceRuntime {
     for (ReduceOut& r : results) {
       ++stats_->reduce_tasks;
       MUSKETEER_RETURN_IF_ERROR(r.status);
-      out.AppendRows(std::move(*r.table.mutable_rows()));
+      out.AppendTable(std::move(r.table));
     }
     return out;
   }
@@ -596,19 +574,17 @@ class MapReduceRuntime {
     bool pre_reducible = node.kind == OpKind::kMax || node.kind == OpKind::kMin ||
                          node.kind == OpKind::kTopN;
     if (pre_reducible && options_.use_combiners) {
-      std::vector<std::vector<Row>> splits =
-          SplitRows(inputs[0]->rows(), options_.num_mappers);
+      std::vector<Table> splits = SplitTable(*inputs[0], options_.num_mappers);
       struct TaskOut {
         Status status;
         Table table;
       };
       std::vector<TaskOut> parts(splits.size());
       ParallelChunks(splits.size(), 1, [&](size_t t, size_t, size_t) {
-        Table split_table(inputs[0]->schema(), std::move(splits[t]));
-        if (split_table.num_rows() == 0) {
+        if (splits[t].num_rows() == 0) {
           return;
         }
-        StatusOr<Table> part = EvaluateOperator(node, {&split_table});
+        StatusOr<Table> part = EvaluateOperator(node, {&splits[t]});
         if (part.ok()) {
           parts[t].table = std::move(*part);
         } else {
@@ -621,7 +597,7 @@ class MapReduceRuntime {
         MUSKETEER_RETURN_IF_ERROR(t.status);
         stats_->combined_output_records +=
             static_cast<int64_t>(t.table.num_rows());
-        gathered.AppendRows(std::move(*t.table.mutable_rows()));
+        gathered.AppendTable(std::move(t.table));
       }
       ++stats_->reduce_tasks;
       stats_->shuffled_records += static_cast<int64_t>(gathered.num_rows());

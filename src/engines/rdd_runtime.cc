@@ -1,7 +1,6 @@
 #include "src/engines/rdd_runtime.h"
 
 #include <algorithm>
-#include <iterator>
 
 #include "src/backends/job.h"
 #include "src/base/parallel.h"
@@ -11,16 +10,18 @@ namespace musketeer {
 
 namespace {
 
-// An in-memory partitioned dataset.
+// An in-memory partitioned dataset. Each partition is a columnar Table
+// sharing the dataset schema (possibly with different field names after a
+// UNION, but always the same column types).
 struct Rdd {
   Schema schema;
-  std::vector<std::vector<Row>> partitions;
+  std::vector<Table> partitions;
   double scale = 1.0;
 
   size_t TotalRows() const {
     size_t n = 0;
-    for (const auto& p : partitions) {
-      n += p.size();
+    for (const Table& p : partitions) {
+      n += p.num_rows();
     }
     return n;
   }
@@ -30,10 +31,9 @@ Rdd Parallelize(const Table& table, int num_partitions) {
   Rdd rdd;
   rdd.schema = table.schema();
   rdd.scale = table.scale();
-  rdd.partitions.resize(std::max(1, num_partitions));
-  size_t i = 0;
-  for (const Row& row : table.rows()) {
-    rdd.partitions[i++ % rdd.partitions.size()].push_back(row);
+  rdd.partitions.assign(std::max(1, num_partitions), Table(table.schema()));
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    rdd.partitions[i % rdd.partitions.size()].AppendRowFrom(table, i);
   }
   return rdd;
 }
@@ -41,21 +41,10 @@ Rdd Parallelize(const Table& table, int num_partitions) {
 Table Collect(const Rdd& rdd) {
   Table out(rdd.schema);
   out.set_scale(rdd.scale);
-  out.Reserve(rdd.TotalRows());
-  for (const auto& partition : rdd.partitions) {
-    for (const Row& row : partition) {
-      out.AddRow(row);
-    }
+  for (const Table& partition : rdd.partitions) {
+    out.AppendTableCopy(partition);
   }
   return out;
-}
-
-size_t KeyHash(const Row& row, const std::vector<int>& cols) {
-  size_t h = 0x9e3779b97f4a7c15ULL;
-  for (int c : cols) {
-    h ^= HashValue(row[c]) + 0x9e3779b9 + (h << 6) + (h >> 2);
-  }
-  return h;
 }
 
 class RddRuntime {
@@ -193,23 +182,20 @@ class RddRuntime {
     Rdd out;
     out.partitions.resize(in.partitions.size());
     std::vector<Status> statuses(in.partitions.size());
-    std::vector<Schema> schemas(in.partitions.size());
     ParallelChunks(in.partitions.size(), 1, [&](size_t i, size_t, size_t) {
-      Table part(in.schema, in.partitions[i]);
-      StatusOr<Table> result = EvaluateOperator(node, {&part});
+      StatusOr<Table> result = EvaluateOperator(node, {&in.partitions[i]});
       if (!result.ok()) {
         statuses[i] = result.status();
         return;
       }
-      schemas[i] = result->schema();
-      out.partitions[i] = std::move(*result->mutable_rows());
+      out.partitions[i] = std::move(*result);
     });
     for (const Status& s : statuses) {
       MUSKETEER_RETURN_IF_ERROR(s);
     }
     stats_->narrow_tasks += static_cast<int>(in.partitions.size());
-    if (!schemas.empty()) {
-      out.schema = schemas[0];
+    if (!out.partitions.empty()) {
+      out.schema = out.partitions[0].schema();
     }
     return out;
   }
@@ -221,8 +207,33 @@ class RddRuntime {
     Rdd out;
     out.schema = a.schema;
     out.partitions = a.partitions;
-    out.partitions.insert(out.partitions.end(), b.partitions.begin(),
-                          b.partitions.end());
+    for (const Table& bp : b.partitions) {
+      // Keep b partitions column-compatible with a's schema: same-typed
+      // columns concatenate untouched; mixed numeric columns coerce cell-wise
+      // (the UnionAll kernel's rule); string/numeric mismatch is an error.
+      bool same_types = true;
+      for (size_t c = 0; c < a.schema.num_fields(); ++c) {
+        FieldType at = a.schema.field(c).type;
+        FieldType bt = bp.schema().field(c).type;
+        if (at != bt) {
+          same_types = false;
+          if ((at == FieldType::kString) != (bt == FieldType::kString)) {
+            return InvalidArgumentError("UNION type mismatch on column " +
+                                        std::to_string(c));
+          }
+        }
+      }
+      if (same_types) {
+        out.partitions.push_back(bp);
+      } else {
+        Table coerced(a.schema);
+        coerced.Reserve(bp.num_rows());
+        for (size_t i = 0; i < bp.num_rows(); ++i) {
+          coerced.AddRow(bp.MaterializeRow(i));
+        }
+        out.partitions.push_back(std::move(coerced));
+      }
+    }
     stats_->narrow_tasks += static_cast<int>(out.partitions.size());
     return out;
   }
@@ -243,26 +254,25 @@ class RddRuntime {
   // Hash-repartitions `in` by `cols` into p_ partitions. Source partitions
   // scatter in parallel into source-private buckets, concatenated in source
   // order — identical bucket contents to the sequential scatter.
-  std::vector<std::vector<Row>> Repartition(const Rdd& in,
-                                            const std::vector<int>& cols) {
+  std::vector<Table> Repartition(const Rdd& in, const std::vector<int>& cols) {
     ++stats_->wide_stages;
-    std::vector<std::vector<std::vector<Row>>> scattered(in.partitions.size());
+    std::vector<std::vector<Table>> scattered(in.partitions.size());
     ParallelChunks(in.partitions.size(), 1, [&](size_t i, size_t, size_t) {
-      std::vector<std::vector<Row>>& buckets = scattered[i];
-      buckets.resize(p_);
-      for (const Row& row : in.partitions[i]) {
-        buckets[KeyHash(row, cols) % static_cast<size_t>(p_)].push_back(row);
+      const Table& src = in.partitions[i];
+      std::vector<Table>& buckets = scattered[i];
+      buckets.assign(p_, Table(src.schema()));
+      for (size_t row = 0; row < src.num_rows(); ++row) {
+        buckets[HashRow(src, row, cols) % static_cast<size_t>(p_)]
+            .AppendRowFrom(src, row);
       }
     });
-    std::vector<std::vector<Row>> out(p_);
+    std::vector<Table> out(p_);
     for (size_t i = 0; i < scattered.size(); ++i) {
       for (int b = 0; b < p_; ++b) {
-        std::vector<Row>& src = scattered[i][b];
-        out[b].insert(out[b].end(), std::make_move_iterator(src.begin()),
-                      std::make_move_iterator(src.end()));
+        out[b].AppendTable(std::move(scattered[i][b]));
       }
       stats_->shuffled_records +=
-          static_cast<int64_t>(in.partitions[i].size());
+          static_cast<int64_t>(in.partitions[i].num_rows());
     }
     return out;
   }
@@ -287,35 +297,29 @@ class RddRuntime {
       MUSKETEER_ASSIGN_OR_RETURN(Table out, EvaluateOperator(node, ptrs));
       return Parallelize(out, 1);
     }
-    std::vector<std::vector<std::vector<Row>>> parts;
+    std::vector<std::vector<Table>> parts;
     for (const Rdd* r : inputs) {
       parts.push_back(Repartition(*r, key_cols));
     }
     Rdd out;
     out.partitions.resize(p_);
     std::vector<Status> statuses(p_);
-    std::vector<Schema> schemas(p_);
     ParallelChunks(p_, 1, [&](size_t i, size_t, size_t) {
-      std::vector<Table> tables;
       std::vector<const Table*> ptrs;
       for (size_t j = 0; j < inputs.size(); ++j) {
-        tables.emplace_back(inputs[j]->schema, std::move(parts[j][i]));
-      }
-      for (const Table& t : tables) {
-        ptrs.push_back(&t);
+        ptrs.push_back(&parts[j][i]);
       }
       StatusOr<Table> result = EvaluateOperator(node, ptrs);
       if (!result.ok()) {
         statuses[i] = result.status();
         return;
       }
-      schemas[i] = result->schema();
-      out.partitions[i] = std::move(*result->mutable_rows());
+      out.partitions[i] = std::move(*result);
     });
     for (const Status& s : statuses) {
       MUSKETEER_RETURN_IF_ERROR(s);
     }
-    out.schema = schemas[0];
+    out.schema = out.partitions[0].schema();
     return out;
   }
 
@@ -327,29 +331,23 @@ class RddRuntime {
     if (!li.has_value() || !ri.has_value()) {
       return InvalidArgumentError("JOIN key missing in RDD stage");
     }
-    std::vector<std::vector<Row>> lparts =
-        Repartition(left, {*li});
-    std::vector<std::vector<Row>> rparts =
-        Repartition(right, {*ri});
+    std::vector<Table> lparts = Repartition(left, {*li});
+    std::vector<Table> rparts = Repartition(right, {*ri});
     Rdd out;
     out.partitions.resize(p_);
     std::vector<Status> statuses(p_);
-    std::vector<Schema> schemas(p_);
     ParallelChunks(p_, 1, [&](size_t i, size_t, size_t) {
-      Table l(left.schema, std::move(lparts[i]));
-      Table r(right.schema, std::move(rparts[i]));
-      StatusOr<Table> result = HashJoin(l, r, *li, *ri);
+      StatusOr<Table> result = HashJoin(lparts[i], rparts[i], *li, *ri);
       if (!result.ok()) {
         statuses[i] = result.status();
         return;
       }
-      schemas[i] = result->schema();
-      out.partitions[i] = std::move(*result->mutable_rows());
+      out.partitions[i] = std::move(*result);
     });
     for (const Status& s : statuses) {
       MUSKETEER_RETURN_IF_ERROR(s);
     }
-    out.schema = schemas[0];
+    out.schema = out.partitions[0].schema();
     return out;
   }
 

@@ -36,8 +36,8 @@ class TimelyGraph {
         if (it == relations_.end()) {
           return NotFoundError("base relation '" + p.relation + "' not provided");
         }
-        for (const Row& row : it->second->rows()) {
-          MUSKETEER_RETURN_IF_ERROR(Fanout(node.id, row));
+        for (size_t i = 0; i < it->second->num_rows(); ++i) {
+          MUSKETEER_RETURN_IF_ERROR(Fanout(node.id, it->second->MaterializeRow(i)));
         }
         MUSKETEER_RETURN_IF_ERROR(NotifyDownstream(node.id));
         ops_[node.id].collected = nullptr;  // inputs pass through untouched
@@ -245,9 +245,10 @@ class TimelyGraph {
         inputs.push_back(&t);
       }
       MUSKETEER_ASSIGN_OR_RETURN(Table result, EvaluateOperator(node, inputs));
-      for (Row& row : *result.mutable_rows()) {
+      for (size_t i = 0; i < result.num_rows(); ++i) {
+        Row row = result.MaterializeRow(i);
         MUSKETEER_RETURN_IF_ERROR(Fanout(node_id, row));
-        op.collected->AddRow(std::move(row));
+        op.collected->AddRow(row);
       }
     }
     return NotifyDownstream(node_id);
@@ -285,8 +286,8 @@ class TimelyGraph {
     }
     TablePtr result = iter_out.at(wp.result);
     // Egress: stream the loop result onward.
-    for (const Row& row : result->rows()) {
-      MUSKETEER_RETURN_IF_ERROR(Fanout(node.id, row));
+    for (size_t i = 0; i < result->num_rows(); ++i) {
+      MUSKETEER_RETURN_IF_ERROR(Fanout(node.id, result->MaterializeRow(i)));
     }
     MUSKETEER_RETURN_IF_ERROR(NotifyDownstream(node.id));
     op.collected = nullptr;

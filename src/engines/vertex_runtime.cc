@@ -272,7 +272,10 @@ struct Gathered {
 StatusOr<Table> RunSupersteps(const VertexProgram& program, const Table& vertices,
                               const Table& edges, int64_t iterations,
                               bool until_fixpoint, VertexRuntimeStats* stats) {
-  std::vector<Row> state = vertices.rows();
+  std::vector<Row> state = vertices.MaterializeRows();
+  // The vertex program is row-at-a-time (compiled RowProjectors); edges are
+  // loop-invariant, so materialize them once outside the supersteps.
+  const std::vector<Row> erows = edges.MaterializeRows();
 
   for (int64_t iter = 0; iter < iterations; ++iter) {
     ++stats->supersteps;
@@ -288,7 +291,6 @@ StatusOr<Table> RunSupersteps(const VertexProgram& program, const Table& vertice
     // the per-destination accumulators then merge in chunk order, a fixed
     // tree independent of the thread count.
     using Inbox = std::unordered_map<Value, Gathered, ValueHash, ValueEq>;
-    const std::vector<Row>& erows = edges.rows();
     auto chunk_inboxes = ParallelMapChunks<std::pair<Inbox, int64_t>>(
         erows.size(), kMorselRows,
         [&](size_t, size_t begin, size_t end) {

@@ -50,9 +50,11 @@ StatusOr<Table> EvaluateOperator(const OperatorNode& node,
                            " must be handled by the DAG executor");
     case OpKind::kSelect: {
       const auto& p = std::get<SelectParams>(node.params);
-      MUSKETEER_ASSIGN_OR_RETURN(RowPredicate pred,
-                                 p.condition->CompilePredicate(inputs[0]->schema()));
-      return SelectRows(*inputs[0], pred);
+      // Column-at-a-time predicate evaluation over the batch-compiled
+      // expression; rows with a truthy mask cell are gathered.
+      MUSKETEER_ASSIGN_OR_RETURN(BatchEval pred,
+                                 p.condition->CompileBatch(inputs[0]->schema()));
+      return SelectRowsBatch(*inputs[0], pred);
     }
     case OpKind::kProject: {
       const auto& p = std::get<ProjectParams>(node.params);
@@ -70,22 +72,35 @@ StatusOr<Table> EvaluateOperator(const OperatorNode& node,
     case OpKind::kMap: {
       const auto& p = std::get<MapParams>(node.params);
       Schema out_schema;
-      std::vector<RowProjector> projectors;
+      std::vector<BatchEval> exprs;
       for (const NamedExpr& ne : p.outputs) {
         MUSKETEER_ASSIGN_OR_RETURN(FieldType t, ne.expr->InferType(inputs[0]->schema()));
         out_schema.AddField({ne.name, t});
-        MUSKETEER_ASSIGN_OR_RETURN(RowProjector proj,
-                                   ne.expr->Compile(inputs[0]->schema()));
+        MUSKETEER_ASSIGN_OR_RETURN(BatchEval eval,
+                                   ne.expr->CompileBatch(inputs[0]->schema()));
         // Coerce to the inferred type so downstream type checks hold even
-        // when a mixed int/double expression evaluates integral.
+        // when a mixed int/double expression evaluates integral. (CompileBatch
+        // output type equals InferType, so only int64 → double widening can
+        // be needed here.)
         if (t == FieldType::kDouble) {
-          projectors.emplace_back(
-              [proj](const Row& row) -> Value { return AsDouble(proj(row)); });
+          exprs.emplace_back([eval](const Table& in, size_t begin,
+                                    size_t end) -> Column {
+            Column c = eval(in, begin, end);
+            if (c.type() != FieldType::kInt64) {
+              return c;
+            }
+            Column out(FieldType::kDouble);
+            std::vector<double>& v = *out.mutable_doubles();
+            const std::vector<int64_t>& iv = c.ints();
+            v.reserve(iv.size());
+            for (int64_t x : iv) v.push_back(static_cast<double>(x));
+            return out;
+          });
         } else {
-          projectors.push_back(proj);
+          exprs.push_back(eval);
         }
       }
-      return MapRows(*inputs[0], out_schema, projectors);
+      return MapRowsBatch(*inputs[0], out_schema, exprs);
     }
     case OpKind::kJoin: {
       const auto& p = std::get<JoinParams>(node.params);

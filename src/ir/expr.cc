@@ -23,9 +23,9 @@ Value EvalBinary(BinOp op, const Value& a, const Value& b) {
     case BinOp::kGe:
       return boolean(CompareValues(a, b) >= 0);
     case BinOp::kAnd:
-      return boolean(AsDouble(a) != 0 && AsDouble(b) != 0);
+      return boolean(IsTruthy(a) && IsTruthy(b));
     case BinOp::kOr:
-      return boolean(AsDouble(a) != 0 || AsDouble(b) != 0);
+      return boolean(IsTruthy(a) || IsTruthy(b));
     default:
       break;
   }
@@ -189,7 +189,288 @@ StatusOr<RowProjector> Expr::Compile(const Schema& schema) const {
 
 StatusOr<RowPredicate> Expr::CompilePredicate(const Schema& schema) const {
   MUSKETEER_ASSIGN_OR_RETURN(RowProjector proj, Compile(schema));
-  return RowPredicate([proj](const Row& row) { return AsDouble(proj(row)) != 0; });
+  return RowPredicate([proj](const Row& row) { return IsTruthy(proj(row)); });
+}
+
+namespace {
+
+// A compiled expression tree for batch evaluation: columns resolved to
+// indices, every node annotated with its static result type (the same rules
+// as InferType).
+struct BatchNode {
+  ExprKind kind = ExprKind::kLiteral;
+  FieldType type = FieldType::kInt64;
+  int col = -1;
+  Value literal = static_cast<int64_t>(0);
+  BinOp op = BinOp::kAdd;
+  std::unique_ptr<BatchNode> lhs;
+  std::unique_ptr<BatchNode> rhs;
+};
+
+// A node's evaluation result over rows [begin, end): a borrowed input column
+// (indexed begin+k), an owned column of length end-begin (indexed k), or a
+// scalar (literal subtrees).
+struct EvalOut {
+  const Column* borrowed = nullptr;
+  Column owned;
+  bool is_scalar = false;
+  Value scalar = static_cast<int64_t>(0);
+};
+
+Value EvalOutValueAt(const EvalOut& e, size_t begin, size_t k) {
+  if (e.is_scalar) {
+    return e.scalar;
+  }
+  const Column& c = e.borrowed != nullptr ? *e.borrowed : e.owned;
+  size_t off = e.borrowed != nullptr ? begin : 0;
+  return c.ValueAt(off + k);
+}
+
+// Invokes fn with a `double(size_t k)` accessor over a numeric operand
+// (scalar, borrowed or owned; int64 cells widen like AsDouble).
+template <typename Fn>
+auto WithDoubleAcc(const EvalOut& e, size_t begin, Fn&& fn) {
+  if (e.is_scalar) {
+    double s = AsDouble(e.scalar);
+    return fn([s](size_t) { return s; });
+  }
+  const Column& c = e.borrowed != nullptr ? *e.borrowed : e.owned;
+  size_t off = e.borrowed != nullptr ? begin : 0;
+  if (c.type() == FieldType::kInt64) {
+    const int64_t* p = c.ints().data() + off;
+    return fn([p](size_t k) { return static_cast<double>(p[k]); });
+  }
+  const double* p = c.doubles().data() + off;
+  return fn([p](size_t k) { return p[k]; });
+}
+
+// Invokes fn with an `int64_t(size_t k)` accessor; only valid when the
+// operand's static type is kInt64.
+template <typename Fn>
+auto WithInt64Acc(const EvalOut& e, size_t begin, Fn&& fn) {
+  if (e.is_scalar) {
+    int64_t s = AsInt64(e.scalar);
+    return fn([s](size_t) { return s; });
+  }
+  const Column& c = e.borrowed != nullptr ? *e.borrowed : e.owned;
+  size_t off = e.borrowed != nullptr ? begin : 0;
+  const int64_t* p = c.ints().data() + off;
+  return fn([p](size_t k) { return p[k]; });
+}
+
+bool IsArithmetic(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+EvalOut EvalNode(const BatchNode& n, const Table& t, size_t begin, size_t end);
+
+// kBinary evaluation with typed loops. Semantics mirror EvalBinary exactly:
+// int-int comparisons are exact, mixed comparisons go through the double
+// view, AND/OR use IsTruthy, arithmetic stays integral for int-int non-DIV,
+// DIV by zero yields 0.0. Any string operand takes the per-cell slow path
+// (only comparisons and logic can carry strings past InferType).
+Column EvalBinaryBatch(const BatchNode& n, const EvalOut& l, const EvalOut& r,
+                       size_t begin, size_t end) {
+  const size_t len = end - begin;
+  const FieldType lt = n.lhs->type;
+  const FieldType rt = n.rhs->type;
+
+  if (lt == FieldType::kString || rt == FieldType::kString) {
+    Column out(FieldType::kInt64);
+    std::vector<int64_t>& v = *out.mutable_ints();
+    v.resize(len);
+    for (size_t k = 0; k < len; ++k) {
+      v[k] = AsInt64(EvalBinary(n.op, EvalOutValueAt(l, begin, k),
+                                EvalOutValueAt(r, begin, k)));
+    }
+    return out;
+  }
+
+  const bool both_int = lt == FieldType::kInt64 && rt == FieldType::kInt64;
+
+  if (IsArithmetic(n.op)) {
+    if (both_int && n.op != BinOp::kDiv) {
+      Column out(FieldType::kInt64);
+      std::vector<int64_t>& v = *out.mutable_ints();
+      v.resize(len);
+      WithInt64Acc(l, begin, [&](auto la) {
+        WithInt64Acc(r, begin, [&](auto ra) {
+          switch (n.op) {
+            case BinOp::kAdd:
+              for (size_t k = 0; k < len; ++k) v[k] = la(k) + ra(k);
+              break;
+            case BinOp::kSub:
+              for (size_t k = 0; k < len; ++k) v[k] = la(k) - ra(k);
+              break;
+            default:  // kMul
+              for (size_t k = 0; k < len; ++k) v[k] = la(k) * ra(k);
+              break;
+          }
+        });
+      });
+      return out;
+    }
+    Column out(FieldType::kDouble);
+    std::vector<double>& v = *out.mutable_doubles();
+    v.resize(len);
+    WithDoubleAcc(l, begin, [&](auto la) {
+      WithDoubleAcc(r, begin, [&](auto ra) {
+        switch (n.op) {
+          case BinOp::kAdd:
+            for (size_t k = 0; k < len; ++k) v[k] = la(k) + ra(k);
+            break;
+          case BinOp::kSub:
+            for (size_t k = 0; k < len; ++k) v[k] = la(k) - ra(k);
+            break;
+          case BinOp::kMul:
+            for (size_t k = 0; k < len; ++k) v[k] = la(k) * ra(k);
+            break;
+          default:  // kDiv; division by zero yields 0.0 like EvalBinary
+            for (size_t k = 0; k < len; ++k) {
+              double y = ra(k);
+              v[k] = y == 0 ? 0.0 : la(k) / y;
+            }
+            break;
+        }
+      });
+    });
+    return out;
+  }
+
+  // Comparisons and logic produce an int64 0/1 mask.
+  Column out(FieldType::kInt64);
+  std::vector<int64_t>& v = *out.mutable_ints();
+  v.resize(len);
+  auto fill = [&](auto la, auto ra) {
+    switch (n.op) {
+      case BinOp::kEq:
+        for (size_t k = 0; k < len; ++k) v[k] = la(k) == ra(k) ? 1 : 0;
+        break;
+      case BinOp::kNe:
+        for (size_t k = 0; k < len; ++k) v[k] = la(k) != ra(k) ? 1 : 0;
+        break;
+      case BinOp::kLt:
+        for (size_t k = 0; k < len; ++k) v[k] = la(k) < ra(k) ? 1 : 0;
+        break;
+      case BinOp::kLe:
+        for (size_t k = 0; k < len; ++k) v[k] = la(k) <= ra(k) ? 1 : 0;
+        break;
+      case BinOp::kGt:
+        for (size_t k = 0; k < len; ++k) v[k] = la(k) > ra(k) ? 1 : 0;
+        break;
+      case BinOp::kGe:
+        for (size_t k = 0; k < len; ++k) v[k] = la(k) >= ra(k) ? 1 : 0;
+        break;
+      case BinOp::kAnd:
+        // Numeric truthiness: != 0. Nonzero int64 never rounds to 0.0, so
+        // the double view is exact here.
+        for (size_t k = 0; k < len; ++k)
+          v[k] = la(k) != 0 && ra(k) != 0 ? 1 : 0;
+        break;
+      default:  // kOr
+        for (size_t k = 0; k < len; ++k)
+          v[k] = la(k) != 0 || ra(k) != 0 ? 1 : 0;
+        break;
+    }
+  };
+  if (both_int && n.op != BinOp::kAnd && n.op != BinOp::kOr) {
+    // Exact integer comparison (CompareValues compares int-int exactly, not
+    // through the double view).
+    WithInt64Acc(l, begin,
+                 [&](auto la) { WithInt64Acc(r, begin, [&](auto ra) { fill(la, ra); }); });
+  } else {
+    WithDoubleAcc(l, begin,
+                  [&](auto la) { WithDoubleAcc(r, begin, [&](auto ra) { fill(la, ra); }); });
+  }
+  return out;
+}
+
+EvalOut EvalNode(const BatchNode& n, const Table& t, size_t begin, size_t end) {
+  EvalOut out;
+  switch (n.kind) {
+    case ExprKind::kColumn:
+      out.borrowed = &t.col(n.col);
+      return out;
+    case ExprKind::kLiteral:
+      out.is_scalar = true;
+      out.scalar = n.literal;
+      return out;
+    case ExprKind::kBinary: {
+      EvalOut l = EvalNode(*n.lhs, t, begin, end);
+      EvalOut r = EvalNode(*n.rhs, t, begin, end);
+      out.owned = EvalBinaryBatch(n, l, r, begin, end);
+      return out;
+    }
+  }
+  return out;
+}
+
+StatusOr<std::unique_ptr<BatchNode>> BuildBatchNode(const Expr& e,
+                                                    const Schema& schema) {
+  auto n = std::make_unique<BatchNode>();
+  n->kind = e.kind();
+  MUSKETEER_ASSIGN_OR_RETURN(n->type, e.InferType(schema));
+  switch (e.kind()) {
+    case ExprKind::kColumn:
+      n->col = static_cast<int>(*schema.IndexOf(e.column_name()));
+      return n;
+    case ExprKind::kLiteral:
+      n->literal = e.literal();
+      return n;
+    case ExprKind::kBinary: {
+      n->op = e.op();
+      MUSKETEER_ASSIGN_OR_RETURN(n->lhs, BuildBatchNode(*e.lhs(), schema));
+      MUSKETEER_ASSIGN_OR_RETURN(n->rhs, BuildBatchNode(*e.rhs(), schema));
+      return n;
+    }
+  }
+  return InternalError("bad expr kind");
+}
+
+// Materializes an EvalOut into a standalone column of length end-begin.
+Column MaterializeEvalOut(EvalOut&& e, FieldType type, size_t begin,
+                          size_t end) {
+  if (e.borrowed != nullptr) {
+    return e.borrowed->Slice(begin, end);
+  }
+  if (!e.is_scalar) {
+    return std::move(e.owned);
+  }
+  const size_t len = end - begin;
+  Column out(type);
+  switch (type) {
+    case FieldType::kInt64:
+      out.mutable_ints()->assign(len, AsInt64(e.scalar));
+      break;
+    case FieldType::kDouble:
+      out.mutable_doubles()->assign(len, AsDouble(e.scalar));
+      break;
+    case FieldType::kString:
+      out.mutable_strings()->assign(len, std::get<std::string>(e.scalar));
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<BatchEval> Expr::CompileBatch(const Schema& schema) const {
+  MUSKETEER_ASSIGN_OR_RETURN(std::unique_ptr<BatchNode> built,
+                             BuildBatchNode(*this, schema));
+  std::shared_ptr<const BatchNode> root = std::move(built);
+  return BatchEval(
+      [root](const Table& t, size_t begin, size_t end) -> musketeer::Column {
+        EvalOut out = EvalNode(*root, t, begin, end);
+        return MaterializeEvalOut(std::move(out), root->type, begin, end);
+      });
 }
 
 std::string Expr::ToString() const {

@@ -65,6 +65,12 @@ class Expr {
   // Compiles as a boolean row predicate (non-zero numeric => true).
   StatusOr<RowPredicate> CompilePredicate(const Schema& schema) const;
 
+  // Compiles to a column-at-a-time evaluator: one call computes the
+  // expression for a whole row range with typed loops (no per-cell variant
+  // dispatch). The output column's type is InferType(schema); results are
+  // value-identical to evaluating Compile()'s RowProjector per row.
+  StatusOr<BatchEval> CompileBatch(const Schema& schema) const;
+
   // Source-like rendering, e.g. "(price > 100) AND (region = 5)".
   std::string ToString() const;
 

@@ -9,7 +9,12 @@ namespace musketeer {
 
 StatusOr<Table> ParseCsv(const std::string& text, const Schema& schema,
                          char delimiter) {
-  Table out(schema);
+  // Parse straight into typed columns — no row-of-variants intermediate.
+  std::vector<Column> cols;
+  cols.reserve(schema.num_fields());
+  for (const Field& f : schema.fields()) {
+    cols.emplace_back(f.type);
+  }
   size_t line_no = 0;
   size_t start = 0;
   while (start <= text.size()) {
@@ -33,8 +38,6 @@ StatusOr<Table> ParseCsv(const std::string& text, const Schema& schema,
                                   std::to_string(schema.num_fields()) +
                                   " fields, got " + std::to_string(fields.size()));
     }
-    Row row;
-    row.reserve(fields.size());
     for (size_t c = 0; c < fields.size(); ++c) {
       switch (schema.field(c).type) {
         case FieldType::kInt64: {
@@ -43,7 +46,7 @@ StatusOr<Table> ParseCsv(const std::string& text, const Schema& schema,
             return InvalidArgumentError("line " + std::to_string(line_no) +
                                         ": bad integer '" + fields[c] + "'");
           }
-          row.push_back(*v);
+          cols[c].mutable_ints()->push_back(*v);
           break;
         }
         case FieldType::kDouble: {
@@ -52,27 +55,26 @@ StatusOr<Table> ParseCsv(const std::string& text, const Schema& schema,
             return InvalidArgumentError("line " + std::to_string(line_no) +
                                         ": bad double '" + fields[c] + "'");
           }
-          row.push_back(*v);
+          cols[c].mutable_doubles()->push_back(*v);
           break;
         }
         case FieldType::kString:
-          row.push_back(fields[c]);
+          cols[c].mutable_strings()->push_back(std::move(fields[c]));
           break;
       }
     }
-    out.AddRow(std::move(row));
   }
-  return out;
+  return Table::FromColumns(schema, std::move(cols));
 }
 
 std::string WriteCsv(const Table& table, char delimiter) {
   std::ostringstream os;
-  for (const Row& row : table.rows()) {
-    for (size_t c = 0; c < row.size(); ++c) {
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    for (size_t c = 0; c < table.num_fields(); ++c) {
       if (c > 0) {
         os << delimiter;
       }
-      os << ValueToString(row[c]);
+      os << ValueToString(table.ValueAt(i, c));
     }
     os << '\n';
   }

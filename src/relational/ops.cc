@@ -1,10 +1,12 @@
 #include "src/relational/ops.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <iterator>
 #include <limits>
+#include <numeric>
+#include <string_view>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
 #include "src/base/parallel.h"
@@ -15,37 +17,83 @@
 // fixed pairwise tree). Chunk layout and merge order never depend on the
 // thread count, so output is bit-identical at any parallelism — including
 // floating-point aggregation, whose summation tree is fixed by the chunking.
+//
+// Columnar strategy (see DESIGN.md "Columnar data plane"): kernels operate on
+// the typed column vectors and exchange *row indices* between phases —
+// select/join/sort/distinct compute an index list and Gather it into output
+// columns, so variant dispatch and per-row vectors are off every hot path.
+// Hash values (partitioning, group buckets) are computed with the exact
+// row-of-variants formula (Column::HashAt == HashValue), so engine shuffles
+// place the same rows in the same partitions as the row plane did.
 
 namespace musketeer {
 
 namespace {
 
-// Single-value wrappers for hash containers keyed by one column.
-struct ValueHash {
-  size_t operator()(const Value& v) const { return HashValue(v); }
-};
-struct ValueEq {
-  bool operator()(const Value& a, const Value& b) const { return ValuesEqual(a, b); }
-};
-
 // Fan-out of the partitioned hash-join build. Fixed (like kMorselRows) so
 // the per-partition tables are identical at every thread count.
 constexpr size_t kJoinPartitions = 64;
 
-// Stable parallel merge sort: per-morsel stable_sort, then rounds of stable
-// std::merge over adjacent runs (ties take the left run first). The result
-// is the stable-sort permutation — unique for a given comparator — so it is
-// identical to std::stable_sort over the whole range.
+// Concatenates per-chunk index vectors in chunk order.
+std::vector<uint32_t> ConcatIndices(
+    const std::vector<std::vector<uint32_t>>& parts) {
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<uint32_t> out;
+  out.reserve(total);
+  for (const auto& p : parts) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+// Assembles per-chunk column blocks into one table (chunk order), with the
+// given schema and scale.
+Table ConcatChunkColumns(const Schema& schema,
+                         std::vector<std::vector<Column>>&& parts,
+                         double scale) {
+  std::vector<Column> cols;
+  cols.reserve(schema.num_fields());
+  for (const Field& f : schema.fields()) {
+    cols.emplace_back(f.type);
+  }
+  for (auto& block : parts) {
+    for (size_t c = 0; c < cols.size(); ++c) {
+      cols[c].AppendColumn(std::move(block[c]));
+    }
+  }
+  Table out = Table::FromColumns(schema, std::move(cols));
+  out.set_scale(scale);
+  return out;
+}
+
+// Full-row equality across two arity-compatible tables (cross-numeric, like
+// ValuesEqual).
+bool RowEqualsAcross(const Table& a, size_t i, const Table& b, size_t j) {
+  for (size_t c = 0; c < a.num_fields(); ++c) {
+    if (!a.col(c).EqualAt(i, b.col(c), j)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Stable parallel merge sort over a row permutation: per-morsel stable_sort,
+// then rounds of stable std::merge over adjacent runs (ties take the left
+// run first). The result is the stable-sort permutation — unique for a given
+// comparator — identical to std::stable_sort of the whole range and to the
+// row plane's in-place row sort.
 template <typename Less>
-void ParallelStableSortRows(std::vector<Row>* rows, const Less& less) {
-  const size_t n = rows->size();
+std::vector<uint32_t> ParallelStableSortPerm(size_t n, const Less& less) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
   const size_t chunks = NumChunks(n, kMorselRows);
   if (chunks <= 1) {
-    std::stable_sort(rows->begin(), rows->end(), less);
-    return;
+    std::stable_sort(perm.begin(), perm.end(), less);
+    return perm;
   }
   ParallelChunks(n, kMorselRows, [&](size_t, size_t begin, size_t end) {
-    std::stable_sort(rows->begin() + begin, rows->begin() + end, less);
+    std::stable_sort(perm.begin() + begin, perm.begin() + end, less);
   });
 
   std::vector<size_t> bounds;
@@ -53,9 +101,9 @@ void ParallelStableSortRows(std::vector<Row>* rows, const Less& less) {
   for (size_t c = 0; c < chunks; ++c) bounds.push_back(c * kMorselRows);
   bounds.push_back(n);
 
-  std::vector<Row> tmp(n);
-  std::vector<Row>* src = rows;
-  std::vector<Row>* dst = &tmp;
+  std::vector<uint32_t> tmp(n);
+  std::vector<uint32_t>* src = &perm;
+  std::vector<uint32_t>* dst = &tmp;
   while (bounds.size() > 2) {
     const size_t runs = bounds.size() - 1;
     const size_t pairs = runs / 2;
@@ -63,14 +111,11 @@ void ParallelStableSortRows(std::vector<Row>* rows, const Less& less) {
       const size_t lo = bounds[2 * p];
       const size_t mid = bounds[2 * p + 1];
       const size_t hi = bounds[2 * p + 2];
-      std::merge(std::make_move_iterator(src->begin() + lo),
-                 std::make_move_iterator(src->begin() + mid),
-                 std::make_move_iterator(src->begin() + mid),
-                 std::make_move_iterator(src->begin() + hi),
-                 dst->begin() + lo, less);
+      std::merge(src->begin() + lo, src->begin() + mid, src->begin() + mid,
+                 src->begin() + hi, dst->begin() + lo, less);
     });
     if (runs % 2 == 1) {  // odd run out: carry over unmerged
-      std::move(src->begin() + bounds[runs - 1], src->begin() + bounds[runs],
+      std::copy(src->begin() + bounds[runs - 1], src->begin() + bounds[runs],
                 dst->begin() + bounds[runs - 1]);
     }
     std::vector<size_t> next;
@@ -80,7 +125,8 @@ void ParallelStableSortRows(std::vector<Row>* rows, const Less& less) {
     bounds = std::move(next);
     std::swap(src, dst);
   }
-  if (src != rows) *rows = std::move(tmp);
+  if (src != &perm) perm = std::move(tmp);
+  return perm;
 }
 
 }  // namespace
@@ -114,22 +160,45 @@ bool AggFnIsAssociative(AggFn fn) {
 }
 
 Table SelectRows(const Table& in, const RowPredicate& pred) {
-  Table out(in.schema());
-  out.set_scale(in.scale());
-  const std::vector<Row>& rows = in.rows();
-  auto parts = ParallelMapChunks<std::vector<Row>>(
-      rows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
-        std::vector<Row> kept;
+  auto parts = ParallelMapChunks<std::vector<uint32_t>>(
+      in.num_rows(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        std::vector<uint32_t> kept;
         for (size_t i = begin; i < end; ++i) {
-          if (pred(rows[i])) kept.push_back(rows[i]);
+          if (pred(in.MaterializeRow(i))) {
+            kept.push_back(static_cast<uint32_t>(i));
+          }
         }
         return kept;
       });
-  size_t total = 0;
-  for (const auto& p : parts) total += p.size();
-  out.Reserve(total);
-  for (auto& p : parts) out.AppendRows(std::move(p));
-  return out;
+  return in.Gather(ConcatIndices(parts));
+}
+
+Table SelectRowsBatch(const Table& in, const BatchEval& pred) {
+  auto parts = ParallelMapChunks<std::vector<uint32_t>>(
+      in.num_rows(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        Column mask = pred(in, begin, end);
+        std::vector<uint32_t> kept;
+        switch (mask.type()) {
+          case FieldType::kInt64: {
+            const std::vector<int64_t>& m = mask.ints();
+            for (size_t k = 0; k < m.size(); ++k) {
+              if (m[k] != 0) kept.push_back(static_cast<uint32_t>(begin + k));
+            }
+            break;
+          }
+          case FieldType::kDouble: {
+            const std::vector<double>& m = mask.doubles();
+            for (size_t k = 0; k < m.size(); ++k) {
+              if (m[k] != 0) kept.push_back(static_cast<uint32_t>(begin + k));
+            }
+            break;
+          }
+          case FieldType::kString:
+            break;  // strings are falsy
+        }
+        return kept;
+      });
+  return in.Gather(ConcatIndices(parts));
 }
 
 StatusOr<Table> ProjectColumns(const Table& in, const std::vector<int>& columns) {
@@ -142,45 +211,118 @@ StatusOr<Table> ProjectColumns(const Table& in, const std::vector<int>& columns)
     }
     out_schema.AddField(in.schema().field(c));
   }
-  Table out(out_schema);
+  // Whole-column copies; no per-row work at all.
+  std::vector<Column> cols;
+  cols.reserve(columns.size());
+  for (int c : columns) {
+    cols.push_back(in.col(c));
+  }
+  Table out = Table::FromColumns(std::move(out_schema), std::move(cols));
   out.set_scale(in.scale());
-  const std::vector<Row>& rows = in.rows();
-  std::vector<Row>* out_rows = out.mutable_rows();
-  out_rows->resize(rows.size());
-  ParallelChunks(rows.size(), kMorselRows,
-                 [&](size_t, size_t begin, size_t end) {
-                   for (size_t i = begin; i < end; ++i) {
-                     Row r;
-                     r.reserve(columns.size());
-                     for (int c : columns) {
-                       r.push_back(rows[i][c]);
-                     }
-                     (*out_rows)[i] = std::move(r);
-                   }
-                 });
   return out;
 }
 
 Table MapRows(const Table& in, const Schema& out_schema,
               const std::vector<RowProjector>& projectors) {
-  Table out(out_schema);
-  out.set_scale(in.scale());
-  const std::vector<Row>& rows = in.rows();
-  std::vector<Row>* out_rows = out.mutable_rows();
-  out_rows->resize(rows.size());
-  ParallelChunks(rows.size(), kMorselRows,
-                 [&](size_t, size_t begin, size_t end) {
-                   for (size_t i = begin; i < end; ++i) {
-                     Row r;
-                     r.reserve(projectors.size());
-                     for (const RowProjector& p : projectors) {
-                       r.push_back(p(rows[i]));
-                     }
-                     (*out_rows)[i] = std::move(r);
-                   }
-                 });
-  return out;
+  auto parts = ParallelMapChunks<std::vector<Column>>(
+      in.num_rows(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        std::vector<Column> block;
+        block.reserve(projectors.size());
+        for (const Field& f : out_schema.fields()) {
+          block.emplace_back(f.type);
+          block.back().Reserve(end - begin);
+        }
+        for (size_t i = begin; i < end; ++i) {
+          Row row = in.MaterializeRow(i);
+          for (size_t j = 0; j < projectors.size(); ++j) {
+            if (!block[j].Append(projectors[j](row))) {
+              block[j].Resize(block[j].size() + 1);
+            }
+          }
+        }
+        return block;
+      });
+  return ConcatChunkColumns(out_schema, std::move(parts), in.scale());
 }
+
+Table MapRowsBatch(const Table& in, const Schema& out_schema,
+                   const std::vector<BatchEval>& exprs) {
+  auto parts = ParallelMapChunks<std::vector<Column>>(
+      in.num_rows(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        std::vector<Column> block;
+        block.reserve(exprs.size());
+        for (const BatchEval& e : exprs) {
+          block.push_back(e(in, begin, end));
+        }
+        return block;
+      });
+  return ConcatChunkColumns(out_schema, std::move(parts), in.scale());
+}
+
+namespace {
+
+// One chunk's worth of (left row, right row) match pairs.
+struct JoinPairs {
+  std::vector<uint32_t> lidx;
+  std::vector<uint32_t> ridx;
+};
+
+// Partitioned build + ordered probe with typed keys. Partition choice uses
+// Column::HashAt (== HashValue) so partition contents match the row plane;
+// the per-partition maps key on the native type K, which preserves
+// ValuesEqual semantics for the type combinations each instantiation covers
+// (int64 for int-int, double for mixed-numeric, string_view for strings).
+// Probe emits in left-row order, matches in right-index order — the fixed
+// emission order that makes the join deterministic at any thread count.
+template <typename K, typename LGet, typename RGet>
+std::vector<JoinPairs> JoinProbe(const Column& lc, const Column& rc,
+                                 const LGet& lget, const RGet& rget) {
+  auto scattered = ParallelMapChunks<std::vector<std::vector<uint32_t>>>(
+      rc.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        std::vector<std::vector<uint32_t>> buckets(kJoinPartitions);
+        for (size_t i = begin; i < end; ++i) {
+          buckets[rc.HashAt(i) % kJoinPartitions].push_back(
+              static_cast<uint32_t>(i));
+        }
+        return buckets;
+      });
+
+  using PartitionTable = std::unordered_map<K, std::vector<uint32_t>>;
+  std::vector<PartitionTable> tables(kJoinPartitions);
+  ParallelChunks(kJoinPartitions, 1, [&](size_t p, size_t, size_t) {
+    size_t total = 0;
+    for (const auto& chunk : scattered) total += chunk[p].size();
+    PartitionTable& table = tables[p];
+    table.reserve(total);
+    for (const auto& chunk : scattered) {
+      for (uint32_t ridx : chunk[p]) {
+        table[rget(ridx)].push_back(ridx);
+      }
+    }
+  });
+
+  return ParallelMapChunks<JoinPairs>(
+      lc.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        JoinPairs out;
+        for (size_t i = begin; i < end; ++i) {
+          const PartitionTable& table = tables[lc.HashAt(i) % kJoinPartitions];
+          auto it = table.find(lget(i));
+          if (it == table.end()) continue;
+          for (uint32_t ridx : it->second) {
+            out.lidx.push_back(static_cast<uint32_t>(i));
+            out.ridx.push_back(ridx);
+          }
+        }
+        return out;
+      });
+}
+
+double NumericAt(const Column& c, size_t i) {
+  return c.type() == FieldType::kInt64 ? static_cast<double>(c.ints()[i])
+                                       : c.doubles()[i];
+}
+
+}  // namespace
 
 StatusOr<Table> HashJoin(const Table& left, const Table& right, int lkey, int rkey) {
   if (lkey < 0 || lkey >= static_cast<int>(left.schema().num_fields())) {
@@ -203,76 +345,68 @@ StatusOr<Table> HashJoin(const Table& left, const Table& right, int lkey, int rk
     }
   }
 
-  // Partitioned build over the right side: scatter row indices to
-  // kJoinPartitions buckets per morsel, concatenate buckets in morsel order
-  // (preserving right-row index order inside each partition), then build one
-  // key → row-indices table per partition in parallel.
-  const std::vector<Row>& rrows = right.rows();
-  auto scattered = ParallelMapChunks<std::vector<std::vector<size_t>>>(
-      rrows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
-        std::vector<std::vector<size_t>> buckets(kJoinPartitions);
-        for (size_t i = begin; i < end; ++i) {
-          buckets[HashValue(rrows[i][rkey]) % kJoinPartitions].push_back(i);
-        }
-        return buckets;
-      });
+  const Column& lc = left.col(lkey);
+  const Column& rc = right.col(rkey);
+  const bool lstr = lc.type() == FieldType::kString;
+  const bool rstr = rc.type() == FieldType::kString;
 
-  using PartitionTable =
-      std::unordered_map<Value, std::vector<size_t>, ValueHash, ValueEq>;
-  std::vector<PartitionTable> tables(kJoinPartitions);
-  ParallelChunks(kJoinPartitions, 1, [&](size_t p, size_t, size_t) {
-    size_t total = 0;
-    for (const auto& chunk : scattered) total += chunk[p].size();
-    PartitionTable& table = tables[p];
-    table.reserve(total);
-    for (const auto& chunk : scattered) {
-      for (size_t ridx : chunk[p]) {
-        table[rrows[ridx][rkey]].push_back(ridx);
-      }
-    }
+  // Typed key dispatch.
+  std::vector<JoinPairs> pairs;
+  if (lstr != rstr) {
+    // A string never equals a numeric: empty result.
+  } else if (lstr) {
+    const std::vector<std::string>& lv = lc.strings();
+    const std::vector<std::string>& rv = rc.strings();
+    pairs = JoinProbe<std::string_view>(
+        lc, rc, [&](size_t i) { return std::string_view(lv[i]); },
+        [&](size_t i) { return std::string_view(rv[i]); });
+  } else if (lc.type() == FieldType::kInt64 && rc.type() == FieldType::kInt64) {
+    const std::vector<int64_t>& lv = lc.ints();
+    const std::vector<int64_t>& rv = rc.ints();
+    pairs = JoinProbe<int64_t>(
+        lc, rc, [&](size_t i) { return lv[i]; },
+        [&](size_t i) { return rv[i]; });
+  } else {
+    // Mixed numeric (or double-double): key on the double value, which is
+    // exactly how ValuesEqual compares an int64 to a double.
+    pairs = JoinProbe<double>(
+        lc, rc, [&](size_t i) { return NumericAt(lc, i); },
+        [&](size_t i) { return NumericAt(rc, i); });
+  }
+
+  size_t total = 0;
+  for (const auto& p : pairs) total += p.lidx.size();
+  std::vector<uint32_t> lidx;
+  std::vector<uint32_t> ridx;
+  lidx.reserve(total);
+  ridx.reserve(total);
+  for (const auto& p : pairs) {
+    lidx.insert(lidx.end(), p.lidx.begin(), p.lidx.end());
+    ridx.insert(ridx.end(), p.ridx.begin(), p.ridx.end());
+  }
+
+  // Gather output columns (key, left-rest, right-rest) in parallel — each
+  // output column is an independent typed gather.
+  struct Source {
+    const Column* col;
+    const std::vector<uint32_t>* idx;
+  };
+  std::vector<Source> sources;
+  sources.reserve(out_schema.num_fields());
+  sources.push_back({&lc, &lidx});
+  for (int c = 0; c < static_cast<int>(left.schema().num_fields()); ++c) {
+    if (c != lkey) sources.push_back({&left.col(c), &lidx});
+  }
+  for (int c = 0; c < static_cast<int>(right.schema().num_fields()); ++c) {
+    if (c != rkey) sources.push_back({&right.col(c), &ridx});
+  }
+  std::vector<Column> cols(sources.size());
+  ParallelChunks(sources.size(), 1, [&](size_t c, size_t, size_t) {
+    cols[c] = sources[c].col->Gather(*sources[c].idx);
   });
 
-  // Probe in left-row order; a left row's matches emit in right-row index
-  // order. This fixed emission order makes the join deterministic across
-  // thread counts (the old unordered_multimap equal_range order was
-  // implementation-defined).
-  const std::vector<Row>& lrows = left.rows();
-  auto parts = ParallelMapChunks<std::vector<Row>>(
-      lrows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
-        std::vector<Row> matched;
-        for (size_t i = begin; i < end; ++i) {
-          const Row& lrow = lrows[i];
-          const PartitionTable& table =
-              tables[HashValue(lrow[lkey]) % kJoinPartitions];
-          auto it = table.find(lrow[lkey]);
-          if (it == table.end()) continue;
-          for (size_t ridx : it->second) {
-            const Row& rrow = rrows[ridx];
-            Row r;
-            r.reserve(out_schema.num_fields());
-            r.push_back(lrow[lkey]);
-            for (int c = 0; c < static_cast<int>(lrow.size()); ++c) {
-              if (c != lkey) {
-                r.push_back(lrow[c]);
-              }
-            }
-            for (int c = 0; c < static_cast<int>(rrow.size()); ++c) {
-              if (c != rkey) {
-                r.push_back(rrow[c]);
-              }
-            }
-            matched.push_back(std::move(r));
-          }
-        }
-        return matched;
-      });
-
-  Table out(out_schema);
+  Table out = Table::FromColumns(std::move(out_schema), std::move(cols));
   out.set_scale(std::max(left.scale(), right.scale()));
-  size_t total = 0;
-  for (const auto& p : parts) total += p.size();
-  out.Reserve(total);
-  for (auto& p : parts) out.AppendRows(std::move(p));
   return out;
 }
 
@@ -284,22 +418,26 @@ Table CrossJoin(const Table& left, const Table& right) {
   for (const Field& f : right.schema().fields()) {
     out_schema.AddField(f);
   }
-  Table out(out_schema);
+  const size_t ln = left.num_rows();
+  const size_t rn = right.num_rows();
+  std::vector<uint32_t> lidx(ln * rn);
+  std::vector<uint32_t> ridx(ln * rn);
+  ParallelChunks(ln, kMorselRows, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t j = 0; j < rn; ++j) {
+        lidx[i * rn + j] = static_cast<uint32_t>(i);
+        ridx[i * rn + j] = static_cast<uint32_t>(j);
+      }
+    }
+  });
+  std::vector<Column> cols(out_schema.num_fields());
+  const size_t lcols = left.num_fields();
+  ParallelChunks(cols.size(), 1, [&](size_t c, size_t, size_t) {
+    cols[c] = c < lcols ? left.col(c).Gather(lidx)
+                        : right.col(c - lcols).Gather(ridx);
+  });
+  Table out = Table::FromColumns(std::move(out_schema), std::move(cols));
   out.set_scale(std::max(left.scale(), right.scale()));
-  const std::vector<Row>& lrows = left.rows();
-  const std::vector<Row>& rrows = right.rows();
-  std::vector<Row>* out_rows = out.mutable_rows();
-  out_rows->resize(lrows.size() * rrows.size());
-  ParallelChunks(lrows.size(), kMorselRows,
-                 [&](size_t, size_t begin, size_t end) {
-                   for (size_t i = begin; i < end; ++i) {
-                     for (size_t j = 0; j < rrows.size(); ++j) {
-                       Row r = lrows[i];
-                       r.insert(r.end(), rrows[j].begin(), rrows[j].end());
-                       (*out_rows)[i * rrows.size() + j] = std::move(r);
-                     }
-                   }
-                 });
   return out;
 }
 
@@ -308,54 +446,99 @@ StatusOr<Table> UnionAll(const Table& a, const Table& b) {
     return InvalidArgumentError("UNION arity mismatch: " + a.schema().ToString() +
                                 " vs " + b.schema().ToString());
   }
-  Table out(a.schema());
+  std::vector<Column> cols;
+  cols.reserve(a.num_fields());
+  for (size_t c = 0; c < a.num_fields(); ++c) {
+    Column col = a.col(c);
+    if (b.col(c).type() == col.type()) {
+      col.AppendColumnCopy(b.col(c));
+    } else if (col.type() != FieldType::kString &&
+               b.col(c).type() != FieldType::kString) {
+      // Mixed numeric union: coerce b's cells to a's column type.
+      for (size_t i = 0; i < b.num_rows(); ++i) {
+        col.Append(b.col(c).ValueAt(i));
+      }
+    } else {
+      return InvalidArgumentError("UNION type mismatch on column " +
+                                  std::to_string(c) + ": " +
+                                  a.schema().ToString() + " vs " +
+                                  b.schema().ToString());
+    }
+    cols.push_back(std::move(col));
+  }
+  Table out = Table::FromColumns(a.schema(), std::move(cols));
   double total = static_cast<double>(a.num_rows() + b.num_rows());
   if (total > 0) {
     out.set_scale((a.nominal_rows() + b.nominal_rows()) / total);
   } else {
     out.set_scale(std::max(a.scale(), b.scale()));
   }
-  std::vector<Row>* out_rows = out.mutable_rows();
-  out_rows->resize(a.num_rows() + b.num_rows());
-  ParallelChunks(a.num_rows(), kMorselRows,
-                 [&](size_t, size_t begin, size_t end) {
-                   for (size_t i = begin; i < end; ++i) {
-                     (*out_rows)[i] = a.rows()[i];
-                   }
-                 });
-  ParallelChunks(b.num_rows(), kMorselRows,
-                 [&](size_t, size_t begin, size_t end) {
-                   for (size_t i = begin; i < end; ++i) {
-                     (*out_rows)[a.num_rows() + i] = b.rows()[i];
-                   }
-                 });
   return out;
 }
 
 namespace {
 
+// Hash-bucketed row set over a table: full-row hash → row indices. The
+// kernels probe buckets with cross-table row equality, so ints and integral
+// doubles keep colliding exactly like the Value-keyed sets did.
+using RowBuckets = std::unordered_map<size_t, std::vector<uint32_t>>;
+
+RowBuckets BuildRowBuckets(const Table& t) {
+  RowBuckets buckets;
+  buckets.reserve(t.num_rows());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    buckets[HashRowAllCols(t, i)].push_back(static_cast<uint32_t>(i));
+  }
+  return buckets;
+}
+
+bool BucketsContain(const RowBuckets& buckets, const Table& bt, size_t hash,
+                    const Table& t, size_t row) {
+  auto it = buckets.find(hash);
+  if (it == buckets.end()) {
+    return false;
+  }
+  for (uint32_t cand : it->second) {
+    if (RowEqualsAcross(t, row, bt, cand)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 // INTERSECT / DIFFERENCE share their shape: a parallel membership scan of
-// `a` against a hash set of `b`, then a sequential first-occurrence dedup
-// emitting in `a` order.
+// `a` against a hashed row set of `b`, then a sequential first-occurrence
+// dedup emitting in `a` order.
 Table SetOpFilter(const Table& a, const Table& b, bool want_member) {
-  std::unordered_set<Row, RowHash, RowEq> in_b(b.rows().begin(), b.rows().end());
-  const std::vector<Row>& rows = a.rows();
-  std::vector<uint8_t> keep(rows.size(), 0);
-  ParallelChunks(rows.size(), kMorselRows,
+  RowBuckets in_b = BuildRowBuckets(b);
+  std::vector<uint8_t> keep(a.num_rows(), 0);
+  ParallelChunks(a.num_rows(), kMorselRows,
                  [&](size_t, size_t begin, size_t end) {
                    for (size_t i = begin; i < end; ++i) {
-                     bool member = in_b.count(rows[i]) > 0;
+                     bool member = BucketsContain(in_b, b, HashRowAllCols(a, i),
+                                                  a, i);
                      keep[i] = (member == want_member) ? 1 : 0;
                    }
                  });
-  std::unordered_set<Row, RowHash, RowEq> emitted;
-  Table out(a.schema());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    if (keep[i] && emitted.insert(rows[i]).second) {
-      out.AddRow(rows[i]);
+  RowBuckets emitted;
+  std::vector<uint32_t> out_idx;
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    if (!keep[i]) continue;
+    size_t h = HashRowAllCols(a, i);
+    std::vector<uint32_t>& bucket = emitted[h];
+    bool dup = false;
+    for (uint32_t prev : bucket) {
+      if (RowEqualsAcross(a, i, a, prev)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      bucket.push_back(static_cast<uint32_t>(i));
+      out_idx.push_back(static_cast<uint32_t>(i));
     }
   }
-  return out;
+  return a.Gather(out_idx);
 }
 
 }  // namespace
@@ -379,68 +562,122 @@ StatusOr<Table> Difference(const Table& a, const Table& b) {
 }
 
 Table Distinct(const Table& in) {
-  const std::vector<Row>& rows = in.rows();
   // Chunk-local dedup (preserving chunk order), then a sequential global
   // dedup over the chunk survivors in chunk order — emission order equals
   // global first-occurrence order.
-  auto parts = ParallelMapChunks<std::vector<Row>>(
-      rows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
-        std::unordered_set<Row, RowHash, RowEq> local;
-        std::vector<Row> unique;
+  auto parts = ParallelMapChunks<std::vector<uint32_t>>(
+      in.num_rows(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        RowBuckets local;
+        std::vector<uint32_t> unique;
         for (size_t i = begin; i < end; ++i) {
-          if (local.insert(rows[i]).second) unique.push_back(rows[i]);
+          size_t h = HashRowAllCols(in, i);
+          std::vector<uint32_t>& bucket = local[h];
+          bool dup = false;
+          for (uint32_t prev : bucket) {
+            if (RowEqualsAcross(in, i, in, prev)) {
+              dup = true;
+              break;
+            }
+          }
+          if (!dup) {
+            bucket.push_back(static_cast<uint32_t>(i));
+            unique.push_back(static_cast<uint32_t>(i));
+          }
         }
         return unique;
       });
-  std::unordered_set<Row, RowHash, RowEq> seen;
-  Table out(in.schema());
-  out.set_scale(in.scale());
-  for (auto& part : parts) {
-    for (Row& row : part) {
-      if (seen.insert(row).second) {
-        out.AddRow(std::move(row));
+  RowBuckets seen;
+  std::vector<uint32_t> out_idx;
+  for (const auto& part : parts) {
+    for (uint32_t i : part) {
+      size_t h = HashRowAllCols(in, i);
+      std::vector<uint32_t>& bucket = seen[h];
+      bool dup = false;
+      for (uint32_t prev : bucket) {
+        if (RowEqualsAcross(in, i, in, prev)) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) {
+        bucket.push_back(i);
+        out_idx.push_back(i);
       }
     }
   }
-  return out;
+  return in.Gather(out_idx);
 }
 
 namespace {
 
-// Per-group running aggregate state; one slot per AggSpec.
-struct Acc {
+// Partial aggregation over one morsel. Keys live in a columnar sub-table
+// (slot order = first-occurrence order); accumulators are flat slot-major
+// arrays instead of per-group heap objects.
+struct GroupPartial {
+  Table keys;
+  // Single-INT64-key fast path: key value → slot.
+  std::unordered_map<int64_t, uint32_t> int_slots;
+  // Generic path: full-key hash (HashRow formula) → candidate slots.
+  std::unordered_map<size_t, std::vector<uint32_t>> slots;
+  // Flattened [slot * num_aggs + j] accumulators.
   std::vector<double> sums;
   std::vector<double> mins;
   std::vector<double> maxs;
   std::vector<int64_t> counts;
-};
+  size_t num_aggs = 0;
 
-// Partial aggregation over one morsel: groups in first-occurrence order.
-struct GroupPartial {
-  std::unordered_map<Row, size_t, RowHash, RowEq> index;  // key → slot
-  std::vector<Row> keys;                                  // slot → key
-  std::vector<Acc> accs;
+  size_t num_slots() const { return keys.num_rows(); }
+
+  void AddSlotAccs() {
+    for (size_t j = 0; j < num_aggs; ++j) {
+      sums.push_back(0.0);
+      mins.push_back(std::numeric_limits<double>::infinity());
+      maxs.push_back(-std::numeric_limits<double>::infinity());
+      counts.push_back(0);
+    }
+  }
 };
 
 // Folds `b` into `a`. Groups new to `a` append in `b`'s slot order, so the
 // merged first-occurrence order equals the first-occurrence order of the
 // concatenated inputs; the per-slot combines form the FP summation tree.
-void MergeGroupPartial(GroupPartial* a, GroupPartial&& b) {
-  for (size_t slot = 0; slot < b.keys.size(); ++slot) {
-    auto it = a->index.find(b.keys[slot]);
-    if (it == a->index.end()) {
-      a->index.emplace(b.keys[slot], a->keys.size());
-      a->keys.push_back(std::move(b.keys[slot]));
-      a->accs.push_back(std::move(b.accs[slot]));
+void MergeGroupPartial(GroupPartial* a, GroupPartial&& b, bool int_fast_path) {
+  const size_t A = a->num_aggs;
+  for (size_t slot = 0; slot < b.num_slots(); ++slot) {
+    uint32_t dst = std::numeric_limits<uint32_t>::max();
+    if (int_fast_path) {
+      int64_t key = b.keys.col(0).ints()[slot];
+      auto [it, inserted] = a->int_slots.try_emplace(
+          key, static_cast<uint32_t>(a->num_slots()));
+      if (!inserted) dst = it->second;
+    } else {
+      size_t h = HashRowAllCols(b.keys, slot);
+      std::vector<uint32_t>& bucket = a->slots[h];
+      for (uint32_t cand : bucket) {
+        if (RowEqualsAcross(b.keys, slot, a->keys, cand)) {
+          dst = cand;
+          break;
+        }
+      }
+      if (dst == std::numeric_limits<uint32_t>::max()) {
+        bucket.push_back(static_cast<uint32_t>(a->num_slots()));
+      }
+    }
+    if (dst == std::numeric_limits<uint32_t>::max()) {
+      a->keys.AppendRowFrom(b.keys, slot);
+      for (size_t j = 0; j < A; ++j) {
+        a->sums.push_back(b.sums[slot * A + j]);
+        a->mins.push_back(b.mins[slot * A + j]);
+        a->maxs.push_back(b.maxs[slot * A + j]);
+        a->counts.push_back(b.counts[slot * A + j]);
+      }
       continue;
     }
-    Acc& dst = a->accs[it->second];
-    const Acc& src = b.accs[slot];
-    for (size_t i = 0; i < dst.sums.size(); ++i) {
-      dst.sums[i] += src.sums[i];
-      dst.mins[i] = std::min(dst.mins[i], src.mins[i]);
-      dst.maxs[i] = std::max(dst.maxs[i], src.maxs[i]);
-      dst.counts[i] += src.counts[i];
+    for (size_t j = 0; j < A; ++j) {
+      a->sums[dst * A + j] += b.sums[slot * A + j];
+      a->mins[dst * A + j] = std::min(a->mins[dst * A + j], b.mins[slot * A + j]);
+      a->maxs[dst * A + j] = std::max(a->maxs[dst * A + j], b.maxs[slot * A + j]);
+      a->counts[dst * A + j] += b.counts[slot * A + j];
     }
   }
 }
@@ -455,45 +692,90 @@ StatusOr<Table> GroupByAgg(const Table& in, const std::vector<int>& group_column
     }
   }
   for (const AggSpec& a : aggs) {
-    if (a.fn != AggFn::kCount &&
-        (a.column < 0 || a.column >= static_cast<int>(in.schema().num_fields()))) {
+    if (a.fn == AggFn::kCount) {
+      continue;
+    }
+    if (a.column < 0 || a.column >= static_cast<int>(in.schema().num_fields())) {
       return InvalidArgumentError("AGG column out of range");
+    }
+    if (in.schema().field(a.column).type == FieldType::kString) {
+      // Strings have no numeric view (see AsDouble's sentinel); reject
+      // instead of aggregating NaNs.
+      return InvalidArgumentError(std::string(AggFnName(a.fn)) +
+                                  " over STRING column '" +
+                                  in.schema().field(a.column).name + "'");
+    }
+  }
+
+  Schema key_schema;
+  for (int c : group_columns) {
+    key_schema.AddField(in.schema().field(c));
+  }
+  const bool int_fast_path =
+      group_columns.size() == 1 &&
+      in.schema().field(group_columns[0]).type == FieldType::kInt64;
+  const size_t A = aggs.size();
+
+  // Pre-resolve each agg's input column (nullptr for COUNT).
+  std::vector<const Column*> agg_cols(A, nullptr);
+  for (size_t j = 0; j < A; ++j) {
+    if (aggs[j].fn != AggFn::kCount) {
+      agg_cols[j] = &in.col(aggs[j].column);
     }
   }
 
   // Phase 1: thread-local partial aggregates, one per morsel. Every AggFn is
   // associative (AVG decomposes into (sum, count)), so partials combine.
-  const std::vector<Row>& rows = in.rows();
   auto partials = ParallelMapChunks<GroupPartial>(
-      rows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+      in.num_rows(), kMorselRows, [&](size_t, size_t begin, size_t end) {
         GroupPartial part;
+        part.num_aggs = A;
+        part.keys = Table(key_schema);
+        const std::vector<int64_t>* int_keys =
+            int_fast_path ? &in.col(group_columns[0]).ints() : nullptr;
         for (size_t i = begin; i < end; ++i) {
-          const Row& row = rows[i];
-          Row key;
-          key.reserve(group_columns.size());
-          for (int c : group_columns) {
-            key.push_back(row[c]);
+          uint32_t slot = std::numeric_limits<uint32_t>::max();
+          if (int_fast_path) {
+            auto [it, inserted] = part.int_slots.try_emplace(
+                (*int_keys)[i], static_cast<uint32_t>(part.num_slots()));
+            slot = it->second;
+            if (inserted) {
+              part.keys.AppendRowFromCols(in, i, group_columns);
+              part.AddSlotAccs();
+            }
+          } else {
+            size_t h = HashRow(in, i, group_columns);
+            std::vector<uint32_t>& bucket = part.slots[h];
+            for (uint32_t cand : bucket) {
+              bool equal = true;
+              for (size_t k = 0; k < group_columns.size(); ++k) {
+                if (!in.col(group_columns[k])
+                         .EqualAt(i, part.keys.col(k), cand)) {
+                  equal = false;
+                  break;
+                }
+              }
+              if (equal) {
+                slot = cand;
+                break;
+              }
+            }
+            if (slot == std::numeric_limits<uint32_t>::max()) {
+              slot = static_cast<uint32_t>(part.num_slots());
+              bucket.push_back(slot);
+              part.keys.AppendRowFromCols(in, i, group_columns);
+              part.AddSlotAccs();
+            }
           }
-          auto [it, inserted] = part.index.try_emplace(key, part.keys.size());
-          if (inserted) {
-            part.keys.push_back(std::move(key));
-            Acc acc;
-            acc.sums.assign(aggs.size(), 0.0);
-            acc.mins.assign(aggs.size(), std::numeric_limits<double>::infinity());
-            acc.maxs.assign(aggs.size(), -std::numeric_limits<double>::infinity());
-            acc.counts.assign(aggs.size(), 0);
-            part.accs.push_back(std::move(acc));
-          }
-          Acc& acc = part.accs[it->second];
-          for (size_t i2 = 0; i2 < aggs.size(); ++i2) {
-            acc.counts[i2] += 1;
-            if (aggs[i2].fn == AggFn::kCount) {
+          for (size_t j = 0; j < A; ++j) {
+            part.counts[slot * A + j] += 1;
+            if (aggs[j].fn == AggFn::kCount) {
               continue;
             }
-            double v = AsDouble(row[aggs[i2].column]);
-            acc.sums[i2] += v;
-            acc.mins[i2] = std::min(acc.mins[i2], v);
-            acc.maxs[i2] = std::max(acc.maxs[i2], v);
+            double v = NumericAt(*agg_cols[j], i);
+            part.sums[slot * A + j] += v;
+            part.mins[slot * A + j] = std::min(part.mins[slot * A + j], v);
+            part.maxs[slot * A + j] = std::max(part.maxs[slot * A + j], v);
           }
         }
         return part;
@@ -507,7 +789,8 @@ StatusOr<Table> GroupByAgg(const Table& in, const std::vector<int>& group_column
     for (size_t l = 0; l + step < partials.size(); l += 2 * step) ++pairs;
     ParallelChunks(pairs, 1, [&](size_t p, size_t, size_t) {
       const size_t l = 2 * step * p;
-      MergeGroupPartial(&partials[l], std::move(partials[l + step]));
+      MergeGroupPartial(&partials[l], std::move(partials[l + step]),
+                        int_fast_path);
     });
   }
 
@@ -530,42 +813,52 @@ StatusOr<Table> GroupByAgg(const Table& in, const std::vector<int>& group_column
   out.set_scale(in.scale());
   if (!partials.empty()) {
     GroupPartial& groups = partials[0];
-    std::vector<Row>* out_rows = out.mutable_rows();
-    out_rows->resize(groups.keys.size());
-    ParallelChunks(groups.keys.size(), kMorselRows,
+    const size_t num_groups = groups.num_slots();
+    std::vector<Column> cols = groups.keys.ReleaseColumns();
+    cols.resize(out_schema.num_fields());
+    // Fill the aggregate output columns slot-parallel (each column is an
+    // independent dense array).
+    for (size_t j = 0; j < A; ++j) {
+      Column& c = cols[group_columns.size() + j];
+      c = Column(out_schema.field(group_columns.size() + j).type);
+      c.Resize(num_groups);
+    }
+    ParallelChunks(num_groups, kMorselRows,
                    [&](size_t, size_t begin, size_t end) {
       for (size_t g = begin; g < end; ++g) {
-        const Acc& acc = groups.accs[g];
-        Row r = std::move(groups.keys[g]);
-        for (size_t i = 0; i < aggs.size(); ++i) {
+        for (size_t j = 0; j < A; ++j) {
           double v = 0;
-          switch (aggs[i].fn) {
+          switch (aggs[j].fn) {
             case AggFn::kSum:
-              v = acc.sums[i];
+              v = groups.sums[g * A + j];
               break;
             case AggFn::kCount:
-              v = static_cast<double>(acc.counts[i]);
+              v = static_cast<double>(groups.counts[g * A + j]);
               break;
             case AggFn::kMin:
-              v = acc.mins[i];
+              v = groups.mins[g * A + j];
               break;
             case AggFn::kMax:
-              v = acc.maxs[i];
+              v = groups.maxs[g * A + j];
               break;
             case AggFn::kAvg:
-              v = acc.counts[i] > 0 ? acc.sums[i] / static_cast<double>(acc.counts[i]) : 0;
+              v = groups.counts[g * A + j] > 0
+                      ? groups.sums[g * A + j] /
+                            static_cast<double>(groups.counts[g * A + j])
+                      : 0;
               break;
           }
-          FieldType t = out_schema.field(group_columns.size() + i).type;
-          if (t == FieldType::kInt64) {
-            r.push_back(static_cast<int64_t>(v));
+          Column& c = cols[group_columns.size() + j];
+          if (c.type() == FieldType::kInt64) {
+            (*c.mutable_ints())[g] = static_cast<int64_t>(v);
           } else {
-            r.push_back(v);
+            (*c.mutable_doubles())[g] = v;
           }
         }
-        (*out_rows)[g] = std::move(r);
       }
     });
+    out = Table::FromColumns(out_schema, std::move(cols));
+    out.set_scale(in.scale());
   }
 
   // Handle the empty-input global aggregate: SQL-ish engines return one row
@@ -590,62 +883,64 @@ StatusOr<Table> ExtremeRow(const Table& in, int column, bool take_max) {
   if (column < 0 || column >= static_cast<int>(in.schema().num_fields())) {
     return InvalidArgumentError("MIN/MAX column out of range");
   }
-  Table out(in.schema());
-  out.set_scale(1.0);
   if (in.num_rows() == 0) {
+    Table out(in.schema());
+    out.set_scale(1.0);
     return out;
   }
-  const std::vector<Row>& rows = in.rows();
-  RowLess less;
+  const Column& key = in.col(column);
   // Total order on rows: (key, full-row tie-break); earlier row wins exact
   // duplicates. Per-chunk selection folded in chunk order equals the
   // sequential scan.
-  auto better = [&](const Row& a, const Row& b) {
-    int c = CompareValues(a[column], b[column]);
+  auto better = [&](size_t a, size_t b) {
+    int c = key.CompareAt(a, key, b);
     bool strictly = take_max ? (c > 0) : (c < 0);
-    return strictly || (c == 0 && less(a, b));
+    return strictly || (c == 0 && Table::CompareRowsAt(in, a, in, b) < 0);
   };
   auto bests = ParallelMapChunks<size_t>(
-      rows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+      in.num_rows(), kMorselRows, [&](size_t, size_t begin, size_t end) {
         size_t best = begin;
         for (size_t i = begin + 1; i < end; ++i) {
-          if (better(rows[i], rows[best])) best = i;
+          if (better(i, best)) best = i;
         }
         return best;
       });
   size_t best = bests[0];
   for (size_t k = 1; k < bests.size(); ++k) {
-    if (better(rows[bests[k]], rows[best])) best = bests[k];
+    if (better(bests[k], best)) best = bests[k];
   }
-  out.AddRow(rows[best]);
+  Table out = in.Gather({static_cast<uint32_t>(best)});
+  out.set_scale(1.0);
   return out;
 }
 
 Table SortBy(const Table& in, const std::vector<int>& columns) {
-  Table out = in;
-  ParallelStableSortRows(out.mutable_rows(),
-                         [&columns](const Row& a, const Row& b) {
-                           for (int c : columns) {
-                             int cmp = CompareValues(a[c], b[c]);
-                             if (cmp != 0) {
-                               return cmp < 0;
-                             }
-                           }
-                           return false;
-                         });
-  return out;
+  std::vector<const Column*> keys;
+  keys.reserve(columns.size());
+  for (int c : columns) keys.push_back(&in.col(c));
+  std::vector<uint32_t> perm = ParallelStableSortPerm(
+      in.num_rows(), [&keys](uint32_t a, uint32_t b) {
+        for (const Column* k : keys) {
+          int cmp = k->CompareAt(a, *k, b);
+          if (cmp != 0) {
+            return cmp < 0;
+          }
+        }
+        return false;
+      });
+  return in.Gather(perm);
 }
 
 Table TopNBy(const Table& in, int column, size_t n) {
-  Table out = in;
-  ParallelStableSortRows(out.mutable_rows(),
-                         [column](const Row& a, const Row& b) {
-                           return CompareValues(a[column], b[column]) > 0;
-                         });
-  if (out.mutable_rows()->size() > n) {
-    out.mutable_rows()->resize(n);
+  const Column& key = in.col(column);
+  std::vector<uint32_t> perm = ParallelStableSortPerm(
+      in.num_rows(), [&key](uint32_t a, uint32_t b) {
+        return key.CompareAt(a, key, b) > 0;
+      });
+  if (perm.size() > n) {
+    perm.resize(n);
   }
-  return out;
+  return in.Gather(perm);
 }
 
 }  // namespace musketeer

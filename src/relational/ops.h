@@ -27,6 +27,12 @@ namespace musketeer {
 using RowPredicate = std::function<bool(const Row&)>;
 using RowProjector = std::function<Value(const Row&)>;
 
+// Batch expression evaluator: computes one output column for rows
+// [begin, end) of a table in one call (see Expr::CompileBatch). The batch
+// kernels evaluate expressions column-at-a-time through these instead of a
+// RowProjector per cell.
+using BatchEval = std::function<Column(const Table&, size_t begin, size_t end)>;
+
 enum class AggFn { kSum, kCount, kMin, kMax, kAvg };
 
 const char* AggFnName(AggFn fn);
@@ -42,8 +48,12 @@ struct AggSpec {
   std::string output_name;  // name of the produced column
 };
 
-// SELECT: rows matching `pred`.
+// SELECT: rows matching `pred` (row-at-a-time compatibility path).
 Table SelectRows(const Table& in, const RowPredicate& pred);
+
+// SELECT over a batch-compiled predicate column: a row is kept when its mask
+// cell is truthy (non-zero numeric; strings are false).
+Table SelectRowsBatch(const Table& in, const BatchEval& pred);
 
 // PROJECT: keep `columns` (by index) in order.
 StatusOr<Table> ProjectColumns(const Table& in, const std::vector<int>& columns);
@@ -52,6 +62,12 @@ StatusOr<Table> ProjectColumns(const Table& in, const std::vector<int>& columns)
 // given output schema. Used for arithmetic ops (SUM/SUB/MUL/DIV on columns).
 Table MapRows(const Table& in, const Schema& out_schema,
               const std::vector<RowProjector>& projectors);
+
+// Batch MAP: output column i = exprs[i] evaluated column-at-a-time. Each
+// expression's output column type must match out_schema (callers insert a
+// cast, see Expr::CompileBatch users in src/ir/eval.cc).
+Table MapRowsBatch(const Table& in, const Schema& out_schema,
+                   const std::vector<BatchEval>& exprs);
 
 // JOIN: equi-join on left.columns[lkey] == right.columns[rkey].
 // Output layout matches the paper's generated code: (key, left-rest, right-rest).

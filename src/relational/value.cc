@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace musketeer {
 
@@ -24,7 +25,9 @@ double AsDouble(const Value& v) {
     case 1:
       return std::get<double>(v);
     default:
-      return 0.0;
+      // Sentinel, not 0: a string reaching a numeric kernel poisons the
+      // result instead of silently contributing nothing.
+      return std::numeric_limits<double>::quiet_NaN();
   }
 }
 
@@ -35,7 +38,32 @@ int64_t AsInt64(const Value& v) {
     case 1:
       return static_cast<int64_t>(std::get<double>(v));
     default:
-      return 0;
+      return std::numeric_limits<int64_t>::min();  // sentinel, see AsDouble
+  }
+}
+
+std::optional<double> TryAsDouble(const Value& v) {
+  if (v.index() == 2) {
+    return std::nullopt;
+  }
+  return AsDouble(v);
+}
+
+std::optional<int64_t> TryAsInt64(const Value& v) {
+  if (v.index() == 2) {
+    return std::nullopt;
+  }
+  return AsInt64(v);
+}
+
+bool IsTruthy(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::get<int64_t>(v) != 0;
+    case 1:
+      return std::get<double>(v) != 0;
+    default:
+      return false;
   }
 }
 

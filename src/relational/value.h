@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -33,10 +34,21 @@ inline FieldType ValueType(const Value& v) {
   }
 }
 
-// Numeric view of a value; strings convert to 0 (callers validate types at
-// plan-build time, this is a belt-and-braces fallback, not a parse).
+// Numeric view of a value. Strings have no numeric view: they convert to an
+// explicit sentinel (quiet NaN / INT64_MIN) so an accidental coercion in a
+// kernel surfaces in the output instead of silently becoming 0. Callers that
+// can legitimately meet a string use the Try variants or IsTruthy.
 double AsDouble(const Value& v);
 int64_t AsInt64(const Value& v);
+
+// Checked numeric views: nullopt for strings (these are views, not parses).
+std::optional<double> TryAsDouble(const Value& v);
+std::optional<int64_t> TryAsInt64(const Value& v);
+
+// Boolean view used by AND/OR and predicates: non-zero numeric is true,
+// strings are always false (matching the historical row-plane behavior where
+// strings coerced to 0).
+bool IsTruthy(const Value& v);
 
 // Renders the value the way the CSV writer does.
 std::string ValueToString(const Value& v);

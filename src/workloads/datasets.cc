@@ -55,27 +55,49 @@ GraphDataset MakePowerLawGraph(const GraphSpec& spec) {
     out_degree[v] = degree;
   }
 
-  auto edge_table = std::make_shared<Table>(EdgeSchema(spec.with_costs));
-  edge_table->Reserve(edges.size());
-  for (const auto& [src, dst] : edges) {
-    Row row{src, dst};
+  // Build the edge columns directly (typed vectors, no variant rows).
+  std::vector<Column> edge_cols;
+  {
+    Column src_col(FieldType::kInt64);
+    Column dst_col(FieldType::kInt64);
+    src_col.Reserve(edges.size());
+    dst_col.Reserve(edges.size());
+    Column cost_col(FieldType::kDouble);
     if (spec.with_costs) {
-      row.push_back(1.0 + rng.NextDouble() * 9.0);
+      cost_col.Reserve(edges.size());
     }
-    edge_table->AddRow(std::move(row));
+    for (const auto& [src, dst] : edges) {
+      src_col.mutable_ints()->push_back(src);
+      dst_col.mutable_ints()->push_back(dst);
+      if (spec.with_costs) {
+        cost_col.mutable_doubles()->push_back(1.0 + rng.NextDouble() * 9.0);
+      }
+    }
+    edge_cols.push_back(std::move(src_col));
+    edge_cols.push_back(std::move(dst_col));
+    if (spec.with_costs) {
+      edge_cols.push_back(std::move(cost_col));
+    }
   }
+  auto edge_table = std::make_shared<Table>(
+      Table::FromColumns(EdgeSchema(spec.with_costs), std::move(edge_cols)));
   if (spec.nominal_edges > 0) {
     edge_table->set_scale(spec.nominal_edges /
                           static_cast<double>(edges.size()));
   }
 
-  auto vertex_table = std::make_shared<Table>(VertexSchema());
-  vertex_table->Reserve(n);
+  std::vector<Column> vertex_cols(
+      {Column(FieldType::kInt64), Column(FieldType::kDouble),
+       Column(FieldType::kInt64)});
   for (int v = 0; v < n; ++v) {
     // With edge costs (SSSP), vertex 0 is the source and starts at zero.
     double value = (spec.with_costs && v == 0) ? 0.0 : spec.initial_value;
-    vertex_table->AddRow({static_cast<int64_t>(v), value, out_degree[v]});
+    vertex_cols[0].mutable_ints()->push_back(v);
+    vertex_cols[1].mutable_doubles()->push_back(value);
+    vertex_cols[2].mutable_ints()->push_back(out_degree[v]);
   }
+  auto vertex_table = std::make_shared<Table>(
+      Table::FromColumns(VertexSchema(), std::move(vertex_cols)));
   if (spec.nominal_vertices > 0) {
     vertex_table->set_scale(spec.nominal_vertices / static_cast<double>(n));
   }
@@ -145,14 +167,14 @@ CommunityPair MakeOverlappingCommunities() {
 
   // Replace a third of B's edges with A's edges.
   auto merged = std::make_shared<Table>(b.edges->schema());
-  const auto& a_rows = out.a.edges->rows();
-  const auto& b_rows = b.edges->rows();
-  size_t shared = a_rows.size() / 3;
-  for (size_t i = 0; i < shared && i < a_rows.size(); ++i) {
-    merged->AddRow(a_rows[i * 3 % a_rows.size()]);
+  const Table& a_edges = *out.a.edges;
+  const Table& b_edges = *b.edges;
+  size_t shared = a_edges.num_rows() / 3;
+  for (size_t i = 0; i < shared && i < a_edges.num_rows(); ++i) {
+    merged->AppendRowFrom(a_edges, i * 3 % a_edges.num_rows());
   }
-  for (size_t i = shared; i < b_rows.size(); ++i) {
-    merged->AddRow(b_rows[i]);
+  for (size_t i = shared; i < b_edges.num_rows(); ++i) {
+    merged->AppendRowFrom(b_edges, i);
   }
   merged->set_scale(b.edges->scale());
   b.edges = merged;
@@ -186,12 +208,15 @@ TablePtr MakeUniformKv(double nominal_rows, int sample_rows, int64_t key_range,
                        uint64_t seed) {
   Rng rng(seed);
   Schema schema({{"k", FieldType::kInt64}, {"v", FieldType::kInt64}});
-  auto table = std::make_shared<Table>(schema);
-  table->Reserve(sample_rows);
+  std::vector<Column> cols({Column(FieldType::kInt64), Column(FieldType::kInt64)});
+  cols[0].Reserve(sample_rows);
+  cols[1].Reserve(sample_rows);
   for (int i = 0; i < sample_rows; ++i) {
-    table->AddRow({rng.NextInRange(0, key_range - 1),
-                   rng.NextInRange(0, 1000000)});
+    cols[0].mutable_ints()->push_back(rng.NextInRange(0, key_range - 1));
+    cols[1].mutable_ints()->push_back(rng.NextInRange(0, 1000000));
   }
+  auto table = std::make_shared<Table>(
+      Table::FromColumns(std::move(schema), std::move(cols)));
   table->set_scale(nominal_rows / sample_rows);
   return table;
 }
@@ -204,14 +229,20 @@ TpchDataset MakeTpch(double scale_factor, int sample_rows, uint64_t seed) {
   Schema li_schema({{"partkey", FieldType::kInt64},
                     {"quantity", FieldType::kDouble},
                     {"extendedprice", FieldType::kDouble}});
-  auto lineitem = std::make_shared<Table>(li_schema);
   const int64_t part_keys = std::max<int64_t>(200, sample_rows / 10);
-  lineitem->Reserve(sample_rows);
-  for (int i = 0; i < sample_rows; ++i) {
-    lineitem->AddRow({rng.NextInRange(0, part_keys - 1),
-                      1.0 + rng.NextDouble() * 49.0,
-                      900.0 + rng.NextDouble() * 100000.0});
+  std::vector<Column> li_cols({Column(FieldType::kInt64),
+                               Column(FieldType::kDouble),
+                               Column(FieldType::kDouble)});
+  for (Column& c : li_cols) {
+    c.Reserve(sample_rows);
   }
+  for (int i = 0; i < sample_rows; ++i) {
+    li_cols[0].mutable_ints()->push_back(rng.NextInRange(0, part_keys - 1));
+    li_cols[1].mutable_doubles()->push_back(1.0 + rng.NextDouble() * 49.0);
+    li_cols[2].mutable_doubles()->push_back(900.0 + rng.NextDouble() * 100000.0);
+  }
+  auto lineitem = std::make_shared<Table>(
+      Table::FromColumns(li_schema, std::move(li_cols)));
   // Size by bytes, not rows: the paper quotes 7.5 GB at SF 10 through 75 GB
   // at SF 100 for the Q17 input; lineitem dominates that footprint.
   lineitem->set_scale(0.72 * kGB * scale_factor / lineitem->sample_bytes());
@@ -268,14 +299,19 @@ TablePtr MakePurchases(double nominal_rows, int sample_rows, int num_regions,
   Schema schema({{"uid", FieldType::kInt64},
                  {"region", FieldType::kInt64},
                  {"amount", FieldType::kDouble}});
-  auto table = std::make_shared<Table>(schema);
-  table->Reserve(sample_rows);
+  std::vector<Column> cols({Column(FieldType::kInt64), Column(FieldType::kInt64),
+                            Column(FieldType::kDouble)});
+  for (Column& c : cols) {
+    c.Reserve(sample_rows);
+  }
   int64_t num_users = std::max(10, sample_rows / 8);
   for (int i = 0; i < sample_rows; ++i) {
-    table->AddRow({rng.NextInRange(0, num_users - 1),
-                   rng.NextInRange(0, num_regions - 1),
-                   rng.NextDouble() * 500.0});
+    cols[0].mutable_ints()->push_back(rng.NextInRange(0, num_users - 1));
+    cols[1].mutable_ints()->push_back(rng.NextInRange(0, num_regions - 1));
+    cols[2].mutable_doubles()->push_back(rng.NextDouble() * 500.0);
   }
+  auto table = std::make_shared<Table>(
+      Table::FromColumns(std::move(schema), std::move(cols)));
   table->set_scale(nominal_rows / sample_rows);
   return table;
 }

@@ -25,7 +25,7 @@ std::unique_ptr<Dag> BlackBoxDag() {
       Schema({{"uid", FieldType::kInt64}, {"score", FieldType::kDouble}});
   bb.fn = [](const std::vector<const Table*>& inputs) -> StatusOr<Table> {
     Table out(Schema({{"uid", FieldType::kInt64}, {"score", FieldType::kDouble}}));
-    for (const Row& row : inputs[0]->rows()) {
+    for (const Row& row : inputs[0]->MaterializeRows()) {
       out.AddRow({row[0], AsDouble(row[1]) * 0.5});
     }
     out.set_scale(inputs[0]->scale());

@@ -1,0 +1,213 @@
+// Unit tests for the typed Column storage and the Value sentinel semantics
+// the columnar data plane relies on (string cells have no numeric view).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/relational/ops.h"
+#include "src/relational/table.h"
+
+namespace musketeer {
+namespace {
+
+// --- Column basics ------------------------------------------------------
+
+TEST(ColumnTest, TypedAppendAndValueAt) {
+  Column ints(FieldType::kInt64);
+  EXPECT_TRUE(ints.Append(static_cast<int64_t>(7)));
+  EXPECT_TRUE(ints.Append(2.9));  // numeric coercion truncates like AsInt64
+  ASSERT_EQ(ints.size(), 2u);
+  EXPECT_EQ(ints.ints()[0], 7);
+  EXPECT_EQ(ints.ints()[1], 2);
+  EXPECT_EQ(AsInt64(ints.ValueAt(0)), 7);
+
+  Column strs(FieldType::kString);
+  EXPECT_TRUE(strs.Append(std::string("abc")));
+  ASSERT_EQ(strs.size(), 1u);
+  EXPECT_EQ(strs.strings()[0], "abc");
+}
+
+TEST(ColumnTest, AppendRejectsStringNumericMismatch) {
+  Column ints(FieldType::kInt64);
+  EXPECT_FALSE(ints.Append(std::string("oops")));
+  EXPECT_EQ(ints.size(), 0u);  // nothing appended on mismatch
+
+  Column strs(FieldType::kString);
+  EXPECT_FALSE(strs.Append(static_cast<int64_t>(3)));
+  EXPECT_FALSE(strs.Append(1.5));
+  EXPECT_EQ(strs.size(), 0u);
+}
+
+TEST(ColumnTest, GatherAndSlice) {
+  Column c(FieldType::kDouble);
+  for (int i = 0; i < 6; ++i) c.Append(static_cast<double>(i) * 1.5);
+  Column g = c.Gather({5, 0, 3});
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_DOUBLE_EQ(g.doubles()[0], 7.5);
+  EXPECT_DOUBLE_EQ(g.doubles()[1], 0.0);
+  EXPECT_DOUBLE_EQ(g.doubles()[2], 4.5);
+
+  Column s = c.Slice(2, 4);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.doubles()[0], 3.0);
+  EXPECT_DOUBLE_EQ(s.doubles()[1], 4.5);
+
+  Column empty = c.Slice(3, 3);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.type(), FieldType::kDouble);
+}
+
+TEST(ColumnTest, HashAtMatchesHashValueAcrossNumericTypes) {
+  Column ints(FieldType::kInt64);
+  ints.Append(static_cast<int64_t>(42));
+  Column dbls(FieldType::kDouble);
+  dbls.Append(42.0);
+  Column strs(FieldType::kString);
+  strs.Append(std::string("42"));
+
+  // 42 and 42.0 collide (ValuesEqual says they are equal); the shuffle
+  // partitioning in every engine depends on this exact agreement.
+  EXPECT_EQ(ints.HashAt(0), HashValue(Value(static_cast<int64_t>(42))));
+  EXPECT_EQ(dbls.HashAt(0), HashValue(Value(42.0)));
+  EXPECT_EQ(ints.HashAt(0), dbls.HashAt(0));
+  EXPECT_EQ(strs.HashAt(0), HashValue(Value(std::string("42"))));
+}
+
+TEST(ColumnTest, CompareAtCrossTypeSemantics) {
+  Column ints(FieldType::kInt64);
+  ints.Append(static_cast<int64_t>(3));
+  Column dbls(FieldType::kDouble);
+  dbls.Append(3.0);
+  dbls.Append(3.5);
+  Column strs(FieldType::kString);
+  strs.Append(std::string("a"));
+  strs.Append(std::string("b"));
+
+  EXPECT_EQ(ints.CompareAt(0, dbls, 0), 0);  // 3 == 3.0
+  EXPECT_LT(ints.CompareAt(0, dbls, 1), 0);  // 3 < 3.5
+  EXPECT_LT(ints.CompareAt(0, strs, 0), 0);  // numerics order before strings
+  EXPECT_LT(strs.CompareAt(0, strs, 1), 0);  // lexicographic
+  EXPECT_TRUE(ints.EqualAt(0, dbls, 0));
+  EXPECT_FALSE(ints.EqualAt(0, strs, 0));
+}
+
+TEST(ColumnTest, IdenticalToIsExact) {
+  Column a(FieldType::kInt64);
+  a.Append(static_cast<int64_t>(1));
+  Column b(FieldType::kDouble);
+  b.Append(1.0);
+  // Cross-numeric equality is NOT identity: Identical distinguishes types.
+  EXPECT_TRUE(a.EqualAt(0, b, 0));
+  EXPECT_FALSE(a.IdenticalTo(b));
+  Column a2 = a;
+  EXPECT_TRUE(a.IdenticalTo(a2));
+}
+
+// --- Table over columns -------------------------------------------------
+
+TEST(ColumnTest, EmptyTableHasTypedEmptyColumns) {
+  Schema s({{"k", FieldType::kInt64},
+            {"v", FieldType::kDouble},
+            {"tag", FieldType::kString}});
+  Table t(s);
+  EXPECT_EQ(t.num_rows(), 0u);
+  ASSERT_EQ(t.num_fields(), 3u);
+  EXPECT_EQ(t.col(0).type(), FieldType::kInt64);
+  EXPECT_EQ(t.col(1).type(), FieldType::kDouble);
+  EXPECT_EQ(t.col(2).type(), FieldType::kString);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_TRUE(t.MaterializeRows().empty());
+
+  // Kernels accept empty tables.
+  Table sel = SelectRows(t, [](const Row&) { return true; });
+  EXPECT_EQ(sel.num_rows(), 0u);
+  Table d = Distinct(t);
+  EXPECT_EQ(d.num_rows(), 0u);
+  auto sorted = SortBy(t, {0});
+  EXPECT_EQ(sorted.num_rows(), 0u);
+}
+
+TEST(ColumnTest, StringColumnsRoundTripThroughKernels) {
+  Schema s({{"name", FieldType::kString}, {"n", FieldType::kInt64}});
+  Table t(s);
+  t.AddRow({std::string("beta"), static_cast<int64_t>(2)});
+  t.AddRow({std::string("alpha"), static_cast<int64_t>(1)});
+  t.AddRow({std::string("beta"), static_cast<int64_t>(2)});
+
+  Table d = Distinct(t);
+  EXPECT_EQ(d.num_rows(), 2u);
+
+  Table sorted = SortBy(t, {0});
+  EXPECT_EQ(std::get<std::string>(sorted.ValueAt(0, 0)), "alpha");
+  EXPECT_EQ(std::get<std::string>(sorted.ValueAt(1, 0)), "beta");
+
+  auto joined = HashJoin(t, t, 0, 0);
+  ASSERT_TRUE(joined.ok());
+  // alpha matches once; each beta row matches both beta rows.
+  EXPECT_EQ(joined->num_rows(), 5u);
+}
+
+TEST(ColumnTest, GroupByRejectsStringAggregation) {
+  Schema s({{"k", FieldType::kInt64}, {"tag", FieldType::kString}});
+  Table t(s);
+  t.AddRow({static_cast<int64_t>(1), std::string("x")});
+  auto bad = GroupByAgg(t, {0}, {{AggFn::kSum, 1, "total"}});
+  EXPECT_FALSE(bad.ok());
+  // COUNT never reads the cells, so it stays legal next to string columns.
+  auto ok = GroupByAgg(t, {0}, {{AggFn::kCount, 1, "n"}});
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(ColumnTest, AddRowTypeMismatchKeepsRowAlignment) {
+  Schema s({{"k", FieldType::kInt64}, {"v", FieldType::kDouble}});
+  Table t(s);
+  t.AddRow({static_cast<int64_t>(1), 0.5});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_TRUE(t.Validate().ok());
+  // Numeric cells coerce to the declared column type.
+  t.AddRow({2.9, static_cast<int64_t>(4)});
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.col(0).ints()[1], 2);
+  EXPECT_DOUBLE_EQ(t.col(1).doubles()[1], 4.0);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+// --- Value sentinels ----------------------------------------------------
+
+TEST(ValueSentinelTest, StringNumericViewsAreSentinels) {
+  Value s = std::string("12");
+  // Views, not parses: "12" does NOT become 12.
+  EXPECT_TRUE(std::isnan(AsDouble(s)));
+  EXPECT_EQ(AsInt64(s), std::numeric_limits<int64_t>::min());
+}
+
+TEST(ValueSentinelTest, NumericViewsStayExact) {
+  EXPECT_DOUBLE_EQ(AsDouble(Value(static_cast<int64_t>(5))), 5.0);
+  EXPECT_DOUBLE_EQ(AsDouble(Value(2.25)), 2.25);
+  EXPECT_EQ(AsInt64(Value(static_cast<int64_t>(5))), 5);
+  EXPECT_EQ(AsInt64(Value(2.9)), 2);  // truncation, as before
+}
+
+TEST(ValueSentinelTest, TryVariantsSignalStrings) {
+  EXPECT_EQ(TryAsDouble(Value(std::string("x"))), std::nullopt);
+  EXPECT_EQ(TryAsInt64(Value(std::string("x"))), std::nullopt);
+  ASSERT_TRUE(TryAsDouble(Value(1.5)).has_value());
+  EXPECT_DOUBLE_EQ(*TryAsDouble(Value(1.5)), 1.5);
+  ASSERT_TRUE(TryAsInt64(Value(static_cast<int64_t>(9))).has_value());
+  EXPECT_EQ(*TryAsInt64(Value(static_cast<int64_t>(9))), 9);
+}
+
+TEST(ValueSentinelTest, IsTruthySemantics) {
+  EXPECT_TRUE(IsTruthy(Value(static_cast<int64_t>(1))));
+  EXPECT_TRUE(IsTruthy(Value(-0.5)));
+  EXPECT_FALSE(IsTruthy(Value(static_cast<int64_t>(0))));
+  EXPECT_FALSE(IsTruthy(Value(0.0)));
+  // Strings are always false (historical row-plane behavior).
+  EXPECT_FALSE(IsTruthy(Value(std::string("true"))));
+  EXPECT_FALSE(IsTruthy(Value(std::string(""))));
+}
+
+}  // namespace
+}  // namespace musketeer

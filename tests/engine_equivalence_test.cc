@@ -9,6 +9,7 @@
 #include "src/core/musketeer.h"
 #include "src/workloads/datasets.h"
 #include "src/workloads/workflows.h"
+#include "tests/row_reference.h"
 
 namespace musketeer {
 namespace {
@@ -209,6 +210,43 @@ TEST_P(EngineEquivalenceTest, ParallelMatchesSequentialBitIdentical) {
         << " is not bit-identical at " << threads << " threads";
   }
 }
+
+// The columnar migration contract: the typed-column kernels (and the batch
+// expression compiler behind kSelect/kMap) produce BIT-identical output —
+// row order, types, and every floating-point bit — to the seed row-of-variants
+// kernels preserved in tests/row_reference.cc. Engine-independent, so it runs
+// once per workflow on the two interpreters.
+class ColumnarRowEquivalenceTest : public ::testing::TestWithParam<Wf> {};
+
+TEST_P(ColumnarRowEquivalenceTest, ColumnarIdenticalToRowReference) {
+  WfSetup setup = MakeSetup(GetParam());
+
+  auto dag = ParseWorkflow(setup.workflow.language, setup.workflow.source);
+  ASSERT_TRUE(dag.ok()) << dag.status();
+
+  auto columnar =
+      EvaluateDagRelation(**dag, setup.inputs, setup.result_relation);
+  ASSERT_TRUE(columnar.ok()) << columnar.status();
+
+  auto row_based =
+      rowref::EvaluateDagRelation(**dag, setup.inputs, setup.result_relation);
+  ASSERT_TRUE(row_based.ok()) << row_based.status();
+
+  EXPECT_TRUE(Table::Identical(*columnar, *row_based))
+      << "columnar plane diverged from the row reference on "
+      << WfName(GetParam()) << "\ncolumnar:\n"
+      << columnar->DebugString() << "row reference:\n"
+      << row_based->DebugString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkflows, ColumnarRowEquivalenceTest,
+    ::testing::Values(Wf::kTopShopper, Wf::kTpchHive, Wf::kTpchLindi,
+                      Wf::kNetflix, Wf::kSimpleJoin, Wf::kPageRank, Wf::kSssp,
+                      Wf::kKmeans, Wf::kCrossCommunity),
+    [](const ::testing::TestParamInfo<Wf>& info) {
+      return WfName(info.param);
+    });
 
 INSTANTIATE_TEST_SUITE_P(
     AllWorkflowsAllEngines, EngineEquivalenceTest,

@@ -44,7 +44,7 @@ TEST(BeerParserTest, MaxPropertyPriceWorkflow) {
   auto result = EvaluateDagRelation(**dag, PropertyData(), "street_price");
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_EQ(result->num_rows(), 2u);
-  for (const Row& r : result->rows()) {
+  for (const Row& r : result->MaterializeRows()) {
     if (std::get<std::string>(r[0]) == "High St") {
       EXPECT_DOUBLE_EQ(AsDouble(r[2]), 400000.0);
     } else {
@@ -71,7 +71,7 @@ TEST(BeerParserTest, SelectWhereSplitsIntoFilterAndProject) {
   auto result = EvaluateDagRelation(**dag, PropertyData(), "cheap");
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->num_rows(), 1u);
-  EXPECT_EQ(AsInt64(result->rows()[0][0]), 3);
+  EXPECT_EQ(AsInt64(result->MaterializeRows()[0][0]), 3);
 }
 
 TEST(BeerParserTest, WhileLoopIterates) {
@@ -91,7 +91,7 @@ TEST(BeerParserTest, WhileLoopIterates) {
   auto result = EvaluateDagRelation(**dag, {{"seed", seed}}, "result");
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_EQ(result->num_rows(), 1u);
-  EXPECT_DOUBLE_EQ(AsDouble(result->rows()[0][1]), 8.0);
+  EXPECT_DOUBLE_EQ(AsDouble(result->MaterializeRows()[0][1]), 8.0);
 }
 
 TEST(BeerParserTest, SetOperations) {
@@ -167,7 +167,7 @@ TEST(HiveParserTest, GlobalAggregate) {
   auto result = EvaluateDagRelation(**dag, PropertyData(), "result");
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_EQ(result->num_rows(), 1u);
-  EXPECT_DOUBLE_EQ(AsDouble(result->rows()[0][0]), 830000.0);
+  EXPECT_DOUBLE_EQ(AsDouble(result->MaterializeRows()[0][0]), 830000.0);
 }
 
 TEST(HiveParserTest, BareColumnOutsideGroupByRejected) {
@@ -239,7 +239,7 @@ TEST(GasParserTest, PageRankConvergesOnTriangle) {
                                     "gas_result");
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_EQ(result->num_rows(), 3u);
-  for (const Row& r : result->rows()) {
+  for (const Row& r : result->MaterializeRows()) {
     EXPECT_NEAR(AsDouble(r[1]), 1.0, 1e-9);
   }
 }
@@ -274,7 +274,7 @@ TEST(LindiParserTest, WhereDistinctCount) {
   auto result = EvaluateDagRelation(**dag, PropertyData(), "n");
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_EQ(result->num_rows(), 1u);
-  EXPECT_EQ(AsInt64(result->rows()[0][0]), 3);
+  EXPECT_EQ(AsInt64(result->MaterializeRows()[0][0]), 3);
 }
 
 TEST(LindiParserTest, MultipleAggregationsAfterGroupBy) {

@@ -178,7 +178,7 @@ TEST(EvalTest, UdfOperatorRuns) {
   edges->AddRow({int64_t{2}, int64_t{3}});
   auto result = EvaluateDagRelation(dag, {{"edges", edges}}, "n");
   ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_EQ(AsInt64(result->rows()[0][0]), 2);
+  EXPECT_EQ(AsInt64(result->MaterializeRows()[0][0]), 2);
 }
 
 TEST(EvalTest, MissingBaseRelationReported) {

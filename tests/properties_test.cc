@@ -77,7 +77,7 @@ TEST_P(RelationalPropertyTest, JoinCardinalityIsOrderIndependent) {
   // Both equal the sum over keys of |a_k| * |b_k|.
   auto count_by_key = [](const Table& t) {
     std::map<int64_t, size_t> counts;
-    for (const Row& r : t.rows()) {
+    for (const Row& r : t.MaterializeRows()) {
       ++counts[AsInt64(r[0])];
     }
     return counts;
@@ -109,14 +109,14 @@ TEST_P(RelationalPropertyTest, GroupByPartitionsTheInput) {
   ASSERT_TRUE(grouped.ok());
   int64_t total_count = 0;
   double total_sum = 0;
-  for (const Row& r : grouped->rows()) {
+  for (const Row& r : grouped->MaterializeRows()) {
     total_count += AsInt64(r[1]);
     total_sum += AsDouble(r[2]);
   }
   EXPECT_EQ(total_count, static_cast<int64_t>(t.num_rows()));
   auto global = GroupByAgg(t, {}, {{AggFn::kSum, 1, "total"}});
   ASSERT_TRUE(global.ok());
-  EXPECT_NEAR(total_sum, AsDouble(global->rows()[0][0]), 1e-6);
+  EXPECT_NEAR(total_sum, AsDouble(global->MaterializeRows()[0][0]), 1e-6);
 }
 
 TEST_P(RelationalPropertyTest, MinMaxBracketAvg) {
@@ -126,7 +126,7 @@ TEST_P(RelationalPropertyTest, MinMaxBracketAvg) {
                            {AggFn::kAvg, 1, "mid"},
                            {AggFn::kMax, 1, "hi"}});
   ASSERT_TRUE(stats.ok());
-  for (const Row& r : stats->rows()) {
+  for (const Row& r : stats->MaterializeRows()) {
     EXPECT_LE(AsDouble(r[1]), AsDouble(r[2]) + 1e-9);
     EXPECT_LE(AsDouble(r[2]), AsDouble(r[3]) + 1e-9);
   }
@@ -137,7 +137,7 @@ TEST_P(RelationalPropertyTest, SortPreservesContent) {
   Table sorted = SortBy(t, {0, 1});
   EXPECT_TRUE(Table::SameContent(t, sorted));
   for (size_t i = 1; i < sorted.num_rows(); ++i) {
-    EXPECT_LE(AsInt64(sorted.rows()[i - 1][0]), AsInt64(sorted.rows()[i][0]));
+    EXPECT_LE(AsInt64(sorted.ValueAt(i - 1, 0)), AsInt64(sorted.ValueAt(i, 0)));
   }
 }
 
@@ -147,11 +147,11 @@ TEST_P(RelationalPropertyTest, TopNMatchesSortedPrefix) {
   ASSERT_EQ(top.num_rows(), 10u);
   // Every excluded row's value is <= the smallest selected value.
   double min_selected = 1e300;
-  for (const Row& r : top.rows()) {
+  for (const Row& r : top.MaterializeRows()) {
     min_selected = std::min(min_selected, AsDouble(r[1]));
   }
   size_t at_least = 0;
-  for (const Row& r : t.rows()) {
+  for (const Row& r : t.MaterializeRows()) {
     at_least += AsDouble(r[1]) >= min_selected ? 1 : 0;
   }
   EXPECT_GE(at_least, 10u);

@@ -27,7 +27,7 @@ TEST(SelectRowsTest, FiltersByPredicate) {
   Table t = PurchasesTable();
   Table out = SelectRows(t, [](const Row& r) { return AsInt64(r[1]) == 10; });
   EXPECT_EQ(out.num_rows(), 4u);
-  for (const Row& r : out.rows()) {
+  for (const Row& r : out.MaterializeRows()) {
     EXPECT_EQ(AsInt64(r[1]), 10);
   }
 }
@@ -46,7 +46,7 @@ TEST(ProjectColumnsTest, KeepsRequestedColumns) {
   EXPECT_EQ(out->schema().field(0).name, "amount");
   EXPECT_EQ(out->schema().field(1).name, "uid");
   EXPECT_EQ(out->num_rows(), 5u);
-  EXPECT_DOUBLE_EQ(AsDouble(out->rows()[0][0]), 5.0);
+  EXPECT_DOUBLE_EQ(AsDouble(out->MaterializeRows()[0][0]), 5.0);
 }
 
 TEST(ProjectColumnsTest, RejectsOutOfRange) {
@@ -161,7 +161,7 @@ TEST(GroupByAggTest, ComputesAllAggregations) {
                          {AggFn::kAvg, 2, "avg"}});
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(out->num_rows(), 3u);
-  for (const Row& r : out->rows()) {
+  for (const Row& r : out->MaterializeRows()) {
     if (AsInt64(r[0]) == 1) {
       EXPECT_DOUBLE_EQ(AsDouble(r[1]), 12.5);
       EXPECT_EQ(AsInt64(r[2]), 2);
@@ -177,7 +177,7 @@ TEST(GroupByAggTest, GlobalAggregateSingleRow) {
   auto out = GroupByAgg(t, {}, {{AggFn::kSum, 2, "total"}});
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out->num_rows(), 1u);
-  EXPECT_DOUBLE_EQ(AsDouble(out->rows()[0][0]), 117.5);
+  EXPECT_DOUBLE_EQ(AsDouble(out->MaterializeRows()[0][0]), 117.5);
 }
 
 TEST(GroupByAggTest, EmptyInputGlobalAggregate) {
@@ -185,7 +185,7 @@ TEST(GroupByAggTest, EmptyInputGlobalAggregate) {
   auto out = GroupByAgg(t, {}, {{AggFn::kCount, 0, "n"}});
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out->num_rows(), 1u);
-  EXPECT_EQ(AsInt64(out->rows()[0][0]), 0);
+  EXPECT_EQ(AsInt64(out->MaterializeRows()[0][0]), 0);
 }
 
 TEST(GroupByAggTest, IntColumnsKeepIntTypeForSumMinMax) {
@@ -196,7 +196,7 @@ TEST(GroupByAggTest, IntColumnsKeepIntTypeForSumMinMax) {
   auto out = GroupByAgg(t, {0}, {{AggFn::kSum, 1, "s"}});
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(out->schema().field(1).type, FieldType::kInt64);
-  EXPECT_EQ(AsInt64(out->rows()[0][1]), 10);
+  EXPECT_EQ(AsInt64(out->MaterializeRows()[0][1]), 10);
 }
 
 TEST(ExtremeRowTest, MaxRowAndDeterministicTies) {
@@ -204,11 +204,11 @@ TEST(ExtremeRowTest, MaxRowAndDeterministicTies) {
   auto out = ExtremeRow(t, 2, /*take_max=*/true);
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out->num_rows(), 1u);
-  EXPECT_DOUBLE_EQ(AsDouble(out->rows()[0][2]), 100.0);
+  EXPECT_DOUBLE_EQ(AsDouble(out->MaterializeRows()[0][2]), 100.0);
 
   auto out_min = ExtremeRow(t, 2, /*take_max=*/false);
   ASSERT_TRUE(out_min.ok());
-  EXPECT_DOUBLE_EQ(AsDouble(out_min->rows()[0][2]), 2.0);
+  EXPECT_DOUBLE_EQ(AsDouble(out_min->MaterializeRows()[0][2]), 2.0);
 }
 
 TEST(ExtremeRowTest, EmptyInputYieldsEmpty) {
@@ -222,25 +222,29 @@ TEST(TopNByTest, TakesLargestN) {
   Table t = PurchasesTable();
   Table out = TopNBy(t, 2, 2);
   ASSERT_EQ(out.num_rows(), 2u);
-  EXPECT_DOUBLE_EQ(AsDouble(out.rows()[0][2]), 100.0);
-  EXPECT_DOUBLE_EQ(AsDouble(out.rows()[1][2]), 7.5);
+  EXPECT_DOUBLE_EQ(AsDouble(out.MaterializeRows()[0][2]), 100.0);
+  EXPECT_DOUBLE_EQ(AsDouble(out.MaterializeRows()[1][2]), 7.5);
 }
 
 TEST(SortByTest, SortsByMultipleColumns) {
   Table t = PurchasesTable();
   Table out = SortBy(t, {1, 2});
-  EXPECT_EQ(AsInt64(out.rows()[0][1]), 10);
-  EXPECT_DOUBLE_EQ(AsDouble(out.rows()[0][2]), 2.0);
-  EXPECT_EQ(AsInt64(out.rows()[4][1]), 20);
+  EXPECT_EQ(AsInt64(out.MaterializeRows()[0][1]), 10);
+  EXPECT_DOUBLE_EQ(AsDouble(out.MaterializeRows()[0][2]), 2.0);
+  EXPECT_EQ(AsInt64(out.MaterializeRows()[4][1]), 20);
 }
 
 TEST(TableTest, SameContentIgnoresOrder) {
   Table a = PurchasesTable();
   Table b = PurchasesTable();
-  std::reverse(b.mutable_rows()->begin(), b.mutable_rows()->end());
-  EXPECT_TRUE(Table::SameContent(a, b));
-  b.mutable_rows()->pop_back();
-  EXPECT_FALSE(Table::SameContent(a, b));
+  std::vector<uint32_t> reversed_idx;
+  for (size_t i = b.num_rows(); i > 0; --i) {
+    reversed_idx.push_back(static_cast<uint32_t>(i - 1));
+  }
+  Table reversed = b.Gather(reversed_idx);
+  EXPECT_TRUE(Table::SameContent(a, reversed));
+  Table truncated = reversed.Slice(0, reversed.num_rows() - 1);
+  EXPECT_FALSE(Table::SameContent(a, truncated));
 }
 
 TEST(TableTest, NominalSizesScale) {

@@ -1,0 +1,853 @@
+#include "tests/row_reference.h"
+
+#include <algorithm>
+#include <iterator>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/base/parallel.h"
+
+// This file is the pre-columnar data plane, kept verbatim as a test oracle:
+// the same kMorselRows chunking, the same pairwise merge trees, the same
+// emission orders — only the storage behind each kernel is row-of-variants
+// (materialized at the kernel boundary) instead of typed columns. Any
+// divergence between these kernels and src/relational/ops.cc is a columnar
+// migration bug, which is exactly what the Identical sweep exists to catch.
+
+namespace musketeer {
+namespace rowref {
+
+namespace {
+
+// Single-value wrappers for hash containers keyed by one column.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return HashValue(v); }
+};
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const {
+    return ValuesEqual(a, b);
+  }
+};
+
+// Fan-out of the partitioned hash-join build; must stay equal to the
+// columnar plane's kJoinPartitions.
+constexpr size_t kJoinPartitions = 64;
+
+// Stable parallel merge sort: per-morsel stable_sort, then rounds of stable
+// std::merge over adjacent runs (ties take the left run first). The result
+// is the stable-sort permutation — unique for a given comparator — so it is
+// identical to std::stable_sort over the whole range.
+template <typename Less>
+void ParallelStableSortRows(std::vector<Row>* rows, const Less& less) {
+  const size_t n = rows->size();
+  const size_t chunks = NumChunks(n, kMorselRows);
+  if (chunks <= 1) {
+    std::stable_sort(rows->begin(), rows->end(), less);
+    return;
+  }
+  ParallelChunks(n, kMorselRows, [&](size_t, size_t begin, size_t end) {
+    std::stable_sort(rows->begin() + begin, rows->begin() + end, less);
+  });
+
+  std::vector<size_t> bounds;
+  bounds.reserve(chunks + 1);
+  for (size_t c = 0; c < chunks; ++c) bounds.push_back(c * kMorselRows);
+  bounds.push_back(n);
+
+  std::vector<Row> tmp(n);
+  std::vector<Row>* src = rows;
+  std::vector<Row>* dst = &tmp;
+  while (bounds.size() > 2) {
+    const size_t runs = bounds.size() - 1;
+    const size_t pairs = runs / 2;
+    ParallelChunks(pairs, 1, [&](size_t p, size_t, size_t) {
+      const size_t lo = bounds[2 * p];
+      const size_t mid = bounds[2 * p + 1];
+      const size_t hi = bounds[2 * p + 2];
+      std::merge(std::make_move_iterator(src->begin() + lo),
+                 std::make_move_iterator(src->begin() + mid),
+                 std::make_move_iterator(src->begin() + mid),
+                 std::make_move_iterator(src->begin() + hi),
+                 dst->begin() + lo, less);
+    });
+    if (runs % 2 == 1) {  // odd run out: carry over unmerged
+      std::move(src->begin() + bounds[runs - 1], src->begin() + bounds[runs],
+                dst->begin() + bounds[runs - 1]);
+    }
+    std::vector<size_t> next;
+    next.reserve(pairs + 2);
+    for (size_t i = 0; i < bounds.size(); i += 2) next.push_back(bounds[i]);
+    if (bounds.size() % 2 == 0) next.push_back(n);
+    bounds = std::move(next);
+    std::swap(src, dst);
+  }
+  if (src != rows) *rows = std::move(tmp);
+}
+
+Table FromRows(const Schema& schema, std::vector<Row>&& rows, double scale) {
+  Table out(schema);
+  out.set_scale(scale);
+  out.Reserve(rows.size());
+  out.AppendRows(std::move(rows));
+  return out;
+}
+
+}  // namespace
+
+Table SelectRows(const Table& in, const RowPredicate& pred) {
+  const std::vector<Row> rows = in.MaterializeRows();
+  auto parts = ParallelMapChunks<std::vector<Row>>(
+      rows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        std::vector<Row> kept;
+        for (size_t i = begin; i < end; ++i) {
+          if (pred(rows[i])) kept.push_back(rows[i]);
+        }
+        return kept;
+      });
+  Table out(in.schema());
+  out.set_scale(in.scale());
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out.Reserve(total);
+  for (auto& p : parts) out.AppendRows(std::move(p));
+  return out;
+}
+
+StatusOr<Table> ProjectColumns(const Table& in, const std::vector<int>& columns) {
+  Schema out_schema;
+  for (int c : columns) {
+    if (c < 0 || c >= static_cast<int>(in.schema().num_fields())) {
+      return InvalidArgumentError("PROJECT column index " + std::to_string(c) +
+                                  " out of range for schema " +
+                                  in.schema().ToString());
+    }
+    out_schema.AddField(in.schema().field(c));
+  }
+  const std::vector<Row> rows = in.MaterializeRows();
+  std::vector<Row> out_rows(rows.size());
+  ParallelChunks(rows.size(), kMorselRows,
+                 [&](size_t, size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     Row r;
+                     r.reserve(columns.size());
+                     for (int c : columns) {
+                       r.push_back(rows[i][c]);
+                     }
+                     out_rows[i] = std::move(r);
+                   }
+                 });
+  return FromRows(out_schema, std::move(out_rows), in.scale());
+}
+
+Table MapRows(const Table& in, const Schema& out_schema,
+              const std::vector<RowProjector>& projectors) {
+  const std::vector<Row> rows = in.MaterializeRows();
+  std::vector<Row> out_rows(rows.size());
+  ParallelChunks(rows.size(), kMorselRows,
+                 [&](size_t, size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     Row r;
+                     r.reserve(projectors.size());
+                     for (const RowProjector& p : projectors) {
+                       r.push_back(p(rows[i]));
+                     }
+                     out_rows[i] = std::move(r);
+                   }
+                 });
+  return FromRows(out_schema, std::move(out_rows), in.scale());
+}
+
+StatusOr<Table> HashJoin(const Table& left, const Table& right, int lkey,
+                         int rkey) {
+  if (lkey < 0 || lkey >= static_cast<int>(left.schema().num_fields())) {
+    return InvalidArgumentError("JOIN left key out of range");
+  }
+  if (rkey < 0 || rkey >= static_cast<int>(right.schema().num_fields())) {
+    return InvalidArgumentError("JOIN right key out of range");
+  }
+
+  Schema out_schema;
+  out_schema.AddField(left.schema().field(lkey));
+  for (int c = 0; c < static_cast<int>(left.schema().num_fields()); ++c) {
+    if (c != lkey) {
+      out_schema.AddField(left.schema().field(c));
+    }
+  }
+  for (int c = 0; c < static_cast<int>(right.schema().num_fields()); ++c) {
+    if (c != rkey) {
+      out_schema.AddField(right.schema().field(c));
+    }
+  }
+
+  // Partitioned build over the right side: scatter row indices to
+  // kJoinPartitions buckets per morsel, concatenate buckets in morsel order
+  // (preserving right-row index order inside each partition), then build one
+  // key → row-indices table per partition in parallel.
+  const std::vector<Row> rrows = right.MaterializeRows();
+  auto scattered = ParallelMapChunks<std::vector<std::vector<size_t>>>(
+      rrows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        std::vector<std::vector<size_t>> buckets(kJoinPartitions);
+        for (size_t i = begin; i < end; ++i) {
+          buckets[HashValue(rrows[i][rkey]) % kJoinPartitions].push_back(i);
+        }
+        return buckets;
+      });
+
+  using PartitionTable =
+      std::unordered_map<Value, std::vector<size_t>, ValueHash, ValueEq>;
+  std::vector<PartitionTable> tables(kJoinPartitions);
+  ParallelChunks(kJoinPartitions, 1, [&](size_t p, size_t, size_t) {
+    size_t total = 0;
+    for (const auto& chunk : scattered) total += chunk[p].size();
+    PartitionTable& table = tables[p];
+    table.reserve(total);
+    for (const auto& chunk : scattered) {
+      for (size_t ridx : chunk[p]) {
+        table[rrows[ridx][rkey]].push_back(ridx);
+      }
+    }
+  });
+
+  // Probe in left-row order; a left row's matches emit in right-row index
+  // order — the same fixed emission order as the columnar join.
+  const std::vector<Row> lrows = left.MaterializeRows();
+  auto parts = ParallelMapChunks<std::vector<Row>>(
+      lrows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        std::vector<Row> matched;
+        for (size_t i = begin; i < end; ++i) {
+          const Row& lrow = lrows[i];
+          const PartitionTable& table =
+              tables[HashValue(lrow[lkey]) % kJoinPartitions];
+          auto it = table.find(lrow[lkey]);
+          if (it == table.end()) continue;
+          for (size_t ridx : it->second) {
+            const Row& rrow = rrows[ridx];
+            Row r;
+            r.reserve(out_schema.num_fields());
+            r.push_back(lrow[lkey]);
+            for (int c = 0; c < static_cast<int>(lrow.size()); ++c) {
+              if (c != lkey) {
+                r.push_back(lrow[c]);
+              }
+            }
+            for (int c = 0; c < static_cast<int>(rrow.size()); ++c) {
+              if (c != rkey) {
+                r.push_back(rrow[c]);
+              }
+            }
+            matched.push_back(std::move(r));
+          }
+        }
+        return matched;
+      });
+
+  Table out(out_schema);
+  out.set_scale(std::max(left.scale(), right.scale()));
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out.Reserve(total);
+  for (auto& p : parts) out.AppendRows(std::move(p));
+  return out;
+}
+
+Table CrossJoin(const Table& left, const Table& right) {
+  Schema out_schema;
+  for (const Field& f : left.schema().fields()) {
+    out_schema.AddField(f);
+  }
+  for (const Field& f : right.schema().fields()) {
+    out_schema.AddField(f);
+  }
+  const std::vector<Row> lrows = left.MaterializeRows();
+  const std::vector<Row> rrows = right.MaterializeRows();
+  std::vector<Row> out_rows(lrows.size() * rrows.size());
+  ParallelChunks(lrows.size(), kMorselRows,
+                 [&](size_t, size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     for (size_t j = 0; j < rrows.size(); ++j) {
+                       Row r = lrows[i];
+                       r.insert(r.end(), rrows[j].begin(), rrows[j].end());
+                       out_rows[i * rrows.size() + j] = std::move(r);
+                     }
+                   }
+                 });
+  return FromRows(out_schema, std::move(out_rows),
+                  std::max(left.scale(), right.scale()));
+}
+
+StatusOr<Table> UnionAll(const Table& a, const Table& b) {
+  if (a.schema().num_fields() != b.schema().num_fields()) {
+    return InvalidArgumentError("UNION arity mismatch: " + a.schema().ToString() +
+                                " vs " + b.schema().ToString());
+  }
+  std::vector<Row> out_rows = a.MaterializeRows();
+  std::vector<Row> b_rows = b.MaterializeRows();
+  out_rows.insert(out_rows.end(), std::make_move_iterator(b_rows.begin()),
+                  std::make_move_iterator(b_rows.end()));
+  double scale;
+  double total = static_cast<double>(a.num_rows() + b.num_rows());
+  if (total > 0) {
+    scale = (a.nominal_rows() + b.nominal_rows()) / total;
+  } else {
+    scale = std::max(a.scale(), b.scale());
+  }
+  return FromRows(a.schema(), std::move(out_rows), scale);
+}
+
+namespace {
+
+// INTERSECT / DIFFERENCE share their shape: a parallel membership scan of
+// `a` against a hash set of `b`, then a sequential first-occurrence dedup
+// emitting in `a` order.
+Table SetOpFilter(const Table& a, const Table& b, bool want_member) {
+  const std::vector<Row> b_rows = b.MaterializeRows();
+  std::unordered_set<Row, RowHash, RowEq> in_b(b_rows.begin(), b_rows.end());
+  const std::vector<Row> rows = a.MaterializeRows();
+  std::vector<uint8_t> keep(rows.size(), 0);
+  ParallelChunks(rows.size(), kMorselRows,
+                 [&](size_t, size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     bool member = in_b.count(rows[i]) > 0;
+                     keep[i] = (member == want_member) ? 1 : 0;
+                   }
+                 });
+  std::unordered_set<Row, RowHash, RowEq> emitted;
+  Table out(a.schema());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (keep[i] && emitted.insert(rows[i]).second) {
+      out.AddRow(rows[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Table> Intersect(const Table& a, const Table& b) {
+  if (a.schema().num_fields() != b.schema().num_fields()) {
+    return InvalidArgumentError("INTERSECT arity mismatch");
+  }
+  Table out = SetOpFilter(a, b, /*want_member=*/true);
+  out.set_scale(std::max(a.scale(), b.scale()));
+  return out;
+}
+
+StatusOr<Table> Difference(const Table& a, const Table& b) {
+  if (a.schema().num_fields() != b.schema().num_fields()) {
+    return InvalidArgumentError("DIFFERENCE arity mismatch");
+  }
+  Table out = SetOpFilter(a, b, /*want_member=*/false);
+  out.set_scale(a.scale());
+  return out;
+}
+
+Table Distinct(const Table& in) {
+  const std::vector<Row> rows = in.MaterializeRows();
+  // Chunk-local dedup (preserving chunk order), then a sequential global
+  // dedup over the chunk survivors in chunk order — emission order equals
+  // global first-occurrence order.
+  auto parts = ParallelMapChunks<std::vector<Row>>(
+      rows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        std::unordered_set<Row, RowHash, RowEq> local;
+        std::vector<Row> unique;
+        for (size_t i = begin; i < end; ++i) {
+          if (local.insert(rows[i]).second) unique.push_back(rows[i]);
+        }
+        return unique;
+      });
+  std::unordered_set<Row, RowHash, RowEq> seen;
+  Table out(in.schema());
+  out.set_scale(in.scale());
+  for (auto& part : parts) {
+    for (Row& row : part) {
+      if (seen.insert(row).second) {
+        out.AddRow(std::move(row));
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Per-group running aggregate state; one slot per AggSpec.
+struct Acc {
+  std::vector<double> sums;
+  std::vector<double> mins;
+  std::vector<double> maxs;
+  std::vector<int64_t> counts;
+};
+
+// Partial aggregation over one morsel: groups in first-occurrence order.
+struct GroupPartial {
+  std::unordered_map<Row, size_t, RowHash, RowEq> index;  // key → slot
+  std::vector<Row> keys;                                  // slot → key
+  std::vector<Acc> accs;
+};
+
+// Folds `b` into `a`. Groups new to `a` append in `b`'s slot order, so the
+// merged first-occurrence order equals the first-occurrence order of the
+// concatenated inputs; the per-slot combines form the FP summation tree.
+void MergeGroupPartial(GroupPartial* a, GroupPartial&& b) {
+  for (size_t slot = 0; slot < b.keys.size(); ++slot) {
+    auto it = a->index.find(b.keys[slot]);
+    if (it == a->index.end()) {
+      a->index.emplace(b.keys[slot], a->keys.size());
+      a->keys.push_back(std::move(b.keys[slot]));
+      a->accs.push_back(std::move(b.accs[slot]));
+      continue;
+    }
+    Acc& dst = a->accs[it->second];
+    const Acc& src = b.accs[slot];
+    for (size_t i = 0; i < dst.sums.size(); ++i) {
+      dst.sums[i] += src.sums[i];
+      dst.mins[i] = std::min(dst.mins[i], src.mins[i]);
+      dst.maxs[i] = std::max(dst.maxs[i], src.maxs[i]);
+      dst.counts[i] += src.counts[i];
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<Table> GroupByAgg(const Table& in,
+                           const std::vector<int>& group_columns,
+                           const std::vector<AggSpec>& aggs) {
+  for (int c : group_columns) {
+    if (c < 0 || c >= static_cast<int>(in.schema().num_fields())) {
+      return InvalidArgumentError("GROUP BY column out of range");
+    }
+  }
+  for (const AggSpec& a : aggs) {
+    if (a.fn == AggFn::kCount) {
+      continue;
+    }
+    if (a.column < 0 || a.column >= static_cast<int>(in.schema().num_fields())) {
+      return InvalidArgumentError("AGG column out of range");
+    }
+    if (in.schema().field(a.column).type == FieldType::kString) {
+      return InvalidArgumentError(std::string(AggFnName(a.fn)) +
+                                  " over STRING column '" +
+                                  in.schema().field(a.column).name + "'");
+    }
+  }
+
+  // Phase 1: thread-local partial aggregates, one per morsel. Every AggFn is
+  // associative (AVG decomposes into (sum, count)), so partials combine.
+  const std::vector<Row> rows = in.MaterializeRows();
+  auto partials = ParallelMapChunks<GroupPartial>(
+      rows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        GroupPartial part;
+        for (size_t i = begin; i < end; ++i) {
+          const Row& row = rows[i];
+          Row key;
+          key.reserve(group_columns.size());
+          for (int c : group_columns) {
+            key.push_back(row[c]);
+          }
+          auto [it, inserted] = part.index.try_emplace(key, part.keys.size());
+          if (inserted) {
+            part.keys.push_back(std::move(key));
+            Acc acc;
+            acc.sums.assign(aggs.size(), 0.0);
+            acc.mins.assign(aggs.size(), std::numeric_limits<double>::infinity());
+            acc.maxs.assign(aggs.size(), -std::numeric_limits<double>::infinity());
+            acc.counts.assign(aggs.size(), 0);
+            part.accs.push_back(std::move(acc));
+          }
+          Acc& acc = part.accs[it->second];
+          for (size_t i2 = 0; i2 < aggs.size(); ++i2) {
+            acc.counts[i2] += 1;
+            if (aggs[i2].fn == AggFn::kCount) {
+              continue;
+            }
+            double v = AsDouble(row[aggs[i2].column]);
+            acc.sums[i2] += v;
+            acc.mins[i2] = std::min(acc.mins[i2], v);
+            acc.maxs[i2] = std::max(acc.maxs[i2], v);
+          }
+        }
+        return part;
+      });
+
+  // Phase 2: fixed pairwise merge tree over the partials (merge chunk
+  // 2p+step into 2p each round). The tree shape depends only on the chunk
+  // count, never the thread count — FP results are bit-stable.
+  for (size_t step = 1; step < partials.size(); step *= 2) {
+    size_t pairs = 0;
+    for (size_t l = 0; l + step < partials.size(); l += 2 * step) ++pairs;
+    ParallelChunks(pairs, 1, [&](size_t p, size_t, size_t) {
+      const size_t l = 2 * step * p;
+      MergeGroupPartial(&partials[l], std::move(partials[l + step]));
+    });
+  }
+
+  Schema out_schema;
+  for (int c : group_columns) {
+    out_schema.AddField(in.schema().field(c));
+  }
+  for (const AggSpec& a : aggs) {
+    FieldType t = FieldType::kDouble;
+    if (a.fn == AggFn::kCount) {
+      t = FieldType::kInt64;
+    } else if (in.schema().field(a.column).type == FieldType::kInt64 &&
+               (a.fn == AggFn::kSum || a.fn == AggFn::kMin || a.fn == AggFn::kMax)) {
+      t = FieldType::kInt64;
+    }
+    out_schema.AddField({a.output_name, t});
+  }
+
+  std::vector<Row> out_rows;
+  if (!partials.empty()) {
+    GroupPartial& groups = partials[0];
+    out_rows.resize(groups.keys.size());
+    ParallelChunks(groups.keys.size(), kMorselRows,
+                   [&](size_t, size_t begin, size_t end) {
+      for (size_t g = begin; g < end; ++g) {
+        const Acc& acc = groups.accs[g];
+        Row r = std::move(groups.keys[g]);
+        for (size_t i = 0; i < aggs.size(); ++i) {
+          double v = 0;
+          switch (aggs[i].fn) {
+            case AggFn::kSum:
+              v = acc.sums[i];
+              break;
+            case AggFn::kCount:
+              v = static_cast<double>(acc.counts[i]);
+              break;
+            case AggFn::kMin:
+              v = acc.mins[i];
+              break;
+            case AggFn::kMax:
+              v = acc.maxs[i];
+              break;
+            case AggFn::kAvg:
+              v = acc.counts[i] > 0
+                      ? acc.sums[i] / static_cast<double>(acc.counts[i])
+                      : 0;
+              break;
+          }
+          FieldType t = out_schema.field(group_columns.size() + i).type;
+          if (t == FieldType::kInt64) {
+            r.push_back(static_cast<int64_t>(v));
+          } else {
+            r.push_back(v);
+          }
+        }
+        out_rows[g] = std::move(r);
+      }
+    });
+  }
+  Table out = FromRows(out_schema, std::move(out_rows), in.scale());
+
+  // Handle the empty-input global aggregate: SQL-ish engines return one row
+  // of zero counts; the paper's operators never hit this edge, but tests do.
+  if (group_columns.empty() && in.num_rows() == 0) {
+    Row r;
+    for (const AggSpec& a : aggs) {
+      if (a.fn == AggFn::kCount) {
+        r.push_back(static_cast<int64_t>(0));
+      } else if (out_schema.field(r.size()).type == FieldType::kInt64) {
+        r.push_back(static_cast<int64_t>(0));
+      } else {
+        r.push_back(0.0);
+      }
+    }
+    out.AddRow(std::move(r));
+  }
+  return out;
+}
+
+StatusOr<Table> ExtremeRow(const Table& in, int column, bool take_max) {
+  if (column < 0 || column >= static_cast<int>(in.schema().num_fields())) {
+    return InvalidArgumentError("MIN/MAX column out of range");
+  }
+  Table out(in.schema());
+  out.set_scale(1.0);
+  if (in.num_rows() == 0) {
+    return out;
+  }
+  const std::vector<Row> rows = in.MaterializeRows();
+  RowLess less;
+  // Total order on rows: (key, full-row tie-break); earlier row wins exact
+  // duplicates. Per-chunk selection folded in chunk order equals the
+  // sequential scan.
+  auto better = [&](const Row& a, const Row& b) {
+    int c = CompareValues(a[column], b[column]);
+    bool strictly = take_max ? (c > 0) : (c < 0);
+    return strictly || (c == 0 && less(a, b));
+  };
+  auto bests = ParallelMapChunks<size_t>(
+      rows.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        size_t best = begin;
+        for (size_t i = begin + 1; i < end; ++i) {
+          if (better(rows[i], rows[best])) best = i;
+        }
+        return best;
+      });
+  size_t best = bests[0];
+  for (size_t k = 1; k < bests.size(); ++k) {
+    if (better(rows[bests[k]], rows[best])) best = bests[k];
+  }
+  out.AddRow(rows[best]);
+  return out;
+}
+
+Table SortBy(const Table& in, const std::vector<int>& columns) {
+  std::vector<Row> rows = in.MaterializeRows();
+  ParallelStableSortRows(&rows, [&columns](const Row& a, const Row& b) {
+    for (int c : columns) {
+      int cmp = CompareValues(a[c], b[c]);
+      if (cmp != 0) {
+        return cmp < 0;
+      }
+    }
+    return false;
+  });
+  return FromRows(in.schema(), std::move(rows), in.scale());
+}
+
+Table TopNBy(const Table& in, int column, size_t n) {
+  std::vector<Row> rows = in.MaterializeRows();
+  ParallelStableSortRows(&rows, [column](const Row& a, const Row& b) {
+    return CompareValues(a[column], b[column]) > 0;
+  });
+  if (rows.size() > n) {
+    rows.resize(n);
+  }
+  return FromRows(in.schema(), std::move(rows), in.scale());
+}
+
+// --- Row-based DAG interpreter -----------------------------------------
+
+namespace {
+
+StatusOr<Table> EvalGroupByLike(const OperatorNode& node, const Table& in) {
+  std::vector<std::string> group_columns;
+  std::vector<NamedAgg> aggs;
+  if (node.kind == OpKind::kGroupBy) {
+    const auto& p = std::get<GroupByParams>(node.params);
+    group_columns = p.group_columns;
+    aggs = p.aggs;
+  } else {
+    aggs = std::get<AggParams>(node.params).aggs;
+  }
+  std::vector<int> group_idx;
+  for (const std::string& c : group_columns) {
+    auto idx = in.schema().IndexOf(c);
+    if (!idx.has_value()) {
+      return InvalidArgumentError("GROUP BY: no column '" + c + "'");
+    }
+    group_idx.push_back(*idx);
+  }
+  std::vector<AggSpec> specs;
+  for (const NamedAgg& a : aggs) {
+    int col = 0;
+    if (a.fn != AggFn::kCount) {
+      auto idx = in.schema().IndexOf(a.column);
+      if (!idx.has_value()) {
+        return InvalidArgumentError("AGG: no column '" + a.column + "'");
+      }
+      col = *idx;
+    }
+    specs.push_back(AggSpec{a.fn, col, a.output_name});
+  }
+  return rowref::GroupByAgg(in, group_idx, specs);
+}
+
+}  // namespace
+
+StatusOr<Table> EvaluateOperator(const OperatorNode& node,
+                                 const std::vector<const Table*>& inputs) {
+  switch (node.kind) {
+    case OpKind::kInput:
+    case OpKind::kWhile:
+      return InternalError(std::string(OpKindName(node.kind)) +
+                           " must be handled by the DAG executor");
+    case OpKind::kSelect: {
+      const auto& p = std::get<SelectParams>(node.params);
+      MUSKETEER_ASSIGN_OR_RETURN(
+          RowPredicate pred, p.condition->CompilePredicate(inputs[0]->schema()));
+      return rowref::SelectRows(*inputs[0], pred);
+    }
+    case OpKind::kProject: {
+      const auto& p = std::get<ProjectParams>(node.params);
+      std::vector<int> cols;
+      for (const std::string& c : p.columns) {
+        auto idx = inputs[0]->schema().IndexOf(c);
+        if (!idx.has_value()) {
+          return InvalidArgumentError("PROJECT: no column '" + c + "' in " +
+                                      inputs[0]->schema().ToString());
+        }
+        cols.push_back(*idx);
+      }
+      return rowref::ProjectColumns(*inputs[0], cols);
+    }
+    case OpKind::kMap: {
+      const auto& p = std::get<MapParams>(node.params);
+      Schema out_schema;
+      std::vector<RowProjector> projectors;
+      for (const NamedExpr& ne : p.outputs) {
+        MUSKETEER_ASSIGN_OR_RETURN(FieldType t,
+                                   ne.expr->InferType(inputs[0]->schema()));
+        out_schema.AddField({ne.name, t});
+        MUSKETEER_ASSIGN_OR_RETURN(RowProjector proj,
+                                   ne.expr->Compile(inputs[0]->schema()));
+        // Coerce to the inferred type so downstream type checks hold even
+        // when a mixed int/double expression evaluates integral.
+        if (t == FieldType::kDouble) {
+          projectors.emplace_back(
+              [proj](const Row& row) -> Value { return AsDouble(proj(row)); });
+        } else {
+          projectors.push_back(proj);
+        }
+      }
+      return rowref::MapRows(*inputs[0], out_schema, projectors);
+    }
+    case OpKind::kJoin: {
+      const auto& p = std::get<JoinParams>(node.params);
+      auto li = inputs[0]->schema().IndexOf(p.left_key);
+      auto ri = inputs[1]->schema().IndexOf(p.right_key);
+      if (!li.has_value() || !ri.has_value()) {
+        return InvalidArgumentError("JOIN: key column missing");
+      }
+      return rowref::HashJoin(*inputs[0], *inputs[1], *li, *ri);
+    }
+    case OpKind::kCrossJoin:
+      return rowref::CrossJoin(*inputs[0], *inputs[1]);
+    case OpKind::kUnion:
+      return rowref::UnionAll(*inputs[0], *inputs[1]);
+    case OpKind::kIntersect:
+      return rowref::Intersect(*inputs[0], *inputs[1]);
+    case OpKind::kDifference:
+      return rowref::Difference(*inputs[0], *inputs[1]);
+    case OpKind::kDistinct:
+      return rowref::Distinct(*inputs[0]);
+    case OpKind::kGroupBy:
+    case OpKind::kAgg:
+      return EvalGroupByLike(node, *inputs[0]);
+    case OpKind::kMax:
+    case OpKind::kMin: {
+      const auto& p = std::get<ExtremeParams>(node.params);
+      auto idx = inputs[0]->schema().IndexOf(p.column);
+      if (!idx.has_value()) {
+        return InvalidArgumentError("MAX/MIN: no column '" + p.column + "'");
+      }
+      return rowref::ExtremeRow(*inputs[0], *idx, node.kind == OpKind::kMax);
+    }
+    case OpKind::kTopN: {
+      const auto& p = std::get<TopNParams>(node.params);
+      auto idx = inputs[0]->schema().IndexOf(p.column);
+      if (!idx.has_value()) {
+        return InvalidArgumentError("TOP_N: no column '" + p.column + "'");
+      }
+      return rowref::TopNBy(*inputs[0], *idx, static_cast<size_t>(p.n));
+    }
+    case OpKind::kSort: {
+      const auto& p = std::get<SortParams>(node.params);
+      std::vector<int> cols;
+      for (const std::string& c : p.columns) {
+        auto idx = inputs[0]->schema().IndexOf(c);
+        if (!idx.has_value()) {
+          return InvalidArgumentError("SORT: no column '" + c + "'");
+        }
+        cols.push_back(*idx);
+      }
+      return rowref::SortBy(*inputs[0], cols);
+    }
+    case OpKind::kUdf: {
+      const auto& p = std::get<UdfParams>(node.params);
+      if (!p.fn) {
+        return FailedPreconditionError("UDF '" + p.name + "' has no implementation");
+      }
+      return p.fn(inputs);
+    }
+    case OpKind::kBlackBox: {
+      const auto& p = std::get<BlackBoxParams>(node.params);
+      if (!p.fn) {
+        return FailedPreconditionError("black-box operator has no simulation hook");
+      }
+      return p.fn(inputs);
+    }
+  }
+  return InternalError("bad op kind");
+}
+
+StatusOr<TableMap> EvaluateDag(const Dag& dag, const TableMap& base) {
+  TableMap relations = base;
+  std::vector<TablePtr> by_node(dag.num_nodes());
+
+  for (const OperatorNode& node : dag.nodes()) {
+    if (node.kind == OpKind::kInput) {
+      const auto& p = std::get<InputParams>(node.params);
+      auto it = relations.find(p.relation);
+      if (it == relations.end()) {
+        return NotFoundError("base relation '" + p.relation + "' not provided");
+      }
+      by_node[node.id] = it->second;
+      relations[node.output] = it->second;
+      continue;
+    }
+    if (node.kind == OpKind::kWhile) {
+      const auto& p = std::get<WhileParams>(node.params);
+      // Seed loop-carried relations from the WHILE node's inputs; pass
+      // loop-invariant extra inputs under their producing relation names.
+      TableMap body_base = base;
+      for (size_t i = 0; i < p.bindings.size(); ++i) {
+        body_base[p.bindings[i].loop_input] = by_node[node.inputs[i]];
+      }
+      for (size_t i = p.bindings.size(); i < node.inputs.size(); ++i) {
+        body_base[dag.node(node.inputs[i]).output] = by_node[node.inputs[i]];
+      }
+      TableMap iter_state;
+      for (int64_t iter = 0; iter < p.iterations; ++iter) {
+        MUSKETEER_ASSIGN_OR_RETURN(iter_state, rowref::EvaluateDag(*p.body, body_base));
+        bool stable = p.until_fixpoint;
+        for (const LoopBinding& b : p.bindings) {
+          TablePtr next = iter_state[b.body_output];
+          stable = stable && Table::SameContent(*body_base[b.loop_input], *next);
+          body_base[b.loop_input] = std::move(next);
+        }
+        if (stable) {
+          break;
+        }
+      }
+      auto it = iter_state.find(p.result);
+      if (it == iter_state.end()) {
+        return InternalError("WHILE result relation '" + p.result + "' missing");
+      }
+      by_node[node.id] = it->second;
+      relations[node.output] = it->second;
+      continue;
+    }
+    std::vector<const Table*> inputs;
+    inputs.reserve(node.inputs.size());
+    for (int i : node.inputs) {
+      inputs.push_back(by_node[i].get());
+    }
+    auto result = rowref::EvaluateOperator(node, inputs);
+    if (!result.ok()) {
+      return Status(result.status().code(),
+                    node.DebugString() + ": " + result.status().message());
+    }
+    auto table = std::make_shared<Table>(std::move(result).value());
+    by_node[node.id] = table;
+    relations[node.output] = table;
+  }
+  return relations;
+}
+
+StatusOr<Table> EvaluateDagRelation(const Dag& dag, const TableMap& base,
+                                    const std::string& name) {
+  MUSKETEER_ASSIGN_OR_RETURN(TableMap all, rowref::EvaluateDag(dag, base));
+  auto it = all.find(name);
+  if (it == all.end()) {
+    return NotFoundError("relation '" + name + "' not produced by the workflow");
+  }
+  return *it->second;
+}
+
+}  // namespace rowref
+}  // namespace musketeer

@@ -1,0 +1,59 @@
+// Row-of-variants reference implementation of the relational kernels and the
+// DAG interpreter, preserved from the pre-columnar data plane (PR 2's
+// src/relational/ops.cc + src/ir/eval.cc).
+//
+// The kernels here materialize each input Table into std::vector<Row> and run
+// the original row-at-a-time algorithms with the exact same morsel chunking
+// and merge trees as the columnar kernels. The equivalence sweep in
+// engine_equivalence_test.cc asserts Table::Identical between this reference
+// and the columnar plane for every workflow — bit-identical output, including
+// floating-point aggregation, is the migration contract of the columnar
+// refactor. bench_columnar_ops.cc reuses the kernels as the row baseline.
+
+#ifndef MUSKETEER_TESTS_ROW_REFERENCE_H_
+#define MUSKETEER_TESTS_ROW_REFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ir/eval.h"
+#include "src/relational/ops.h"
+
+namespace musketeer {
+namespace rowref {
+
+// --- Row-at-a-time kernels (seed semantics) ----------------------------
+
+Table SelectRows(const Table& in, const RowPredicate& pred);
+StatusOr<Table> ProjectColumns(const Table& in, const std::vector<int>& columns);
+Table MapRows(const Table& in, const Schema& out_schema,
+              const std::vector<RowProjector>& projectors);
+StatusOr<Table> HashJoin(const Table& left, const Table& right, int lkey,
+                         int rkey);
+Table CrossJoin(const Table& left, const Table& right);
+StatusOr<Table> UnionAll(const Table& a, const Table& b);
+StatusOr<Table> Intersect(const Table& a, const Table& b);
+StatusOr<Table> Difference(const Table& a, const Table& b);
+Table Distinct(const Table& in);
+StatusOr<Table> GroupByAgg(const Table& in,
+                           const std::vector<int>& group_columns,
+                           const std::vector<AggSpec>& aggs);
+StatusOr<Table> ExtremeRow(const Table& in, int column, bool take_max);
+Table SortBy(const Table& in, const std::vector<int>& columns);
+Table TopNBy(const Table& in, int column, size_t n);
+
+// --- Row-based DAG interpreter -----------------------------------------
+// Mirrors src/ir/eval.cc but dispatches to the kernels above and compiles
+// expressions through the row path (Expr::Compile / CompilePredicate) instead
+// of Expr::CompileBatch.
+
+StatusOr<Table> EvaluateOperator(const OperatorNode& node,
+                                 const std::vector<const Table*>& inputs);
+StatusOr<TableMap> EvaluateDag(const Dag& dag, const TableMap& base);
+StatusOr<Table> EvaluateDagRelation(const Dag& dag, const TableMap& base,
+                                    const std::string& name);
+
+}  // namespace rowref
+}  // namespace musketeer
+
+#endif  // MUSKETEER_TESTS_ROW_REFERENCE_H_

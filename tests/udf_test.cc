@@ -30,7 +30,7 @@ class UdfTest : public ::testing::Test {
       if (!uid.has_value()) {
         return InvalidArgumentError("count_events needs a uid column");
       }
-      for (const Row& row : inputs[0]->rows()) {
+      for (const Row& row : inputs[0]->MaterializeRows()) {
         ++counts[AsInt64(row[*uid])];
       }
       Table out(Schema({{"uid", FieldType::kInt64}, {"events", FieldType::kInt64}}));
@@ -140,7 +140,7 @@ TEST_F(UdfTest, TwoInputUdfRuns) {
   Musketeer m(&dfs);
   auto result = m.Run(wf, {});
   ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_EQ(AsInt64(result->outputs["total"]->rows()[0][0]), 240);
+  EXPECT_EQ(AsInt64(result->outputs["total"]->MaterializeRows()[0][0]), 240);
 }
 
 TEST_F(UdfTest, GraphEnginesRejectUdfWorkflows) {

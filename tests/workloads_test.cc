@@ -29,10 +29,10 @@ TEST(DatasetsTest, GraphsHaveNominalPaperSizes) {
 TEST(DatasetsTest, GraphDegreesMatchEdges) {
   GraphDataset g = OrkutGraph();
   std::map<int64_t, int64_t> out_degree;
-  for (const Row& e : g.edges->rows()) {
+  for (const Row& e : g.edges->MaterializeRows()) {
     ++out_degree[AsInt64(e[0])];
   }
-  for (const Row& v : g.vertices->rows()) {
+  for (const Row& v : g.vertices->MaterializeRows()) {
     EXPECT_EQ(AsInt64(v[2]), out_degree[AsInt64(v[0])])
         << "vertex " << AsInt64(v[0]);
   }
@@ -62,7 +62,7 @@ TEST(DatasetsTest, SsspGraphHasZeroCostSource) {
   GraphDataset g = TwitterGraphWithCosts();
   EXPECT_EQ(g.edges->schema().num_fields(), 3u);
   bool found_source = false;
-  for (const Row& v : g.vertices->rows()) {
+  for (const Row& v : g.vertices->MaterializeRows()) {
     if (AsInt64(v[0]) == 0) {
       EXPECT_DOUBLE_EQ(AsDouble(v[1]), 0.0);
       found_source = true;
@@ -91,8 +91,8 @@ TEST(WorkflowsTest, TpchQ17HiveAndLindiAgree) {
 
   ASSERT_EQ(hive_result->num_rows(), 1u);
   ASSERT_EQ(lindi_result->num_rows(), 1u);
-  EXPECT_NEAR(AsDouble(hive_result->rows()[0][0]),
-              AsDouble(lindi_result->rows()[0][0]), 1e-6);
+  EXPECT_NEAR(AsDouble(hive_result->MaterializeRows()[0][0]),
+              AsDouble(lindi_result->MaterializeRows()[0][0]), 1e-6);
 }
 
 TEST(WorkflowsTest, PageRankGasMatchesBeerFormulation) {
@@ -120,7 +120,7 @@ TEST(WorkflowsTest, PageRankMassStaysBounded) {
   auto result = EvaluateDagRelation(**gas, base, "pagerank");
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_GT(result->num_rows(), 0u);
-  for (const Row& r : result->rows()) {
+  for (const Row& r : result->MaterializeRows()) {
     double rank = AsDouble(r[1]);
     EXPECT_GT(rank, 0.0);
     EXPECT_LT(rank, 200.0);
@@ -130,7 +130,7 @@ TEST(WorkflowsTest, PageRankMassStaysBounded) {
 // Dijkstra reference for the SSSP workflow.
 std::map<int64_t, double> Dijkstra(const Table& edges, int64_t source) {
   std::map<int64_t, std::vector<std::pair<int64_t, double>>> adj;
-  for (const Row& e : edges.rows()) {
+  for (const Row& e : edges.MaterializeRows()) {
     adj[AsInt64(e[0])].push_back({AsInt64(e[1]), AsDouble(e[2])});
   }
   std::map<int64_t, double> dist;
@@ -174,7 +174,7 @@ TEST(WorkflowsTest, SsspMatchesDijkstraWithinHopBound) {
 
   std::map<int64_t, double> expected = Dijkstra(*g.edges, 0);
   int reached = 0;
-  for (const Row& r : result->rows()) {
+  for (const Row& r : result->MaterializeRows()) {
     int64_t v = AsInt64(r[0]);
     double d = AsDouble(r[1]);
     if (d < 1e17) {
@@ -197,7 +197,7 @@ TEST(WorkflowsTest, KmeansCentersMoveTowardClusters) {
   EXPECT_LE(result->num_rows(), 4u);
   EXPECT_GE(result->num_rows(), 2u);
   // Centers stay in the data's bounding box.
-  for (const Row& r : result->rows()) {
+  for (const Row& r : result->MaterializeRows()) {
     EXPECT_GE(AsDouble(r[1]), -5.0);
     EXPECT_LE(AsDouble(r[1]), 40.0);
   }
@@ -217,7 +217,7 @@ TEST(WorkflowsTest, NetflixProducesPerUserRecommendations) {
   auto bidx = result->schema().IndexOf("best_score");
   ASSERT_TRUE(sidx.has_value());
   ASSERT_TRUE(bidx.has_value());
-  for (const Row& r : result->rows()) {
+  for (const Row& r : result->MaterializeRows()) {
     EXPECT_DOUBLE_EQ(AsDouble(r[*sidx]), AsDouble(r[*bidx]));
   }
 }
@@ -247,7 +247,7 @@ TEST(WorkflowsTest, TopShopperFindsOnlyQualifyingUsers) {
   auto result =
       EvaluateDagRelation(**beer, {{"purchases", purchases}}, "top_shoppers");
   ASSERT_TRUE(result.ok()) << result.status();
-  for (const Row& r : result->rows()) {
+  for (const Row& r : result->MaterializeRows()) {
     EXPECT_GT(AsDouble(r[1]), 300.0);
   }
 }

@@ -1,25 +1,32 @@
 #!/usr/bin/env bash
 # Full verification gate: normal build + tier-1 suite, then a ThreadSanitizer
 # build running the same suite (including service_test and parallel_test, the
-# concurrency stresses), then a Release build with assertions kept live.
-# Run from anywhere; builds land in <repo>/build, <repo>/build-tsan and
-# <repo>/build-relassert.
+# concurrency stresses), then an AddressSanitizer+UBSan build (the columnar
+# data plane's typed vectors and index gathers are exactly where an
+# off-by-one becomes heap corruption), then a Release build with assertions
+# kept live. Run from anywhere; builds land in <repo>/build,
+# <repo>/build-tsan, <repo>/build-asan and <repo>/build-relassert.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc)"
 
-echo "== [1/3] normal build + tests =="
+echo "== [1/4] normal build + tests =="
 cmake -S "$repo" -B "$repo/build" >/dev/null
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
-echo "== [2/3] ThreadSanitizer build + tests =="
+echo "== [2/4] ThreadSanitizer build + tests =="
 cmake -S "$repo" -B "$repo/build-tsan" -DMUSKETEER_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs"
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs"
 
-echo "== [3/3] Release-with-assertions build + tests =="
+echo "== [3/4] AddressSanitizer+UBSan build + tests =="
+cmake -S "$repo" -B "$repo/build-asan" -DMUSKETEER_SANITIZE=address >/dev/null
+cmake --build "$repo/build-asan" -j "$jobs"
+ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
+
+echo "== [4/4] Release-with-assertions build + tests =="
 cmake -S "$repo" -B "$repo/build-relassert" -DCMAKE_BUILD_TYPE=Release \
       -DMUSKETEER_KEEP_ASSERTS=ON >/dev/null
 cmake --build "$repo/build-relassert" -j "$jobs"
