@@ -5,6 +5,37 @@
 
 namespace musketeer {
 
+namespace {
+// Innermost run-counter scope on this thread (nullptr = no scope active).
+thread_local ScopedDfsRunCounters* t_run_counters = nullptr;
+}  // namespace
+
+void Dfs::RecordRead(Bytes bytes) {
+  AtomicAdd(&bytes_read_, bytes);
+  if (t_run_counters != nullptr) {
+    t_run_counters->read_ += bytes;
+  }
+}
+
+void Dfs::RecordWrite(Bytes bytes) {
+  AtomicAdd(&bytes_written_, bytes);
+  if (t_run_counters != nullptr) {
+    t_run_counters->written_ += bytes;
+  }
+}
+
+ScopedDfsRunCounters::ScopedDfsRunCounters() : prev_(t_run_counters) {
+  t_run_counters = this;
+}
+
+ScopedDfsRunCounters::~ScopedDfsRunCounters() {
+  t_run_counters = prev_;
+  if (prev_ != nullptr) {
+    prev_->read_ += read_;
+    prev_->written_ += written_;
+  }
+}
+
 void Dfs::Put(const std::string& name, TablePtr table) {
   std::unique_lock lock(mu_);
   relations_[name] = std::move(table);

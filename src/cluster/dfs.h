@@ -47,13 +47,11 @@ class Dfs {
 
   // Aggregate statistics maintained by the engines (bytes moved through the
   // DFS over a workflow's lifetime). Relaxed ordering: the counters are
-  // monotonic tallies, never used to synchronize other memory.
-  void RecordRead(Bytes bytes) {
-    AtomicAdd(&bytes_read_, bytes);
-  }
-  void RecordWrite(Bytes bytes) {
-    AtomicAdd(&bytes_written_, bytes);
-  }
+  // monotonic tallies, never used to synchronize other memory. Each call
+  // also charges the calling thread's active ScopedDfsRunCounters (if any),
+  // which is how per-run byte accounting stays exact under concurrency.
+  void RecordRead(Bytes bytes);
+  void RecordWrite(Bytes bytes);
   Bytes bytes_read() const { return bytes_read_.load(std::memory_order_relaxed); }
   Bytes bytes_written() const {
     return bytes_written_.load(std::memory_order_relaxed);
@@ -77,6 +75,30 @@ class Dfs {
   std::unordered_map<std::string, TablePtr> relations_;  // guarded by mu_
   std::atomic<Bytes> bytes_read_{0};
   std::atomic<Bytes> bytes_written_{0};
+};
+
+// Attributes DFS traffic to one logical run. While an instance is alive,
+// every RecordRead/RecordWrite made *on this thread* is also tallied here,
+// so a run's byte deltas exclude traffic from concurrently executing
+// workflows on other threads (which the old before/after snapshot of the
+// shared counters could not). Scopes nest: an inner scope's totals propagate
+// into the enclosing scope when it closes, so an outer "whole submission"
+// scope still sees bytes charged inside a per-job scope.
+class ScopedDfsRunCounters {
+ public:
+  ScopedDfsRunCounters();
+  ~ScopedDfsRunCounters();
+  ScopedDfsRunCounters(const ScopedDfsRunCounters&) = delete;
+  ScopedDfsRunCounters& operator=(const ScopedDfsRunCounters&) = delete;
+
+  Bytes bytes_read() const { return read_; }
+  Bytes bytes_written() const { return written_; }
+
+ private:
+  friend class Dfs;
+  Bytes read_ = 0;
+  Bytes written_ = 0;
+  ScopedDfsRunCounters* prev_;  // enclosing scope on this thread, if any
 };
 
 }  // namespace musketeer

@@ -1,10 +1,12 @@
 #include "src/core/musketeer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "src/base/logging.h"
+#include "src/obs/trace.h"
 
 namespace musketeer {
 
@@ -43,40 +45,64 @@ StatusOr<std::unique_ptr<Dag>> Musketeer::Lower(const WorkflowSpec& workflow,
 StatusOr<WorkflowPlan> Musketeer::Plan(const WorkflowSpec& workflow,
                                        const RunOptions& options) const {
   // 1. Front-end translation to the IR.
-  MUSKETEER_ASSIGN_OR_RETURN(std::unique_ptr<Dag> dag,
-                             ParseWorkflow(workflow.language, workflow.source));
-  SchemaMap base_schemas = DfsSchemas();
+  std::unique_ptr<Dag> dag;
+  SchemaMap base_schemas;
+  {
+    Span span("stage.parse", "stage");
+    MUSKETEER_ASSIGN_OR_RETURN(
+        dag, ParseWorkflow(workflow.language, workflow.source));
+    base_schemas = DfsSchemas();
+  }
 
   WorkflowPlan out;
 
   // 2. IR optimization.
-  if (options.optimize_ir) {
-    MUSKETEER_ASSIGN_OR_RETURN(
-        dag, OptimizeDag(*dag, base_schemas, {}, &out.optimizer_stats));
-  } else {
-    MUSKETEER_RETURN_IF_ERROR(dag->Validate());
-    MUSKETEER_RETURN_IF_ERROR(dag->InferSchemas(base_schemas).status());
+  {
+    Span span("stage.optimize", "stage");
+    if (options.optimize_ir) {
+      MUSKETEER_ASSIGN_OR_RETURN(
+          dag, OptimizeDag(*dag, base_schemas, {}, &out.optimizer_stats));
+    } else {
+      MUSKETEER_RETURN_IF_ERROR(dag->Validate());
+      MUSKETEER_RETURN_IF_ERROR(dag->InferSchemas(base_schemas).status());
+    }
   }
 
-  // 3. Partitioning + automatic (or restricted) engine mapping.
-  CostModel model(options.cluster, options.history, workflow.id,
-                  options.conservative_first_run);
-  MUSKETEER_ASSIGN_OR_RETURN(std::vector<Bytes> sizes,
-                             model.PredictSizes(*dag, DfsSizes()));
-  PartitionOptions popts = options.partition;
-  if (popts.engines.empty()) {
-    popts.engines = options.engines;
+  // 3. Partitioning + automatic (or restricted) engine mapping. When a
+  // runtime history exists, snapshot its calibration so job costs are in
+  // measured-time units rather than raw simulated units.
+  {
+    Span span("stage.partition", "stage");
+    RuntimeCalibration calibration;
+    if (options.runtime_history != nullptr) {
+      calibration = options.runtime_history->Calibration();
+    }
+    CostModel model(options.cluster, options.history, workflow.id,
+                    options.conservative_first_run,
+                    calibration.has_observations ? &calibration : nullptr);
+    MUSKETEER_ASSIGN_OR_RETURN(std::vector<Bytes> sizes,
+                               model.PredictSizes(*dag, DfsSizes()));
+    PartitionOptions popts = options.partition;
+    if (popts.engines.empty()) {
+      popts.engines = options.engines;
+    }
+    MUSKETEER_ASSIGN_OR_RETURN(out.partitioning,
+                               PartitionDag(*dag, model, sizes, popts));
+    if (span.active()) {
+      span.SetAttr("jobs", std::to_string(out.partitioning.jobs.size()));
+    }
   }
-  MUSKETEER_ASSIGN_OR_RETURN(out.partitioning,
-                             PartitionDag(*dag, model, sizes, popts));
 
   // 4. Code generation.
-  for (const JobAssignment& job : out.partitioning.jobs) {
-    MUSKETEER_ASSIGN_OR_RETURN(
-        JobPlan plan, BackendFor(job.engine)
-                          .GeneratePlan(*dag, job.ops, base_schemas,
-                                        options.codegen));
-    out.plans.push_back(std::move(plan));
+  {
+    Span span("stage.codegen", "stage");
+    for (const JobAssignment& job : out.partitioning.jobs) {
+      MUSKETEER_ASSIGN_OR_RETURN(
+          JobPlan plan, BackendFor(job.engine)
+                            .GeneratePlan(*dag, job.ops, base_schemas,
+                                          options.codegen));
+      out.plans.push_back(std::move(plan));
+    }
   }
 
   // Remember the sink relations so Execute() can collect outputs without
@@ -97,10 +123,15 @@ StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
 
   // 5. Execution with critical-path scheduling: a job starts when every job
   // producing one of its inputs has finished; independent jobs overlap.
-  Bytes read_before = dfs_->bytes_read();
-  Bytes written_before = dfs_->bytes_written();
+  // DFS traffic is attributed to this run with a thread-scoped counter (the
+  // engines record bytes on this thread), so concurrent workflows against
+  // the same DFS do not pollute each other's deltas.
+  Span exec_span("stage.execute", "stage");
+  ScopedDfsRunCounters run_bytes;
   std::unordered_map<std::string, SimSeconds> ready_at;  // relation -> time
   SimSeconds makespan = 0;
+  int predicted_jobs = 0;
+  double error_sum = 0;
   for (size_t i = 0; i < result.plans.size(); ++i) {
     const JobPlan& job = result.plans[i];
     SimSeconds start = 0;
@@ -113,6 +144,22 @@ StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
     MUSKETEER_ASSIGN_OR_RETURN(JobResult jr,
                                ExecuteJob(job, options.cluster, dfs_));
     MLOG_INFO << jr.detail;
+    // Calibration loop: predict this job's wall clock from the runtime
+    // history (best available granularity), then record what actually
+    // happened so the next run predicts better.
+    if (options.runtime_history != nullptr) {
+      const std::string engine = EngineKindName(job.engine);
+      const std::string signature = job.name + "@" + engine;
+      double predicted = options.runtime_history->PredictWallSeconds(
+          workflow.id, signature, engine, jr.makespan);
+      result.predicted_wall_seconds += predicted;
+      result.measured_wall_seconds += jr.wall_seconds;
+      error_sum += std::abs(predicted - jr.wall_seconds) /
+                   std::max(jr.wall_seconds, 1e-9);
+      ++predicted_jobs;
+      options.runtime_history->RecordJob(workflow.id, signature, engine,
+                                         jr.makespan, jr.wall_seconds);
+    }
     SimSeconds finish = start + jr.makespan;
     for (const std::string& out : job.outputs) {
       ready_at[out] = finish;
@@ -122,8 +169,15 @@ StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
     result.job_results.push_back(std::move(jr));
   }
   result.makespan = makespan;
-  result.dfs_bytes_read = dfs_->bytes_read() - read_before;
-  result.dfs_bytes_written = dfs_->bytes_written() - written_before;
+  result.dfs_bytes_read = run_bytes.bytes_read();
+  result.dfs_bytes_written = run_bytes.bytes_written();
+  if (predicted_jobs > 0) {
+    result.cost_model_error = error_sum / predicted_jobs;
+  }
+  if (exec_span.active()) {
+    exec_span.SetAttr("workflow", workflow.id);
+    exec_span.SetAttr("jobs", std::to_string(result.plans.size()));
+  }
 
   // 6. Collect the workflow's sink relations.
   for (const std::string& name : plan.sink_relations) {

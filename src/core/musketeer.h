@@ -33,6 +33,7 @@
 #include "src/engines/engine.h"
 #include "src/frontends/frontend.h"
 #include "src/ir/eval.h"
+#include "src/obs/runtime_history.h"
 #include "src/opt/passes.h"
 #include "src/scheduler/decision_tree.h"
 #include "src/scheduler/partitioner.h"
@@ -58,6 +59,11 @@ struct RunOptions {
   // First-run conservatism (§5.2): refuse to merge past generative
   // operators whose output size history does not know yet.
   bool conservative_first_run = false;
+  // Measured-runtime store (when non-null): Execute() records each job's
+  // (simulated, wall-clock) runtime pair into it and reports prediction
+  // error in RunResult; Plan() scales JobCost by the calibration it derives.
+  // The observability analogue of `history` — sizes there, times here.
+  RuntimeHistory* runtime_history = nullptr;
 };
 
 // Everything Plan() produces and Execute() consumes. Immutable once built,
@@ -76,9 +82,19 @@ struct RunResult {
   std::vector<JobPlan> plans;            // one per partition job
   std::vector<JobResult> job_results;
   TableMap outputs;                      // the workflow's sink relations
+  // Bytes this run moved through the DFS. Attributed per run via
+  // ScopedDfsRunCounters, so the numbers are exact even while other
+  // workflows execute concurrently against the same DFS.
   Bytes dfs_bytes_read = 0;
   Bytes dfs_bytes_written = 0;
   OptimizeStats optimizer_stats;
+  // Cost-model calibration report, filled when options.runtime_history is
+  // set: per-run sums of predicted and measured job wall seconds, and the
+  // mean relative prediction error across jobs. Error shrinks on repeat
+  // runs as the runtime history calibrates the simulated cost scale.
+  double predicted_wall_seconds = 0;
+  double measured_wall_seconds = 0;
+  double cost_model_error = 0;
 };
 
 class Musketeer {

@@ -8,6 +8,8 @@
 #include "src/base/parallel.h"
 #include "src/base/strings.h"
 #include "src/engines/executor.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/engines/mapreduce_runtime.h"
 #include "src/engines/rdd_runtime.h"
 #include "src/engines/timely_runtime.h"
@@ -80,6 +82,17 @@ int ShufflesPerIteration(const ExecTrace& trace) {
 
 StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster,
                                Dfs* dfs) {
+  Span span("job:" + plan.name, "job");
+  if (span.active()) {
+    span.SetAttr("engine", EngineKindName(plan.engine));
+    span.SetAttr("inputs", std::to_string(plan.inputs.size()));
+  }
+  static Counter& jobs =
+      MetricsRegistry::Global().counter("musketeer.engine.jobs");
+  static Histogram& job_wall = MetricsRegistry::Global().histogram(
+      "musketeer.engine.job_wall_seconds");
+  jobs.Increment();
+
   // 1. Pull the job's inputs from the DFS.
   TableMap base;
   Bytes pull_bytes = 0;
@@ -313,6 +326,8 @@ StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster
     detail << ", " << shape.supersteps << " supersteps";
   }
   result.detail = detail.str();
+  result.wall_seconds = span.elapsed_seconds();
+  job_wall.Observe(result.wall_seconds);
   return result;
 }
 

@@ -21,6 +21,9 @@ namespace musketeer {
 
 struct JobResult {
   SimSeconds makespan = 0;
+  // Measured wall-clock seconds this job took to execute in-process; feeds
+  // the RuntimeHistory calibration loop (src/obs/runtime_history.h).
+  double wall_seconds = 0;
   Bytes bytes_pulled = 0;
   Bytes bytes_pushed = 0;
   int internal_jobs = 1;   // engine jobs actually run (MR loops spawn many)

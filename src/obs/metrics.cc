@@ -1,0 +1,174 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace musketeer {
+
+namespace {
+
+// Each thread gets a stable shard index on first use (round-robin over the
+// shard count), so a thread's increments always land on the same cache line
+// and threads spread across lines.
+int ThisThreadShard() {
+  static std::atomic<uint32_t> next{0};
+  thread_local int shard =
+      static_cast<int>(next.fetch_add(1, std::memory_order_relaxed) %
+                       Counter::kShards);
+  return shard;
+}
+
+// fetch_add for atomic<double> spelled as a CAS loop (same rationale as
+// Dfs::AtomicAdd: not lock-free everywhere as a builtin).
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// ---- Counter ---------------------------------------------------------------
+
+void Counter::Increment(uint64_t delta) {
+  shards_[ThisThreadShard()].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& s : shards_) {
+    s.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_([&] {
+        std::sort(bounds.begin(), bounds.end());
+        return std::move(bounds);
+      }()),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+             bounds_.begin();
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, value);
+}
+
+uint64_t Histogram::BucketCount(size_t i) const {
+  return i <= bounds_.size() ? buckets_[i].load(std::memory_order_relaxed) : 0;
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  std::vector<double> bounds;
+  for (double b = 1e-6; b <= 100.0; b *= 10.0) {
+    bounds.push_back(b);
+    bounds.push_back(b * 2.5);
+  }
+  return bounds;
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+std::string MetricsRegistry::DumpText() const {
+  // Snapshot into an ordered map so the dump is stable for tooling/tests.
+  std::map<std::string, std::string> lines;
+  {
+    std::lock_guard lock(mu_);
+    char buf[160];
+    for (const auto& [name, c] : counters_) {
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(c->Value()));
+      lines[name] = buf;
+    }
+    for (const auto& [name, g] : gauges_) {
+      std::snprintf(buf, sizeof(buf), "%g", g->Value());
+      lines[name] = buf;
+    }
+    for (const auto& [name, h] : histograms_) {
+      std::string text;
+      std::snprintf(buf, sizeof(buf), "count=%llu sum=%g buckets=",
+                    static_cast<unsigned long long>(h->count()), h->sum());
+      text += buf;
+      bool first = true;
+      for (size_t i = 0; i <= h->bounds().size(); ++i) {
+        uint64_t n = h->BucketCount(i);
+        if (n == 0) {
+          continue;  // sparse dump: empty buckets carry no information
+        }
+        if (i < h->bounds().size()) {
+          std::snprintf(buf, sizeof(buf), "%sle%g:%llu", first ? "" : ",",
+                        h->bounds()[i], static_cast<unsigned long long>(n));
+        } else {
+          std::snprintf(buf, sizeof(buf), "%sinf:%llu", first ? "" : ",",
+                        static_cast<unsigned long long>(n));
+        }
+        text += buf;
+        first = false;
+      }
+      if (first) {
+        text += "-";
+      }
+      lines[name] = text;
+    }
+  }
+  std::string out;
+  for (const auto& [name, value] : lines) {
+    out += name;
+    out += ' ';
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace musketeer

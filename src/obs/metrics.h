@@ -1,0 +1,130 @@
+// Lock-cheap metrics registry (observability subsystem, see DESIGN.md
+// "Observability").
+//
+// Three metric kinds, all safe for concurrent use from any thread:
+//   * Counter   — monotonic tally, sharded across cache-line-padded atomic
+//                 slots; each thread picks a shard once (thread-local) so
+//                 concurrent increments rarely contend on one cache line.
+//   * Gauge     — last-writer-wins double (queue depth, cache size).
+//   * Histogram — fixed upper-bound buckets with atomic per-bucket counts;
+//                 made for latency distributions (default bounds are an
+//                 exponential 1µs..100s ladder).
+//
+// Metric naming scheme: `musketeer.<subsystem>.<what>[.<unit>]`, e.g.
+// `musketeer.relational.join.calls`, `musketeer.service.run_seconds`.
+// Call sites cache the reference returned by counter()/histogram() in a
+// function-local static, so the registry's map lookup is off every hot path:
+//
+//   static Counter& calls =
+//       MetricsRegistry::Global().counter("musketeer.relational.join.calls");
+//   calls.Increment();
+//
+// Registered metrics are never destroyed or re-seated (the registry stores
+// pointers, never erases), which is what makes those cached references sound.
+
+#ifndef MUSKETEER_SRC_OBS_METRICS_H_
+#define MUSKETEER_SRC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace musketeer {
+
+// Monotonic counter. Increment is one relaxed fetch_add on the calling
+// thread's shard; Value sums all shards (reads may trail in-flight
+// increments, which is fine for monitoring counters).
+class Counter {
+ public:
+  static constexpr int kShards = 16;
+
+  void Increment(uint64_t delta = 1);
+  uint64_t Value() const;
+  // Zeroes every shard. Test-only: racing increments may be lost.
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+// Last-writer-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+// Fixed-bucket histogram: bucket i counts observations <= bounds[i], plus an
+// implicit overflow bucket. Observation cost: one binary search over the
+// (immutable) bounds and two relaxed atomic adds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  // i in [0, bounds().size()]: the last index is the overflow bucket.
+  uint64_t BucketCount(size_t i) const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  // Exponential 1µs..100s ladder — covers kernel calls through whole runs.
+  static std::vector<double> DefaultLatencyBounds();
+
+ private:
+  const std::vector<double> bounds_;  // ascending upper bounds
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry every subsystem reports into.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Finds or creates the named metric. Returned references stay valid for
+  // the registry's lifetime. Requesting an existing name with a different
+  // metric kind returns the existing metric of the requested kind under a
+  // kind-suffixed internal key, so lookups never fail.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = Histogram::DefaultLatencyBounds());
+
+  // Plain-text exposition dump, one metric per line, sorted by name:
+  //   <name> <value>
+  //   <name> count=<n> sum=<s> p_buckets=le1e-06:0,le1e-05:3,...,inf:0
+  std::string DumpText() const;
+
+  // Zeroes counters and histograms are NOT cleared (bounded memory, and
+  // cached references must stay valid); tests use counter deltas instead.
+
+ private:
+  mutable std::mutex mu_;
+  // Never erased: call sites hold references across the process lifetime.
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_OBS_METRICS_H_

@@ -1,0 +1,100 @@
+#include "src/obs/runtime_history.h"
+
+#include <mutex>
+
+namespace musketeer {
+
+namespace {
+// Sim costs can be zero for degenerate jobs; keep the alpha ratio finite.
+constexpr double kMinSimSeconds = 1e-12;
+}  // namespace
+
+double RuntimeCalibration::TimeScale(const std::string& engine) const {
+  auto it = per_engine.find(engine);
+  if (it != per_engine.end()) {
+    return it->second;
+  }
+  return global_scale;
+}
+
+std::string RuntimeHistory::JobKey(std::string_view workflow,
+                                   std::string_view signature) {
+  std::string key(workflow);
+  key += '\x1f';  // unit separator: neither side contains control characters
+  key += signature;
+  return key;
+}
+
+void RuntimeHistory::RecordJob(std::string_view workflow,
+                               std::string_view signature,
+                               std::string_view engine, double sim_seconds,
+                               double wall_seconds) {
+  if (sim_seconds < 0 || wall_seconds < 0) {
+    return;
+  }
+  std::unique_lock lock(mu_);
+  Entry& e = jobs_[JobKey(workflow, signature)];
+  e.sim_sum += sim_seconds;
+  e.wall_sum += wall_seconds;
+  ++e.runs;
+  EngineTotals& t = engine_totals_[std::string(engine)];
+  t.sim_sum += sim_seconds;
+  t.wall_sum += wall_seconds;
+  ++total_jobs_;
+}
+
+double RuntimeHistory::PredictWallSeconds(std::string_view workflow,
+                                          std::string_view signature,
+                                          std::string_view engine,
+                                          double sim_seconds) const {
+  std::shared_lock lock(mu_);
+  auto it = jobs_.find(JobKey(workflow, signature));
+  if (it != jobs_.end() && it->second.runs > 0) {
+    return it->second.wall_sum / it->second.runs;
+  }
+  auto et = engine_totals_.find(std::string(engine));
+  if (et != engine_totals_.end() && et->second.sim_sum > kMinSimSeconds) {
+    return sim_seconds * (et->second.wall_sum / et->second.sim_sum);
+  }
+  double sim_sum = 0, wall_sum = 0;
+  for (const auto& [name, totals] : engine_totals_) {
+    sim_sum += totals.sim_sum;
+    wall_sum += totals.wall_sum;
+  }
+  if (sim_sum > kMinSimSeconds) {
+    return sim_seconds * (wall_sum / sim_sum);
+  }
+  return sim_seconds;
+}
+
+RuntimeCalibration RuntimeHistory::Calibration() const {
+  RuntimeCalibration cal;
+  std::shared_lock lock(mu_);
+  double sim_sum = 0, wall_sum = 0;
+  for (const auto& [name, totals] : engine_totals_) {
+    sim_sum += totals.sim_sum;
+    wall_sum += totals.wall_sum;
+    if (totals.sim_sum > kMinSimSeconds) {
+      cal.per_engine[name] = totals.wall_sum / totals.sim_sum;
+    }
+  }
+  if (sim_sum > kMinSimSeconds) {
+    cal.global_scale = wall_sum / sim_sum;
+    cal.has_observations = true;
+  }
+  return cal;
+}
+
+int RuntimeHistory::total_jobs() const {
+  std::shared_lock lock(mu_);
+  return total_jobs_;
+}
+
+void RuntimeHistory::Clear() {
+  std::unique_lock lock(mu_);
+  jobs_.clear();
+  engine_totals_.clear();
+  total_jobs_ = 0;
+}
+
+}  // namespace musketeer

@@ -1,0 +1,94 @@
+// Measured-runtime history feeding the cost-model calibration loop
+// (observability subsystem, see DESIGN.md "Observability").
+//
+// The simulator's PriceJob returns SimSeconds — internally consistent but in
+// arbitrary units relative to this machine's wall clock. RuntimeHistory
+// records (simulated, measured) pairs per executed job and derives a
+// RuntimeCalibration: a per-engine time scale
+//
+//   alpha_engine = sum(measured wall seconds) / sum(predicted sim seconds)
+//
+// with a global fallback for engines not yet observed. Two consumers:
+//   * Musketeer::Execute uses PredictWallSeconds before each job and reports
+//     mean relative prediction error in RunResult.cost_model_error — the
+//     error shrinks between run 1 (no history) and run 2 (calibrated),
+//     which tests/obs_test.cc asserts.
+//   * CostModel multiplies JobCost by TimeScale(engine) when a calibration
+//     is supplied, so relative engine pricing reflects measured reality.
+//
+// Engines are keyed by name string (EngineKindName) rather than EngineKind:
+// this library sits below src/backends/ in the link order and must not
+// depend on it.
+
+#ifndef MUSKETEER_SRC_OBS_RUNTIME_HISTORY_H_
+#define MUSKETEER_SRC_OBS_RUNTIME_HISTORY_H_
+
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+namespace musketeer {
+
+// Value-type snapshot of the scales derived from a RuntimeHistory; safe to
+// copy into a planning pass while execution keeps recording.
+struct RuntimeCalibration {
+  // wall_seconds ~= TimeScale(engine) * sim_seconds.
+  double TimeScale(const std::string& engine) const;
+
+  std::map<std::string, double> per_engine;  // engine name -> alpha
+  double global_scale = 1.0;                 // fallback across all engines
+  bool has_observations = false;
+};
+
+class RuntimeHistory {
+ public:
+  RuntimeHistory() = default;
+  RuntimeHistory(const RuntimeHistory&) = delete;
+  RuntimeHistory& operator=(const RuntimeHistory&) = delete;
+
+  // Records one executed job: `signature` identifies the job within the
+  // workflow (job name + engine), `sim_seconds` is the cost model's
+  // simulated makespan, `wall_seconds` the measured wall clock.
+  void RecordJob(std::string_view workflow, std::string_view signature,
+                 std::string_view engine, double sim_seconds,
+                 double wall_seconds);
+
+  // Best wall-clock estimate for a job about to run, most specific first:
+  //   1. mean measured wall of this exact (workflow, signature);
+  //   2. alpha_engine * sim_seconds;
+  //   3. global alpha * sim_seconds;
+  //   4. sim_seconds unscaled (no history at all).
+  double PredictWallSeconds(std::string_view workflow,
+                            std::string_view signature,
+                            std::string_view engine,
+                            double sim_seconds) const;
+
+  RuntimeCalibration Calibration() const;
+
+  int total_jobs() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    double sim_sum = 0;
+    double wall_sum = 0;
+    int runs = 0;
+  };
+  struct EngineTotals {
+    double sim_sum = 0;
+    double wall_sum = 0;
+  };
+
+  static std::string JobKey(std::string_view workflow,
+                            std::string_view signature);
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Entry> jobs_;                // guarded by mu_
+  std::map<std::string, EngineTotals> engine_totals_;  // guarded by mu_
+  int total_jobs_ = 0;                               // guarded by mu_
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_OBS_RUNTIME_HISTORY_H_

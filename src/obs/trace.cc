@@ -1,0 +1,176 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/base/json.h"
+
+namespace musketeer {
+
+namespace {
+
+// Innermost open span per thread; parent of the next span started here.
+thread_local std::vector<uint64_t> t_span_stack;
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadLog* Tracer::LocalLog() {
+  // shared_ptr: the tracer holds the other reference, so a log outlives its
+  // thread and late exports still see it.
+  thread_local std::shared_ptr<ThreadLog> log;
+  if (log == nullptr) {
+    log = std::make_shared<ThreadLog>();
+    log->tid = next_tid_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::lock_guard lock(mu_);
+    logs_.push_back(log);
+  }
+  return log.get();
+}
+
+double Tracer::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::Record(SpanRecord record) {
+  ThreadLog* log = LocalLog();
+  record.tid = log->tid;
+  std::lock_guard lock(log->mu);
+  if (log->spans.size() >= kMaxSpansPerThread) {
+    ++log->dropped;
+    return;
+  }
+  log->spans.push_back(std::move(record));
+}
+
+void Tracer::Clear() {
+  std::lock_guard lock(mu_);
+  for (const auto& log : logs_) {
+    std::lock_guard log_lock(log->mu);
+    log->spans.clear();
+    log->dropped = 0;
+  }
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& log : logs_) {
+      std::lock_guard log_lock(log->mu);
+      out.insert(out.end(), log->spans.begin(), log->spans.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return out;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard lock(mu_);
+  size_t n = 0;
+  for (const auto& log : logs_) {
+    std::lock_guard log_lock(log->mu);
+    n += log->spans.size();
+  }
+  return n;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard lock(mu_);
+  uint64_t n = 0;
+  for (const auto& log : logs_) {
+    std::lock_guard log_lock(log->mu);
+    n += log->dropped;
+  }
+  return n;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return InternalError("cannot open trace output file '" + path + "'");
+  }
+  std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    std::string args = "{\"span_id\": \"" + std::to_string(s.id) +
+                       "\", \"parent_id\": \"" + std::to_string(s.parent_id) +
+                       "\"";
+    for (const auto& [key, value] : s.attrs) {
+      args += ", " + JsonQuote(key) + ": " + JsonQuote(value);
+    }
+    args += "}";
+    std::fprintf(
+        f,
+        "  {\"name\": %s, \"cat\": %s, \"ph\": \"X\", \"ts\": %.3f, "
+        "\"dur\": %.3f, \"pid\": 1, \"tid\": %d, \"args\": %s}%s\n",
+        JsonQuote(s.name).c_str(),
+        JsonQuote(s.category.empty() ? "span" : s.category).c_str(), s.start_us,
+        s.dur_us, s.tid, args.c_str(), i + 1 < spans.size() ? "," : "");
+  }
+  std::fprintf(f, "]}\n");
+  if (std::fclose(f) != 0) {
+    return InternalError("error writing trace output file '" + path + "'");
+  }
+  return OkStatus();
+}
+
+// ---- Span ------------------------------------------------------------------
+
+Span::Span(std::string_view name, std::string_view category)
+    : start_(std::chrono::steady_clock::now()) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) {
+    return;
+  }
+  active_ = true;
+  record_.name.assign(name.data(), name.size());
+  record_.category.assign(category.data(), category.size());
+  record_.id = tracer.NextSpanId();
+  record_.parent_id = t_span_stack.empty() ? 0 : t_span_stack.back();
+  record_.start_us = std::chrono::duration<double, std::micro>(
+                         start_ - tracer.epoch_)
+                         .count();
+  t_span_stack.push_back(record_.id);
+}
+
+Span::~Span() {
+  if (!active_) {
+    return;
+  }
+  record_.dur_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  // LIFO discipline: this span is the innermost open span on this thread.
+  if (!t_span_stack.empty() && t_span_stack.back() == record_.id) {
+    t_span_stack.pop_back();
+  }
+  Tracer::Global().Record(std::move(record_));
+}
+
+void Span::SetAttr(std::string_view key, std::string value) {
+  if (!active_) {
+    return;
+  }
+  record_.attrs.emplace_back(std::string(key), std::move(value));
+}
+
+double Span::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+}  // namespace musketeer

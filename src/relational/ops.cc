@@ -10,6 +10,8 @@
 #include <utility>
 
 #include "src/base/parallel.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 // Parallelization strategy (see DESIGN.md "Parallel data plane"): every
 // kernel splits its input into fixed kMorselRows chunks, computes
@@ -325,6 +327,19 @@ double NumericAt(const Column& c, size_t i) {
 }  // namespace
 
 StatusOr<Table> HashJoin(const Table& left, const Table& right, int lkey, int rkey) {
+  // Kernel instrumentation is per-call (one span + two counter adds per
+  // invocation, never per row), keeping overhead inside the bench budget.
+  Span span("kernel.join", "kernel");
+  static Counter& calls =
+      MetricsRegistry::Global().counter("musketeer.relational.join.calls");
+  static Counter& rows =
+      MetricsRegistry::Global().counter("musketeer.relational.join.input_rows");
+  calls.Increment();
+  rows.Increment(left.num_rows() + right.num_rows());
+  if (span.active()) {
+    span.SetAttr("left_rows", std::to_string(left.num_rows()));
+    span.SetAttr("right_rows", std::to_string(right.num_rows()));
+  }
   if (lkey < 0 || lkey >= static_cast<int>(left.schema().num_fields())) {
     return InvalidArgumentError("JOIN left key out of range");
   }
@@ -686,6 +701,16 @@ void MergeGroupPartial(GroupPartial* a, GroupPartial&& b, bool int_fast_path) {
 
 StatusOr<Table> GroupByAgg(const Table& in, const std::vector<int>& group_columns,
                            const std::vector<AggSpec>& aggs) {
+  Span span("kernel.group_by", "kernel");
+  static Counter& calls =
+      MetricsRegistry::Global().counter("musketeer.relational.group_by.calls");
+  static Counter& rows = MetricsRegistry::Global().counter(
+      "musketeer.relational.group_by.input_rows");
+  calls.Increment();
+  rows.Increment(in.num_rows());
+  if (span.active()) {
+    span.SetAttr("rows", std::to_string(in.num_rows()));
+  }
   for (int c : group_columns) {
     if (c < 0 || c >= static_cast<int>(in.schema().num_fields())) {
       return InvalidArgumentError("GROUP BY column out of range");
@@ -915,6 +940,16 @@ StatusOr<Table> ExtremeRow(const Table& in, int column, bool take_max) {
 }
 
 Table SortBy(const Table& in, const std::vector<int>& columns) {
+  Span span("kernel.sort", "kernel");
+  static Counter& calls =
+      MetricsRegistry::Global().counter("musketeer.relational.sort.calls");
+  static Counter& rows =
+      MetricsRegistry::Global().counter("musketeer.relational.sort.input_rows");
+  calls.Increment();
+  rows.Increment(in.num_rows());
+  if (span.active()) {
+    span.SetAttr("rows", std::to_string(in.num_rows()));
+  }
   std::vector<const Column*> keys;
   keys.reserve(columns.size());
   for (int c : columns) keys.push_back(&in.col(c));

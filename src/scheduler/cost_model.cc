@@ -8,11 +8,13 @@
 namespace musketeer {
 
 CostModel::CostModel(ClusterConfig cluster, const HistoryStore* history,
-                     std::string workflow_id, bool conservative_merging)
+                     std::string workflow_id, bool conservative_merging,
+                     const RuntimeCalibration* calibration)
     : cluster_(std::move(cluster)),
       history_(history),
       workflow_id_(std::move(workflow_id)),
-      conservative_merging_(conservative_merging) {}
+      conservative_merging_(conservative_merging),
+      calibration_(calibration) {}
 
 Bytes CostModel::PredictNodeSize(const Dag& /*dag*/, const OperatorNode& node,
                                  const std::vector<Bytes>& in_bytes) const {
@@ -285,7 +287,11 @@ double CostModel::JobCost(const Dag& dag, const std::vector<int>& ops,
       shape.pull_bytes < kGraphChiInMemoryBytes) {
     shape.process_efficiency *= kGraphChiInMemoryBoost;
   }
-  return PriceJob(engine, cluster_, shape);
+  double cost = PriceJob(engine, cluster_, shape);
+  if (calibration_ != nullptr && calibration_->has_observations) {
+    cost *= calibration_->TimeScale(EngineKindName(engine));
+  }
+  return cost;
 }
 
 }  // namespace musketeer

@@ -21,6 +21,7 @@
 
 #include "src/backends/backend.h"
 #include "src/cluster/cluster.h"
+#include "src/obs/runtime_history.h"
 #include "src/scheduler/history.h"
 
 namespace musketeer {
@@ -38,8 +39,13 @@ class CostModel {
   // on first execution Musketeer "only merges selective operators and
   // generative operators with small output bounds", so JOINs end their job
   // until history tightens their bounds).
+  // `calibration` (optional, not owned, must outlive the model) rescales
+  // every JobCost by the measured wall-per-sim time scale of the candidate
+  // engine, so partitioning decisions reflect observed runtimes rather than
+  // the perf model's a-priori constants (src/obs/runtime_history.h).
   CostModel(ClusterConfig cluster, const HistoryStore* history,
-            std::string workflow_id, bool conservative_merging = false);
+            std::string workflow_id, bool conservative_merging = false,
+            const RuntimeCalibration* calibration = nullptr);
 
   // Predicts the nominal output bytes of every node. Base INPUT sizes come
   // from `base_sizes` (run-time information: the inputs sit in the DFS).
@@ -66,6 +72,7 @@ class CostModel {
   const HistoryStore* history_;  // not owned, may be null
   std::string workflow_id_;
   bool conservative_merging_;
+  const RuntimeCalibration* calibration_;  // not owned, may be null
 };
 
 }  // namespace musketeer

@@ -1,6 +1,14 @@
 #include "src/scheduler/history.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
 #include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "src/base/json.h"
 
 namespace musketeer {
 
@@ -65,6 +73,101 @@ int HistoryStore::EntriesFor(const std::string& workflow) const {
 void HistoryStore::Clear() {
   std::unique_lock lock(mu_);
   data_.clear();
+}
+
+std::string HistoryStore::ToJson() const {
+  JsonValue doc;
+  doc.kind = JsonValue::Kind::kObject;
+  std::shared_lock lock(mu_);
+  // Workflows sorted by id, relations in insertion order, so the file is
+  // deterministic for a given store and diffs cleanly across runs.
+  std::map<std::string,
+           const std::unordered_map<std::string, Entry>*> sorted;
+  for (const auto& [workflow, relations] : data_) {
+    sorted[workflow] = &relations;
+  }
+  for (const auto& [workflow, relations] : sorted) {
+    std::vector<std::pair<std::string, Entry>> ordered(relations->begin(),
+                                                       relations->end());
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) {
+                return a.second.order < b.second.order;
+              });
+    JsonValue list;
+    list.kind = JsonValue::Kind::kArray;
+    for (const auto& [relation, entry] : ordered) {
+      JsonValue rec;
+      rec.kind = JsonValue::Kind::kObject;
+      JsonValue name;
+      name.kind = JsonValue::Kind::kString;
+      name.string_value = relation;
+      JsonValue bytes;
+      bytes.kind = JsonValue::Kind::kNumber;
+      bytes.number_value = entry.bytes;
+      rec.object.emplace_back("relation", std::move(name));
+      rec.object.emplace_back("bytes", std::move(bytes));
+      list.array.push_back(std::move(rec));
+    }
+    doc.object.emplace_back(workflow, std::move(list));
+  }
+  return doc.Dump();
+}
+
+Status HistoryStore::FromJson(const std::string& text) {
+  MUSKETEER_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(text));
+  if (!doc.is_object()) {
+    return InvalidArgumentError("history document must be a JSON object");
+  }
+  decltype(data_) parsed;
+  for (const auto& [workflow, list] : doc.object) {
+    if (!list.is_array()) {
+      return InvalidArgumentError("history for workflow '" + workflow +
+                                  "' must be an array");
+    }
+    auto& per_wf = parsed[workflow];
+    for (const JsonValue& rec : list.array) {
+      const JsonValue* relation = rec.Find("relation");
+      const JsonValue* bytes = rec.Find("bytes");
+      if (relation == nullptr || !relation->is_string() || bytes == nullptr ||
+          !bytes->is_number()) {
+        return InvalidArgumentError(
+            "history record needs string 'relation' and numeric 'bytes'");
+      }
+      Entry e;
+      e.bytes = bytes->number_value;
+      e.order = static_cast<int>(per_wf.size());
+      per_wf[relation->string_value] = e;
+    }
+  }
+  std::unique_lock lock(mu_);
+  data_ = std::move(parsed);
+  return OkStatus();
+}
+
+Status HistoryStore::SaveTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return InternalError("cannot open history file '" + path + "' for write");
+  }
+  out << ToJson() << "\n";
+  out.close();
+  if (!out) {
+    return InternalError("error writing history file '" + path + "'");
+  }
+  return OkStatus();
+}
+
+Status HistoryStore::LoadFrom(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return OkStatus();  // no file yet: start with an empty history
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (in.bad()) {
+    return InternalError("error reading history file '" + path + "'");
+  }
+  return FromJson(text.str());
 }
 
 HistoryStore HistoryStore::WithPartialKnowledge(double fraction) const {

@@ -22,6 +22,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/base/status.h"
 #include "src/base/units.h"
 
 namespace musketeer {
@@ -48,6 +49,17 @@ class HistoryStore {
   // Keeps only entries whose insertion index (per workflow) is below
   // `fraction` of the total — used to model partially-acquired history.
   HistoryStore WithPartialKnowledge(double fraction) const;
+
+  // JSON persistence (--history-file): the store serializes as one object
+  // keyed by workflow id, each value an array (in insertion order) of
+  // {"relation": <name>, "bytes": <n>} records.
+  std::string ToJson() const;
+  // Replaces the store's contents with the parsed document.
+  Status FromJson(const std::string& text);
+
+  Status SaveTo(const std::string& path) const;
+  // Missing file is not an error: a service's first launch has no history.
+  Status LoadFrom(const std::string& path);
 
  private:
   struct Entry {

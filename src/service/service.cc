@@ -5,8 +5,46 @@
 
 #include "src/base/logging.h"
 #include "src/base/parallel.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace musketeer {
+
+namespace {
+
+// Service metric handles (function-local statics: map lookup paid once).
+Counter& SubmittedCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("musketeer.service.submitted");
+  return c;
+}
+Counter& RejectedCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("musketeer.service.rejected");
+  return c;
+}
+Counter& CompletedCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("musketeer.service.completed");
+  return c;
+}
+Counter& FailedCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("musketeer.service.failed");
+  return c;
+}
+Counter& PlanCacheHitCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("musketeer.service.plan_cache.hit");
+  return c;
+}
+Counter& PlanCacheMissCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("musketeer.service.plan_cache.miss");
+  return c;
+}
+
+}  // namespace
 
 const char* WorkflowStateName(WorkflowState state) {
   switch (state) {
@@ -174,6 +212,7 @@ WorkflowHandle WorkflowService::Enqueue(WorkflowSpec spec, RunOptions options,
     std::lock_guard lock(mu_);
     ++stats_.submitted;
   }
+  SubmittedCounter().Increment();
   return ticket;
 }
 
@@ -198,6 +237,13 @@ void WorkflowService::RunOne(const QueueItem& item) {
   MLOG_DEBUG << "service: workflow '" << item.ticket->spec().id << "' (#"
              << item.ticket->id() << ") running";
 
+  Span span("service.workflow", "service");
+  static Histogram& queue_seconds = MetricsRegistry::Global().histogram(
+      "musketeer.service.queue_seconds");
+  static Histogram& run_seconds =
+      MetricsRegistry::Global().histogram("musketeer.service.run_seconds");
+  queue_seconds.Observe(item.ticket->queue_seconds());
+
   Musketeer m(dfs_);
   const WorkflowSpec& spec = item.ticket->spec();
   const std::string cache_key = PlanCacheKey(spec, item.options);
@@ -207,6 +253,13 @@ void WorkflowService::RunOne(const QueueItem& item) {
   if (config_.plan_cache_capacity > 0) {
     plan = plan_cache_.Get(cache_key);
     cache_hit = plan != nullptr;
+    // Mirrors WorkflowTicket::plan_cache_hit exactly: incremented once per
+    // submission that consults the cache (tests assert the agreement).
+    if (cache_hit) {
+      PlanCacheHitCounter().Increment();
+    } else {
+      PlanCacheMissCounter().Increment();
+    }
   }
   StatusOr<RunResult> result = InternalError("unreachable");
   if (plan == nullptr) {
@@ -230,6 +283,13 @@ void WorkflowService::RunOne(const QueueItem& item) {
 
   const WorkflowState state =
       result.ok() ? WorkflowState::kDone : WorkflowState::kFailed;
+  if (span.active()) {
+    span.SetAttr("workflow", spec.id);
+    span.SetAttr("ticket", std::to_string(item.ticket->id()));
+    span.SetAttr("cache_hit", cache_hit ? "true" : "false");
+    span.SetAttr("state", WorkflowStateName(state));
+  }
+  run_seconds.Observe(span.elapsed_seconds());
   item.ticket->Finish(state, std::move(result), cache_hit);
   OnTicketTerminal(state);
 }
@@ -240,12 +300,15 @@ void WorkflowService::OnTicketTerminal(WorkflowState state) {
     switch (state) {
       case WorkflowState::kDone:
         ++stats_.completed;
+        CompletedCounter().Increment();
         break;
       case WorkflowState::kFailed:
         ++stats_.failed;
+        FailedCounter().Increment();
         break;
       case WorkflowState::kRejected:
         ++stats_.rejected;
+        RejectedCounter().Increment();
         break;
       default:
         break;

@@ -21,9 +21,9 @@
 // HistoryStore are internally synchronized; WorkflowPlan and Table are
 // immutable once published; the service's own state (tickets, stats) is
 // guarded by per-object mutexes. Per-run RunResult.dfs_bytes_* deltas are
-// computed from the shared counters and therefore include bytes moved by
-// concurrently executing workflows; use ServiceStats / Dfs totals for
-// aggregate accounting under concurrency.
+// attributed with thread-scoped counters (ScopedDfsRunCounters), so each
+// run's numbers are exact even while other workflows execute concurrently
+// against the same DFS.
 
 #ifndef MUSKETEER_SRC_SERVICE_SERVICE_H_
 #define MUSKETEER_SRC_SERVICE_SERVICE_H_

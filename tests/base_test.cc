@@ -1,4 +1,4 @@
-// Tests for the base utilities: Status/StatusOr, strings, RNG, logging.
+// Tests for the base utilities: Status/StatusOr, strings, JSON, RNG, logging.
 
 #include "src/base/status.h"
 
@@ -6,6 +6,7 @@
 
 #include <set>
 
+#include "src/base/json.h"
 #include "src/base/logging.h"
 #include "src/base/rng.h"
 #include "src/base/strings.h"
@@ -128,6 +129,52 @@ TEST(RngTest, ZipfIsSkewedTowardSmallRanks) {
   // Under a uniform distribution 10% would land below rank 100; Zipf with
   // alpha=0.9 concentrates far more mass there.
   EXPECT_GT(low, kSamples / 4);
+}
+
+TEST(JsonTest, ParsesScalarsArraysObjects) {
+  auto doc = ParseJson(
+      R"({"a": 1.5, "b": [true, false, null, "x"], "neg": -2e3})");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_DOUBLE_EQ(doc->Find("a")->number_value, 1.5);
+  const JsonValue* b = doc->Find("b");
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->array.size(), 4u);
+  EXPECT_TRUE(b->array[0].bool_value);
+  EXPECT_FALSE(b->array[1].bool_value);
+  EXPECT_TRUE(b->array[2].is_null());
+  EXPECT_EQ(b->array[3].string_value, "x");
+  EXPECT_DOUBLE_EQ(doc->Find("neg")->number_value, -2000.0);
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, StringEscapesRoundTrip) {
+  const std::string raw = "quote\" slash\\ tab\t newline\n unicodeé";
+  auto doc = ParseJson(JsonQuote(raw));
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->string_value, raw);
+  // \uXXXX escapes (including surrogate pairs) decode to UTF-8.
+  auto esc = ParseJson(R"("café 😀")");
+  ASSERT_TRUE(esc.ok()) << esc.status();
+  EXPECT_EQ(esc->string_value, "caf\xc3\xa9 \xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, DumpRoundTripsPreservingOrder) {
+  const std::string text = R"({"z":1,"a":[2,3],"m":{"nested":"v"}})";
+  auto doc = ParseJson(text);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->Dump(), text);  // objects keep insertion order
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1 trailing").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("1..2").ok());
 }
 
 TEST(LoggingTest, LevelFiltering) {

@@ -3,6 +3,8 @@
 
 #include "src/scheduler/partitioner.h"
 
+#include <cstdio>
+
 #include <gtest/gtest.h>
 
 #include "src/frontends/frontend.h"
@@ -255,6 +257,49 @@ TEST(HistoryTest, PartialKnowledgeKeepsPrefix) {
   EXPECT_TRUE(half.Lookup("wf", "a").has_value());
   EXPECT_FALSE(half.Lookup("wf", "d").has_value());
   EXPECT_FALSE(half.Lookup("other", "a").has_value());
+}
+
+TEST(HistoryTest, JsonRoundTripPreservesEntriesAndOrder) {
+  HistoryStore history;
+  history.Record("wf-a", "alpha", 100);
+  history.Record("wf-a", "beta", 200);
+  history.Record("wf-a", "gamma", 300);
+  history.Record("wf-b", "x", 7.5);
+
+  HistoryStore loaded;
+  ASSERT_TRUE(loaded.FromJson(history.ToJson()).ok());
+  EXPECT_EQ(loaded.EntriesFor("wf-a"), 3);
+  EXPECT_EQ(loaded.EntriesFor("wf-b"), 1);
+  EXPECT_DOUBLE_EQ(*loaded.Lookup("wf-a", "beta"), 200);
+  EXPECT_DOUBLE_EQ(*loaded.Lookup("wf-b", "x"), 7.5);
+  // Insertion order survives the round trip (WithPartialKnowledge depends
+  // on per-workflow order): the half-knowledge prefix is still alpha, beta.
+  HistoryStore prefix = loaded.WithPartialKnowledge(0.5);
+  EXPECT_TRUE(prefix.Lookup("wf-a", "alpha").has_value());
+  EXPECT_TRUE(prefix.Lookup("wf-a", "beta").has_value());
+  EXPECT_FALSE(prefix.Lookup("wf-a", "gamma").has_value());
+}
+
+TEST(HistoryTest, SaveToLoadFromFile) {
+  const std::string path = "history_store_test.json";
+  HistoryStore history;
+  history.Record("wf", "rel", 42);
+  ASSERT_TRUE(history.SaveTo(path).ok());
+
+  HistoryStore loaded;
+  ASSERT_TRUE(loaded.LoadFrom(path).ok());
+  EXPECT_DOUBLE_EQ(*loaded.Lookup("wf", "rel"), 42);
+  std::remove(path.c_str());
+
+  // Missing file loads as empty history (first service launch).
+  HistoryStore empty;
+  EXPECT_TRUE(empty.LoadFrom("does_not_exist_12345.json").ok());
+  EXPECT_EQ(empty.EntriesFor("wf"), 0);
+
+  // Malformed content is a real error.
+  HistoryStore bad;
+  EXPECT_FALSE(bad.FromJson("{not json").ok());
+  EXPECT_FALSE(bad.FromJson(R"({"wf": "not-an-array"})").ok());
 }
 
 TEST(DecisionTreeTest, FollowsItsRigidRules) {

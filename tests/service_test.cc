@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/metrics.h"
 #include "src/service/plan_cache.h"
 #include "src/service/queue.h"
 #include "src/workloads/datasets.h"
@@ -244,13 +245,17 @@ TEST(WorkflowServiceTest, ConcurrentMatchesSequential) {
     SimSeconds makespan = 0;
     TableMap outputs;
     int history_entries = 0;
+    Bytes dfs_bytes_read = 0;
+    Bytes dfs_bytes_written = 0;
   };
   std::unordered_map<std::string, Baseline> baselines;
   for (const WorkflowSpec& spec : specs) {
     auto result = m.Run(spec, options);
     ASSERT_TRUE(result.ok()) << result.status();
-    baselines[spec.id] = Baseline{result->makespan, result->outputs,
-                                  history.EntriesFor(spec.id)};
+    baselines[spec.id] =
+        Baseline{result->makespan, result->outputs,
+                 history.EntriesFor(spec.id), result->dfs_bytes_read,
+                 result->dfs_bytes_written};
   }
 
   // Concurrent: every spec × kCopies racing over the same Dfs + history.
@@ -274,6 +279,11 @@ TEST(WorkflowServiceTest, ConcurrentMatchesSequential) {
     const RunResult& got = *h->result();
     // Identical makespans: simulated time must not depend on interleaving.
     EXPECT_DOUBLE_EQ(got.makespan, want.makespan) << h->spec().id;
+    // Exact per-run DFS byte attribution even while other workflows move
+    // bytes concurrently (thread-scoped counters, not shared-counter deltas).
+    EXPECT_DOUBLE_EQ(got.dfs_bytes_read, want.dfs_bytes_read) << h->spec().id;
+    EXPECT_DOUBLE_EQ(got.dfs_bytes_written, want.dfs_bytes_written)
+        << h->spec().id;
     // Deterministic outputs.
     ASSERT_EQ(got.outputs.size(), want.outputs.size()) << h->spec().id;
     for (const auto& [name, table] : want.outputs) {
@@ -316,6 +326,86 @@ TEST(WorkflowServiceTest, RepeatedSubmissionHitsPlanCache) {
   EXPECT_DOUBLE_EQ(first->result()->makespan, second->result()->makespan);
   EXPECT_EQ(second->result()->plans.size(), first->result()->plans.size());
   EXPECT_GE(service.stats().plan_cache_hits, 1u);
+}
+
+TEST(WorkflowServiceTest, PlanCacheEvictionUnderTinyCapacity) {
+  Dfs dfs;
+  SeedDfs(&dfs);
+  ServiceConfig config;
+  config.num_workers = 1;  // serialize: eviction order is deterministic
+  config.plan_cache_capacity = 2;
+  WorkflowService service(&dfs, config);
+
+  std::vector<WorkflowSpec> specs = MixedSpecs();  // 3 distinct cache keys
+  ASSERT_EQ(specs.size(), 3u);
+
+  // A, B, C fill the 2-entry cache; C evicts A (LRU).
+  for (const WorkflowSpec& spec : specs) {
+    WorkflowHandle h = service.Submit(spec);
+    h->Wait();
+    ASSERT_EQ(h->state(), WorkflowState::kDone) << h->result().status();
+    EXPECT_FALSE(h->plan_cache_hit()) << spec.id;
+  }
+  // A was evicted: resubmission misses (and evicts B).
+  WorkflowHandle a = service.Submit(specs[0]);
+  a->Wait();
+  EXPECT_FALSE(a->plan_cache_hit());
+  // C is still resident: resubmission hits.
+  WorkflowHandle c = service.Submit(specs[2]);
+  c->Wait();
+  EXPECT_TRUE(c->plan_cache_hit());
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.plan_cache_hits, 1u);
+  EXPECT_EQ(stats.plan_cache_misses, 4u);
+}
+
+// Cache-hit accounting under concurrent submissions: the hit/miss metric
+// counters, the ServiceStats counters, and the per-ticket plan_cache_hit
+// flags must all tell the same story.
+TEST(WorkflowServiceTest, CacheMetricsAgreeWithTicketsUnderConcurrency) {
+  Dfs dfs;
+  SeedDfs(&dfs);
+  ServiceConfig config;
+  config.num_workers = 4;
+  config.queue_capacity = 64;
+  WorkflowService service(&dfs, config);
+
+  Counter& hit_metric =
+      MetricsRegistry::Global().counter("musketeer.service.plan_cache.hit");
+  Counter& miss_metric =
+      MetricsRegistry::Global().counter("musketeer.service.plan_cache.miss");
+  const uint64_t hits_before = hit_metric.Value();
+  const uint64_t misses_before = miss_metric.Value();
+
+  constexpr int kCopies = 6;
+  std::vector<WorkflowSpec> specs = MixedSpecs();
+  std::vector<WorkflowHandle> handles;
+  for (int copy = 0; copy < kCopies; ++copy) {
+    for (const WorkflowSpec& spec : specs) {
+      handles.push_back(service.SubmitBlocking(spec));
+    }
+  }
+  service.Drain();
+
+  uint64_t ticket_hits = 0;
+  for (const WorkflowHandle& h : handles) {
+    ASSERT_EQ(h->state(), WorkflowState::kDone) << h->result().status();
+    if (h->plan_cache_hit()) {
+      ++ticket_hits;
+    }
+  }
+  ServiceStats stats = service.stats();
+  // Every submission consulted the cache exactly once.
+  EXPECT_EQ(stats.plan_cache_hits + stats.plan_cache_misses, handles.size());
+  // Racing workers may each miss on the same key before the first Put, so
+  // misses can exceed the number of distinct keys — but ticket flags must
+  // agree exactly with the cache's own counters and the exported metrics.
+  EXPECT_EQ(stats.plan_cache_hits, ticket_hits);
+  EXPECT_EQ(hit_metric.Value() - hits_before, stats.plan_cache_hits);
+  EXPECT_EQ(miss_metric.Value() - misses_before, stats.plan_cache_misses);
+  // With 6 copies of each spec there must be real reuse.
+  EXPECT_GE(stats.plan_cache_hits, static_cast<uint64_t>(specs.size()));
 }
 
 TEST(WorkflowServiceTest, PlanCacheDisabledNeverHits) {

@@ -23,6 +23,11 @@
 //                                    (default: MUSKETEER_THREADS env, else
 //                                    hardware concurrency)
 //   --explain                        also print IR, partitioning & job code
+//   --trace-out=FILE                 write a Chrome trace_event JSON file
+//                                    (load in chrome://tracing / Perfetto)
+//   --metrics                        dump the metrics registry on exit
+//   --history-file=FILE              load relation-size history before the
+//                                    run and save it back after (JSON)
 //   --serve=N                        run a workflow service with N workers;
 //                                    every positional file is submitted
 //   --repeat=K                       service mode: submit each file K times
@@ -44,6 +49,8 @@
 #include "src/base/parallel.h"
 #include "src/base/strings.h"
 #include "src/core/musketeer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/relational/csv.h"
 #include "src/service/service.h"
 
@@ -117,6 +124,7 @@ void PrintUsage() {
       "  --threads=N                   (default: MUSKETEER_THREADS env,\n"
       "                                 else hardware concurrency)\n"
       "  --explain\n"
+      "  --trace-out=FILE --metrics --history-file=FILE\n"
       "  --serve=N --repeat=K --queue=CAP --no-plan-cache\n");
 }
 
@@ -157,7 +165,8 @@ std::optional<WorkflowSpec> LoadWorkflowFile(
 int RunServe(Dfs* dfs, const std::vector<std::string>& paths,
              std::optional<FrontendLanguage> forced_language,
              const RunOptions& base_options, int workers, int repeat,
-             size_t queue_capacity, bool plan_cache) {
+             size_t queue_capacity, bool plan_cache, HistoryStore* history,
+             RuntimeHistory* runtime_history) {
   std::vector<WorkflowSpec> specs;
   for (const std::string& path : paths) {
     auto spec = LoadWorkflowFile(path, forced_language);
@@ -168,13 +177,13 @@ int RunServe(Dfs* dfs, const std::vector<std::string>& paths,
     specs.push_back(std::move(*spec));
   }
 
-  HistoryStore history;
   ServiceConfig config;
   config.num_workers = workers;
   config.queue_capacity = queue_capacity;
   config.plan_cache_capacity = plan_cache ? 128 : 0;
   config.default_options = base_options;
-  config.default_options.history = &history;
+  config.default_options.history = history;
+  config.default_options.runtime_history = runtime_history;
   WorkflowService service(dfs, config);
 
   const auto start = std::chrono::steady_clock::now();
@@ -233,6 +242,9 @@ int main(int argc, char** argv) {
   int repeat = 1;
   int64_t queue_capacity = 64;
   bool plan_cache = true;
+  std::string trace_out;
+  std::string history_file;
+  bool dump_metrics = false;
 
   Dfs dfs;
   std::vector<std::pair<std::string, double>> scales;
@@ -273,6 +285,24 @@ int main(int argc, char** argv) {
     }
     if (arg == "--no-plan-cache") {
       plan_cache = false;
+      continue;
+    }
+    if (StartsWith(arg, "--trace-out=")) {
+      trace_out = arg.substr(12);
+      if (trace_out.empty()) {
+        return Fail("--trace-out needs a file name");
+      }
+      continue;
+    }
+    if (StartsWith(arg, "--history-file=")) {
+      history_file = arg.substr(15);
+      if (history_file.empty()) {
+        return Fail("--history-file needs a file name");
+      }
+      continue;
+    }
+    if (arg == "--metrics") {
+      dump_metrics = true;
       continue;
     }
     if (StartsWith(arg, "--threads=")) {
@@ -388,13 +418,55 @@ int main(int argc, char** argv) {
     dfs.Put(name, scaled);
   }
 
+  HistoryStore history;
+  if (!history_file.empty()) {
+    Status loaded = history.LoadFrom(history_file);
+    if (!loaded.ok()) {
+      return Fail("loading " + history_file + ": " + loaded.ToString());
+    }
+  }
+  RuntimeHistory runtime_history;
+  if (!trace_out.empty()) {
+    Tracer::Global().Enable(true);
+  }
+
+  // Observability epilogue shared by both modes: flush the trace, persist
+  // history, dump metrics.
+  auto epilogue = [&](int exit_code) {
+    if (!trace_out.empty()) {
+      Status written = Tracer::Global().WriteChromeTrace(trace_out);
+      if (!written.ok()) {
+        return Fail(written.ToString());
+      }
+      std::printf("wrote %zu trace span(s) to %s\n",
+                  Tracer::Global().span_count(), trace_out.c_str());
+    }
+    if (!history_file.empty()) {
+      Status saved = history.SaveTo(history_file);
+      if (!saved.ok()) {
+        return Fail(saved.ToString());
+      }
+    }
+    if (dump_metrics) {
+      std::printf("--- metrics ---\n%s",
+                  MetricsRegistry::Global().DumpText().c_str());
+    }
+    return exit_code;
+  };
+
   RunOptions options;
   options.cluster = cluster;
   options.engines = engines;
+  if (!history_file.empty()) {
+    options.history = &history;
+  }
+  options.runtime_history = &runtime_history;
 
   if (serve_workers > 0) {
-    return RunServe(&dfs, workflow_paths, language, options, serve_workers,
-                    repeat, static_cast<size_t>(queue_capacity), plan_cache);
+    return epilogue(RunServe(&dfs, workflow_paths, language, options,
+                             serve_workers, repeat,
+                             static_cast<size_t>(queue_capacity), plan_cache,
+                             &history, &runtime_history));
   }
 
   const std::string& workflow_path = workflow_paths[0];
@@ -454,5 +526,5 @@ int main(int argc, char** argv) {
       std::printf("\n%s:\n%s", name.c_str(), table->DebugString(10).c_str());
     }
   }
-  return 0;
+  return epilogue(0);
 }
