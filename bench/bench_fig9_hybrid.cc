@@ -69,7 +69,7 @@ double RunFusedNaiad(const CommunityPair& communities) {
   plan.while_mode = WhileExec::kVertexRuntime;  // GraphLINQ runs the loop
   plan.graph_path = true;
   plan.quirks.process_efficiency = 0.95;
-  auto result = ExecuteJob(plan, LocalCluster(), &dfs);
+  auto result = ExecuteJob(plan, LocalCluster(), &dfs, ExecutionContext{});
   if (!result.ok()) {
     std::fprintf(stderr, "FATAL: %s\n", result.status().ToString().c_str());
     std::exit(1);

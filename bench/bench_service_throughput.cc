@@ -189,5 +189,49 @@ int main() {
     std::printf("plan cache speedup: %.2fx\n",
                 warm.submissions_per_sec / cold.submissions_per_sec);
   }
+
+  PrintHeader("Fault-tolerance plumbing overhead (4 workers, no faults)",
+              "ExecutionContext checkpoints + injector probe + retry "
+              "dispatcher armed (max_attempts=3, rate=0) vs baseline; "
+              "gate: armed must keep >= 85% of baseline throughput");
+  {
+    constexpr int kGateSubmissions = 32;
+    RunOptions armed;
+    armed.retry.max_attempts = 3;  // dispatcher armed; rate 0 => no retries
+    armed.fault_rate = 0.0;
+    // Best-of-3 to damp wall-clock noise: the gate compares plumbing cost,
+    // not scheduler jitter.
+    double best_ratio = 0;
+    double base_subs = 0;
+    double armed_subs = 0;
+    for (int trial = 0; trial < 3; ++trial) {
+      HistoryStore base_history;
+      Measurement base =
+          RunLoad(workload, 4, kGateSubmissions, /*plan_cache=*/true,
+                  &base_history, std::chrono::milliseconds{0});
+      HistoryStore armed_history;
+      Measurement with_ctx =
+          RunLoad(workload, 4, kGateSubmissions, /*plan_cache=*/true,
+                  &armed_history, std::chrono::milliseconds{0}, armed);
+      double ratio = with_ctx.submissions_per_sec / base.submissions_per_sec;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        base_subs = base.submissions_per_sec;
+        armed_subs = with_ctx.submissions_per_sec;
+      }
+    }
+    PrintRow({"options", "subs/s"});
+    PrintRow({"baseline", Fmt(base_subs)});
+    PrintRow({"retry+injector armed", Fmt(armed_subs)});
+    std::printf("plumbing overhead: %.1f%% of baseline throughput retained\n",
+                100.0 * best_ratio);
+    if (best_ratio < 0.85) {
+      std::fprintf(stderr,
+                   "FATAL: fault-tolerance plumbing costs too much "
+                   "(%.1f%% < 85%% of baseline throughput)\n",
+                   100.0 * best_ratio);
+      return 1;
+    }
+  }
   return 0;
 }

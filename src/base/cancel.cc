@@ -1,0 +1,46 @@
+#include "src/base/cancel.h"
+
+#include <utility>
+
+namespace musketeer {
+namespace {
+
+struct InterruptState {
+  CancelToken token;
+  DeadlinePoint deadline;
+};
+
+InterruptState& ThreadInterrupt() {
+  thread_local InterruptState state;
+  return state;
+}
+
+}  // namespace
+
+ScopedInterrupt::ScopedInterrupt(CancelToken token, DeadlinePoint deadline) {
+  InterruptState& state = ThreadInterrupt();
+  saved_token_ = std::move(state.token);
+  saved_deadline_ = state.deadline;
+  state.token = std::move(token);
+  state.deadline = deadline;
+}
+
+ScopedInterrupt::~ScopedInterrupt() {
+  InterruptState& state = ThreadInterrupt();
+  state.token = std::move(saved_token_);
+  state.deadline = saved_deadline_;
+}
+
+Status CheckInterrupt() {
+  const InterruptState& state = ThreadInterrupt();
+  if (state.token.cancel_requested()) {
+    return CancelledError("cancellation requested");
+  }
+  if (state.deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *state.deadline) {
+    return DeadlineExceededError("deadline exceeded");
+  }
+  return OkStatus();
+}
+
+}  // namespace musketeer

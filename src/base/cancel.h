@@ -1,0 +1,86 @@
+// Cooperative cancellation and deadline primitives.
+//
+// A CancelToken is a shared flag: the submitter keeps one handle and fires it
+// with RequestCancel(); execution code polls it at well-defined checkpoints
+// (between pipeline stages, between jobs, between operator batches and loop
+// iterations) and unwinds with StatusCode::kCancelled. Cancellation is
+// cooperative — work already inside a kernel finishes its current batch
+// before the next checkpoint observes the flag.
+//
+// Deep code (the IR interpreters, the engine substrates' stage loops) cannot
+// take a context parameter without threading it through every signature, so
+// the executing thread registers its token and deadline in a thread-local
+// ScopedInterrupt; CheckInterrupt() reads that registration. With no scope
+// installed CheckInterrupt() is a single thread-local load returning OK, so
+// reference runs and tests that never install a scope pay nothing.
+
+#ifndef MUSKETEER_SRC_BASE_CANCEL_H_
+#define MUSKETEER_SRC_BASE_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "src/base/status.h"
+
+namespace musketeer {
+
+// Shared cancellation flag. Copies observe the same flag; a default-
+// constructed token is null (never cancelled, RequestCancel is a no-op).
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  static CancelToken Make() {
+    CancelToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  bool valid() const { return flag_ != nullptr; }
+
+  void RequestCancel() const {
+    if (flag_ != nullptr) {
+      flag_->store(true, std::memory_order_release);
+    }
+  }
+
+  bool cancel_requested() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+// Absolute wall-clock deadline; nullopt = none.
+using DeadlinePoint = std::optional<std::chrono::steady_clock::time_point>;
+
+// RAII registration of (token, deadline) as the calling thread's interrupt
+// state. Nested scopes shadow the outer one and restore it on destruction
+// (ExecuteJob re-installs the same context Execute() installed, which is
+// fine). The registration is thread-local: parallel-pool workers executing
+// morsels do not see it, which is intended — cancellation resolution is one
+// operator batch, not one morsel.
+class ScopedInterrupt {
+ public:
+  ScopedInterrupt(CancelToken token, DeadlinePoint deadline);
+  ~ScopedInterrupt();
+
+  ScopedInterrupt(const ScopedInterrupt&) = delete;
+  ScopedInterrupt& operator=(const ScopedInterrupt&) = delete;
+
+ private:
+  CancelToken saved_token_;
+  DeadlinePoint saved_deadline_;
+};
+
+// Checkpoint: CancelledError if the current scope's token fired,
+// DeadlineExceededError if its deadline passed, OK otherwise (always OK when
+// no scope is installed).
+Status CheckInterrupt();
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_BASE_CANCEL_H_

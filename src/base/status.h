@@ -26,6 +26,11 @@ enum class StatusCode {
   kInternal,
   kOutOfRange,
   kResourceExhausted,  // backpressure: a bounded queue/pool is full
+  kDeadlineExceeded,   // a workflow/job deadline expired before completion
+  kCancelled,          // cooperative cancellation observed at a checkpoint
+  kUnavailable,        // transient engine/substrate failure; safe to retry
+  kAborted,            // attempt aborted mid-flight (e.g. substrate output
+                       // diverged from the shared kernel); safe to retry
 };
 
 // Human-readable name for a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -70,6 +75,15 @@ Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status OutOfRangeError(std::string message);
 Status ResourceExhaustedError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status CancelledError(std::string message);
+Status UnavailableError(std::string message);
+Status AbortedError(std::string message);
+
+// Prepends "[context] " to an error's message, keeping its code. Used by the
+// retry dispatcher so errors carry (workflow, job, engine, attempt)
+// provenance. OK statuses pass through untouched.
+Status Annotate(const Status& status, const std::string& context);
 
 // Holds either a value of type T or an error Status. Accessing the value of
 // an errored StatusOr is a programming error (asserts in debug builds).

@@ -25,6 +25,8 @@
 #ifndef MUSKETEER_SRC_CORE_MUSKETEER_H_
 #define MUSKETEER_SRC_CORE_MUSKETEER_H_
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,6 +66,24 @@ struct RunOptions {
   // error in RunResult; Plan() scales JobCost by the calibration it derives.
   // The observability analogue of `history` — sizes there, times here.
   RuntimeHistory* runtime_history = nullptr;
+
+  // ---- Fault-tolerant execution (DESIGN.md "Fault tolerance") ----
+  // Per-engine attempt budget and backoff; enable_failover also controls
+  // whether retry exhaustion re-plans the job on the next-cheapest engine.
+  RetryPolicy retry;
+  // Injected-fault probability per (job@engine, attempt). 0 disables
+  // injection. Decisions are a pure function of fault_seed, so a seed
+  // reproduces the exact per-job fault/attempt sequence across runs.
+  double fault_rate = 0.0;
+  uint64_t fault_seed = 0;
+  // Relative deadline for the whole run (Plan + Execute); zero = none.
+  std::chrono::milliseconds deadline{0};
+  // Absolute deadline; takes precedence over `deadline` when set. The
+  // workflow service uses this form so queue wait burns deadline budget.
+  DeadlinePoint absolute_deadline;
+  // Cooperative cancellation handle. Default-constructed = not cancellable;
+  // pass CancelToken::Make() and keep a copy to be able to cancel.
+  CancelToken cancel;
 };
 
 // Everything Plan() produces and Execute() consumes. Immutable once built,
@@ -73,6 +93,32 @@ struct WorkflowPlan {
   std::vector<JobPlan> plans;             // one per partition job
   std::vector<std::string> sink_relations;  // the workflow's output relations
   OptimizeStats optimizer_stats;
+  // The optimized workflow DAG and base schemas the job plans were generated
+  // from — retained so cross-engine failover can re-ask the cost model and
+  // regenerate a failed job's plan for another engine without re-planning
+  // the whole workflow.
+  std::shared_ptr<const Dag> dag;
+  SchemaMap base_schemas;
+};
+
+// One execution attempt of a job, as seen by the retry dispatcher.
+struct JobAttempt {
+  int attempt = 0;  // 1-based, global across engines for this job
+  EngineKind engine = EngineKind::kHadoop;
+  StatusCode outcome = StatusCode::kOk;
+};
+
+// Recovery accounting for one job: how many attempts it took, whether it
+// failed over to another engine, and the full attempt log (deterministic for
+// a fixed fault seed — asserted by tests/fault_test.cc).
+struct JobRecovery {
+  std::string job;
+  EngineKind planned_engine = EngineKind::kHadoop;
+  EngineKind final_engine = EngineKind::kHadoop;
+  int attempts = 0;
+  int failovers = 0;
+  int faults_injected = 0;
+  std::vector<JobAttempt> attempt_log;
 };
 
 struct RunResult {
@@ -95,6 +141,13 @@ struct RunResult {
   double predicted_wall_seconds = 0;
   double measured_wall_seconds = 0;
   double cost_model_error = 0;
+  // Per-job recovery records (parallel to `plans`) and run-level totals.
+  // `plans` holds the plan that finally ran each job: after failover,
+  // plans[i].engine differs from recovery[i].planned_engine.
+  std::vector<JobRecovery> recovery;
+  int total_retries = 0;          // failed attempts that were retried
+  int total_failovers = 0;        // engine switches after retry exhaustion
+  int total_faults_injected = 0;  // injected (not organic) attempt failures
 };
 
 class Musketeer {

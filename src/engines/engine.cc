@@ -81,17 +81,26 @@ int ShufflesPerIteration(const ExecTrace& trace) {
 }  // namespace
 
 StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster,
-                               Dfs* dfs) {
+                               Dfs* dfs, const ExecutionContext& ctx) {
   Span span("job:" + plan.name, "job");
   if (span.active()) {
     span.SetAttr("engine", EngineKindName(plan.engine));
     span.SetAttr("inputs", std::to_string(plan.inputs.size()));
+    span.SetAttr("attempt", std::to_string(ctx.attempt));
   }
   static Counter& jobs =
       MetricsRegistry::Global().counter("musketeer.engine.jobs");
+  static Counter& faults_injected =
+      MetricsRegistry::Global().counter("musketeer.engine.faults_injected");
   static Histogram& job_wall = MetricsRegistry::Global().histogram(
       "musketeer.engine.job_wall_seconds");
   jobs.Increment();
+
+  // Register the context's token/deadline as this thread's interrupt state so
+  // the interpreter's operator loop and the substrates' stage/iteration loops
+  // (which cannot take a context parameter) observe them via CheckInterrupt.
+  ScopedInterrupt interrupt(ctx.cancel, ctx.deadline);
+  MUSKETEER_RETURN_IF_ERROR(ctx.Check());
 
   // 1. Pull the job's inputs from the DFS.
   TableMap base;
@@ -100,6 +109,18 @@ StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster
     MUSKETEER_ASSIGN_OR_RETURN(TablePtr table, dfs->Get(name));
     base[name] = table;
     pull_bytes += table->nominal_bytes();
+  }
+
+  // Seeded fault injection: whether this (workflow, job@engine, attempt)
+  // fails is a pure function of the injector's seed, so fault sweeps are
+  // reproducible. The fault models a substrate that died after reading its
+  // inputs but before committing anything — retryable kUnavailable.
+  const std::string job_signature =
+      plan.name + "@" + EngineKindName(plan.engine);
+  if (ctx.faults.ShouldFail(ctx.workflow_id, job_signature, ctx.attempt)) {
+    faults_injected.Increment();
+    return UnavailableError("injected fault: " + job_signature + " attempt " +
+                            std::to_string(ctx.attempt));
   }
 
   // Data-plane parallelism fidelity: engines the paper models as
@@ -170,6 +191,7 @@ StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster
     case EngineKind::kSerialC:
       break;  // the interpreter IS the serial implementation
   }
+  MUSKETEER_RETURN_IF_ERROR(ctx.Check());
 
   std::unordered_set<const OperatorNode*> misses;
   if (plan.quirks.model_type_inference_miss) {
@@ -295,12 +317,35 @@ StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster
   result.internal_jobs = shape.job_count;
   result.supersteps = shape.supersteps;
 
+  // Verify the substrate against the shared kernel, then commit the
+  // *kernel's* tables. Substrates may legitimately differ from the kernel in
+  // row order and floating-point summation order (combiners, partitioned
+  // reduces), so the check is SameContent; anything beyond that is a
+  // detected execution fault — retryable, so the dispatcher can re-run or
+  // fail over. Committing the kernel's bits makes every engine's committed
+  // output identical, which is what lets failover guarantee
+  // Table::Identical results.
+  std::vector<std::pair<std::string, TablePtr>> to_commit;
+  to_commit.reserve(plan.outputs.size());
   for (const std::string& name : plan.outputs) {
     auto it = engine_relations.find(name);
     if (it == engine_relations.end()) {
-      return InternalError("engine substrate did not produce '" + name + "'");
+      return AbortedError("engine substrate did not produce '" + name + "'");
     }
-    dfs->Put(name, it->second);
+    auto kernel_it = trace.relations.find(name);
+    if (kernel_it == trace.relations.end()) {
+      return InternalError("job did not produce declared output '" + name + "'");
+    }
+    if (!Table::SameContent(*kernel_it->second, *it->second)) {
+      return AbortedError("substrate output '" + name + "' diverged from the "
+                          "shared kernel on " + job_signature);
+    }
+    to_commit.emplace_back(name, kernel_it->second);
+  }
+  // Every output verified; commit atomically so a failed attempt never
+  // leaves partial outputs behind for a retry to trip over.
+  for (auto& [name, table] : to_commit) {
+    dfs->Put(name, table);
   }
   dfs->RecordRead(shape.pull_bytes);
   dfs->RecordWrite(shape.push_bytes);
@@ -329,6 +374,11 @@ StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster
   result.wall_seconds = span.elapsed_seconds();
   job_wall.Observe(result.wall_seconds);
   return result;
+}
+
+StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster,
+                               Dfs* dfs) {
+  return ExecuteJob(plan, cluster, dfs, ExecutionContext{});
 }
 
 }  // namespace musketeer

@@ -7,6 +7,15 @@
 // returns the simulated makespan charged according to the engine's
 // performance model (see src/backends/perf_model.cc for the calibration and
 // DESIGN.md for the substitution rationale).
+//
+// The ExecutionContext overload is the execution boundary for fault-tolerant
+// runs: it observes the context's cancellation token and deadline at phase
+// boundaries (and, via ScopedInterrupt, inside the interpreter's operator
+// loop and the substrates' stage/iteration loops), consults the seeded
+// FaultInjector to decide whether this attempt fails, and verifies the
+// engine substrate's outputs against the shared relational kernel before
+// committing the kernel's tables to the DFS — which is what makes
+// cross-engine failover bit-identical (Table::Identical) by construction.
 
 #ifndef MUSKETEER_SRC_ENGINES_ENGINE_H_
 #define MUSKETEER_SRC_ENGINES_ENGINE_H_
@@ -16,6 +25,7 @@
 #include "src/backends/job.h"
 #include "src/backends/pricing.h"
 #include "src/cluster/dfs.h"
+#include "src/engines/execution_context.h"
 
 namespace musketeer {
 
@@ -35,8 +45,18 @@ struct JobResult {
   std::vector<std::pair<std::string, Bytes>> observed_sizes;
 };
 
-// Executes `plan` on `cluster`, reading inputs from and writing outputs to
-// `dfs`. On success the job's output relations are stored in the DFS.
+// Executes `plan` on `cluster` under `ctx`, reading inputs from and writing
+// outputs to `dfs`. On success the job's output relations are stored in the
+// DFS. Errors with a retryable code (see IsRetryable) leave the DFS
+// untouched — outputs are committed only after the full attempt succeeds —
+// so the dispatcher can re-run the job on the same or another engine.
+StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster,
+                               Dfs* dfs, const ExecutionContext& ctx);
+
+// Pre-ExecutionContext entry point; runs with no deadline, no cancellation,
+// no fault injection. Delegates to the context overload.
+[[deprecated("pass an ExecutionContext; this shim runs without deadlines, "
+             "cancellation, or fault injection")]]
 StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster,
                                Dfs* dfs);
 

@@ -1,0 +1,90 @@
+#include "src/engines/execution_context.h"
+
+#include <algorithm>
+
+#include "src/base/rng.h"
+
+namespace musketeer {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t FnvMix(uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h = (h ^ c) * kFnvPrime;
+  }
+  h = (h ^ 0x1f) * kFnvPrime;  // separator so ("ab","c") != ("a","bc")
+  return h;
+}
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ (v & 0xff)) * kFnvPrime;
+    v >>= 8;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool FaultInjector::ShouldFail(const std::string& workflow,
+                               const std::string& job_signature,
+                               int attempt) const {
+  if (rate_ <= 0.0) {
+    return false;
+  }
+  uint64_t h = FnvMix(kFnvOffset, seed_);
+  h = FnvMix(h, workflow);
+  h = FnvMix(h, job_signature);
+  h = FnvMix(h, static_cast<uint64_t>(attempt));
+  Rng rng(h);
+  return rng.NextDouble() < rate_;
+}
+
+std::chrono::milliseconds RetryPolicy::BackoffFor(int attempt,
+                                                  const std::string& key) const {
+  if (attempt <= 1) {
+    return std::chrono::milliseconds{0};
+  }
+  double backoff = static_cast<double>(initial_backoff.count());
+  for (int i = 2; i < attempt; ++i) {
+    backoff *= multiplier;
+  }
+  backoff = std::min(backoff, static_cast<double>(max_backoff.count()));
+  if (jitter > 0.0) {
+    uint64_t h = FnvMix(kFnvOffset, backoff_seed);
+    h = FnvMix(h, key);
+    h = FnvMix(h, static_cast<uint64_t>(attempt));
+    Rng rng(h);
+    backoff *= 1.0 - jitter * rng.NextDouble();
+  }
+  return std::chrono::milliseconds{static_cast<int64_t>(backoff)};
+}
+
+Status ExecutionContext::CheckCancelled() const {
+  if (cancel.cancel_requested()) {
+    return CancelledError("workflow " + workflow_id + " cancelled");
+  }
+  return OkStatus();
+}
+
+Status ExecutionContext::CheckDeadline() const {
+  if (deadline.has_value() && std::chrono::steady_clock::now() >= *deadline) {
+    return DeadlineExceededError("workflow " + workflow_id +
+                                 " exceeded its deadline");
+  }
+  return OkStatus();
+}
+
+Status ExecutionContext::Check() const {
+  MUSKETEER_RETURN_IF_ERROR(CheckCancelled());
+  return CheckDeadline();
+}
+
+bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kAborted ||
+         code == StatusCode::kResourceExhausted;
+}
+
+}  // namespace musketeer

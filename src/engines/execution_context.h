@@ -1,0 +1,103 @@
+// ExecutionContext: the execution-boundary contract for fault-tolerant runs.
+//
+// `Musketeer::Execute` builds one ExecutionContext per run and passes it
+// through the per-job dispatch into ExecuteJob. It carries:
+//
+//   - a deadline (absolute steady_clock point) and a cooperative CancelToken,
+//     both checked between pipeline stages, between jobs, and between kernel
+//     batches (operator boundaries and substrate stage/iteration loops) via
+//     the thread-local ScopedInterrupt registration;
+//   - a seeded deterministic FaultInjector: whether attempt k of job J in
+//     workflow W fails is a pure function of (seed, W, J-signature, k), so a
+//     given seed reproduces the exact same fault sequence across runs;
+//   - a RetryPolicy: max attempts per engine and exponential backoff with
+//     deterministic jitter (seeded from src/base/rng.h, keyed like faults).
+//
+// On retry exhaustion the dispatcher in src/core/musketeer.cc performs
+// cross-engine failover: it re-asks the cost model for the next-cheapest
+// engine able to run the job's sub-DAG. Because ExecuteJob commits the shared
+// relational kernel's outputs (not the substrate's — see engine.cc), failover
+// results are bit-identical (Table::Identical) to the fault-free run.
+
+#ifndef MUSKETEER_SRC_ENGINES_EXECUTION_CONTEXT_H_
+#define MUSKETEER_SRC_ENGINES_EXECUTION_CONTEXT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "src/base/cancel.h"
+#include "src/base/status.h"
+
+namespace musketeer {
+
+// Deterministic fault injection. rate == 0 (the default) never fails and
+// costs one branch per query. The decision for a given (workflow, job
+// signature, attempt) triple is a pure function of the seed: the triple is
+// hashed (FNV-1a) into a SplitMix64 stream whose first draw is compared
+// against the rate.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(double rate, uint64_t seed) : rate_(rate), seed_(seed) {}
+
+  bool enabled() const { return rate_ > 0.0; }
+  double rate() const { return rate_; }
+  uint64_t seed() const { return seed_; }
+
+  // True if attempt `attempt` of job `job_signature` in `workflow` should
+  // fail with an injected kUnavailable. Deterministic across runs and across
+  // threads: no internal state advances.
+  bool ShouldFail(const std::string& workflow, const std::string& job_signature,
+                  int attempt) const;
+
+ private:
+  double rate_ = 0.0;
+  uint64_t seed_ = 0;
+};
+
+// Retry/backoff policy for one job attempt loop. max_attempts counts the
+// first try: max_attempts == 1 means no retries. Backoff for attempt k
+// (1-based; no backoff before attempt 1) is
+//   min(initial_backoff * multiplier^(k-1), max_backoff) * (1 - jitter * u)
+// with u drawn deterministically from (backoff_seed, key, k).
+struct RetryPolicy {
+  int max_attempts = 1;
+  std::chrono::milliseconds initial_backoff{5};
+  double multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{250};
+  double jitter = 0.5;  // in [0, 1]: fraction of the backoff randomized away
+  uint64_t backoff_seed = 0;
+  // After exhausting max_attempts on an engine, re-ask the cost model for the
+  // next-cheapest engine that can run the job's sub-DAG.
+  bool enable_failover = true;
+
+  std::chrono::milliseconds BackoffFor(int attempt, const std::string& key) const;
+};
+
+// Everything ExecuteJob needs to know about the run it serves. Passed by
+// const reference; the attempt number is the only field the dispatcher
+// varies between calls for the same job.
+struct ExecutionContext {
+  std::string workflow_id;
+  int attempt = 1;  // 1-based, monotonically increasing across failover
+  CancelToken cancel;
+  DeadlinePoint deadline;  // nullopt = none
+  FaultInjector faults;
+  RetryPolicy retry;
+
+  // Checkpoint helpers; Check() is the common "cancelled or past deadline?"
+  // probe used between pipeline stages and jobs.
+  Status CheckCancelled() const;
+  Status CheckDeadline() const;
+  Status Check() const;
+};
+
+// True for codes the attempt loop may retry (transient substrate failures):
+// kUnavailable, kAborted, kResourceExhausted. Cancellation, deadline
+// expiry, and genuine plan/data errors are terminal.
+bool IsRetryable(StatusCode code);
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_ENGINES_EXECUTION_CONTEXT_H_

@@ -1,5 +1,7 @@
 #include "src/engines/executor.h"
 
+#include "src/base/cancel.h"
+
 namespace musketeer {
 
 namespace {
@@ -10,6 +12,9 @@ Status TraceInto(const Dag& dag, const TableMap& base, int iteration,
   std::vector<TablePtr> by_node(dag.num_nodes());
 
   for (const OperatorNode& node : dag.nodes()) {
+    // Per-operator-batch cancellation/deadline checkpoint (no-op unless the
+    // thread has a ScopedInterrupt installed, i.e. a context-bearing run).
+    MUSKETEER_RETURN_IF_ERROR(CheckInterrupt());
     if (node.kind == OpKind::kInput) {
       const auto& p = std::get<InputParams>(node.params);
       auto it = relations.find(p.relation);

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "src/backends/job.h"
+#include "src/base/cancel.h"
 #include "src/base/parallel.h"
 #include "src/relational/ops.h"
 
@@ -276,6 +277,7 @@ class MapReduceRuntime {
     }
     TableMap iter_out;
     for (int64_t iter = 0; iter < p.iterations; ++iter) {
+      MUSKETEER_RETURN_IF_ERROR(CheckInterrupt());
       iter_out.clear();
       MUSKETEER_RETURN_IF_ERROR(Run(*p.body, body_base, &iter_out));
       bool stable = p.until_fixpoint;

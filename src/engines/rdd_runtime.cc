@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/backends/job.h"
+#include "src/base/cancel.h"
 #include "src/base/parallel.h"
 #include "src/relational/ops.h"
 
@@ -78,6 +79,7 @@ class RddRuntime {
         }
         TableMap iter_out;
         for (int64_t iter = 0; iter < wp.iterations; ++iter) {
+          MUSKETEER_RETURN_IF_ERROR(CheckInterrupt());
           iter_out.clear();
           MUSKETEER_RETURN_IF_ERROR(Run(*wp.body, body_base, &iter_out));
           bool stable = wp.until_fixpoint;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/backends/job.h"
+#include "src/base/cancel.h"
 #include "src/relational/ops.h"
 
 // Parallelism note: this runtime is deliberately NOT morsel-parallelized.
@@ -270,6 +271,7 @@ class TimelyGraph {
     }
     TableMap iter_out;
     for (int64_t iter = 0; iter < wp.iterations; ++iter) {
+      MUSKETEER_RETURN_IF_ERROR(CheckInterrupt());
       ++stats_->epochs;
       iter_out.clear();
       TimelyGraph epoch(*wp.body, body_base, stats_);

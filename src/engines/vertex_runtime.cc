@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/base/cancel.h"
 #include "src/base/parallel.h"
 #include "src/opt/idiom.h"
 #include "src/relational/ops.h"
@@ -278,6 +279,7 @@ StatusOr<Table> RunSupersteps(const VertexProgram& program, const Table& vertice
   const std::vector<Row> erows = edges.MaterializeRows();
 
   for (int64_t iter = 0; iter < iterations; ++iter) {
+    MUSKETEER_RETURN_IF_ERROR(CheckInterrupt());
     ++stats->supersteps;
     // Vertex index on the id column.
     std::unordered_map<Value, const Row*, ValueHash, ValueEq> index;

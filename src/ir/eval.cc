@@ -1,5 +1,6 @@
 #include "src/ir/eval.h"
 
+#include "src/base/cancel.h"
 #include "src/relational/ops.h"
 
 namespace musketeer {
@@ -176,6 +177,10 @@ StatusOr<TableMap> EvaluateDag(const Dag& dag, const TableMap& base) {
   std::vector<TablePtr> by_node(dag.num_nodes());
 
   for (const OperatorNode& node : dag.nodes()) {
+    // Cooperative cancellation/deadline checkpoint: one probe per operator
+    // batch (and per loop iteration below). No-op unless the executing
+    // thread has a ScopedInterrupt installed.
+    MUSKETEER_RETURN_IF_ERROR(CheckInterrupt());
     if (node.kind == OpKind::kInput) {
       const auto& p = std::get<InputParams>(node.params);
       auto it = relations.find(p.relation);

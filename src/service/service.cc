@@ -1,5 +1,7 @@
 #include "src/service/service.h"
 
+#include <algorithm>
+#include <cassert>
 #include <optional>
 #include <utility>
 
@@ -43,6 +45,11 @@ Counter& PlanCacheMissCounter() {
       MetricsRegistry::Global().counter("musketeer.service.plan_cache.miss");
   return c;
 }
+Counter& CancelledCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("musketeer.service.cancelled");
+  return c;
+}
 
 }  // namespace
 
@@ -58,6 +65,8 @@ const char* WorkflowStateName(WorkflowState state) {
       return "FAILED";
     case WorkflowState::kRejected:
       return "REJECTED";
+    case WorkflowState::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -90,8 +99,15 @@ bool WorkflowTicket::WaitFor(std::chrono::milliseconds timeout) const {
 
 const StatusOr<RunResult>& WorkflowTicket::result() const {
   std::lock_guard lock(mu_);
+  // Contract: result() is only valid once the ticket is terminal. (Checked
+  // inline — terminal() would re-lock mu_ and deadlock.)
+  assert(state_ != WorkflowState::kQueued && state_ != WorkflowState::kRunning &&
+         "WorkflowTicket::result() called on a non-terminal ticket; "
+         "call Wait() or WaitFor() first");
   return result_;
 }
+
+void WorkflowTicket::Cancel() { cancel_.RequestCancel(); }
 
 double WorkflowTicket::queue_seconds() const {
   std::lock_guard lock(mu_);
@@ -190,6 +206,22 @@ WorkflowHandle WorkflowService::SubmitBlocking(WorkflowSpec spec,
 WorkflowHandle WorkflowService::Enqueue(WorkflowSpec spec, RunOptions options,
                                         bool blocking) {
   WorkflowHandle ticket = MakeTicket(std::move(spec));
+  // Wire cancellation: adopt a caller-supplied token (so the submitter's own
+  // handle also works) or mint one; either way Ticket::Cancel() fires it.
+  // Done before the queue push — the ticket must be fully wired before any
+  // worker can see it.
+  if (options.cancel.valid()) {
+    ticket->cancel_ = options.cancel;
+  } else {
+    ticket->cancel_ = CancelToken::Make();
+    options.cancel = ticket->cancel_;
+  }
+  // Pin a relative deadline at submission time so queue wait burns the same
+  // budget as execution (enforced at pickup and at every checkpoint after).
+  if (!options.absolute_deadline.has_value() && options.deadline.count() > 0) {
+    options.absolute_deadline =
+        std::chrono::steady_clock::now() + options.deadline;
+  }
   {
     // Count the submission as outstanding *before* it is visible to a
     // worker, so Drain() can never observe accepted-but-uncounted work.
@@ -233,6 +265,25 @@ void WorkflowService::WorkerLoop() {
 }
 
 void WorkflowService::RunOne(const QueueItem& item) {
+  // Enforce cancellation/deadline for work that never left the queue.
+  if (item.options.cancel.cancel_requested()) {
+    item.ticket->Finish(WorkflowState::kCancelled,
+                        CancelledError("workflow '" + item.ticket->spec().id +
+                                       "' cancelled while queued"),
+                        /*cache_hit=*/false);
+    OnTicketTerminal(WorkflowState::kCancelled);
+    return;
+  }
+  if (item.options.absolute_deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *item.options.absolute_deadline) {
+    item.ticket->Finish(
+        WorkflowState::kFailed,
+        DeadlineExceededError("workflow '" + item.ticket->spec().id +
+                              "' exceeded its deadline while queued"),
+        /*cache_hit=*/false);
+    OnTicketTerminal(WorkflowState::kFailed);
+    return;
+  }
   item.ticket->MarkRunning();
   MLOG_DEBUG << "service: workflow '" << item.ticket->spec().id << "' (#"
              << item.ticket->id() << ") running";
@@ -275,14 +326,29 @@ void WorkflowService::RunOne(const QueueItem& item) {
   }
   if (plan != nullptr) {
     if (config_.dispatch_latency.count() > 0) {
-      std::this_thread::sleep_for(config_.dispatch_latency *
-                                  static_cast<int>(plan->plans.size()));
+      // Sliced sleep so a cancellation or deadline interrupts the simulated
+      // cluster round-trip instead of blocking behind it.
+      auto wake = std::chrono::steady_clock::now() +
+                  config_.dispatch_latency * static_cast<int>(plan->plans.size());
+      while (std::chrono::steady_clock::now() < wake &&
+             !item.options.cancel.cancel_requested() &&
+             !(item.options.absolute_deadline.has_value() &&
+               std::chrono::steady_clock::now() >=
+                   *item.options.absolute_deadline)) {
+        auto remaining = wake - std::chrono::steady_clock::now();
+        std::this_thread::sleep_for(
+            std::min<std::chrono::steady_clock::duration>(
+                remaining, std::chrono::milliseconds(10)));
+      }
     }
     result = m.Execute(spec, *plan, item.options);
   }
 
-  const WorkflowState state =
+  WorkflowState state =
       result.ok() ? WorkflowState::kDone : WorkflowState::kFailed;
+  if (!result.ok() && result.status().code() == StatusCode::kCancelled) {
+    state = WorkflowState::kCancelled;
+  }
   if (span.active()) {
     span.SetAttr("workflow", spec.id);
     span.SetAttr("ticket", std::to_string(item.ticket->id()));
@@ -309,6 +375,10 @@ void WorkflowService::OnTicketTerminal(WorkflowState state) {
       case WorkflowState::kRejected:
         ++stats_.rejected;
         RejectedCounter().Increment();
+        break;
+      case WorkflowState::kCancelled:
+        ++stats_.cancelled;
+        CancelledCounter().Increment();
         break;
       default:
         break;

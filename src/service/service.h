@@ -12,6 +12,12 @@
 //   Submit()         → QUEUED   (or REJECTED when the queue is full)
 //   worker picks up  → RUNNING
 //   pipeline result  → DONE / FAILED
+//   Ticket::Cancel() → CANCELLED (queued work settles at pickup; running
+//                      work unwinds at the next cooperative checkpoint)
+//
+// Deadlines (RunOptions::deadline) are enforced for queued AND running work:
+// Enqueue pins the absolute deadline at submission time, so time spent
+// waiting in the queue burns the same budget as execution.
 //
 // Every submission returns a WorkflowHandle — a future-like ticket with the
 // terminal-state wait, the StatusOr<RunResult>, and queue/total latency
@@ -49,6 +55,7 @@ enum class WorkflowState {
   kDone,
   kFailed,
   kRejected,
+  kCancelled,
 };
 
 const char* WorkflowStateName(WorkflowState state);
@@ -61,15 +68,23 @@ class WorkflowTicket {
   const WorkflowSpec& spec() const { return spec_; }
 
   WorkflowState state() const;
-  bool terminal() const;  // DONE, FAILED or REJECTED
+  bool terminal() const;  // DONE, FAILED, REJECTED or CANCELLED
+
+  // Requests cooperative cancellation. Queued work settles as CANCELLED at
+  // worker pickup; running work unwinds at its next checkpoint (between
+  // stages, jobs, or kernel batches) and settles as CANCELLED. Safe to call
+  // from any thread, repeatedly, and in any state (no-op once terminal).
+  void Cancel();
 
   // Blocks until the ticket reaches a terminal state.
   void Wait() const;
   // Bounded wait; false on timeout.
   bool WaitFor(std::chrono::milliseconds timeout) const;
 
-  // The pipeline outcome. Only meaningful in a terminal state (Wait first);
-  // FAILED carries the pipeline error, REJECTED a ResourceExhausted status.
+  // The pipeline outcome. CONTRACT: only valid in a terminal state — call
+  // Wait()/WaitFor() first; calling on a QUEUED or RUNNING ticket is a
+  // programming error (asserts in debug builds). FAILED carries the pipeline
+  // error, REJECTED a ResourceExhausted status, CANCELLED a Cancelled status.
   const StatusOr<RunResult>& result() const;
 
   // Seconds spent QUEUED (submit → worker pickup) and submit → terminal.
@@ -93,6 +108,10 @@ class WorkflowTicket {
   const uint64_t id_;
   const WorkflowSpec spec_;
   const Clock::time_point submitted_at_;
+  // Fires the run's cooperative cancellation. Set once by Enqueue (either
+  // adopted from caller-supplied RunOptions or freshly made) before the
+  // ticket is visible to a worker; the token itself is thread-safe.
+  CancelToken cancel_;
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
@@ -131,7 +150,8 @@ struct ServiceStats {
   uint64_t submitted = 0;  // accepted into the queue
   uint64_t rejected = 0;   // bounced off the full queue
   uint64_t completed = 0;  // DONE
-  uint64_t failed = 0;     // FAILED
+  uint64_t failed = 0;     // FAILED (including deadline expiry)
+  uint64_t cancelled = 0;  // CANCELLED
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
   size_t queue_depth = 0;  // instantaneous

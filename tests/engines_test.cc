@@ -72,7 +72,7 @@ TEST(EngineTest, MissingInputRelationFails) {
   SchemaMap schemas{{"ghost", Schema({{"k", FieldType::kInt64}})}};
   JobPlan plan = PlanFor(EngineKind::kSpark, **dag, schemas);
   Dfs dfs;  // empty!
-  auto result = ExecuteJob(plan, LocalCluster(), &dfs);
+  auto result = ExecuteJob(plan, LocalCluster(), &dfs, ExecutionContext{});
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
@@ -85,7 +85,7 @@ TEST(EngineTest, OutputsLandInDfs) {
   dfs.Put("rel", SmallKv(1000));
   SchemaMap schemas{{"rel", SmallKv(1)->schema()}};
   JobPlan plan = PlanFor(EngineKind::kHadoop, **dag, schemas);
-  auto result = ExecuteJob(plan, LocalCluster(), &dfs);
+  auto result = ExecuteJob(plan, LocalCluster(), &dfs, ExecutionContext{});
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_TRUE(dfs.Contains("o"));
   EXPECT_EQ((*dfs.Get("o"))->num_rows(), 10u);
@@ -104,14 +104,14 @@ TEST(EngineTest, MapReduceLoopSpawnsPerIterationJobs) {
   dfs.Put("edges", graph.edges);
 
   JobPlan hadoop = PlanFor(EngineKind::kHadoop, **dag, schemas);
-  auto hres = ExecuteJob(hadoop, Ec2Cluster(16), &dfs);
+  auto hres = ExecuteJob(hadoop, Ec2Cluster(16), &dfs, ExecutionContext{});
   ASSERT_TRUE(hres.ok()) << hres.status();
   // PageRank body has 3 shuffles (2 joins + group-by) x 5 iterations.
   EXPECT_EQ(hres->internal_jobs, 15);
   EXPECT_EQ(hres->supersteps, 0);
 
   JobPlan naiad = PlanFor(EngineKind::kNaiad, **dag, schemas);
-  auto nres = ExecuteJob(naiad, Ec2Cluster(16), &dfs);
+  auto nres = ExecuteJob(naiad, Ec2Cluster(16), &dfs, ExecutionContext{});
   ASSERT_TRUE(nres.ok()) << nres.status();
   EXPECT_EQ(nres->internal_jobs, 1);
   EXPECT_EQ(nres->supersteps, 5);
@@ -130,12 +130,12 @@ TEST(EngineTest, VertexRuntimeBeatsDataflowLoopOnGraphEngines) {
 
   JobPlan pg = PlanFor(EngineKind::kPowerGraph, **dag, schemas);
   EXPECT_EQ(pg.while_mode, WhileExec::kVertexRuntime);
-  auto pg_res = ExecuteJob(pg, Ec2Cluster(16), &dfs);
+  auto pg_res = ExecuteJob(pg, Ec2Cluster(16), &dfs, ExecutionContext{});
   ASSERT_TRUE(pg_res.ok());
 
   JobPlan spark = PlanFor(EngineKind::kSpark, **dag, schemas);
   EXPECT_EQ(spark.while_mode, WhileExec::kNativeLoop);
-  auto spark_res = ExecuteJob(spark, Ec2Cluster(16), &dfs);
+  auto spark_res = ExecuteJob(spark, Ec2Cluster(16), &dfs, ExecutionContext{});
   ASSERT_TRUE(spark_res.ok());
   EXPECT_LT(pg_res->makespan, spark_res->makespan);
 }
@@ -149,13 +149,13 @@ TEST(EngineTest, SingleNodeGroupByQuirkIsExpensive) {
   SchemaMap schemas{{"rel", SmallKv(1)->schema()}};
 
   JobPlan fast = PlanFor(EngineKind::kNaiad, **dag, schemas);
-  auto fast_res = ExecuteJob(fast, Ec2Cluster(100), &dfs);
+  auto fast_res = ExecuteJob(fast, Ec2Cluster(100), &dfs, ExecutionContext{});
   ASSERT_TRUE(fast_res.ok());
 
   CodeGenOptions lindi;
   lindi.flavor = CodeGenOptions::Flavor::kNativeLindi;
   JobPlan slow = PlanFor(EngineKind::kNaiad, **dag, schemas, lindi);
-  auto slow_res = ExecuteJob(slow, Ec2Cluster(100), &dfs);
+  auto slow_res = ExecuteJob(slow, Ec2Cluster(100), &dfs, ExecutionContext{});
   ASSERT_TRUE(slow_res.ok());
   EXPECT_GT(slow_res->makespan, 3 * fast_res->makespan);
 }
@@ -172,13 +172,13 @@ TEST(EngineTest, SharedScansReduceMakespan) {
   SchemaMap schemas{{"rel", SmallKv(1)->schema()}};
 
   JobPlan fused = PlanFor(EngineKind::kHadoop, **dag, schemas);
-  auto fused_res = ExecuteJob(fused, LocalCluster(), &dfs);
+  auto fused_res = ExecuteJob(fused, LocalCluster(), &dfs, ExecutionContext{});
   ASSERT_TRUE(fused_res.ok());
 
   CodeGenOptions no_fusion;
   no_fusion.shared_scans = false;
   JobPlan unfused = PlanFor(EngineKind::kHadoop, **dag, schemas, no_fusion);
-  auto unfused_res = ExecuteJob(unfused, LocalCluster(), &dfs);
+  auto unfused_res = ExecuteJob(unfused, LocalCluster(), &dfs, ExecutionContext{});
   ASSERT_TRUE(unfused_res.ok());
   EXPECT_GT(unfused_res->makespan, fused_res->makespan);
 }
@@ -194,7 +194,7 @@ TEST(EngineTest, GraphChiInMemoryBoostOnSmallGraphs) {
   dfs.Put("vertices", small.vertices);
   dfs.Put("edges", small.edges);
   JobPlan plan = PlanFor(EngineKind::kGraphChi, **dag, schemas);
-  auto small_res = ExecuteJob(plan, SingleMachine(), &dfs);
+  auto small_res = ExecuteJob(plan, SingleMachine(), &dfs, ExecutionContext{});
   ASSERT_TRUE(small_res.ok());
 
   // Same structure, 20x nominal size: must be much more than 20x slower per
@@ -205,7 +205,7 @@ TEST(EngineTest, GraphChiInMemoryBoostOnSmallGraphs) {
   Dfs dfs2;
   dfs2.Put("vertices", small.vertices);
   dfs2.Put("edges", big_edges);
-  auto big_res = ExecuteJob(plan, SingleMachine(), &dfs2);
+  auto big_res = ExecuteJob(plan, SingleMachine(), &dfs2, ExecutionContext{});
   ASSERT_TRUE(big_res.ok());
   EXPECT_GT(big_res->makespan, 20 * small_res->makespan);
 }
@@ -218,11 +218,11 @@ TEST(EngineTest, ExtraJobsQuirkAddsOverhead) {
   dfs.Put("rel", SmallKv(1000));
   SchemaMap schemas{{"rel", SmallKv(1)->schema()}};
   JobPlan plan = PlanFor(EngineKind::kHadoop, **dag, schemas);
-  auto base = ExecuteJob(plan, LocalCluster(), &dfs);
+  auto base = ExecuteJob(plan, LocalCluster(), &dfs, ExecutionContext{});
   ASSERT_TRUE(base.ok());
 
   plan.quirks.extra_jobs = 2;
-  auto extra = ExecuteJob(plan, LocalCluster(), &dfs);
+  auto extra = ExecuteJob(plan, LocalCluster(), &dfs, ExecutionContext{});
   ASSERT_TRUE(extra.ok());
   EXPECT_NEAR(extra->makespan - base->makespan,
               2 * RatesFor(EngineKind::kHadoop).job_overhead_s, 1e-6);

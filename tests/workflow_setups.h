@@ -1,0 +1,143 @@
+// The nine evaluation workflows, packaged as (spec, inputs, result relation)
+// setups. Shared by engine_equivalence_test.cc (cross-engine semantics) and
+// fault_test.cc (seeded fault sweeps must reproduce the fault-free bits).
+
+#ifndef MUSKETEER_TESTS_WORKFLOW_SETUPS_H_
+#define MUSKETEER_TESTS_WORKFLOW_SETUPS_H_
+
+#include <string>
+
+#include "src/core/musketeer.h"
+#include "src/workloads/datasets.h"
+#include "src/workloads/workflows.h"
+
+namespace musketeer {
+
+enum class Wf {
+  kTopShopper,
+  kTpchHive,
+  kTpchLindi,
+  kNetflix,
+  kSimpleJoin,
+  kPageRank,
+  kSssp,
+  kKmeans,
+  kCrossCommunity,
+};
+
+inline constexpr Wf kAllWorkflows[] = {
+    Wf::kTopShopper, Wf::kTpchHive, Wf::kTpchLindi,
+    Wf::kNetflix,    Wf::kSimpleJoin, Wf::kPageRank,
+    Wf::kSssp,       Wf::kKmeans,   Wf::kCrossCommunity,
+};
+
+inline const char* WfName(Wf wf) {
+  switch (wf) {
+    case Wf::kTopShopper:
+      return "TopShopper";
+    case Wf::kTpchHive:
+      return "TpchHive";
+    case Wf::kTpchLindi:
+      return "TpchLindi";
+    case Wf::kNetflix:
+      return "Netflix";
+    case Wf::kSimpleJoin:
+      return "SimpleJoin";
+    case Wf::kPageRank:
+      return "PageRank";
+    case Wf::kSssp:
+      return "Sssp";
+    case Wf::kKmeans:
+      return "Kmeans";
+    case Wf::kCrossCommunity:
+      return "CrossCommunity";
+  }
+  return "?";
+}
+
+struct WfSetup {
+  WorkflowSpec workflow;
+  std::string result_relation;
+  TableMap inputs;
+  bool graph_capable = false;  // PowerGraph/GraphChi can run it
+};
+
+inline WfSetup MakeSetup(Wf wf) {
+  WfSetup s;
+  switch (wf) {
+    case Wf::kTopShopper:
+      s.workflow = {"top-shopper", FrontendLanguage::kBeer,
+                    TopShopperBeer(5, 300.0)};
+      s.result_relation = "top_shoppers";
+      s.inputs = {{"purchases", MakePurchases(1e6, 1500, 10, 21)}};
+      break;
+    case Wf::kTpchHive:
+    case Wf::kTpchLindi: {
+      TpchDataset data = MakeTpch(10, 3000);
+      s.workflow = {"tpch-q17",
+                    wf == Wf::kTpchHive ? FrontendLanguage::kHive
+                                        : FrontendLanguage::kLindi,
+                    wf == Wf::kTpchHive ? TpchQ17Hive() : TpchQ17Lindi()};
+      s.result_relation = "q17_result";
+      s.inputs = {{"lineitem", data.lineitem}, {"part", data.part}};
+      break;
+    }
+    case Wf::kNetflix: {
+      NetflixDataset data = MakeNetflix(50);
+      s.workflow = {"netflix", FrontendLanguage::kBeer, NetflixBeer(60)};
+      s.result_relation = "recommendation";
+      s.inputs = {{"ratings", data.ratings}, {"movies", data.movies}};
+      break;
+    }
+    case Wf::kSimpleJoin: {
+      GraphDataset lj = LiveJournalGraph();
+      s.workflow = {"join", FrontendLanguage::kBeer, SimpleJoinBeer()};
+      s.result_relation = "joined";
+      s.inputs = {{"vertices_rel", lj.vertices}, {"edges_rel", lj.edges}};
+      break;
+    }
+    case Wf::kPageRank: {
+      GraphDataset g = OrkutGraph();
+      s.workflow = {"pagerank", FrontendLanguage::kGas, PageRankGas(3)};
+      s.result_relation = "pagerank";
+      s.inputs = {{"vertices", g.vertices}, {"edges", g.edges}};
+      s.graph_capable = true;
+      break;
+    }
+    case Wf::kSssp: {
+      GraphSpec spec;
+      spec.name = "sssp-test";
+      spec.sample_vertices = 120;
+      spec.nominal_vertices = 120;
+      spec.seed = 5;
+      spec.with_costs = true;
+      spec.initial_value = 1e18;
+      GraphDataset g = MakePowerLawGraph(spec);
+      s.workflow = {"sssp", FrontendLanguage::kGas, SsspGas(4)};
+      s.result_relation = "sssp";
+      s.inputs = {{"vertices", g.vertices}, {"edges", g.edges}};
+      s.graph_capable = true;
+      break;
+    }
+    case Wf::kKmeans: {
+      KmeansDataset data = MakeKmeans(1e7, 300, 4, 13);
+      s.workflow = {"kmeans", FrontendLanguage::kBeer, KmeansBeer(3)};
+      s.result_relation = "kmeans_centers";
+      s.inputs = {{"points", data.points}, {"centers", data.centers}};
+      break;
+    }
+    case Wf::kCrossCommunity: {
+      CommunityPair pair = MakeOverlappingCommunities();
+      s.workflow = {"cross-community", FrontendLanguage::kBeer,
+                    CrossCommunityPageRankBeer(3)};
+      s.result_relation = "cc_pagerank";
+      s.inputs = {{"lj_edges", pair.a.edges}, {"web_edges", pair.b.edges}};
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_TESTS_WORKFLOW_SETUPS_H_

@@ -6,35 +6,38 @@
 # off-by-one becomes heap corruption), then a Release build with assertions
 # kept live, then the observability gate (instrumentation overhead budget +
 # an end-to-end CLI run whose --trace-out file must parse as Chrome
-# trace-event JSON). Run from anywhere; builds land in <repo>/build,
+# trace-event JSON), and finally the fault-tolerance gate (the concurrency
+# and cancellation fault tests under TSan, a seeded fault-sweep CLI run that
+# must recover, and the ExecutionContext plumbing-overhead budget inside
+# bench_service_throughput). Run from anywhere; builds land in <repo>/build,
 # <repo>/build-tsan, <repo>/build-asan and <repo>/build-relassert.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc)"
 
-echo "== [1/5] normal build + tests =="
+echo "== [1/6] normal build + tests =="
 cmake -S "$repo" -B "$repo/build" >/dev/null
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
-echo "== [2/5] ThreadSanitizer build + tests =="
+echo "== [2/6] ThreadSanitizer build + tests =="
 cmake -S "$repo" -B "$repo/build-tsan" -DMUSKETEER_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs"
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs"
 
-echo "== [3/5] AddressSanitizer+UBSan build + tests =="
+echo "== [3/6] AddressSanitizer+UBSan build + tests =="
 cmake -S "$repo" -B "$repo/build-asan" -DMUSKETEER_SANITIZE=address >/dev/null
 cmake --build "$repo/build-asan" -j "$jobs"
 ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
 
-echo "== [4/5] Release-with-assertions build + tests =="
+echo "== [4/6] Release-with-assertions build + tests =="
 cmake -S "$repo" -B "$repo/build-relassert" -DCMAKE_BUILD_TYPE=Release \
       -DMUSKETEER_KEEP_ASSERTS=ON >/dev/null
 cmake --build "$repo/build-relassert" -j "$jobs"
 ctest --test-dir "$repo/build-relassert" --output-on-failure -j "$jobs"
 
-echo "== [5/5] observability: overhead budget + trace validity =="
+echo "== [5/6] observability: overhead budget + trace validity =="
 # Overhead gate: instrumented-vs-uninstrumented kernel throughput, exits
 # non-zero above the 5% budget; writes BENCH_obs_overhead.json.
 (cd "$repo/build" && ./bench/bench_obs_overhead)
@@ -73,5 +76,23 @@ else
   test -s "$obs_tmp/trace.json"
   echo "trace written (python3 unavailable, JSON not validated)"
 fi
+
+echo "== [6/6] fault tolerance: TSan fault tests + seeded sweep + overhead gate =="
+# The concurrency and cancellation fault tests under ThreadSanitizer: workers
+# recovering injected faults and racing cancellations against one shared DFS.
+"$repo/build-tsan/tests/fault_test" --gtest_filter='*Concurrent*:*Cancel*'
+
+# Seeded fault sweep through the CLI: at rate 0.3 the run must recover every
+# injected fault via retries/failover and still produce the join output.
+(cd "$obs_tmp" && "$repo/build/tools/musketeer" \
+    --input=lhs=lhs.csv:id:int,v:int --input=rhs=rhs.csv:id:int,w:int \
+    --output=joined=fault_out.csv --fault-rate=0.3 --fault-seed=42 \
+    --max-retries=3 tiny.beer > fault_cli_out.txt)
+test -s "$obs_tmp/fault_out.csv"
+
+# ExecutionContext plumbing-overhead budget: bench_service_throughput exits
+# non-zero when the armed retry/injector path keeps <85% of baseline
+# service throughput.
+(cd "$repo/build" && ./bench/bench_service_throughput)
 
 echo "== all checks passed =="

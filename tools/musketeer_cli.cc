@@ -125,7 +125,11 @@ void PrintUsage() {
       "                                 else hardware concurrency)\n"
       "  --explain\n"
       "  --trace-out=FILE --metrics --history-file=FILE\n"
-      "  --serve=N --repeat=K --queue=CAP --no-plan-cache\n");
+      "  --serve=N --repeat=K --queue=CAP --no-plan-cache\n"
+      "  --deadline-ms=N               (workflow budget incl. queue wait)\n"
+      "  --max-retries=N               (per-engine retries per job)\n"
+      "  --fault-rate=F --fault-seed=S (seeded fault injection)\n"
+      "  --no-failover                 (disable cross-engine failover)\n");
 }
 
 // Infers the front-end language for `path` from --language or the extension.
@@ -242,6 +246,11 @@ int main(int argc, char** argv) {
   int repeat = 1;
   int64_t queue_capacity = 64;
   bool plan_cache = true;
+  int64_t deadline_ms = 0;
+  int64_t max_retries = 0;
+  double fault_rate = 0;
+  int64_t fault_seed = 0;
+  bool failover = true;
   std::string trace_out;
   std::string history_file;
   bool dump_metrics = false;
@@ -285,6 +294,42 @@ int main(int argc, char** argv) {
     }
     if (arg == "--no-plan-cache") {
       plan_cache = false;
+      continue;
+    }
+    if (StartsWith(arg, "--deadline-ms=")) {
+      auto n = ParseInt64(arg.substr(14));
+      if (!n.has_value() || *n < 1) {
+        return Fail("--deadline-ms needs a budget >= 1");
+      }
+      deadline_ms = *n;
+      continue;
+    }
+    if (StartsWith(arg, "--max-retries=")) {
+      auto n = ParseInt64(arg.substr(14));
+      if (!n.has_value() || *n < 0) {
+        return Fail("--max-retries needs a count >= 0");
+      }
+      max_retries = *n;
+      continue;
+    }
+    if (StartsWith(arg, "--fault-rate=")) {
+      auto f = ParseDouble(arg.substr(13));
+      if (!f.has_value() || *f < 0 || *f > 1) {
+        return Fail("--fault-rate needs a probability in [0, 1]");
+      }
+      fault_rate = *f;
+      continue;
+    }
+    if (StartsWith(arg, "--fault-seed=")) {
+      auto n = ParseInt64(arg.substr(13));
+      if (!n.has_value()) {
+        return Fail("--fault-seed needs an integer");
+      }
+      fault_seed = *n;
+      continue;
+    }
+    if (arg == "--no-failover") {
+      failover = false;
       continue;
     }
     if (StartsWith(arg, "--trace-out=")) {
@@ -461,6 +506,11 @@ int main(int argc, char** argv) {
     options.history = &history;
   }
   options.runtime_history = &runtime_history;
+  options.deadline = std::chrono::milliseconds(deadline_ms);
+  options.retry.max_attempts = static_cast<int>(max_retries) + 1;
+  options.retry.enable_failover = failover;
+  options.fault_rate = fault_rate;
+  options.fault_seed = static_cast<uint64_t>(fault_seed);
 
   if (serve_workers > 0) {
     return epilogue(RunServe(&dfs, workflow_paths, language, options,
@@ -499,6 +549,20 @@ int main(int argc, char** argv) {
     std::printf("  job %zu: %s (%.1f s)\n", i + 1,
                 result->plans[i].name.c_str(),
                 result->job_results[i].makespan);
+  }
+  if (result->total_faults_injected > 0 || result->total_retries > 0 ||
+      result->total_failovers > 0) {
+    std::printf("fault tolerance: %d injected fault(s), %d retry(ies), "
+                "%d failover(s)\n",
+                result->total_faults_injected, result->total_retries,
+                result->total_failovers);
+    for (const JobRecovery& rec : result->recovery) {
+      if (rec.attempts > 1 || rec.failovers > 0) {
+        std::printf("  %s: %d attempt(s), %s -> %s\n", rec.job.c_str(),
+                    rec.attempts, EngineKindName(rec.planned_engine),
+                    EngineKindName(rec.final_engine));
+      }
+    }
   }
   if (explain) {
     for (const JobPlan& plan : result->plans) {
