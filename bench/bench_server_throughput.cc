@@ -1,0 +1,222 @@
+// Network front-door throughput: open-loop concurrent clients over loopback.
+//
+// Each client thread owns one keep-alive connection to a live HttpServer and
+// fires its submissions back-to-back WITHOUT waiting for completions (open
+// loop: the offered load does not throttle to service rate), then polls its
+// tickets to terminal. Reported per worker count: sustained completed
+// requests/second and p50/p95/p99 submit->terminal latency (queue wait
+// included — that is the point of an open-loop measurement).
+//
+// Engine dispatch is modeled as a per-job synchronous sleep
+// (ServiceConfig::dispatch_latency), so worker scaling is overlap of
+// dispatch waits, not CPU — the regime the paper's service deployment runs
+// in. The scaling gate at the bottom (4 workers >= 2x 1 worker) guards the
+// whole pipeline: poll loop, fair queue, and worker pool.
+//
+// Machine-readable results go to BENCH_server_throughput.json.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/service/service.h"
+
+namespace musketeer {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kClients = 8;
+constexpr int kSubmissionsPerClient = 25;
+constexpr auto kDispatchLatency = std::chrono::milliseconds(6);
+
+struct Measurement {
+  int workers = 0;
+  int completed = 0;
+  int rejected = 0;
+  double rps = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+};
+
+double PercentileMs(std::vector<double> sorted_ms, double q) {
+  if (sorted_ms.empty()) {
+    return 0;
+  }
+  size_t idx = static_cast<size_t>(q * (sorted_ms.size() - 1));
+  return sorted_ms[idx];
+}
+
+Measurement RunLoad(Dfs* dfs, int workers) {
+  ServiceConfig config;
+  config.num_workers = workers;
+  config.queue_capacity = kClients * kSubmissionsPerClient + 16;
+  config.dispatch_latency = kDispatchLatency;
+  WorkflowService service(dfs, config);
+  HttpServer server(&service);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "FATAL: server failed to start\n");
+    std::exit(1);
+  }
+
+  // Warm the plan cache so the timed region measures the service path, not
+  // one-off lowering.
+  {
+    NetClient warm;
+    if (!warm.Connect("127.0.0.1", server.port()).ok()) {
+      std::fprintf(stderr, "FATAL: warm-up connect failed\n");
+      std::exit(1);
+    }
+    auto reply = warm.SubmitWorkflow({.workflow_id = "bench-shopper"},
+                                     TopShopperBeer(2, 50.0));
+    if (!reply.ok() || reply->status != 202 ||
+        !warm.WaitTerminal(reply->ticket, std::chrono::seconds(30)).ok()) {
+      std::fprintf(stderr, "FATAL: warm-up submission failed\n");
+      std::exit(1);
+    }
+  }
+
+  std::atomic<int> completed{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::vector<double>> latencies_ms(kClients);
+  const auto start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      NetClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        return;
+      }
+      const std::string tenant = "bench-t" + std::to_string(c);
+      // Open loop: fire every submission first...
+      std::vector<std::pair<uint64_t, Clock::time_point>> tickets;
+      tickets.reserve(kSubmissionsPerClient);
+      for (int s = 0; s < kSubmissionsPerClient; ++s) {
+        auto reply = client.SubmitWorkflow(
+            {.tenant = tenant, .workflow_id = "bench-shopper"},
+            TopShopperBeer(2, 50.0));
+        if (!reply.ok()) {
+          return;
+        }
+        if (reply->status != 202) {
+          rejected.fetch_add(1);
+          continue;
+        }
+        tickets.emplace_back(reply->ticket, Clock::now());
+      }
+      // ...then ride each one to terminal over the same connection.
+      for (const auto& [ticket, submitted] : tickets) {
+        auto state = client.WaitTerminal(ticket, std::chrono::seconds(120));
+        if (!state.ok() || *state != "DONE") {
+          continue;
+        }
+        latencies_ms[c].push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - submitted)
+                .count());
+        completed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  server.Shutdown();
+  service.Shutdown();
+
+  Measurement m;
+  m.workers = workers;
+  m.completed = completed.load();
+  m.rejected = rejected.load();
+  m.rps = elapsed > 0 ? m.completed / elapsed : 0;
+  std::vector<double> all;
+  for (const auto& per_client : latencies_ms) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  m.p50_ms = PercentileMs(all, 0.50);
+  m.p95_ms = PercentileMs(all, 0.95);
+  m.p99_ms = PercentileMs(all, 0.99);
+  return m;
+}
+
+}  // namespace
+}  // namespace musketeer
+
+int main() {
+  using namespace musketeer;
+
+  Dfs dfs;
+  dfs.Put("purchases", MakePurchases(/*nominal_rows=*/1e6, /*sample_rows=*/2000,
+                                     /*num_regions=*/8, /*seed=*/3));
+
+  PrintHeader(
+      "Server throughput: open-loop clients over loopback",
+      std::to_string(kClients) + " clients x " +
+          std::to_string(kSubmissionsPerClient) + " submissions, " +
+          std::to_string(kDispatchLatency.count()) +
+          " ms simulated engine dispatch per job; latency = submit->terminal "
+          "incl. queue wait");
+  PrintRow({"workers", "completed", "rps", "p50 (ms)", "p95 (ms)", "p99 (ms)"});
+
+  std::vector<Measurement> results;
+  for (int workers : {1, 2, 4}) {
+    Measurement m = RunLoad(&dfs, workers);
+    results.push_back(m);
+    PrintRow({std::to_string(m.workers), std::to_string(m.completed),
+              Fmt(m.rps), Fmt(m.p50_ms), Fmt(m.p95_ms), Fmt(m.p99_ms)});
+    if (m.completed != kClients * kSubmissionsPerClient || m.rejected != 0) {
+      std::fprintf(stderr,
+                   "FATAL: %d workers: %d/%d completed, %d rejected — the "
+                   "queue is sized to admit the full offered load\n",
+                   m.workers, m.completed, kClients * kSubmissionsPerClient,
+                   m.rejected);
+      return 1;
+    }
+  }
+
+  std::FILE* f = std::fopen("BENCH_server_throughput.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write BENCH_server_throughput.json\n");
+    return 1;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    std::fprintf(f,
+                 "  {\"workers\": %d, \"clients\": %d, \"submissions\": %d, "
+                 "\"rps\": %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+                 "\"p99_ms\": %.3f}%s\n",
+                 m.workers, kClients, kClients * kSubmissionsPerClient, m.rps,
+                 m.p50_ms, m.p95_ms, m.p99_ms,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_server_throughput.json\n");
+
+  // Scaling gate: dispatch waits must overlap across the worker pool even
+  // when every request arrives over a socket.
+  const double rps1 = results.front().rps;
+  const double rps4 = results.back().rps;
+  if (rps4 < 2.0 * rps1) {
+    std::fprintf(stderr,
+                 "FATAL: 4-worker throughput %.1f rps is not >= 2x the "
+                 "1-worker %.1f rps\n",
+                 rps4, rps1);
+    return 1;
+  }
+  std::printf("scaling check: 4 workers = %.1fx of 1 worker (>= 2x required)\n",
+              rps1 > 0 ? rps4 / rps1 : 0);
+  return 0;
+}

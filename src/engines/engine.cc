@@ -376,9 +376,4 @@ StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster
   return result;
 }
 
-StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster,
-                               Dfs* dfs) {
-  return ExecuteJob(plan, cluster, dfs, ExecutionContext{});
-}
-
 }  // namespace musketeer

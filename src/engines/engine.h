@@ -53,13 +53,6 @@ struct JobResult {
 StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster,
                                Dfs* dfs, const ExecutionContext& ctx);
 
-// Pre-ExecutionContext entry point; runs with no deadline, no cancellation,
-// no fault injection. Delegates to the context overload.
-[[deprecated("pass an ExecutionContext; this shim runs without deadlines, "
-             "cancellation, or fault injection")]]
-StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster,
-                               Dfs* dfs);
-
 }  // namespace musketeer
 
 #endif  // MUSKETEER_SRC_ENGINES_ENGINE_H_

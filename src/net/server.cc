@@ -1,0 +1,886 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <optional>
+
+#include "src/base/json.h"
+#include "src/base/strings.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/relational/csv.h"
+#include "src/relational/schema.h"
+
+namespace musketeer {
+
+namespace {
+
+Counter& AcceptedCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("musketeer.net.connections.accepted");
+  return c;
+}
+
+Counter& ClosedCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("musketeer.net.connections.closed");
+  return c;
+}
+
+Gauge& ActiveGauge() {
+  static Gauge& g =
+      MetricsRegistry::Global().gauge("musketeer.net.connections.active");
+  return g;
+}
+
+Counter& HttpRequestsCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("musketeer.net.http.requests");
+  return c;
+}
+
+Counter& LineCommandsCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("musketeer.net.line.commands");
+  return c;
+}
+
+Counter& BytesReadCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("musketeer.net.bytes_read");
+  return c;
+}
+
+Counter& BytesWrittenCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("musketeer.net.bytes_written");
+  return c;
+}
+
+// Response counters bucketed by status class — the saturation signal
+// (429/503 land in 4xx/5xx) without a per-code metric explosion.
+Counter& ResponseClassCounter(int status) {
+  static Counter& c2xx =
+      MetricsRegistry::Global().counter("musketeer.net.responses.2xx");
+  static Counter& c4xx =
+      MetricsRegistry::Global().counter("musketeer.net.responses.4xx");
+  static Counter& c5xx =
+      MetricsRegistry::Global().counter("musketeer.net.responses.5xx");
+  if (status < 300) return c2xx;
+  if (status < 500) return c4xx;
+  return c5xx;
+}
+
+Histogram& RequestSecondsHistogram() {
+  static Histogram& h =
+      MetricsRegistry::Global().histogram("musketeer.net.request_seconds");
+  return h;
+}
+
+std::optional<FrontendLanguage> ParseLanguage(std::string_view name) {
+  if (name.empty() || EqualsIgnoreCase(name, "beer")) {
+    return FrontendLanguage::kBeer;
+  }
+  if (EqualsIgnoreCase(name, "hive")) return FrontendLanguage::kHive;
+  if (EqualsIgnoreCase(name, "gas")) return FrontendLanguage::kGas;
+  if (EqualsIgnoreCase(name, "lindi")) return FrontendLanguage::kLindi;
+  return std::nullopt;
+}
+
+// "/status/17" → 17; nullopt on junk (empty, non-digits, trailing garbage).
+std::optional<uint64_t> ParseIdSuffix(std::string_view path,
+                                      std::string_view prefix) {
+  std::string_view rest = path.substr(prefix.size());
+  if (rest.empty()) return std::nullopt;
+  uint64_t id = 0;
+  for (char c : rest) {
+    if (c < '0' || c > '9') return std::nullopt;
+    id = id * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return id;
+}
+
+HttpResponse JsonError(int status, const std::string& message) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.content_type = "application/json";
+  resp.body = "{\"error\": " + JsonQuote(message) + "}\n";
+  return resp;
+}
+
+// The two saturation rejections get distinct codes at the edge: a tenant
+// exceeding its own quota must not look like service-wide overload.
+int RejectStatus(RejectReason reason) {
+  return reason == RejectReason::kTenantOverQuota ? 429 : 503;
+}
+
+std::string TicketJson(const WorkflowHandle& ticket) {
+  const WorkflowState state = ticket->state();
+  std::string out = "{\"ticket\": " + std::to_string(ticket->id()) +
+                    ", \"tenant\": " + JsonQuote(ticket->tenant()) +
+                    ", \"state\": " + JsonQuote(WorkflowStateName(state));
+  if (ticket->terminal()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", ticket->queue_seconds());
+    out += ", \"queue_seconds\": ";
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%.6f", ticket->total_seconds());
+    out += ", \"total_seconds\": ";
+    out += buf;
+    out += ", \"cache_hit\": ";
+    out += ticket->plan_cache_hit() ? "true" : "false";
+    if (state == WorkflowState::kRejected) {
+      out += ", \"reject_reason\": " +
+             JsonQuote(RejectReasonName(ticket->reject_reason()));
+    }
+    if (state != WorkflowState::kDone && !ticket->result().ok()) {
+      out += ", \"error\": " + JsonQuote(ticket->result().status().message());
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+// The DONE payload: every sink relation as (schema spec, CSV text) so a
+// client can ParseSchemaSpec + ParseCsv its way back to bit-identical
+// tables (tests/net_test.cc asserts Table::Identical round-trips).
+std::string ResultJson(const WorkflowHandle& ticket) {
+  const RunResult& result = *ticket->result();
+  std::string out = "{\"ticket\": " + std::to_string(ticket->id()) +
+                    ", \"state\": \"DONE\", \"makespan\": ";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", result.makespan);
+  out += buf;
+  out += ", \"cache_hit\": ";
+  out += ticket->plan_cache_hit() ? "true" : "false";
+  out += ", \"outputs\": [";
+  std::vector<std::string> names;
+  names.reserve(result.outputs.size());
+  for (const auto& [name, table] : result.outputs) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  for (size_t i = 0; i < names.size(); ++i) {
+    const TablePtr& table = result.outputs.at(names[i]);
+    if (i > 0) out += ", ";
+    out += "{\"name\": " + JsonQuote(names[i]) +
+           ", \"schema\": " + JsonQuote(FormatSchemaSpec(table->schema())) +
+           ", \"rows\": " + std::to_string(table->num_rows()) +
+           ", \"csv\": " +
+           JsonQuote(WriteCsv(*table, ',', /*round_trip_doubles=*/true)) + "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(WorkflowService* service, ServerConfig config)
+    : service_(service), config_(std::move(config)) {}
+
+HttpServer::~HttpServer() { Shutdown(); }
+
+Status HttpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return InternalError("socket(): " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return InvalidArgumentError("bad bind address '" + config_.bind_address +
+                                "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = UnavailableError("bind(" + config_.bind_address + ":" +
+                                     std::to_string(config_.port) +
+                                     "): " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    Status status =
+        InternalError("listen(): " + std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  if (::pipe2(wake_fds_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return InternalError("pipe2(): " + std::string(std::strerror(errno)));
+  }
+  started_ = true;
+  loop_ = std::thread(&HttpServer::LoopThread, this);
+  return OkStatus();
+}
+
+void HttpServer::Shutdown() {
+  if (!started_) {
+    return;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  // Poke the poll loop awake so it notices the flag immediately.
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], "x", 1);
+  if (loop_.joinable()) {
+    loop_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (wake_fds_[i] >= 0) {
+      ::close(wake_fds_[i]);
+      wake_fds_[i] = -1;
+    }
+  }
+  started_ = false;
+}
+
+void HttpServer::LoopThread() {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point drain_deadline{};
+  bool draining = false;
+  std::vector<pollfd> fds;
+  while (true) {
+    const bool stopping = stop_.load(std::memory_order_relaxed);
+    if (stopping && !draining) {
+      draining = true;
+      drain_deadline = Clock::now() + config_.drain_timeout;
+    }
+    if (draining) {
+      // Accepted responses get drain_timeout to flush, then we cut them off.
+      bool pending = false;
+      for (const auto& conn : connections_) {
+        if (!conn->outbuf.empty()) {
+          pending = true;
+          break;
+        }
+      }
+      if (!pending || Clock::now() >= drain_deadline) {
+        break;
+      }
+    }
+
+    fds.clear();
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    const bool accepting =
+        !stopping &&
+        connections_.size() < static_cast<size_t>(config_.max_connections);
+    size_t listen_index = fds.size();
+    if (accepting) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+    }
+    size_t conn_base = fds.size();
+    for (const auto& conn : connections_) {
+      short events = 0;
+      if (!conn->saw_eof && !conn->close_after_write && !draining) {
+        events |= POLLIN;
+      }
+      if (!conn->outbuf.empty()) {
+        events |= POLLOUT;
+      }
+      fds.push_back({conn->fd, events, 0});
+    }
+
+    int timeout_ms = 200;
+    if (draining) {
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           drain_deadline - Clock::now())
+                           .count();
+      timeout_ms = static_cast<int>(std::clamp<long long>(remaining, 0, 50));
+    }
+    int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      break;  // poll itself failing is unrecoverable for this loop
+    }
+
+    if (fds[0].revents & POLLIN) {
+      char drain[64];
+      while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (accepting && (fds[listen_index].revents & POLLIN)) {
+      AcceptNew();
+    }
+    for (size_t i = 0; i < connections_.size() && conn_base + i < fds.size();
+         ++i) {
+      Connection* conn = connections_[i].get();
+      short revents = fds[conn_base + i].revents;
+      bool keep = true;
+      if (revents & (POLLERR | POLLNVAL)) {
+        keep = false;
+      }
+      if (keep && (revents & (POLLIN | POLLHUP))) {
+        keep = OnReadable(conn);
+      }
+      if (keep && (revents & POLLOUT)) {
+        keep = OnWritable(conn);
+      }
+      if (!keep) {
+        CloseConnection(conn);
+      }
+    }
+    connections_.erase(
+        std::remove_if(connections_.begin(), connections_.end(),
+                       [](const std::unique_ptr<Connection>& c) {
+                         return c->fd < 0;
+                       }),
+        connections_.end());
+  }
+  for (const auto& conn : connections_) {
+    CloseConnection(conn.get());
+  }
+  connections_.clear();
+}
+
+void HttpServer::AcceptNew() {
+  while (connections_.size() < static_cast<size_t>(config_.max_connections)) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      return;  // EAGAIN (drained) or transient error; poll will re-arm
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_.push_back(
+        std::make_unique<Connection>(fd, config_.max_message_bytes));
+    AcceptedCounter().Increment();
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    ActiveGauge().Set(active_connections_.load(std::memory_order_relaxed));
+  }
+}
+
+void HttpServer::CloseConnection(Connection* conn) {
+  if (conn->fd < 0) {
+    return;
+  }
+  ::close(conn->fd);
+  conn->fd = -1;
+  ClosedCounter().Increment();
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  ActiveGauge().Set(active_connections_.load(std::memory_order_relaxed));
+}
+
+bool HttpServer::OnReadable(Connection* conn) {
+  char buf[16384];
+  std::string incoming;
+  while (true) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      incoming.append(buf, static_cast<size_t>(n));
+      if (incoming.size() >= 1u << 20) {
+        break;  // be fair to other connections; poll re-arms us
+      }
+      continue;
+    }
+    if (n == 0) {
+      conn->saw_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      break;
+    }
+    return false;  // hard socket error
+  }
+  if (!incoming.empty()) {
+    BytesReadCounter().Increment(incoming.size());
+
+    if (conn->protocol == Protocol::kUnknown) {
+      conn->linebuf += incoming;
+      incoming.clear();
+      // Sniff once the first token is complete: HTTP methods vs line verbs.
+      size_t sep = conn->linebuf.find_first_of(" \r\n");
+      if (sep == std::string::npos && conn->linebuf.size() < 8) {
+        // First token still arriving; wait for more bytes.
+      } else {
+        std::string token = conn->linebuf.substr(
+            0, sep == std::string::npos ? conn->linebuf.size() : sep);
+        std::transform(token.begin(), token.end(), token.begin(),
+                       [](unsigned char c) { return std::toupper(c); });
+        static const char* kMethods[] = {"GET",     "POST",  "PUT",
+                                         "HEAD",    "DELETE", "OPTIONS",
+                                         "PATCH"};
+        bool is_http = false;
+        for (const char* m : kMethods) {
+          if (token == m) {
+            is_http = true;
+            break;
+          }
+        }
+        conn->protocol = is_http ? Protocol::kHttp : Protocol::kLine;
+        if (is_http) {
+          incoming.swap(conn->linebuf);  // replay sniffed bytes into parser
+        }
+      }
+    }
+
+    if (conn->protocol == Protocol::kHttp) {
+      std::vector<HttpRequest> requests;
+      conn->parser.Feed(incoming, &requests);
+      for (const HttpRequest& request : requests) {
+        HandleHttp(conn, request);
+        if (conn->close_after_write) {
+          break;
+        }
+      }
+      if (conn->parser.error()) {
+        HttpResponse resp =
+            JsonError(conn->parser.error_status(), conn->parser.error_message());
+        resp.close = true;
+        conn->outbuf += SerializeResponse(resp);
+        conn->close_after_write = true;
+        ResponseClassCounter(resp.status).Increment();
+      }
+    } else if (conn->protocol == Protocol::kLine) {
+      conn->linebuf += incoming;  // empty on the read that just sniffed
+      if (!HandleLineInput(conn)) {
+        conn->close_after_write = true;
+      }
+    }
+  }
+  // Push what we can now instead of waiting one poll cycle for POLLOUT.
+  if (!conn->outbuf.empty() && !OnWritable(conn)) {
+    return false;
+  }
+  if (conn->saw_eof) {
+    return !conn->outbuf.empty();  // flush the tail, then close
+  }
+  return true;
+}
+
+bool HttpServer::OnWritable(Connection* conn) {
+  while (!conn->outbuf.empty()) {
+    ssize_t n = ::send(conn->fd, conn->outbuf.data(), conn->outbuf.size(),
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      BytesWrittenCounter().Increment(static_cast<uint64_t>(n));
+      conn->outbuf.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return true;  // POLLOUT re-arms
+    }
+    return false;
+  }
+  return !conn->close_after_write;
+}
+
+// ---- HTTP dispatch ---------------------------------------------------------
+
+void HttpServer::HandleHttp(Connection* conn, const HttpRequest& request) {
+  Span span("net.request", "net");
+  HttpRequestsCounter().Increment();
+  HttpResponse resp = Route(request);
+  if (request.WantsClose()) {
+    resp.close = true;
+    conn->close_after_write = true;
+  }
+  if (span.active()) {
+    span.SetAttr("method", request.method);
+    span.SetAttr("path", request.path);
+    span.SetAttr("status", std::to_string(resp.status));
+  }
+  ResponseClassCounter(resp.status).Increment();
+  RequestSecondsHistogram().Observe(span.elapsed_seconds());
+  conn->outbuf += SerializeResponse(resp);
+}
+
+HttpResponse HttpServer::Route(const HttpRequest& request) {
+  const std::string& path = request.path;
+  if (path == "/submit") {
+    if (request.method != "POST") {
+      return JsonError(405, "submit requires POST");
+    }
+    return HandleSubmit(request);
+  }
+  if (StartsWith(path, "/status/")) {
+    if (request.method != "GET") return JsonError(405, "status requires GET");
+    auto id = ParseIdSuffix(path, "/status/");
+    if (!id.has_value()) return JsonError(400, "bad ticket id");
+    return HandleStatus(*id);
+  }
+  if (StartsWith(path, "/cancel/")) {
+    if (request.method != "POST") {
+      return JsonError(405, "cancel requires POST");
+    }
+    auto id = ParseIdSuffix(path, "/cancel/");
+    if (!id.has_value()) return JsonError(400, "bad ticket id");
+    return HandleCancel(*id);
+  }
+  if (StartsWith(path, "/result/")) {
+    if (request.method != "GET") return JsonError(405, "result requires GET");
+    auto id = ParseIdSuffix(path, "/result/");
+    if (!id.has_value()) return JsonError(400, "bad ticket id");
+    return HandleResult(*id);
+  }
+  if (path == "/metrics") {
+    if (request.method != "GET") return JsonError(405, "metrics requires GET");
+    HttpResponse resp;
+    resp.body = MetricsRegistry::Global().DumpText();
+    return resp;
+  }
+  if (path == "/trace") {
+    if (request.method != "GET") return JsonError(405, "trace requires GET");
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = Tracer::Global().ChromeTraceJson();
+    return resp;
+  }
+  if (path == "/stats") {
+    if (request.method != "GET") return JsonError(405, "stats requires GET");
+    return HandleStats();
+  }
+  if (path == "/healthz") {
+    HttpResponse resp;
+    resp.body = "ok\n";
+    return resp;
+  }
+  return JsonError(404, "no such endpoint: " + path);
+}
+
+HttpResponse HttpServer::HandleSubmit(const HttpRequest& request) {
+  if (request.body.empty()) {
+    return JsonError(400, "empty workflow source");
+  }
+  const std::string* tenant_header = request.FindHeader("x-tenant");
+  const std::string tenant = tenant_header != nullptr ? *tenant_header : "";
+
+  WorkflowSpec spec;
+  const std::string* id_header = request.FindHeader("x-workflow-id");
+  spec.id = id_header != nullptr ? *id_header : "net-anon";
+  const std::string* lang_header = request.FindHeader("x-language");
+  auto language = ParseLanguage(lang_header != nullptr ? *lang_header : "");
+  if (!language.has_value()) {
+    return JsonError(400, "unknown language '" + *lang_header + "'");
+  }
+  spec.language = *language;
+  spec.source = request.body;
+
+  std::chrono::milliseconds deadline{0};
+  if (const std::string* dl = request.FindHeader("x-deadline-ms")) {
+    auto ms = ParseInt64(*dl);
+    if (!ms.has_value() || *ms <= 0) {
+      return JsonError(400, "bad x-deadline-ms");
+    }
+    deadline = std::chrono::milliseconds(*ms);
+  }
+
+  WorkflowHandle ticket = SubmitSpec(tenant, std::move(spec), deadline);
+  if (ticket->state() == WorkflowState::kRejected) {
+    HttpResponse resp;
+    resp.status = RejectStatus(ticket->reject_reason());
+    resp.content_type = "application/json";
+    resp.body = "{\"error\": " +
+                JsonQuote(ticket->result().status().message()) +
+                ", \"reject_reason\": " +
+                JsonQuote(RejectReasonName(ticket->reject_reason())) +
+                ", \"ticket\": " + std::to_string(ticket->id()) + "}\n";
+    return resp;
+  }
+  HttpResponse resp;
+  resp.status = 202;
+  resp.content_type = "application/json";
+  resp.body = TicketJson(ticket);
+  return resp;
+}
+
+HttpResponse HttpServer::HandleStatus(uint64_t id) {
+  WorkflowHandle ticket = FindTicket(id);
+  if (ticket == nullptr) {
+    return JsonError(404, "unknown ticket " + std::to_string(id));
+  }
+  HttpResponse resp;
+  resp.content_type = "application/json";
+  resp.body = TicketJson(ticket);
+  return resp;
+}
+
+HttpResponse HttpServer::HandleCancel(uint64_t id) {
+  WorkflowHandle ticket = FindTicket(id);
+  if (ticket == nullptr) {
+    return JsonError(404, "unknown ticket " + std::to_string(id));
+  }
+  ticket->Cancel();
+  HttpResponse resp;
+  resp.status = 202;
+  resp.content_type = "application/json";
+  resp.body = TicketJson(ticket);
+  return resp;
+}
+
+HttpResponse HttpServer::HandleResult(uint64_t id) {
+  WorkflowHandle ticket = FindTicket(id);
+  if (ticket == nullptr) {
+    return JsonError(404, "unknown ticket " + std::to_string(id));
+  }
+  const WorkflowState state = ticket->state();
+  if (!ticket->terminal()) {
+    HttpResponse resp = JsonError(409, "workflow not finished");
+    resp.body = "{\"error\": \"workflow not finished\", \"state\": " +
+                JsonQuote(WorkflowStateName(state)) + "}\n";
+    return resp;
+  }
+  if (state != WorkflowState::kDone) {
+    int status = 500;
+    if (state == WorkflowState::kCancelled) status = 409;
+    if (state == WorkflowState::kRejected) {
+      status = RejectStatus(ticket->reject_reason());
+    }
+    HttpResponse resp;
+    resp.status = status;
+    resp.content_type = "application/json";
+    resp.body = "{\"error\": " +
+                JsonQuote(ticket->result().status().message()) +
+                ", \"state\": " + JsonQuote(WorkflowStateName(state)) + "}\n";
+    return resp;
+  }
+  HttpResponse resp;
+  resp.content_type = "application/json";
+  resp.body = ResultJson(ticket);
+  return resp;
+}
+
+HttpResponse HttpServer::HandleStats() {
+  ServiceStats stats = service_->stats();
+  std::string body = "{\"submitted\": " + std::to_string(stats.submitted) +
+                     ", \"rejected\": " + std::to_string(stats.rejected) +
+                     ", \"completed\": " + std::to_string(stats.completed) +
+                     ", \"failed\": " + std::to_string(stats.failed) +
+                     ", \"cancelled\": " + std::to_string(stats.cancelled) +
+                     ", \"plan_cache_hits\": " +
+                     std::to_string(stats.plan_cache_hits) +
+                     ", \"plan_cache_misses\": " +
+                     std::to_string(stats.plan_cache_misses) +
+                     ", \"queue_depth\": " + std::to_string(stats.queue_depth) +
+                     ", \"active_connections\": " +
+                     std::to_string(active_connections()) + ", \"tenants\": {";
+  bool first = true;
+  for (const auto& [tenant, t] : stats.tenants) {
+    if (!first) body += ", ";
+    first = false;
+    body += JsonQuote(tenant) +
+            ": {\"submitted\": " + std::to_string(t.submitted) +
+            ", \"rejected\": " + std::to_string(t.rejected) +
+            ", \"completed\": " + std::to_string(t.completed) +
+            ", \"failed\": " + std::to_string(t.failed) +
+            ", \"cancelled\": " + std::to_string(t.cancelled) + "}";
+  }
+  body += "}}\n";
+  HttpResponse resp;
+  resp.content_type = "application/json";
+  resp.body = body;
+  return resp;
+}
+
+// ---- line protocol ---------------------------------------------------------
+
+bool HttpServer::HandleLineInput(Connection* conn) {
+  while (true) {
+    if (conn->submit_remaining > 0) {
+      size_t take = std::min(conn->submit_remaining, conn->linebuf.size());
+      conn->submit_body.append(conn->linebuf, 0, take);
+      conn->linebuf.erase(0, take);
+      conn->submit_remaining -= take;
+      if (conn->submit_remaining > 0) {
+        return true;  // source still arriving
+      }
+      HandleLineCommand(conn, conn->submit_line);  // re-dispatch, body ready
+      conn->submit_line.clear();
+      continue;
+    }
+    size_t nl = conn->linebuf.find('\n');
+    if (nl == std::string::npos) {
+      if (conn->linebuf.size() > config_.max_message_bytes) {
+        conn->outbuf += "ERR 431 line too long\n";
+        return false;
+      }
+      return true;
+    }
+    std::string line = conn->linebuf.substr(0, nl);
+    conn->linebuf.erase(0, nl + 1);
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;  // blank lines (e.g. after a SUBMIT body) are no-ops
+    }
+    HandleLineCommand(conn, line);
+    if (conn->close_after_write) {
+      return true;
+    }
+  }
+}
+
+void HttpServer::HandleLineCommand(Connection* conn, const std::string& line) {
+  LineCommandsCounter().Increment();
+  std::vector<std::string> parts;
+  for (const std::string& p : StrSplit(line, ' ')) {
+    if (!p.empty()) parts.push_back(p);
+  }
+  if (parts.empty()) {
+    return;
+  }
+  std::string cmd = parts[0];
+  std::transform(cmd.begin(), cmd.end(), cmd.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+
+  if (cmd == "TENANT" && parts.size() == 2) {
+    conn->tenant = parts[1];
+    conn->outbuf += "OK tenant " + conn->tenant + "\n";
+    return;
+  }
+  if (cmd == "SUBMIT") {
+    // SUBMIT <workflow-id> <language> <nbytes>, then <nbytes> of source.
+    if (parts.size() != 4) {
+      conn->outbuf += "ERR 400 usage: SUBMIT <id> <language> <nbytes>\n";
+      return;
+    }
+    auto language = ParseLanguage(parts[2]);
+    auto nbytes = ParseInt64(parts[3]);
+    if (!language.has_value()) {
+      conn->outbuf += "ERR 400 unknown language " + parts[2] + "\n";
+      return;
+    }
+    if (!nbytes.has_value() || *nbytes <= 0 ||
+        static_cast<size_t>(*nbytes) > config_.max_message_bytes) {
+      conn->outbuf += "ERR 400 bad source byte count\n";
+      return;
+    }
+    if (conn->submit_body.size() < static_cast<size_t>(*nbytes)) {
+      // First pass: arm body accumulation and re-dispatch when complete.
+      conn->submit_line = line;
+      conn->submit_remaining =
+          static_cast<size_t>(*nbytes) - conn->submit_body.size();
+      return;
+    }
+    WorkflowSpec spec;
+    spec.id = parts[1];
+    spec.language = *language;
+    spec.source = std::move(conn->submit_body);
+    conn->submit_body.clear();
+    WorkflowHandle ticket =
+        SubmitSpec(conn->tenant, std::move(spec), std::chrono::milliseconds{0});
+    if (ticket->state() == WorkflowState::kRejected) {
+      conn->outbuf += "ERR " + std::to_string(RejectStatus(ticket->reject_reason())) +
+                      " " + ticket->result().status().message() + "\n";
+    } else {
+      conn->outbuf += "OK " + std::to_string(ticket->id()) + " " +
+                      WorkflowStateName(ticket->state()) + "\n";
+    }
+    return;
+  }
+  if ((cmd == "STATUS" || cmd == "CANCEL" || cmd == "RESULT") &&
+      parts.size() == 2) {
+    auto id = ParseInt64(parts[1]);
+    WorkflowHandle ticket =
+        id.has_value() && *id > 0 ? FindTicket(static_cast<uint64_t>(*id))
+                                  : nullptr;
+    if (ticket == nullptr) {
+      conn->outbuf += "ERR 404 unknown ticket " + parts[1] + "\n";
+      return;
+    }
+    if (cmd == "CANCEL") {
+      ticket->Cancel();
+    }
+    if (cmd == "RESULT") {
+      if (ticket->state() != WorkflowState::kDone) {
+        conn->outbuf += "ERR " +
+                        std::string(ticket->terminal() ? "500 " : "409 ") +
+                        WorkflowStateName(ticket->state()) + "\n";
+        return;
+      }
+      std::string json = ResultJson(ticket);
+      conn->outbuf += "OK " + std::to_string(ticket->id()) + " " +
+                      std::to_string(json.size()) + "\n" + json;
+      return;
+    }
+    conn->outbuf += "OK " + std::to_string(ticket->id()) + " " +
+                    WorkflowStateName(ticket->state()) + "\n";
+    return;
+  }
+  if (cmd == "METRICS" && parts.size() == 1) {
+    std::string text = MetricsRegistry::Global().DumpText();
+    conn->outbuf += "OK " + std::to_string(text.size()) + "\n" + text;
+    return;
+  }
+  if (cmd == "PING") {
+    conn->outbuf += "OK pong\n";
+    return;
+  }
+  if (cmd == "QUIT") {
+    conn->outbuf += "OK bye\n";
+    conn->close_after_write = true;
+    return;
+  }
+  conn->outbuf += "ERR 400 unknown command " + cmd + "\n";
+}
+
+// ---- ticket registry -------------------------------------------------------
+
+WorkflowHandle HttpServer::SubmitSpec(const std::string& tenant,
+                                      WorkflowSpec spec,
+                                      std::chrono::milliseconds deadline) {
+  WorkflowHandle ticket;
+  if (deadline.count() > 0) {
+    RunOptions options = service_->default_options();
+    options.deadline = deadline;
+    ticket = service_->SubmitAs(tenant, std::move(spec), std::move(options));
+  } else {
+    ticket = service_->SubmitAs(tenant, std::move(spec));
+  }
+  RegisterTicket(ticket);
+  return ticket;
+}
+
+void HttpServer::RegisterTicket(const WorkflowHandle& ticket) {
+  std::lock_guard lock(tickets_mu_);
+  tickets_[ticket->id()] = ticket;
+  ticket_order_.push_back(ticket->id());
+  // Evict oldest terminal tickets past the retention bound; non-terminal
+  // tickets are never dropped (a client still holds their id).
+  size_t scans = ticket_order_.size();
+  while (tickets_.size() > config_.ticket_retention && scans-- > 0) {
+    uint64_t victim = ticket_order_.front();
+    ticket_order_.pop_front();
+    auto it = tickets_.find(victim);
+    if (it == tickets_.end()) {
+      continue;
+    }
+    if (it->second->terminal()) {
+      tickets_.erase(it);
+    } else {
+      ticket_order_.push_back(victim);
+    }
+  }
+}
+
+WorkflowHandle HttpServer::FindTicket(uint64_t id) const {
+  std::lock_guard lock(tickets_mu_);
+  auto it = tickets_.find(id);
+  return it == tickets_.end() ? nullptr : it->second;
+}
+
+}  // namespace musketeer

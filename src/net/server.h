@@ -1,0 +1,162 @@
+// Event-driven network front door for the workflow service (src/net/).
+//
+// One poll(2) loop on one thread drives a non-blocking listen socket and
+// every accepted connection — no thread-per-connection; the expensive work
+// (the workflow pipeline) already lives behind WorkflowService's worker
+// pool, and every request the server itself handles is a sub-millisecond
+// queue/ticket/registry operation, so a single event thread keeps up with
+// hundreds of concurrent clients the same way pazpar2-style C servers do.
+//
+// Two protocols are auto-detected per connection from the first bytes:
+//   * HTTP/1.1 (first token is a method name), keep-alive by default:
+//       POST /submit        body = workflow source
+//                           headers: X-Tenant, X-Language, X-Workflow-Id,
+//                           X-Deadline-Ms (optional per-request deadline)
+//       GET  /status/<id>   ticket state JSON
+//       POST /cancel/<id>   cooperative cancel, returns state JSON
+//       GET  /result/<id>   outputs JSON: name, schema spec, rows, CSV text
+//       GET  /metrics       MetricsRegistry text exposition
+//       GET  /trace         Chrome trace-event JSON (Tracer::Global())
+//       GET  /stats         ServiceStats incl. per-tenant counters, JSON
+//       GET  /healthz       liveness probe
+//   * line protocol (anything else), one command per line for nc/telnet:
+//       TENANT <name> | SUBMIT <id> <language> <nbytes>\n<source> |
+//       STATUS <t> | CANCEL <t> | RESULT <t> | METRICS | PING | QUIT
+//
+// Tenancy: HTTP requests carry the tenant in the X-Tenant header; line
+// connections set it once with TENANT (a session property). Admission
+// verdicts map onto HTTP codes — tenant over quota → 429, shared queue
+// full or shutting down → 503 — with the REJECTED ticket's reason string
+// in the JSON body, so backpressure is visible at the edge.
+//
+// Shutdown ordering (cooperative): Shutdown() stops accepting, lets
+// in-flight responses flush (bounded by drain_timeout), closes every
+// connection and joins the event thread. The owner then shuts the service
+// down — connections first, workers second — so accepted work still
+// settles its tickets.
+
+#ifndef MUSKETEER_SRC_NET_SERVER_H_
+#define MUSKETEER_SRC_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/http.h"
+#include "src/service/service.h"
+
+namespace musketeer {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; port() reports the bound port
+  int max_connections = 256;
+  size_t max_message_bytes = 1 << 20;
+  // Terminal tickets stay addressable by /status//result until this many
+  // newer submissions arrive (bounded memory for long-lived servers).
+  size_t ticket_retention = 4096;
+  // How long Shutdown() lets pending response bytes flush before closing.
+  std::chrono::milliseconds drain_timeout{2000};
+};
+
+class HttpServer {
+ public:
+  // `service` outlives the server; not owned.
+  HttpServer(WorkflowService* service, ServerConfig config = {});
+
+  // Shuts down (drain + join) if still running.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds, listens and spawns the event loop thread. Errors (port in use,
+  // bad address) surface here, not in the loop.
+  Status Start();
+
+  // Stops accepting, drains in-flight responses (bounded), closes every
+  // connection, joins the event thread. Idempotent. Does NOT shut the
+  // workflow service down — that is the owner's next step.
+  void Shutdown();
+
+  // The bound port (useful with port = 0). Valid after Start().
+  uint16_t port() const { return port_; }
+
+  // Instantaneous open-connection count (event-loop-owned, racy reads ok).
+  int active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum class Protocol { kUnknown, kHttp, kLine };
+
+  struct Connection {
+    int fd = -1;
+    Protocol protocol = Protocol::kUnknown;
+    HttpParser parser;
+    std::string linebuf;     // line-protocol input accumulator
+    std::string outbuf;      // bytes awaiting POLLOUT
+    std::string tenant;      // line-protocol session tenant
+    // Line-protocol SUBMIT in progress: source bytes still expected.
+    size_t submit_remaining = 0;
+    std::string submit_line;  // the SUBMIT command awaiting its body
+    std::string submit_body;
+    bool close_after_write = false;
+    bool saw_eof = false;
+
+    explicit Connection(int fd_in, size_t max_message_bytes)
+        : fd(fd_in), parser(max_message_bytes) {}
+  };
+
+  void LoopThread();
+  void AcceptNew();
+  // Returns false when the connection should be closed now.
+  bool OnReadable(Connection* conn);
+  bool OnWritable(Connection* conn);
+  void CloseConnection(Connection* conn);
+
+  void HandleHttp(Connection* conn, const HttpRequest& request);
+  // Consumes complete line-protocol commands from conn->linebuf.
+  bool HandleLineInput(Connection* conn);
+  void HandleLineCommand(Connection* conn, const std::string& line);
+
+  HttpResponse Route(const HttpRequest& request);
+  HttpResponse HandleSubmit(const HttpRequest& request);
+  HttpResponse HandleStatus(uint64_t id);
+  HttpResponse HandleCancel(uint64_t id);
+  HttpResponse HandleResult(uint64_t id);
+  HttpResponse HandleStats();
+
+  // Submits to the service under `tenant` and registers the ticket.
+  WorkflowHandle SubmitSpec(const std::string& tenant, WorkflowSpec spec,
+                            std::chrono::milliseconds deadline);
+  void RegisterTicket(const WorkflowHandle& ticket);
+  WorkflowHandle FindTicket(uint64_t id) const;
+
+  WorkflowService* const service_;
+  const ServerConfig config_;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: Shutdown() pokes the loop
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> active_connections_{0};
+  bool started_ = false;
+  std::thread loop_;
+  std::vector<std::unique_ptr<Connection>> connections_;  // loop-thread only
+
+  mutable std::mutex tickets_mu_;
+  std::map<uint64_t, WorkflowHandle> tickets_;  // guarded by tickets_mu_
+  std::deque<uint64_t> ticket_order_;           // guarded by tickets_mu_
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_NET_SERVER_H_

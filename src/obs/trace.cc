@@ -96,13 +96,10 @@ uint64_t Tracer::dropped() const {
   return n;
 }
 
-Status Tracer::WriteChromeTrace(const std::string& path) const {
+std::string Tracer::ChromeTraceJson() const {
   std::vector<SpanRecord> spans = Snapshot();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return InternalError("cannot open trace output file '" + path + "'");
-  }
-  std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  char buf[64];
   for (size_t i = 0; i < spans.size(); ++i) {
     const SpanRecord& s = spans[i];
     std::string args = "{\"span_id\": \"" + std::to_string(s.id) +
@@ -112,16 +109,30 @@ Status Tracer::WriteChromeTrace(const std::string& path) const {
       args += ", " + JsonQuote(key) + ": " + JsonQuote(value);
     }
     args += "}";
-    std::fprintf(
-        f,
-        "  {\"name\": %s, \"cat\": %s, \"ph\": \"X\", \"ts\": %.3f, "
-        "\"dur\": %.3f, \"pid\": 1, \"tid\": %d, \"args\": %s}%s\n",
-        JsonQuote(s.name).c_str(),
-        JsonQuote(s.category.empty() ? "span" : s.category).c_str(), s.start_us,
-        s.dur_us, s.tid, args.c_str(), i + 1 < spans.size() ? "," : "");
+    out += "  {\"name\": " + JsonQuote(s.name) + ", \"cat\": " +
+           JsonQuote(s.category.empty() ? "span" : s.category) +
+           ", \"ph\": \"X\", \"ts\": ";
+    std::snprintf(buf, sizeof(buf), "%.3f", s.start_us);
+    out += buf;
+    out += ", \"dur\": ";
+    std::snprintf(buf, sizeof(buf), "%.3f", s.dur_us);
+    out += buf;
+    out += ", \"pid\": 1, \"tid\": " + std::to_string(s.tid) +
+           ", \"args\": " + args + "}";
+    out += i + 1 < spans.size() ? ",\n" : "\n";
   }
-  std::fprintf(f, "]}\n");
-  if (std::fclose(f) != 0) {
+  out += "]}\n";
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return InternalError("cannot open trace output file '" + path + "'");
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  if (std::fclose(f) != 0 || written != json.size()) {
     return InternalError("error writing trace output file '" + path + "'");
   }
   return OkStatus();

@@ -77,8 +77,11 @@ class Tracer {
   // Spans discarded because a thread hit kMaxSpansPerThread.
   uint64_t dropped() const;
 
-  // Writes the Chrome trace_event JSON file. Safe to call while tracing is
-  // active (exports the spans finished so far).
+  // The Chrome trace_event JSON document as a string — what /trace serves.
+  // Safe to call while tracing is active (exports the spans finished so far).
+  std::string ChromeTraceJson() const;
+
+  // Writes ChromeTraceJson() to a file.
   Status WriteChromeTrace(const std::string& path) const;
 
   // Per-thread buffer cap: a runaway span source degrades to counting drops

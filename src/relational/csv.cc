@@ -1,5 +1,6 @@
 #include "src/relational/csv.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -67,14 +68,22 @@ StatusOr<Table> ParseCsv(const std::string& text, const Schema& schema,
   return Table::FromColumns(schema, std::move(cols));
 }
 
-std::string WriteCsv(const Table& table, char delimiter) {
+std::string WriteCsv(const Table& table, char delimiter,
+                     bool round_trip_doubles) {
   std::ostringstream os;
   for (size_t i = 0; i < table.num_rows(); ++i) {
     for (size_t c = 0; c < table.num_fields(); ++c) {
       if (c > 0) {
         os << delimiter;
       }
-      os << ValueToString(table.ValueAt(i, c));
+      const Value v = table.ValueAt(i, c);
+      if (round_trip_doubles && v.index() == 1) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", std::get<double>(v));
+        os << buf;
+      } else {
+        os << ValueToString(v);
+      }
     }
     os << '\n';
   }

@@ -19,7 +19,11 @@ StatusOr<Table> ParseCsv(const std::string& text, const Schema& schema,
                          char delimiter = ',');
 
 // Serializes a table (no header row).
-std::string WriteCsv(const Table& table, char delimiter = ',');
+// `round_trip_doubles` emits doubles with max_digits10 precision so
+// ParseCsv(WriteCsv(t)) reproduces t bit-for-bit (wire transfers); the
+// default keeps the human-friendly %.6g rendering.
+std::string WriteCsv(const Table& table, char delimiter = ',',
+                     bool round_trip_doubles = false);
 
 // File variants.
 StatusOr<Table> LoadCsvFile(const std::string& path, const Schema& schema,

@@ -1,5 +1,7 @@
 #include "src/relational/schema.h"
 
+#include "src/base/strings.h"
+
 namespace musketeer {
 
 std::optional<int> Schema::IndexOf(const std::string& name) const {
@@ -22,6 +24,58 @@ std::string Schema::ToString() const {
     out += FieldTypeName(fields_[i].type);
   }
   return out;
+}
+
+std::string FormatSchemaSpec(const Schema& schema) {
+  std::string out;
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    const Field& f = schema.field(i);
+    if (i > 0) {
+      out += ",";
+    }
+    out += f.name;
+    out += ":";
+    switch (f.type) {
+      case FieldType::kInt64:
+        out += "int";
+        break;
+      case FieldType::kDouble:
+        out += "double";
+        break;
+      case FieldType::kString:
+        out += "string";
+        break;
+    }
+  }
+  return out;
+}
+
+std::optional<Schema> ParseSchemaSpec(std::string_view spec) {
+  Schema schema;
+  for (const std::string& field : StrSplit(spec, ',')) {
+    std::vector<std::string> parts = StrSplit(field, ':');
+    if (parts.size() != 2) {
+      return std::nullopt;
+    }
+    FieldType type;
+    if (EqualsIgnoreCase(parts[1], "int") ||
+        EqualsIgnoreCase(parts[1], "int64")) {
+      type = FieldType::kInt64;
+    } else if (EqualsIgnoreCase(parts[1], "double")) {
+      type = FieldType::kDouble;
+    } else if (EqualsIgnoreCase(parts[1], "string")) {
+      type = FieldType::kString;
+    } else {
+      return std::nullopt;
+    }
+    std::string name(StripWhitespace(parts[0]));
+    if (name.empty()) {
+      return std::nullopt;
+    }
+    schema.AddField({std::move(name), type});
+  }
+  return schema.num_fields() > 0 ? std::optional<Schema>(schema)
+                                 : std::nullopt;
 }
 
 }  // namespace musketeer

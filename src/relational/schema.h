@@ -43,6 +43,15 @@ class Schema {
   std::vector<Field> fields_;
 };
 
+// Compact machine-readable schema form "name:int,name:double,name:string" —
+// the CLI's --input syntax and the network API's schema field. Inverse of
+// ParseSchemaSpec (FormatSchemaSpec output always parses back equal).
+std::string FormatSchemaSpec(const Schema& schema);
+
+// Parses the compact form; type names int/int64, double and string are
+// matched case-insensitively. nullopt on malformed or empty specs.
+std::optional<Schema> ParseSchemaSpec(std::string_view spec);
+
 }  // namespace musketeer
 
 #endif  // MUSKETEER_SRC_RELATIONAL_SCHEMA_H_

@@ -51,6 +51,15 @@ Counter& CancelledCounter() {
   return c;
 }
 
+// Per-tenant counters carry the tenant id in the metric name, so they cannot
+// be cached in function-local statics; the registry lookup is one mutex +
+// hash per submission event, far off any kernel hot path.
+Counter& TenantCounter(const std::string& tenant, const char* what) {
+  return MetricsRegistry::Global().counter(
+      "musketeer.service.tenant." + (tenant.empty() ? "default" : tenant) +
+      "." + what);
+}
+
 }  // namespace
 
 const char* WorkflowStateName(WorkflowState state) {
@@ -67,6 +76,20 @@ const char* WorkflowStateName(WorkflowState state) {
       return "REJECTED";
     case WorkflowState::kCancelled:
       return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
+
+const char* RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "NONE";
+    case RejectReason::kQueueFull:
+      return "QUEUE_FULL";
+    case RejectReason::kTenantOverQuota:
+      return "TENANT_OVER_QUOTA";
+    case RejectReason::kShutdown:
+      return "SHUTDOWN";
   }
   return "UNKNOWN";
 }
@@ -109,6 +132,11 @@ const StatusOr<RunResult>& WorkflowTicket::result() const {
 
 void WorkflowTicket::Cancel() { cancel_.RequestCancel(); }
 
+RejectReason WorkflowTicket::reject_reason() const {
+  std::lock_guard lock(mu_);
+  return reject_reason_;
+}
+
 double WorkflowTicket::queue_seconds() const {
   std::lock_guard lock(mu_);
   const Clock::time_point until =
@@ -140,12 +168,18 @@ void WorkflowTicket::MarkRunning() {
 
 void WorkflowTicket::Finish(WorkflowState state, StatusOr<RunResult> result,
                             bool cache_hit) {
+  Finish(state, std::move(result), cache_hit, RejectReason::kNone);
+}
+
+void WorkflowTicket::Finish(WorkflowState state, StatusOr<RunResult> result,
+                            bool cache_hit, RejectReason reject_reason) {
   {
     std::lock_guard lock(mu_);
     state_ = state;
     result_ = std::move(result);
     finished_at_ = Clock::now();
     plan_cache_hit_ = cache_hit;
+    reject_reason_ = reject_reason;
   }
   cv_.notify_all();
 }
@@ -157,6 +191,10 @@ WorkflowService::WorkflowService(Dfs* dfs, ServiceConfig config)
       config_(std::move(config)),
       queue_(config_.queue_capacity),
       plan_cache_(config_.plan_cache_capacity) {
+  queue_.SetDefaultQuota(config_.default_quota);
+  for (const auto& [tenant, quota] : config_.tenant_quotas) {
+    queue_.SetQuota(tenant, quota);
+  }
   if (!config_.manual_start) {
     Start();
   }
@@ -176,36 +214,60 @@ void WorkflowService::Start() {
   }
 }
 
-WorkflowHandle WorkflowService::MakeTicket(WorkflowSpec spec) {
+WorkflowHandle WorkflowService::MakeTicket(WorkflowSpec spec,
+                                           const std::string& tenant) {
   uint64_t id;
   {
     std::lock_guard lock(mu_);
     id = next_id_++;
   }
   // private ctor: not reachable through make_shared
-  return WorkflowHandle(new WorkflowTicket(id, std::move(spec)));
+  return WorkflowHandle(new WorkflowTicket(id, std::move(spec), tenant));
 }
 
 WorkflowHandle WorkflowService::Submit(WorkflowSpec spec) {
-  return Enqueue(std::move(spec), config_.default_options, /*blocking=*/false);
+  return Enqueue("", std::move(spec), config_.default_options,
+                 /*blocking=*/false);
 }
 
 WorkflowHandle WorkflowService::Submit(WorkflowSpec spec, RunOptions options) {
-  return Enqueue(std::move(spec), std::move(options), /*blocking=*/false);
+  return Enqueue("", std::move(spec), std::move(options), /*blocking=*/false);
+}
+
+WorkflowHandle WorkflowService::SubmitAs(const std::string& tenant,
+                                         WorkflowSpec spec) {
+  return Enqueue(tenant, std::move(spec), config_.default_options,
+                 /*blocking=*/false);
+}
+
+WorkflowHandle WorkflowService::SubmitAs(const std::string& tenant,
+                                         WorkflowSpec spec,
+                                         RunOptions options) {
+  return Enqueue(tenant, std::move(spec), std::move(options),
+                 /*blocking=*/false);
 }
 
 WorkflowHandle WorkflowService::SubmitBlocking(WorkflowSpec spec) {
-  return Enqueue(std::move(spec), config_.default_options, /*blocking=*/true);
+  return Enqueue("", std::move(spec), config_.default_options,
+                 /*blocking=*/true);
 }
 
 WorkflowHandle WorkflowService::SubmitBlocking(WorkflowSpec spec,
                                                RunOptions options) {
-  return Enqueue(std::move(spec), std::move(options), /*blocking=*/true);
+  return Enqueue("", std::move(spec), std::move(options), /*blocking=*/true);
 }
 
-WorkflowHandle WorkflowService::Enqueue(WorkflowSpec spec, RunOptions options,
+WorkflowHandle WorkflowService::SubmitBlockingAs(const std::string& tenant,
+                                                 WorkflowSpec spec,
+                                                 RunOptions options) {
+  return Enqueue(tenant, std::move(spec), std::move(options),
+                 /*blocking=*/true);
+}
+
+WorkflowHandle WorkflowService::Enqueue(const std::string& tenant,
+                                        WorkflowSpec spec, RunOptions options,
                                         bool blocking) {
-  WorkflowHandle ticket = MakeTicket(std::move(spec));
+  WorkflowHandle ticket = MakeTicket(std::move(spec), tenant);
   // Wire cancellation: adopt a caller-supplied token (so the submitter's own
   // handle also works) or mint one; either way Ticket::Cancel() fires it.
   // Done before the queue push — the ticket must be fully wired before any
@@ -229,22 +291,33 @@ WorkflowHandle WorkflowService::Enqueue(WorkflowSpec spec, RunOptions options,
     ++outstanding_;
   }
   QueueItem item{ticket, std::move(options)};
-  const bool accepted =
-      blocking ? queue_.Push(std::move(item)) : queue_.TryPush(std::move(item));
-  if (!accepted) {
-    ticket->Finish(WorkflowState::kRejected,
-                   ResourceExhaustedError(
-                       "workflow service queue is full (capacity " +
-                       std::to_string(queue_.capacity()) + ")"),
-                   /*cache_hit=*/false);
-    OnTicketTerminal(WorkflowState::kRejected);
+  const AdmitResult admitted = blocking
+                                   ? queue_.Push(tenant, std::move(item))
+                                   : queue_.TryPush(tenant, std::move(item));
+  if (admitted != AdmitResult::kOk) {
+    RejectReason reason = RejectReason::kShutdown;
+    std::string message = "workflow service is shut down";
+    if (admitted == AdmitResult::kQueueFull) {
+      reason = RejectReason::kQueueFull;
+      message = "workflow service queue is full (capacity " +
+                std::to_string(queue_.capacity()) + ")";
+    } else if (admitted == AdmitResult::kTenantOverQuota) {
+      reason = RejectReason::kTenantOverQuota;
+      message = "tenant '" + (tenant.empty() ? "default" : tenant) +
+                "' is over its queued-submission quota";
+    }
+    ticket->Finish(WorkflowState::kRejected, ResourceExhaustedError(message),
+                   /*cache_hit=*/false, reason);
+    OnTicketTerminal(tenant, WorkflowState::kRejected);
     return ticket;
   }
   {
     std::lock_guard lock(mu_);
     ++stats_.submitted;
+    ++stats_.tenants[tenant].submitted;
   }
   SubmittedCounter().Increment();
+  TenantCounter(tenant, "submitted").Increment();
   return ticket;
 }
 
@@ -256,11 +329,14 @@ void WorkflowService::WorkerLoop() {
     width.emplace(config_.threads);
   }
   while (true) {
-    std::optional<QueueItem> item = queue_.Pop();
-    if (!item.has_value()) {
+    std::optional<FairQueue<QueueItem>::Popped> popped = queue_.Pop();
+    if (!popped.has_value()) {
       return;  // closed and drained
     }
-    RunOne(*item);
+    RunOne(popped->item);
+    // Strict Pop/OnFinished pairing: releases this tenant's in-flight slot
+    // after the run settled, re-arming its lane for the fair scheduler.
+    queue_.OnFinished(popped->tenant);
   }
 }
 
@@ -271,7 +347,7 @@ void WorkflowService::RunOne(const QueueItem& item) {
                         CancelledError("workflow '" + item.ticket->spec().id +
                                        "' cancelled while queued"),
                         /*cache_hit=*/false);
-    OnTicketTerminal(WorkflowState::kCancelled);
+    OnTicketTerminal(item.ticket->tenant(), WorkflowState::kCancelled);
     return;
   }
   if (item.options.absolute_deadline.has_value() &&
@@ -281,7 +357,7 @@ void WorkflowService::RunOne(const QueueItem& item) {
         DeadlineExceededError("workflow '" + item.ticket->spec().id +
                               "' exceeded its deadline while queued"),
         /*cache_hit=*/false);
-    OnTicketTerminal(WorkflowState::kFailed);
+    OnTicketTerminal(item.ticket->tenant(), WorkflowState::kFailed);
     return;
   }
   item.ticket->MarkRunning();
@@ -357,27 +433,35 @@ void WorkflowService::RunOne(const QueueItem& item) {
   }
   run_seconds.Observe(span.elapsed_seconds());
   item.ticket->Finish(state, std::move(result), cache_hit);
-  OnTicketTerminal(state);
+  OnTicketTerminal(item.ticket->tenant(), state);
 }
 
-void WorkflowService::OnTicketTerminal(WorkflowState state) {
+void WorkflowService::OnTicketTerminal(const std::string& tenant,
+                                       WorkflowState state) {
   {
     std::lock_guard lock(mu_);
+    TenantStats& tstats = stats_.tenants[tenant];
     switch (state) {
       case WorkflowState::kDone:
         ++stats_.completed;
+        ++tstats.completed;
         CompletedCounter().Increment();
+        TenantCounter(tenant, "completed").Increment();
         break;
       case WorkflowState::kFailed:
         ++stats_.failed;
+        ++tstats.failed;
         FailedCounter().Increment();
         break;
       case WorkflowState::kRejected:
         ++stats_.rejected;
+        ++tstats.rejected;
         RejectedCounter().Increment();
+        TenantCounter(tenant, "rejected").Increment();
         break;
       case WorkflowState::kCancelled:
         ++stats_.cancelled;
+        ++tstats.cancelled;
         CancelledCounter().Increment();
         break;
       default:

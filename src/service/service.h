@@ -37,6 +37,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -44,6 +45,7 @@
 #include <vector>
 
 #include "src/core/musketeer.h"
+#include "src/service/fair_queue.h"
 #include "src/service/plan_cache.h"
 #include "src/service/queue.h"
 
@@ -60,12 +62,29 @@ enum class WorkflowState {
 
 const char* WorkflowStateName(WorkflowState state);
 
+// Why a submission was REJECTED. The network edge maps these onto distinct
+// HTTP status codes: over-quota is the tenant's own fault (429), queue-full
+// and shutdown are service-side saturation (503).
+enum class RejectReason {
+  kNone,            // not rejected
+  kQueueFull,       // shared submission queue at capacity
+  kTenantOverQuota, // this tenant's max_queued allowance exhausted
+  kShutdown,        // service no longer accepting work
+};
+
+const char* RejectReasonName(RejectReason reason);
+
 // Future-like per-submission ticket. Created by WorkflowService::Submit;
 // shared between the submitter and the worker that runs the workflow.
 class WorkflowTicket {
  public:
   uint64_t id() const { return id_; }
   const WorkflowSpec& spec() const { return spec_; }
+  // Tenant this submission was admitted under; "" is the default tenant.
+  const std::string& tenant() const { return tenant_; }
+
+  // Why the submission was REJECTED; kNone in every other state.
+  RejectReason reject_reason() const;
 
   WorkflowState state() const;
   bool terminal() const;  // DONE, FAILED, REJECTED or CANCELLED
@@ -99,14 +118,20 @@ class WorkflowTicket {
   friend class WorkflowService;
   using Clock = std::chrono::steady_clock;
 
-  WorkflowTicket(uint64_t id, WorkflowSpec spec)
-      : id_(id), spec_(std::move(spec)), submitted_at_(Clock::now()) {}
+  WorkflowTicket(uint64_t id, WorkflowSpec spec, std::string tenant)
+      : id_(id),
+        spec_(std::move(spec)),
+        tenant_(std::move(tenant)),
+        submitted_at_(Clock::now()) {}
 
   void MarkRunning();
   void Finish(WorkflowState state, StatusOr<RunResult> result, bool cache_hit);
+  void Finish(WorkflowState state, StatusOr<RunResult> result, bool cache_hit,
+              RejectReason reject_reason);
 
   const uint64_t id_;
   const WorkflowSpec spec_;
+  const std::string tenant_;
   const Clock::time_point submitted_at_;
   // Fires the run's cooperative cancellation. Set once by Enqueue (either
   // adopted from caller-supplied RunOptions or freshly made) before the
@@ -116,6 +141,7 @@ class WorkflowTicket {
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   WorkflowState state_ = WorkflowState::kQueued;          // guarded by mu_
+  RejectReason reject_reason_ = RejectReason::kNone;      // guarded by mu_
   StatusOr<RunResult> result_{InternalError("workflow not finished")};
   Clock::time_point started_at_{};                        // guarded by mu_
   Clock::time_point finished_at_{};                       // guarded by mu_
@@ -144,17 +170,35 @@ struct ServiceConfig {
   // When set, the constructor does not spawn workers; call Start(). Lets
   // tests fill the queue deterministically before anything drains it.
   bool manual_start = false;
+  // Admission/scheduling policy for tenants not named in `tenant_quotas`.
+  // The default (weight 1, no caps) makes a single anonymous tenant behave
+  // exactly like the pre-tenant FIFO service.
+  TenantQuota default_quota;
+  // Per-tenant weighted-fair-share and admission bounds (see fair_queue.h).
+  std::vector<std::pair<std::string, TenantQuota>> tenant_quotas;
+};
+
+// Per-tenant slice of the service counters, keyed by tenant id in
+// ServiceStats::tenants ("" = the default tenant).
+struct TenantStats {
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t cancelled = 0;
 };
 
 struct ServiceStats {
   uint64_t submitted = 0;  // accepted into the queue
-  uint64_t rejected = 0;   // bounced off the full queue
+  uint64_t rejected = 0;   // bounced off the full queue or over quota
   uint64_t completed = 0;  // DONE
   uint64_t failed = 0;     // FAILED (including deadline expiry)
   uint64_t cancelled = 0;  // CANCELLED
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
   size_t queue_depth = 0;  // instantaneous
+  // Ordered so exposition (/metrics, /stats) is deterministic.
+  std::map<std::string, TenantStats> tenants;
 };
 
 class WorkflowService {
@@ -173,14 +217,25 @@ class WorkflowService {
   void Start();
 
   // Non-blocking submission with the service-wide default options; returns
-  // a REJECTED ticket when the queue is full or the service is shut down.
+  // a REJECTED ticket when the queue is full, the tenant is over quota, or
+  // the service is shut down (ticket->reject_reason() says which).
   WorkflowHandle Submit(WorkflowSpec spec);
   WorkflowHandle Submit(WorkflowSpec spec, RunOptions options);
 
-  // Blocking submission: waits for queue space instead of rejecting
-  // (REJECTED only if the service shuts down while waiting).
+  // Tenant-attributed submission: admitted against `tenant`'s quota and
+  // scheduled in its weighted-fair lane. The plain Submit overloads are
+  // equivalent to SubmitAs("", ...), the default tenant.
+  WorkflowHandle SubmitAs(const std::string& tenant, WorkflowSpec spec);
+  WorkflowHandle SubmitAs(const std::string& tenant, WorkflowSpec spec,
+                          RunOptions options);
+
+  // Blocking submission: waits for queue space (global and per-tenant)
+  // instead of rejecting (REJECTED only if the service shuts down while
+  // waiting).
   WorkflowHandle SubmitBlocking(WorkflowSpec spec);
   WorkflowHandle SubmitBlocking(WorkflowSpec spec, RunOptions options);
+  WorkflowHandle SubmitBlockingAs(const std::string& tenant, WorkflowSpec spec,
+                                  RunOptions options);
 
   // Blocks until every accepted submission has reached a terminal state.
   // New submissions may still arrive while draining.
@@ -198,6 +253,9 @@ class WorkflowService {
 
   int num_workers() const { return config_.num_workers; }
   size_t queue_capacity() const { return queue_.capacity(); }
+  // The options applied to submissions that carry none — the network edge
+  // copies these to layer per-request settings (deadlines) on top.
+  const RunOptions& default_options() const { return config_.default_options; }
 
  private:
   struct QueueItem {
@@ -205,15 +263,16 @@ class WorkflowService {
     RunOptions options;
   };
 
-  WorkflowHandle MakeTicket(WorkflowSpec spec);
-  WorkflowHandle Enqueue(WorkflowSpec spec, RunOptions options, bool blocking);
+  WorkflowHandle MakeTicket(WorkflowSpec spec, const std::string& tenant);
+  WorkflowHandle Enqueue(const std::string& tenant, WorkflowSpec spec,
+                         RunOptions options, bool blocking);
   void WorkerLoop();
   void RunOne(const QueueItem& item);
-  void OnTicketTerminal(WorkflowState state);
+  void OnTicketTerminal(const std::string& tenant, WorkflowState state);
 
   Dfs* const dfs_;
   const ServiceConfig config_;
-  BoundedQueue<QueueItem> queue_;
+  FairQueue<QueueItem> queue_;
   PlanCache plan_cache_;
 
   mutable std::mutex mu_;

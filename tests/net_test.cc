@@ -1,0 +1,537 @@
+// End-to-end tests for the network front door (src/net/): HTTP parsing,
+// real-socket submit/status/result round-trips against a live server, the
+// tenant admission codes (429 vs 503), the line protocol, and the
+// observability endpoints. The flagship assertion: results fetched over the
+// wire decode to tables bit-identical (Table::Identical) to an in-process
+// Musketeer::Run of the same workflow.
+
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/base/json.h"
+#include "src/core/musketeer.h"
+#include "src/net/client.h"
+#include "src/obs/trace.h"
+#include "src/workloads/datasets.h"
+#include "src/workloads/workflows.h"
+
+namespace musketeer {
+namespace {
+
+// ---- HttpParser ------------------------------------------------------------
+
+TEST(HttpParserTest, ParsesPipelinedRequestsAcrossFeeds) {
+  HttpParser parser;
+  std::vector<HttpRequest> out;
+  const std::string wire =
+      "POST /submit HTTP/1.1\r\nX-Tenant: alice\r\nContent-Length: 5\r\n\r\n"
+      "hello"
+      "GET /status/7?verbose=1 HTTP/1.1\r\n\r\n";
+  // Drip-feed one byte at a time: framing must not depend on packet
+  // boundaries.
+  for (char c : wire) {
+    ASSERT_TRUE(parser.Feed(std::string_view(&c, 1), &out));
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].method, "POST");
+  EXPECT_EQ(out[0].path, "/submit");
+  EXPECT_EQ(out[0].body, "hello");
+  ASSERT_NE(out[0].FindHeader("x-tenant"), nullptr);
+  EXPECT_EQ(*out[0].FindHeader("x-tenant"), "alice");
+  EXPECT_EQ(out[1].method, "GET");
+  EXPECT_EQ(out[1].path, "/status/7");
+  EXPECT_EQ(out[1].query, "verbose=1");
+  EXPECT_TRUE(out[1].body.empty());
+}
+
+TEST(HttpParserTest, ToleratesBareNewlines) {
+  HttpParser parser;
+  std::vector<HttpRequest> out;
+  ASSERT_TRUE(parser.Feed("GET /healthz HTTP/1.1\nHost: x\n\n", &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].path, "/healthz");
+}
+
+TEST(HttpParserTest, ErrorStatusesLatch) {
+  {
+    HttpParser parser;
+    std::vector<HttpRequest> out;
+    EXPECT_FALSE(parser.Feed("NONSENSE\r\n\r\n", &out));
+    EXPECT_TRUE(parser.error());
+    EXPECT_EQ(parser.error_status(), 400);
+    // Latched: further feeds keep failing.
+    EXPECT_FALSE(parser.Feed("GET / HTTP/1.1\r\n\r\n", &out));
+  }
+  {
+    HttpParser parser;
+    std::vector<HttpRequest> out;
+    EXPECT_FALSE(parser.Feed(
+        "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", &out));
+    EXPECT_EQ(parser.error_status(), 501);
+  }
+  {
+    HttpParser parser(/*max_message_bytes=*/64);
+    std::vector<HttpRequest> out;
+    EXPECT_FALSE(
+        parser.Feed("POST / HTTP/1.1\r\nContent-Length: 100000\r\n\r\n", &out));
+    EXPECT_EQ(parser.error_status(), 413);
+  }
+  {
+    HttpParser parser(/*max_message_bytes=*/64);
+    std::vector<HttpRequest> out;
+    std::string endless = "GET / HTTP/1.1\r\nX-Junk: ";
+    endless += std::string(200, 'a');
+    EXPECT_FALSE(parser.Feed(endless, &out));
+    EXPECT_EQ(parser.error_status(), 431);
+  }
+}
+
+TEST(HttpParserTest, ResponseRoundTripsThroughResponseParser) {
+  HttpResponse response;
+  response.status = 429;
+  response.content_type = "application/json";
+  response.body = "{\"error\": \"over quota\"}";
+  HttpResponseParser parser;
+  std::vector<HttpResponseParser::Response> out;
+  ASSERT_TRUE(parser.Feed(SerializeResponse(response), &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].status, 429);
+  EXPECT_EQ(out[0].body, response.body);
+  ASSERT_NE(out[0].FindHeader("content-type"), nullptr);
+  EXPECT_EQ(*out[0].FindHeader("content-type"), "application/json");
+}
+
+// ---- live-server fixtures --------------------------------------------------
+
+void SeedDfs(Dfs* dfs) {
+  GraphSpec spec;
+  spec.name = "net-graph";
+  spec.nominal_vertices = 50000;
+  spec.nominal_edges = 400000;
+  spec.sample_vertices = 300;
+  GraphDataset graph = MakePowerLawGraph(spec);
+  dfs->Put("vertices_rel", graph.vertices);
+  dfs->Put("edges_rel", graph.edges);
+  dfs->Put("vertices", graph.vertices);
+  dfs->Put("edges", graph.edges);
+  dfs->Put("purchases", MakePurchases(/*nominal_rows=*/1e6, /*sample_rows=*/2000,
+                                      /*num_regions=*/8, /*seed=*/3));
+}
+
+WorkflowSpec JoinSpec() {
+  return {.id = "net-join",
+          .language = FrontendLanguage::kBeer,
+          .source = SimpleJoinBeer()};
+}
+
+WorkflowSpec ShopperSpec() {
+  return {.id = "net-topshopper",
+          .language = FrontendLanguage::kBeer,
+          .source = TopShopperBeer(/*region=*/2, /*threshold=*/50.0)};
+}
+
+// The flagship e2e: two tenants submit concurrently over real sockets, poll
+// status, fetch results — and the wire-decoded tables are bit-identical to
+// an in-process run of the same workflows on identically seeded data.
+TEST(NetServerTest, TwoTenantsEndToEndMatchInProcessRun) {
+  // In-process baselines on a private, identically seeded Dfs.
+  std::unordered_map<std::string, TableMap> baselines;
+  {
+    Dfs baseline_dfs;
+    SeedDfs(&baseline_dfs);
+    Musketeer m(&baseline_dfs);
+    for (const WorkflowSpec& spec : {JoinSpec(), ShopperSpec()}) {
+      auto result = m.Run(spec);
+      ASSERT_TRUE(result.ok()) << result.status();
+      baselines[spec.id] = result->outputs;
+    }
+  }
+
+  Dfs dfs;
+  SeedDfs(&dfs);
+  ServiceConfig config;
+  config.num_workers = 4;
+  WorkflowService service(&dfs, config);
+  HttpServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+
+  struct TenantRun {
+    std::string tenant;
+    WorkflowSpec spec;
+    uint64_t ticket = 0;
+    TableMap tables;
+  };
+  std::vector<TenantRun> runs = {{"alice", JoinSpec()},
+                                 {"bob", ShopperSpec()}};
+  // Each tenant drives its own connection on its own thread: the submissions
+  // are genuinely concurrent.
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures;
+  std::mutex failures_mu;
+  for (TenantRun& run : runs) {
+    clients.emplace_back([&server, &run, &failures, &failures_mu] {
+      auto fail = [&](const std::string& message) {
+        std::lock_guard lock(failures_mu);
+        failures.push_back(run.tenant + ": " + message);
+      };
+      NetClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        return fail("connect failed");
+      }
+      NetClient::SubmitOptions options;
+      options.tenant = run.tenant;
+      options.workflow_id = run.spec.id;
+      auto reply = client.SubmitWorkflow(options, run.spec.source);
+      if (!reply.ok() || reply->status != 202) {
+        return fail("submit failed");
+      }
+      run.ticket = reply->ticket;
+      auto state = client.WaitTerminal(reply->ticket,
+                                       std::chrono::milliseconds(30000));
+      if (!state.ok() || *state != "DONE") {
+        return fail("wait failed: " +
+                    (state.ok() ? *state : state.status().ToString()));
+      }
+      auto tables = client.FetchResult(reply->ticket);
+      if (!tables.ok()) {
+        return fail("fetch failed: " + tables.status().ToString());
+      }
+      run.tables = std::move(*tables);
+    });
+  }
+  for (auto& t : clients) t.join();
+  ASSERT_TRUE(failures.empty()) << failures.front();
+
+  for (const TenantRun& run : runs) {
+    const TableMap& want = baselines.at(run.spec.id);
+    ASSERT_EQ(run.tables.size(), want.size()) << run.spec.id;
+    for (const auto& [name, table] : want) {
+      auto it = run.tables.find(name);
+      ASSERT_NE(it, run.tables.end()) << name;
+      // Bit-identical through serialize → wire → parse.
+      EXPECT_TRUE(Table::Identical(*it->second, *table)) << name;
+    }
+  }
+
+  // The tickets are attributed to their tenants in the service stats.
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.tenants.at("alice").completed, 1u);
+  EXPECT_EQ(stats.tenants.at("bob").completed, 1u);
+
+  server.Shutdown();
+  service.Shutdown();
+}
+
+// Backpressure at the edge: a tenant over its own quota gets 429, global
+// saturation gets 503, and neither verdict disturbs the other tenant's
+// accepted work.
+TEST(NetServerTest, OverQuotaGets429QueueFullGets503) {
+  Dfs dfs;
+  SeedDfs(&dfs);
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 2;
+  config.manual_start = true;  // nothing drains until Start()
+  config.tenant_quotas = {{"alice", TenantQuota{.max_queued = 1}}};
+  WorkflowService service(&dfs, config);
+  HttpServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  NetClient::SubmitOptions alice{.tenant = "alice", .workflow_id = "net-join"};
+  NetClient::SubmitOptions bob{.tenant = "bob", .workflow_id = "net-join"};
+  const std::string source = SimpleJoinBeer();
+
+  auto a1 = client.SubmitWorkflow(alice, source);
+  ASSERT_TRUE(a1.ok());
+  EXPECT_EQ(a1->status, 202);
+  // Alice's own max_queued=1 is exhausted → 429, with the reason named.
+  auto a2 = client.SubmitWorkflow(alice, source);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a2->status, 429);
+  EXPECT_EQ(a2->reject_reason, "TENANT_OVER_QUOTA");
+  // Bob is unaffected by alice's quota...
+  auto b1 = client.SubmitWorkflow(bob, source);
+  ASSERT_TRUE(b1.ok());
+  EXPECT_EQ(b1->status, 202);
+  // ...until the shared queue itself is full → 503.
+  auto b2 = client.SubmitWorkflow(bob, source);
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(b2->status, 503);
+  EXPECT_EQ(b2->reject_reason, "QUEUE_FULL");
+
+  service.Start();
+  auto a1_state = client.WaitTerminal(a1->ticket, std::chrono::milliseconds(30000));
+  auto b1_state = client.WaitTerminal(b1->ticket, std::chrono::milliseconds(30000));
+  ASSERT_TRUE(a1_state.ok()) << a1_state.status();
+  ASSERT_TRUE(b1_state.ok()) << b1_state.status();
+  EXPECT_EQ(*a1_state, "DONE");
+  EXPECT_EQ(*b1_state, "DONE");
+
+  server.Shutdown();
+  service.Shutdown();
+}
+
+TEST(NetServerTest, CancelEndpointSettlesQueuedWork) {
+  Dfs dfs;
+  SeedDfs(&dfs);
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.manual_start = true;
+  WorkflowService service(&dfs, config);
+  HttpServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  auto reply = client.SubmitWorkflow({.workflow_id = "net-join"},
+                                     SimpleJoinBeer());
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->status, 202);
+  auto state = client.StateOf(reply->ticket);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, "QUEUED");
+
+  auto cancel_state = client.Cancel(reply->ticket);
+  ASSERT_TRUE(cancel_state.ok());
+  service.Start();
+  auto final_state =
+      client.WaitTerminal(reply->ticket, std::chrono::milliseconds(30000));
+  ASSERT_TRUE(final_state.ok()) << final_state.status();
+  EXPECT_EQ(*final_state, "CANCELLED");
+  // A cancelled ticket has no result payload to serve.
+  EXPECT_FALSE(client.FetchResult(reply->ticket).ok());
+
+  server.Shutdown();
+  service.Shutdown();
+}
+
+TEST(NetServerTest, MetricsAndTraceEndpointsServeLiveData) {
+  Dfs dfs;
+  SeedDfs(&dfs);
+  WorkflowService service(&dfs, ServiceConfig{.num_workers = 2});
+  HttpServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+
+  Tracer::Global().Enable(true);
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  auto reply = client.SubmitWorkflow(
+      {.tenant = "carol", .workflow_id = "net-join"}, SimpleJoinBeer());
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->status, 202);
+  ASSERT_TRUE(
+      client.WaitTerminal(reply->ticket, std::chrono::milliseconds(30000))
+          .ok());
+
+  // /metrics: live registry text with per-tenant and per-connection series.
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_NE(metrics->find("musketeer.net.connections.accepted"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("musketeer.net.http.requests"), std::string::npos);
+  EXPECT_NE(metrics->find("musketeer.service.tenant.carol.submitted"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("musketeer.service.tenant.carol.completed"),
+            std::string::npos);
+
+  // /trace: must parse as Chrome trace-event JSON with an events array that
+  // includes the net.request spans this very session produced.
+  auto trace = client.Get("/trace");
+  Tracer::Global().Enable(false);
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  auto json = ParseJson(*trace);
+  ASSERT_TRUE(json.ok()) << json.status();
+  const JsonValue* events = json->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool saw_net_request = false;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    EXPECT_EQ(ph->string_value, "X");
+    const JsonValue* name = event.Find("name");
+    if (name != nullptr && name->string_value == "net.request") {
+      saw_net_request = true;
+    }
+  }
+  EXPECT_TRUE(saw_net_request);
+
+  // /stats mirrors the service's own counters.
+  auto stats_body = client.Get("/stats");
+  ASSERT_TRUE(stats_body.ok());
+  auto stats_json = ParseJson(*stats_body);
+  ASSERT_TRUE(stats_json.ok());
+  const JsonValue* tenants = stats_json->Find("tenants");
+  ASSERT_NE(tenants, nullptr);
+  ASSERT_NE(tenants->Find("carol"), nullptr);
+  EXPECT_EQ(tenants->Find("carol")->Find("completed")->number_value, 1.0);
+
+  server.Shutdown();
+  service.Shutdown();
+}
+
+// ---- line protocol ---------------------------------------------------------
+
+// Minimal blocking line-protocol client: send text, read until a newline-
+// terminated reply (or `bytes` payload bytes) arrives.
+class LineClient {
+ public:
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+           0;
+  }
+
+  bool Send(const std::string& text) {
+    size_t sent = 0;
+    while (sent < text.size()) {
+      ssize_t n = ::send(fd_, text.data() + sent, text.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // One reply line (without the trailing newline), reading as needed.
+  std::string ReadLine() {
+    while (true) {
+      size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      if (!Fill()) return "";
+    }
+  }
+
+  std::string ReadBytes(size_t n) {
+    while (buffer_.size() < n) {
+      if (!Fill()) return "";
+    }
+    std::string out = buffer_.substr(0, n);
+    buffer_.erase(0, n);
+    return out;
+  }
+
+ private:
+  bool Fill() {
+    char buf[4096];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    buffer_.append(buf, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST(NetServerTest, LineProtocolSubmitStatusResult) {
+  Dfs dfs;
+  SeedDfs(&dfs);
+  WorkflowService service(&dfs, ServiceConfig{.num_workers = 2});
+  HttpServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send("PING\n"));
+  EXPECT_EQ(client.ReadLine(), "OK pong");
+
+  ASSERT_TRUE(client.Send("TENANT dana\n"));
+  EXPECT_EQ(client.ReadLine(), "OK tenant dana");
+
+  const std::string source = SimpleJoinBeer();
+  ASSERT_TRUE(client.Send("SUBMIT net-join beer " +
+                          std::to_string(source.size()) + "\n" + source));
+  std::string reply = client.ReadLine();
+  ASSERT_EQ(reply.substr(0, 3), "OK ") << reply;
+  const uint64_t ticket = std::stoull(reply.substr(3));
+
+  // Poll STATUS until terminal.
+  std::string state;
+  for (int i = 0; i < 15000; ++i) {
+    ASSERT_TRUE(client.Send("STATUS " + std::to_string(ticket) + "\n"));
+    std::string status_reply = client.ReadLine();
+    ASSERT_EQ(status_reply.substr(0, 3), "OK ") << status_reply;
+    state = status_reply.substr(status_reply.rfind(' ') + 1);
+    if (state == "DONE" || state == "FAILED") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(state, "DONE");
+
+  // RESULT returns a byte-counted JSON payload.
+  ASSERT_TRUE(client.Send("RESULT " + std::to_string(ticket) + "\n"));
+  std::string result_header = client.ReadLine();
+  ASSERT_EQ(result_header.substr(0, 3), "OK ") << result_header;
+  const size_t payload_bytes =
+      std::stoull(result_header.substr(result_header.rfind(' ') + 1));
+  ASSERT_GT(payload_bytes, 0u);
+  std::string payload = client.ReadBytes(payload_bytes);
+  auto json = ParseJson(payload);
+  ASSERT_TRUE(json.ok()) << payload.substr(0, 200);
+  ASSERT_NE(json->Find("outputs"), nullptr);
+
+  // The submission was attributed to the session tenant set via TENANT.
+  EXPECT_EQ(service.stats().tenants.at("dana").completed, 1u);
+
+  ASSERT_TRUE(client.Send("QUIT\n"));
+  EXPECT_EQ(client.ReadLine(), "OK bye");
+
+  server.Shutdown();
+  service.Shutdown();
+}
+
+// Shutdown ordering: the server stops accepting new connections but accepted
+// work still settles through the (later) service shutdown.
+TEST(NetServerTest, ShutdownDrainsThenRefusesConnections) {
+  Dfs dfs;
+  SeedDfs(&dfs);
+  WorkflowService service(&dfs, ServiceConfig{.num_workers = 1});
+  HttpServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  auto reply = client.SubmitWorkflow({.workflow_id = "net-join"},
+                                     SimpleJoinBeer());
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->status, 202);
+
+  server.Shutdown();   // connections first...
+  service.Shutdown();  // ...then workers: accepted work still settles
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed + stats.failed + stats.cancelled, 1u);
+
+  NetClient late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", port).ok());
+}
+
+}  // namespace
+}  // namespace musketeer

@@ -463,6 +463,248 @@ TEST(WorkflowServiceTest, ConcurrentSubmittersAllAccountedFor) {
   EXPECT_EQ(stats.failed, 0u);
 }
 
+// ---- BoundedQueue edge cases -----------------------------------------------
+
+TEST(BoundedQueueTest, CapacityOneAlternatesStrictly) {
+  BoundedQueue<int> q(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(q.TryPush(i));
+    EXPECT_FALSE(q.TryPush(i + 100));  // one slot, always full after a push
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.Pop(), std::optional<int>(i));
+    EXPECT_EQ(q.size(), 0u);
+  }
+}
+
+// Blocking producers racing Close(): every Push() must return a definite
+// verdict (true = the item will drain, false = rejected at close), no item
+// may be lost or duplicated, and nobody may hang.
+TEST(BoundedQueueTest, BlockingPushRacesClose) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.TryPush(0));  // producers start blocked on a full queue
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50;
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (q.Push(1)) {
+          accepted.fetch_add(1);
+        } else {
+          return;  // closed: every later Push would also fail
+        }
+      }
+    });
+  }
+  std::atomic<int> popped{0};
+  std::thread consumer([&] {
+    while (q.Pop().has_value()) {
+      popped.fetch_add(1);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  for (auto& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(popped.load(), accepted.load() + 1);  // +1 for the seed item
+  EXPECT_EQ(q.Pop(), std::nullopt);               // drained and closed
+}
+
+// ---- FairQueue -------------------------------------------------------------
+
+TEST(FairQueueTest, SingleLaneDegeneratesToFifo) {
+  FairQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(q.TryPush("", i), AdmitResult::kOk);
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto popped = q.Pop();
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_EQ(popped->tenant, "");
+    EXPECT_EQ(popped->item, i);
+    q.OnFinished(popped->tenant);
+  }
+}
+
+TEST(FairQueueTest, WeightedInterleavingMatchesStride) {
+  FairQueue<int> q(32);
+  q.SetQuota("a", {.weight = 2});
+  q.SetQuota("b", {.weight = 1});
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(q.TryPush("a", i), AdmitResult::kOk);
+    ASSERT_EQ(q.TryPush("b", 100 + i), AdmitResult::kOk);
+  }
+  // Over any window the 2:1 weights must show as a 2:1 dequeue ratio.
+  int from_a = 0;
+  for (int i = 0; i < 9; ++i) {
+    auto popped = q.Pop();
+    ASSERT_TRUE(popped.has_value());
+    if (popped->tenant == "a") ++from_a;
+    q.OnFinished(popped->tenant);
+  }
+  EXPECT_EQ(from_a, 6);  // 6 of 9 = exactly the 2:1 share
+}
+
+TEST(FairQueueTest, PerTenantMaxQueuedRejectsOnlyThatTenant) {
+  FairQueue<int> q(8);
+  q.SetQuota("a", {.max_queued = 2});
+  EXPECT_EQ(q.TryPush("a", 1), AdmitResult::kOk);
+  EXPECT_EQ(q.TryPush("a", 2), AdmitResult::kOk);
+  EXPECT_EQ(q.TryPush("a", 3), AdmitResult::kTenantOverQuota);
+  EXPECT_EQ(q.TryPush("b", 4), AdmitResult::kOk);  // others unaffected
+  EXPECT_EQ(q.QueuedFor("a"), 2u);
+
+  // Global capacity exhaustion reports kQueueFull, not over-quota.
+  FairQueue<int> tiny(1);
+  EXPECT_EQ(tiny.TryPush("x", 1), AdmitResult::kOk);
+  EXPECT_EQ(tiny.TryPush("y", 2), AdmitResult::kQueueFull);
+}
+
+TEST(FairQueueTest, MaxInFlightHoldsItemsBackWithoutRejecting) {
+  FairQueue<int> q(8);
+  q.SetQuota("a", {.max_in_flight = 1});
+  ASSERT_EQ(q.TryPush("a", 1), AdmitResult::kOk);
+  ASSERT_EQ(q.TryPush("a", 2), AdmitResult::kOk);
+  ASSERT_EQ(q.TryPush("b", 3), AdmitResult::kOk);
+
+  auto first = q.Pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->tenant, "a");
+  EXPECT_EQ(q.InFlightFor("a"), 1);
+  // "a" is at its in-flight cap: its second item is held back, "b" is served
+  // around it.
+  auto second = q.Pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->tenant, "b");
+  q.OnFinished("a");  // frees the slot: "a" becomes eligible again
+  auto third = q.Pop();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->tenant, "a");
+  EXPECT_EQ(third->item, 2);
+  q.OnFinished("b");
+  q.OnFinished("a");
+  q.Close();
+  EXPECT_EQ(q.Pop(), std::nullopt);
+}
+
+// ---- Tenant admission + fair scheduling through the service ----------------
+
+TEST(WorkflowServiceTest, TenantOverQuotaRejectsWithoutTouchingOthers) {
+  Dfs dfs;
+  SeedDfs(&dfs);
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 8;
+  config.manual_start = true;  // queue fills before anything drains
+  config.tenant_quotas = {{"alice", TenantQuota{.max_queued = 1}}};
+  WorkflowService service(&dfs, config);
+
+  WorkflowHandle a1 = service.SubmitAs("alice", JoinSpec());
+  WorkflowHandle a2 = service.SubmitAs("alice", JoinSpec());
+  WorkflowHandle b1 = service.SubmitAs("bob", JoinSpec());
+  EXPECT_EQ(a1->state(), WorkflowState::kQueued);
+  EXPECT_EQ(a2->state(), WorkflowState::kRejected);
+  EXPECT_EQ(a2->reject_reason(), RejectReason::kTenantOverQuota);
+  EXPECT_EQ(b1->state(), WorkflowState::kQueued);
+
+  service.Start();
+  service.Drain();
+  EXPECT_EQ(a1->state(), WorkflowState::kDone);
+  EXPECT_EQ(b1->state(), WorkflowState::kDone);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.tenants.at("alice").submitted, 1u);
+  EXPECT_EQ(stats.tenants.at("alice").rejected, 1u);
+  EXPECT_EQ(stats.tenants.at("alice").completed, 1u);
+  EXPECT_EQ(stats.tenants.at("bob").submitted, 1u);
+  EXPECT_EQ(stats.tenants.at("bob").rejected, 0u);
+  EXPECT_EQ(stats.tenants.at("bob").completed, 1u);
+}
+
+TEST(WorkflowServiceTest, CancelWhileQueuedUnderFairScheduler) {
+  Dfs dfs;
+  SeedDfs(&dfs);
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 8;
+  config.manual_start = true;
+  config.tenant_quotas = {{"alice", TenantQuota{.weight = 2}},
+                          {"bob", TenantQuota{.weight = 1}}};
+  WorkflowService service(&dfs, config);
+
+  WorkflowHandle a1 = service.SubmitAs("alice", JoinSpec());
+  WorkflowHandle a2 = service.SubmitAs("alice", JoinSpec());
+  WorkflowHandle b1 = service.SubmitAs("bob", JoinSpec());
+  WorkflowHandle b2 = service.SubmitAs("bob", JoinSpec());
+  a2->Cancel();  // cancelled while QUEUED, settles at worker pickup
+  b2->Cancel();
+
+  service.Start();
+  service.Drain();
+  EXPECT_EQ(a1->state(), WorkflowState::kDone) << a1->result().status();
+  EXPECT_EQ(b1->state(), WorkflowState::kDone) << b1->result().status();
+  EXPECT_EQ(a2->state(), WorkflowState::kCancelled);
+  EXPECT_EQ(b2->state(), WorkflowState::kCancelled);
+  EXPECT_EQ(a2->result().status().code(), StatusCode::kCancelled);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.tenants.at("alice").cancelled, 1u);
+  EXPECT_EQ(stats.tenants.at("bob").cancelled, 1u);
+  EXPECT_EQ(stats.cancelled, 2u);
+}
+
+// SubmitBlocking racing Shutdown: every submission must settle with a
+// definite verdict — DONE for accepted work (Shutdown finishes the queue),
+// REJECTED/kShutdown for producers still blocked when the queue closed.
+// Nothing may hang or leak. Run under TSan via tools/check.sh.
+TEST(WorkflowServiceTest, SubmitBlockingRacesShutdown) {
+  Dfs dfs;
+  SeedDfs(&dfs);
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 1;  // keeps producers blocked when Shutdown lands
+  config.dispatch_latency = std::chrono::milliseconds(2);
+  WorkflowService service(&dfs, config);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 3;
+  std::mutex handles_mu;
+  std::vector<WorkflowHandle> handles;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        WorkflowHandle h = service.SubmitBlocking(JoinSpec());
+        std::lock_guard lock(handles_mu);
+        handles.push_back(std::move(h));
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.Shutdown();
+  for (auto& t : submitters) t.join();
+
+  ASSERT_EQ(handles.size(), static_cast<size_t>(kThreads * kPerThread));
+  uint64_t done = 0, rejected = 0;
+  for (const WorkflowHandle& h : handles) {
+    ASSERT_TRUE(h->terminal());  // nothing left hanging
+    if (h->state() == WorkflowState::kDone) {
+      ++done;
+    } else {
+      ASSERT_EQ(h->state(), WorkflowState::kRejected);
+      EXPECT_EQ(h->reject_reason(), RejectReason::kShutdown);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(done + rejected, handles.size());
+  EXPECT_GE(done, 1u);  // the seed submission at least ran
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, done);
+  EXPECT_EQ(stats.rejected, rejected);
+}
+
 // ---- Shared-state primitives under contention ------------------------------
 
 TEST(SharedStateTest, DfsConcurrentReadersWritersAndCounters) {

@@ -9,35 +9,38 @@
 # trace-event JSON), and finally the fault-tolerance gate (the concurrency
 # and cancellation fault tests under TSan, a seeded fault-sweep CLI run that
 # must recover, and the ExecutionContext plumbing-overhead budget inside
-# bench_service_throughput). Run from anywhere; builds land in <repo>/build,
+# bench_service_throughput), and lastly the network front door gate (net
+# tests under TSan plus a scripted curl session against a live --listen
+# server covering submit/status/cancel/metrics, a 429 over-quota burst and
+# SIGTERM drain). Run from anywhere; builds land in <repo>/build,
 # <repo>/build-tsan, <repo>/build-asan and <repo>/build-relassert.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc)"
 
-echo "== [1/6] normal build + tests =="
+echo "== [1/7] normal build + tests =="
 cmake -S "$repo" -B "$repo/build" >/dev/null
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
-echo "== [2/6] ThreadSanitizer build + tests =="
+echo "== [2/7] ThreadSanitizer build + tests =="
 cmake -S "$repo" -B "$repo/build-tsan" -DMUSKETEER_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs"
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs"
 
-echo "== [3/6] AddressSanitizer+UBSan build + tests =="
+echo "== [3/7] AddressSanitizer+UBSan build + tests =="
 cmake -S "$repo" -B "$repo/build-asan" -DMUSKETEER_SANITIZE=address >/dev/null
 cmake --build "$repo/build-asan" -j "$jobs"
 ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
 
-echo "== [4/6] Release-with-assertions build + tests =="
+echo "== [4/7] Release-with-assertions build + tests =="
 cmake -S "$repo" -B "$repo/build-relassert" -DCMAKE_BUILD_TYPE=Release \
       -DMUSKETEER_KEEP_ASSERTS=ON >/dev/null
 cmake --build "$repo/build-relassert" -j "$jobs"
 ctest --test-dir "$repo/build-relassert" --output-on-failure -j "$jobs"
 
-echo "== [5/6] observability: overhead budget + trace validity =="
+echo "== [5/7] observability: overhead budget + trace validity =="
 # Overhead gate: instrumented-vs-uninstrumented kernel throughput, exits
 # non-zero above the 5% budget; writes BENCH_obs_overhead.json.
 (cd "$repo/build" && ./bench/bench_obs_overhead)
@@ -77,7 +80,7 @@ else
   echo "trace written (python3 unavailable, JSON not validated)"
 fi
 
-echo "== [6/6] fault tolerance: TSan fault tests + seeded sweep + overhead gate =="
+echo "== [6/7] fault tolerance: TSan fault tests + seeded sweep + overhead gate =="
 # The concurrency and cancellation fault tests under ThreadSanitizer: workers
 # recovering injected faults and racing cancellations against one shared DFS.
 "$repo/build-tsan/tests/fault_test" --gtest_filter='*Concurrent*:*Cancel*'
@@ -94,5 +97,62 @@ test -s "$obs_tmp/fault_out.csv"
 # non-zero when the armed retry/injector path keeps <85% of baseline
 # service throughput.
 (cd "$repo/build" && ./bench/bench_service_throughput)
+
+echo "== [7/7] network front door: scripted client session + TSan net tests =="
+# Server tests (HTTP parser, live-socket e2e, line protocol, tenant quotas)
+# under ThreadSanitizer: the poll loop, worker pool and client threads all
+# share the ticket registry.
+"$repo/build-tsan/tests/net_test"
+
+# Scripted session against a live server: one worker held busy by a 300 ms
+# simulated dispatch wait, tenant "alice" capped at one queued workflow, so a
+# burst of three submits must produce at least one 429 without disturbing
+# tenant "bob". Exercises submit/status/cancel/metrics plus SIGTERM drain.
+"$repo/build/tools/musketeer" --listen=7477 --serve=1 \
+    --quota=alice=1:1:1 --dispatch-latency-ms=300 \
+    --input=lhs="$obs_tmp/lhs.csv":id:int,v:int \
+    --input=rhs="$obs_tmp/rhs.csv":id:int,w:int \
+    > "$obs_tmp/server_out.txt" 2>&1 &
+server_pid=$!
+for _ in $(seq 1 50); do
+  curl -s -o /dev/null http://127.0.0.1:7477/healthz && break
+  sleep 0.1
+done
+curl -sf http://127.0.0.1:7477/healthz | grep -q ok
+
+submit_codes=""
+for i in 1 2 3; do
+  code=$(curl -s -o "$obs_tmp/submit_$i.json" -w '%{http_code}' \
+      -X POST -H 'X-Tenant: alice' -H 'X-Workflow-Id: tiny' \
+      --data-binary @"$obs_tmp/tiny.beer" http://127.0.0.1:7477/submit)
+  submit_codes="$submit_codes $code"
+done
+echo "alice submit codes:$submit_codes"
+case "$submit_codes" in
+  *429*) ;;
+  *) echo "expected a 429 over-quota rejection for alice"; exit 1 ;;
+esac
+
+# The other tenant is unaffected by alice's quota.
+bob_code=$(curl -s -o "$obs_tmp/bob.json" -w '%{http_code}' \
+    -X POST -H 'X-Tenant: bob' -H 'X-Workflow-Id: tiny' \
+    --data-binary @"$obs_tmp/tiny.beer" http://127.0.0.1:7477/submit)
+test "$bob_code" = 202
+
+# Status poll + cancel round-trip on bob's (still queued or running) ticket.
+bob_ticket=$(sed -n 's/.*"ticket": \([0-9]*\).*/\1/p' "$obs_tmp/bob.json")
+curl -sf "http://127.0.0.1:7477/status/$bob_ticket" | grep -q '"state"'
+curl -sf -X POST "http://127.0.0.1:7477/cancel/$bob_ticket" | grep -q '"state"'
+
+# Live metrics include connection counters and per-tenant attribution.
+curl -sf http://127.0.0.1:7477/metrics > "$obs_tmp/metrics.txt"
+grep -q "musketeer.net.connections.accepted" "$obs_tmp/metrics.txt"
+grep -q "musketeer.net.responses.4xx" "$obs_tmp/metrics.txt"
+grep -q "musketeer.service.tenant.alice.rejected" "$obs_tmp/metrics.txt"
+
+# Cooperative shutdown: SIGTERM drains connections, then the worker pool.
+kill -TERM "$server_pid"
+wait "$server_pid" || true
+grep -q "shutting down" "$obs_tmp/server_out.txt"
 
 echo "== all checks passed =="

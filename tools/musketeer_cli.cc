@@ -38,17 +38,21 @@
 //   ./build/tools/musketeer --input=purchases=p.csv:uid:int,region:int,amount:double
 //       --output=top_shoppers=out.csv --explain top_shopper.beer
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "src/base/parallel.h"
 #include "src/base/strings.h"
 #include "src/core/musketeer.h"
+#include "src/net/server.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/relational/csv.h"
@@ -126,6 +130,12 @@ void PrintUsage() {
       "  --explain\n"
       "  --trace-out=FILE --metrics --history-file=FILE\n"
       "  --serve=N --repeat=K --queue=CAP --no-plan-cache\n"
+      "  --listen=PORT                 (serve HTTP + line protocol; compose\n"
+      "                                 with --serve=N for the worker count,\n"
+      "                                 Ctrl-C drains and exits)\n"
+      "  --quota=TENANT=W[:QUEUED[:INFLIGHT]]  (fair-share weight and caps)\n"
+      "  --dispatch-latency-ms=N       (simulated per-job engine dispatch\n"
+      "                                 wait in service/listen mode)\n"
       "  --deadline-ms=N               (workflow budget incl. queue wait)\n"
       "  --max-retries=N               (per-engine retries per job)\n"
       "  --fault-rate=F --fault-seed=S (seeded fault injection)\n"
@@ -162,6 +172,112 @@ std::optional<WorkflowSpec> LoadWorkflowFile(
   spec.language = *language;
   spec.source = buf.str();
   return spec;
+}
+
+// "alice=3:8:2" -> {weight 3, max_queued 8, max_in_flight 2}. Queued and
+// in-flight caps are optional (0 = unbounded beyond the global queue).
+std::optional<std::pair<std::string, TenantQuota>> ParseQuotaSpec(
+    const std::string& spec) {
+  size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return std::nullopt;
+  }
+  std::vector<std::string> parts = StrSplit(spec.substr(eq + 1), ':');
+  if (parts.empty() || parts.size() > 3) {
+    return std::nullopt;
+  }
+  TenantQuota quota;
+  auto weight = ParseInt64(parts[0]);
+  if (!weight.has_value() || *weight < 1) {
+    return std::nullopt;
+  }
+  quota.weight = static_cast<int>(*weight);
+  if (parts.size() > 1) {
+    auto queued = ParseInt64(parts[1]);
+    if (!queued.has_value() || *queued < 0) {
+      return std::nullopt;
+    }
+    quota.max_queued = static_cast<size_t>(*queued);
+  }
+  if (parts.size() > 2) {
+    auto in_flight = ParseInt64(parts[2]);
+    if (!in_flight.has_value() || *in_flight < 0) {
+      return std::nullopt;
+    }
+    quota.max_in_flight = static_cast<int>(*in_flight);
+  }
+  return std::make_pair(spec.substr(0, eq), quota);
+}
+
+// SIGINT/SIGTERM set a flag; the listen loop polls it so shutdown runs on
+// the main thread (HttpServer::Shutdown is not async-signal-safe).
+std::atomic<bool> g_stop_requested{false};
+
+void HandleStopSignal(int) { g_stop_requested.store(true); }
+
+// Listen mode: stand up the workflow service plus the network front door
+// and serve until SIGINT/SIGTERM. Any positional workflow files are
+// submitted once at startup (a warm-up batch); remote clients then submit
+// over HTTP or the line protocol.
+int RunListen(Dfs* dfs, const std::vector<std::string>& paths,
+              std::optional<FrontendLanguage> forced_language,
+              const RunOptions& base_options, int workers, uint16_t port,
+              size_t queue_capacity, bool plan_cache,
+              std::chrono::milliseconds dispatch_latency,
+              const std::vector<std::pair<std::string, TenantQuota>>& quotas,
+              HistoryStore* history, RuntimeHistory* runtime_history) {
+  ServiceConfig config;
+  config.num_workers = workers;
+  config.queue_capacity = queue_capacity;
+  config.plan_cache_capacity = plan_cache ? 128 : 0;
+  config.dispatch_latency = dispatch_latency;
+  config.default_options = base_options;
+  config.default_options.history = history;
+  config.default_options.runtime_history = runtime_history;
+  config.tenant_quotas = quotas;
+  WorkflowService service(dfs, config);
+
+  for (const std::string& path : paths) {
+    auto spec = LoadWorkflowFile(path, forced_language);
+    if (!spec.has_value()) {
+      return Fail("cannot load workflow '" + path +
+                  "' (missing file or unknown language)");
+    }
+    service.SubmitBlocking(std::move(*spec));
+  }
+
+  ServerConfig server_config;
+  server_config.port = port;
+  HttpServer server(&service, server_config);
+  Status started = server.Start();
+  if (!started.ok()) {
+    return Fail("listen failed: " + started.ToString());
+  }
+  std::printf("musketeer: listening on 127.0.0.1:%u (%d worker(s)); "
+              "Ctrl-C to drain and exit\n",
+              server.port(), workers);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop_requested.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  // Cooperative shutdown: stop accepting + flush connections, then drain
+  // the worker pool so accepted work still settles.
+  std::printf("musketeer: shutting down...\n");
+  server.Shutdown();
+  service.Shutdown();
+  ServiceStats stats = service.stats();
+  std::printf("%llu submitted, %llu done, %llu failed, %llu rejected, "
+              "%llu cancelled\n",
+              (unsigned long long)stats.submitted,
+              (unsigned long long)stats.completed,
+              (unsigned long long)stats.failed,
+              (unsigned long long)stats.rejected,
+              (unsigned long long)stats.cancelled);
+  return stats.failed == 0 ? 0 : 1;
 }
 
 // Service mode: submit every workflow file `repeat` times through the
@@ -243,6 +359,9 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, std::string>> outputs;  // relation, file
   bool explain = false;
   int serve_workers = 0;  // 0 = one-shot mode
+  int listen_port = -1;   // >= 0 = network server mode (0 picks a free port)
+  int64_t dispatch_latency_ms = 0;
+  std::vector<std::pair<std::string, TenantQuota>> tenant_quotas;
   int repeat = 1;
   int64_t queue_capacity = 64;
   bool plan_cache = true;
@@ -274,6 +393,30 @@ int main(int argc, char** argv) {
         return Fail("--serve needs a worker count >= 1");
       }
       serve_workers = static_cast<int>(*n);
+      continue;
+    }
+    if (StartsWith(arg, "--listen=")) {
+      auto n = ParseInt64(arg.substr(9));
+      if (!n.has_value() || *n < 0 || *n > 65535) {
+        return Fail("--listen needs a port in [0, 65535] (0 = ephemeral)");
+      }
+      listen_port = static_cast<int>(*n);
+      continue;
+    }
+    if (StartsWith(arg, "--quota=")) {
+      auto quota = ParseQuotaSpec(arg.substr(8));
+      if (!quota.has_value()) {
+        return Fail("--quota needs TENANT=WEIGHT[:MAX_QUEUED[:MAX_INFLIGHT]]");
+      }
+      tenant_quotas.push_back(std::move(*quota));
+      continue;
+    }
+    if (StartsWith(arg, "--dispatch-latency-ms=")) {
+      auto n = ParseInt64(arg.substr(22));
+      if (!n.has_value() || *n < 0) {
+        return Fail("--dispatch-latency-ms needs a wait >= 0");
+      }
+      dispatch_latency_ms = *n;
       continue;
     }
     if (StartsWith(arg, "--repeat=")) {
@@ -444,11 +587,11 @@ int main(int argc, char** argv) {
     workflow_paths.push_back(arg);
   }
 
-  if (workflow_paths.empty()) {
+  if (workflow_paths.empty() && listen_port < 0) {
     PrintUsage();
     return Fail("no workflow file given");
   }
-  if (serve_workers == 0 && workflow_paths.size() > 1) {
+  if (listen_port < 0 && serve_workers == 0 && workflow_paths.size() > 1) {
     return Fail("multiple workflow files need --serve=N");
   }
 
@@ -512,6 +655,14 @@ int main(int argc, char** argv) {
   options.fault_rate = fault_rate;
   options.fault_seed = static_cast<uint64_t>(fault_seed);
 
+  if (listen_port >= 0) {
+    return epilogue(RunListen(&dfs, workflow_paths, language, options,
+                              serve_workers > 0 ? serve_workers : 4,
+                              static_cast<uint16_t>(listen_port),
+                              static_cast<size_t>(queue_capacity), plan_cache,
+                              std::chrono::milliseconds(dispatch_latency_ms),
+                              tenant_quotas, &history, &runtime_history));
+  }
   if (serve_workers > 0) {
     return epilogue(RunServe(&dfs, workflow_paths, language, options,
                              serve_workers, repeat,
