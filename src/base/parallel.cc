@@ -91,9 +91,14 @@ void TaskPool::WorkOn(Job* job) {
     size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job->num_tasks) return;
     (*job->task)(i);
-    {
+    // Release order publishes the task's writes to whoever observes the
+    // final count (the waiter's acquire load / mutex acquisition).
+    size_t done_now =
+        job->completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done_now == job->num_tasks) {
+      // Only the last task pays for the lock + notify.
       std::lock_guard<std::mutex> lock(job->mu);
-      if (++job->completed == job->num_tasks) job->done.notify_all();
+      job->done.notify_all();
     }
   }
 }
@@ -161,10 +166,12 @@ void TaskPool::Run(size_t num_tasks, int parallelism,
   WorkOn(job.get());  // the caller is always one of the job's threads
 
   {
-    // Wait for helpers still finishing their last task; the lock also
-    // publishes their writes to the caller.
+    // Wait for helpers still finishing their last task; the acquire load
+    // (paired with the workers' release fetch_add) publishes their writes.
     std::unique_lock<std::mutex> lock(job->mu);
-    job->done.wait(lock, [&] { return job->completed == job->num_tasks; });
+    job->done.wait(lock, [&] {
+      return job->completed.load(std::memory_order_acquire) == job->num_tasks;
+    });
   }
   {
     // Drop the queue's reference promptly (workers also prune lazily).

@@ -129,9 +129,13 @@ class TaskPool {
     int inherited_width = 1;     // ParallelThreads() of the submitter
     std::atomic<size_t> next{0};
 
+    // Lock-free completion count on the hot path: each task does one
+    // release-fetch_add; only the LAST task of the batch takes `mu` to
+    // signal `done` (and the waiter re-checks under the same lock), so
+    // morsel-sized tasks never serialize on the mutex.
+    std::atomic<size_t> completed{0};
     std::mutex mu;
     std::condition_variable done;
-    size_t completed = 0;  // guarded by mu
   };
 
   void WorkerLoop();

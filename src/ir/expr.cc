@@ -460,7 +460,108 @@ Column MaterializeEvalOut(EvalOut&& e, FieldType type, size_t begin,
   return out;
 }
 
+// Fills mask[0 .. end-begin) with the truthiness of `n` over rows
+// [begin, end). Comparisons fill the mask directly from the typed operand
+// accessors (same exact-int / double-view dispatch as EvalBinaryBatch, so
+// the kept set matches bit for bit); AND/OR combine child masks byte-wise.
+// Everything else falls back to evaluating the node and testing truthiness
+// of the result column — value-identical to IsTruthy(EvalBinary(...)).
+void MaskFromNode(const BatchNode& n, const Table& t, size_t begin, size_t end,
+                  uint8_t* mask) {
+  const size_t len = end - begin;
+  if (n.kind == ExprKind::kBinary && n.lhs->type != FieldType::kString &&
+      n.rhs->type != FieldType::kString) {
+    if (n.op == BinOp::kAnd || n.op == BinOp::kOr) {
+      // Child masks are the children's truthiness, which is exactly what
+      // EvalBinary's IsTruthy(a) && IsTruthy(b) consumes.
+      MaskFromNode(*n.lhs, t, begin, end, mask);
+      std::vector<uint8_t> tmp(len);
+      MaskFromNode(*n.rhs, t, begin, end, tmp.data());
+      if (n.op == BinOp::kAnd) {
+        for (size_t k = 0; k < len; ++k) mask[k] &= tmp[k];
+      } else {
+        for (size_t k = 0; k < len; ++k) mask[k] |= tmp[k];
+      }
+      return;
+    }
+    if (!IsArithmetic(n.op)) {
+      // Comparison: write the 0/1 result straight into the byte mask.
+      EvalOut l = EvalNode(*n.lhs, t, begin, end);
+      EvalOut r = EvalNode(*n.rhs, t, begin, end);
+      const bool both_int = n.lhs->type == FieldType::kInt64 &&
+                            n.rhs->type == FieldType::kInt64;
+      auto fill = [&](auto la, auto ra) {
+        switch (n.op) {
+          case BinOp::kEq:
+            for (size_t k = 0; k < len; ++k) mask[k] = la(k) == ra(k) ? 1 : 0;
+            break;
+          case BinOp::kNe:
+            for (size_t k = 0; k < len; ++k) mask[k] = la(k) != ra(k) ? 1 : 0;
+            break;
+          case BinOp::kLt:
+            for (size_t k = 0; k < len; ++k) mask[k] = la(k) < ra(k) ? 1 : 0;
+            break;
+          case BinOp::kLe:
+            for (size_t k = 0; k < len; ++k) mask[k] = la(k) <= ra(k) ? 1 : 0;
+            break;
+          case BinOp::kGt:
+            for (size_t k = 0; k < len; ++k) mask[k] = la(k) > ra(k) ? 1 : 0;
+            break;
+          default:  // kGe
+            for (size_t k = 0; k < len; ++k) mask[k] = la(k) >= ra(k) ? 1 : 0;
+            break;
+        }
+      };
+      if (both_int) {
+        WithInt64Acc(l, begin, [&](auto la) {
+          WithInt64Acc(r, begin, [&](auto ra) { fill(la, ra); });
+        });
+      } else {
+        WithDoubleAcc(l, begin, [&](auto la) {
+          WithDoubleAcc(r, begin, [&](auto ra) { fill(la, ra); });
+        });
+      }
+      return;
+    }
+  }
+
+  // Fallback: evaluate the node, then test truthiness per cell (non-zero
+  // numeric; strings are falsy — IsTruthy's rules).
+  EvalOut out = EvalNode(n, t, begin, end);
+  if (out.is_scalar) {
+    std::fill(mask, mask + len, static_cast<uint8_t>(IsTruthy(out.scalar)));
+    return;
+  }
+  const Column& c = out.borrowed != nullptr ? *out.borrowed : out.owned;
+  const size_t off = out.borrowed != nullptr ? begin : 0;
+  switch (c.type()) {
+    case FieldType::kInt64: {
+      const int64_t* v = c.ints().data() + off;
+      for (size_t k = 0; k < len; ++k) mask[k] = v[k] != 0 ? 1 : 0;
+      return;
+    }
+    case FieldType::kDouble: {
+      const double* v = c.doubles().data() + off;
+      for (size_t k = 0; k < len; ++k) mask[k] = v[k] != 0 ? 1 : 0;
+      return;
+    }
+    case FieldType::kString:
+      std::fill(mask, mask + len, static_cast<uint8_t>(0));
+      return;
+  }
+}
+
 }  // namespace
+
+StatusOr<MaskEval> Expr::CompileMask(const Schema& schema) const {
+  MUSKETEER_ASSIGN_OR_RETURN(std::unique_ptr<BatchNode> built,
+                             BuildBatchNode(*this, schema));
+  std::shared_ptr<const BatchNode> root = std::move(built);
+  return MaskEval(
+      [root](const Table& t, size_t begin, size_t end, uint8_t* mask) {
+        MaskFromNode(*root, t, begin, end, mask);
+      });
+}
 
 StatusOr<BatchEval> Expr::CompileBatch(const Schema& schema) const {
   MUSKETEER_ASSIGN_OR_RETURN(std::unique_ptr<BatchNode> built,

@@ -37,6 +37,12 @@ Counter& ClosedCounter() {
   return c;
 }
 
+Counter& IdleClosedCounter() {
+  static Counter& c = MetricsRegistry::Global().counter(
+      "musketeer.net.connections.idle_closed");
+  return c;
+}
+
 Gauge& ActiveGauge() {
   static Gauge& g =
       MetricsRegistry::Global().gauge("musketeer.net.connections.active");
@@ -306,6 +312,13 @@ void HttpServer::LoopThread() {
     }
 
     int timeout_ms = 200;
+    if (config_.keepalive_timeout.count() > 0) {
+      // Wake often enough that idle connections are closed within ~1.25x of
+      // the configured timeout even with no traffic at all.
+      auto quarter = config_.keepalive_timeout.count() / 4;
+      timeout_ms = static_cast<int>(
+          std::clamp<long long>(quarter, 10, timeout_ms));
+    }
     if (draining) {
       auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
                            drain_deadline - Clock::now())
@@ -341,6 +354,22 @@ void HttpServer::LoopThread() {
       }
       if (!keep) {
         CloseConnection(conn);
+      }
+    }
+    // Idle keep-alive sweep: close connections with no traffic in either
+    // direction for keepalive_timeout. Connections with queued output are
+    // not idle (the peer may just be slow); mid-request input (a partially
+    // parsed HTTP request, a SUBMIT awaiting its body) still counts as idle
+    // once the bytes stop flowing — a stalled sender holds a slot either
+    // way.
+    if (!draining && config_.keepalive_timeout.count() > 0) {
+      const auto now = Clock::now();
+      for (const auto& conn : connections_) {
+        if (conn->fd >= 0 && conn->outbuf.empty() &&
+            now - conn->last_activity >= config_.keepalive_timeout) {
+          IdleClosedCounter().Increment();
+          CloseConnection(conn.get());
+        }
       }
     }
     connections_.erase(
@@ -407,6 +436,7 @@ bool HttpServer::OnReadable(Connection* conn) {
   }
   if (!incoming.empty()) {
     BytesReadCounter().Increment(incoming.size());
+    conn->last_activity = std::chrono::steady_clock::now();
 
     if (conn->protocol == Protocol::kUnknown) {
       conn->linebuf += incoming;
@@ -477,6 +507,7 @@ bool HttpServer::OnWritable(Connection* conn) {
                        MSG_NOSIGNAL);
     if (n > 0) {
       BytesWrittenCounter().Increment(static_cast<uint64_t>(n));
+      conn->last_activity = std::chrono::steady_clock::now();
       conn->outbuf.erase(0, static_cast<size_t>(n));
       continue;
     }

@@ -64,6 +64,11 @@ struct ServerConfig {
   size_t ticket_retention = 4096;
   // How long Shutdown() lets pending response bytes flush before closing.
   std::chrono::milliseconds drain_timeout{2000};
+  // Idle keep-alive connections (no bytes in either direction, nothing
+  // queued to write) are closed after this long; 0 disables the sweep.
+  // Protects the connection table from clients that hold keep-alive
+  // sockets open forever (`--keepalive-timeout-ms` on the CLI).
+  std::chrono::milliseconds keepalive_timeout{0};
 };
 
 class HttpServer {
@@ -110,9 +115,14 @@ class HttpServer {
     std::string submit_body;
     bool close_after_write = false;
     bool saw_eof = false;
+    // Last time bytes moved on this connection (accept counts); the idle
+    // keep-alive sweep closes connections this long quiet.
+    std::chrono::steady_clock::time_point last_activity;
 
     explicit Connection(int fd_in, size_t max_message_bytes)
-        : fd(fd_in), parser(max_message_bytes) {}
+        : fd(fd_in),
+          parser(max_message_bytes),
+          last_activity(std::chrono::steady_clock::now()) {}
   };
 
   void LoopThread();

@@ -158,6 +158,33 @@ class Column {
     return 0;
   }
 
+  // Batch form of HashAt: out[k] = HashAt(begin + k) for rows [begin, end).
+  // Hoists the type dispatch out of the loop so the per-row body is a tight
+  // contiguous pass (the kernels' shuffle/partition hashing hot loop).
+  void HashRange(size_t begin, size_t end, size_t* out) const {
+    switch (type_) {
+      case FieldType::kInt64: {
+        const int64_t* v = ints_.data();
+        std::hash<double> h;
+        for (size_t i = begin; i < end; ++i) {
+          *out++ = h(static_cast<double>(v[i]));
+        }
+        return;
+      }
+      case FieldType::kDouble: {
+        const double* v = doubles_.data();
+        std::hash<double> h;
+        for (size_t i = begin; i < end; ++i) *out++ = h(v[i]);
+        return;
+      }
+      case FieldType::kString: {
+        std::hash<std::string> h;
+        for (size_t i = begin; i < end; ++i) *out++ = h(strings_[i]);
+        return;
+      }
+    }
+  }
+
   // CompareValues on cells (works across numeric column types; numerics
   // order before strings).
   int CompareAt(size_t i, const Column& other, size_t j) const;

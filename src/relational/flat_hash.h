@@ -1,0 +1,134 @@
+// Flat open-addressing hash primitives for the vectorized kernels.
+//
+// The batch kernels key their hash tables on a canonical 64-bit
+// representation of the typed cell (int64 bits, or the bit pattern of the
+// double view with -0.0 normalized) instead of heap-node-based
+// std::unordered_map buckets: one contiguous slot array, multiplicative
+// mixing, linear probing. Lookups touch one cache line in the common case
+// and the hash loop over a column is branch-light, so the compiler can keep
+// the probe pipeline full — this is where the join build/probe and the
+// single-int64 group-by fast path spend their time.
+//
+// These tables are kernel-internal: they never influence *which* partition
+// or shuffle bucket a row lands in (that is Column::HashAt's job, and its
+// values are frozen by the engine-shuffle determinism contract). They only
+// accelerate within-partition key → slot resolution, so the emitted row
+// order — and therefore every output bit — is unchanged.
+
+#ifndef MUSKETEER_SRC_RELATIONAL_FLAT_HASH_H_
+#define MUSKETEER_SRC_RELATIONAL_FLAT_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+namespace musketeer {
+
+// Finalizer-style 64-bit mixer (splitmix64's): cheap, no branches, good
+// avalanche — quality only affects probe lengths, never output bits.
+inline uint64_t MixHash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Canonical 64-bit key of a double: the bit pattern with -0.0 folded onto
+// +0.0 (they compare equal, so they must collide). NaN has no canonical key
+// — NaN never equals anything, so callers must route NaN cells around the
+// table (see KeyIsNaN); giving NaN a bit-pattern key would make NaN probe
+// rows match NaN build rows, which the Value semantics forbid.
+inline uint64_t CanonicalDoubleKey(double v) {
+  if (v == 0.0) {
+    v = 0.0;  // collapse -0.0
+  }
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+inline bool KeyIsNaN(double v) { return v != v; }
+
+// Open-addressing map from uint64 keys to uint32 values (slot ids, group
+// ids). Linear probing, power-of-two capacity, grows at 50% load. Values are
+// dense small integers in every kernel use, so kEmpty doubles as the
+// absent-sentinel.
+class FlatMap64 {
+ public:
+  static constexpr uint32_t kEmpty = std::numeric_limits<uint32_t>::max();
+
+  FlatMap64() = default;
+
+  // Pre-sizes for about `n` distinct keys (avoids rehash during build).
+  void Reserve(size_t n) {
+    size_t want = 16;
+    while (want < 2 * n + 1) want <<= 1;
+    if (want > capacity_) Rehash(want);
+  }
+
+  size_t size() const { return size_; }
+
+  // Returns the value slot for `key`, inserting `fresh` first if the key is
+  // new; *inserted reports which happened. `fresh` must not be kEmpty.
+  uint32_t* FindOrInsert(uint64_t key, uint32_t fresh, bool* inserted) {
+    if (capacity_ == 0 || 2 * (size_ + 1) > capacity_) {
+      Rehash(capacity_ == 0 ? 16 : capacity_ * 2);
+    }
+    const size_t mask = capacity_ - 1;
+    size_t pos = MixHash64(key) & mask;
+    while (true) {
+      if (vals_[pos] == kEmpty) {
+        keys_[pos] = key;
+        vals_[pos] = fresh;
+        ++size_;
+        *inserted = true;
+        return &vals_[pos];
+      }
+      if (keys_[pos] == key) {
+        *inserted = false;
+        return &vals_[pos];
+      }
+      pos = (pos + 1) & mask;
+    }
+  }
+
+  // Returns the value for `key`, or kEmpty when absent.
+  uint32_t Find(uint64_t key) const {
+    if (capacity_ == 0) return kEmpty;
+    const size_t mask = capacity_ - 1;
+    size_t pos = MixHash64(key) & mask;
+    while (true) {
+      if (vals_[pos] == kEmpty) return kEmpty;
+      if (keys_[pos] == key) return vals_[pos];
+      pos = (pos + 1) & mask;
+    }
+  }
+
+ private:
+  void Rehash(size_t new_cap) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_vals = std::move(vals_);
+    keys_.assign(new_cap, 0);
+    vals_.assign(new_cap, kEmpty);
+    const size_t old_cap = capacity_;
+    capacity_ = new_cap;
+    const size_t mask = new_cap - 1;
+    for (size_t i = 0; i < old_cap; ++i) {
+      if (old_vals[i] == kEmpty) continue;
+      size_t pos = MixHash64(old_keys[i]) & mask;
+      while (vals_[pos] != kEmpty) pos = (pos + 1) & mask;
+      keys_[pos] = old_keys[i];
+      vals_[pos] = old_vals[i];
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> vals_;  // kEmpty marks a free slot
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_RELATIONAL_FLAT_HASH_H_

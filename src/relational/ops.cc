@@ -12,6 +12,7 @@
 #include "src/base/parallel.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/relational/flat_hash.h"
 
 // Parallelization strategy (see DESIGN.md "Parallel data plane"): every
 // kernel splits its input into fixed kMorselRows chunks, computes
@@ -131,6 +132,42 @@ std::vector<uint32_t> ParallelStableSortPerm(size_t n, const Less& less) {
   return perm;
 }
 
+// Evaluates `filters` over rows [begin, end) into `mask` (1 = keep), ANDing
+// when there is more than one. `tmp` is caller-provided scratch so morsel
+// loops reuse one allocation. An empty filter list keeps every row.
+void EvalFilterMasks(const std::vector<MaskEval>& filters, const Table& t,
+                     size_t begin, size_t end, uint8_t* mask,
+                     std::vector<uint8_t>* tmp) {
+  const size_t n = end - begin;
+  if (filters.empty()) {
+    std::fill(mask, mask + n, static_cast<uint8_t>(1));
+    return;
+  }
+  filters[0](t, begin, end, mask);
+  if (filters.size() == 1) return;
+  tmp->resize(n);
+  for (size_t f = 1; f < filters.size(); ++f) {
+    filters[f](t, begin, end, tmp->data());
+    const uint8_t* m2 = tmp->data();
+    for (size_t k = 0; k < n; ++k) mask[k] &= m2[k];
+  }
+}
+
+// Compacts a 0/1 byte mask into absolute row indices (base + k for set
+// bytes). The fill loop is branch-free — the write cursor advances by the
+// mask byte — so it auto-vectorizes; the over-allocation is trimmed after.
+void CompactMask(const uint8_t* mask, size_t n, size_t base,
+                 std::vector<uint32_t>* out) {
+  out->resize(n);
+  uint32_t* o = out->data();
+  size_t w = 0;
+  for (size_t k = 0; k < n; ++k) {
+    o[w] = static_cast<uint32_t>(base + k);
+    w += mask[k];
+  }
+  out->resize(w);
+}
+
 }  // namespace
 
 const char* AggFnName(AggFn fn) {
@@ -203,6 +240,19 @@ Table SelectRowsBatch(const Table& in, const BatchEval& pred) {
   return in.Gather(ConcatIndices(parts));
 }
 
+Table SelectRowsMask(const Table& in, const std::vector<MaskEval>& filters) {
+  auto parts = ParallelMapChunks<std::vector<uint32_t>>(
+      in.num_rows(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        std::vector<uint8_t> mask(end - begin);
+        std::vector<uint8_t> tmp;
+        EvalFilterMasks(filters, in, begin, end, mask.data(), &tmp);
+        std::vector<uint32_t> kept;
+        CompactMask(mask.data(), end - begin, begin, &kept);
+        return kept;
+      });
+  return in.Gather(ConcatIndices(parts));
+}
+
 StatusOr<Table> ProjectColumns(const Table& in, const std::vector<int>& columns) {
   Schema out_schema;
   for (int c : columns) {
@@ -269,25 +319,32 @@ struct JoinPairs {
   std::vector<uint32_t> ridx;
 };
 
-// Partitioned build + ordered probe with typed keys. Partition choice uses
-// Column::HashAt (== HashValue) so partition contents match the row plane;
-// the per-partition maps key on the native type K, which preserves
-// ValuesEqual semantics for the type combinations each instantiation covers
-// (int64 for int-int, double for mixed-numeric, string_view for strings).
-// Probe emits in left-row order, matches in right-index order — the fixed
-// emission order that makes the join deterministic at any thread count.
-template <typename K, typename LGet, typename RGet>
-std::vector<JoinPairs> JoinProbe(const Column& lc, const Column& rc,
-                                 const LGet& lget, const RGet& rget) {
-  auto scattered = ParallelMapChunks<std::vector<std::vector<uint32_t>>>(
-      rc.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+// Scatter phase shared by both probe variants: per-morsel partition buckets
+// keyed on Column::HashAt (== HashValue, computed batch-wise via HashRange)
+// so partition contents match the row plane and engine shuffles exactly.
+std::vector<std::vector<std::vector<uint32_t>>> ScatterByPartition(
+    const Column& c) {
+  return ParallelMapChunks<std::vector<std::vector<uint32_t>>>(
+      c.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
         std::vector<std::vector<uint32_t>> buckets(kJoinPartitions);
+        std::vector<size_t> hashes(end - begin);
+        c.HashRange(begin, end, hashes.data());
         for (size_t i = begin; i < end; ++i) {
-          buckets[rc.HashAt(i) % kJoinPartitions].push_back(
+          buckets[hashes[i - begin] % kJoinPartitions].push_back(
               static_cast<uint32_t>(i));
         }
         return buckets;
       });
+}
+
+// Partitioned build + ordered probe, generic (node-based) variant — only the
+// string key path still uses it. The per-partition maps key on string_view;
+// probe emits in left-row order, matches in right-index order — the fixed
+// emission order that makes the join deterministic at any thread count.
+template <typename K, typename LGet, typename RGet>
+std::vector<JoinPairs> JoinProbe(const Column& lc, const Column& rc,
+                                 const LGet& lget, const RGet& rget) {
+  auto scattered = ScatterByPartition(rc);
 
   using PartitionTable = std::unordered_map<K, std::vector<uint32_t>>;
   std::vector<PartitionTable> tables(kJoinPartitions);
@@ -319,9 +376,111 @@ std::vector<JoinPairs> JoinProbe(const Column& lc, const Column& rc,
       });
 }
 
+// A typed numeric key for the flat join table: the canonical 64-bit key plus
+// a validity bit (false only for NaN double keys, which match nothing).
+struct NumKey {
+  uint64_t key;
+  bool valid;
+};
+
+// One build partition in CSR layout: build row indices grouped by key in one
+// contiguous array (ascending within each group — the emission order the
+// node-based map produced by push_back), indexed by a flat key → group map.
+// Probing a key is one FlatMap64 lookup plus a contiguous span scan, instead
+// of a node walk through unordered_map buckets.
+struct FlatJoinPartition {
+  FlatMap64 groups;               // canonical key → group id
+  std::vector<uint32_t> offsets;  // group → [start, end) in rows
+  std::vector<uint32_t> rows;     // build row indices, grouped, ascending
+};
+
+// Flat CSR variant of JoinProbe for numeric keys (int64 and double/mixed).
+// Same partitioning, same emission order, same key-equality semantics as the
+// node-based variant (see CanonicalDoubleKey for -0.0/NaN) — only the data
+// structure changed, so output is bit-identical.
+template <typename LKey, typename RKey>
+std::vector<JoinPairs> JoinProbeFlat(const Column& lc, const Column& rc,
+                                     const LKey& lkey, const RKey& rkey) {
+  auto scattered = ScatterByPartition(rc);
+
+  std::vector<FlatJoinPartition> parts(kJoinPartitions);
+  ParallelChunks(kJoinPartitions, 1, [&](size_t p, size_t, size_t) {
+    FlatJoinPartition& part = parts[p];
+    size_t total = 0;
+    for (const auto& chunk : scattered) total += chunk[p].size();
+    part.groups.Reserve(total);
+    // Pass 1: assign group ids in first-occurrence order, count group sizes.
+    // Chunks are visited in chunk order and rows ascend within a chunk, so
+    // rows arrive in ascending build-index order.
+    std::vector<uint32_t> kept_rows;
+    std::vector<uint32_t> row_group;
+    kept_rows.reserve(total);
+    row_group.reserve(total);
+    std::vector<uint32_t> counts;
+    for (const auto& chunk : scattered) {
+      for (uint32_t ridx : chunk[p]) {
+        NumKey k = rkey(ridx);
+        if (!k.valid) continue;  // NaN build keys can never match
+        bool inserted = false;
+        uint32_t* g = part.groups.FindOrInsert(
+            k.key, static_cast<uint32_t>(counts.size()), &inserted);
+        if (inserted) counts.push_back(0);
+        ++counts[*g];
+        kept_rows.push_back(ridx);
+        row_group.push_back(*g);
+      }
+    }
+    // Pass 2: exclusive prefix sum, then scatter rows into their group span
+    // (in arrival order, i.e. ascending build index within each group).
+    part.offsets.assign(counts.size() + 1, 0);
+    for (size_t g = 0; g < counts.size(); ++g) {
+      part.offsets[g + 1] = part.offsets[g] + counts[g];
+    }
+    part.rows.resize(kept_rows.size());
+    std::vector<uint32_t> cursor(part.offsets.begin(), part.offsets.end() - 1);
+    for (size_t r = 0; r < kept_rows.size(); ++r) {
+      part.rows[cursor[row_group[r]]++] = kept_rows[r];
+    }
+  });
+
+  return ParallelMapChunks<JoinPairs>(
+      lc.size(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        JoinPairs out;
+        std::vector<size_t> hashes(end - begin);
+        lc.HashRange(begin, end, hashes.data());
+        for (size_t i = begin; i < end; ++i) {
+          NumKey k = lkey(i);
+          if (!k.valid) continue;  // NaN probes match nothing
+          const FlatJoinPartition& part =
+              parts[hashes[i - begin] % kJoinPartitions];
+          uint32_t g = part.groups.Find(k.key);
+          if (g == FlatMap64::kEmpty) continue;
+          for (uint32_t r = part.offsets[g]; r < part.offsets[g + 1]; ++r) {
+            out.lidx.push_back(static_cast<uint32_t>(i));
+            out.ridx.push_back(part.rows[r]);
+          }
+        }
+        return out;
+      });
+}
+
 double NumericAt(const Column& c, size_t i) {
   return c.type() == FieldType::kInt64 ? static_cast<double>(c.ints()[i])
                                        : c.doubles()[i];
+}
+
+// Key getter factories for JoinProbeFlat.
+auto Int64KeyGetter(const std::vector<int64_t>& v) {
+  return [&v](size_t i) {
+    return NumKey{static_cast<uint64_t>(v[i]), true};
+  };
+}
+
+auto DoubleKeyGetter(const Column& c) {
+  return [&c](size_t i) {
+    double d = NumericAt(c, i);
+    return NumKey{CanonicalDoubleKey(d), !KeyIsNaN(d)};
+  };
 }
 
 }  // namespace
@@ -376,17 +535,12 @@ StatusOr<Table> HashJoin(const Table& left, const Table& right, int lkey, int rk
         lc, rc, [&](size_t i) { return std::string_view(lv[i]); },
         [&](size_t i) { return std::string_view(rv[i]); });
   } else if (lc.type() == FieldType::kInt64 && rc.type() == FieldType::kInt64) {
-    const std::vector<int64_t>& lv = lc.ints();
-    const std::vector<int64_t>& rv = rc.ints();
-    pairs = JoinProbe<int64_t>(
-        lc, rc, [&](size_t i) { return lv[i]; },
-        [&](size_t i) { return rv[i]; });
+    pairs = JoinProbeFlat(lc, rc, Int64KeyGetter(lc.ints()),
+                          Int64KeyGetter(rc.ints()));
   } else {
     // Mixed numeric (or double-double): key on the double value, which is
     // exactly how ValuesEqual compares an int64 to a double.
-    pairs = JoinProbe<double>(
-        lc, rc, [&](size_t i) { return NumericAt(lc, i); },
-        [&](size_t i) { return NumericAt(rc, i); });
+    pairs = JoinProbeFlat(lc, rc, DoubleKeyGetter(lc), DoubleKeyGetter(rc));
   }
 
   size_t total = 0;
@@ -630,8 +784,9 @@ namespace {
 // arrays instead of per-group heap objects.
 struct GroupPartial {
   Table keys;
-  // Single-INT64-key fast path: key value → slot.
-  std::unordered_map<int64_t, uint32_t> int_slots;
+  // Single-INT64-key fast path: key value → slot (flat open addressing; the
+  // probe loop is one mix + linear scan over contiguous arrays).
+  FlatMap64 int_slots;
   // Generic path: full-key hash (HashRow formula) → candidate slots.
   std::unordered_map<size_t, std::vector<uint32_t>> slots;
   // Flattened [slot * num_aggs + j] accumulators.
@@ -661,10 +816,11 @@ void MergeGroupPartial(GroupPartial* a, GroupPartial&& b, bool int_fast_path) {
   for (size_t slot = 0; slot < b.num_slots(); ++slot) {
     uint32_t dst = std::numeric_limits<uint32_t>::max();
     if (int_fast_path) {
-      int64_t key = b.keys.col(0).ints()[slot];
-      auto [it, inserted] = a->int_slots.try_emplace(
-          key, static_cast<uint32_t>(a->num_slots()));
-      if (!inserted) dst = it->second;
+      uint64_t key = static_cast<uint64_t>(b.keys.col(0).ints()[slot]);
+      bool inserted = false;
+      uint32_t* v = a->int_slots.FindOrInsert(
+          key, static_cast<uint32_t>(a->num_slots()), &inserted);
+      if (!inserted) dst = *v;
     } else {
       size_t h = HashRowAllCols(b.keys, slot);
       std::vector<uint32_t>& bucket = a->slots[h];
@@ -697,22 +853,18 @@ void MergeGroupPartial(GroupPartial* a, GroupPartial&& b, bool int_fast_path) {
   }
 }
 
-}  // namespace
+// Validated group-by shapes shared by GroupByAgg and the fused variant.
+struct GroupPlan {
+  Schema key_schema;
+  Schema out_schema;
+  bool int_fast_path = false;
+};
 
-StatusOr<Table> GroupByAgg(const Table& in, const std::vector<int>& group_columns,
-                           const std::vector<AggSpec>& aggs) {
-  Span span("kernel.group_by", "kernel");
-  static Counter& calls =
-      MetricsRegistry::Global().counter("musketeer.relational.group_by.calls");
-  static Counter& rows = MetricsRegistry::Global().counter(
-      "musketeer.relational.group_by.input_rows");
-  calls.Increment();
-  rows.Increment(in.num_rows());
-  if (span.active()) {
-    span.SetAttr("rows", std::to_string(in.num_rows()));
-  }
+StatusOr<GroupPlan> PlanGroupBy(const Schema& in_schema,
+                                const std::vector<int>& group_columns,
+                                const std::vector<AggSpec>& aggs) {
   for (int c : group_columns) {
-    if (c < 0 || c >= static_cast<int>(in.schema().num_fields())) {
+    if (c < 0 || c >= static_cast<int>(in_schema.num_fields())) {
       return InvalidArgumentError("GROUP BY column out of range");
     }
   }
@@ -720,122 +872,128 @@ StatusOr<Table> GroupByAgg(const Table& in, const std::vector<int>& group_column
     if (a.fn == AggFn::kCount) {
       continue;
     }
-    if (a.column < 0 || a.column >= static_cast<int>(in.schema().num_fields())) {
+    if (a.column < 0 || a.column >= static_cast<int>(in_schema.num_fields())) {
       return InvalidArgumentError("AGG column out of range");
     }
-    if (in.schema().field(a.column).type == FieldType::kString) {
+    if (in_schema.field(a.column).type == FieldType::kString) {
       // Strings have no numeric view (see AsDouble's sentinel); reject
       // instead of aggregating NaNs.
       return InvalidArgumentError(std::string(AggFnName(a.fn)) +
                                   " over STRING column '" +
-                                  in.schema().field(a.column).name + "'");
+                                  in_schema.field(a.column).name + "'");
     }
   }
-
-  Schema key_schema;
+  GroupPlan plan;
   for (int c : group_columns) {
-    key_schema.AddField(in.schema().field(c));
-  }
-  const bool int_fast_path =
-      group_columns.size() == 1 &&
-      in.schema().field(group_columns[0]).type == FieldType::kInt64;
-  const size_t A = aggs.size();
-
-  // Pre-resolve each agg's input column (nullptr for COUNT).
-  std::vector<const Column*> agg_cols(A, nullptr);
-  for (size_t j = 0; j < A; ++j) {
-    if (aggs[j].fn != AggFn::kCount) {
-      agg_cols[j] = &in.col(aggs[j].column);
-    }
-  }
-
-  // Phase 1: thread-local partial aggregates, one per morsel. Every AggFn is
-  // associative (AVG decomposes into (sum, count)), so partials combine.
-  auto partials = ParallelMapChunks<GroupPartial>(
-      in.num_rows(), kMorselRows, [&](size_t, size_t begin, size_t end) {
-        GroupPartial part;
-        part.num_aggs = A;
-        part.keys = Table(key_schema);
-        const std::vector<int64_t>* int_keys =
-            int_fast_path ? &in.col(group_columns[0]).ints() : nullptr;
-        for (size_t i = begin; i < end; ++i) {
-          uint32_t slot = std::numeric_limits<uint32_t>::max();
-          if (int_fast_path) {
-            auto [it, inserted] = part.int_slots.try_emplace(
-                (*int_keys)[i], static_cast<uint32_t>(part.num_slots()));
-            slot = it->second;
-            if (inserted) {
-              part.keys.AppendRowFromCols(in, i, group_columns);
-              part.AddSlotAccs();
-            }
-          } else {
-            size_t h = HashRow(in, i, group_columns);
-            std::vector<uint32_t>& bucket = part.slots[h];
-            for (uint32_t cand : bucket) {
-              bool equal = true;
-              for (size_t k = 0; k < group_columns.size(); ++k) {
-                if (!in.col(group_columns[k])
-                         .EqualAt(i, part.keys.col(k), cand)) {
-                  equal = false;
-                  break;
-                }
-              }
-              if (equal) {
-                slot = cand;
-                break;
-              }
-            }
-            if (slot == std::numeric_limits<uint32_t>::max()) {
-              slot = static_cast<uint32_t>(part.num_slots());
-              bucket.push_back(slot);
-              part.keys.AppendRowFromCols(in, i, group_columns);
-              part.AddSlotAccs();
-            }
-          }
-          for (size_t j = 0; j < A; ++j) {
-            part.counts[slot * A + j] += 1;
-            if (aggs[j].fn == AggFn::kCount) {
-              continue;
-            }
-            double v = NumericAt(*agg_cols[j], i);
-            part.sums[slot * A + j] += v;
-            part.mins[slot * A + j] = std::min(part.mins[slot * A + j], v);
-            part.maxs[slot * A + j] = std::max(part.maxs[slot * A + j], v);
-          }
-        }
-        return part;
-      });
-
-  // Phase 2: fixed pairwise merge tree over the partials (merge chunk
-  // 2p+step into 2p each round). The tree shape depends only on the chunk
-  // count, never the thread count — FP results are bit-stable.
-  for (size_t step = 1; step < partials.size(); step *= 2) {
-    size_t pairs = 0;
-    for (size_t l = 0; l + step < partials.size(); l += 2 * step) ++pairs;
-    ParallelChunks(pairs, 1, [&](size_t p, size_t, size_t) {
-      const size_t l = 2 * step * p;
-      MergeGroupPartial(&partials[l], std::move(partials[l + step]),
-                        int_fast_path);
-    });
-  }
-
-  Schema out_schema;
-  for (int c : group_columns) {
-    out_schema.AddField(in.schema().field(c));
+    plan.key_schema.AddField(in_schema.field(c));
+    plan.out_schema.AddField(in_schema.field(c));
   }
   for (const AggSpec& a : aggs) {
     FieldType t = FieldType::kDouble;
     if (a.fn == AggFn::kCount) {
       t = FieldType::kInt64;
-    } else if (in.schema().field(a.column).type == FieldType::kInt64 &&
-               (a.fn == AggFn::kSum || a.fn == AggFn::kMin || a.fn == AggFn::kMax)) {
+    } else if (in_schema.field(a.column).type == FieldType::kInt64 &&
+               (a.fn == AggFn::kSum || a.fn == AggFn::kMin ||
+                a.fn == AggFn::kMax)) {
       t = FieldType::kInt64;
     }
-    out_schema.AddField({a.output_name, t});
+    plan.out_schema.AddField({a.output_name, t});
   }
+  plan.int_fast_path =
+      group_columns.size() == 1 &&
+      in_schema.field(group_columns[0]).type == FieldType::kInt64;
+  return plan;
+}
 
+// Accumulates rows [begin, end) of `src` into `part` — the phase-1 inner
+// loop of GroupByAgg, also driven per filtered chunk by the fused kernel.
+// Slot order is first-occurrence order of keys within the accumulated rows.
+void AccumulateGroupRows(GroupPartial* part, const Table& src, size_t begin,
+                         size_t end, const std::vector<int>& group_columns,
+                         const std::vector<AggSpec>& aggs, bool int_fast_path) {
+  const size_t A = aggs.size();
+  std::vector<const Column*> agg_cols(A, nullptr);
+  for (size_t j = 0; j < A; ++j) {
+    if (aggs[j].fn != AggFn::kCount) {
+      agg_cols[j] = &src.col(aggs[j].column);
+    }
+  }
+  const std::vector<int64_t>* int_keys =
+      int_fast_path ? &src.col(group_columns[0]).ints() : nullptr;
+  for (size_t i = begin; i < end; ++i) {
+    uint32_t slot = std::numeric_limits<uint32_t>::max();
+    if (int_fast_path) {
+      bool inserted = false;
+      uint32_t* v = part->int_slots.FindOrInsert(
+          static_cast<uint64_t>((*int_keys)[i]),
+          static_cast<uint32_t>(part->num_slots()), &inserted);
+      slot = *v;
+      if (inserted) {
+        part->keys.AppendRowFromCols(src, i, group_columns);
+        part->AddSlotAccs();
+      }
+    } else {
+      size_t h = HashRow(src, i, group_columns);
+      std::vector<uint32_t>& bucket = part->slots[h];
+      for (uint32_t cand : bucket) {
+        bool equal = true;
+        for (size_t k = 0; k < group_columns.size(); ++k) {
+          if (!src.col(group_columns[k]).EqualAt(i, part->keys.col(k), cand)) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) {
+          slot = cand;
+          break;
+        }
+      }
+      if (slot == std::numeric_limits<uint32_t>::max()) {
+        slot = static_cast<uint32_t>(part->num_slots());
+        bucket.push_back(slot);
+        part->keys.AppendRowFromCols(src, i, group_columns);
+        part->AddSlotAccs();
+      }
+    }
+    for (size_t j = 0; j < A; ++j) {
+      part->counts[slot * A + j] += 1;
+      if (aggs[j].fn == AggFn::kCount) {
+        continue;
+      }
+      double v = NumericAt(*agg_cols[j], i);
+      part->sums[slot * A + j] += v;
+      part->mins[slot * A + j] = std::min(part->mins[slot * A + j], v);
+      part->maxs[slot * A + j] = std::max(part->maxs[slot * A + j], v);
+    }
+  }
+}
+
+// Phase 2 of GroupByAgg: fixed pairwise merge tree over the partials (merge
+// chunk 2p+step into 2p each round). The tree shape depends only on the
+// chunk count, never the thread count — FP results are bit-stable.
+void MergePartialsTree(std::vector<GroupPartial>* partials,
+                       bool int_fast_path) {
+  for (size_t step = 1; step < partials->size(); step *= 2) {
+    size_t pairs = 0;
+    for (size_t l = 0; l + step < partials->size(); l += 2 * step) ++pairs;
+    ParallelChunks(pairs, 1, [&](size_t p, size_t, size_t) {
+      const size_t l = 2 * step * p;
+      MergeGroupPartial(&(*partials)[l], std::move((*partials)[l + step]),
+                        int_fast_path);
+    });
+  }
+}
+
+// Output fill shared by GroupByAgg and the fused kernel: releases the merged
+// key table, computes the aggregate columns slot-parallel, and handles the
+// empty-input global-aggregate edge (`emit_empty_global_row`).
+Table FinalizeGroupPartials(std::vector<GroupPartial>&& partials,
+                            const Schema& out_schema, size_t num_group_cols,
+                            const std::vector<AggSpec>& aggs, double scale,
+                            bool emit_empty_global_row) {
+  const size_t A = aggs.size();
   Table out(out_schema);
-  out.set_scale(in.scale());
+  out.set_scale(scale);
   if (!partials.empty()) {
     GroupPartial& groups = partials[0];
     const size_t num_groups = groups.num_slots();
@@ -844,8 +1002,8 @@ StatusOr<Table> GroupByAgg(const Table& in, const std::vector<int>& group_column
     // Fill the aggregate output columns slot-parallel (each column is an
     // independent dense array).
     for (size_t j = 0; j < A; ++j) {
-      Column& c = cols[group_columns.size() + j];
-      c = Column(out_schema.field(group_columns.size() + j).type);
+      Column& c = cols[num_group_cols + j];
+      c = Column(out_schema.field(num_group_cols + j).type);
       c.Resize(num_groups);
     }
     ParallelChunks(num_groups, kMorselRows,
@@ -873,7 +1031,7 @@ StatusOr<Table> GroupByAgg(const Table& in, const std::vector<int>& group_column
                       : 0;
               break;
           }
-          Column& c = cols[group_columns.size() + j];
+          Column& c = cols[num_group_cols + j];
           if (c.type() == FieldType::kInt64) {
             (*c.mutable_ints())[g] = static_cast<int64_t>(v);
           } else {
@@ -883,12 +1041,12 @@ StatusOr<Table> GroupByAgg(const Table& in, const std::vector<int>& group_column
       }
     });
     out = Table::FromColumns(out_schema, std::move(cols));
-    out.set_scale(in.scale());
+    out.set_scale(scale);
   }
 
   // Handle the empty-input global aggregate: SQL-ish engines return one row
   // of zero counts; the paper's operators never hit this edge, but tests do.
-  if (group_columns.empty() && in.num_rows() == 0) {
+  if (emit_empty_global_row) {
     Row r;
     for (const AggSpec& a : aggs) {
       if (a.fn == AggFn::kCount) {
@@ -902,6 +1060,165 @@ StatusOr<Table> GroupByAgg(const Table& in, const std::vector<int>& group_column
     out.AddRow(std::move(r));
   }
   return out;
+}
+
+}  // namespace
+
+StatusOr<Table> GroupByAgg(const Table& in, const std::vector<int>& group_columns,
+                           const std::vector<AggSpec>& aggs) {
+  Span span("kernel.group_by", "kernel");
+  static Counter& calls =
+      MetricsRegistry::Global().counter("musketeer.relational.group_by.calls");
+  static Counter& rows = MetricsRegistry::Global().counter(
+      "musketeer.relational.group_by.input_rows");
+  calls.Increment();
+  rows.Increment(in.num_rows());
+  if (span.active()) {
+    span.SetAttr("rows", std::to_string(in.num_rows()));
+  }
+  StatusOr<GroupPlan> plan_or = PlanGroupBy(in.schema(), group_columns, aggs);
+  if (!plan_or.ok()) return plan_or.status();
+  const GroupPlan& plan = plan_or.value();
+
+  // Phase 1: thread-local partial aggregates, one per morsel. Every AggFn is
+  // associative (AVG decomposes into (sum, count)), so partials combine.
+  auto partials = ParallelMapChunks<GroupPartial>(
+      in.num_rows(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        GroupPartial part;
+        part.num_aggs = aggs.size();
+        part.keys = Table(plan.key_schema);
+        AccumulateGroupRows(&part, in, begin, end, group_columns, aggs,
+                            plan.int_fast_path);
+        return part;
+      });
+
+  MergePartialsTree(&partials, plan.int_fast_path);
+  return FinalizeGroupPartials(
+      std::move(partials), plan.out_schema, group_columns.size(), aggs,
+      in.scale(), group_columns.empty() && in.num_rows() == 0);
+}
+
+namespace {
+
+// Gathers the transform's input columns at `idx` into a narrow scratch table.
+Table GatherScratch(const Table& in, const FusedTransform& t,
+                    const std::vector<uint32_t>& idx) {
+  std::vector<Column> cols;
+  cols.reserve(t.gather_cols.size());
+  for (int c : t.gather_cols) {
+    cols.push_back(in.col(c).Gather(idx));
+  }
+  return Table::FromColumns(t.scratch_schema, std::move(cols));
+}
+
+// Runs the transform stage over one scratch block. Identity transforms
+// release the scratch columns directly (a projection); otherwise each output
+// column is one batch-expression evaluation over the whole block.
+std::vector<Column> EvalTransformBlock(const FusedTransform& t,
+                                       Table&& scratch) {
+  if (t.exprs.empty()) {
+    return scratch.ReleaseColumns();
+  }
+  std::vector<Column> block;
+  block.reserve(t.exprs.size());
+  for (const BatchEval& e : t.exprs) {
+    block.push_back(e(scratch, 0, scratch.num_rows()));
+  }
+  return block;
+}
+
+}  // namespace
+
+Table FusedSelectTransform(const Table& in,
+                           const std::vector<MaskEval>& filters,
+                           const FusedTransform& t) {
+  Span span("kernel.fused_select_map", "kernel");
+  static Counter& calls = MetricsRegistry::Global().counter(
+      "musketeer.relational.fused_select_map.calls");
+  calls.Increment();
+  if (span.active()) {
+    span.SetAttr("rows", std::to_string(in.num_rows()));
+    span.SetAttr("filters", std::to_string(filters.size()));
+  }
+  auto parts = ParallelMapChunks<std::vector<Column>>(
+      in.num_rows(), kMorselRows, [&](size_t, size_t begin, size_t end) {
+        std::vector<uint8_t> mask(end - begin);
+        std::vector<uint8_t> tmp;
+        EvalFilterMasks(filters, in, begin, end, mask.data(), &tmp);
+        std::vector<uint32_t> sel;
+        CompactMask(mask.data(), end - begin, begin, &sel);
+        return EvalTransformBlock(t, GatherScratch(in, t, sel));
+      });
+  return ConcatChunkColumns(t.out_schema, std::move(parts), in.scale());
+}
+
+StatusOr<Table> FusedSelectTransformAgg(const Table& in,
+                                        const std::vector<MaskEval>& filters,
+                                        const FusedTransform& t,
+                                        const std::vector<int>& group_columns,
+                                        const std::vector<AggSpec>& aggs) {
+  Span span("kernel.fused_select_map_agg", "kernel");
+  static Counter& calls = MetricsRegistry::Global().counter(
+      "musketeer.relational.fused_select_map_agg.calls");
+  calls.Increment();
+  if (span.active()) {
+    span.SetAttr("rows", std::to_string(in.num_rows()));
+  }
+  StatusOr<GroupPlan> plan_or = PlanGroupBy(t.out_schema, group_columns, aggs);
+  if (!plan_or.ok()) return plan_or.status();
+  const GroupPlan& plan = plan_or.value();
+
+  const size_t n = in.num_rows();
+  const size_t in_chunks = NumChunks(n, kMorselRows);
+
+  // Pass A: selection bitmap over the whole input, one byte per row, plus
+  // per-chunk kept counts. The bitmap stays resident (n bytes) instead of a
+  // materialized filtered table (n × row width).
+  std::vector<uint8_t> mask(n);
+  std::vector<size_t> chunk_kept(in_chunks, 0);
+  ParallelChunks(n, kMorselRows, [&](size_t c, size_t begin, size_t end) {
+    std::vector<uint8_t> tmp;
+    EvalFilterMasks(filters, in, begin, end, mask.data() + begin, &tmp);
+    size_t cnt = 0;
+    for (size_t k = begin; k < end; ++k) cnt += mask[k];
+    chunk_kept[c] = cnt;
+  });
+
+  // Index exchange: exclusive prefix over the chunk counts gives every chunk
+  // its slice of the global filtered-row index vector; each chunk compacts
+  // into a local buffer and copies into place (no cross-chunk writes).
+  std::vector<size_t> offs(in_chunks + 1, 0);
+  for (size_t c = 0; c < in_chunks; ++c) offs[c + 1] = offs[c] + chunk_kept[c];
+  const size_t kept = offs[in_chunks];
+  std::vector<uint32_t> sel(kept);
+  ParallelChunks(n, kMorselRows, [&](size_t c, size_t begin, size_t end) {
+    std::vector<uint32_t> local;
+    CompactMask(mask.data() + begin, end - begin, begin, &local);
+    std::copy(local.begin(), local.end(), sel.begin() + offs[c]);
+  });
+
+  // Pass B: one GroupByAgg partial per *filtered* kMorselRows chunk — the
+  // same chunk boundaries GroupByAgg would see on the materialized
+  // select→map output, so the partial merge tree (and every FP bit of the
+  // result) is identical to the unfused pipeline. Each chunk gathers its
+  // scratch, runs the transform, and accumulates in filtered-row order.
+  auto partials = ParallelMapChunks<GroupPartial>(
+      kept, kMorselRows, [&](size_t, size_t begin, size_t end) {
+        std::vector<uint32_t> idx(sel.begin() + begin, sel.begin() + end);
+        Table block = Table::FromColumns(
+            t.out_schema, EvalTransformBlock(t, GatherScratch(in, t, idx)));
+        GroupPartial part;
+        part.num_aggs = aggs.size();
+        part.keys = Table(plan.key_schema);
+        AccumulateGroupRows(&part, block, 0, block.num_rows(), group_columns,
+                            aggs, plan.int_fast_path);
+        return part;
+      });
+
+  MergePartialsTree(&partials, plan.int_fast_path);
+  return FinalizeGroupPartials(std::move(partials), plan.out_schema,
+                               group_columns.size(), aggs, in.scale(),
+                               group_columns.empty() && kept == 0);
 }
 
 StatusOr<Table> ExtremeRow(const Table& in, int column, bool take_max) {
@@ -953,25 +1270,74 @@ Table SortBy(const Table& in, const std::vector<int>& columns) {
   std::vector<const Column*> keys;
   keys.reserve(columns.size());
   for (int c : columns) keys.push_back(&in.col(c));
-  std::vector<uint32_t> perm = ParallelStableSortPerm(
-      in.num_rows(), [&keys](uint32_t a, uint32_t b) {
-        for (const Column* k : keys) {
-          int cmp = k->CompareAt(a, *k, b);
-          if (cmp != 0) {
-            return cmp < 0;
-          }
-        }
-        return false;
+
+  // Typed comparator fast paths: hoist the per-row-pair type dispatch of
+  // CompareAt out of the sort for the common 1–2 numeric-key shapes. Each
+  // fast path reproduces CompareAt's ordering on the raw typed vectors
+  // (cmp < 0 ⇔ v[a] < v[b]; cmp == 0 ⇔ v[a] == v[b], including the NaN
+  // behavior for doubles), and stable sort has a unique result for a given
+  // ordering — so the permutation, and the output, are bit-identical.
+  const size_t n = in.num_rows();
+  std::vector<uint32_t> perm;
+  auto numeric = [](const Column* k) {
+    return k->type() == FieldType::kInt64 || k->type() == FieldType::kDouble;
+  };
+  if (keys.size() == 1 && keys[0]->type() == FieldType::kInt64) {
+    const int64_t* v = keys[0]->ints().data();
+    perm = ParallelStableSortPerm(
+        n, [v](uint32_t a, uint32_t b) { return v[a] < v[b]; });
+  } else if (keys.size() == 1 && keys[0]->type() == FieldType::kDouble) {
+    const double* v = keys[0]->doubles().data();
+    perm = ParallelStableSortPerm(
+        n, [v](uint32_t a, uint32_t b) { return v[a] < v[b]; });
+  } else if (keys.size() == 2 && numeric(keys[0]) && numeric(keys[1])) {
+    auto with_two = [&](auto v0, auto v1) {
+      return ParallelStableSortPerm(n, [v0, v1](uint32_t a, uint32_t b) {
+        return v0[a] == v0[b] ? v1[a] < v1[b] : v0[a] < v0[b];
       });
+    };
+    auto with_first = [&](auto v0) {
+      return keys[1]->type() == FieldType::kInt64
+                 ? with_two(v0, keys[1]->ints().data())
+                 : with_two(v0, keys[1]->doubles().data());
+    };
+    perm = keys[0]->type() == FieldType::kInt64
+               ? with_first(keys[0]->ints().data())
+               : with_first(keys[0]->doubles().data());
+  } else {
+    perm = ParallelStableSortPerm(n, [&keys](uint32_t a, uint32_t b) {
+      for (const Column* k : keys) {
+        int cmp = k->CompareAt(a, *k, b);
+        if (cmp != 0) {
+          return cmp < 0;
+        }
+      }
+      return false;
+    });
+  }
   return in.Gather(perm);
 }
 
 Table TopNBy(const Table& in, int column, size_t n) {
   const Column& key = in.col(column);
-  std::vector<uint32_t> perm = ParallelStableSortPerm(
-      in.num_rows(), [&key](uint32_t a, uint32_t b) {
-        return key.CompareAt(a, key, b) > 0;
-      });
+  // Typed descending comparators, replicating CompareAt(a, b) > 0 exactly:
+  // for int64 that is v[a] > v[b]; for double it is !(v[a] <= v[b]) (NaN
+  // compares "greater" in CompareAt, and !(NaN <= x) is true).
+  std::vector<uint32_t> perm;
+  if (key.type() == FieldType::kInt64) {
+    const int64_t* v = key.ints().data();
+    perm = ParallelStableSortPerm(
+        in.num_rows(), [v](uint32_t a, uint32_t b) { return v[a] > v[b]; });
+  } else if (key.type() == FieldType::kDouble) {
+    const double* v = key.doubles().data();
+    perm = ParallelStableSortPerm(
+        in.num_rows(), [v](uint32_t a, uint32_t b) { return !(v[a] <= v[b]); });
+  } else {
+    perm = ParallelStableSortPerm(
+        in.num_rows(), [&key](uint32_t a, uint32_t b) {
+          return key.CompareAt(a, key, b) > 0;
+        });
+  }
   if (perm.size() > n) {
     perm.resize(n);
   }

@@ -15,6 +15,7 @@
 #ifndef MUSKETEER_SRC_RELATIONAL_OPS_H_
 #define MUSKETEER_SRC_RELATIONAL_OPS_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -32,6 +33,13 @@ using RowProjector = std::function<Value(const Row&)>;
 // kernels evaluate expressions column-at-a-time through these instead of a
 // RowProjector per cell.
 using BatchEval = std::function<Column(const Table&, size_t begin, size_t end)>;
+
+// Batch predicate evaluator in selection-bitmap form: writes 1/0 into
+// mask[k] for row begin+k (see Expr::CompileMask). The vectorized kernels
+// consume byte masks instead of materialized 0/1 columns, and compact them
+// into index lists only once per morsel.
+using MaskEval =
+    std::function<void(const Table&, size_t begin, size_t end, uint8_t* mask)>;
 
 enum class AggFn { kSum, kCount, kMin, kMax, kAvg };
 
@@ -54,6 +62,50 @@ Table SelectRows(const Table& in, const RowPredicate& pred);
 // SELECT over a batch-compiled predicate column: a row is kept when its mask
 // cell is truthy (non-zero numeric; strings are false).
 Table SelectRowsBatch(const Table& in, const BatchEval& pred);
+
+// SELECT over byte-mask predicates: evaluates every filter morsel-by-morsel,
+// ANDs the masks, and gathers the surviving rows. With multiple filters this
+// is the fused form of a select chain — the intermediate tables are never
+// materialized. Bit-identical to applying SelectRowsBatch per filter in
+// order (predicates are pure and total, so evaluation on filtered-out rows
+// cannot change the kept set).
+Table SelectRowsMask(const Table& in, const std::vector<MaskEval>& filters);
+
+// One fused select→transform(→aggregate) stage (see DESIGN.md "Vectorized
+// columnar kernels"). `gather_cols` lists the input columns the transform
+// reads; each morsel's surviving rows are gathered into a narrow
+// morsel-resident scratch table with `scratch_schema`, and `exprs` (compiled
+// against scratch_schema) produce `out_schema`. Empty `exprs` means the
+// transform is the identity / a projection: the scratch block IS the output
+// block (out_schema == scratch_schema).
+struct FusedTransform {
+  std::vector<int> gather_cols;
+  Schema scratch_schema;
+  Schema out_schema;
+  std::vector<BatchEval> exprs;
+};
+
+// select* → map/project in one parallel pass: per input morsel, AND the
+// filter masks, compact to indices, gather the narrow scratch, evaluate the
+// transform, emit the block. Bit-identical to SelectRowsBatch-per-filter
+// followed by MapRowsBatch/ProjectColumns (same rows, same per-row values,
+// same order).
+Table FusedSelectTransform(const Table& in,
+                           const std::vector<MaskEval>& filters,
+                           const FusedTransform& t);
+
+// select* → map/project → group-by aggregate without materializing either
+// intermediate. Pass A computes the selection bitmap + per-chunk prefix sums
+// (the index exchange); pass B re-chunks the *filtered* row list at
+// kMorselRows and accumulates one GroupByAgg partial per filtered chunk —
+// exactly the chunk boundaries GroupByAgg would see on the materialized
+// intermediate, so the partial merge tree and every floating-point bit of
+// the output are unchanged.
+StatusOr<Table> FusedSelectTransformAgg(const Table& in,
+                                        const std::vector<MaskEval>& filters,
+                                        const FusedTransform& t,
+                                        const std::vector<int>& group_columns,
+                                        const std::vector<AggSpec>& aggs);
 
 // PROJECT: keep `columns` (by index) in order.
 StatusOr<Table> ProjectColumns(const Table& in, const std::vector<int>& columns);

@@ -6,8 +6,11 @@
 #include <cmath>
 #include <limits>
 
+#include "src/base/parallel.h"
+#include "src/ir/expr.h"
 #include "src/relational/ops.h"
 #include "src/relational/table.h"
+#include "tests/row_reference.h"
 
 namespace musketeer {
 namespace {
@@ -172,6 +175,206 @@ TEST(ColumnTest, AddRowTypeMismatchKeepsRowAlignment) {
   EXPECT_EQ(t.col(0).ints()[1], 2);
   EXPECT_DOUBLE_EQ(t.col(1).doubles()[1], 4.0);
   EXPECT_TRUE(t.Validate().ok());
+}
+
+// --- Vectorized kernels vs the row oracle -------------------------------
+
+// Deterministic mixed table large enough to span several kMorselRows
+// chunks, with a double column whose summation order is observable.
+Table MakeKernelInput(size_t rows, uint64_t seed) {
+  Schema schema({{"k", FieldType::kInt64},
+                 {"v", FieldType::kInt64},
+                 {"x", FieldType::kDouble}});
+  Table t(schema);
+  t.Reserve(rows);
+  uint64_t state = seed;
+  for (size_t i = 0; i < rows; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    t.AddRow({static_cast<int64_t>((state >> 33) % 997),
+              static_cast<int64_t>((state >> 17) % 1000),
+              static_cast<double>(static_cast<int64_t>(state % 100003)) / 7.0});
+  }
+  return t;
+}
+
+// SELECT via selection bitmaps (CompileMask + SelectRowsMask) keeps exactly
+// the rows the row oracle's compiled predicate keeps — bit-identical, with
+// multiple filters fused into one masked pass, at every thread width.
+TEST(VectorizedKernelTest, SelectRowsMaskMatchesRowOracle) {
+  const Table in = MakeKernelInput(20'000, 99);
+  ExprPtr k_lt = Expr::Binary(BinOp::kLt, Expr::Column("k"),
+                              Expr::Literal(static_cast<int64_t>(700)));
+  ExprPtr v_ge = Expr::Binary(BinOp::kGe, Expr::Column("v"),
+                              Expr::Literal(static_cast<int64_t>(250)));
+  MaskEval m1 = std::move(k_lt->CompileMask(in.schema())).value();
+  MaskEval m2 = std::move(v_ge->CompileMask(in.schema())).value();
+
+  ExprPtr both = Expr::Binary(BinOp::kAnd, k_lt, v_ge);
+  RowPredicate pred = std::move(both->CompilePredicate(in.schema())).value();
+  const Table expected = rowref::SelectRows(in, pred);
+
+  for (int threads : {1, 2, 8}) {
+    ScopedParallelThreads width(threads);
+    Table got = SelectRowsMask(in, {m1, m2});
+    EXPECT_TRUE(Table::Identical(expected, got))
+        << "mask selection diverged at " << threads << " thread(s)";
+    // The combined AND expression as a single mask agrees too.
+    MaskEval mboth = std::move(both->CompileMask(in.schema())).value();
+    Table got_one = SelectRowsMask(in, {mboth});
+    EXPECT_TRUE(Table::Identical(expected, got_one));
+  }
+}
+
+// CompileMask's fallback path (arithmetic result used as a truthy value)
+// agrees with CompilePredicate row by row.
+TEST(VectorizedKernelTest, CompileMaskTruthinessMatchesPredicate) {
+  const Table in = MakeKernelInput(9'000, 5);
+  // (k - 500) is truthy except where k == 500: an arithmetic, non-comparison
+  // root exercises the EvalNode fallback.
+  ExprPtr arith = Expr::Binary(BinOp::kSub, Expr::Column("k"),
+                               Expr::Literal(static_cast<int64_t>(500)));
+  MaskEval mask = std::move(arith->CompileMask(in.schema())).value();
+  RowPredicate pred = std::move(arith->CompilePredicate(in.schema())).value();
+
+  std::vector<uint8_t> bits(in.num_rows());
+  mask(in, 0, in.num_rows(), bits.data());
+  const std::vector<Row> rows = in.MaterializeRows();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_EQ(bits[i] != 0, pred(rows[i])) << "row " << i;
+  }
+}
+
+// Builds the fused transform stage used by the two pipeline tests:
+// gather {k, x, v}, emit {k, y = x*2 + v}.
+FusedTransform MakeFusedTransform() {
+  FusedTransform ft;
+  ft.gather_cols = {0, 2, 1};
+  ft.scratch_schema = Schema({{"k", FieldType::kInt64},
+                              {"x", FieldType::kDouble},
+                              {"v", FieldType::kInt64}});
+  ft.out_schema = Schema({{"k", FieldType::kInt64}, {"y", FieldType::kDouble}});
+  ExprPtr y = Expr::Binary(
+      BinOp::kAdd,
+      Expr::Binary(BinOp::kMul, Expr::Column("x"), Expr::Literal(2.0)),
+      Expr::Column("v"));
+  ft.exprs.push_back(
+      std::move(Expr::Column("k")->CompileBatch(ft.scratch_schema)).value());
+  ft.exprs.push_back(std::move(y->CompileBatch(ft.scratch_schema)).value());
+  return ft;
+}
+
+// Row-oracle version of the same select→map stage.
+Table RowOracleSelectMap(const Table& in) {
+  ExprPtr cond = Expr::Binary(BinOp::kLt, Expr::Column("k"),
+                              Expr::Literal(static_cast<int64_t>(700)));
+  RowPredicate pred = std::move(cond->CompilePredicate(in.schema())).value();
+  Table selected = rowref::SelectRows(in, pred);
+  ExprPtr y = Expr::Binary(
+      BinOp::kAdd,
+      Expr::Binary(BinOp::kMul, Expr::Column("x"), Expr::Literal(2.0)),
+      Expr::Column("v"));
+  std::vector<RowProjector> projectors;
+  projectors.push_back(
+      std::move(Expr::Column("k")->Compile(in.schema())).value());
+  projectors.push_back(std::move(y->Compile(in.schema())).value());
+  Schema out({{"k", FieldType::kInt64}, {"y", FieldType::kDouble}});
+  return rowref::MapRows(selected, out, projectors);
+}
+
+// Fused select→map produces the same rows, order, and double bits as the
+// row oracle running the two operators with materialization in between.
+TEST(VectorizedKernelTest, FusedSelectTransformMatchesRowOracle) {
+  const Table in = MakeKernelInput(30'000, 123);
+  ExprPtr cond = Expr::Binary(BinOp::kLt, Expr::Column("k"),
+                              Expr::Literal(static_cast<int64_t>(700)));
+  MaskEval mask = std::move(cond->CompileMask(in.schema())).value();
+  const FusedTransform ft = MakeFusedTransform();
+  const Table expected = RowOracleSelectMap(in);
+
+  for (int threads : {1, 2, 4, 8}) {
+    ScopedParallelThreads width(threads);
+    Table got = FusedSelectTransform(in, {mask}, ft);
+    EXPECT_TRUE(Table::Identical(expected, got))
+        << "fused select→map diverged at " << threads << " thread(s)";
+  }
+}
+
+// Fused select→map→group-by: the index exchange re-chunks the *filtered*
+// row list at kMorselRows, so the aggregation partials — and therefore every
+// floating-point bit of the sums — match the row oracle aggregating the
+// materialized intermediate, at every thread width.
+TEST(VectorizedKernelTest, FusedSelectTransformAggMatchesRowOracle) {
+  const Table in = MakeKernelInput(30'000, 321);
+  ExprPtr cond = Expr::Binary(BinOp::kLt, Expr::Column("k"),
+                              Expr::Literal(static_cast<int64_t>(700)));
+  MaskEval mask = std::move(cond->CompileMask(in.schema())).value();
+  const FusedTransform ft = MakeFusedTransform();
+  const std::vector<int> group = {0};
+  const std::vector<AggSpec> aggs{{AggFn::kSum, 1, "sy"},
+                                  {AggFn::kAvg, 1, "ay"},
+                                  {AggFn::kCount, 0, "c"}};
+
+  Table mapped = RowOracleSelectMap(in);
+  auto expected = rowref::GroupByAgg(mapped, group, aggs);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  for (int threads : {1, 2, 4, 8}) {
+    ScopedParallelThreads width(threads);
+    auto got = FusedSelectTransformAgg(in, {mask}, ft, group, aggs);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_TRUE(Table::Identical(*expected, *got))
+        << "fused select→map→agg diverged at " << threads << " thread(s)";
+  }
+}
+
+// The flat-hash double-key join canonicalizes -0.0 to +0.0 and routes NaN
+// around the table, reproducing Value-equality semantics (0.0 == -0.0 joins;
+// NaN never matches anything, itself included).
+TEST(VectorizedKernelTest, DoubleKeyJoinSignedZeroAndNaNMatchRowOracle) {
+  Schema s({{"key", FieldType::kDouble}, {"tag", FieldType::kInt64}});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Table left(s);
+  left.AddRow({0.0, static_cast<int64_t>(1)});
+  left.AddRow({-0.0, static_cast<int64_t>(2)});
+  left.AddRow({nan, static_cast<int64_t>(3)});
+  left.AddRow({1.5, static_cast<int64_t>(4)});
+  Table right(s);
+  right.AddRow({-0.0, static_cast<int64_t>(10)});
+  right.AddRow({nan, static_cast<int64_t>(11)});
+  right.AddRow({1.5, static_cast<int64_t>(12)});
+
+  auto expected = rowref::HashJoin(left, right, 0, 0);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  auto got = HashJoin(left, right, 0, 0);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_TRUE(Table::Identical(*expected, *got));
+  // Both zeros join the -0.0 build row; the NaN rows join nothing.
+  EXPECT_EQ(got->num_rows(), 3u);
+}
+
+// The FlatMap64 group-by fast path handles negative int64 keys (cast to
+// uint64 bit pattern) identically to the row oracle.
+TEST(VectorizedKernelTest, IntKeyGroupByNegativeKeysMatchRowOracle) {
+  Schema s({{"k", FieldType::kInt64}, {"x", FieldType::kDouble}});
+  Table t(s);
+  uint64_t state = 77;
+  for (int i = 0; i < 10'000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    t.AddRow({static_cast<int64_t>((state >> 40) % 64) - 32,
+              static_cast<double>(static_cast<int64_t>(state % 1000)) / 3.0});
+  }
+  const std::vector<int> group = {0};
+  const std::vector<AggSpec> aggs{{AggFn::kSum, 1, "sx"},
+                                  {AggFn::kMin, 1, "mn"},
+                                  {AggFn::kCount, 0, "c"}};
+  auto expected = rowref::GroupByAgg(t, group, aggs);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  for (int threads : {1, 4}) {
+    ScopedParallelThreads width(threads);
+    auto got = GroupByAgg(t, group, aggs);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_TRUE(Table::Identical(*expected, *got));
+  }
 }
 
 // --- Value sentinels ----------------------------------------------------

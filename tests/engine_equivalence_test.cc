@@ -79,7 +79,7 @@ TEST_P(EngineEquivalenceTest, ParallelMatchesSequentialBitIdentical) {
   ASSERT_TRUE(sequential.ok()) << sequential.status();
   ASSERT_EQ(sequential->outputs.count(setup.result_relation), 1u);
 
-  for (int threads : {2, 4}) {
+  for (int threads : {2, 4, 8}) {
     auto parallel = run_at(threads);
     ASSERT_TRUE(parallel.ok()) << parallel.status();
     ASSERT_EQ(parallel->outputs.count(setup.result_relation), 1u);
@@ -117,6 +117,31 @@ TEST_P(ColumnarRowEquivalenceTest, ColumnarIdenticalToRowReference) {
       << WfName(GetParam()) << "\ncolumnar:\n"
       << columnar->DebugString() << "row reference:\n"
       << row_based->DebugString();
+}
+
+// The fused interpreter (EvaluateDagRelation runs select→map→aggregate
+// chains through the one-pass kernels) is bit-identical to itself at every
+// thread width AND to the row oracle: morsel boundaries are computed on
+// filtered-row counts, so the partial merge tree never changes shape.
+TEST_P(ColumnarRowEquivalenceTest, FusedInterpreterBitIdenticalAcrossThreads) {
+  WfSetup setup = MakeSetup(GetParam());
+
+  auto dag = ParseWorkflow(setup.workflow.language, setup.workflow.source);
+  ASSERT_TRUE(dag.ok()) << dag.status();
+
+  auto row_based =
+      rowref::EvaluateDagRelation(**dag, setup.inputs, setup.result_relation);
+  ASSERT_TRUE(row_based.ok()) << row_based.status();
+
+  for (int threads : {1, 2, 4, 8}) {
+    ScopedParallelThreads width(threads);
+    auto columnar =
+        EvaluateDagRelation(**dag, setup.inputs, setup.result_relation);
+    ASSERT_TRUE(columnar.ok()) << columnar.status();
+    EXPECT_TRUE(Table::Identical(*columnar, *row_based))
+        << "fused interpreter diverged from the row reference on "
+        << WfName(GetParam()) << " at " << threads << " thread(s)";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -20,6 +20,7 @@
 #include "src/base/json.h"
 #include "src/core/musketeer.h"
 #include "src/net/client.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/workloads/datasets.h"
 #include "src/workloads/workflows.h"
@@ -501,6 +502,48 @@ TEST(NetServerTest, LineProtocolSubmitStatusResult) {
 
   ASSERT_TRUE(client.Send("QUIT\n"));
   EXPECT_EQ(client.ReadLine(), "OK bye");
+
+  server.Shutdown();
+  service.Shutdown();
+}
+
+// Idle keep-alive connections are reaped after keepalive_timeout while
+// active connections — whose traffic resets the idle clock — survive many
+// multiples of it.
+TEST(NetServerTest, KeepAliveIdleTimeoutClosesQuietConnections) {
+  Dfs dfs;
+  SeedDfs(&dfs);
+  WorkflowService service(&dfs, ServiceConfig{.num_workers = 1});
+  ServerConfig config;
+  config.keepalive_timeout = std::chrono::milliseconds(400);
+  HttpServer server(&service, config);
+  ASSERT_TRUE(server.Start().ok());
+  Counter& idle_closed = MetricsRegistry::Global().counter(
+      "musketeer.net.connections.idle_closed");
+  const uint64_t idle_closed_before = idle_closed.Value();
+
+  LineClient idle;
+  ASSERT_TRUE(idle.Connect(server.port()));
+  ASSERT_TRUE(idle.Send("PING\n"));
+  EXPECT_EQ(idle.ReadLine(), "OK pong");
+
+  // The busy connection keeps pinging well inside the timeout for longer
+  // than the timeout itself; the idle one goes quiet after its first ping.
+  LineClient busy;
+  ASSERT_TRUE(busy.Connect(server.port()));
+  for (int i = 0; i < 8; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    ASSERT_TRUE(busy.Send("PING\n"));
+    EXPECT_EQ(busy.ReadLine(), "OK pong");
+  }
+
+  // The quiet connection was closed by the sweep: its next read sees EOF
+  // (ReadLine returns empty on a closed socket).
+  EXPECT_EQ(idle.ReadLine(), "");
+  EXPECT_GE(idle_closed.Value(), idle_closed_before + 1);
+  // The busy connection is still serving.
+  ASSERT_TRUE(busy.Send("PING\n"));
+  EXPECT_EQ(busy.ReadLine(), "OK pong");
 
   server.Shutdown();
   service.Shutdown();

@@ -12,35 +12,38 @@
 # bench_service_throughput), and lastly the network front door gate (net
 # tests under TSan plus a scripted curl session against a live --listen
 # server covering submit/status/cancel/metrics, a 429 over-quota burst and
-# SIGTERM drain). Run from anywhere; builds land in <repo>/build,
-# <repo>/build-tsan, <repo>/build-asan and <repo>/build-relassert.
+# SIGTERM drain), and finally the vectorized-kernel gate (Release-build
+# thread-scaling floors in bench_columnar_ops plus the kernel and
+# engine-equivalence tests under TSan at 8 threads). Run from anywhere;
+# builds land in <repo>/build, <repo>/build-tsan, <repo>/build-asan and
+# <repo>/build-relassert.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc)"
 
-echo "== [1/7] normal build + tests =="
+echo "== [1/8] normal build + tests =="
 cmake -S "$repo" -B "$repo/build" >/dev/null
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
-echo "== [2/7] ThreadSanitizer build + tests =="
+echo "== [2/8] ThreadSanitizer build + tests =="
 cmake -S "$repo" -B "$repo/build-tsan" -DMUSKETEER_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs"
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs"
 
-echo "== [3/7] AddressSanitizer+UBSan build + tests =="
+echo "== [3/8] AddressSanitizer+UBSan build + tests =="
 cmake -S "$repo" -B "$repo/build-asan" -DMUSKETEER_SANITIZE=address >/dev/null
 cmake --build "$repo/build-asan" -j "$jobs"
 ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
 
-echo "== [4/7] Release-with-assertions build + tests =="
+echo "== [4/8] Release-with-assertions build + tests =="
 cmake -S "$repo" -B "$repo/build-relassert" -DCMAKE_BUILD_TYPE=Release \
       -DMUSKETEER_KEEP_ASSERTS=ON >/dev/null
 cmake --build "$repo/build-relassert" -j "$jobs"
 ctest --test-dir "$repo/build-relassert" --output-on-failure -j "$jobs"
 
-echo "== [5/7] observability: overhead budget + trace validity =="
+echo "== [5/8] observability: overhead budget + trace validity =="
 # Overhead gate: instrumented-vs-uninstrumented kernel throughput, exits
 # non-zero above the 5% budget; writes BENCH_obs_overhead.json.
 (cd "$repo/build" && ./bench/bench_obs_overhead)
@@ -80,7 +83,7 @@ else
   echo "trace written (python3 unavailable, JSON not validated)"
 fi
 
-echo "== [6/7] fault tolerance: TSan fault tests + seeded sweep + overhead gate =="
+echo "== [6/8] fault tolerance: TSan fault tests + seeded sweep + overhead gate =="
 # The concurrency and cancellation fault tests under ThreadSanitizer: workers
 # recovering injected faults and racing cancellations against one shared DFS.
 "$repo/build-tsan/tests/fault_test" --gtest_filter='*Concurrent*:*Cancel*'
@@ -98,7 +101,7 @@ test -s "$obs_tmp/fault_out.csv"
 # service throughput.
 (cd "$repo/build" && ./bench/bench_service_throughput)
 
-echo "== [7/7] network front door: scripted client session + TSan net tests =="
+echo "== [7/8] network front door: scripted client session + TSan net tests =="
 # Server tests (HTTP parser, live-socket e2e, line protocol, tenant quotas)
 # under ThreadSanitizer: the poll loop, worker pool and client threads all
 # share the ticket registry.
@@ -154,5 +157,23 @@ grep -q "musketeer.service.tenant.alice.rejected" "$obs_tmp/metrics.txt"
 kill -TERM "$server_pid"
 wait "$server_pid" || true
 grep -q "shutting down" "$obs_tmp/server_out.txt"
+
+echo "== [8/8] vectorized kernels: Release scaling gate + TSan sweep =="
+# Scaling gate: bench_columnar_ops sweeps threads {1,2,4,8} over every op and
+# exits non-zero when a floor is missed. Floors are hardware-aware: with >= 8
+# real cores, hash_join and group_by_agg must reach >= 4x at 8 threads and
+# sort >= 2.5x; on smaller hosts (where timeslicing cannot speed anything up)
+# the floor degrades to no-regression vs 1 thread. The 1.5x columnar-vs-row
+# single-thread floor always applies. Run from the Release tree: scaling
+# ratios in a -O0/-g build are not the numbers we ship.
+(cd "$repo/build-relassert" && ./bench/bench_columnar_ops)
+
+# The new parallel kernels (mask selection, flat-hash join/group-by, fused
+# select->map->aggregate, index exchange) under ThreadSanitizer at full
+# width: every workflow must stay Table::Identical across 1/2/4/8 threads
+# while TSan watches the morsel tasks share partial buffers.
+MUSKETEER_THREADS=8 "$repo/build-tsan/tests/column_test"
+MUSKETEER_THREADS=8 "$repo/build-tsan/tests/engine_equivalence_test" \
+    --gtest_filter='*Parallel*:*RowReference*:*Fused*'
 
 echo "== all checks passed =="

@@ -134,6 +134,8 @@ void PrintUsage() {
       "                                 with --serve=N for the worker count,\n"
       "                                 Ctrl-C drains and exits)\n"
       "  --quota=TENANT=W[:QUEUED[:INFLIGHT]]  (fair-share weight and caps)\n"
+      "  --keepalive-timeout-ms=N      (close idle keep-alive connections\n"
+      "                                 after N ms; 0 = never, the default)\n"
       "  --dispatch-latency-ms=N       (simulated per-job engine dispatch\n"
       "                                 wait in service/listen mode)\n"
       "  --deadline-ms=N               (workflow budget incl. queue wait)\n"
@@ -224,6 +226,7 @@ int RunListen(Dfs* dfs, const std::vector<std::string>& paths,
               const RunOptions& base_options, int workers, uint16_t port,
               size_t queue_capacity, bool plan_cache,
               std::chrono::milliseconds dispatch_latency,
+              std::chrono::milliseconds keepalive_timeout,
               const std::vector<std::pair<std::string, TenantQuota>>& quotas,
               HistoryStore* history, RuntimeHistory* runtime_history) {
   ServiceConfig config;
@@ -248,6 +251,7 @@ int RunListen(Dfs* dfs, const std::vector<std::string>& paths,
 
   ServerConfig server_config;
   server_config.port = port;
+  server_config.keepalive_timeout = keepalive_timeout;
   HttpServer server(&service, server_config);
   Status started = server.Start();
   if (!started.ok()) {
@@ -361,6 +365,7 @@ int main(int argc, char** argv) {
   int serve_workers = 0;  // 0 = one-shot mode
   int listen_port = -1;   // >= 0 = network server mode (0 picks a free port)
   int64_t dispatch_latency_ms = 0;
+  int64_t keepalive_timeout_ms = 0;  // 0 = idle connections never reaped
   std::vector<std::pair<std::string, TenantQuota>> tenant_quotas;
   int repeat = 1;
   int64_t queue_capacity = 64;
@@ -409,6 +414,14 @@ int main(int argc, char** argv) {
         return Fail("--quota needs TENANT=WEIGHT[:MAX_QUEUED[:MAX_INFLIGHT]]");
       }
       tenant_quotas.push_back(std::move(*quota));
+      continue;
+    }
+    if (StartsWith(arg, "--keepalive-timeout-ms=")) {
+      auto n = ParseInt64(arg.substr(23));
+      if (!n.has_value() || *n < 0) {
+        return Fail("--keepalive-timeout-ms needs a timeout >= 0 (0 = off)");
+      }
+      keepalive_timeout_ms = *n;
       continue;
     }
     if (StartsWith(arg, "--dispatch-latency-ms=")) {
@@ -661,6 +674,7 @@ int main(int argc, char** argv) {
                               static_cast<uint16_t>(listen_port),
                               static_cast<size_t>(queue_capacity), plan_cache,
                               std::chrono::milliseconds(dispatch_latency_ms),
+                              std::chrono::milliseconds(keepalive_timeout_ms),
                               tenant_quotas, &history, &runtime_history));
   }
   if (serve_workers > 0) {
