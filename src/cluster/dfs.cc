@@ -10,17 +10,71 @@ namespace {
 thread_local ScopedDfsRunCounters* t_run_counters = nullptr;
 }  // namespace
 
+// ---- DfsPartition ----------------------------------------------------------
+
+void DfsPartition::Put(const std::string& name, TablePtr table) {
+  std::unique_lock lock(mu_);
+  relations_[name] = std::move(table);
+}
+
+StatusOr<TablePtr> DfsPartition::Get(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return NotFoundError("DFS relation '" + name + "' does not exist");
+  }
+  return it->second;
+}
+
+bool DfsPartition::Contains(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  return relations_.count(name) > 0;
+}
+
+void DfsPartition::Erase(const std::string& name) {
+  std::unique_lock lock(mu_);
+  relations_.erase(name);
+}
+
+std::vector<std::string> DfsPartition::ListRelations() const {
+  std::vector<std::string> names;
+  {
+    std::shared_lock lock(mu_);
+    names.reserve(relations_.size());
+    for (const auto& [name, table] : relations_) {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t DfsPartition::size() const {
+  std::shared_lock lock(mu_);
+  return relations_.size();
+}
+
+// ---- Dfs -------------------------------------------------------------------
+
 void Dfs::RecordRead(Bytes bytes) {
-  AtomicAdd(&bytes_read_, bytes);
+  TallyRead(bytes);
   if (t_run_counters != nullptr) {
     t_run_counters->read_ += bytes;
   }
 }
 
 void Dfs::RecordWrite(Bytes bytes) {
-  AtomicAdd(&bytes_written_, bytes);
+  TallyWrite(bytes);
   if (t_run_counters != nullptr) {
     t_run_counters->written_ += bytes;
+  }
+}
+
+void Dfs::RecordRemoteRead(Bytes bytes) {
+  TallyRemoteRead(bytes);
+  if (t_run_counters != nullptr) {
+    t_run_counters->read_ += bytes;
+    t_run_counters->remote_read_ += bytes;
   }
 }
 
@@ -33,44 +87,26 @@ ScopedDfsRunCounters::~ScopedDfsRunCounters() {
   if (prev_ != nullptr) {
     prev_->read_ += read_;
     prev_->written_ += written_;
+    prev_->remote_read_ += remote_read_;
   }
 }
 
 void Dfs::Put(const std::string& name, TablePtr table) {
-  std::unique_lock lock(mu_);
-  relations_[name] = std::move(table);
+  local_.Put(name, std::move(table));
 }
 
 StatusOr<TablePtr> Dfs::Get(const std::string& name) const {
-  std::shared_lock lock(mu_);
-  auto it = relations_.find(name);
-  if (it == relations_.end()) {
-    return NotFoundError("DFS relation '" + name + "' does not exist");
-  }
-  return it->second;
+  return local_.Get(name);
 }
 
 bool Dfs::Contains(const std::string& name) const {
-  std::shared_lock lock(mu_);
-  return relations_.count(name) > 0;
+  return local_.Contains(name);
 }
 
-void Dfs::Erase(const std::string& name) {
-  std::unique_lock lock(mu_);
-  relations_.erase(name);
-}
+void Dfs::Erase(const std::string& name) { local_.Erase(name); }
 
 std::vector<std::string> Dfs::ListRelations() const {
-  std::vector<std::string> names;
-  {
-    std::shared_lock lock(mu_);
-    names.reserve(relations_.size());
-    for (const auto& [name, table] : relations_) {
-      names.push_back(name);
-    }
-  }
-  std::sort(names.begin(), names.end());
-  return names;
+  return local_.ListRelations();
 }
 
 }  // namespace musketeer

@@ -6,6 +6,16 @@
 // boundary crossing therefore pays I/O — which is exactly what makes
 // combining back-ends a measurable trade-off (Fig. 9).
 //
+// Sharded layout (PR 8): the raw relation store is factored into
+// DfsPartition — the unit a single service shard owns. The seed-behavior
+// Dfs owns exactly one partition; ShardedDfs (sharded_dfs.h) composes M
+// partitions behind a ShardMap relation-location directory and hands out
+// per-shard views whose Get() pays a measured fetch-over-network charge for
+// relations another shard owns. The namespace operations are virtual so
+// those views slot in anywhere a Dfs* is accepted (engines, the service,
+// the network layer), while plain `Dfs dfs;` keeps the one-partition seed
+// semantics.
+//
 // Thread-safety contract: a single Dfs is shared by every concurrently
 // executing workflow (src/service/), so the namespace is guarded by a
 // shared_mutex (concurrent readers, exclusive writers) and the byte
@@ -20,6 +30,7 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/base/status.h"
@@ -28,40 +39,97 @@
 
 namespace musketeer {
 
+// The raw relation store one shard owns: a name → table map under a
+// shared_mutex. No byte accounting here — partitions are storage, the Dfs
+// layers above them are the accounting boundary.
+class DfsPartition {
+ public:
+  DfsPartition() = default;
+  DfsPartition(const DfsPartition&) = delete;
+  DfsPartition& operator=(const DfsPartition&) = delete;
+
+  void Put(const std::string& name, TablePtr table);
+  StatusOr<TablePtr> Get(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  void Erase(const std::string& name);
+  std::vector<std::string> ListRelations() const;  // sorted
+  size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, TablePtr> relations_;  // guarded by mu_
+};
+
 class Dfs {
  public:
   Dfs() = default;
+  virtual ~Dfs() = default;
   Dfs(const Dfs&) = delete;
   Dfs& operator=(const Dfs&) = delete;
 
   // Stores (or replaces) a relation.
-  void Put(const std::string& name, TablePtr table);
+  virtual void Put(const std::string& name, TablePtr table);
 
   // Fetches a relation; NotFound if absent.
-  StatusOr<TablePtr> Get(const std::string& name) const;
+  virtual StatusOr<TablePtr> Get(const std::string& name) const;
 
-  bool Contains(const std::string& name) const;
-  void Erase(const std::string& name);
+  virtual bool Contains(const std::string& name) const;
+  virtual void Erase(const std::string& name);
 
-  std::vector<std::string> ListRelations() const;
+  virtual std::vector<std::string> ListRelations() const;
+
+  // Local-partition namespace: ONLY what this node physically holds, never
+  // resolved through a directory or fetched from peers. The network relation
+  // endpoints (GET/PUT /relation) serve from these — a peer asking "what do
+  // you hold" must not trigger recursive cross-shard resolution (two event
+  // loops asking each other is a distributed deadlock). The base Dfs is its
+  // own single partition, so the defaults are just the plain operations.
+  virtual StatusOr<TablePtr> GetLocal(const std::string& name) const {
+    return Dfs::Get(name);
+  }
+  virtual void PutLocal(const std::string& name, TablePtr table) {
+    Dfs::Put(name, std::move(table));
+  }
+  virtual std::vector<std::string> ListLocalRelations() const {
+    return Dfs::ListRelations();
+  }
+
+  // True when `name` is stored on the partition this Dfs fronts — i.e. a
+  // read costs local DFS bandwidth, not a cross-shard fetch. The
+  // single-partition base stores everything locally; sharded views answer
+  // from the relation-location directory. Engines split their pull
+  // accounting on this (RecordRead vs RecordRemoteRead).
+  virtual bool IsLocal(const std::string& name) const {
+    (void)name;
+    return true;
+  }
 
   // Aggregate statistics maintained by the engines (bytes moved through the
   // DFS over a workflow's lifetime). Relaxed ordering: the counters are
   // monotonic tallies, never used to synchronize other memory. Each call
   // also charges the calling thread's active ScopedDfsRunCounters (if any),
   // which is how per-run byte accounting stays exact under concurrency.
-  void RecordRead(Bytes bytes);
-  void RecordWrite(Bytes bytes);
+  // Virtual so per-shard views can forward into their owning ShardedDfs and
+  // keep its aggregate counters whole. RecordRemoteRead charges BOTH the
+  // read tally and the remote subset: bytes_remote_read() <= bytes_read()
+  // always, and totals are unchanged whether a read was local or fetched.
+  virtual void RecordRead(Bytes bytes);
+  virtual void RecordWrite(Bytes bytes);
+  virtual void RecordRemoteRead(Bytes bytes);
   Bytes bytes_read() const { return bytes_read_.load(std::memory_order_relaxed); }
   Bytes bytes_written() const {
     return bytes_written_.load(std::memory_order_relaxed);
   }
+  Bytes bytes_remote_read() const {
+    return bytes_remote_read_.load(std::memory_order_relaxed);
+  }
   void ResetStats() {
     bytes_read_.store(0, std::memory_order_relaxed);
     bytes_written_.store(0, std::memory_order_relaxed);
+    bytes_remote_read_.store(0, std::memory_order_relaxed);
   }
 
- private:
+ protected:
   // Bytes is a double; fetch_add on atomic<double> is C++20 but not lock-free
   // everywhere, so spell it as a CAS loop that any toolchain compiles.
   static void AtomicAdd(std::atomic<Bytes>* counter, Bytes delta) {
@@ -71,19 +139,33 @@ class Dfs {
     }
   }
 
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, TablePtr> relations_;  // guarded by mu_
+  // Counter-only tallies (no thread-scoped run-counter charge). Sharded
+  // views forward these into their parent so the aggregate stays whole
+  // without double-charging the per-run scope.
+  void TallyRead(Bytes bytes) { AtomicAdd(&bytes_read_, bytes); }
+  void TallyWrite(Bytes bytes) { AtomicAdd(&bytes_written_, bytes); }
+  void TallyRemoteRead(Bytes bytes) {
+    AtomicAdd(&bytes_read_, bytes);
+    AtomicAdd(&bytes_remote_read_, bytes);
+  }
+
+ private:
+  DfsPartition local_;
   std::atomic<Bytes> bytes_read_{0};
   std::atomic<Bytes> bytes_written_{0};
+  std::atomic<Bytes> bytes_remote_read_{0};
 };
 
 // Attributes DFS traffic to one logical run. While an instance is alive,
-// every RecordRead/RecordWrite made *on this thread* is also tallied here,
-// so a run's byte deltas exclude traffic from concurrently executing
-// workflows on other threads (which the old before/after snapshot of the
-// shared counters could not). Scopes nest: an inner scope's totals propagate
-// into the enclosing scope when it closes, so an outer "whole submission"
-// scope still sees bytes charged inside a per-job scope.
+// every RecordRead/RecordWrite/RecordRemoteRead made *on this thread* is
+// also tallied here, so a run's byte deltas exclude traffic from
+// concurrently executing workflows on other threads (which the old
+// before/after snapshot of the shared counters could not). Scopes nest: an
+// inner scope's totals propagate into the enclosing scope when it closes,
+// so an outer "whole submission" scope still sees bytes charged inside a
+// per-job scope. Remote-fetch bytes are a subset of bytes_read(): the
+// locality cost model calibrates its cross-shard term from exactly this
+// split.
 class ScopedDfsRunCounters {
  public:
   ScopedDfsRunCounters();
@@ -93,11 +175,13 @@ class ScopedDfsRunCounters {
 
   Bytes bytes_read() const { return read_; }
   Bytes bytes_written() const { return written_; }
+  Bytes bytes_remote_read() const { return remote_read_; }
 
  private:
   friend class Dfs;
   Bytes read_ = 0;
   Bytes written_ = 0;
+  Bytes remote_read_ = 0;
   ScopedDfsRunCounters* prev_;  // enclosing scope on this thread, if any
 };
 

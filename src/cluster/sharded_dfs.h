@@ -1,0 +1,153 @@
+// M DFS partitions behind one namespace (PR 8).
+//
+// ShardedDfs composes M DfsPartitions with a ShardMap location directory.
+// Used two ways:
+//
+//   - As a *global* Dfs (the planner's view): Put routes each relation to
+//     its owning partition, Get resolves the owner through the directory.
+//     Everything is "local" from this vantage point — the planner never
+//     pays fetch charges, placement does.
+//   - Through per-shard *views* (View(k)): a Dfs whose IsLocal(name) answers
+//     from the directory, and whose Get deep-copies tables another shard
+//     owns — timing the copy, which is how the locality cost model gets a
+//     *measured* cross-shard byte rate instead of an assumed constant.
+//     Put through a view stores into the view's own partition and pins the
+//     relation there (placement-near-data: outputs live where they were
+//     produced), erasing any stale copy at the previous owner.
+//
+// Fault story: partitions outlive their shard's compute (the HDFS
+// replication stand-in). RemoveShard/DrainShard only remove a shard from
+// *placement*; its data stays readable, and Get falls back to scanning all
+// partitions (re-pinning on a hit) when the directory's answer misses —
+// which is what keeps results bit-identical across shard failovers.
+
+#ifndef MUSKETEER_SRC_CLUSTER_SHARDED_DFS_H_
+#define MUSKETEER_SRC_CLUSTER_SHARDED_DFS_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cluster/dfs.h"
+#include "src/cluster/shard_map.h"
+
+namespace musketeer {
+
+class ShardedDfs;
+
+// The Dfs a shard's service and engines see: local partition at native
+// speed, everything else a measured fetch. Obtained from ShardedDfs::View;
+// lifetime is owned by the parent.
+class ShardViewDfs final : public Dfs {
+ public:
+  void Put(const std::string& name, TablePtr table) override;
+  StatusOr<TablePtr> Get(const std::string& name) const override;
+  bool Contains(const std::string& name) const override;
+  void Erase(const std::string& name) override;
+  // Global namespace: planning against a view must see every relation.
+  std::vector<std::string> ListRelations() const override;
+  bool IsLocal(const std::string& name) const override;
+
+  // Local-partition namespace: this shard's partition only (the relation
+  // endpoints' serving surface — no directory resolution, no fetch).
+  StatusOr<TablePtr> GetLocal(const std::string& name) const override;
+  void PutLocal(const std::string& name, TablePtr table) override;
+  std::vector<std::string> ListLocalRelations() const override;
+
+  // Byte tallies forward to the parent so ShardedDfs aggregates stay whole
+  // (the thread-scoped run counters fire in the base implementations).
+  void RecordRead(Bytes bytes) override;
+  void RecordWrite(Bytes bytes) override;
+  void RecordRemoteRead(Bytes bytes) override;
+
+  int shard() const { return shard_; }
+
+ private:
+  friend class ShardedDfs;
+  ShardViewDfs(ShardedDfs* parent, int shard)
+      : parent_(parent), shard_(shard) {}
+
+  ShardedDfs* const parent_;
+  const int shard_;
+};
+
+class ShardedDfs final : public Dfs {
+ public:
+  explicit ShardedDfs(
+      int num_shards,
+      ShardingStrategy strategy = ShardingStrategy::kConsistentHash);
+  ~ShardedDfs() override = default;
+
+  // Global namespace operations (the planner / coordinator vantage point).
+  void Put(const std::string& name, TablePtr table) override;
+  StatusOr<TablePtr> Get(const std::string& name) const override;
+  bool Contains(const std::string& name) const override;
+  void Erase(const std::string& name) override;
+  std::vector<std::string> ListRelations() const override;
+
+  // The global vantage point holds everything "locally".
+  StatusOr<TablePtr> GetLocal(const std::string& name) const override {
+    return Get(name);
+  }
+  void PutLocal(const std::string& name, TablePtr table) override {
+    Put(name, std::move(table));
+  }
+  std::vector<std::string> ListLocalRelations() const override {
+    return ListRelations();
+  }
+
+  // Per-shard view; k in [0, num_shards).
+  Dfs* View(int shard);
+
+  ShardMap& shard_map() { return map_; }
+  const ShardMap& shard_map() const { return map_; }
+  int num_shards() const { return static_cast<int>(partitions_.size()); }
+  DfsPartition& partition(int shard) { return *partitions_[shard]; }
+
+  // Fetch-over-network accounting: every remote Get through a view counts
+  // here (nominal bytes; copy time measured on the physical sample).
+  uint64_t remote_fetches() const {
+    return remote_fetches_.load(std::memory_order_relaxed);
+  }
+  Bytes remote_bytes_fetched() const {
+    return remote_bytes_.load(std::memory_order_relaxed);
+  }
+  // Measured cross-shard transfer rate (MB/s) from the timed copies;
+  // `fallback_remote_mbps` until the first fetch. This is the rate the
+  // locality cost term charges (ShardLocality in cost_model.h).
+  double measured_remote_mbps() const;
+  void set_fallback_remote_mbps(double mbps) { fallback_remote_mbps_ = mbps; }
+
+ private:
+  friend class ShardViewDfs;
+
+  // Aggregate-tally relays for the views (TallyRead et al. are protected in
+  // Dfs and not reachable through a ShardedDfs* from another class).
+  void AggregateRead(Bytes bytes) { TallyRead(bytes); }
+  void AggregateWrite(Bytes bytes) { TallyWrite(bytes); }
+  void AggregateRemoteRead(Bytes bytes) { TallyRemoteRead(bytes); }
+
+  // Resolve `name` for a reader on `shard` (-1 = the global view): local
+  // pointer when the owner matches, otherwise a timed deep copy. Falls back
+  // to scanning every partition (and re-pinning) when the directory's
+  // answer has no data — the post-failover recovery path.
+  StatusOr<TablePtr> FetchForShard(const std::string& name, int shard) const;
+
+  // mutable: FetchForShard (const — it serves reads) repairs the directory
+  // after a miss; ShardMap is internally synchronized.
+  mutable ShardMap map_;
+  std::vector<std::unique_ptr<DfsPartition>> partitions_;
+  std::vector<std::unique_ptr<ShardViewDfs>> views_;
+
+  mutable std::atomic<uint64_t> remote_fetches_{0};
+  mutable std::atomic<Bytes> remote_bytes_{0};        // nominal
+  mutable std::atomic<Bytes> copied_sample_bytes_{0}; // physical
+  mutable std::atomic<double> copy_seconds_{0};
+  double fallback_remote_mbps_ = 100.0;
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_CLUSTER_SHARDED_DFS_H_

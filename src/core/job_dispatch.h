@@ -1,0 +1,77 @@
+// Per-job retry / cross-engine-failover dispatch (PR 5, extracted PR 8).
+//
+// One job's journey from planned to done: up to retry.max_attempts tries on
+// its planned engine (with deterministic backoff), then — if failover is
+// enabled — a re-plan onto the next-cheapest engine the cost model says can
+// run the job's sub-DAG, repeating until an attempt succeeds or no untried
+// engine remains. Attempt numbers are global across engines so the fault
+// injector's (workflow, job@engine, attempt) key never repeats within a run.
+//
+// Extracted from Musketeer::Execute so the ShardCoordinator reuses the exact
+// same recovery semantics: it supplies a `run_attempt` that routes the
+// attempt to a placed shard's service instead of executing inline, and shard
+// failover composes naturally — a dead shard surfaces as a retryable failure,
+// and the next attempt's run_attempt re-places among the shards still alive.
+
+#ifndef MUSKETEER_SRC_CORE_JOB_DISPATCH_H_
+#define MUSKETEER_SRC_CORE_JOB_DISPATCH_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "src/core/musketeer.h"
+
+namespace musketeer {
+
+// Runs one attempt of `job` (re-planned across failovers; the dispatcher
+// sets ctx.attempt before each call). Retryable error codes (IsRetryable)
+// re-enter the loop; anything else is terminal.
+using JobAttemptFn =
+    std::function<StatusOr<JobResult>(const JobPlan& job,
+                                      const ExecutionContext& ctx)>;
+
+struct JobDispatchEnv {
+  const WorkflowSpec* workflow = nullptr;
+  // Plan the job came from: dag/base_schemas drive failover re-planning,
+  // partitioning.jobs[job_index].ops is the job's operator set.
+  const WorkflowPlan* plan = nullptr;
+  size_t job_index = 0;
+  const RunOptions* options = nullptr;
+  JobAttemptFn run_attempt;
+  // Current DFS base-relation sizes — queried lazily, only when a failover
+  // actually needs to re-cost the job.
+  std::function<RelationSizes()> dfs_sizes;
+};
+
+struct JobDispatchOutcome {
+  JobResult result;
+  JobRecovery recovery;
+  int retries = 0;    // failed attempts that were retried (incl. failovers)
+  int failovers = 0;  // engine switches after retry exhaustion
+};
+
+// Drives `*job` to success or terminal failure under `env`. On engine
+// failover `*job` is replaced with the re-generated plan (so the caller's
+// plans[i] records what finally ran). `ctx->attempt` advances monotonically.
+StatusOr<JobDispatchOutcome> DispatchJobWithRecovery(JobPlan* job,
+                                                     ExecutionContext* ctx,
+                                                     const JobDispatchEnv& env);
+
+// The failover choice: cheapest engine among the run's candidates, minus
+// `tried`, that can run `ops` as a single job. Mirrors Plan()'s cost-model
+// construction so failover uses the same cost basis as the original
+// partitioning. Exposed for the coordinator's placement re-costing.
+StatusOr<EngineKind> NextFailoverEngine(const WorkflowSpec& workflow,
+                                        const WorkflowPlan& wplan,
+                                        const std::vector<int>& ops,
+                                        const RunOptions& options,
+                                        const RelationSizes& dfs_sizes,
+                                        const std::vector<EngineKind>& tried);
+
+// Sleeps for `backoff`, waking every 10ms to honor cancellation/deadline.
+Status BackoffSleep(std::chrono::milliseconds backoff,
+                    const ExecutionContext& ctx);
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_CORE_JOB_DISPATCH_H_

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "src/base/logging.h"
+#include "src/core/job_dispatch.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -41,66 +42,6 @@ ExecutionContext MakeContext(const WorkflowSpec& workflow,
     ctx.retry.backoff_seed = options.fault_seed;
   }
   return ctx;
-}
-
-// Sleeps for `backoff`, waking every 10ms to honor cancellation/deadline.
-Status BackoffSleep(std::chrono::milliseconds backoff,
-                    const ExecutionContext& ctx) {
-  auto wake = std::chrono::steady_clock::now() + backoff;
-  while (std::chrono::steady_clock::now() < wake) {
-    MUSKETEER_RETURN_IF_ERROR(ctx.Check());
-    auto remaining = wake - std::chrono::steady_clock::now();
-    std::this_thread::sleep_for(
-        std::min<std::chrono::steady_clock::duration>(
-            remaining, std::chrono::milliseconds(10)));
-  }
-  return ctx.Check();
-}
-
-// Re-asks the cost model for the cheapest engine (among the run's candidate
-// set, minus engines already tried) that can run the job's operator set as a
-// single job. Mirrors Plan()'s model construction so failover decisions use
-// the same cost basis as the original partitioning.
-StatusOr<EngineKind> NextFailoverEngine(const WorkflowSpec& workflow,
-                                        const WorkflowPlan& wplan,
-                                        const std::vector<int>& ops,
-                                        const RunOptions& options,
-                                        const RelationSizes& dfs_sizes,
-                                        const std::vector<EngineKind>& tried) {
-  RuntimeCalibration calibration;
-  if (options.runtime_history != nullptr) {
-    calibration = options.runtime_history->Calibration();
-  }
-  CostModel model(options.cluster, options.history, workflow.id,
-                  options.conservative_first_run,
-                  calibration.has_observations ? &calibration : nullptr);
-  MUSKETEER_ASSIGN_OR_RETURN(std::vector<Bytes> sizes,
-                             model.PredictSizes(*wplan.dag, dfs_sizes));
-  std::vector<EngineKind> candidates(options.engines);
-  if (candidates.empty()) {
-    candidates.assign(kAllEngines.begin(), kAllEngines.end());
-  }
-  bool found = false;
-  EngineKind best = EngineKind::kHadoop;
-  double best_cost = std::numeric_limits<double>::infinity();
-  for (EngineKind engine : candidates) {
-    if (std::find(tried.begin(), tried.end(), engine) != tried.end()) {
-      continue;
-    }
-    if (!BackendFor(engine).CanRunAsSingleJob(*wplan.dag, ops)) {
-      continue;
-    }
-    double cost = model.JobCost(*wplan.dag, ops, engine, sizes);
-    if (cost < best_cost) {  // excludes kInfiniteCost
-      best = engine;
-      best_cost = cost;
-      found = true;
-    }
-  }
-  if (!found) {
-    return UnavailableError("no untried engine can run the job");
-  }
-  return best;
 }
 
 }  // namespace
@@ -233,12 +174,7 @@ StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
   // the same DFS do not pollute each other's deltas.
   Span exec_span("stage.execute", "stage");
   ScopedDfsRunCounters run_bytes;
-  static Counter& retries_counter =
-      MetricsRegistry::Global().counter("musketeer.execute.retries");
-  static Counter& failovers_counter =
-      MetricsRegistry::Global().counter("musketeer.execute.failovers");
   ExecutionContext ctx = MakeContext(workflow, options);
-  const int max_attempts = std::max(1, ctx.retry.max_attempts);
   std::unordered_map<std::string, SimSeconds> ready_at;  // relation -> time
   SimSeconds makespan = 0;
   int predicted_jobs = 0;
@@ -253,88 +189,26 @@ StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
       }
     }
 
-    // Retry/failover dispatch: up to max_attempts per engine; on exhaustion,
-    // re-plan the job on the next-cheapest capable engine (when enabled).
-    // Attempt numbers are global across engines so the fault injector's
-    // (workflow, job@engine, attempt) key never repeats within a run.
-    JobRecovery rec;
-    rec.job = job.name;
-    rec.planned_engine = job.engine;
-    std::vector<EngineKind> tried;
-    JobResult jr;
-    Status last_error = OkStatus();
-    int global_attempt = 0;
-    for (bool succeeded = false; !succeeded;) {
-      tried.push_back(job.engine);
-      const std::string engine_name = EngineKindName(job.engine);
-      for (int local = 1; local <= max_attempts; ++local) {
-        ++global_attempt;
-        ctx.attempt = global_attempt;
-        if (local > 1) {
-          MUSKETEER_RETURN_IF_ERROR(BackoffSleep(
-              ctx.retry.BackoffFor(local, job.name + "@" + engine_name), ctx));
-        }
-        MUSKETEER_RETURN_IF_ERROR(ctx.Check());
-        // Mirror the injector's (deterministic) decision for accounting;
-        // ExecuteJob makes the identical call and fails accordingly.
-        if (ctx.faults.ShouldFail(workflow.id, job.name + "@" + engine_name,
-                                  global_attempt)) {
-          ++rec.faults_injected;
-        }
-        StatusOr<JobResult> attempt = ExecuteJob(job, options.cluster, dfs_, ctx);
-        ++rec.attempts;
-        rec.attempt_log.push_back(
-            {global_attempt, job.engine,
-             attempt.ok() ? StatusCode::kOk : attempt.status().code()});
-        if (attempt.ok()) {
-          jr = std::move(attempt).value();
-          succeeded = true;
-          break;
-        }
-        last_error = Annotate(
-            attempt.status(), workflow.id + "/" + job.name + "@" + engine_name +
-                                  " attempt " + std::to_string(global_attempt));
-        if (!IsRetryable(last_error.code())) {
-          return last_error;
-        }
-        MLOG_INFO << "job attempt failed (" << last_error.ToString() << ")";
-        if (local < max_attempts) {
-          retries_counter.Increment();
-          ++result.total_retries;
-        }
-      }
-      if (succeeded) {
-        break;
-      }
-      // Retries exhausted on this engine: cross-engine failover.
-      if (!ctx.retry.enable_failover || plan.dag == nullptr) {
-        return Annotate(last_error, "retries exhausted on " +
-                                        std::string(EngineKindName(job.engine)));
-      }
-      StatusOr<EngineKind> next =
-          NextFailoverEngine(workflow, plan, plan.partitioning.jobs[i].ops,
-                             options, DfsSizes(), tried);
-      if (!next.ok()) {
-        return Annotate(last_error,
-                        "failover exhausted: " + next.status().message());
-      }
-      MUSKETEER_ASSIGN_OR_RETURN(
-          JobPlan replan,
-          BackendFor(*next).GeneratePlan(*plan.dag, plan.partitioning.jobs[i].ops,
-                                         plan.base_schemas, options.codegen));
-      job = std::move(replan);
-      // The final failed attempt on the old engine continues as a failover.
-      retries_counter.Increment();
-      ++result.total_retries;
-      failovers_counter.Increment();
-      ++rec.failovers;
-      ++result.total_failovers;
-      MLOG_INFO << "failing over job '" << rec.job << "' to "
-                << EngineKindName(job.engine);
-    }
-    rec.final_engine = job.engine;
-    result.total_faults_injected += rec.faults_injected;
-    result.recovery.push_back(std::move(rec));
+    // Retry/failover dispatch (src/core/job_dispatch.h): up to max_attempts
+    // per engine; on exhaustion, re-plan onto the next-cheapest capable
+    // engine (when enabled). The shared dispatcher mutates `job` on failover
+    // so result.plans[i] records what finally ran.
+    JobDispatchEnv env;
+    env.workflow = &workflow;
+    env.plan = &plan;
+    env.job_index = i;
+    env.options = &options;
+    env.run_attempt = [&](const JobPlan& j, const ExecutionContext& c) {
+      return ExecuteJob(j, options.cluster, dfs_, c);
+    };
+    env.dfs_sizes = [this] { return DfsSizes(); };
+    MUSKETEER_ASSIGN_OR_RETURN(JobDispatchOutcome outcome,
+                               DispatchJobWithRecovery(&job, &ctx, env));
+    JobResult jr = std::move(outcome.result);
+    result.total_retries += outcome.retries;
+    result.total_failovers += outcome.failovers;
+    result.total_faults_injected += outcome.recovery.faults_injected;
+    result.recovery.push_back(std::move(outcome.recovery));
     MLOG_INFO << jr.detail;
     // Calibration loop: predict this job's wall clock from the runtime
     // history (best available granularity), then record what actually
@@ -363,6 +237,7 @@ StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
   result.makespan = makespan;
   result.dfs_bytes_read = run_bytes.bytes_read();
   result.dfs_bytes_written = run_bytes.bytes_written();
+  result.dfs_bytes_remote_read = run_bytes.bytes_remote_read();
   if (predicted_jobs > 0) {
     result.cost_model_error = error_sum / predicted_jobs;
   }

@@ -133,6 +133,9 @@ struct RunResult {
   // workflows execute concurrently against the same DFS.
   Bytes dfs_bytes_read = 0;
   Bytes dfs_bytes_written = 0;
+  // Subset of dfs_bytes_read fetched from another shard's partition
+  // (0 for unsharded runs; the locality objective is minimizing this).
+  Bytes dfs_bytes_remote_read = 0;
   OptimizeStats optimizer_stats;
   // Cost-model calibration report, filled when options.runtime_history is
   // set: per-run sums of predicted and measured job wall seconds, and the

@@ -102,13 +102,21 @@ StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster
   ScopedInterrupt interrupt(ctx.cancel, ctx.deadline);
   MUSKETEER_RETURN_IF_ERROR(ctx.Check());
 
-  // 1. Pull the job's inputs from the DFS.
+  // 1. Pull the job's inputs from the DFS. Inputs another shard owns are a
+  // cross-shard fetch (IsLocal answers from the relation-location directory;
+  // always local on an unsharded Dfs) and are accounted separately so the
+  // locality cost model can calibrate against what jobs actually moved.
   TableMap base;
   Bytes pull_bytes = 0;
+  Bytes pull_remote_bytes = 0;
   for (const std::string& name : plan.inputs) {
+    const bool local = dfs->IsLocal(name);
     MUSKETEER_ASSIGN_OR_RETURN(TablePtr table, dfs->Get(name));
     base[name] = table;
     pull_bytes += table->nominal_bytes();
+    if (!local) {
+      pull_remote_bytes += table->nominal_bytes();
+    }
   }
 
   // Seeded fault injection: whether this (workflow, job@engine, attempt)
@@ -313,6 +321,7 @@ StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster
   JobResult result;
   result.makespan = PriceJob(plan.engine, cluster, shape);
   result.bytes_pulled = shape.pull_bytes;
+  result.bytes_pulled_remote = pull_remote_bytes;
   result.bytes_pushed = shape.push_bytes;
   result.internal_jobs = shape.job_count;
   result.supersteps = shape.supersteps;
@@ -347,7 +356,13 @@ StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster
   for (auto& [name, table] : to_commit) {
     dfs->Put(name, table);
   }
-  dfs->RecordRead(shape.pull_bytes);
+  // Local/remote read split: the declared inputs that came from another
+  // shard are remote; everything else (including loop-materialized
+  // intermediate bytes, which never leave the executing shard) is local.
+  dfs->RecordRead(shape.pull_bytes - pull_remote_bytes);
+  if (pull_remote_bytes > 0) {
+    dfs->RecordRemoteRead(pull_remote_bytes);
+  }
   dfs->RecordWrite(shape.push_bytes);
 
   // Harvest observed sizes: top-level operators plus the final iteration of
@@ -367,6 +382,12 @@ StatusOr<JobResult> ExecuteJob(const JobPlan& plan, const ClusterConfig& cluster
          << HumanSeconds(result.makespan) << ", pull " << HumanBytes(pull_bytes)
          << ", push " << HumanBytes(push_bytes) << ", " << shape.job_count
          << " engine job(s)";
+  if (pull_remote_bytes > 0) {
+    detail << ", " << HumanBytes(pull_remote_bytes) << " fetched cross-shard";
+  }
+  if (ctx.shard >= 0) {
+    detail << " [shard " << ctx.shard << "]";
+  }
   if (shape.supersteps > 0) {
     detail << ", " << shape.supersteps << " supersteps";
   }

@@ -35,6 +35,9 @@ struct JobResult {
   // the RuntimeHistory calibration loop (src/obs/runtime_history.h).
   double wall_seconds = 0;
   Bytes bytes_pulled = 0;
+  // Subset of bytes_pulled that came from another shard's DFS partition
+  // (always 0 against an unsharded Dfs — see Dfs::IsLocal).
+  Bytes bytes_pulled_remote = 0;
   Bytes bytes_pushed = 0;
   int internal_jobs = 1;   // engine jobs actually run (MR loops spawn many)
   int supersteps = 0;      // natively-run iterations

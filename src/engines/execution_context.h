@@ -81,6 +81,11 @@ struct RetryPolicy {
 struct ExecutionContext {
   std::string workflow_id;
   int attempt = 1;  // 1-based, monotonically increasing across failover
+  // Shard identity of the executing service (-1 = unsharded). Informational
+  // for logs/traces only — deliberately NOT part of the fault injector's
+  // (workflow, job@engine, attempt) signature, so a run replays the same
+  // fault sequence at any shard count and across shard failovers.
+  int shard = -1;
   CancelToken cancel;
   DeadlinePoint deadline;  // nullopt = none
   FaultInjector faults;

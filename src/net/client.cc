@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
 #include <thread>
 
@@ -226,6 +227,98 @@ StatusOr<TableMap> NetClient::FetchResult(uint64_t ticket) {
     tables[name->string_value] = std::make_shared<Table>(std::move(*table));
   }
   return tables;
+}
+
+StatusOr<std::vector<std::string>> NetClient::ListRelations() {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "/relations";
+  auto response = Request(request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  if (response->status != 200) {
+    return InternalError("relations → " + std::to_string(response->status));
+  }
+  auto json = ParseJson(response->body);
+  if (!json.ok()) {
+    return InternalError("unparseable relations response");
+  }
+  const JsonValue* relations = json->Find("relations");
+  if (relations == nullptr || !relations->is_array()) {
+    return InternalError("relations response has no relations array");
+  }
+  std::vector<std::string> names;
+  names.reserve(relations->array.size());
+  for (const JsonValue& name : relations->array) {
+    names.push_back(name.string_value);
+  }
+  return names;
+}
+
+StatusOr<TablePtr> NetClient::FetchRelation(const std::string& name) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "/relation/" + name;
+  auto response = Request(request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  if (response->status == 404) {
+    return NotFoundError("peer has no relation '" + name + "'");
+  }
+  if (response->status != 200) {
+    return InternalError("relation/" + name + " → " +
+                         std::to_string(response->status) + ": " +
+                         response->body);
+  }
+  auto json = ParseJson(response->body);
+  if (!json.ok()) {
+    return InternalError("unparseable relation response");
+  }
+  const JsonValue* schema_spec = json->Find("schema");
+  const JsonValue* csv = json->Find("csv");
+  if (schema_spec == nullptr || csv == nullptr) {
+    return InternalError("malformed relation payload for '" + name + "'");
+  }
+  auto schema = ParseSchemaSpec(schema_spec->string_value);
+  if (!schema.has_value()) {
+    return InternalError("bad schema spec '" + schema_spec->string_value + "'");
+  }
+  auto table = ParseCsv(csv->string_value, *schema);
+  if (!table.ok()) {
+    return table.status();
+  }
+  if (const JsonValue* scale = json->Find("scale")) {
+    if (scale->number_value >= 1.0) {
+      table->set_scale(scale->number_value);
+    }
+  }
+  TablePtr ptr = std::make_shared<Table>(std::move(*table));
+  return ptr;
+}
+
+Status NetClient::PushRelation(const std::string& name, const Table& table) {
+  HttpRequest request;
+  request.method = "PUT";
+  request.target = "/relation/" + name;
+  request.body = WriteCsv(table, ',', /*round_trip_doubles=*/true);
+  request.headers.emplace_back("X-Schema", FormatSchemaSpec(table.schema()));
+  if (table.scale() != 1.0) {
+    char scale[32];
+    std::snprintf(scale, sizeof(scale), "%.17g", table.scale());
+    request.headers.emplace_back("X-Scale", scale);
+  }
+  auto response = Request(request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  if (response->status != 200) {
+    return InternalError("PUT relation/" + name + " → " +
+                         std::to_string(response->status) + ": " +
+                         response->body);
+  }
+  return OkStatus();
 }
 
 StatusOr<std::string> NetClient::Get(const std::string& path) {

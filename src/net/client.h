@@ -75,6 +75,18 @@ class NetClient {
   // GET <path> → body for 200 responses (used for /metrics, /trace, /stats).
   StatusOr<std::string> Get(const std::string& path);
 
+  // ---- relation exchange (the peer-to-peer shard transport) ----
+
+  // GET /relations → sorted relation names in the peer's DFS.
+  StatusOr<std::vector<std::string>> ListRelations();
+
+  // GET /relation/<name>, parsing schema spec + CSV (+ scale) back into a
+  // Table. NotFound when the peer does not hold the relation.
+  StatusOr<TablePtr> FetchRelation(const std::string& name);
+
+  // PUT /relation/<name> with the table as CSV + X-Schema/X-Scale headers.
+  Status PushRelation(const std::string& name, const Table& table);
+
  private:
   int fd_ = -1;
 };

@@ -20,6 +20,7 @@
 #include "src/obs/trace.h"
 #include "src/relational/csv.h"
 #include "src/relational/schema.h"
+#include "src/relational/table.h"
 
 namespace musketeer {
 
@@ -567,6 +568,21 @@ HttpResponse HttpServer::Route(const HttpRequest& request) {
     if (!id.has_value()) return JsonError(400, "bad ticket id");
     return HandleResult(*id);
   }
+  if (path == "/relations") {
+    if (request.method != "GET") {
+      return JsonError(405, "relations requires GET");
+    }
+    return HandleRelationList();
+  }
+  if (StartsWith(path, "/relation/")) {
+    const std::string name = path.substr(std::strlen("/relation/"));
+    if (name.empty()) return JsonError(400, "missing relation name");
+    if (request.method == "GET") return HandleRelationGet(name);
+    if (request.method == "PUT" || request.method == "POST") {
+      return HandleRelationPut(request, name);
+    }
+    return JsonError(405, "relation requires GET or PUT");
+  }
   if (path == "/metrics") {
     if (request.method != "GET") return JsonError(405, "metrics requires GET");
     HttpResponse resp;
@@ -723,6 +739,75 @@ HttpResponse HttpServer::HandleStats() {
   HttpResponse resp;
   resp.content_type = "application/json";
   resp.body = body;
+  return resp;
+}
+
+// ---- relation exchange (peer-to-peer shard transport) ----------------------
+
+HttpResponse HttpServer::HandleRelationList() {
+  std::string body = "{\"relations\": [";
+  bool first = true;
+  for (const std::string& name : service_->dfs()->ListLocalRelations()) {
+    if (!first) body += ", ";
+    first = false;
+    body += JsonQuote(name);
+  }
+  body += "]}\n";
+  HttpResponse resp;
+  resp.content_type = "application/json";
+  resp.body = body;
+  return resp;
+}
+
+HttpResponse HttpServer::HandleRelationGet(const std::string& name) {
+  auto table = service_->dfs()->GetLocal(name);
+  if (!table.ok()) {
+    return JsonError(404, "no relation '" + name + "'");
+  }
+  char scale[32];
+  std::snprintf(scale, sizeof(scale), "%.17g", (*table)->scale());
+  HttpResponse resp;
+  resp.content_type = "application/json";
+  // Same round-trip encoding as /result: ParseSchemaSpec + ParseCsv on the
+  // receiving side reconstructs a Table::Identical copy; scale rides along
+  // so nominal-size accounting survives the wire.
+  resp.body = "{\"name\": " + JsonQuote(name) +
+              ", \"schema\": " + JsonQuote(FormatSchemaSpec((*table)->schema())) +
+              ", \"scale\": " + scale +
+              ", \"rows\": " + std::to_string((*table)->num_rows()) +
+              ", \"csv\": " +
+              JsonQuote(WriteCsv(**table, ',', /*round_trip_doubles=*/true)) +
+              "}\n";
+  return resp;
+}
+
+HttpResponse HttpServer::HandleRelationPut(const HttpRequest& request,
+                                           const std::string& name) {
+  const std::string* schema_header = request.FindHeader("x-schema");
+  if (schema_header == nullptr) {
+    return JsonError(400, "missing X-Schema header");
+  }
+  auto schema = ParseSchemaSpec(*schema_header);
+  if (!schema.has_value()) {
+    return JsonError(400, "bad schema spec '" + *schema_header + "'");
+  }
+  auto table = ParseCsv(request.body, *schema);
+  if (!table.ok()) {
+    return JsonError(400, "bad CSV body: " + table.status().message());
+  }
+  if (const std::string* scale_header = request.FindHeader("x-scale")) {
+    auto scale = ParseDouble(*scale_header);
+    if (!scale.has_value() || *scale < 1.0) {
+      return JsonError(400, "bad X-Scale '" + *scale_header + "'");
+    }
+    table->set_scale(*scale);
+  }
+  const size_t rows = table->num_rows();
+  service_->dfs()->PutLocal(name, std::make_shared<Table>(std::move(*table)));
+  HttpResponse resp;
+  resp.content_type = "application/json";
+  resp.body = "{\"name\": " + JsonQuote(name) +
+              ", \"rows\": " + std::to_string(rows) + "}\n";
   return resp;
 }
 

@@ -15,6 +15,11 @@
 //       GET  /status/<id>   ticket state JSON
 //       POST /cancel/<id>   cooperative cancel, returns state JSON
 //       GET  /result/<id>   outputs JSON: name, schema spec, rows, CSV text
+//       GET  /relations     sorted relation names in this node's DFS, JSON
+//       GET  /relation/<n>  one relation: schema spec, scale, rows, CSV text
+//       PUT  /relation/<n>  store a relation; body = CSV, headers X-Schema
+//                           (spec) and optional X-Scale — the peer-to-peer
+//                           shard transport (src/net/peer_dfs.h)
 //       GET  /metrics       MetricsRegistry text exposition
 //       GET  /trace         Chrome trace-event JSON (Tracer::Global())
 //       GET  /stats         ServiceStats incl. per-tenant counters, JSON
@@ -143,6 +148,10 @@ class HttpServer {
   HttpResponse HandleCancel(uint64_t id);
   HttpResponse HandleResult(uint64_t id);
   HttpResponse HandleStats();
+  HttpResponse HandleRelationList();
+  HttpResponse HandleRelationGet(const std::string& name);
+  HttpResponse HandleRelationPut(const HttpRequest& request,
+                                 const std::string& name);
 
   // Submits to the service under `tenant` and registers the ticket.
   WorkflowHandle SubmitSpec(const std::string& tenant, WorkflowSpec spec,

@@ -93,7 +93,8 @@ StatusOr<std::vector<Bytes>> CostModel::PredictSizes(
 
 double CostModel::JobCost(const Dag& dag, const std::vector<int>& ops,
                           EngineKind engine,
-                          const std::vector<Bytes>& sizes) const {
+                          const std::vector<Bytes>& sizes,
+                          const ShardLocality* locality) const {
   const Backend& backend = BackendFor(engine);
   if (!backend.CanRunAsSingleJob(dag, ops)) {
     return kInfiniteCost;
@@ -128,13 +129,21 @@ double CostModel::JobCost(const Dag& dag, const std::vector<int>& ops,
   JobShape shape;
   shape.process_efficiency = backend.generated_process_efficiency();
 
-  // PULL: externally-produced inputs (deduplicated per producer).
+  // PULL: externally-produced inputs (deduplicated per producer). With a
+  // locality context, inputs the candidate shard does not own must first be
+  // fetched cross-shard — charged below at the measured transfer rate.
+  Bytes locality_remote_bytes = 0;
   std::unordered_map<int, bool> pulled;
   for (int id : sorted) {
     for (int p : dag.node(id).inputs) {
       if (!in_set.count(p) && !pulled.count(p)) {
         pulled[p] = true;
         shape.pull_bytes += sizes[p];
+        if (locality != nullptr && locality->map != nullptr &&
+            locality->shard >= 0 &&
+            locality->map->OwnerOf(dag.node(p).output) != locality->shard) {
+          locality_remote_bytes += sizes[p];
+        }
       }
     }
   }
@@ -290,6 +299,13 @@ double CostModel::JobCost(const Dag& dag, const std::vector<int>& ops,
   double cost = PriceJob(engine, cluster_, shape);
   if (calibration_ != nullptr && calibration_->has_observations) {
     cost *= calibration_->TimeScale(EngineKindName(engine));
+  }
+  // Locality term: transfer seconds for the inputs this shard must fetch,
+  // at the measured cross-shard rate. Added after calibration — the rate is
+  // already a wall-clock measurement, not a sim-time constant.
+  if (locality_remote_bytes > 0 && locality != nullptr) {
+    const double rate = locality->remote_mbps > 0 ? locality->remote_mbps : 1.0;
+    cost += locality_remote_bytes / MBps(rate);
   }
   return cost;
 }

@@ -21,6 +21,7 @@
 
 #include "src/backends/backend.h"
 #include "src/cluster/cluster.h"
+#include "src/cluster/shard_map.h"
 #include "src/obs/runtime_history.h"
 #include "src/scheduler/history.h"
 
@@ -30,6 +31,19 @@ inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
 
 // Known sizes of the workflow's base (DFS-resident) relations.
 using RelationSizes = std::unordered_map<std::string, Bytes>;
+
+// Locality context for a shard-placement cost query (PR 8): which shard the
+// job would execute on, where relations live, and the *measured* cross-shard
+// transfer rate (ShardedDfs::measured_remote_mbps — calibrated from timed
+// remote fetches, not an assumed constant). With this set, JobCost adds the
+// transfer seconds for every external input the candidate shard does not own,
+// so placement naturally sends a job to the shard holding the majority of its
+// input bytes.
+struct ShardLocality {
+  const ShardMap* map = nullptr;  // relation-location directory (not owned)
+  int shard = -1;                 // candidate executing shard
+  double remote_mbps = 100.0;     // measured cross-shard byte rate
+};
 
 class CostModel {
  public:
@@ -55,8 +69,12 @@ class CostModel {
   // Estimated makespan of running `ops` as a single job on `engine`;
   // kInfiniteCost when the engine cannot run the set as one job.
   // `sizes` must come from PredictSizes on the same DAG.
+  // `locality` (optional) charges cross-shard transfer for externally
+  // produced inputs the candidate shard does not own, at the measured DFS
+  // byte rate — the term that makes placement locality-aware.
   double JobCost(const Dag& dag, const std::vector<int>& ops, EngineKind engine,
-                 const std::vector<Bytes>& sizes) const;
+                 const std::vector<Bytes>& sizes,
+                 const ShardLocality* locality = nullptr) const;
 
   const ClusterConfig& cluster() const { return cluster_; }
 

@@ -42,6 +42,7 @@ void HistoryStore::Record(const std::string& workflow, const std::string& relati
   auto it = per_wf.find(relation);
   if (it != per_wf.end()) {
     it->second.bytes = bytes;
+    ++it->second.samples;
     return;
   }
   Entry e;
@@ -62,6 +63,59 @@ std::optional<Bytes> HistoryStore::Lookup(const std::string& workflow,
     return std::nullopt;
   }
   return it->second.bytes;
+}
+
+int HistoryStore::SamplesFor(const std::string& workflow,
+                             const std::string& relation) const {
+  std::shared_lock lock(mu_);
+  auto wf = data_.find(workflow);
+  if (wf == data_.end()) {
+    return 0;
+  }
+  auto it = wf->second.find(relation);
+  return it == wf->second.end() ? 0 : it->second.samples;
+}
+
+void HistoryStore::MergeFrom(const HistoryStore& other) {
+  if (this == &other) {
+    return;
+  }
+  // Same address-ordered locking discipline as operator=.
+  std::unique_lock<std::shared_mutex> lhs(mu_, std::defer_lock);
+  std::shared_lock<std::shared_mutex> rhs(other.mu_, std::defer_lock);
+  if (this < &other) {
+    lhs.lock();
+    rhs.lock();
+  } else {
+    rhs.lock();
+    lhs.lock();
+  }
+  for (const auto& [workflow, relations] : other.data_) {
+    auto& per_wf = data_[workflow];
+    // Deterministic insertion order for fresh entries: the incoming store's
+    // own ordering, not unordered_map iteration order.
+    std::vector<std::pair<std::string, Entry>> ordered(relations.begin(),
+                                                       relations.end());
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) {
+                return a.second.order < b.second.order;
+              });
+    for (const auto& [relation, incoming] : ordered) {
+      auto it = per_wf.find(relation);
+      if (it == per_wf.end()) {
+        Entry e = incoming;
+        e.order = static_cast<int>(per_wf.size());
+        per_wf.emplace(relation, e);
+        continue;
+      }
+      // Keep the better-evidenced size (tie -> existing); both sides'
+      // observations are real, so the counts add up.
+      if (incoming.samples > it->second.samples) {
+        it->second.bytes = incoming.bytes;
+      }
+      it->second.samples += incoming.samples;
+    }
+  }
 }
 
 int HistoryStore::EntriesFor(const std::string& workflow) const {
@@ -104,8 +158,12 @@ std::string HistoryStore::ToJson() const {
       JsonValue bytes;
       bytes.kind = JsonValue::Kind::kNumber;
       bytes.number_value = entry.bytes;
+      JsonValue samples;
+      samples.kind = JsonValue::Kind::kNumber;
+      samples.number_value = entry.samples;
       rec.object.emplace_back("relation", std::move(name));
       rec.object.emplace_back("bytes", std::move(bytes));
+      rec.object.emplace_back("samples", std::move(samples));
       list.array.push_back(std::move(rec));
     }
     doc.object.emplace_back(workflow, std::move(list));
@@ -136,6 +194,11 @@ Status HistoryStore::FromJson(const std::string& text) {
       Entry e;
       e.bytes = bytes->number_value;
       e.order = static_cast<int>(per_wf.size());
+      const JsonValue* samples = rec.Find("samples");
+      if (samples != nullptr && samples->is_number() &&
+          samples->number_value >= 1) {
+        e.samples = static_cast<int>(samples->number_value);
+      }
       per_wf[relation->string_value] = e;
     }
   }
@@ -167,7 +230,13 @@ Status HistoryStore::LoadFrom(const std::string& path) {
   if (in.bad()) {
     return InternalError("error reading history file '" + path + "'");
   }
-  return FromJson(text.str());
+  // Parse into a scratch store, then merge: loading must never clobber
+  // observations already in memory (the old behavior silently dropped a warm
+  // store's entries whenever a file was re-loaded).
+  HistoryStore parsed;
+  MUSKETEER_RETURN_IF_ERROR(parsed.FromJson(text.str()));
+  MergeFrom(parsed);
+  return OkStatus();
 }
 
 HistoryStore HistoryStore::WithPartialKnowledge(double fraction) const {

@@ -35,11 +35,18 @@ class HistoryStore {
   HistoryStore& operator=(const HistoryStore& other);
 
   // Records the observed nominal size of `relation` produced by `workflow`.
+  // Re-recording an existing entry replaces the size and bumps its sample
+  // count — the count is how merges decide which of two stores' entries has
+  // seen more evidence.
   void Record(const std::string& workflow, const std::string& relation,
               Bytes bytes);
 
   std::optional<Bytes> Lookup(const std::string& workflow,
                               const std::string& relation) const;
+
+  // Observation count for an entry (0 if absent).
+  int SamplesFor(const std::string& workflow,
+                 const std::string& relation) const;
 
   // Number of relations recorded for `workflow`.
   int EntriesFor(const std::string& workflow) const;
@@ -50,21 +57,32 @@ class HistoryStore {
   // `fraction` of the total — used to model partially-acquired history.
   HistoryStore WithPartialKnowledge(double fraction) const;
 
+  // Merges `other` into this store. An entry present in only one store is
+  // kept; when both stores have the same (workflow, relation), the one with
+  // more samples wins (tie goes to the existing entry — it is at least as
+  // fresh), and the sample counts are summed since both sides' observations
+  // are real. This is how per-shard histories combine into one directory.
+  void MergeFrom(const HistoryStore& other);
+
   // JSON persistence (--history-file): the store serializes as one object
   // keyed by workflow id, each value an array (in insertion order) of
-  // {"relation": <name>, "bytes": <n>} records.
+  // {"relation": <name>, "bytes": <n>, "samples": <n>} records.
   std::string ToJson() const;
-  // Replaces the store's contents with the parsed document.
+  // Replaces the store's contents with the parsed document ("samples"
+  // defaults to 1 for files written before it existed).
   Status FromJson(const std::string& text);
 
   Status SaveTo(const std::string& path) const;
   // Missing file is not an error: a service's first launch has no history.
+  // Loading into a non-empty store MERGES (MergeFrom semantics) rather than
+  // clobbering, so a warm in-memory store survives re-loading a stale file.
   Status LoadFrom(const std::string& path);
 
  private:
   struct Entry {
     Bytes bytes = 0;
-    int order = 0;  // insertion order within the workflow
+    int order = 0;    // insertion order within the workflow
+    int samples = 1;  // number of observations folded into `bytes`
   };
   mutable std::shared_mutex mu_;
   // workflow -> relation -> entry; guarded by mu_

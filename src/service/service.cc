@@ -321,6 +321,26 @@ WorkflowHandle WorkflowService::Enqueue(const std::string& tenant,
   return ticket;
 }
 
+bool WorkflowService::SubmitTask(std::function<void()> task) {
+  {
+    // Outstanding before visible to a worker, same as Enqueue: Drain() must
+    // never observe accepted-but-uncounted work.
+    std::lock_guard lock(mu_);
+    ++outstanding_;
+  }
+  QueueItem item;
+  item.task = std::move(task);
+  if (queue_.Push("", std::move(item)) != AdmitResult::kOk) {
+    {
+      std::lock_guard lock(mu_);
+      --outstanding_;
+    }
+    idle_cv_.notify_all();
+    return false;
+  }
+  return true;
+}
+
 void WorkflowService::WorkerLoop() {
   // Pin this worker's intra-query parallelism for every workflow it runs;
   // the override is thread-local, so concurrent workers do not interfere.
@@ -341,6 +361,17 @@ void WorkflowService::WorkerLoop() {
 }
 
 void WorkflowService::RunOne(const QueueItem& item) {
+  // Raw tasks (SubmitTask) bypass the ticket lifecycle entirely: run, then
+  // settle the outstanding count so Drain() sees them.
+  if (item.task) {
+    item.task();
+    {
+      std::lock_guard lock(mu_);
+      --outstanding_;
+    }
+    idle_cv_.notify_all();
+    return;
+  }
   // Enforce cancellation/deadline for work that never left the queue.
   if (item.options.cancel.cancel_requested()) {
     item.ticket->Finish(WorkflowState::kCancelled,

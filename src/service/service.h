@@ -37,6 +37,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -237,6 +238,16 @@ class WorkflowService {
   WorkflowHandle SubmitBlockingAs(const std::string& tenant, WorkflowSpec spec,
                                   RunOptions options);
 
+  // Raw-task submission (PR 8): enqueues `task` to run on a worker thread,
+  // in the default tenant's fair-queue lane, blocking for queue space. The
+  // ShardCoordinator uses this to route individual job dispatches to a
+  // shard's worker pool without minting a whole workflow ticket. Returns
+  // false (task not run) once the service is shut down. Tasks count toward
+  // Drain() like any accepted submission. The task must not call back into
+  // this service's blocking APIs (a worker waiting on its own pool
+  // deadlocks a single-worker service).
+  bool SubmitTask(std::function<void()> task);
+
   // Blocks until every accepted submission has reached a terminal state.
   // New submissions may still arrive while draining.
   void Drain();
@@ -253,14 +264,18 @@ class WorkflowService {
 
   int num_workers() const { return config_.num_workers; }
   size_t queue_capacity() const { return queue_.capacity(); }
+  // The storage layer this service executes against (a per-shard view when
+  // instantiated by the ShardCoordinator).
+  Dfs* dfs() const { return dfs_; }
   // The options applied to submissions that carry none — the network edge
   // copies these to layer per-request settings (deadlines) on top.
   const RunOptions& default_options() const { return config_.default_options; }
 
  private:
   struct QueueItem {
-    WorkflowHandle ticket;
+    WorkflowHandle ticket;  // null for raw tasks
     RunOptions options;
+    std::function<void()> task;  // non-null: run this instead of a workflow
   };
 
   WorkflowHandle MakeTicket(WorkflowSpec spec, const std::string& tenant);

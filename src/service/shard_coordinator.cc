@@ -1,0 +1,350 @@
+#include "src/service/shard_coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <limits>
+#include <unordered_map>
+
+#include "src/base/logging.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace musketeer {
+
+namespace {
+
+// Mirrors Musketeer's deadline/context construction so a sharded run honors
+// the exact same cancellation, deadline, fault-seed and backoff semantics.
+DeadlinePoint EffectiveDeadline(const RunOptions& options) {
+  if (options.absolute_deadline.has_value()) {
+    return options.absolute_deadline;
+  }
+  if (options.deadline.count() > 0) {
+    return std::chrono::steady_clock::now() + options.deadline;
+  }
+  return std::nullopt;
+}
+
+ExecutionContext MakeContext(const WorkflowSpec& workflow,
+                             const RunOptions& options) {
+  ExecutionContext ctx;
+  ctx.workflow_id = workflow.id;
+  ctx.cancel = options.cancel;
+  ctx.deadline = EffectiveDeadline(options);
+  ctx.faults = FaultInjector(options.fault_rate, options.fault_seed);
+  ctx.retry = options.retry;
+  if (ctx.retry.backoff_seed == 0) {
+    ctx.retry.backoff_seed = options.fault_seed;
+  }
+  return ctx;
+}
+
+}  // namespace
+
+ShardCoordinator::ShardCoordinator(ShardedDfs* dfs, CoordinatorConfig config)
+    : dfs_(dfs),
+      config_(std::move(config)),
+      placer_(&dfs->shard_map(), config_.placement, config_.placement_seed) {
+  const int count = dfs_->num_shards();
+  shards_.reserve(static_cast<size_t>(count));
+  alive_.assign(static_cast<size_t>(count), 1);
+  jobs_per_shard_.assign(static_cast<size_t>(count), 0);
+  for (int k = 0; k < count; ++k) {
+    ServiceConfig sc;
+    sc.num_workers = std::max(1, config_.workers_per_shard);
+    sc.threads = config_.threads;
+    sc.plan_cache_capacity = 0;  // shards execute jobs, they do not plan
+    shards_.push_back(
+        std::make_unique<WorkflowService>(dfs_->View(k), std::move(sc)));
+  }
+}
+
+ShardCoordinator::~ShardCoordinator() {
+  for (auto& shard : shards_) {
+    shard->Shutdown();
+  }
+}
+
+std::vector<int> ShardCoordinator::AliveShardsLocked() const {
+  std::vector<int> out;
+  for (size_t k = 0; k < alive_.size(); ++k) {
+    if (alive_[k]) {
+      out.push_back(static_cast<int>(k));
+    }
+  }
+  return out;
+}
+
+void ShardCoordinator::KillShardLocked(int shard) {
+  if (shard < 0 || shard >= num_shards() || !alive_[static_cast<size_t>(shard)]) {
+    return;
+  }
+  alive_[static_cast<size_t>(shard)] = 0;
+  // Placement only: the partition's data survives (reads fall back to the
+  // directory-repairing scan), which is what keeps failover bit-identical.
+  dfs_->shard_map().RemoveShard(shard);
+  MLOG_INFO << "shard " << shard << " removed from placement";
+}
+
+void ShardCoordinator::DrainShard(int shard) {
+  std::lock_guard lock(mu_);
+  KillShardLocked(shard);
+}
+
+bool ShardCoordinator::IsShardAlive(int shard) const {
+  std::lock_guard lock(mu_);
+  return shard >= 0 && shard < num_shards() &&
+         alive_[static_cast<size_t>(shard)] != 0;
+}
+
+CoordinatorStats ShardCoordinator::stats() const {
+  CoordinatorStats out;
+  {
+    std::lock_guard lock(mu_);
+    out.jobs_dispatched = dispatches_;
+    out.placements = placer_.placements();
+    out.locality_hits = placer_.locality_hits();
+    out.placed_cross_shard_bytes = placer_.cross_shard_bytes();
+    out.shard_failovers = shard_failovers_;
+    out.jobs_per_shard = jobs_per_shard_;
+  }
+  out.remote_fetches = dfs_->remote_fetches();
+  out.remote_bytes_fetched = dfs_->remote_bytes_fetched();
+  out.measured_remote_mbps = dfs_->measured_remote_mbps();
+  return out;
+}
+
+StatusOr<JobResult> ShardCoordinator::DispatchAttempt(
+    const WorkflowSpec& workflow, const WorkflowPlan& plan, size_t job_index,
+    const JobPlan& job, const ExecutionContext& ctx, const RunOptions& options,
+    const CostModel& model, const std::vector<Bytes>& sizes,
+    RunResult* result) {
+  // Placement inputs: the job's declared input relations at their *actual*
+  // current nominal sizes (upstream jobs have already committed).
+  std::vector<std::pair<std::string, Bytes>> inputs;
+  inputs.reserve(job.inputs.size());
+  for (const std::string& name : job.inputs) {
+    auto table = dfs_->Get(name);
+    inputs.emplace_back(name, table.ok() ? (*table)->nominal_bytes() : 0);
+  }
+
+  PlacementDecision decision;
+  int shard = -1;
+  {
+    std::lock_guard lock(mu_);
+    ++dispatches_;
+    // Seeded shard fault: a deterministic point in the dispatch sequence at
+    // which the victim's compute dies. Placement-visible immediately.
+    if (config_.fault_shard >= 0 && !fault_fired_ &&
+        dispatches_ > static_cast<uint64_t>(config_.fault_after_dispatches)) {
+      fault_fired_ = true;
+      KillShardLocked(config_.fault_shard);
+    }
+    std::vector<int> candidates = AliveShardsLocked();
+    if (candidates.empty()) {
+      return FailedPreconditionError("no shard left alive to place job '" +
+                                     job.name + "'");
+    }
+    if (config_.placement == PlacementPolicy::kLocality) {
+      // Next-cheapest-shard ranking: JobCost with the ShardLocality term —
+      // identical engine cost everywhere, plus measured-rate transfer
+      // seconds for inputs the candidate does not own. Argmin is therefore
+      // the shard holding the most input bytes; after a shard death the
+      // runner-up is, by construction, the next-cheapest.
+      const double remote_mbps = dfs_->measured_remote_mbps();
+      int best_shard = -1;
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (int k : candidates) {
+        ShardLocality locality{&dfs_->shard_map(), k, remote_mbps};
+        const double cost =
+            model.JobCost(*plan.dag, plan.partitioning.jobs[job_index].ops,
+                          job.engine, sizes, &locality);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_shard = k;
+        }
+      }
+      decision = best_shard >= 0
+                     ? placer_.Adopt(inputs, candidates, best_shard)
+                     : placer_.Place(job.name, inputs, candidates);
+    } else {
+      decision = placer_.Place(job.name, inputs, candidates);
+    }
+    shard = decision.shard;
+    ++jobs_per_shard_[static_cast<size_t>(shard)];
+  }
+
+  // Route the attempt to the placed shard's worker pool and wait for it.
+  // The per-job DFS byte deltas are harvested with a thread-scoped counter
+  // *on the worker thread* (the coordinator thread never touches the DFS
+  // during execution), then folded into the run totals here.
+  struct TaskOutcome {
+    StatusOr<JobResult> result = InternalError("shard task did not run");
+    Bytes read = 0;
+    Bytes written = 0;
+    Bytes remote = 0;
+  };
+  TaskOutcome out;
+  std::promise<void> done;
+  std::future<void> done_future = done.get_future();
+  ExecutionContext shard_ctx = ctx;
+  shard_ctx.shard = shard;
+  const bool accepted = shards_[static_cast<size_t>(shard)]->SubmitTask(
+      [this, &job, &options, &shard_ctx, &out, &done, shard] {
+        ScopedDfsRunCounters scope;
+        out.result =
+            ExecuteJob(job, options.cluster, dfs_->View(shard), shard_ctx);
+        out.read = scope.bytes_read();
+        out.written = scope.bytes_written();
+        out.remote = scope.bytes_remote_read();
+        done.set_value();
+      });
+  if (!accepted) {
+    std::lock_guard lock(mu_);
+    ++shard_failovers_;
+    return UnavailableError("shard " + std::to_string(shard) +
+                            " rejected job '" + job.name + "' (shut down)");
+  }
+  done_future.wait();
+
+  result->dfs_bytes_read += out.read;
+  result->dfs_bytes_written += out.written;
+  result->dfs_bytes_remote_read += out.remote;
+
+  if (!out.result.ok()) {
+    // A dead shard surfaces as a retryable failure; the dispatcher's next
+    // attempt re-places among the survivors (next-cheapest shard).
+    std::lock_guard lock(mu_);
+    if (!alive_[static_cast<size_t>(shard)]) {
+      ++shard_failovers_;
+    }
+  }
+  return out.result;
+}
+
+StatusOr<RunResult> ShardCoordinator::Run(const WorkflowSpec& workflow) {
+  return Run(workflow, config_.default_options);
+}
+
+StatusOr<RunResult> ShardCoordinator::Run(const WorkflowSpec& workflow,
+                                          RunOptions options) {
+  // Plan once, globally: the planner's Dfs view treats every relation as
+  // local, so the plan is identical to an unsharded run's — placement, not
+  // planning, is where shards enter.
+  options.absolute_deadline = EffectiveDeadline(options);
+  Musketeer planner(dfs_);
+  MUSKETEER_ASSIGN_OR_RETURN(WorkflowPlan plan, planner.Plan(workflow, options));
+
+  RunResult result;
+  result.partitioning = plan.partitioning;
+  result.plans = plan.plans;
+  result.optimizer_stats = plan.optimizer_stats;
+
+  Span exec_span("stage.shard_execute", "stage");
+  ExecutionContext ctx = MakeContext(workflow, options);
+
+  // Cost/size basis for placement ranking — the same model construction
+  // Plan() used, so shard choice and partitioning share one cost basis.
+  RuntimeCalibration calibration;
+  if (options.runtime_history != nullptr) {
+    calibration = options.runtime_history->Calibration();
+  }
+  CostModel model(options.cluster, options.history, workflow.id,
+                  options.conservative_first_run,
+                  calibration.has_observations ? &calibration : nullptr);
+  MUSKETEER_ASSIGN_OR_RETURN(std::vector<Bytes> sizes,
+                             model.PredictSizes(*plan.dag, planner.DfsSizes()));
+
+  std::unordered_map<std::string, SimSeconds> ready_at;
+  SimSeconds makespan = 0;
+  int predicted_jobs = 0;
+  double error_sum = 0;
+  for (size_t i = 0; i < result.plans.size(); ++i) {
+    JobPlan& job = result.plans[i];
+    SimSeconds start = 0;
+    for (const std::string& in : job.inputs) {
+      auto it = ready_at.find(in);
+      if (it != ready_at.end()) {
+        start = std::max(start, it->second);
+      }
+    }
+
+    JobDispatchEnv env;
+    env.workflow = &workflow;
+    env.plan = &plan;
+    env.job_index = i;
+    env.options = &options;
+    env.run_attempt = [&](const JobPlan& j, const ExecutionContext& c) {
+      return DispatchAttempt(workflow, plan, i, j, c, options, model, sizes,
+                             &result);
+    };
+    env.dfs_sizes = [&] { return planner.DfsSizes(); };
+    MUSKETEER_ASSIGN_OR_RETURN(JobDispatchOutcome outcome,
+                               DispatchJobWithRecovery(&job, &ctx, env));
+    JobResult jr = std::move(outcome.result);
+    result.total_retries += outcome.retries;
+    result.total_failovers += outcome.failovers;
+    result.total_faults_injected += outcome.recovery.faults_injected;
+    result.recovery.push_back(std::move(outcome.recovery));
+    MLOG_INFO << jr.detail;
+
+    if (options.runtime_history != nullptr) {
+      const std::string engine = EngineKindName(job.engine);
+      const std::string signature = job.name + "@" + engine;
+      double predicted = options.runtime_history->PredictWallSeconds(
+          workflow.id, signature, engine, jr.makespan);
+      result.predicted_wall_seconds += predicted;
+      result.measured_wall_seconds += jr.wall_seconds;
+      error_sum += std::abs(predicted - jr.wall_seconds) /
+                   std::max(jr.wall_seconds, 1e-9);
+      ++predicted_jobs;
+      options.runtime_history->RecordJob(workflow.id, signature, engine,
+                                         jr.makespan, jr.wall_seconds);
+    }
+    SimSeconds finish = start + jr.makespan;
+    for (const std::string& out : job.outputs) {
+      ready_at[out] = finish;
+    }
+    makespan = std::max(makespan, finish);
+    result.total_engine_time += jr.makespan;
+    result.job_results.push_back(std::move(jr));
+  }
+  result.makespan = makespan;
+  if (predicted_jobs > 0) {
+    result.cost_model_error = error_sum / predicted_jobs;
+  }
+  if (exec_span.active()) {
+    exec_span.SetAttr("workflow", workflow.id);
+    exec_span.SetAttr("jobs", std::to_string(result.plans.size()));
+    exec_span.SetAttr("shards", std::to_string(num_shards()));
+  }
+
+  // Sinks resolve through the global view — wherever a shard put them.
+  for (const std::string& name : plan.sink_relations) {
+    auto table = dfs_->Get(name);
+    if (table.ok()) {
+      result.outputs[name] = *table;
+    }
+  }
+
+  // History recording, exactly as the unsharded Execute does it.
+  if (options.history != nullptr) {
+    for (const JobPlan& job : result.plans) {
+      for (const std::string& out : job.outputs) {
+        auto table = dfs_->Get(out);
+        if (table.ok()) {
+          options.history->Record(workflow.id, out, (*table)->nominal_bytes());
+        }
+      }
+    }
+    for (const JobResult& jr : result.job_results) {
+      for (const auto& [relation, bytes] : jr.observed_sizes) {
+        options.history->Record(workflow.id, relation, bytes);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace musketeer

@@ -1,0 +1,134 @@
+// Cross-shard workflow fan-out (PR 8 tentpole).
+//
+// The ShardCoordinator is the front of a sharded Musketeer deployment: one
+// ShardedDfs (M partitions behind a ShardMap directory) and M in-process
+// WorkflowService shard instances, each executing against its own per-shard
+// DFS view. A workflow is planned ONCE against the global namespace —
+// parse→optimize→partition→codegen are shard-agnostic — and then each job of
+// the plan is *placed*:
+//
+//   - kLocality (default): the job goes to the alive shard with the lowest
+//     CostModel::JobCost under a ShardLocality term, i.e. the shard that
+//     minimizes cross-shard input transfer at the *measured* DFS byte rate.
+//     In practice that is the shard owning the majority of the job's input
+//     bytes; its outputs are then pinned there (placement-near-data), so
+//     consumer jobs chain onto the same shard unless a bigger input pulls
+//     them elsewhere.
+//   - kRandom: seeded hash of the job name — the locality-blind control arm
+//     bench_shard_scaling compares against.
+//
+// Dispatch rides the PR 5 recovery loop (src/core/job_dispatch.h): per-engine
+// retries, cross-engine failover — and, new here, next-cheapest-shard
+// failover. A dead shard (DrainShard, or the seeded shard-fault config)
+// surfaces as a retryable kUnavailable; the re-attempt re-places among the
+// shards still alive, which the cost ranking makes the next-cheapest choice.
+// The dead shard's DFS partition survives (the HDFS-replication stand-in):
+// reads fall back to a directory-repairing scan, so results stay
+// Table::Identical to the 1-shard run even across failovers.
+
+#ifndef MUSKETEER_SRC_SERVICE_SHARD_COORDINATOR_H_
+#define MUSKETEER_SRC_SERVICE_SHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/cluster/sharded_dfs.h"
+#include "src/core/job_dispatch.h"
+#include "src/core/musketeer.h"
+#include "src/scheduler/placement.h"
+#include "src/service/service.h"
+
+namespace musketeer {
+
+struct CoordinatorConfig {
+  PlacementPolicy placement = PlacementPolicy::kLocality;
+  uint64_t placement_seed = 0;  // kRandom's determinism knob
+  // Worker pool and intra-query width of each shard's WorkflowService.
+  int workers_per_shard = 2;
+  int threads = 0;
+  // Seeded shard-fault injection: once the coordinator has dispatched
+  // `fault_after_dispatches` jobs, shard `fault_shard`'s compute dies — it
+  // is removed from placement and an attempt already routed to it fails
+  // retryably. Its DFS partition stays readable. -1 disables.
+  int fault_shard = -1;
+  int fault_after_dispatches = 0;
+  // Applied to Run(workflow) calls that carry no options.
+  RunOptions default_options;
+};
+
+struct CoordinatorStats {
+  uint64_t jobs_dispatched = 0;
+  uint64_t placements = 0;
+  uint64_t locality_hits = 0;       // chose a byte-optimal shard
+  Bytes placed_cross_shard_bytes = 0;  // placer's accounting at decision time
+  uint64_t shard_failovers = 0;     // attempts re-placed off a dead shard
+  std::vector<uint64_t> jobs_per_shard;
+  // Mirrors of the ShardedDfs fetch accounting (measured, not predicted).
+  uint64_t remote_fetches = 0;
+  Bytes remote_bytes_fetched = 0;
+  double measured_remote_mbps = 0;
+};
+
+class ShardCoordinator {
+ public:
+  // `dfs` is the sharded storage layer; not owned, must outlive the
+  // coordinator. One WorkflowService is spun up per DFS shard.
+  explicit ShardCoordinator(ShardedDfs* dfs, CoordinatorConfig config = {});
+  ~ShardCoordinator();
+
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  // Plans `workflow` against the global namespace and fans its jobs out
+  // across the shards by placement. Blocking; jobs dispatch in dependency
+  // order and the returned RunResult is byte-for-byte comparable to an
+  // unsharded Musketeer::Run (same makespan accounting, outputs
+  // Table::Identical at any shard count).
+  StatusOr<RunResult> Run(const WorkflowSpec& workflow);
+  StatusOr<RunResult> Run(const WorkflowSpec& workflow, RunOptions options);
+
+  // Removes a shard from placement (its partition stays readable); jobs
+  // re-place onto the remaining shards. Idempotent.
+  void DrainShard(int shard);
+  bool IsShardAlive(int shard) const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  ShardedDfs* dfs() { return dfs_; }
+  WorkflowService& shard_service(int shard) { return *shards_[shard]; }
+
+  CoordinatorStats stats() const;
+
+ private:
+  // One dispatch attempt: place `job`, route it to the placed shard's
+  // service, harvest the per-job DFS byte deltas into the run totals.
+  StatusOr<JobResult> DispatchAttempt(const WorkflowSpec& workflow,
+                                      const WorkflowPlan& plan,
+                                      size_t job_index, const JobPlan& job,
+                                      const ExecutionContext& ctx,
+                                      const RunOptions& options,
+                                      const CostModel& model,
+                                      const std::vector<Bytes>& sizes,
+                                      RunResult* result);
+
+  std::vector<int> AliveShardsLocked() const;  // requires mu_
+  void KillShardLocked(int shard);             // requires mu_
+
+  ShardedDfs* const dfs_;
+  const CoordinatorConfig config_;
+  ShardPlacer placer_;  // guarded by mu_ (stats are plain members)
+  std::vector<std::unique_ptr<WorkflowService>> shards_;
+
+  mutable std::mutex mu_;
+  std::vector<char> alive_;       // guarded by mu_
+  uint64_t dispatches_ = 0;       // guarded by mu_
+  uint64_t shard_failovers_ = 0;  // guarded by mu_
+  bool fault_fired_ = false;      // guarded by mu_
+  std::vector<uint64_t> jobs_per_shard_;  // guarded by mu_
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_SERVICE_SHARD_COORDINATOR_H_

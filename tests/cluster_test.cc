@@ -1,10 +1,20 @@
-// Cluster model and DFS tests.
+// Cluster model and DFS tests, including the sharded layer (PR 8): the
+// ShardMap directory's consistent-hash stability under membership change,
+// per-shard DFS views with fetch-over-network accounting, and the
+// thread-scoped run counters' local/remote byte split.
 
 #include "src/cluster/cluster.h"
+
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/cluster/dfs.h"
+#include "src/cluster/shard_map.h"
+#include "src/cluster/sharded_dfs.h"
 
 namespace musketeer {
 namespace {
@@ -62,6 +72,227 @@ TEST(DfsTest, IoAccounting) {
   EXPECT_DOUBLE_EQ(dfs.bytes_written(), 30);
   dfs.ResetStats();
   EXPECT_DOUBLE_EQ(dfs.bytes_read(), 0);
+}
+
+// The per-run byte attribution the coordinator relies on: reads recorded
+// while a scope is alive land in that scope, remote reads are a subset of
+// reads, inner scopes propagate into enclosing ones on close, and a sibling
+// thread's traffic never leaks in.
+TEST(DfsTest, ScopedRunCountersSplitAndNest) {
+  Dfs dfs;
+  ScopedDfsRunCounters outer;
+  dfs.RecordRead(100);
+  {
+    ScopedDfsRunCounters inner;
+    dfs.RecordRead(40);
+    dfs.RecordRemoteRead(25);
+    dfs.RecordWrite(10);
+    EXPECT_DOUBLE_EQ(inner.bytes_read(), 65);  // remote reads are reads too
+    EXPECT_DOUBLE_EQ(inner.bytes_remote_read(), 25);
+    EXPECT_DOUBLE_EQ(inner.bytes_written(), 10);
+    // While the inner scope is active, this thread's traffic goes there.
+    EXPECT_DOUBLE_EQ(outer.bytes_read(), 100);
+  }
+  // The inner scope folded into the enclosing one when it closed.
+  EXPECT_DOUBLE_EQ(outer.bytes_read(), 165);
+  EXPECT_DOUBLE_EQ(outer.bytes_remote_read(), 25);
+  EXPECT_DOUBLE_EQ(outer.bytes_written(), 10);
+
+  // A concurrent thread's scope sees only its own traffic.
+  std::thread other([&dfs] {
+    ScopedDfsRunCounters mine;
+    dfs.RecordRead(7);
+    EXPECT_DOUBLE_EQ(mine.bytes_read(), 7);
+    EXPECT_DOUBLE_EQ(mine.bytes_remote_read(), 0);
+  });
+  other.join();
+  EXPECT_DOUBLE_EQ(outer.bytes_read(), 165);
+
+  // The shared aggregate counters saw everything regardless of scoping.
+  EXPECT_DOUBLE_EQ(dfs.bytes_read(), 172);
+  EXPECT_DOUBLE_EQ(dfs.bytes_remote_read(), 25);
+  EXPECT_LE(dfs.bytes_remote_read(), dfs.bytes_read());
+}
+
+// ---- ShardMap --------------------------------------------------------------
+
+// Ownership of every key across the shards, strategy placements only.
+std::unordered_map<std::string, int> OwnersOf(const ShardMap& map, int keys) {
+  std::unordered_map<std::string, int> owners;
+  for (int i = 0; i < keys; ++i) {
+    const std::string name = "relation_" + std::to_string(i);
+    owners[name] = map.OwnerOf(name);
+  }
+  return owners;
+}
+
+int MovedKeys(const std::unordered_map<std::string, int>& before,
+              const std::unordered_map<std::string, int>& after) {
+  int moved = 0;
+  for (const auto& [name, owner] : before) {
+    if (after.at(name) != owner) {
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+// The consistent-hash stability property: adding or removing a shard moves
+// only about 1/M of the keyspace (we allow 2x slack for vnode variance),
+// while the modulo baseline reshuffles the majority of keys.
+TEST(ShardMapTest, ConsistentHashMovesFewKeysOnMembershipChange) {
+  constexpr int kKeys = 2000;
+
+  ShardMap ring(4, ShardingStrategy::kConsistentHash);
+  auto before = OwnersOf(ring, kKeys);
+  ASSERT_EQ(ring.AddShard(), 4);
+  auto grown = OwnersOf(ring, kKeys);
+  const int moved_on_add = MovedKeys(before, grown);
+  // Ideal is 1/5 of the keys; assert within 2x, and that it actually moved
+  // something (the new shard must take ownership of part of the ring).
+  EXPECT_GT(moved_on_add, 0);
+  EXPECT_LE(moved_on_add, 2 * kKeys / 5);
+  // Keys that moved all moved TO the new shard, never between old shards.
+  for (const auto& [name, owner] : before) {
+    const int now = grown.at(name);
+    if (now != owner) {
+      EXPECT_EQ(now, 4) << name << " moved between pre-existing shards";
+    }
+  }
+
+  // Removing the shard restores the original assignment exactly.
+  ring.RemoveShard(4);
+  EXPECT_EQ(MovedKeys(before, OwnersOf(ring, kKeys)), 0);
+
+  // The modulo control arm: the same membership change moves most keys.
+  ShardMap modulo(4, ShardingStrategy::kModulo);
+  auto modulo_before = OwnersOf(modulo, kKeys);
+  modulo.AddShard();
+  const int modulo_moved = MovedKeys(modulo_before, OwnersOf(modulo, kKeys));
+  EXPECT_GT(modulo_moved, kKeys / 2);
+  EXPECT_GT(modulo_moved, 2 * moved_on_add);
+}
+
+TEST(ShardMapTest, PinsWinOverStrategyAndSurviveMembershipChanges) {
+  ShardMap map(3);
+  const std::string name = "produced_intermediate";
+  const int strategy_owner = map.StrategyOwnerOf(name);
+  const int pinned = (strategy_owner + 1) % 3;
+
+  map.Pin(name, pinned);
+  EXPECT_EQ(map.OwnerOf(name), pinned);
+  EXPECT_EQ(map.StrategyOwnerOf(name), strategy_owner);
+  ASSERT_TRUE(map.PinnedOwner(name).has_value());
+  EXPECT_EQ(*map.PinnedOwner(name), pinned);
+
+  // Pins outlive the pinned shard's compute (the data is still in its
+  // partition) — RemoveShard must not silently re-home the relation.
+  map.RemoveShard(pinned);
+  EXPECT_FALSE(map.IsAlive(pinned));
+  EXPECT_EQ(map.OwnerOf(name), pinned);
+
+  map.Unpin(name);
+  const int rehomed = map.OwnerOf(name);
+  EXPECT_NE(rehomed, pinned);
+  EXPECT_TRUE(map.IsAlive(rehomed));
+}
+
+TEST(ShardMapTest, HashNameIsStableAcrossCalls) {
+  // Deterministic hash over the bytes: ownership is reproducible across
+  // processes (socket-mode peers each compute OwnerOf independently), so two
+  // maps built the same way must agree on every owner.
+  EXPECT_EQ(ShardMap::HashName("lineitem"), ShardMap::HashName("lineitem"));
+  EXPECT_NE(ShardMap::HashName("lineitem"), ShardMap::HashName("part"));
+  ShardMap a(3);
+  ShardMap b(3);
+  for (int i = 0; i < 100; ++i) {
+    const std::string name = "rel_" + std::to_string(i);
+    EXPECT_EQ(a.OwnerOf(name), b.OwnerOf(name));
+  }
+}
+
+// ---- ShardedDfs ------------------------------------------------------------
+
+TablePtr MakeIntTable(int64_t rows) {
+  Table table(Schema({{"x", FieldType::kInt64}}));
+  for (int64_t i = 0; i < rows; ++i) {
+    table.AddRow({i});
+  }
+  return std::make_shared<Table>(std::move(table));
+}
+
+// A view reading its own partition is free; reading another shard's relation
+// is a counted fetch of the relation's nominal bytes, and the fetched copy
+// is bit-identical to the original.
+TEST(ShardedDfsTest, ViewFetchAccountingSplitsLocalFromRemote) {
+  ShardedDfs dfs(2);
+  TablePtr table = MakeIntTable(64);
+  dfs.Put("rel", table);
+  const int owner = dfs.shard_map().OwnerOf("rel");
+  const int other = 1 - owner;
+
+  EXPECT_TRUE(dfs.View(owner)->IsLocal("rel"));
+  EXPECT_FALSE(dfs.View(other)->IsLocal("rel"));
+
+  auto local = dfs.View(owner)->Get("rel");
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(local->get(), table.get());  // same object: no copy, no charge
+  EXPECT_EQ(dfs.remote_fetches(), 0u);
+  EXPECT_DOUBLE_EQ(dfs.remote_bytes_fetched(), 0.0);
+
+  auto remote = dfs.View(other)->Get("rel");
+  ASSERT_TRUE(remote.ok());
+  EXPECT_NE(remote->get(), table.get());  // deep copy crossed the "network"
+  EXPECT_TRUE(Table::Identical(*table, **remote));
+  EXPECT_EQ(dfs.remote_fetches(), 1u);
+  EXPECT_DOUBLE_EQ(dfs.remote_bytes_fetched(), table->nominal_bytes());
+  EXPECT_GT(dfs.measured_remote_mbps(), 0.0);
+
+  // The global (planner) vantage point never pays fetch charges.
+  ASSERT_TRUE(dfs.Get("rel").ok());
+  EXPECT_EQ(dfs.remote_fetches(), 1u);
+}
+
+// Placement-near-data: a view's Put lands in its own partition, pins the
+// relation there, and drops the stale copy at the strategy owner.
+TEST(ShardedDfsTest, ViewPutPinsOutputAndDropsStaleCopy) {
+  ShardedDfs dfs(3);
+  const std::string name = "intermediate";
+  const int strategy_owner = dfs.shard_map().StrategyOwnerOf(name);
+  dfs.Put(name, MakeIntTable(8));  // v1 at the strategy owner
+  ASSERT_TRUE(dfs.partition(strategy_owner).Contains(name));
+
+  const int producer = (strategy_owner + 1) % 3;
+  dfs.View(producer)->Put(name, MakeIntTable(16));  // v2, produced elsewhere
+  EXPECT_EQ(dfs.shard_map().OwnerOf(name), producer);
+  EXPECT_TRUE(dfs.partition(producer).Contains(name));
+  EXPECT_FALSE(dfs.partition(strategy_owner).Contains(name));
+
+  // Exactly one authoritative copy: the global read resolves to v2.
+  auto table = dfs.Get(name);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 16u);
+  EXPECT_EQ(dfs.ListRelations(), (std::vector<std::string>{name}));
+}
+
+// Post-failover read path: when the directory's answer has no data (the
+// relation was placed before a membership change), Get scans the partitions,
+// serves the hit, and repairs the directory so the next read is one hop.
+TEST(ShardedDfsTest, DirectoryMissFallsBackToScanAndRepairs) {
+  ShardedDfs dfs(3);
+  const std::string name = "orphan";
+  dfs.Put(name, MakeIntTable(4));
+  const int holder = dfs.shard_map().OwnerOf(name);
+
+  // Simulate a stale directory: strategy re-homes the relation elsewhere.
+  dfs.shard_map().RemoveShard(holder);
+  ASSERT_NE(dfs.shard_map().OwnerOf(name), holder);
+
+  auto table = dfs.Get(name);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->num_rows(), 4u);
+  // Repaired: pinned back to the partition that actually holds the bytes.
+  EXPECT_EQ(dfs.shard_map().OwnerOf(name), holder);
 }
 
 }  // namespace

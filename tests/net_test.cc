@@ -20,6 +20,7 @@
 #include "src/base/json.h"
 #include "src/core/musketeer.h"
 #include "src/net/client.h"
+#include "src/net/peer_dfs.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/workloads/datasets.h"
@@ -574,6 +575,106 @@ TEST(NetServerTest, ShutdownDrainsThenRefusesConnections) {
 
   NetClient late;
   EXPECT_FALSE(late.Connect("127.0.0.1", port).ok());
+}
+
+// ---- peer-to-peer shard transport (src/net/peer_dfs.h) ---------------------
+
+TEST(PeerDfsTest, ParsePeerListHandlesHostsPortsAndPlaceholders) {
+  auto peers = ParsePeerList("10.0.0.1:7000,-,127.0.0.1:7002");
+  ASSERT_TRUE(peers.has_value());
+  ASSERT_EQ(peers->size(), 3u);
+  EXPECT_EQ((*peers)[0].host, "10.0.0.1");
+  EXPECT_EQ((*peers)[0].port, 7000);
+  EXPECT_EQ((*peers)[1].port, 0);  // '-' marks this process's own slot
+  EXPECT_EQ((*peers)[2].host, "127.0.0.1");
+  EXPECT_EQ((*peers)[2].port, 7002);
+
+  EXPECT_FALSE(ParsePeerList("hostwithoutport").has_value());
+  EXPECT_FALSE(ParsePeerList(":7000").has_value());
+  EXPECT_FALSE(ParsePeerList("h:0").has_value());
+  EXPECT_FALSE(ParsePeerList("h:99999").has_value());
+  EXPECT_FALSE(ParsePeerList("h:seven").has_value());
+}
+
+// Ownership is a pure function of the relation name — every process computes
+// it from the same ShardMap hash, no directory sync. With no peer reachable
+// (port-0 placeholders), a Put routed to a remote owner degrades to a local
+// store and is counted, so the workflow still finishes.
+TEST(PeerDfsTest, StrategyPureOwnershipAndDegradedPut) {
+  const std::vector<PeerAddress> unreachable(3);  // all port 0
+  PeerDfs dfs(/*self_shard=*/0, /*num_shards=*/3, unreachable);
+  ShardMap reference(3);
+
+  // Find one self-owned and one remotely-owned name.
+  std::string local_name, remote_name;
+  for (int i = 0; local_name.empty() || remote_name.empty(); ++i) {
+    const std::string name = "rel_" + std::to_string(i);
+    ASSERT_EQ(dfs.OwnerOf(name), reference.OwnerOf(name));
+    (dfs.OwnerOf(name) == 0 ? local_name : remote_name) = name;
+  }
+
+  auto table = std::make_shared<Table>(Schema({{"x", FieldType::kInt64}}));
+  dfs.Put(local_name, table);
+  EXPECT_EQ(dfs.push_failures(), 0u);
+  EXPECT_TRUE(dfs.Contains(local_name));
+  EXPECT_TRUE(dfs.IsLocal(local_name));
+
+  dfs.Put(remote_name, table);  // owner unreachable → degraded local store
+  EXPECT_EQ(dfs.push_failures(), 1u);
+  EXPECT_TRUE(dfs.Get(remote_name).ok());
+  EXPECT_TRUE(dfs.IsLocal(remote_name));  // physically held here
+
+  // A relation nobody holds: the owner is unreachable and the scan finds
+  // nothing, so the miss is a NotFound, not a hang or a crash.
+  EXPECT_FALSE(dfs.Get("never_put").ok());
+  EXPECT_EQ(dfs.remote_fetches(), 0u);
+}
+
+// The relation exchange endpoints against a live server: list/fetch/push
+// round-trip a table bit-identically, scale (nominal-size accounting) rides
+// along, and the endpoints serve the node's LOCAL holdings only.
+TEST(NetServerTest, RelationEndpointsRoundTripBitIdentical) {
+  Dfs dfs;
+  Table original(Schema({{"id", FieldType::kInt64},
+                         {"rank", FieldType::kDouble},
+                         {"name", FieldType::kString}}));
+  original.AddRow({static_cast<int64_t>(1), 0.125, std::string("alpha")});
+  original.AddRow({static_cast<int64_t>(2), 2.5e-17, std::string("beta beta")});
+  original.set_scale(1000.0);
+  TablePtr stored = std::make_shared<Table>(std::move(original));
+  dfs.Put("ranks", stored);
+
+  ServiceConfig config;
+  config.num_workers = 1;
+  WorkflowService service(&dfs, config);
+  HttpServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  auto names = client.ListRelations();
+  ASSERT_TRUE(names.ok()) << names.status();
+  EXPECT_EQ(*names, (std::vector<std::string>{"ranks"}));
+
+  auto fetched = client.FetchRelation("ranks");
+  ASSERT_TRUE(fetched.ok()) << fetched.status();
+  EXPECT_TRUE(Table::Identical(*stored, **fetched));
+  EXPECT_DOUBLE_EQ((*fetched)->scale(), 1000.0);
+
+  auto missing = client.FetchRelation("absent");
+  EXPECT_FALSE(missing.ok());
+
+  // Push a new relation; the server must hold an identical copy.
+  Table pushed(Schema({{"v", FieldType::kDouble}}));
+  pushed.AddRow({0.1 + 0.2});  // a double that needs round-trip formatting
+  ASSERT_TRUE(client.PushRelation("pushed_rel", pushed).ok());
+  auto held = dfs.Get("pushed_rel");
+  ASSERT_TRUE(held.ok());
+  EXPECT_TRUE(Table::Identical(pushed, **held));
+
+  server.Shutdown();
+  service.Shutdown();
 }
 
 }  // namespace

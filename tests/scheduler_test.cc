@@ -9,6 +9,7 @@
 
 #include "src/frontends/frontend.h"
 #include "src/scheduler/decision_tree.h"
+#include "src/scheduler/placement.h"
 #include "src/workloads/workflows.h"
 
 namespace musketeer {
@@ -300,6 +301,149 @@ TEST(HistoryTest, SaveToLoadFromFile) {
   HistoryStore bad;
   EXPECT_FALSE(bad.FromJson("{not json").ok());
   EXPECT_FALSE(bad.FromJson(R"({"wf": "not-an-array"})").ok());
+}
+
+TEST(HistoryTest, MergeFromKeepsBestEvidencedEntry) {
+  HistoryStore mine;
+  mine.Record("wf", "join_out", 100);
+  mine.Record("wf", "join_out", 120);  // 2 samples, latest bytes 120
+  mine.Record("wf", "mine_only", 5);
+
+  HistoryStore theirs;
+  theirs.Record("wf", "join_out", 999);  // 1 sample: less evidence, loses
+  theirs.Record("wf", "theirs_only", 7);
+  theirs.Record("other", "rel", 11);
+
+  mine.MergeFrom(theirs);
+  // More samples win; counts sum (both sides' observations are real).
+  EXPECT_DOUBLE_EQ(*mine.Lookup("wf", "join_out"), 120);
+  EXPECT_EQ(mine.SamplesFor("wf", "join_out"), 3);
+  // Entries present on only one side are kept.
+  EXPECT_DOUBLE_EQ(*mine.Lookup("wf", "mine_only"), 5);
+  EXPECT_DOUBLE_EQ(*mine.Lookup("wf", "theirs_only"), 7);
+  EXPECT_DOUBLE_EQ(*mine.Lookup("other", "rel"), 11);
+
+  // A tie in samples goes to the existing entry (it is at least as fresh).
+  HistoryStore tie;
+  tie.Record("wf", "join_out", 555);  // 1 sample vs mine's 3: mine keeps
+  mine.MergeFrom(tie);
+  EXPECT_DOUBLE_EQ(*mine.Lookup("wf", "join_out"), 120);
+}
+
+// Satellite (a) regression: LoadFrom into a warm store must MERGE, not
+// clobber. A service that re-reads a stale history file keeps every
+// observation it accumulated in memory since the file was written.
+TEST(HistoryTest, LoadFromMergesIntoWarmStore) {
+  const std::string path = "history_merge_test.json";
+  HistoryStore stale;
+  stale.Record("wf", "join_out", 50);   // the file's (older) belief
+  stale.Record("wf", "file_only", 10);
+  ASSERT_TRUE(stale.SaveTo(path).ok());
+
+  HistoryStore warm;
+  warm.Record("wf", "join_out", 80);
+  warm.Record("wf", "join_out", 90);    // 2 samples: more evidence than file
+  warm.Record("wf", "warm_only", 30);
+  ASSERT_TRUE(warm.LoadFrom(path).ok());
+  std::remove(path.c_str());
+
+  EXPECT_DOUBLE_EQ(*warm.Lookup("wf", "join_out"), 90);  // survived reload
+  EXPECT_EQ(warm.SamplesFor("wf", "join_out"), 3);
+  EXPECT_DOUBLE_EQ(*warm.Lookup("wf", "warm_only"), 30);
+  EXPECT_DOUBLE_EQ(*warm.Lookup("wf", "file_only"), 10);
+  EXPECT_EQ(warm.EntriesFor("wf"), 3);
+}
+
+// The cost model's cross-shard term: a candidate shard that owns the job's
+// inputs costs exactly the engine time; a shard that must fetch them pays
+// extra transfer seconds at the supplied byte rate — so the owner is argmin,
+// and a faster measured network shrinks the penalty.
+TEST(CostModelTest, ShardLocalityChargesRemoteInputsAtMeasuredRate) {
+  auto dag = MaxPropertyPriceDag();
+  CostModel model(LocalCluster(), nullptr, "wf");
+  auto sizes = model.PredictSizes(*dag, PropertySizes());
+  ASSERT_TRUE(sizes.ok());
+  std::vector<int> ops;
+  for (const auto& n : dag->nodes()) {
+    if (n.kind != OpKind::kInput) {
+      ops.push_back(n.id);
+    }
+  }
+
+  ShardMap map(2);
+  map.Pin("properties", 0);
+  map.Pin("prices", 0);
+
+  const double base = model.JobCost(*dag, ops, EngineKind::kNaiad, *sizes);
+  ShardLocality on_owner{&map, /*shard=*/0, /*remote_mbps=*/100.0};
+  ShardLocality off_owner{&map, /*shard=*/1, /*remote_mbps=*/100.0};
+  ShardLocality off_owner_fast{&map, /*shard=*/1, /*remote_mbps=*/1000.0};
+
+  EXPECT_DOUBLE_EQ(model.JobCost(*dag, ops, EngineKind::kNaiad, *sizes,
+                                 &on_owner),
+                   base);
+  const double remote =
+      model.JobCost(*dag, ops, EngineKind::kNaiad, *sizes, &off_owner);
+  const double remote_fast =
+      model.JobCost(*dag, ops, EngineKind::kNaiad, *sizes, &off_owner_fast);
+  EXPECT_GT(remote, base);
+  EXPECT_GT(remote_fast, base);
+  EXPECT_LT(remote_fast, remote);  // 10x the bandwidth, smaller penalty
+
+  // Split ownership: each candidate pays only for the inputs it lacks, so
+  // the shard owning the bigger input (properties, 4 GB vs 2 GB) wins.
+  map.Pin("prices", 1);
+  const double shard0 =
+      model.JobCost(*dag, ops, EngineKind::kNaiad, *sizes, &on_owner);
+  const double shard1 =
+      model.JobCost(*dag, ops, EngineKind::kNaiad, *sizes, &off_owner);
+  EXPECT_LT(shard0, shard1);
+  EXPECT_GT(shard0, base);  // still pays for fetching `prices`
+}
+
+TEST(PlacementTest, LocalityPicksByteArgmaxRandomIsSeededAndBlind) {
+  ShardMap map(3);
+  map.Pin("big", 2);
+  map.Pin("small", 0);
+  const std::vector<std::pair<std::string, Bytes>> inputs = {
+      {"big", 3 * kGB}, {"small", 1 * kGB}};
+  const std::vector<int> candidates = {0, 1, 2};
+
+  ShardPlacer locality(&map, PlacementPolicy::kLocality);
+  PlacementDecision d = locality.Place("job", inputs, candidates);
+  EXPECT_EQ(d.shard, 2);
+  EXPECT_TRUE(d.locality_hit);
+  EXPECT_DOUBLE_EQ(d.local_bytes, 3 * kGB);
+  EXPECT_DOUBLE_EQ(d.remote_bytes, 1 * kGB);
+  EXPECT_EQ(locality.locality_hits(), 1u);
+  EXPECT_DOUBLE_EQ(locality.cross_shard_bytes(), 1 * kGB);
+
+  // Adopt records an externally made choice, scoring it against the optimum.
+  PlacementDecision adopted = locality.Adopt(inputs, candidates, 1);
+  EXPECT_EQ(adopted.shard, 1);
+  EXPECT_FALSE(adopted.locality_hit);  // shard 1 owns nothing
+  EXPECT_DOUBLE_EQ(adopted.remote_bytes, 4 * kGB);
+  EXPECT_EQ(locality.placements(), 2u);
+  EXPECT_EQ(locality.locality_hits(), 1u);
+
+  // Random is a pure function of (seed, job name): reproducible across
+  // placers, and different jobs spread (not all on one shard).
+  ShardPlacer random_a(&map, PlacementPolicy::kRandom, /*seed=*/7);
+  ShardPlacer random_b(&map, PlacementPolicy::kRandom, /*seed=*/7);
+  bool spread = false;
+  int first = -1;
+  for (int i = 0; i < 16; ++i) {
+    const std::string job = "job_" + std::to_string(i);
+    PlacementDecision da = random_a.Place(job, inputs, candidates);
+    PlacementDecision db = random_b.Place(job, inputs, candidates);
+    EXPECT_EQ(da.shard, db.shard);
+    if (first < 0) {
+      first = da.shard;
+    } else if (da.shard != first) {
+      spread = true;
+    }
+  }
+  EXPECT_TRUE(spread);
 }
 
 TEST(DecisionTreeTest, FollowsItsRigidRules) {

@@ -12,9 +12,13 @@
 # bench_service_throughput), and lastly the network front door gate (net
 # tests under TSan plus a scripted curl session against a live --listen
 # server covering submit/status/cancel/metrics, a 429 over-quota burst and
-# SIGTERM drain), and finally the vectorized-kernel gate (Release-build
+# SIGTERM drain), then the vectorized-kernel gate (Release-build
 # thread-scaling floors in bench_columnar_ops plus the kernel and
-# engine-equivalence tests under TSan at 8 threads). Run from anywhere;
+# engine-equivalence tests under TSan at 8 threads), and finally the
+# sharded-execution gate (shard coordinator tests under TSan, a scripted CLI
+# run asserting --shards=3 output is byte-identical to --shards=1 even across
+# a seeded mid-run shard death, and bench_shard_scaling's locality hit-rate /
+# cross-shard-bytes / no-regression acceptance). Run from anywhere;
 # builds land in <repo>/build, <repo>/build-tsan, <repo>/build-asan and
 # <repo>/build-relassert.
 set -euo pipefail
@@ -22,28 +26,28 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc)"
 
-echo "== [1/8] normal build + tests =="
+echo "== [1/9] normal build + tests =="
 cmake -S "$repo" -B "$repo/build" >/dev/null
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
-echo "== [2/8] ThreadSanitizer build + tests =="
+echo "== [2/9] ThreadSanitizer build + tests =="
 cmake -S "$repo" -B "$repo/build-tsan" -DMUSKETEER_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs"
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs"
 
-echo "== [3/8] AddressSanitizer+UBSan build + tests =="
+echo "== [3/9] AddressSanitizer+UBSan build + tests =="
 cmake -S "$repo" -B "$repo/build-asan" -DMUSKETEER_SANITIZE=address >/dev/null
 cmake --build "$repo/build-asan" -j "$jobs"
 ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
 
-echo "== [4/8] Release-with-assertions build + tests =="
+echo "== [4/9] Release-with-assertions build + tests =="
 cmake -S "$repo" -B "$repo/build-relassert" -DCMAKE_BUILD_TYPE=Release \
       -DMUSKETEER_KEEP_ASSERTS=ON >/dev/null
 cmake --build "$repo/build-relassert" -j "$jobs"
 ctest --test-dir "$repo/build-relassert" --output-on-failure -j "$jobs"
 
-echo "== [5/8] observability: overhead budget + trace validity =="
+echo "== [5/9] observability: overhead budget + trace validity =="
 # Overhead gate: instrumented-vs-uninstrumented kernel throughput, exits
 # non-zero above the 5% budget; writes BENCH_obs_overhead.json.
 (cd "$repo/build" && ./bench/bench_obs_overhead)
@@ -83,7 +87,7 @@ else
   echo "trace written (python3 unavailable, JSON not validated)"
 fi
 
-echo "== [6/8] fault tolerance: TSan fault tests + seeded sweep + overhead gate =="
+echo "== [6/9] fault tolerance: TSan fault tests + seeded sweep + overhead gate =="
 # The concurrency and cancellation fault tests under ThreadSanitizer: workers
 # recovering injected faults and racing cancellations against one shared DFS.
 "$repo/build-tsan/tests/fault_test" --gtest_filter='*Concurrent*:*Cancel*'
@@ -101,7 +105,7 @@ test -s "$obs_tmp/fault_out.csv"
 # service throughput.
 (cd "$repo/build" && ./bench/bench_service_throughput)
 
-echo "== [7/8] network front door: scripted client session + TSan net tests =="
+echo "== [7/9] network front door: scripted client session + TSan net tests =="
 # Server tests (HTTP parser, live-socket e2e, line protocol, tenant quotas)
 # under ThreadSanitizer: the poll loop, worker pool and client threads all
 # share the ticket registry.
@@ -158,7 +162,7 @@ kill -TERM "$server_pid"
 wait "$server_pid" || true
 grep -q "shutting down" "$obs_tmp/server_out.txt"
 
-echo "== [8/8] vectorized kernels: Release scaling gate + TSan sweep =="
+echo "== [8/9] vectorized kernels: Release scaling gate + TSan sweep =="
 # Scaling gate: bench_columnar_ops sweeps threads {1,2,4,8} over every op and
 # exits non-zero when a floor is missed. Floors are hardware-aware: with >= 8
 # real cores, hash_join and group_by_agg must reach >= 4x at 8 threads and
@@ -175,5 +179,35 @@ echo "== [8/8] vectorized kernels: Release scaling gate + TSan sweep =="
 MUSKETEER_THREADS=8 "$repo/build-tsan/tests/column_test"
 MUSKETEER_THREADS=8 "$repo/build-tsan/tests/engine_equivalence_test" \
     --gtest_filter='*Parallel*:*RowReference*:*Fused*'
+
+echo "== [9/9] sharded execution: TSan coordinator tests + CLI bit-identity + scaling gate =="
+# The shard coordinator under ThreadSanitizer: per-shard worker pools execute
+# against per-shard DFS views of one ShardedDfs while the coordinator thread
+# reads the shared directory and fetch counters.
+"$repo/build-tsan/tests/shard_test" \
+    --gtest_filter='ShardCoordinatorTest.*:*SeededShardDeath*'
+
+# Scripted CLI bit-identity: the same workflow at --shards=1 and --shards=3
+# (and at 3 shards with a mid-run shard death) must produce byte-identical
+# output files. This is the tentpole's headline contract end to end.
+(cd "$obs_tmp" && "$repo/build/tools/musketeer" \
+    --input=lhs=lhs.csv:id:int,v:int --input=rhs=rhs.csv:id:int,w:int \
+    --output=joined=shard1.csv --shards=1 tiny.beer > shard1_out.txt)
+(cd "$obs_tmp" && "$repo/build/tools/musketeer" \
+    --input=lhs=lhs.csv:id:int,v:int --input=rhs=rhs.csv:id:int,w:int \
+    --output=joined=shard3.csv --shards=3 tiny.beer > shard3_out.txt)
+(cd "$obs_tmp" && "$repo/build/tools/musketeer" \
+    --input=lhs=lhs.csv:id:int,v:int --input=rhs=rhs.csv:id:int,w:int \
+    --output=joined=shard3f.csv --shards=3 --shard-fault=0@1 \
+    --max-retries=3 tiny.beer > shard3f_out.txt)
+cmp "$obs_tmp/shard1.csv" "$obs_tmp/shard3.csv"
+cmp "$obs_tmp/shard1.csv" "$obs_tmp/shard3f.csv"
+grep -q "sharding: 3 shard(s)" "$obs_tmp/shard3_out.txt"
+
+# Scaling + placement gate: the 9-workflow suite across 1/2/3 shards must
+# stay bit-identical to unsharded runs, reach >= 80% locality hit rate, beat
+# random placement on cross-shard bytes, and not regress wall clock. Writes
+# BENCH_shard_scaling.json.
+(cd "$repo/build" && ./bench/bench_shard_scaling)
 
 echo "== all checks passed =="

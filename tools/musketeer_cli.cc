@@ -30,6 +30,16 @@
 //                                    run and save it back after (JSON)
 //   --serve=N                        run a workflow service with N workers;
 //                                    every positional file is submitted
+//   --shards=M                       one-shot across M in-process DFS shards
+//                                    (locality-aware placement; outputs are
+//                                    bit-identical to --shards=1 at any M)
+//   --placement=locality|random      shard placement policy
+//   --shard-fault=SHARD@N            kill a shard's compute mid-run (demo of
+//                                    next-cheapest-shard failover)
+//   --shard-of=K/M --peers=...       socket mode: serve shard K of an
+//                                    M-process cluster (compose with
+//                                    --listen; peers exchange relations over
+//                                    GET/PUT /relation/<name>)
 //   --repeat=K                       service mode: submit each file K times
 //   --queue=CAP                      service mode: submission queue bound
 //   --no-plan-cache                  service mode: disable the plan cache
@@ -51,12 +61,15 @@
 
 #include "src/base/parallel.h"
 #include "src/base/strings.h"
+#include "src/cluster/sharded_dfs.h"
 #include "src/core/musketeer.h"
+#include "src/net/peer_dfs.h"
 #include "src/net/server.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/relational/csv.h"
 #include "src/service/service.h"
+#include "src/service/shard_coordinator.h"
 
 using namespace musketeer;
 
@@ -130,6 +143,18 @@ void PrintUsage() {
       "  --explain\n"
       "  --trace-out=FILE --metrics --history-file=FILE\n"
       "  --serve=N --repeat=K --queue=CAP --no-plan-cache\n"
+      "  --shards=M                    (one-shot over M in-process DFS shards\n"
+      "                                 with locality-aware job placement)\n"
+      "  --placement=locality|random   (shard placement policy, default\n"
+      "                                 locality)\n"
+      "  --shard-fault=SHARD@N         (kill SHARD's compute after N job\n"
+      "                                 dispatches; its data stays readable)\n"
+      "  --shard-of=K/M --peers=H:P,...  (serve shard K of an M-process\n"
+      "                                 cluster; compose with --listen. The\n"
+      "                                 peer list has one host:port per\n"
+      "                                 shard, '-' for this process's slot;\n"
+      "                                 each process loads only the --input\n"
+      "                                 relations its shard owns)\n"
       "  --listen=PORT                 (serve HTTP + line protocol; compose\n"
       "                                 with --serve=N for the worker count,\n"
       "                                 Ctrl-C drains and exits)\n"
@@ -378,8 +403,23 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string history_file;
   bool dump_metrics = false;
+  int num_shards = 0;      // >= 1 = in-process sharded one-shot mode
+  PlacementPolicy placement = PlacementPolicy::kLocality;
+  int shard_fault = -1;
+  int64_t shard_fault_after = 0;
+  int shard_of_k = -1;     // >= 0 = socket shard mode (--shard-of=K/M)
+  int shard_of_m = 0;
+  std::vector<PeerAddress> peer_addrs;
+  bool peers_given = false;
 
-  Dfs dfs;
+  // Input relations are parsed now but loaded only after the storage layer
+  // (plain, sharded, or peer) is chosen.
+  struct CliInput {
+    std::string name;
+    std::string file;
+    Schema schema;
+  };
+  std::vector<CliInput> inputs;
   std::vector<std::pair<std::string, double>> scales;
 
   for (int i = 1; i < argc; ++i) {
@@ -565,11 +605,59 @@ int main(int argc, char** argv) {
       if (!schema.has_value()) {
         return Fail("bad schema spec in " + arg);
       }
-      auto table = LoadCsvFile(file, *schema);
-      if (!table.ok()) {
-        return Fail("loading " + file + ": " + table.status().ToString());
+      inputs.push_back({std::move(name), std::move(file), std::move(*schema)});
+      continue;
+    }
+    if (StartsWith(arg, "--shards=")) {
+      auto n = ParseInt64(arg.substr(9));
+      if (!n.has_value() || *n < 1 || *n > 64) {
+        return Fail("--shards needs a shard count in [1, 64]");
       }
-      dfs.Put(name, std::make_shared<Table>(std::move(table).value()));
+      num_shards = static_cast<int>(*n);
+      continue;
+    }
+    if (StartsWith(arg, "--placement=")) {
+      auto policy = PlacementPolicyFromName(arg.substr(12));
+      if (!policy.has_value()) {
+        return Fail("--placement needs locality or random");
+      }
+      placement = *policy;
+      continue;
+    }
+    if (StartsWith(arg, "--shard-fault=")) {
+      std::string spec = arg.substr(14);
+      size_t at = spec.find('@');
+      auto shard = ParseInt64(spec.substr(0, at));
+      std::optional<int64_t> after;
+      if (at != std::string::npos) after = ParseInt64(spec.substr(at + 1));
+      if (!shard.has_value() || *shard < 0 || !after.has_value() ||
+          *after < 0) {
+        return Fail("--shard-fault needs SHARD@DISPATCHES");
+      }
+      shard_fault = static_cast<int>(*shard);
+      shard_fault_after = *after;
+      continue;
+    }
+    if (StartsWith(arg, "--shard-of=")) {
+      std::string spec = arg.substr(11);
+      size_t slash = spec.find('/');
+      auto k = ParseInt64(spec.substr(0, slash));
+      std::optional<int64_t> m;
+      if (slash != std::string::npos) m = ParseInt64(spec.substr(slash + 1));
+      if (!k.has_value() || !m.has_value() || *m < 1 || *k < 0 || *k >= *m) {
+        return Fail("--shard-of needs K/M with 0 <= K < M");
+      }
+      shard_of_k = static_cast<int>(*k);
+      shard_of_m = static_cast<int>(*m);
+      continue;
+    }
+    if (StartsWith(arg, "--peers=")) {
+      auto parsed = ParsePeerList(arg.substr(8));
+      if (!parsed.has_value()) {
+        return Fail("--peers needs host:port,host:port,... ('-' = own slot)");
+      }
+      peer_addrs = std::move(*parsed);
+      peers_given = true;
       continue;
     }
     if (StartsWith(arg, "--scale=")) {
@@ -607,16 +695,61 @@ int main(int argc, char** argv) {
   if (listen_port < 0 && serve_workers == 0 && workflow_paths.size() > 1) {
     return Fail("multiple workflow files need --serve=N");
   }
+  if (num_shards > 0 && shard_of_k >= 0) {
+    return Fail("--shards (in-process) and --shard-of (socket) are exclusive");
+  }
+  if (num_shards > 0 && (serve_workers > 0 || listen_port >= 0)) {
+    return Fail("--shards is a one-shot mode; use --shard-of for servers");
+  }
+  if (shard_of_k >= 0) {
+    if (listen_port < 0) {
+      return Fail("--shard-of needs --listen=PORT (peers fetch relations "
+                  "over the front door)");
+    }
+    if (!peers_given || static_cast<int>(peer_addrs.size()) != shard_of_m) {
+      return Fail("--shard-of=K/M needs --peers with exactly M entries");
+    }
+  } else if (peers_given) {
+    return Fail("--peers only makes sense with --shard-of=K/M");
+  }
+
+  // Stand up the chosen storage layer, then load inputs into it.
+  Dfs plain_dfs;
+  std::unique_ptr<ShardedDfs> sharded_dfs;
+  std::unique_ptr<PeerDfs> peer_dfs;
+  Dfs* dfs = &plain_dfs;
+  if (num_shards > 0) {
+    sharded_dfs = std::make_unique<ShardedDfs>(num_shards);
+    dfs = sharded_dfs.get();
+  } else if (shard_of_k >= 0) {
+    peer_dfs = std::make_unique<PeerDfs>(shard_of_k, shard_of_m,
+                                         std::move(peer_addrs));
+    dfs = peer_dfs.get();
+  }
+
+  for (const auto& input : inputs) {
+    if (peer_dfs != nullptr && peer_dfs->OwnerOf(input.name) != shard_of_k) {
+      continue;  // another process in the cluster owns (and loads) this one
+    }
+    auto table = LoadCsvFile(input.file, input.schema);
+    if (!table.ok()) {
+      return Fail("loading " + input.file + ": " + table.status().ToString());
+    }
+    dfs->Put(input.name, std::make_shared<Table>(std::move(table).value()));
+  }
 
   // Apply nominal scales.
   for (const auto& [name, factor] : scales) {
-    auto table = dfs.Get(name);
+    if (peer_dfs != nullptr && peer_dfs->OwnerOf(name) != shard_of_k) {
+      continue;  // the owning process applies this relation's scale
+    }
+    auto table = dfs->Get(name);
     if (!table.ok()) {
       return Fail("--scale names unknown input '" + name + "'");
     }
     auto scaled = std::make_shared<Table>(**table);
     scaled->set_scale(factor);
-    dfs.Put(name, scaled);
+    dfs->Put(name, scaled);
   }
 
   HistoryStore history;
@@ -669,7 +802,12 @@ int main(int argc, char** argv) {
   options.fault_seed = static_cast<uint64_t>(fault_seed);
 
   if (listen_port >= 0) {
-    return epilogue(RunListen(&dfs, workflow_paths, language, options,
+    if (peer_dfs != nullptr) {
+      std::printf("musketeer: serving shard %d of %d (%s partitioning)\n",
+                  shard_of_k, shard_of_m,
+                  ShardingStrategyName(ShardingStrategy::kConsistentHash));
+    }
+    return epilogue(RunListen(dfs, workflow_paths, language, options,
                               serve_workers > 0 ? serve_workers : 4,
                               static_cast<uint16_t>(listen_port),
                               static_cast<size_t>(queue_capacity), plan_cache,
@@ -678,7 +816,7 @@ int main(int argc, char** argv) {
                               tenant_quotas, &history, &runtime_history));
   }
   if (serve_workers > 0) {
-    return epilogue(RunServe(&dfs, workflow_paths, language, options,
+    return epilogue(RunServe(dfs, workflow_paths, language, options,
                              serve_workers, repeat,
                              static_cast<size_t>(queue_capacity), plan_cache,
                              &history, &runtime_history));
@@ -692,7 +830,7 @@ int main(int argc, char** argv) {
   }
   WorkflowSpec workflow = std::move(*loaded);
 
-  Musketeer m(&dfs);
+  Musketeer m(dfs);
 
   if (explain) {
     auto dag = m.Lower(workflow, /*optimize=*/true);
@@ -703,7 +841,21 @@ int main(int argc, char** argv) {
                 (*dag)->TotalOperatorCount(), (*dag)->DebugString().c_str());
   }
 
-  auto result = m.Run(workflow, options);
+  // Sharded one-shot: the plan fans out across the coordinator's shards
+  // instead of executing inline. Results are Table::Identical either way.
+  std::unique_ptr<ShardCoordinator> coordinator;
+  if (sharded_dfs != nullptr) {
+    CoordinatorConfig coord_config;
+    coord_config.placement = placement;
+    coord_config.fault_shard = shard_fault;
+    coord_config.fault_after_dispatches = static_cast<int>(shard_fault_after);
+    coord_config.default_options = options;
+    coordinator =
+        std::make_unique<ShardCoordinator>(sharded_dfs.get(), coord_config);
+  }
+
+  auto result = coordinator != nullptr ? coordinator->Run(workflow, options)
+                                       : m.Run(workflow, options);
   if (!result.ok()) {
     return Fail(result.status().ToString());
   }
@@ -729,6 +881,28 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (coordinator != nullptr) {
+    const CoordinatorStats cs = coordinator->stats();
+    std::string per_shard;
+    for (uint64_t jobs : cs.jobs_per_shard) {
+      if (!per_shard.empty()) per_shard += " ";
+      per_shard += std::to_string(jobs);
+    }
+    std::printf("sharding: %d shard(s), jobs [%s], placement %s, "
+                "locality %llu/%llu\n",
+                coordinator->num_shards(), per_shard.c_str(),
+                PlacementPolicyName(placement),
+                (unsigned long long)cs.locality_hits,
+                (unsigned long long)cs.placements);
+    std::printf("          %llu cross-shard fetch(es), %.2f MB at "
+                "%.1f MB/s measured\n",
+                (unsigned long long)cs.remote_fetches,
+                cs.remote_bytes_fetched / kMB, cs.measured_remote_mbps);
+    if (cs.shard_failovers > 0) {
+      std::printf("          %llu shard failover(s)\n",
+                  (unsigned long long)cs.shard_failovers);
+    }
+  }
   if (explain) {
     for (const JobPlan& plan : result->plans) {
       std::printf("\n--- %s ---\n%s", plan.name.c_str(),
@@ -737,7 +911,7 @@ int main(int argc, char** argv) {
   }
 
   for (const auto& [relation, file] : outputs) {
-    auto table = dfs.Get(relation);
+    auto table = dfs->Get(relation);
     if (!table.ok()) {
       return Fail("workflow produced no relation '" + relation + "'");
     }
