@@ -93,6 +93,18 @@ ScopedDfsRunCounters::~ScopedDfsRunCounters() {
 
 void Dfs::Put(const std::string& name, TablePtr table) {
   local_.Put(name, std::move(table));
+  BumpVersion(name);
+}
+
+uint64_t Dfs::VersionOf(const std::string& name) const {
+  std::shared_lock lock(version_mu_);
+  auto it = versions_.find(name);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+void Dfs::BumpVersion(const std::string& name) {
+  std::unique_lock lock(version_mu_);
+  ++versions_[name];
 }
 
 StatusOr<TablePtr> Dfs::Get(const std::string& name) const {

@@ -94,6 +94,15 @@ class Dfs {
     return Dfs::ListRelations();
   }
 
+  // Monotone content-version of a relation: 0 when the name has never been
+  // stored, bumped by every Put/overwrite (including shard failover re-puts
+  // and peer pushes). Incremental recomputation (src/stream/fingerprint.h)
+  // hashes these into per-job fingerprints, so the contract is strictly
+  // "version changed => content may have changed"; a version is never reused
+  // for different bytes. Versions live in the Dfs-level namespace (not the
+  // partition) so sharded views share one counter space with their parent.
+  virtual uint64_t VersionOf(const std::string& name) const;
+
   // True when `name` is stored on the partition this Dfs fronts — i.e. a
   // read costs local DFS bandwidth, not a cross-shard fetch. The
   // single-partition base stores everything locally; sharded views answer
@@ -149,7 +158,14 @@ class Dfs {
     AtomicAdd(&bytes_remote_read_, bytes);
   }
 
+  // Advances the content-version of `name`. Dfs::Put calls this; overrides
+  // that store without going through the base Put (sharded routing, peer
+  // pushes) must call it themselves or forward into their parent.
+  void BumpVersion(const std::string& name);
+
  private:
+  mutable std::shared_mutex version_mu_;
+  std::unordered_map<std::string, uint64_t> versions_;  // guarded by version_mu_
   DfsPartition local_;
   std::atomic<Bytes> bytes_read_{0};
   std::atomic<Bytes> bytes_written_{0};

@@ -20,6 +20,13 @@ void ShardViewDfs::Put(const std::string& name, TablePtr table) {
       previous < parent_->num_shards()) {
     parent_->partitions_[static_cast<size_t>(previous)]->Erase(name);
   }
+  // Versions are namespace-global: a failover re-put through a view must
+  // invalidate fingerprints exactly like a global overwrite would.
+  parent_->AggregateBumpVersion(name);
+}
+
+uint64_t ShardViewDfs::VersionOf(const std::string& name) const {
+  return parent_->VersionOf(name);
 }
 
 StatusOr<TablePtr> ShardViewDfs::Get(const std::string& name) const {
@@ -91,6 +98,9 @@ void ShardedDfs::Put(const std::string& name, TablePtr table) {
     owner = 0;
   }
   partitions_[static_cast<size_t>(owner)]->Put(name, std::move(table));
+  // Routed straight into a partition (not through Dfs::Put), so the version
+  // bump is explicit here.
+  BumpVersion(name);
 }
 
 StatusOr<TablePtr> ShardedDfs::Get(const std::string& name) const {

@@ -49,6 +49,8 @@ class ShardViewDfs final : public Dfs {
   // Global namespace: planning against a view must see every relation.
   std::vector<std::string> ListRelations() const override;
   bool IsLocal(const std::string& name) const override;
+  // Content-versions are namespace-global, shared with the parent.
+  uint64_t VersionOf(const std::string& name) const override;
 
   // Local-partition namespace: this shard's partition only (the relation
   // endpoints' serving surface — no directory resolution, no fetch).
@@ -128,6 +130,7 @@ class ShardedDfs final : public Dfs {
   void AggregateRead(Bytes bytes) { TallyRead(bytes); }
   void AggregateWrite(Bytes bytes) { TallyWrite(bytes); }
   void AggregateRemoteRead(Bytes bytes) { TallyRemoteRead(bytes); }
+  void AggregateBumpVersion(const std::string& name) { BumpVersion(name); }
 
   // Resolve `name` for a reader on `shard` (-1 = the global view): local
   // pointer when the owner matches, otherwise a timed deep copy. Falls back

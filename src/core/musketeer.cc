@@ -8,9 +8,11 @@
 #include <unordered_set>
 
 #include "src/base/logging.h"
+#include "src/base/parallel.h"
 #include "src/core/job_dispatch.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/stream/relation_channel.h"
 
 namespace musketeer {
 
@@ -175,24 +177,78 @@ StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
   Span exec_span("stage.execute", "stage");
   ScopedDfsRunCounters run_bytes;
   ExecutionContext ctx = MakeContext(workflow, options);
+
+  static Counter& reused_metric =
+      MetricsRegistry::Global().counter("musketeer.stream.jobs_reused");
+  static Counter& recomputed_metric =
+      MetricsRegistry::Global().counter("musketeer.stream.jobs_recomputed");
+  static Counter& edges_metric =
+      MetricsRegistry::Global().counter("musketeer.stream.edges_pipelined");
+  static Counter& fallback_metric =
+      MetricsRegistry::Global().counter("musketeer.stream.pipeline_fallbacks");
+
+  // Pipeline schedule: which producer→consumer edges skip the DFS barrier
+  // and run over a RelationChannel, and which jobs therefore execute
+  // together as one concurrent group. Edge sizes come from the history store
+  // when available, else from the relation's current DFS incarnation.
+  PipelineSchedule sched;
+  sched.group_of.assign(result.plans.size(), -1);
+  if (options.pipeline != PipelineMode::kOff) {
+    PipelineOptions popts;
+    popts.mode = options.pipeline;
+    popts.channel_capacity = options.pipeline_channel_capacity;
+    popts.batch_rows = options.pipeline_batch_rows;
+    auto size_of = [&](const std::string& relation) -> Bytes {
+      if (options.history != nullptr) {
+        auto bytes = options.history->Lookup(workflow.id, relation);
+        if (bytes.has_value()) {
+          return *bytes;
+        }
+      }
+      auto table = dfs_->Get(relation);
+      return table.ok() ? (*table)->nominal_bytes() : 0;
+    };
+    sched = PlanPipelines(result.plans, plan.sink_relations, popts,
+                          options.cluster, size_of);
+    result.pipelined_edges = static_cast<int>(sched.edges.size());
+    edges_metric.Increment(sched.edges.size());
+  }
+
   std::unordered_map<std::string, SimSeconds> ready_at;  // relation -> time
   SimSeconds makespan = 0;
   int predicted_jobs = 0;
   double error_sum = 0;
-  for (size_t i = 0; i < result.plans.size(); ++i) {
-    JobPlan& job = result.plans[i];
-    SimSeconds start = 0;
-    for (const std::string& in : job.inputs) {
-      auto it = ready_at.find(in);
-      if (it != ready_at.end()) {
-        start = std::max(start, it->second);
-      }
-    }
+  // DFS bytes charged on group-member threads (their ScopedDfsRunCounters
+  // cannot propagate into `run_bytes`, which lives on this thread).
+  Bytes extra_read = 0;
+  Bytes extra_written = 0;
+  Bytes extra_remote = 0;
 
-    // Retry/failover dispatch (src/core/job_dispatch.h): up to max_attempts
-    // per engine; on exhaustion, re-plan onto the next-cheapest capable
-    // engine (when enabled). The shared dispatcher mutates `job` on failover
-    // so result.plans[i] records what finally ran.
+  // Outcome of a job that ran ahead of its fold position (group execution)
+  // or is being skipped entirely (fingerprint reuse).
+  struct Pending {
+    bool reused = false;
+    JobDispatchOutcome outcome;  // valid when !reused
+  };
+  std::unordered_map<size_t, Pending> pending;
+  std::vector<char> group_ran(sched.groups.size(), 0);
+
+  // True when the job may be skipped: recorded fingerprint matches the
+  // current input versions and its outputs sit in the DFS unmodified.
+  auto reusable = [&](size_t i) {
+    if (!options.incremental || options.fingerprints == nullptr) {
+      return false;
+    }
+    const JobPlan& job = result.plans[i];
+    return options.fingerprints->CanReuse(
+        workflow.id, job.name, FingerprintJob(workflow.id, job, *dfs_), *dfs_);
+  };
+
+  // Retry/failover dispatch (src/core/job_dispatch.h): up to max_attempts
+  // per engine; on exhaustion, re-plan onto the next-cheapest capable
+  // engine (when enabled). The shared dispatcher mutates plans[i] on
+  // failover so result.plans[i] records what finally ran.
+  auto dispatch_barrier = [&](size_t i) {
     JobDispatchEnv env;
     env.workflow = &workflow;
     env.plan = &plan;
@@ -202,18 +258,192 @@ StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
       return ExecuteJob(j, options.cluster, dfs_, c);
     };
     env.dfs_sizes = [this] { return DfsSizes(); };
-    MUSKETEER_ASSIGN_OR_RETURN(JobDispatchOutcome outcome,
-                               DispatchJobWithRecovery(&job, &ctx, env));
-    JobResult jr = std::move(outcome.result);
-    result.total_retries += outcome.retries;
-    result.total_failovers += outcome.failovers;
-    result.total_faults_injected += outcome.recovery.faults_injected;
-    result.recovery.push_back(std::move(outcome.recovery));
+    return DispatchJobWithRecovery(&result.plans[i], &ctx, env);
+  };
+
+  // Executes one pipeline group: every non-reused member runs on its own
+  // thread, wired together by bounded channels on the scheduled edges. A
+  // member whose concurrent attempt fails falls back to the sequential
+  // barrier dispatcher (channels to/from it resolve via abort/receiver-close,
+  // and its inputs are in the DFS because producers always commit) — so a
+  // pipelined run can degrade but never produce different bytes.
+  auto run_group = [&](const std::vector<size_t>& members) -> Status {
+    // Reuse decisions first, in plan order. A member is only reusable when
+    // its in-group upstream producers are reused too: a recomputing producer
+    // will bump its output versions at commit, which must invalidate this
+    // member exactly like it would in sequential execution.
+    std::unordered_set<size_t> reuse_set;
+    for (size_t m : members) {
+      bool upstream_reused = true;
+      for (const std::string& in : result.plans[m].inputs) {
+        for (size_t p : members) {
+          if (p != m && reuse_set.count(p) == 0 &&
+              std::find(result.plans[p].outputs.begin(),
+                        result.plans[p].outputs.end(),
+                        in) != result.plans[p].outputs.end()) {
+            upstream_reused = false;
+          }
+        }
+      }
+      if (upstream_reused && reusable(m)) {
+        reuse_set.insert(m);
+      }
+    }
+
+    struct LiveRun {
+      size_t index = 0;
+      JobStreamIo io;
+      StatusOr<JobResult> attempt = InternalError("not attempted");
+      Bytes read = 0;
+      Bytes written = 0;
+      Bytes remote = 0;
+    };
+    std::unordered_map<size_t, LiveRun> runs;
+    for (size_t m : members) {
+      if (reuse_set.count(m) == 0) {
+        LiveRun& r = runs[m];
+        r.index = m;
+        r.io.batch_rows = options.pipeline_batch_rows;
+      }
+    }
+
+    // Channels exist only between two live members. Reused producer → live
+    // consumer reads the producer's committed output from the DFS instead.
+    std::vector<std::unique_ptr<RelationChannel>> channels;
+    for (const PipelineEdge& edge : sched.edges) {
+      auto producer = runs.find(edge.producer);
+      auto consumer = runs.find(edge.consumer);
+      if (producer == runs.end() || consumer == runs.end()) {
+        continue;
+      }
+      channels.push_back(std::make_unique<RelationChannel>(
+          edge.relation, options.pipeline_channel_capacity));
+      producer->second.io.outputs[edge.relation] = channels.back().get();
+      consumer->second.io.inputs[edge.relation] = channels.back().get();
+    }
+
+    const bool concurrent = !channels.empty();
+    if (concurrent) {
+      // Group members inherit this thread's kernel parallelism so a
+      // pipelined run honors the same --threads budget as a barrier run.
+      const int width = ParallelThreads();
+      std::vector<std::thread> threads;
+      threads.reserve(runs.size());
+      for (auto& [m, run] : runs) {
+        LiveRun* r = &run;
+        threads.emplace_back([this, r, &result, &options, &ctx, width] {
+          ScopedParallelThreads inherit(width);
+          ScopedDfsRunCounters scope;
+          ExecutionContext attempt_ctx = ctx;
+          attempt_ctx.attempt = 1;
+          r->attempt = ExecuteJob(result.plans[r->index], options.cluster,
+                                  dfs_, attempt_ctx, &r->io);
+          if (!r->attempt.ok()) {
+            // Unblock producers still pushing toward this failed consumer.
+            for (const auto& [relation, channel] : r->io.inputs) {
+              channel->CloseReceiver();
+            }
+          }
+          r->read = scope.bytes_read();
+          r->written = scope.bytes_written();
+          r->remote = scope.bytes_remote_read();
+        });
+      }
+      for (std::thread& t : threads) {
+        t.join();
+      }
+      MUSKETEER_RETURN_IF_ERROR(ctx.Check());
+    }
+
+    for (size_t m : members) {
+      if (reuse_set.count(m) > 0) {
+        pending[m].reused = true;
+        continue;
+      }
+      LiveRun& r = runs[m];
+      if (concurrent && r.attempt.ok()) {
+        extra_read += r.read;
+        extra_written += r.written;
+        extra_remote += r.remote;
+        Pending p;
+        p.outcome.result = std::move(r.attempt).value();
+        p.outcome.recovery.job = result.plans[m].name;
+        p.outcome.recovery.planned_engine = result.plans[m].engine;
+        p.outcome.recovery.final_engine = result.plans[m].engine;
+        p.outcome.recovery.attempts = 1;
+        p.outcome.recovery.attempt_log.push_back(
+            JobAttempt{1, result.plans[m].engine, StatusCode::kOk});
+        pending[m] = std::move(p);
+        continue;
+      }
+      if (concurrent) {
+        MLOG_INFO << "pipelined attempt for '" << result.plans[m].name
+                  << "' failed (" << r.attempt.status().message()
+                  << "); falling back to barrier dispatch";
+        fallback_metric.Increment();
+      }
+      MUSKETEER_ASSIGN_OR_RETURN(JobDispatchOutcome outcome,
+                                 dispatch_barrier(m));
+      Pending p;
+      p.outcome = std::move(outcome);
+      pending[m] = std::move(p);
+    }
+    return OkStatus();
+  };
+
+  // Folds one job's outcome into the result arrays (which stay in plan
+  // order regardless of when the job physically ran).
+  auto fold = [&](size_t i, Pending&& p) {
+    JobPlan& job = result.plans[i];
+    SimSeconds start = 0;
+    for (const std::string& in : job.inputs) {
+      auto it = ready_at.find(in);
+      if (it != ready_at.end()) {
+        start = std::max(start, it->second);
+      }
+    }
+    JobResult jr;
+    if (p.reused) {
+      jr.reused = true;
+      jr.detail = std::string(EngineKindName(job.engine)) + " job '" +
+                  job.name + "': reused (fingerprint match, " +
+                  std::to_string(job.outputs.size()) +
+                  " output(s) served from the DFS)";
+      JobRecovery recovery;
+      recovery.job = job.name;
+      recovery.planned_engine = job.engine;
+      recovery.final_engine = job.engine;
+      result.recovery.push_back(std::move(recovery));
+      ++result.jobs_reused;
+      reused_metric.Increment();
+    } else {
+      jr = std::move(p.outcome.result);
+      result.total_retries += p.outcome.retries;
+      result.total_failovers += p.outcome.failovers;
+      result.total_faults_injected += p.outcome.recovery.faults_injected;
+      result.recovery.push_back(std::move(p.outcome.recovery));
+      if (options.fingerprints != nullptr) {
+        // Record against post-commit versions: that is exactly the state a
+        // later resubmission fingerprints against before dispatching.
+        std::vector<std::pair<std::string, uint64_t>> outputs;
+        outputs.reserve(job.outputs.size());
+        for (const std::string& out : job.outputs) {
+          outputs.emplace_back(out, dfs_->VersionOf(out));
+        }
+        options.fingerprints->Record(workflow.id, job.name,
+                                     FingerprintJob(workflow.id, job, *dfs_),
+                                     std::move(outputs));
+        if (options.incremental) {
+          recomputed_metric.Increment();
+        }
+      }
+    }
     MLOG_INFO << jr.detail;
     // Calibration loop: predict this job's wall clock from the runtime
     // history (best available granularity), then record what actually
-    // happened so the next run predicts better.
-    if (options.runtime_history != nullptr) {
+    // happened so the next run predicts better. Reused jobs never ran, so
+    // they neither consume nor contribute calibration signal.
+    if (options.runtime_history != nullptr && !jr.reused) {
       const std::string engine = EngineKindName(job.engine);
       const std::string signature = job.name + "@" + engine;
       double predicted = options.runtime_history->PredictWallSeconds(
@@ -232,12 +462,41 @@ StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
     }
     makespan = std::max(makespan, finish);
     result.total_engine_time += jr.makespan;
+    result.stream_batches += jr.stream_batches_out;
+    result.stream_bytes += jr.stream_bytes_out;
     result.job_results.push_back(std::move(jr));
+  };
+
+  for (size_t i = 0; i < result.plans.size(); ++i) {
+    if (pending.count(i) == 0) {
+      const int g = sched.group_of[i];
+      if (g >= 0 && !group_ran[static_cast<size_t>(g)]) {
+        group_ran[static_cast<size_t>(g)] = 1;
+        MUSKETEER_RETURN_IF_ERROR(run_group(sched.groups[static_cast<size_t>(g)]));
+      }
+    }
+    auto it = pending.find(i);
+    if (it != pending.end()) {
+      Pending p = std::move(it->second);
+      pending.erase(it);
+      fold(i, std::move(p));
+      continue;
+    }
+    if (reusable(i)) {
+      Pending p;
+      p.reused = true;
+      fold(i, std::move(p));
+      continue;
+    }
+    MUSKETEER_ASSIGN_OR_RETURN(JobDispatchOutcome outcome, dispatch_barrier(i));
+    Pending p;
+    p.outcome = std::move(outcome);
+    fold(i, std::move(p));
   }
   result.makespan = makespan;
-  result.dfs_bytes_read = run_bytes.bytes_read();
-  result.dfs_bytes_written = run_bytes.bytes_written();
-  result.dfs_bytes_remote_read = run_bytes.bytes_remote_read();
+  result.dfs_bytes_read = run_bytes.bytes_read() + extra_read;
+  result.dfs_bytes_written = run_bytes.bytes_written() + extra_written;
+  result.dfs_bytes_remote_read = run_bytes.bytes_remote_read() + extra_remote;
   if (predicted_jobs > 0) {
     result.cost_model_error = error_sum / predicted_jobs;
   }

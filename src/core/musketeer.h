@@ -39,6 +39,8 @@
 #include "src/opt/passes.h"
 #include "src/scheduler/decision_tree.h"
 #include "src/scheduler/partitioner.h"
+#include "src/stream/fingerprint.h"
+#include "src/stream/pipeline.h"
 
 namespace musketeer {
 
@@ -84,6 +86,25 @@ struct RunOptions {
   // Cooperative cancellation handle. Default-constructed = not cancellable;
   // pass CancelToken::Make() and keep a copy to be able to cancel.
   CancelToken cancel;
+
+  // ---- Streaming & incremental execution (DESIGN.md section of the same
+  // name) ----
+  // Pipelined job-to-job handoff: kAuto streams pipeline-safe edges that win
+  // on cost (barrier DFS write+read vs channel handoff), kForce streams every
+  // safe edge, kOff keeps the seed's full materialization barrier. Results
+  // stay Table::Identical across modes. The sharded coordinator ignores this
+  // (jobs live in different placement domains) and keeps the barrier plane.
+  PipelineMode pipeline = PipelineMode::kOff;
+  size_t pipeline_batch_rows = 8192;
+  size_t pipeline_channel_capacity = 4;
+  // Fingerprint store (when non-null): Execute() records a per-job input
+  // fingerprint after every successful job. With `incremental` also set, a
+  // job whose fingerprint matches the store and whose recorded outputs still
+  // sit in the DFS unmodified is *reused* — skipped, outputs served from the
+  // DFS — which turns a resubmission after a base-relation append into a
+  // delta run that recomputes only the affected DAG suffix.
+  FingerprintStore* fingerprints = nullptr;
+  bool incremental = false;
 };
 
 // Everything Plan() produces and Execute() consumes. Immutable once built,
@@ -151,6 +172,11 @@ struct RunResult {
   int total_retries = 0;          // failed attempts that were retried
   int total_failovers = 0;        // engine switches after retry exhaustion
   int total_faults_injected = 0;  // injected (not organic) attempt failures
+  // Streaming & incremental accounting (src/stream/).
+  int pipelined_edges = 0;   // inter-job edges that ran over a channel
+  int jobs_reused = 0;       // jobs skipped on a fingerprint match
+  uint64_t stream_batches = 0;  // batches handed off over channels
+  Bytes stream_bytes = 0;       // nominal bytes that skipped the DFS barrier
 };
 
 class Musketeer {

@@ -103,6 +103,9 @@ StatusOr<NetClient::SubmitReply> NetClient::SubmitWorkflow(
     request.headers.emplace_back("X-Deadline-Ms",
                                  std::to_string(options.deadline_ms));
   }
+  if (options.incremental) {
+    request.headers.emplace_back("X-Incremental", "1");
+  }
   auto response = Request(request);
   if (!response.ok()) {
     return response.status();

@@ -40,6 +40,9 @@ class NetClient {
     std::string workflow_id = "net-anon";
     std::string language = "beer";
     int64_t deadline_ms = 0;  // 0 = service default
+    // Sends X-Incremental: 1 — the service reuses fingerprint-matched jobs
+    // from a prior submission of the same workflow (delta run).
+    bool incremental = false;
   };
 
   // What POST /submit answered, whatever the verdict. status 202 = accepted

@@ -88,12 +88,17 @@ void PeerDfs::Put(const std::string& name, TablePtr table) {
   Status pushed = WithPeer(owner, [&](NetClient& client) {
     return client.PushRelation(name, *table);
   });
-  if (!pushed.ok()) {
-    // Degraded mode: keep the relation locally so the workflow can finish;
-    // Get's scan-all fallback lets other shards still find it here.
-    push_failures_.fetch_add(1, std::memory_order_relaxed);
-    Dfs::Put(name, std::move(table));
+  if (pushed.ok()) {
+    // The bytes now live on the owner, but this node's fingerprint view must
+    // still see the overwrite (the owner bumps its own counter when its
+    // server PutLocal lands the relation).
+    BumpVersion(name);
+    return;
   }
+  // Degraded mode: keep the relation locally so the workflow can finish;
+  // Get's scan-all fallback lets other shards still find it here.
+  push_failures_.fetch_add(1, std::memory_order_relaxed);
+  Dfs::Put(name, std::move(table));
 }
 
 StatusOr<TablePtr> PeerDfs::Get(const std::string& name) const {

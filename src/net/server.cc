@@ -146,6 +146,13 @@ std::string TicketJson(const WorkflowHandle& ticket) {
     out += buf;
     out += ", \"cache_hit\": ";
     out += ticket->plan_cache_hit() ? "true" : "false";
+    if (state == WorkflowState::kDone && ticket->result().ok()) {
+      const RunResult& result = *ticket->result();
+      out += ", \"jobs_reused\": " + std::to_string(result.jobs_reused) +
+             ", \"pipelined_edges\": " +
+             std::to_string(result.pipelined_edges) +
+             ", \"stream_batches\": " + std::to_string(result.stream_batches);
+    }
     if (state == WorkflowState::kRejected) {
       out += ", \"reject_reason\": " +
              JsonQuote(RejectReasonName(ticket->reject_reason()));
@@ -635,7 +642,19 @@ HttpResponse HttpServer::HandleSubmit(const HttpRequest& request) {
     deadline = std::chrono::milliseconds(*ms);
   }
 
-  WorkflowHandle ticket = SubmitSpec(tenant, std::move(spec), deadline);
+  // X-Incremental: 1|true → incremental resubmission (jobs whose input
+  // fingerprints still match the DFS are reused, not recomputed).
+  bool incremental = false;
+  if (const std::string* inc = request.FindHeader("x-incremental")) {
+    if (*inc == "1" || EqualsIgnoreCase(*inc, "true")) {
+      incremental = true;
+    } else if (!(*inc == "0" || EqualsIgnoreCase(*inc, "false"))) {
+      return JsonError(400, "bad x-incremental '" + *inc + "'");
+    }
+  }
+
+  WorkflowHandle ticket =
+      SubmitSpec(tenant, std::move(spec), deadline, incremental);
   if (ticket->state() == WorkflowState::kRejected) {
     HttpResponse resp;
     resp.status = RejectStatus(ticket->reject_reason());
@@ -721,6 +740,12 @@ HttpResponse HttpServer::HandleStats() {
                      std::to_string(stats.plan_cache_hits) +
                      ", \"plan_cache_misses\": " +
                      std::to_string(stats.plan_cache_misses) +
+                     ", \"jobs_reused\": " + std::to_string(stats.jobs_reused) +
+                     ", \"pipelined_edges\": " +
+                     std::to_string(stats.pipelined_edges) +
+                     ", \"stream_batches\": " +
+                     std::to_string(stats.stream_batches) +
+                     ", \"stream_bytes\": " + std::to_string(stats.stream_bytes) +
                      ", \"queue_depth\": " + std::to_string(stats.queue_depth) +
                      ", \"active_connections\": " +
                      std::to_string(active_connections()) + ", \"tenants\": {";
@@ -898,7 +923,8 @@ void HttpServer::HandleLineCommand(Connection* conn, const std::string& line) {
     spec.source = std::move(conn->submit_body);
     conn->submit_body.clear();
     WorkflowHandle ticket =
-        SubmitSpec(conn->tenant, std::move(spec), std::chrono::milliseconds{0});
+        SubmitSpec(conn->tenant, std::move(spec), std::chrono::milliseconds{0},
+                   /*incremental=*/false);
     if (ticket->state() == WorkflowState::kRejected) {
       conn->outbuf += "ERR " + std::to_string(RejectStatus(ticket->reject_reason())) +
                       " " + ticket->result().status().message() + "\n";
@@ -958,12 +984,19 @@ void HttpServer::HandleLineCommand(Connection* conn, const std::string& line) {
 
 WorkflowHandle HttpServer::SubmitSpec(const std::string& tenant,
                                       WorkflowSpec spec,
-                                      std::chrono::milliseconds deadline) {
+                                      std::chrono::milliseconds deadline,
+                                      bool incremental) {
   WorkflowHandle ticket;
-  if (deadline.count() > 0) {
+  if (deadline.count() > 0 || incremental) {
     RunOptions options = service_->default_options();
-    options.deadline = deadline;
-    ticket = service_->SubmitAs(tenant, std::move(spec), std::move(options));
+    if (deadline.count() > 0) {
+      options.deadline = deadline;
+    }
+    ticket = incremental
+                 ? service_->ResubmitIncrementalAs(tenant, std::move(spec),
+                                                   std::move(options))
+                 : service_->SubmitAs(tenant, std::move(spec),
+                                      std::move(options));
   } else {
     ticket = service_->SubmitAs(tenant, std::move(spec));
   }

@@ -154,8 +154,11 @@ class HttpServer {
                                  const std::string& name);
 
   // Submits to the service under `tenant` and registers the ticket.
+  // `incremental` routes through the service's incremental-resubmit path
+  // (fingerprint-matched jobs are reused; see X-Incremental in HandleSubmit).
   WorkflowHandle SubmitSpec(const std::string& tenant, WorkflowSpec spec,
-                            std::chrono::milliseconds deadline);
+                            std::chrono::milliseconds deadline,
+                            bool incremental);
   void RegisterTicket(const WorkflowHandle& ticket);
   WorkflowHandle FindTicket(uint64_t id) const;
 

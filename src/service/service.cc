@@ -264,6 +264,18 @@ WorkflowHandle WorkflowService::SubmitBlockingAs(const std::string& tenant,
                  /*blocking=*/true);
 }
 
+WorkflowHandle WorkflowService::ResubmitIncremental(WorkflowSpec spec) {
+  return ResubmitIncrementalAs("", std::move(spec), config_.default_options);
+}
+
+WorkflowHandle WorkflowService::ResubmitIncrementalAs(const std::string& tenant,
+                                                      WorkflowSpec spec,
+                                                      RunOptions options) {
+  options.incremental = true;
+  return Enqueue(tenant, std::move(spec), std::move(options),
+                 /*blocking=*/false);
+}
+
 WorkflowHandle WorkflowService::Enqueue(const std::string& tenant,
                                         WorkflowSpec spec, RunOptions options,
                                         bool blocking) {
@@ -404,7 +416,15 @@ void WorkflowService::RunOne(const QueueItem& item) {
 
   Musketeer m(dfs_);
   const WorkflowSpec& spec = item.ticket->spec();
-  const std::string cache_key = PlanCacheKey(spec, item.options);
+  // Every run records into (and incremental resubmits reuse from) the
+  // service-owned fingerprint store unless the submission brought its own.
+  // Does not perturb the plan-cache key — PlanCacheKey hashes only
+  // plan-affecting fields, so resubmissions still hit the cached plan.
+  RunOptions options = item.options;
+  if (options.fingerprints == nullptr) {
+    options.fingerprints = &fingerprints_;
+  }
+  const std::string cache_key = PlanCacheKey(spec, options);
 
   bool cache_hit = false;
   std::shared_ptr<const WorkflowPlan> plan;
@@ -421,7 +441,7 @@ void WorkflowService::RunOne(const QueueItem& item) {
   }
   StatusOr<RunResult> result = InternalError("unreachable");
   if (plan == nullptr) {
-    StatusOr<WorkflowPlan> built = m.Plan(spec, item.options);
+    StatusOr<WorkflowPlan> built = m.Plan(spec, options);
     if (!built.ok()) {
       result = built.status();
     } else {
@@ -438,23 +458,30 @@ void WorkflowService::RunOne(const QueueItem& item) {
       auto wake = std::chrono::steady_clock::now() +
                   config_.dispatch_latency * static_cast<int>(plan->plans.size());
       while (std::chrono::steady_clock::now() < wake &&
-             !item.options.cancel.cancel_requested() &&
-             !(item.options.absolute_deadline.has_value() &&
+             !options.cancel.cancel_requested() &&
+             !(options.absolute_deadline.has_value() &&
                std::chrono::steady_clock::now() >=
-                   *item.options.absolute_deadline)) {
+                   *options.absolute_deadline)) {
         auto remaining = wake - std::chrono::steady_clock::now();
         std::this_thread::sleep_for(
             std::min<std::chrono::steady_clock::duration>(
                 remaining, std::chrono::milliseconds(10)));
       }
     }
-    result = m.Execute(spec, *plan, item.options);
+    result = m.Execute(spec, *plan, options);
   }
 
   WorkflowState state =
       result.ok() ? WorkflowState::kDone : WorkflowState::kFailed;
   if (!result.ok() && result.status().code() == StatusCode::kCancelled) {
     state = WorkflowState::kCancelled;
+  }
+  if (result.ok()) {
+    std::lock_guard lock(mu_);
+    stats_.jobs_reused += static_cast<uint64_t>(result->jobs_reused);
+    stats_.pipelined_edges += static_cast<uint64_t>(result->pipelined_edges);
+    stats_.stream_batches += result->stream_batches;
+    stats_.stream_bytes += result->stream_bytes;
   }
   if (span.active()) {
     span.SetAttr("workflow", spec.id);

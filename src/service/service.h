@@ -197,6 +197,13 @@ struct ServiceStats {
   uint64_t cancelled = 0;  // CANCELLED
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
+  // Streaming & incremental aggregates over completed runs (src/stream/):
+  // fingerprint-reused jobs, edges that ran pipelined, and the batch/byte
+  // volume that moved over channels instead of the DFS barrier.
+  uint64_t jobs_reused = 0;
+  uint64_t pipelined_edges = 0;
+  uint64_t stream_batches = 0;
+  Bytes stream_bytes = 0;
   size_t queue_depth = 0;  // instantaneous
   // Ordered so exposition (/metrics, /stats) is deterministic.
   std::map<std::string, TenantStats> tenants;
@@ -238,6 +245,16 @@ class WorkflowService {
   WorkflowHandle SubmitBlockingAs(const std::string& tenant, WorkflowSpec spec,
                                   RunOptions options);
 
+  // Incremental resubmission (DESIGN.md "Streaming & incremental
+  // execution"): re-runs `spec` with RunOptions::incremental set, so any job
+  // whose input fingerprint — recorded by this service's earlier run of the
+  // workflow — still matches the DFS is skipped and its outputs served from
+  // storage. After a base-relation append, only the affected DAG suffix
+  // recomputes; the result is bit-identical to a cold run.
+  WorkflowHandle ResubmitIncremental(WorkflowSpec spec);
+  WorkflowHandle ResubmitIncrementalAs(const std::string& tenant,
+                                       WorkflowSpec spec, RunOptions options);
+
   // Raw-task submission (PR 8): enqueues `task` to run on a worker thread,
   // in the default tenant's fair-queue lane, blocking for queue space. The
   // ShardCoordinator uses this to route individual job dispatches to a
@@ -270,6 +287,10 @@ class WorkflowService {
   // The options applied to submissions that carry none — the network edge
   // copies these to layer per-request settings (deadlines) on top.
   const RunOptions& default_options() const { return config_.default_options; }
+  // The service-owned fingerprint store every run records into (unless the
+  // submission brought its own via RunOptions::fingerprints). Internally
+  // synchronized; exposed so tests and embedding tools can inspect/clear it.
+  FingerprintStore* fingerprint_store() { return &fingerprints_; }
 
  private:
   struct QueueItem {
@@ -289,6 +310,10 @@ class WorkflowService {
   const ServiceConfig config_;
   FairQueue<QueueItem> queue_;
   PlanCache plan_cache_;
+  // Per-job input fingerprints across every run this service executed;
+  // consulted (and required) by ResubmitIncremental. FingerprintStore is
+  // internally synchronized, so concurrent workers share it directly.
+  FingerprintStore fingerprints_;
 
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;

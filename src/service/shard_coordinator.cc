@@ -9,6 +9,7 @@
 #include "src/base/logging.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/stream/fingerprint.h"
 
 namespace musketeer {
 
@@ -260,6 +261,10 @@ StatusOr<RunResult> ShardCoordinator::Run(const WorkflowSpec& workflow,
   SimSeconds makespan = 0;
   int predicted_jobs = 0;
   double error_sum = 0;
+  static Counter& reused_metric =
+      MetricsRegistry::Global().counter("musketeer.stream.jobs_reused");
+  static Counter& recomputed_metric =
+      MetricsRegistry::Global().counter("musketeer.stream.jobs_recomputed");
   for (size_t i = 0; i < result.plans.size(); ++i) {
     JobPlan& job = result.plans[i];
     SimSeconds start = 0;
@@ -268,6 +273,39 @@ StatusOr<RunResult> ShardCoordinator::Run(const WorkflowSpec& workflow,
       if (it != ready_at.end()) {
         start = std::max(start, it->second);
       }
+    }
+
+    // Incremental reuse, exactly as the unsharded Execute does it: the
+    // fingerprint is taken over the *global* DFS view, so a shard-failover
+    // re-put (which bumps the aggregate version) invalidates reuse the same
+    // way an overwrite does on one node. Placement never sees reused jobs.
+    if (options.incremental && options.fingerprints != nullptr &&
+        options.fingerprints->CanReuse(workflow.id, job.name,
+                                       FingerprintJob(workflow.id, job, *dfs_),
+                                       *dfs_)) {
+      JobResult jr;
+      jr.reused = true;
+      jr.internal_jobs = 0;
+      jr.detail = "[" + std::string(EngineKindName(job.engine)) + "] " +
+                  job.name +
+                  ": reused (fingerprint match, " +
+                  std::to_string(job.outputs.size()) +
+                  " output(s) served from the DFS)";
+      MLOG_INFO << jr.detail;
+      JobRecovery recovery;
+      recovery.job = job.name;
+      recovery.planned_engine = job.engine;
+      recovery.final_engine = job.engine;
+      recovery.attempts = 0;
+      result.recovery.push_back(std::move(recovery));
+      ++result.jobs_reused;
+      reused_metric.Increment();
+      for (const std::string& out : job.outputs) {
+        ready_at[out] = start;
+      }
+      makespan = std::max(makespan, start);
+      result.job_results.push_back(std::move(jr));
+      continue;
     }
 
     JobDispatchEnv env;
@@ -288,6 +326,22 @@ StatusOr<RunResult> ShardCoordinator::Run(const WorkflowSpec& workflow,
     result.total_faults_injected += outcome.recovery.faults_injected;
     result.recovery.push_back(std::move(outcome.recovery));
     MLOG_INFO << jr.detail;
+
+    if (options.fingerprints != nullptr) {
+      // Post-commit: the aggregate versions recorded here are exactly what
+      // the next resubmission's pre-dispatch fingerprint will observe.
+      std::vector<std::pair<std::string, uint64_t>> outs;
+      outs.reserve(job.outputs.size());
+      for (const std::string& out : job.outputs) {
+        outs.emplace_back(out, dfs_->VersionOf(out));
+      }
+      options.fingerprints->Record(workflow.id, job.name,
+                                   FingerprintJob(workflow.id, job, *dfs_),
+                                   std::move(outs));
+      if (options.incremental) {
+        recomputed_metric.Increment();
+      }
+    }
 
     if (options.runtime_history != nullptr) {
       const std::string engine = EngineKindName(job.engine);

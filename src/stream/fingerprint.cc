@@ -1,0 +1,88 @@
+#include "src/stream/fingerprint.h"
+
+namespace musketeer {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void Mix(uint64_t* h, const std::string& s) {
+  for (unsigned char c : s) {
+    *h ^= c;
+    *h *= kFnvPrime;
+  }
+  *h ^= 0x1f;  // field separator so ("ab","c") != ("a","bc")
+  *h *= kFnvPrime;
+}
+
+void Mix(uint64_t* h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (i * 8)) & 0xff;
+    *h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+uint64_t FingerprintJob(const std::string& workflow_id, const JobPlan& job,
+                        const Dfs& dfs) {
+  uint64_t h = kFnvOffset;
+  Mix(&h, workflow_id);
+  Mix(&h, job.name);
+  Mix(&h, std::string(EngineKindName(job.engine)));
+  Mix(&h, std::string(WhileExecName(job.while_mode)));
+  Mix(&h, job.generated_code);
+  for (const std::string& in : job.inputs) {
+    Mix(&h, in);
+    Mix(&h, dfs.VersionOf(in));
+  }
+  for (const std::string& out : job.outputs) {
+    Mix(&h, out);
+  }
+  return h;
+}
+
+void FingerprintStore::Record(
+    const std::string& workflow_id, const std::string& job_name,
+    uint64_t fingerprint,
+    std::vector<std::pair<std::string, uint64_t>> outputs) {
+  std::lock_guard lock(mu_);
+  entries_[Key(workflow_id, job_name)] =
+      Entry{fingerprint, std::move(outputs)};
+}
+
+bool FingerprintStore::CanReuse(const std::string& workflow_id,
+                                const std::string& job_name,
+                                uint64_t fingerprint, const Dfs& dfs) const {
+  Entry entry;
+  {
+    std::lock_guard lock(mu_);
+    auto it = entries_.find(Key(workflow_id, job_name));
+    if (it == entries_.end()) {
+      return false;
+    }
+    entry = it->second;
+  }
+  if (entry.fingerprint != fingerprint || entry.outputs.empty()) {
+    return false;
+  }
+  for (const auto& [relation, version] : entry.outputs) {
+    if (!dfs.Contains(relation) || dfs.VersionOf(relation) != version) {
+      return false;  // overwritten (or evicted) since the recording
+    }
+  }
+  return true;
+}
+
+size_t FingerprintStore::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+void FingerprintStore::Clear() {
+  std::lock_guard lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace musketeer

@@ -1,0 +1,83 @@
+// Per-job input fingerprints for incremental recomputation.
+//
+// A job's fingerprint hashes everything that determines its output bytes:
+// the workflow, the job's name and engine, the generated code, and the DFS
+// content-version of every input relation (Dfs::VersionOf — bumped on every
+// Put/overwrite). Execution is deterministic (the Table::Identical contract),
+// so fingerprint-equal implies output-equal.
+//
+// The FingerprintStore remembers, per (workflow, job), the fingerprint of
+// the last successful execution together with the versions its outputs were
+// committed at. A resubmission may then *reuse* a job — skip execution and
+// serve its outputs from the DFS — when the current fingerprint matches and
+// every recorded output still sits in the DFS at its recorded version. Any
+// overwrite (a base-relation append, another workflow clobbering an
+// intermediate, a shard failover re-put) bumps a version and invalidates
+// exactly the affected DAG suffix: a recomputed job re-Puts its outputs,
+// which bumps them, which invalidates its consumers in turn.
+//
+// Layering: this is the delta-run counterpart of PR 4's RuntimeHistory —
+// the same "job.name @ engine" signature space, but keyed on input content
+// rather than measured runtime.
+
+#ifndef MUSKETEER_SRC_STREAM_FINGERPRINT_H_
+#define MUSKETEER_SRC_STREAM_FINGERPRINT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/backends/job.h"
+#include "src/cluster/dfs.h"
+
+namespace musketeer {
+
+// Fingerprint of `job` against the relation versions currently in `dfs`.
+uint64_t FingerprintJob(const std::string& workflow_id, const JobPlan& job,
+                        const Dfs& dfs);
+
+// Thread-safe store of last-success fingerprints. One per service (shared
+// across tenants' resubmissions) or per CLI process.
+class FingerprintStore {
+ public:
+  FingerprintStore() = default;
+  FingerprintStore(const FingerprintStore&) = delete;
+  FingerprintStore& operator=(const FingerprintStore&) = delete;
+
+  // Records a successful execution: `outputs` are (relation, version) pairs
+  // read back from the DFS after the job's commit.
+  void Record(const std::string& workflow_id, const std::string& job_name,
+              uint64_t fingerprint,
+              std::vector<std::pair<std::string, uint64_t>> outputs);
+
+  // True when the job may be skipped: `fingerprint` matches the recorded
+  // one and every recorded output is still in `dfs` at its recorded
+  // version. A stale output version — any overwrite since the recording —
+  // fails the check.
+  bool CanReuse(const std::string& workflow_id, const std::string& job_name,
+                uint64_t fingerprint, const Dfs& dfs) const;
+
+  size_t size() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    uint64_t fingerprint = 0;
+    std::vector<std::pair<std::string, uint64_t>> outputs;
+  };
+
+  static std::string Key(const std::string& workflow_id,
+                         const std::string& job_name) {
+    return workflow_id + '\x1f' + job_name;
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;  // guarded by mu_
+};
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_STREAM_FINGERPRINT_H_

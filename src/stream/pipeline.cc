@@ -1,0 +1,194 @@
+#include "src/stream/pipeline.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/scheduler/cost_model.h"
+
+namespace musketeer {
+
+const char* PipelineModeName(PipelineMode mode) {
+  switch (mode) {
+    case PipelineMode::kOff:
+      return "off";
+    case PipelineMode::kAuto:
+      return "auto";
+    case PipelineMode::kForce:
+      return "force";
+  }
+  return "off";
+}
+
+bool EnginePipelineCapable(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSpark:    // RDDs accept upstream partitions as produced
+    case EngineKind::kNaiad:    // timely dataflow is streaming-native
+    case EngineKind::kSerialC:  // in-process, no substrate start barrier
+      return true;
+    case EngineKind::kHadoop:      // batch-scheduled from materialized input
+    case EngineKind::kMetis:       // ditto (single-machine MapReduce)
+    case EngineKind::kPowerGraph:  // vertex runtimes load a graph, then run
+    case EngineKind::kGraphChi:    // out-of-core by design
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+size_t Find(std::vector<size_t>& parent, size_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+void Unite(std::vector<size_t>& parent, size_t a, size_t b) {
+  parent[Find(parent, a)] = Find(parent, b);
+}
+
+}  // namespace
+
+PipelineSchedule PlanPipelines(
+    const std::vector<JobPlan>& jobs, const std::vector<std::string>& sinks,
+    const PipelineOptions& options, const ClusterConfig& cluster,
+    const std::function<Bytes(const std::string&)>& size_of) {
+  PipelineSchedule out;
+  out.group_of.assign(jobs.size(), -1);
+  if (options.mode == PipelineMode::kOff || jobs.size() < 2) {
+    return out;
+  }
+
+  std::unordered_map<std::string, size_t> producer_of;
+  std::unordered_map<std::string, int> consumer_count;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    for (const std::string& rel : jobs[i].outputs) {
+      producer_of[rel] = i;
+    }
+    for (const std::string& rel : jobs[i].inputs) {
+      ++consumer_count[rel];
+    }
+  }
+  const std::unordered_set<std::string> sink_set(sinks.begin(), sinks.end());
+
+  std::vector<size_t> parent(jobs.size());
+  std::iota(parent.begin(), parent.end(), 0);
+
+  // Group-schedulability: with `cand` added, every input of every job in the
+  // merged component must be streamed in from within the component, produced
+  // before the component's first member (committed by group launch time), or
+  // a base relation. Members launch concurrently, so a DFS read of a
+  // sibling's yet-uncommitted output would race.
+  auto safe_with_edge = [&](const PipelineEdge& cand) {
+    const size_t ra = Find(parent, cand.producer);
+    const size_t rb = Find(parent, cand.consumer);
+    std::vector<size_t> members;
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      const size_t r = Find(parent, j);
+      if (r == ra || r == rb) {
+        members.push_back(j);
+      }
+    }
+    const size_t first = *std::min_element(members.begin(), members.end());
+    const std::unordered_set<size_t> member_set(members.begin(), members.end());
+    auto streamed_into = [&](size_t consumer, const std::string& rel) {
+      if (cand.consumer == consumer && cand.relation == rel) {
+        return true;
+      }
+      for (const PipelineEdge& e : out.edges) {
+        if (e.consumer == consumer && e.relation == rel) {
+          return true;
+        }
+      }
+      return false;
+    };
+    for (size_t m : members) {
+      for (const std::string& in : jobs[m].inputs) {
+        auto it = producer_of.find(in);
+        if (it == producer_of.end()) {
+          continue;  // base relation: in the DFS before the run started
+        }
+        if (member_set.count(it->second) > 0) {
+          if (!streamed_into(m, in)) {
+            return false;
+          }
+        } else if (it->second >= first) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  for (size_t c = 0; c < jobs.size(); ++c) {
+    const JobPlan& consumer = jobs[c];
+    if (consumer.while_mode != WhileExec::kNone ||
+        !EnginePipelineCapable(consumer.engine)) {
+      continue;
+    }
+    for (const std::string& rel : consumer.inputs) {
+      auto it = producer_of.find(rel);
+      if (it == producer_of.end() || it->second >= c) {
+        continue;
+      }
+      const JobPlan& producer = jobs[it->second];
+      if (producer.while_mode != WhileExec::kNone ||
+          !EnginePipelineCapable(producer.engine)) {
+        continue;
+      }
+      if (consumer_count[rel] != 1 || sink_set.count(rel) > 0) {
+        continue;
+      }
+      const Bytes est = size_of(rel);
+      if (options.mode == PipelineMode::kAuto) {
+        // Unknown size: stay on the measured default (the barrier).
+        if (est <= 0 ||
+            ChannelHandoffSeconds(est) >=
+                BarrierHandoffSeconds(producer.engine, consumer.engine,
+                                      cluster, est)) {
+          continue;
+        }
+      }
+      const PipelineEdge cand{it->second, c, rel, est};
+      if (!safe_with_edge(cand)) {
+        continue;
+      }
+      out.edges.push_back(cand);
+      Unite(parent, cand.producer, cand.consumer);
+    }
+  }
+
+  // Components with >= 2 members become groups, numbered by first member so
+  // the schedule is deterministic.
+  std::unordered_map<size_t, int> group_of_root;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    const size_t root = Find(parent, j);
+    auto it = group_of_root.find(root);
+    if (it != group_of_root.end()) {
+      out.group_of[j] = it->second;
+      out.groups[static_cast<size_t>(it->second)].push_back(j);
+      continue;
+    }
+    // Only roots reached by an accepted edge form groups.
+    bool in_edge = false;
+    for (const PipelineEdge& e : out.edges) {
+      if (Find(parent, e.producer) == root) {
+        in_edge = true;
+        break;
+      }
+    }
+    if (!in_edge) {
+      continue;
+    }
+    const int id = static_cast<int>(out.groups.size());
+    group_of_root[root] = id;
+    out.group_of[j] = id;
+    out.groups.push_back({j});
+  }
+  return out;
+}
+
+}  // namespace musketeer

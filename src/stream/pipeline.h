@@ -1,0 +1,92 @@
+// PipelinePlanner: decides which inter-job edges of a planned workflow run
+// through a RelationChannel instead of the DFS materialization barrier.
+//
+// The planner walks the job list the partitioner produced (plan order is a
+// topological order: every producer precedes its consumers) and accepts a
+// producer→consumer edge only when it is *pipeline-safe*:
+//
+//   - the relation has exactly one consuming job and is not a workflow sink
+//     (a sink must be committed to the DFS anyway, and fan-out would need
+//     multicast channels);
+//   - both engines are pipeline-capable: long-running dataflow runtimes
+//     (Spark, Naiad) and the in-process SerialC path can accept input as it
+//     is produced, batch-scheduled substrates (Hadoop, Metis) and the
+//     out-of-core vertex runtimes (PowerGraph, GraphChi) start from
+//     materialized storage;
+//   - neither side is a WHILE-loop fixpoint job (loop state crosses the
+//     boundary once per iteration, not once per run);
+//   - the resulting concurrent group is schedulable: every input a group
+//     member reads is either streamed in from within the group or already
+//     committed before the group's first member would have started (group
+//     members launch together, so a plain DFS read of a sibling's
+//     yet-uncommitted output would race).
+//
+// In kAuto mode an accepted edge must additionally win on cost:
+// ChannelHandoffSeconds(bytes) < BarrierHandoffSeconds(bytes) at the
+// history-estimated edge size (unknown size => stay on the barrier, the
+// measured default). kForce pipelines every safe edge — the deterministic
+// setting the equivalence tests sweep.
+//
+// Sharded runs: the coordinator places jobs on different shards, so edges
+// are only pipeline-safe within one address space. The ShardCoordinator
+// keeps the barrier plane; this planner serves the in-process executor.
+
+#ifndef MUSKETEER_SRC_STREAM_PIPELINE_H_
+#define MUSKETEER_SRC_STREAM_PIPELINE_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/backends/job.h"
+#include "src/base/units.h"
+#include "src/cluster/cluster.h"
+
+namespace musketeer {
+
+enum class PipelineMode {
+  kOff,    // every edge is a DFS barrier (seed behavior)
+  kAuto,   // pipeline safe edges that win on cost
+  kForce,  // pipeline every safe edge
+};
+
+const char* PipelineModeName(PipelineMode mode);
+
+struct PipelineOptions {
+  PipelineMode mode = PipelineMode::kOff;
+  size_t channel_capacity = 4;  // batches in flight per edge
+  size_t batch_rows = 8192;     // morsel grain
+};
+
+// One accepted producer→consumer edge (indices into the job list).
+struct PipelineEdge {
+  size_t producer = 0;
+  size_t consumer = 0;
+  std::string relation;
+  Bytes est_bytes = 0;  // 0 = unknown (kForce accepted it anyway)
+};
+
+struct PipelineSchedule {
+  std::vector<PipelineEdge> edges;
+  // Connected components of the accepted edges, each sorted ascending; every
+  // group has >= 2 members and executes as one concurrent unit.
+  std::vector<std::vector<size_t>> groups;
+  // Per-job group id (-1 = runs on the barrier path).
+  std::vector<int> group_of;
+
+  bool empty() const { return edges.empty(); }
+};
+
+bool EnginePipelineCapable(EngineKind kind);
+
+// `size_of(relation)` returns the estimated nominal bytes crossing an edge
+// (history lookup, or the relation's current DFS size), 0 when unknown.
+PipelineSchedule PlanPipelines(
+    const std::vector<JobPlan>& jobs, const std::vector<std::string>& sinks,
+    const PipelineOptions& options, const ClusterConfig& cluster,
+    const std::function<Bytes(const std::string&)>& size_of);
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_STREAM_PIPELINE_H_

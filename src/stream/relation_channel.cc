@@ -1,0 +1,224 @@
+#include "src/stream/relation_channel.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/obs/metrics.h"
+
+namespace musketeer {
+
+namespace {
+
+// Wait slice: long enough that an uncontended handoff never spins, short
+// enough that cancellation and deadline expiry resolve promptly (the same
+// resolution the dispatcher's BackoffSleep uses).
+constexpr std::chrono::milliseconds kWaitSlice{10};
+
+// CancelledError / DeadlineExceededError when the caller should stop
+// waiting, OK otherwise.
+Status WaitInterrupted(const std::string& relation, const CancelToken& cancel,
+                       const DeadlinePoint& deadline) {
+  if (cancel.cancel_requested()) {
+    return CancelledError("cancelled while waiting on channel '" + relation +
+                          "'");
+  }
+  if (deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *deadline) {
+    return DeadlineExceededError("deadline expired while waiting on channel '" +
+                                 relation + "'");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+RelationChannel::RelationChannel(std::string relation, size_t capacity)
+    : relation_(std::move(relation)), capacity_(std::max<size_t>(1, capacity)) {}
+
+Status RelationChannel::Push(Table batch, const CancelToken& cancel,
+                             const DeadlinePoint& deadline) {
+  static Counter& stall_metric =
+      MetricsRegistry::Global().counter("musketeer.stream.push_stalls");
+  static Counter& batch_metric =
+      MetricsRegistry::Global().counter("musketeer.stream.batches");
+  static Counter& bytes_metric =
+      MetricsRegistry::Global().counter("musketeer.stream.bytes");
+  static Counter& dropped_metric =
+      MetricsRegistry::Global().counter("musketeer.stream.batches_dropped");
+
+  std::unique_lock lock(mu_);
+  bool stalled = false;
+  while (true) {
+    if (state_ != State::kOpen) {
+      return InternalError("push on closed channel '" + relation_ + "'");
+    }
+    if (receiver_closed_) {
+      // The consumer fell back (or failed): drop silently so the producer
+      // finishes its own commit without blocking on a reader that is gone.
+      ++batches_dropped_;
+      dropped_metric.Increment();
+      return OkStatus();
+    }
+    if (queue_.size() < capacity_) {
+      break;
+    }
+    if (!stalled) {
+      stalled = true;
+      ++push_stalls_;
+      stall_metric.Increment();
+    }
+    Status interrupted = WaitInterrupted(relation_, cancel, deadline);
+    if (!interrupted.ok()) {
+      return interrupted;
+    }
+    not_full_.wait_for(lock, kWaitSlice);
+  }
+  const Bytes bytes = batch.nominal_bytes();
+  queue_.push_back(std::move(batch));
+  ++batches_pushed_;
+  bytes_pushed_ += bytes;
+  batch_metric.Increment();
+  bytes_metric.Increment(static_cast<uint64_t>(bytes));
+  not_empty_.notify_one();
+  return OkStatus();
+}
+
+StatusOr<std::optional<Table>> RelationChannel::Pop(
+    const CancelToken& cancel, const DeadlinePoint& deadline) {
+  static Counter& stall_metric =
+      MetricsRegistry::Global().counter("musketeer.stream.pop_stalls");
+
+  std::unique_lock lock(mu_);
+  bool stalled = false;
+  while (true) {
+    if (state_ == State::kAborted) {
+      // Queued batches are an incomplete prefix of a failed producer's
+      // output — surface the failure instead.
+      return abort_status_;
+    }
+    if (!queue_.empty()) {
+      Table batch = std::move(queue_.front());
+      queue_.pop_front();
+      not_full_.notify_one();
+      return std::optional<Table>(std::move(batch));
+    }
+    if (state_ == State::kClosed) {
+      return std::optional<Table>(std::nullopt);  // drained: end-of-stream
+    }
+    if (!stalled) {
+      stalled = true;
+      ++pop_stalls_;
+      stall_metric.Increment();
+    }
+    Status interrupted = WaitInterrupted(relation_, cancel, deadline);
+    if (!interrupted.ok()) {
+      return interrupted;
+    }
+    not_empty_.wait_for(lock, kWaitSlice);
+  }
+}
+
+void RelationChannel::Close() {
+  std::lock_guard lock(mu_);
+  if (state_ == State::kOpen) {
+    state_ = State::kClosed;
+  }
+  not_empty_.notify_all();
+}
+
+void RelationChannel::Abort(Status status) {
+  std::lock_guard lock(mu_);
+  if (state_ != State::kOpen) {
+    return;  // Close/Abort already resolved the stream; first word wins
+  }
+  state_ = State::kAborted;
+  abort_status_ = status.ok()
+                      ? UnavailableError("channel '" + relation_ + "' aborted")
+                      : std::move(status);
+  queue_.clear();
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+void RelationChannel::CloseReceiver() {
+  std::lock_guard lock(mu_);
+  receiver_closed_ = true;
+  queue_.clear();  // nobody will pop these
+  not_full_.notify_all();
+}
+
+uint64_t RelationChannel::batches_pushed() const {
+  std::lock_guard lock(mu_);
+  return batches_pushed_;
+}
+
+uint64_t RelationChannel::batches_dropped() const {
+  std::lock_guard lock(mu_);
+  return batches_dropped_;
+}
+
+uint64_t RelationChannel::push_stalls() const {
+  std::lock_guard lock(mu_);
+  return push_stalls_;
+}
+
+uint64_t RelationChannel::pop_stalls() const {
+  std::lock_guard lock(mu_);
+  return pop_stalls_;
+}
+
+Bytes RelationChannel::bytes_pushed() const {
+  std::lock_guard lock(mu_);
+  return bytes_pushed_;
+}
+
+StatusOr<StreamCounts> StreamTable(const Table& table, size_t batch_rows,
+                                   RelationChannel* channel,
+                                   const CancelToken& cancel,
+                                   const DeadlinePoint& deadline) {
+  const size_t grain = std::max<size_t>(1, batch_rows);
+  StreamCounts counts;
+  size_t begin = 0;
+  do {
+    const size_t end = std::min(table.num_rows(), begin + grain);
+    Table batch = table.Slice(begin, end);  // keeps schema and scale
+    counts.bytes += batch.nominal_bytes();
+    MUSKETEER_RETURN_IF_ERROR(channel->Push(std::move(batch), cancel, deadline));
+    ++counts.batches;
+    begin = end;
+  } while (begin < table.num_rows());
+  channel->Close();
+  return counts;
+}
+
+StatusOr<AssembledTable> AssembleFromChannel(RelationChannel* channel,
+                                             const CancelToken& cancel,
+                                             const DeadlinePoint& deadline) {
+  AssembledTable out;
+  bool first = true;
+  while (true) {
+    MUSKETEER_ASSIGN_OR_RETURN(std::optional<Table> batch,
+                               channel->Pop(cancel, deadline));
+    if (!batch.has_value()) {
+      break;
+    }
+    ++out.counts.batches;
+    out.counts.bytes += batch->nominal_bytes();
+    if (first) {
+      // Move the first batch wholesale: AppendTable's adopt path keeps the
+      // destination's (default) scale, but batches carry the producer's.
+      out.table = std::move(*batch);
+      first = false;
+    } else {
+      out.table.AppendTable(std::move(*batch));
+    }
+  }
+  if (first) {
+    return InternalError("channel '" + channel->relation() +
+                         "' closed without any batch (producers always push "
+                         "at least the schema)");
+  }
+  return out;
+}
+
+}  // namespace musketeer

@@ -1,0 +1,142 @@
+// Bounded, batch-granular channel for pipelined job-to-job handoff.
+//
+// The barrier data plane materializes every inter-job relation through the
+// DFS (that is what Fig. 9 of the paper measures). A RelationChannel is the
+// streaming alternative: the producer job pushes its output in fixed
+// morsel-sized Table batches as soon as the relational kernel emits them,
+// and the consumer job assembles its input from the batches concurrently —
+// never waiting for the producer's substrate/verify/commit tail.
+//
+// Semantics:
+//   - Bounded: Push blocks while `capacity` batches are queued
+//     (backpressure), Pop blocks while the queue is empty and the channel
+//     is still open. Both waits are sliced and honor the caller's
+//     CancelToken and deadline, so a cancelled pipelined run drains instead
+//     of deadlocking.
+//   - Close(): producer finished cleanly; Pop drains the queue then reports
+//     end-of-stream (an OK nullopt).
+//   - Abort(status): producer failed; Pop fails with that status as soon as
+//     it observes the abort (queued batches are incomplete data — dropped).
+//     Abort after Close is a no-op, so an unconditional RAII abort guard on
+//     the producer's error paths is safe.
+//   - CloseReceiver(): consumer is gone (it failed, or fell back to the
+//     barrier path). Subsequent pushes are dropped and return OK so the
+//     producer never blocks on a reader that will not come.
+//
+// Determinism: batches are ordered Slices of the producer's kernel output
+// (the exact bytes the barrier path commits to the DFS), reassembled in push
+// order with AppendTable — so a pipelined run consumes bit-identical input
+// to a barrier run by construction.
+
+#ifndef MUSKETEER_SRC_STREAM_RELATION_CHANNEL_H_
+#define MUSKETEER_SRC_STREAM_RELATION_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/base/cancel.h"
+#include "src/base/status.h"
+#include "src/base/units.h"
+#include "src/relational/table.h"
+
+namespace musketeer {
+
+class RelationChannel {
+ public:
+  // `capacity` is in batches (>= 1); `relation` names the edge for errors
+  // and metrics.
+  explicit RelationChannel(std::string relation, size_t capacity = 4);
+
+  RelationChannel(const RelationChannel&) = delete;
+  RelationChannel& operator=(const RelationChannel&) = delete;
+
+  // Blocks while the channel is full. Returns OK once the batch is queued
+  // (or dropped because the receiver closed), CancelledError /
+  // DeadlineExceededError when the wait is interrupted, InternalError when
+  // called after Close/Abort.
+  Status Push(Table batch, const CancelToken& cancel,
+              const DeadlinePoint& deadline);
+
+  // Blocks while the channel is empty and still open. Returns the next
+  // batch in push order; an OK std::nullopt at end-of-stream; the abort
+  // status after Abort; CancelledError / DeadlineExceededError when the
+  // wait is interrupted.
+  StatusOr<std::optional<Table>> Pop(const CancelToken& cancel,
+                                     const DeadlinePoint& deadline);
+
+  void Close();
+  void Abort(Status status);
+  void CloseReceiver();
+
+  const std::string& relation() const { return relation_; }
+  uint64_t batches_pushed() const;
+  uint64_t batches_dropped() const;
+  uint64_t push_stalls() const;
+  uint64_t pop_stalls() const;
+  Bytes bytes_pushed() const;
+
+ private:
+  enum class State { kOpen, kClosed, kAborted };
+
+  const std::string relation_;
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;   // signaled on pop / receiver close
+  std::condition_variable not_empty_;  // signaled on push / close / abort
+  std::deque<Table> queue_;
+  State state_ = State::kOpen;
+  bool receiver_closed_ = false;
+  Status abort_status_;
+  uint64_t batches_pushed_ = 0;
+  uint64_t batches_dropped_ = 0;
+  uint64_t push_stalls_ = 0;
+  uint64_t pop_stalls_ = 0;
+  Bytes bytes_pushed_ = 0;
+};
+
+// Channel wiring ExecuteJob receives for a pipelined job: which of its
+// input relations arrive over a channel instead of a DFS pull, and which of
+// its outputs it must stream (in addition to the unchanged DFS commit —
+// streamed relations are still Put so fallback, incremental reuse and sinks
+// all see them).
+struct JobStreamIo {
+  std::unordered_map<std::string, RelationChannel*> inputs;
+  std::unordered_map<std::string, RelationChannel*> outputs;
+  size_t batch_rows = 8192;  // morsel grain, matches the kernel chunk size
+};
+
+// Accounting for one side of a streamed edge.
+struct StreamCounts {
+  uint64_t batches = 0;
+  Bytes bytes = 0;  // nominal
+};
+
+// Pushes `table` through `channel` as ordered Slices of `batch_rows` rows,
+// then closes the channel. An empty table still pushes one empty batch so
+// the consumer receives the schema. Does NOT abort the channel on error —
+// callers hold an abort guard.
+StatusOr<StreamCounts> StreamTable(const Table& table, size_t batch_rows,
+                                   RelationChannel* channel,
+                                   const CancelToken& cancel,
+                                   const DeadlinePoint& deadline);
+
+// Pops until end-of-stream and reassembles the batches in order. The result
+// is bit-identical (Table::Identical) to the table the producer streamed.
+struct AssembledTable {
+  Table table;
+  StreamCounts counts;
+};
+StatusOr<AssembledTable> AssembleFromChannel(RelationChannel* channel,
+                                             const CancelToken& cancel,
+                                             const DeadlinePoint& deadline);
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_STREAM_RELATION_CHANNEL_H_

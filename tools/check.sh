@@ -18,7 +18,12 @@
 # sharded-execution gate (shard coordinator tests under TSan, a scripted CLI
 # run asserting --shards=3 output is byte-identical to --shards=1 even across
 # a seeded mid-run shard death, and bench_shard_scaling's locality hit-rate /
-# cross-shard-bytes / no-regression acceptance). Run from anywhere;
+# cross-shard-bytes / no-regression acceptance), and lastly the streaming +
+# incremental gate (relation-channel storms and the pipelined end-to-end
+# sweep under TSan, a scripted CLI run asserting --pipeline=force and
+# --incremental output is byte-identical to --pipeline=off, and
+# bench_stream_pipeline's pipelined-speedup / reused-job acceptance).
+# Run from anywhere;
 # builds land in <repo>/build, <repo>/build-tsan, <repo>/build-asan and
 # <repo>/build-relassert.
 set -euo pipefail
@@ -26,28 +31,28 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc)"
 
-echo "== [1/9] normal build + tests =="
+echo "== [1/10] normal build + tests =="
 cmake -S "$repo" -B "$repo/build" >/dev/null
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
-echo "== [2/9] ThreadSanitizer build + tests =="
+echo "== [2/10] ThreadSanitizer build + tests =="
 cmake -S "$repo" -B "$repo/build-tsan" -DMUSKETEER_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs"
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs"
 
-echo "== [3/9] AddressSanitizer+UBSan build + tests =="
+echo "== [3/10] AddressSanitizer+UBSan build + tests =="
 cmake -S "$repo" -B "$repo/build-asan" -DMUSKETEER_SANITIZE=address >/dev/null
 cmake --build "$repo/build-asan" -j "$jobs"
 ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
 
-echo "== [4/9] Release-with-assertions build + tests =="
+echo "== [4/10] Release-with-assertions build + tests =="
 cmake -S "$repo" -B "$repo/build-relassert" -DCMAKE_BUILD_TYPE=Release \
       -DMUSKETEER_KEEP_ASSERTS=ON >/dev/null
 cmake --build "$repo/build-relassert" -j "$jobs"
 ctest --test-dir "$repo/build-relassert" --output-on-failure -j "$jobs"
 
-echo "== [5/9] observability: overhead budget + trace validity =="
+echo "== [5/10] observability: overhead budget + trace validity =="
 # Overhead gate: instrumented-vs-uninstrumented kernel throughput, exits
 # non-zero above the 5% budget; writes BENCH_obs_overhead.json.
 (cd "$repo/build" && ./bench/bench_obs_overhead)
@@ -87,7 +92,7 @@ else
   echo "trace written (python3 unavailable, JSON not validated)"
 fi
 
-echo "== [6/9] fault tolerance: TSan fault tests + seeded sweep + overhead gate =="
+echo "== [6/10] fault tolerance: TSan fault tests + seeded sweep + overhead gate =="
 # The concurrency and cancellation fault tests under ThreadSanitizer: workers
 # recovering injected faults and racing cancellations against one shared DFS.
 "$repo/build-tsan/tests/fault_test" --gtest_filter='*Concurrent*:*Cancel*'
@@ -105,7 +110,7 @@ test -s "$obs_tmp/fault_out.csv"
 # service throughput.
 (cd "$repo/build" && ./bench/bench_service_throughput)
 
-echo "== [7/9] network front door: scripted client session + TSan net tests =="
+echo "== [7/10] network front door: scripted client session + TSan net tests =="
 # Server tests (HTTP parser, live-socket e2e, line protocol, tenant quotas)
 # under ThreadSanitizer: the poll loop, worker pool and client threads all
 # share the ticket registry.
@@ -162,7 +167,7 @@ kill -TERM "$server_pid"
 wait "$server_pid" || true
 grep -q "shutting down" "$obs_tmp/server_out.txt"
 
-echo "== [8/9] vectorized kernels: Release scaling gate + TSan sweep =="
+echo "== [8/10] vectorized kernels: Release scaling gate + TSan sweep =="
 # Scaling gate: bench_columnar_ops sweeps threads {1,2,4,8} over every op and
 # exits non-zero when a floor is missed. Floors are hardware-aware: with >= 8
 # real cores, hash_join and group_by_agg must reach >= 4x at 8 threads and
@@ -180,7 +185,7 @@ MUSKETEER_THREADS=8 "$repo/build-tsan/tests/column_test"
 MUSKETEER_THREADS=8 "$repo/build-tsan/tests/engine_equivalence_test" \
     --gtest_filter='*Parallel*:*RowReference*:*Fused*'
 
-echo "== [9/9] sharded execution: TSan coordinator tests + CLI bit-identity + scaling gate =="
+echo "== [9/10] sharded execution: TSan coordinator tests + CLI bit-identity + scaling gate =="
 # The shard coordinator under ThreadSanitizer: per-shard worker pools execute
 # against per-shard DFS views of one ShardedDfs while the coordinator thread
 # reads the shared directory and fetch counters.
@@ -209,5 +214,36 @@ grep -q "sharding: 3 shard(s)" "$obs_tmp/shard3_out.txt"
 # random placement on cross-shard bytes, and not regress wall clock. Writes
 # BENCH_shard_scaling.json.
 (cd "$repo/build" && ./bench/bench_shard_scaling)
+
+echo "== [10/10] streaming + incremental: TSan channel storms + CLI pipeline bit-identity + bench gate =="
+# The relation channels under ThreadSanitizer: concurrent producer/consumer
+# pairs hammer push/pop/close/abort while the counters are read, plus the
+# pipelined end-to-end sweep where group members execute in their own
+# threads against the shared DFS.
+"$repo/build-tsan/tests/stream_test" \
+    --gtest_filter='RelationChannelTest.*:StreamExecutionTest.*'
+
+# Scripted CLI bit-identity: --pipeline=force must produce byte-identical
+# output to --pipeline=off, and must report streamed batches; --incremental
+# alone (fresh process, no prior fingerprints) must still produce the same
+# bytes.
+(cd "$obs_tmp" && "$repo/build/tools/musketeer" \
+    --input=lhs=lhs.csv:id:int,v:int --input=rhs=rhs.csv:id:int,w:int \
+    --output=joined=pipe_off.csv --pipeline=off tiny.beer > pipe_off_out.txt)
+(cd "$obs_tmp" && "$repo/build/tools/musketeer" \
+    --input=lhs=lhs.csv:id:int,v:int --input=rhs=rhs.csv:id:int,w:int \
+    --output=joined=pipe_force.csv --pipeline=force tiny.beer > pipe_force_out.txt)
+(cd "$obs_tmp" && "$repo/build/tools/musketeer" \
+    --input=lhs=lhs.csv:id:int,v:int --input=rhs=rhs.csv:id:int,w:int \
+    --output=joined=pipe_inc.csv --incremental tiny.beer > pipe_inc_out.txt)
+cmp "$obs_tmp/pipe_off.csv" "$obs_tmp/pipe_force.csv"
+cmp "$obs_tmp/pipe_off.csv" "$obs_tmp/pipe_inc.csv"
+
+# Pipelined-vs-barrier wall clock and incremental reuse gates (hardware-
+# aware: >= 1.2x on >= 4 cores, no-regression on smaller hosts; the delta
+# run must reuse >= 1 job and match the cold bits). Release tree — the
+# overlap ratios in a -O0 build are not the numbers we ship. Writes
+# BENCH_stream_pipeline.json.
+(cd "$repo/build-relassert" && ./bench/bench_stream_pipeline)
 
 echo "== all checks passed =="

@@ -166,7 +166,16 @@ void PrintUsage() {
       "  --deadline-ms=N               (workflow budget incl. queue wait)\n"
       "  --max-retries=N               (per-engine retries per job)\n"
       "  --fault-rate=F --fault-seed=S (seeded fault injection)\n"
-      "  --no-failover                 (disable cross-engine failover)\n");
+      "  --no-failover                 (disable cross-engine failover)\n"
+      "  --pipeline=off|auto|force     (stream pipeline-safe job edges over\n"
+      "                                 in-memory channels instead of the\n"
+      "                                 DFS barrier; auto = cost-gated,\n"
+      "                                 results identical either way)\n"
+      "  --incremental                 (reuse jobs whose input fingerprints\n"
+      "                                 are unchanged since the last run —\n"
+      "                                 with --serve/--listen, resubmits\n"
+      "                                 recompute only the affected DAG\n"
+      "                                 suffix)\n");
 }
 
 // Infers the front-end language for `path` from --language or the extension.
@@ -411,6 +420,8 @@ int main(int argc, char** argv) {
   int shard_of_m = 0;
   std::vector<PeerAddress> peer_addrs;
   bool peers_given = false;
+  PipelineMode pipeline_mode = PipelineMode::kOff;
+  bool incremental = false;
 
   // Input relations are parsed now but loaded only after the storage layer
   // (plain, sharded, or peer) is chosen.
@@ -608,6 +619,23 @@ int main(int argc, char** argv) {
       inputs.push_back({std::move(name), std::move(file), std::move(*schema)});
       continue;
     }
+    if (StartsWith(arg, "--pipeline=")) {
+      std::string mode = arg.substr(11);
+      if (mode == "off") {
+        pipeline_mode = PipelineMode::kOff;
+      } else if (mode == "auto") {
+        pipeline_mode = PipelineMode::kAuto;
+      } else if (mode == "force") {
+        pipeline_mode = PipelineMode::kForce;
+      } else {
+        return Fail("--pipeline needs off, auto or force");
+      }
+      continue;
+    }
+    if (arg == "--incremental") {
+      incremental = true;
+      continue;
+    }
     if (StartsWith(arg, "--shards=")) {
       auto n = ParseInt64(arg.substr(9));
       if (!n.has_value() || *n < 1 || *n > 64) {
@@ -800,6 +828,12 @@ int main(int argc, char** argv) {
   options.retry.enable_failover = failover;
   options.fault_rate = fault_rate;
   options.fault_seed = static_cast<uint64_t>(fault_seed);
+  options.pipeline = pipeline_mode;
+  options.incremental = incremental;
+  // One process, one fingerprint store: one-shot runs record into it (a
+  // --repeat'd or resubmitted workflow in --serve/--listen mode instead uses
+  // the service-owned store, plumbed when options.fingerprints stays null).
+  FingerprintStore fingerprints;
 
   if (listen_port >= 0) {
     if (peer_dfs != nullptr) {
@@ -821,6 +855,10 @@ int main(int argc, char** argv) {
                              static_cast<size_t>(queue_capacity), plan_cache,
                              &history, &runtime_history));
   }
+
+  // One-shot from here on: record fingerprints into the process-local store
+  // so an --incremental run of a multi-sink workflow can reuse within itself.
+  options.fingerprints = &fingerprints;
 
   const std::string& workflow_path = workflow_paths[0];
   auto loaded = LoadWorkflowFile(workflow_path, language);
@@ -866,6 +904,13 @@ int main(int argc, char** argv) {
     std::printf("  job %zu: %s (%.1f s)\n", i + 1,
                 result->plans[i].name.c_str(),
                 result->job_results[i].makespan);
+  }
+  if (result->pipelined_edges > 0 || result->jobs_reused > 0) {
+    std::printf("streaming: %d pipelined edge(s), %llu batch(es)/%.2f MB "
+                "over channels, %d job(s) reused\n",
+                result->pipelined_edges,
+                (unsigned long long)result->stream_batches,
+                result->stream_bytes / kMB, result->jobs_reused);
   }
   if (result->total_faults_injected > 0 || result->total_retries > 0 ||
       result->total_failovers > 0) {
