@@ -16,7 +16,7 @@ double RunTopShopper(double nominal_rows, bool merging) {
                   .language = FrontendLanguage::kBeer,
                   .source = TopShopperBeer(5, 5000.0)};
   RunOptions options = ForEngine(EngineKind::kHadoop, Ec2Cluster(100));
-  options.partition.enable_merging = merging;
+  options.planner.enable_merging = merging;
   options.codegen.shared_scans = merging;
   return MustRun(&dfs, wf, options).makespan;
 }
@@ -37,7 +37,7 @@ double RunHybrid(const CommunityPair& communities, double scale, bool merging) {
   RunOptions options;
   options.cluster = Ec2Cluster(100);
   options.engines = {EngineKind::kHadoop, EngineKind::kNaiad};
-  options.partition.enable_merging = merging;
+  options.planner.enable_merging = merging;
   options.codegen.shared_scans = merging;
   return MustRun(&dfs, wf, options).makespan;
 }

@@ -52,7 +52,8 @@ void BM_Exhaustive(benchmark::State& state) {
     return;
   }
   for (auto _ : state) {
-    auto result = PartitionExhaustive(*dag, model, *sizes);
+    auto result = PartitionWorkflow(
+        *dag, model, *sizes, {.strategy = PartitionStrategyKind::kExhaustive});
     benchmark::DoNotOptimize(result);
   }
 }
@@ -67,7 +68,8 @@ void BM_DpHeuristic(benchmark::State& state) {
     return;
   }
   for (auto _ : state) {
-    auto result = PartitionDp(*dag, model, *sizes);
+    auto result = PartitionWorkflow(*dag, model, *sizes,
+                                    {.strategy = PartitionStrategyKind::kDp});
     benchmark::DoNotOptimize(result);
   }
 }
@@ -89,7 +91,8 @@ void BM_ExhaustiveParallel(benchmark::State& state) {
   }
   auto reference = [&] {
     ScopedParallelThreads one(1);
-    return PartitionExhaustive(*dag, model, *sizes);
+    return PartitionWorkflow(*dag, model, *sizes,
+                             {.strategy = PartitionStrategyKind::kExhaustive});
   }();
   if (!reference.ok()) {
     state.SkipWithError(reference.status().ToString().c_str());
@@ -97,7 +100,8 @@ void BM_ExhaustiveParallel(benchmark::State& state) {
   }
   ScopedParallelThreads width(threads);
   for (auto _ : state) {
-    auto result = PartitionExhaustive(*dag, model, *sizes);
+    auto result = PartitionWorkflow(
+        *dag, model, *sizes, {.strategy = PartitionStrategyKind::kExhaustive});
     if (!result.ok() || result->total_cost != reference->total_cost ||
         result->jobs.size() != reference->jobs.size()) {
       state.SkipWithError("parallel partitioning diverged from sequential");

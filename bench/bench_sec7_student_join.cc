@@ -33,7 +33,7 @@ double RunJoin(bool student_style) {
       tagged_edges = MAP src, dst FROM edges_rel;
       joined = JOIN verts, tagged_edges ON verts.id = tagged_edges.src;
     )";
-    options.partition.enable_merging = false;
+    options.planner.enable_merging = false;
     options.codegen.shared_scans = false;
     options.codegen.flavor = CodeGenOptions::Flavor::kNativeHive;  // generic code
   } else {

@@ -172,7 +172,7 @@ int main() {
                       .language = FrontendLanguage::kBeer,
                       .source = NetflixBeer(/*max_movie=*/8000)}};
     RunOptions exhaustive;
-    exhaustive.partition.force_exhaustive = true;
+    exhaustive.planner.strategy = PartitionStrategyKind::kExhaustive;
     HistoryStore cold_history;
     Measurement cold =
         RunLoad(netflix, 4, kCacheSubmissions, /*plan_cache=*/false,

@@ -62,7 +62,7 @@ int RunAll() {
   RunOptions barrier_options;
   barrier_options.cluster = Ec2Cluster(16);
   barrier_options.engines = {EngineKind::kSpark};
-  barrier_options.partition.enable_merging = false;
+  barrier_options.planner.enable_merging = false;
 
   RunOptions pipelined_options = barrier_options;
   pipelined_options.pipeline = PipelineMode::kForce;

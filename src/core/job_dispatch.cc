@@ -128,8 +128,11 @@ StatusOr<JobDispatchOutcome> DispatchJobWithRecovery(
       return Annotate(last_error, "retries exhausted on " +
                                       std::string(EngineKindName(job->engine)));
     }
+    const std::vector<int>& job_ops =
+        env.ops != nullptr ? *env.ops
+                           : plan.partitioning.jobs[env.job_index].ops;
     StatusOr<EngineKind> next = NextFailoverEngine(
-        workflow, plan, plan.partitioning.jobs[env.job_index].ops, options,
+        workflow, plan, job_ops, options,
         env.dfs_sizes ? env.dfs_sizes() : RelationSizes{}, tried);
     if (!next.ok()) {
       return Annotate(last_error,
@@ -137,9 +140,8 @@ StatusOr<JobDispatchOutcome> DispatchJobWithRecovery(
     }
     MUSKETEER_ASSIGN_OR_RETURN(
         JobPlan replan,
-        BackendFor(*next).GeneratePlan(*plan.dag,
-                                       plan.partitioning.jobs[env.job_index].ops,
-                                       plan.base_schemas, options.codegen));
+        BackendFor(*next).GeneratePlan(*plan.dag, job_ops, plan.base_schemas,
+                                       options.codegen));
     *job = std::move(replan);
     // The final failed attempt on the old engine continues as a failover.
     retries_counter.Increment();

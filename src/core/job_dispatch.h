@@ -36,6 +36,11 @@ struct JobDispatchEnv {
   // partitioning.jobs[job_index].ops is the job's operator set.
   const WorkflowPlan* plan = nullptr;
   size_t job_index = 0;
+  // Operator set of the job being dispatched. When null, falls back to
+  // plan->partitioning.jobs[job_index].ops. Callers that may have re-planned
+  // mid-run (online re-planning) must point this at the run's own job list:
+  // the shared plan's job boundaries no longer match after a suffix replan.
+  const std::vector<int>* ops = nullptr;
   const RunOptions* options = nullptr;
   JobAttemptFn run_attempt;
   // Current DFS base-relation sizes — queried lazily, only when a failover

@@ -126,14 +126,15 @@ StatusOr<WorkflowPlan> Musketeer::Plan(const WorkflowSpec& workflow,
                     calibration.has_observations ? &calibration : nullptr);
     MUSKETEER_ASSIGN_OR_RETURN(std::vector<Bytes> sizes,
                                model.PredictSizes(*dag, DfsSizes()));
-    PartitionOptions popts = options.partition;
-    if (popts.engines.empty()) {
-      popts.engines = options.engines;
+    PlannerConfig pconfig = options.planner;
+    if (pconfig.engines.empty()) {
+      pconfig.engines = options.engines;
     }
     MUSKETEER_ASSIGN_OR_RETURN(out.partitioning,
-                               PartitionDag(*dag, model, sizes, popts));
+                               PartitionWorkflow(*dag, model, sizes, pconfig));
     if (span.active()) {
       span.SetAttr("jobs", std::to_string(out.partitioning.jobs.size()));
+      span.SetAttr("strategy", out.partitioning.strategy);
     }
   }
   MUSKETEER_RETURN_IF_ERROR(ctx.Check());
@@ -168,6 +169,7 @@ StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
   result.partitioning = plan.partitioning;
   result.plans = plan.plans;
   result.optimizer_stats = plan.optimizer_stats;
+  result.partition_strategy = plan.partitioning.strategy;
 
   // 5. Execution with critical-path scheduling: a job starts when every job
   // producing one of its inputs has finished; independent jobs overlap.
@@ -186,6 +188,8 @@ StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
       MetricsRegistry::Global().counter("musketeer.stream.edges_pipelined");
   static Counter& fallback_metric =
       MetricsRegistry::Global().counter("musketeer.stream.pipeline_fallbacks");
+  static Counter& replans_metric =
+      MetricsRegistry::Global().counter("musketeer.execute.replans");
 
   // Pipeline schedule: which producer→consumer edges skip the DFS barrier
   // and run over a RelationChannel, and which jobs therefore execute
@@ -253,6 +257,9 @@ StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
     env.workflow = &workflow;
     env.plan = &plan;
     env.job_index = i;
+    // The run's (possibly re-planned) operator set for this job; the shared
+    // plan is immutable, so failover re-costing must read the run's copy.
+    env.ops = &result.partitioning.jobs[i].ops;
     env.options = &options;
     env.run_attempt = [&](const JobPlan& j, const ExecutionContext& c) {
       return ExecuteJob(j, options.cluster, dfs_, c);
@@ -391,9 +398,18 @@ StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
     return OkStatus();
   };
 
+  // Online re-planning signal (DESIGN.md "Planner at scale"): the most
+  // recently folded job's predicted vs measured wall seconds. Invalid when
+  // that job was reused or no runtime history is attached.
+  double last_predicted = 0;
+  double last_measured = 0;
+  bool last_job_measured = false;
+  int replans_done = 0;
+
   // Folds one job's outcome into the result arrays (which stay in plan
   // order regardless of when the job physically ran).
   auto fold = [&](size_t i, Pending&& p) {
+    last_job_measured = false;
     JobPlan& job = result.plans[i];
     SimSeconds start = 0;
     for (const std::string& in : job.inputs) {
@@ -455,6 +471,9 @@ StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
       ++predicted_jobs;
       options.runtime_history->RecordJob(workflow.id, signature, engine,
                                          jr.makespan, jr.wall_seconds);
+      last_predicted = predicted;
+      last_measured = jr.wall_seconds;
+      last_job_measured = true;
     }
     SimSeconds finish = start + jr.makespan;
     for (const std::string& out : job.outputs) {
@@ -465,6 +484,83 @@ StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
     result.stream_batches += jr.stream_batches_out;
     result.stream_bytes += jr.stream_bytes_out;
     result.job_results.push_back(std::move(jr));
+  };
+
+  // Mid-run suffix re-planning: when the job just folded mispredicted by
+  // more than the configured ratio, re-partition every not-yet-run job's
+  // operators with the freshly recalibrated cost model and splice the new
+  // jobs into the run's plan tail. The shared WorkflowPlan is never touched
+  // (it may sit in the service's plan cache); only this run's copies change.
+  // Regrouping moves job boundaries, not operator semantics, so outputs stay
+  // bit-identical to a non-replanned run (asserted by planner_scale_test).
+  auto maybe_replan = [&](size_t i) {
+    if (options.planner.replan_threshold <= 0 || !last_job_measured ||
+        options.runtime_history == nullptr || plan.dag == nullptr ||
+        replans_done >= std::max(0, options.planner.max_replans)) {
+      return;
+    }
+    if (RuntimeHistory::ErrorRatio(last_predicted, last_measured) <=
+        options.planner.replan_threshold) {
+      return;
+    }
+    const size_t remaining = result.plans.size() - (i + 1);
+    if (remaining < 2) {
+      return;  // nothing to regroup
+    }
+    std::vector<int> ops;
+    for (size_t j = i + 1; j < result.plans.size(); ++j) {
+      // Jobs that already ran ahead (pipeline groups) or will be reused are
+      // committed; re-planning would execute their operators twice.
+      if (pending.count(j) > 0 || sched.group_of[j] >= 0) {
+        return;
+      }
+      const std::vector<int>& job_ops = result.partitioning.jobs[j].ops;
+      ops.insert(ops.end(), job_ops.begin(), job_ops.end());
+    }
+    RuntimeCalibration calibration = options.runtime_history->Calibration();
+    CostModel model(options.cluster, options.history, workflow.id,
+                    options.conservative_first_run,
+                    calibration.has_observations ? &calibration : nullptr);
+    auto sizes = model.PredictSizes(*plan.dag, DfsSizes());
+    if (!sizes.ok()) {
+      return;
+    }
+    PlannerConfig pconfig = options.planner;
+    if (pconfig.engines.empty()) {
+      pconfig.engines = options.engines;
+    }
+    auto repart = PartitionRemainder(*plan.dag, model, *sizes, pconfig, ops);
+    if (!repart.ok()) {
+      return;
+    }
+    std::vector<JobPlan> new_plans;
+    new_plans.reserve(repart->jobs.size());
+    for (const JobAssignment& job : repart->jobs) {
+      auto jp = BackendFor(job.engine)
+                    .GeneratePlan(*plan.dag, job.ops, plan.base_schemas,
+                                  options.codegen);
+      if (!jp.ok()) {
+        return;  // keep the original tail; re-planning is best-effort
+      }
+      new_plans.push_back(std::move(jp).value());
+    }
+    MLOG_INFO << "re-planning " << remaining << " remaining job(s) of '"
+              << workflow.id << "' into " << new_plans.size()
+              << " (prediction off by "
+              << RuntimeHistory::ErrorRatio(last_predicted, last_measured)
+              << "x, threshold " << options.planner.replan_threshold << ")";
+    result.partitioning.jobs.resize(i + 1);
+    for (JobAssignment& job : repart->jobs) {
+      result.partitioning.jobs.push_back(std::move(job));
+    }
+    result.plans.resize(i + 1);
+    for (JobPlan& jp : new_plans) {
+      result.plans.push_back(std::move(jp));
+    }
+    sched.group_of.assign(result.plans.size(), -1);
+    ++result.replans;
+    ++replans_done;
+    replans_metric.Increment();
   };
 
   for (size_t i = 0; i < result.plans.size(); ++i) {
@@ -480,6 +576,7 @@ StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
       Pending p = std::move(it->second);
       pending.erase(it);
       fold(i, std::move(p));
+      maybe_replan(i);
       continue;
     }
     if (reusable(i)) {
@@ -492,6 +589,7 @@ StatusOr<RunResult> Musketeer::Execute(const WorkflowSpec& workflow,
     Pending p;
     p.outcome = std::move(outcome);
     fold(i, std::move(p));
+    maybe_replan(i);
   }
   result.makespan = makespan;
   result.dfs_bytes_read = run_bytes.bytes_read() + extra_read;
@@ -548,8 +646,9 @@ Status Musketeer::ProfileWorkflow(const WorkflowSpec& workflow,
                                   const RunOptions& options,
                                   HistoryStore* history) {
   RunOptions profiling = options;
-  profiling.partition.enable_merging = false;
-  profiling.partition.force_dp = true;  // per-operator jobs; DP is instant
+  profiling.planner.enable_merging = false;
+  // Per-operator jobs; DP is instant.
+  profiling.planner.strategy = PartitionStrategyKind::kDp;
   profiling.history = history;
   return Run(workflow, profiling).status();
 }

@@ -38,7 +38,7 @@
 #include "src/obs/runtime_history.h"
 #include "src/opt/passes.h"
 #include "src/scheduler/decision_tree.h"
-#include "src/scheduler/partitioner.h"
+#include "src/scheduler/partition_strategy.h"
 #include "src/stream/fingerprint.h"
 #include "src/stream/pipeline.h"
 
@@ -55,7 +55,10 @@ struct RunOptions {
   // Engines the partitioner may use; empty = all seven (automatic mapping).
   std::vector<EngineKind> engines;
   CodeGenOptions codegen;
-  PartitionOptions partition;
+  // Partitioning strategy + parameters (src/scheduler/partition_strategy.h),
+  // including the online re-planning policy (replan_threshold/max_replans)
+  // Execute() applies mid-run.
+  PlannerConfig planner;
   bool optimize_ir = true;
   // History store consulted by the cost model and updated with observed
   // relation sizes after the run (when non-null).
@@ -177,6 +180,11 @@ struct RunResult {
   int jobs_reused = 0;       // jobs skipped on a fingerprint match
   uint64_t stream_batches = 0;  // batches handed off over channels
   Bytes stream_bytes = 0;       // nominal bytes that skipped the DFS barrier
+  // Planner accounting (DESIGN.md "Planner at scale"): the registry name of
+  // the strategy that produced the partitioning, and how many times Execute
+  // re-partitioned the remaining DAG suffix after a misprediction.
+  std::string partition_strategy;
+  int replans = 0;
 };
 
 class Musketeer {

@@ -174,6 +174,15 @@ int Dag::AddNode(OpKind kind, std::string output, std::vector<int> inputs,
   node.output = std::move(output);
   node.inputs = std::move(inputs);
   node.params = std::move(params);
+  consumers_.emplace_back();
+  for (int in : node.inputs) {
+    if (in >= 0 && in < static_cast<int>(consumers_.size())) {
+      // A node reading the same producer twice (self-join) is one consumer.
+      if (consumers_[in].empty() || consumers_[in].back() != node.id) {
+        consumers_[in].push_back(node.id);
+      }
+    }
+  }
   nodes_.push_back(std::move(node));
   return nodes_.back().id;
 }
@@ -192,17 +201,8 @@ int Dag::ProducerOf(const std::string& name) const {
   return found;
 }
 
-std::vector<int> Dag::ConsumersOf(int id) const {
-  std::vector<int> out;
-  for (const OperatorNode& n : nodes_) {
-    for (int in : n.inputs) {
-      if (in == id) {
-        out.push_back(n.id);
-        break;
-      }
-    }
-  }
-  return out;
+const std::vector<int>& Dag::ConsumersOf(int id) const {
+  return consumers_[id];
 }
 
 std::vector<int> Dag::Sinks() const {

@@ -38,8 +38,11 @@ class Dag {
   // than once (not allowed outside WHILE bodies), the last definition wins.
   int ProducerOf(const std::string& name) const;
 
-  // Ids of nodes consuming node `id`'s output.
-  std::vector<int> ConsumersOf(int id) const;
+  // Ids of nodes consuming node `id`'s output. O(out-degree): the adjacency
+  // is maintained incrementally by AddNode (planning a 1000-operator DAG
+  // calls this in every JobCost, so a linear scan here is a planner
+  // bottleneck, not a convenience).
+  const std::vector<int>& ConsumersOf(int id) const;
 
   // Ids of nodes with no consumers (workflow results).
   std::vector<int> Sinks() const;
@@ -66,6 +69,7 @@ class Dag {
 
  private:
   std::vector<OperatorNode> nodes_;
+  std::vector<std::vector<int>> consumers_;  // node id -> consumer ids
 };
 
 }  // namespace musketeer

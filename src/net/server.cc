@@ -151,7 +151,10 @@ std::string TicketJson(const WorkflowHandle& ticket) {
       out += ", \"jobs_reused\": " + std::to_string(result.jobs_reused) +
              ", \"pipelined_edges\": " +
              std::to_string(result.pipelined_edges) +
-             ", \"stream_batches\": " + std::to_string(result.stream_batches);
+             ", \"stream_batches\": " + std::to_string(result.stream_batches) +
+             ", \"partition_strategy\": " +
+             JsonQuote(result.partition_strategy) +
+             ", \"replans\": " + std::to_string(result.replans);
     }
     if (state == WorkflowState::kRejected) {
       out += ", \"reject_reason\": " +
@@ -633,28 +636,46 @@ HttpResponse HttpServer::HandleSubmit(const HttpRequest& request) {
   spec.language = *language;
   spec.source = request.body;
 
-  std::chrono::milliseconds deadline{0};
+  SubmitOverrides overrides;
   if (const std::string* dl = request.FindHeader("x-deadline-ms")) {
     auto ms = ParseInt64(*dl);
     if (!ms.has_value() || *ms <= 0) {
       return JsonError(400, "bad x-deadline-ms");
     }
-    deadline = std::chrono::milliseconds(*ms);
+    overrides.deadline = std::chrono::milliseconds(*ms);
   }
 
   // X-Incremental: 1|true → incremental resubmission (jobs whose input
   // fingerprints still match the DFS are reused, not recomputed).
-  bool incremental = false;
   if (const std::string* inc = request.FindHeader("x-incremental")) {
     if (*inc == "1" || EqualsIgnoreCase(*inc, "true")) {
-      incremental = true;
+      overrides.incremental = true;
     } else if (!(*inc == "0" || EqualsIgnoreCase(*inc, "false"))) {
       return JsonError(400, "bad x-incremental '" + *inc + "'");
     }
   }
 
-  WorkflowHandle ticket =
-      SubmitSpec(tenant, std::move(spec), deadline, incremental);
+  // X-Partitioner: a strategy name in the planner registry
+  // (auto|dp|exhaustive|dp-multi, or a custom registration).
+  if (const std::string* strat = request.FindHeader("x-partitioner")) {
+    if (!PartitionStrategyKindFromName(*strat).has_value() &&
+        PartitionStrategyRegistry::Global().Find(*strat) == nullptr) {
+      return JsonError(400, "unknown partitioner '" + *strat + "'");
+    }
+    overrides.partitioner = *strat;
+  }
+
+  // X-Replan-Threshold: misprediction ratio above which the run
+  // re-partitions its remaining jobs mid-flight; 0 disables.
+  if (const std::string* rt = request.FindHeader("x-replan-threshold")) {
+    auto ratio = ParseDouble(*rt);
+    if (!ratio.has_value() || *ratio < 0) {
+      return JsonError(400, "bad x-replan-threshold '" + *rt + "'");
+    }
+    overrides.replan_threshold = *ratio;
+  }
+
+  WorkflowHandle ticket = SubmitSpec(tenant, std::move(spec), overrides);
   if (ticket->state() == WorkflowState::kRejected) {
     HttpResponse resp;
     resp.status = RejectStatus(ticket->reject_reason());
@@ -746,6 +767,7 @@ HttpResponse HttpServer::HandleStats() {
                      ", \"stream_batches\": " +
                      std::to_string(stats.stream_batches) +
                      ", \"stream_bytes\": " + std::to_string(stats.stream_bytes) +
+                     ", \"replans\": " + std::to_string(stats.replans) +
                      ", \"queue_depth\": " + std::to_string(stats.queue_depth) +
                      ", \"active_connections\": " +
                      std::to_string(active_connections()) + ", \"tenants\": {";
@@ -923,8 +945,7 @@ void HttpServer::HandleLineCommand(Connection* conn, const std::string& line) {
     spec.source = std::move(conn->submit_body);
     conn->submit_body.clear();
     WorkflowHandle ticket =
-        SubmitSpec(conn->tenant, std::move(spec), std::chrono::milliseconds{0},
-                   /*incremental=*/false);
+        SubmitSpec(conn->tenant, std::move(spec), SubmitOverrides{});
     if (ticket->state() == WorkflowState::kRejected) {
       conn->outbuf += "ERR " + std::to_string(RejectStatus(ticket->reject_reason())) +
                       " " + ticket->result().status().message() + "\n";
@@ -984,15 +1005,32 @@ void HttpServer::HandleLineCommand(Connection* conn, const std::string& line) {
 
 WorkflowHandle HttpServer::SubmitSpec(const std::string& tenant,
                                       WorkflowSpec spec,
-                                      std::chrono::milliseconds deadline,
-                                      bool incremental) {
+                                      const SubmitOverrides& overrides) {
+  const bool customized = overrides.deadline.count() > 0 ||
+                          overrides.incremental ||
+                          !overrides.partitioner.empty() ||
+                          overrides.replan_threshold >= 0;
   WorkflowHandle ticket;
-  if (deadline.count() > 0 || incremental) {
+  if (customized) {
     RunOptions options = service_->default_options();
-    if (deadline.count() > 0) {
-      options.deadline = deadline;
+    if (overrides.deadline.count() > 0) {
+      options.deadline = overrides.deadline;
     }
-    ticket = incremental
+    if (!overrides.partitioner.empty()) {
+      // Built-in names set the enum (so the plan-cache key and RunResult
+      // agree with the auto default); anything else is a registry lookup.
+      auto kind = PartitionStrategyKindFromName(overrides.partitioner);
+      if (kind.has_value()) {
+        options.planner.strategy = *kind;
+        options.planner.custom_strategy.clear();
+      } else {
+        options.planner.custom_strategy = overrides.partitioner;
+      }
+    }
+    if (overrides.replan_threshold >= 0) {
+      options.planner.replan_threshold = overrides.replan_threshold;
+    }
+    ticket = overrides.incremental
                  ? service_->ResubmitIncrementalAs(tenant, std::move(spec),
                                                    std::move(options))
                  : service_->SubmitAs(tenant, std::move(spec),

@@ -153,12 +153,23 @@ class HttpServer {
   HttpResponse HandleRelationPut(const HttpRequest& request,
                                  const std::string& name);
 
+  // Per-submission overrides of the service's default RunOptions, parsed
+  // from request headers (X-Deadline-Ms, X-Incremental, X-Partitioner,
+  // X-Replan-Threshold). Fields at their defaults leave the service
+  // defaults untouched.
+  struct SubmitOverrides {
+    std::chrono::milliseconds deadline{0};
+    bool incremental = false;
+    std::string partitioner;      // strategy registry name; "" = default
+    double replan_threshold = -1; // < 0 = default
+  };
+
   // Submits to the service under `tenant` and registers the ticket.
-  // `incremental` routes through the service's incremental-resubmit path
-  // (fingerprint-matched jobs are reused; see X-Incremental in HandleSubmit).
+  // `overrides.incremental` routes through the service's incremental-resubmit
+  // path (fingerprint-matched jobs are reused; see X-Incremental in
+  // HandleSubmit).
   WorkflowHandle SubmitSpec(const std::string& tenant, WorkflowSpec spec,
-                            std::chrono::milliseconds deadline,
-                            bool incremental);
+                            const SubmitOverrides& overrides);
   void RegisterTicket(const WorkflowHandle& ticket);
   WorkflowHandle FindTicket(uint64_t id) const;
 

@@ -85,6 +85,16 @@ RuntimeCalibration RuntimeHistory::Calibration() const {
   return cal;
 }
 
+double RuntimeHistory::ErrorRatio(double predicted_wall_seconds,
+                                  double measured_wall_seconds) {
+  if (predicted_wall_seconds <= 0 || measured_wall_seconds <= 0) {
+    return 1.0;
+  }
+  const double over = predicted_wall_seconds / measured_wall_seconds;
+  const double under = measured_wall_seconds / predicted_wall_seconds;
+  return over > under ? over : under;
+}
+
 int RuntimeHistory::total_jobs() const {
   std::shared_lock lock(mu_);
   return total_jobs_;

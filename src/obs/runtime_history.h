@@ -66,6 +66,13 @@ class RuntimeHistory {
 
   RuntimeCalibration Calibration() const;
 
+  // Symmetric misprediction factor, >= 1: max(pred/meas, meas/pred), so a
+  // 3x under-estimate and a 3x over-estimate both score 3. Execute()'s
+  // online re-planner compares this against PlannerConfig::replan_threshold.
+  // Degenerate inputs (either side <= 0) score 1 — never a replan trigger.
+  static double ErrorRatio(double predicted_wall_seconds,
+                           double measured_wall_seconds);
+
   int total_jobs() const;
   void Clear();
 

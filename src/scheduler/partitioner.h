@@ -1,73 +1,51 @@
-// DAG partitioning and automatic back-end mapping (§5).
+// DEPRECATED partitioner surface — retained as thin shims for one PR.
 //
-// Partitioning the IR DAG into back-end jobs is an instance of k-way graph
-// partitioning (NP-hard), with the optimal k unknown. Musketeer uses an
-// exhaustive search for small workflows (optimal w.r.t. the cost function;
-// exponential time) and switches to a dynamic-programming heuristic for
-// larger DAGs: topologically sort the operators into a linear order, then
-//
-//   C[n][m] = min_{k<n} C[k][m-1] + min_s cost_s(o_{k+1} ... o_n)
-//
-// i.e. the best way to run a k-operator prefix in m-1 jobs plus the remaining
-// segment as a single job on the cheapest engine s. Because job costs are
-// additive and unconstrained in m, min_m C[n][m] collapses to a single-
-// dimension recurrence over prefixes, which is what the implementation uses.
-//
-// Choosing the cheapest engine per job *is* the automatic system mapping of
-// §5.2: restricting `engines` to one entry reproduces a user-forced mapping.
+// The free-function trio (PartitionDp / PartitionExhaustive / PartitionDag)
+// and the force_* boolean sprawl in PartitionOptions are replaced by the
+// PartitionStrategy interface + PlannerConfig in partition_strategy.h; the
+// core types (JobAssignment, Partitioning) live there now. Each shim below
+// converts its PartitionOptions to a PlannerConfig and dispatches through
+// the strategy registry, so behavior is identical — but new code (and all
+// in-tree code) should call PartitionWorkflow directly. These shims are
+// removed in the next PR.
 
 #ifndef MUSKETEER_SRC_SCHEDULER_PARTITIONER_H_
 #define MUSKETEER_SRC_SCHEDULER_PARTITIONER_H_
 
 #include <vector>
 
-#include "src/scheduler/cost_model.h"
+#include "src/scheduler/partition_strategy.h"
 
 namespace musketeer {
-
-struct JobAssignment {
-  std::vector<int> ops;  // node ids in the workflow DAG
-  EngineKind engine = EngineKind::kHadoop;
-  double cost = 0;
-};
-
-struct Partitioning {
-  std::vector<JobAssignment> jobs;  // in execution (topological) order
-  double total_cost = 0;
-  bool used_exhaustive = false;
-};
 
 struct PartitionOptions {
   // Engines considered; empty = all seven.
   std::vector<EngineKind> engines;
-  // §4.3.2 / Fig. 12 ablation: with merging disabled every operator becomes
-  // its own job.
   bool enable_merging = true;
-  // Use exhaustive search up to this many operators, the DP heuristic above
-  // (the paper's prototype switches at ~18; exhaustive cost grows sharply
-  // past 13, Fig. 13).
   int exhaustive_threshold = 12;
+  // Superseded by PlannerConfig::strategy (kExhaustive / kDp).
+  [[deprecated("set PlannerConfig::strategy = kExhaustive instead")]]
   bool force_exhaustive = false;
+  [[deprecated("set PlannerConfig::strategy = kDp instead")]]
   bool force_dp = false;
-  // §8's proposed remedy for merge opportunities the single linear order
-  // breaks (Fig. 16): run the DP over this many randomized topological
-  // orders and keep the cheapest partitioning. 1 = the paper's prototype.
   int dp_linear_orders = 1;
 };
 
-// The DP heuristic (§5.1.2). Linear in segments × engines (O(N² S)).
+// Converts the legacy options to the PlannerConfig the registry consumes.
+PlannerConfig PlannerConfigFromPartitionOptions(const PartitionOptions& options);
+
+[[deprecated("use PartitionWorkflow with PlannerConfig{.strategy = kDp}")]]
 StatusOr<Partitioning> PartitionDp(const Dag& dag, const CostModel& model,
                                    const std::vector<Bytes>& sizes,
                                    const PartitionOptions& options = {});
 
-// The exhaustive search (§5.1.1): enumerates all partitions into connected
-// operator groups whose quotient graph is acyclic; optimal w.r.t. the cost
-// function, exponential time.
+[[deprecated(
+    "use PartitionWorkflow with PlannerConfig{.strategy = kExhaustive}")]]
 StatusOr<Partitioning> PartitionExhaustive(const Dag& dag, const CostModel& model,
                                            const std::vector<Bytes>& sizes,
                                            const PartitionOptions& options = {});
 
-// Dispatches on operator count (exhaustive below the threshold).
+[[deprecated("use PartitionWorkflow with PlannerConfig{.strategy = kAuto}")]]
 StatusOr<Partitioning> PartitionDag(const Dag& dag, const CostModel& model,
                                     const std::vector<Bytes>& sizes,
                                     const PartitionOptions& options = {});

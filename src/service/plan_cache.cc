@@ -15,11 +15,11 @@ uint64_t HashSource(const std::string& source) {
 }
 
 std::string PlanCacheKey(const WorkflowSpec& spec, const RunOptions& options) {
-  // The effective engine set is what the partitioner sees: the partition
+  // The effective engine set is what the partitioner sees: the planner
   // override when present, the run-level restriction otherwise.
-  std::vector<EngineKind> engines = options.partition.engines.empty()
+  std::vector<EngineKind> engines = options.planner.engines.empty()
                                         ? options.engines
-                                        : options.partition.engines;
+                                        : options.planner.engines;
   std::sort(engines.begin(), engines.end());
   engines.erase(std::unique(engines.begin(), engines.end()), engines.end());
 
@@ -36,10 +36,14 @@ std::string PlanCacheKey(const WorkflowSpec& spec, const RunOptions& options) {
   key << '\x1f' << options.cluster.name << ':' << options.cluster.num_nodes
       << '\x1f' << static_cast<int>(options.codegen.flavor) << ':'
       << options.codegen.shared_scans << ':' << options.optimize_ir << ':'
-      << options.partition.enable_merging << ':'
-      << options.partition.force_exhaustive << ':'
-      << options.partition.force_dp << ':'
-      << options.partition.dp_linear_orders << ':'
+      << options.planner.enable_merging << ':'
+      << (options.planner.custom_strategy.empty()
+              ? PartitionStrategyKindName(options.planner.strategy)
+              : options.planner.custom_strategy)
+      << ':' << options.planner.exhaustive_threshold << ':'
+      << options.planner.dp_linear_orders << ':'
+      << options.planner.dp_order_seed << ':'
+      << options.planner.dp_segment_cap << ':'
       << options.conservative_first_run;
   return key.str();
 }

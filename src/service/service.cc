@@ -482,6 +482,7 @@ void WorkflowService::RunOne(const QueueItem& item) {
     stats_.pipelined_edges += static_cast<uint64_t>(result->pipelined_edges);
     stats_.stream_batches += result->stream_batches;
     stats_.stream_bytes += result->stream_bytes;
+    stats_.replans += static_cast<uint64_t>(result->replans);
   }
   if (span.active()) {
     span.SetAttr("workflow", spec.id);

@@ -204,6 +204,9 @@ struct ServiceStats {
   uint64_t pipelined_edges = 0;
   uint64_t stream_batches = 0;
   Bytes stream_bytes = 0;
+  // Mid-run suffix re-partitions across completed runs (DESIGN.md "Planner
+  // at scale").
+  uint64_t replans = 0;
   size_t queue_depth = 0;  // instantaneous
   // Ordered so exposition (/metrics, /stats) is deterministic.
   std::map<std::string, TenantStats> tenants;

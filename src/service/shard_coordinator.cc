@@ -117,8 +117,8 @@ CoordinatorStats ShardCoordinator::stats() const {
 }
 
 StatusOr<JobResult> ShardCoordinator::DispatchAttempt(
-    const WorkflowSpec& workflow, const WorkflowPlan& plan, size_t job_index,
-    const JobPlan& job, const ExecutionContext& ctx, const RunOptions& options,
+    const WorkflowPlan& plan, const std::vector<int>& ops, const JobPlan& job,
+    const ExecutionContext& ctx, const RunOptions& options,
     const CostModel& model, const std::vector<Bytes>& sizes,
     RunResult* result) {
   // Placement inputs: the job's declared input relations at their *actual*
@@ -159,8 +159,7 @@ StatusOr<JobResult> ShardCoordinator::DispatchAttempt(
       for (int k : candidates) {
         ShardLocality locality{&dfs_->shard_map(), k, remote_mbps};
         const double cost =
-            model.JobCost(*plan.dag, plan.partitioning.jobs[job_index].ops,
-                          job.engine, sizes, &locality);
+            model.JobCost(*plan.dag, ops, job.engine, sizes, &locality);
         if (cost < best_cost) {
           best_cost = cost;
           best_shard = k;
@@ -241,6 +240,7 @@ StatusOr<RunResult> ShardCoordinator::Run(const WorkflowSpec& workflow,
   result.partitioning = plan.partitioning;
   result.plans = plan.plans;
   result.optimizer_stats = plan.optimizer_stats;
+  result.partition_strategy = plan.partitioning.strategy;
 
   Span exec_span("stage.shard_execute", "stage");
   ExecutionContext ctx = MakeContext(workflow, options);
@@ -261,6 +261,7 @@ StatusOr<RunResult> ShardCoordinator::Run(const WorkflowSpec& workflow,
   SimSeconds makespan = 0;
   int predicted_jobs = 0;
   double error_sum = 0;
+  int replans_done = 0;
   static Counter& reused_metric =
       MetricsRegistry::Global().counter("musketeer.stream.jobs_reused");
   static Counter& recomputed_metric =
@@ -313,9 +314,12 @@ StatusOr<RunResult> ShardCoordinator::Run(const WorkflowSpec& workflow,
     env.plan = &plan;
     env.job_index = i;
     env.options = &options;
+    // Read the run's own job list: a mid-run replan (below) rewrites the
+    // tail, and the shared plan's job boundaries no longer match after it.
+    env.ops = &result.partitioning.jobs[i].ops;
     env.run_attempt = [&](const JobPlan& j, const ExecutionContext& c) {
-      return DispatchAttempt(workflow, plan, i, j, c, options, model, sizes,
-                             &result);
+      return DispatchAttempt(plan, result.partitioning.jobs[i].ops, j, c,
+                             options, model, sizes, &result);
     };
     env.dfs_sizes = [&] { return planner.DfsSizes(); };
     MUSKETEER_ASSIGN_OR_RETURN(JobDispatchOutcome outcome,
@@ -343,6 +347,8 @@ StatusOr<RunResult> ShardCoordinator::Run(const WorkflowSpec& workflow,
       }
     }
 
+    bool job_measured = false;
+    double job_predicted = 0;
     if (options.runtime_history != nullptr) {
       const std::string engine = EngineKindName(job.engine);
       const std::string signature = job.name + "@" + engine;
@@ -355,7 +361,10 @@ StatusOr<RunResult> ShardCoordinator::Run(const WorkflowSpec& workflow,
       ++predicted_jobs;
       options.runtime_history->RecordJob(workflow.id, signature, engine,
                                          jr.makespan, jr.wall_seconds);
+      job_measured = true;
+      job_predicted = predicted;
     }
+    const double job_wall = jr.wall_seconds;
     SimSeconds finish = start + jr.makespan;
     for (const std::string& out : job.outputs) {
       ready_at[out] = finish;
@@ -363,6 +372,72 @@ StatusOr<RunResult> ShardCoordinator::Run(const WorkflowSpec& workflow,
     makespan = std::max(makespan, finish);
     result.total_engine_time += jr.makespan;
     result.job_results.push_back(std::move(jr));
+    // Online re-planning, mirroring Musketeer::Execute: a badly mispredicted
+    // job triggers a re-partition of the not-yet-run suffix with the freshly
+    // recalibrated cost model. The shared plan is untouched; only the run's
+    // own partitioning/plans tail is spliced — which is why this happens
+    // after the last use of the `job` reference, whose storage the splice
+    // may reallocate. Placement then operates on the new job boundaries
+    // (env.ops above reads the run's list).
+    if (job_measured && options.planner.replan_threshold > 0 &&
+        replans_done < std::max(0, options.planner.max_replans) &&
+        plan.dag != nullptr &&
+        RuntimeHistory::ErrorRatio(job_predicted, job_wall) >
+            options.planner.replan_threshold &&
+        result.plans.size() - (i + 1) >= 2) {
+      std::vector<int> remaining_ops;
+      for (size_t j = i + 1; j < result.plans.size(); ++j) {
+        const std::vector<int>& job_ops = result.partitioning.jobs[j].ops;
+        remaining_ops.insert(remaining_ops.end(), job_ops.begin(),
+                             job_ops.end());
+      }
+      RuntimeCalibration recal = options.runtime_history->Calibration();
+      CostModel remodel(options.cluster, options.history, workflow.id,
+                        options.conservative_first_run,
+                        recal.has_observations ? &recal : nullptr);
+      PlannerConfig pconfig = options.planner;
+      if (pconfig.engines.empty()) {
+        pconfig.engines = options.engines;
+      }
+      auto resizes = remodel.PredictSizes(*plan.dag, planner.DfsSizes());
+      auto repart = resizes.ok()
+                        ? PartitionRemainder(*plan.dag, remodel, *resizes,
+                                             pconfig, remaining_ops)
+                        : resizes.status();
+      if (repart.ok()) {
+        std::vector<JobPlan> new_plans;
+        new_plans.reserve(repart->jobs.size());
+        bool generated = true;
+        for (const JobAssignment& assignment : repart->jobs) {
+          auto jp = BackendFor(assignment.engine)
+                        .GeneratePlan(*plan.dag, assignment.ops,
+                                      plan.base_schemas, options.codegen);
+          if (!jp.ok()) {
+            generated = false;  // best-effort: keep the original tail
+            break;
+          }
+          new_plans.push_back(std::move(jp).value());
+        }
+        if (generated) {
+          MLOG_INFO << "re-planning " << (result.plans.size() - (i + 1))
+                    << " remaining job(s) of '" << workflow.id << "' into "
+                    << new_plans.size() << " (prediction off by "
+                    << RuntimeHistory::ErrorRatio(job_predicted, job_wall)
+                    << "x, threshold " << options.planner.replan_threshold
+                    << ")";
+          result.partitioning.jobs.resize(i + 1);
+          for (JobAssignment& assignment : repart->jobs) {
+            result.partitioning.jobs.push_back(std::move(assignment));
+          }
+          result.plans.resize(i + 1);
+          for (JobPlan& jp : new_plans) {
+            result.plans.push_back(std::move(jp));
+          }
+          ++result.replans;
+          ++replans_done;
+        }
+      }
+    }
   }
   result.makespan = makespan;
   if (predicted_jobs > 0) {

@@ -102,11 +102,13 @@ class ShardCoordinator {
   CoordinatorStats stats() const;
 
  private:
-  // One dispatch attempt: place `job`, route it to the placed shard's
-  // service, harvest the per-job DFS byte deltas into the run totals.
-  StatusOr<JobResult> DispatchAttempt(const WorkflowSpec& workflow,
-                                      const WorkflowPlan& plan,
-                                      size_t job_index, const JobPlan& job,
+  // One dispatch attempt: place `job` (whose operator set is `ops` — the
+  // run's possibly re-planned set, not the shared plan's), route it to the
+  // placed shard's service, harvest the per-job DFS byte deltas into the
+  // run totals.
+  StatusOr<JobResult> DispatchAttempt(const WorkflowPlan& plan,
+                                      const std::vector<int>& ops,
+                                      const JobPlan& job,
                                       const ExecutionContext& ctx,
                                       const RunOptions& options,
                                       const CostModel& model,

@@ -1,0 +1,61 @@
+// Seeded synthetic workflow generator for planner-scale experiments
+// (DESIGN.md "Planner at scale").
+//
+// The paper's evaluation workflows top out at ~30 operators; production
+// query graphs reach hundreds. MakeSyntheticDag grows a BEER program to an
+// exact outer-operator count (100–1000 and beyond) from a seeded mix of
+// structural motifs — chains, diamonds (split/join), fan-out, UNION fan-in,
+// and WHILE blocks — over a canonical (k INT64, v INT64) schema, so the
+// partitioner sees DAG shapes it cannot cheat with a linear scan.
+//
+// Everything is a pure function of the spec (SplitMix64 throughout, no
+// std::random_device): the same spec yields the same program, the same
+// input tables and therefore the same partitioning and the same output
+// bytes on every machine. Only order-insensitive operators are emitted
+// (no TOPN/SORT/MAX), so results stay Table::Identical across engine and
+// job-boundary regroupings — the property the re-planning sweep asserts.
+
+#ifndef MUSKETEER_SRC_WORKLOADS_SYNTHETIC_DAG_H_
+#define MUSKETEER_SRC_WORKLOADS_SYNTHETIC_DAG_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/relational/table.h"
+
+namespace musketeer {
+
+struct SyntheticDagSpec {
+  // Outer operators the generated program parses to — exactly (WHILE bodies
+  // are nested DAGs and do not count; the partitioner sees a WHILE as one
+  // operator, matching how it prices it).
+  int target_ops = 100;
+  uint64_t seed = 1;
+  // Base (k, v) relations feeding the DAG; named syn0..syn{n-1}.
+  int base_relations = 4;
+  // Emit WHILE blocks (1 outer op each, 2-op body). Off for strictly
+  // relational DAGs.
+  bool include_while = true;
+  // Nominal scale of each base relation (engines execute the sample).
+  double nominal_rows = 4e6;
+  int sample_rows = 64;
+  int64_t key_range = 1000;
+};
+
+struct SyntheticDagWorkload {
+  std::string source;           // the BEER program
+  std::string result_relation;  // the single sink
+  // Base tables keyed by relation name, ready to Dfs::Put.
+  std::vector<std::pair<std::string, TablePtr>> inputs;
+  int operator_count = 0;  // outer operators `source` parses to
+};
+
+// Deterministically generates a workload with exactly spec.target_ops outer
+// operators. target_ops must be >= 1; base_relations >= 1.
+SyntheticDagWorkload MakeSyntheticDag(const SyntheticDagSpec& spec);
+
+}  // namespace musketeer
+
+#endif  // MUSKETEER_SRC_WORKLOADS_SYNTHETIC_DAG_H_

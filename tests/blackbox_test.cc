@@ -63,7 +63,7 @@ TEST(BlackBoxTest, PartitionerRoutesAroundIt) {
   auto sizes = model.PredictSizes(*dag, {{"events", 1 * kGB}});
   ASSERT_TRUE(sizes.ok()) << sizes.status();
   // Even with every engine available, the black box pins its job to Naiad.
-  auto part = PartitionDag(*dag, model, *sizes);
+  auto part = PartitionWorkflow(*dag, model, *sizes, PlannerConfig{});
   ASSERT_TRUE(part.ok()) << part.status();
   int bb = dag->ProducerOf("scored");
   bool found = false;
@@ -91,9 +91,9 @@ TEST(BlackBoxTest, ForcingAnotherEngineFails) {
   CostModel model(LocalCluster(), nullptr, "bb");
   auto sizes = model.PredictSizes(*dag, {{"events", 1 * kGB}});
   ASSERT_TRUE(sizes.ok());
-  PartitionOptions options;
-  options.engines = {EngineKind::kHadoop};
-  EXPECT_FALSE(PartitionDag(*dag, model, *sizes, options).ok());
+  PlannerConfig config;
+  config.engines = {EngineKind::kHadoop};
+  EXPECT_FALSE(PartitionWorkflow(*dag, model, *sizes, config).ok());
 }
 
 }  // namespace

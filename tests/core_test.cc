@@ -137,7 +137,7 @@ TEST(MusketeerTest, OperatorMergingReducesMakespan) {
   ASSERT_TRUE(on.ok()) << on.status();
 
   RunOptions unmerged = merged;
-  unmerged.partition.enable_merging = false;
+  unmerged.planner.enable_merging = false;
   unmerged.codegen.shared_scans = false;
   auto off = m.Run(wf, unmerged);
   ASSERT_TRUE(off.ok()) << off.status();

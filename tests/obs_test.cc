@@ -237,8 +237,8 @@ TEST(ObservabilityEndToEndTest, TraceCoversStagesAndJobs) {
   ServiceConfig config;
   config.num_workers = 1;
   // Per-operator jobs: guarantees the workflow splits into >= 2 engine jobs.
-  config.default_options.partition.enable_merging = false;
-  config.default_options.partition.force_dp = true;
+  config.default_options.planner.enable_merging = false;
+  config.default_options.planner.strategy = PartitionStrategyKind::kDp;
   WorkflowService service(&dfs, config);
 
   WorkflowHandle h = service.Submit(TopShopperSpec());

@@ -317,13 +317,15 @@ TEST(ParallelPartitionerTest, IdenticalToSequentialSearch) {
 
   auto sequential = [&] {
     ScopedParallelThreads one(1);
-    return PartitionExhaustive(*dag, model, *sizes);
+    return PartitionWorkflow(*dag, model, *sizes,
+                             {.strategy = PartitionStrategyKind::kExhaustive});
   }();
   ASSERT_TRUE(sequential.ok()) << sequential.status();
 
   for (int threads : {2, 4, 8}) {
     ScopedParallelThreads width(threads);
-    auto parallel = PartitionExhaustive(*dag, model, *sizes);
+    auto parallel = PartitionWorkflow(
+        *dag, model, *sizes, {.strategy = PartitionStrategyKind::kExhaustive});
     ASSERT_TRUE(parallel.ok()) << parallel.status();
     EXPECT_DOUBLE_EQ(parallel->total_cost, sequential->total_cost);
     ASSERT_EQ(parallel->jobs.size(), sequential->jobs.size());
@@ -341,17 +343,18 @@ TEST(ParallelPartitionerTest, RestrictedEnginesStillIdentical) {
   auto sizes = model.PredictSizes(
       *dag, {{"properties", 4 * kGB}, {"prices", 2 * kGB}});
   ASSERT_TRUE(sizes.ok());
-  PartitionOptions options;
-  options.engines = {EngineKind::kHadoop, EngineKind::kSpark};
+  PlannerConfig config;
+  config.strategy = PartitionStrategyKind::kExhaustive;
+  config.engines = {EngineKind::kHadoop, EngineKind::kSpark};
 
   auto sequential = [&] {
     ScopedParallelThreads one(1);
-    return PartitionExhaustive(*dag, model, *sizes, options);
+    return PartitionWorkflow(*dag, model, *sizes, config);
   }();
   ASSERT_TRUE(sequential.ok()) << sequential.status();
 
   ScopedParallelThreads width(8);
-  auto parallel = PartitionExhaustive(*dag, model, *sizes, options);
+  auto parallel = PartitionWorkflow(*dag, model, *sizes, config);
   ASSERT_TRUE(parallel.ok()) << parallel.status();
   EXPECT_DOUBLE_EQ(parallel->total_cost, sequential->total_cost);
   ASSERT_EQ(parallel->jobs.size(), sequential->jobs.size());
@@ -369,15 +372,16 @@ TEST(ParallelPartitionerTest, InfeasibleWorkflowFailsIdentically) {
   auto sizes = model.PredictSizes(
       *dag, {{"properties", 4 * kGB}, {"prices", 2 * kGB}});
   ASSERT_TRUE(sizes.ok());
-  PartitionOptions options;
-  options.engines = {EngineKind::kPowerGraph};
+  PlannerConfig config;
+  config.strategy = PartitionStrategyKind::kExhaustive;
+  config.engines = {EngineKind::kPowerGraph};
 
   auto sequential = [&] {
     ScopedParallelThreads one(1);
-    return PartitionExhaustive(*dag, model, *sizes, options);
+    return PartitionWorkflow(*dag, model, *sizes, config);
   }();
   ScopedParallelThreads width(8);
-  auto parallel = PartitionExhaustive(*dag, model, *sizes, options);
+  auto parallel = PartitionWorkflow(*dag, model, *sizes, config);
   EXPECT_EQ(parallel.ok(), sequential.ok());
   if (!sequential.ok()) {
     EXPECT_EQ(parallel.status().code(), sequential.status().code());

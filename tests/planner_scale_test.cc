@@ -1,0 +1,375 @@
+// Planner-at-scale coverage (DESIGN.md "Planner at scale"): the synthetic
+// DAG generator's exact-count/determinism contract, the DP heuristic's
+// optimality gap against exhaustive search on small DAGs, the kAuto size
+// switch, seeded multi-order DP determinism, online mid-run re-planning
+// staying bit-identical across all nine evaluation workflows plus a
+// 100-operator synthetic DAG, and the deprecated partitioner shims.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/musketeer.h"
+#include "src/frontends/frontend.h"
+#include "src/ir/eval.h"
+#include "src/obs/runtime_history.h"
+#include "src/scheduler/partition_strategy.h"
+#include "src/workloads/synthetic_dag.h"
+#include "tests/workflow_setups.h"
+
+namespace musketeer {
+namespace {
+
+int OuterOperatorCount(const Dag& dag) {
+  int count = 0;
+  for (const auto& node : dag.nodes()) {
+    if (node.kind != OpKind::kInput) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+RelationSizes BaseSizes(const SyntheticDagWorkload& workload) {
+  RelationSizes sizes;
+  for (const auto& [name, table] : workload.inputs) {
+    sizes[name] = table->nominal_bytes();
+  }
+  return sizes;
+}
+
+// Every generated program must parse, and to exactly the requested number
+// of outer operators — the budget invariant the generator maintains while
+// mixing motifs. Same spec, same program.
+TEST(SyntheticDagTest, ExactOperatorCountAndDeterminism) {
+  for (int target : {1, 3, 7, 40, 100, 250}) {
+    for (uint64_t seed : {1ull, 2ull, 99ull}) {
+      SyntheticDagSpec spec;
+      spec.target_ops = target;
+      spec.seed = seed;
+      SyntheticDagWorkload workload = MakeSyntheticDag(spec);
+      EXPECT_EQ(workload.operator_count, target)
+          << "target " << target << " seed " << seed;
+      auto dag = ParseWorkflow(FrontendLanguage::kBeer, workload.source);
+      ASSERT_TRUE(dag.ok()) << dag.status() << "\n" << workload.source;
+      EXPECT_EQ(OuterOperatorCount(**dag), target)
+          << "target " << target << " seed " << seed << "\n"
+          << workload.source;
+      EXPECT_FALSE(workload.result_relation.empty());
+      EXPECT_GE(workload.inputs.size(), 1u);
+
+      SyntheticDagWorkload again = MakeSyntheticDag(spec);
+      EXPECT_EQ(again.source, workload.source);
+    }
+  }
+}
+
+// Relational-only mode must hold the count without WHILE blocks too.
+TEST(SyntheticDagTest, RelationalOnlyHoldsCount) {
+  SyntheticDagSpec spec;
+  spec.target_ops = 120;
+  spec.seed = 7;
+  spec.include_while = false;
+  SyntheticDagWorkload workload = MakeSyntheticDag(spec);
+  auto dag = ParseWorkflow(FrontendLanguage::kBeer, workload.source);
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  EXPECT_EQ(OuterOperatorCount(**dag), 120);
+  EXPECT_EQ(workload.source.find("WHILE"), std::string::npos);
+}
+
+// §5.1.2 optimality gap: on DAGs small enough for the exhaustive search,
+// the DP heuristic's plan must stay within 1.5x of the exhaustive optimum
+// (the paper's DP is near-optimal on its evaluation workflows; this sweeps
+// seeded shapes). The gate is one-directional: the exhaustive search only
+// grows connected jobs, while the DP may merge adjacent-but-disconnected
+// operators of its linear order into one job, so on fan-out-heavy shapes
+// the DP can legitimately come in cheaper than the connected optimum.
+TEST(PlannerScaleTest, DpWithinFactorOfExhaustive) {
+  for (int target : {6, 8, 10}) {
+    for (uint64_t seed : {11ull, 22ull}) {
+      SyntheticDagSpec spec;
+      spec.target_ops = target;
+      spec.seed = seed;
+      SyntheticDagWorkload workload = MakeSyntheticDag(spec);
+      auto dag = ParseWorkflow(FrontendLanguage::kBeer, workload.source);
+      ASSERT_TRUE(dag.ok()) << dag.status();
+      CostModel model(Ec2Cluster(16), nullptr, "syn");
+      auto sizes = model.PredictSizes(**dag, BaseSizes(workload));
+      ASSERT_TRUE(sizes.ok()) << sizes.status();
+
+      PlannerConfig config;
+      config.strategy = PartitionStrategyKind::kExhaustive;
+      auto optimal = PartitionWorkflow(**dag, model, *sizes, config);
+      ASSERT_TRUE(optimal.ok()) << optimal.status();
+      config.strategy = PartitionStrategyKind::kDp;
+      auto dp = PartitionWorkflow(**dag, model, *sizes, config);
+      ASSERT_TRUE(dp.ok()) << dp.status();
+
+      EXPECT_LE(dp->total_cost, 1.5 * optimal->total_cost + 1e-9)
+          << "target " << target << " seed " << seed;
+    }
+  }
+}
+
+// The kAuto switch: exhaustive below the threshold, DP above it — the
+// production default must never run the exponential search on a big DAG.
+TEST(PlannerScaleTest, AutoSwitchesToDpAboveThreshold) {
+  auto partition_auto = [](int target) {
+    SyntheticDagSpec spec;
+    spec.target_ops = target;
+    spec.seed = 5;
+    SyntheticDagWorkload workload = MakeSyntheticDag(spec);
+    auto dag = ParseWorkflow(FrontendLanguage::kBeer, workload.source);
+    EXPECT_TRUE(dag.ok()) << dag.status();
+    CostModel model(Ec2Cluster(16), nullptr, "syn");
+    auto sizes = model.PredictSizes(**dag, BaseSizes(workload));
+    EXPECT_TRUE(sizes.ok()) << sizes.status();
+    PlannerConfig config;  // kAuto
+    auto out = PartitionWorkflow(**dag, model, *sizes, config);
+    EXPECT_TRUE(out.ok()) << out.status();
+    return std::move(out).value();
+  };
+
+  Partitioning small = partition_auto(8);
+  EXPECT_EQ(small.strategy, "exhaustive");
+  EXPECT_TRUE(small.used_exhaustive);
+
+  Partitioning large = partition_auto(40);
+  EXPECT_EQ(large.strategy, "dp");
+  EXPECT_FALSE(large.used_exhaustive);
+}
+
+// §8/Fig. 16 multi-order DP: seeded shuffles make the whole search a pure
+// function of the seed (bit-identical partitionings run to run), and the
+// canonical order is always explored, so more orders can only help.
+TEST(PlannerScaleTest, MultiOrderIsDeterministicAndNoWorseThanSingle) {
+  SyntheticDagSpec spec;
+  spec.target_ops = 30;
+  spec.seed = 17;
+  SyntheticDagWorkload workload = MakeSyntheticDag(spec);
+  auto dag = ParseWorkflow(FrontendLanguage::kBeer, workload.source);
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  CostModel model(Ec2Cluster(16), nullptr, "syn");
+  auto sizes = model.PredictSizes(**dag, BaseSizes(workload));
+  ASSERT_TRUE(sizes.ok()) << sizes.status();
+
+  PlannerConfig config;
+  config.strategy = PartitionStrategyKind::kDpMultiOrder;
+  config.dp_linear_orders = 6;
+  auto first = PartitionWorkflow(**dag, model, *sizes, config);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = PartitionWorkflow(**dag, model, *sizes, config);
+  ASSERT_TRUE(second.ok()) << second.status();
+
+  ASSERT_EQ(first->jobs.size(), second->jobs.size());
+  for (size_t i = 0; i < first->jobs.size(); ++i) {
+    EXPECT_EQ(first->jobs[i].ops, second->jobs[i].ops) << "job " << i;
+    EXPECT_EQ(first->jobs[i].engine, second->jobs[i].engine) << "job " << i;
+  }
+  EXPECT_DOUBLE_EQ(first->total_cost, second->total_cost);
+
+  config.strategy = PartitionStrategyKind::kDp;
+  auto single = PartitionWorkflow(**dag, model, *sizes, config);
+  ASSERT_TRUE(single.ok()) << single.status();
+  EXPECT_LE(first->total_cost, single->total_cost + 1e-9);
+
+  // A different seed still yields a valid partitioning covering every op.
+  config.strategy = PartitionStrategyKind::kDpMultiOrder;
+  config.dp_order_seed = 0xdeadbeef;
+  auto reseeded = PartitionWorkflow(**dag, model, *sizes, config);
+  ASSERT_TRUE(reseeded.ok()) << reseeded.status();
+  std::set<int> covered;
+  for (const JobAssignment& job : reseeded->jobs) {
+    covered.insert(job.ops.begin(), job.ops.end());
+  }
+  EXPECT_EQ(static_cast<int>(covered.size()), OuterOperatorCount(**dag));
+}
+
+// The DP must stay interactive at production scale: a 1000-operator DAG
+// partitions into a valid, covering job set (the latency gate itself lives
+// in bench_partitioner_scale / check.sh).
+TEST(PlannerScaleTest, ThousandOperatorDagPartitions) {
+  SyntheticDagSpec spec;
+  spec.target_ops = 1000;
+  spec.seed = 3;
+  SyntheticDagWorkload workload = MakeSyntheticDag(spec);
+  auto dag = ParseWorkflow(FrontendLanguage::kBeer, workload.source);
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  CostModel model(Ec2Cluster(16), nullptr, "syn");
+  auto sizes = model.PredictSizes(**dag, BaseSizes(workload));
+  ASSERT_TRUE(sizes.ok()) << sizes.status();
+  PlannerConfig config;  // kAuto -> DP at this size
+  auto out = PartitionWorkflow(**dag, model, *sizes, config);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->strategy, "dp");
+  std::set<int> covered;
+  for (const JobAssignment& job : out->jobs) {
+    covered.insert(job.ops.begin(), job.ops.end());
+  }
+  EXPECT_EQ(static_cast<int>(covered.size()), 1000);
+  EXPECT_GT(out->jobs.size(), 1u);
+}
+
+// Online re-planning end to end: force a mid-run re-plan (threshold below
+// the >= 1 error ratio, so the first measured job always trips it) and
+// assert the outputs stay BIT-identical to the undisturbed run on every
+// evaluation workflow. Regrouping moves job boundaries, never bytes.
+TEST(ReplanningTest, NineWorkflowsStayIdenticalUnderForcedReplan) {
+  int replans_observed = 0;
+  for (Wf wf : kAllWorkflows) {
+    WfSetup setup = MakeSetup(wf);
+
+    auto run = [&](bool replan) {
+      Dfs dfs;
+      for (const auto& [name, table] : setup.inputs) {
+        dfs.Put(name, table);
+      }
+      Musketeer m(&dfs);
+      RunOptions options;
+      options.cluster = Ec2Cluster(16);
+      // Unmerged plans have one job per operator, so every workflow has
+      // enough remaining jobs after the first fold for a re-plan to fire.
+      options.planner.enable_merging = false;
+      RuntimeHistory history;
+      if (replan) {
+        options.runtime_history = &history;
+        // ErrorRatio is >= 1 by construction, so any threshold below 1
+        // trips after the first measured job.
+        options.planner.replan_threshold = 0.5;
+        options.planner.max_replans = 2;
+      }
+      auto result = m.Run(setup.workflow, options);
+      EXPECT_TRUE(result.ok()) << WfName(wf) << ": " << result.status();
+      return result;
+    };
+
+    auto baseline = run(false);
+    auto replanned = run(true);
+    if (!baseline.ok() || !replanned.ok()) {
+      continue;
+    }
+    ASSERT_EQ(baseline->outputs.count(setup.result_relation), 1u);
+    ASSERT_EQ(replanned->outputs.count(setup.result_relation), 1u);
+    EXPECT_TRUE(Table::Identical(*baseline->outputs[setup.result_relation],
+                                 *replanned->outputs[setup.result_relation]))
+        << WfName(wf) << " diverged under forced re-planning";
+    EXPECT_EQ(baseline->replans, 0);
+    replans_observed += replanned->replans;
+  }
+  // At least one of the nine workflows has enough remaining jobs after the
+  // first fold for a re-plan to actually fire.
+  EXPECT_GT(replans_observed, 0);
+}
+
+// Same contract on a 100-operator synthetic DAG, where the job list is long
+// enough that the re-plan definitely fires and is surfaced in RunResult.
+TEST(ReplanningTest, SyntheticDagReplansAndStaysIdentical) {
+  SyntheticDagSpec spec;
+  spec.target_ops = 100;
+  spec.seed = 21;
+  SyntheticDagWorkload workload = MakeSyntheticDag(spec);
+  WorkflowSpec wf{"synthetic-100", FrontendLanguage::kBeer, workload.source};
+
+  auto run = [&](double threshold) {
+    Dfs dfs;
+    for (const auto& [name, table] : workload.inputs) {
+      dfs.Put(name, table);
+    }
+    Musketeer m(&dfs);
+    RunOptions options;
+    options.cluster = Ec2Cluster(16);
+    RuntimeHistory history;
+    if (threshold > 0) {
+      options.runtime_history = &history;
+      options.planner.replan_threshold = threshold;
+      options.planner.max_replans = 3;
+    }
+    auto result = m.Run(wf, options);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result;
+  };
+
+  auto baseline = run(0);
+  auto replanned = run(0.5);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(replanned.ok());
+  ASSERT_EQ(baseline->outputs.count(workload.result_relation), 1u);
+  ASSERT_EQ(replanned->outputs.count(workload.result_relation), 1u);
+  EXPECT_GT(replanned->replans, 0);
+  EXPECT_FALSE(replanned->partition_strategy.empty());
+  EXPECT_TRUE(Table::Identical(*baseline->outputs[workload.result_relation],
+                               *replanned->outputs[workload.result_relation]));
+  // The reference interpreter agrees with both.
+  auto dag = ParseWorkflow(FrontendLanguage::kBeer, workload.source);
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  TableMap base;
+  for (const auto& [name, table] : workload.inputs) {
+    base[name] = table;
+  }
+  auto expected = EvaluateDagRelation(**dag, base, workload.result_relation);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  EXPECT_TRUE(Table::SameContent(*expected,
+                                 *baseline->outputs[workload.result_relation]));
+}
+
+}  // namespace
+}  // namespace musketeer
+
+// Deprecated-shim compatibility (removed next PR with partitioner.h): the
+// legacy free functions must keep producing exactly what the strategy
+// registry produces.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#include "src/scheduler/partitioner.h"
+
+namespace musketeer {
+namespace {
+
+TEST(DeprecatedShimTest, FreeFunctionsMatchStrategyRegistry) {
+  SyntheticDagSpec spec;
+  spec.target_ops = 9;
+  spec.seed = 4;
+  SyntheticDagWorkload workload = MakeSyntheticDag(spec);
+  auto dag = ParseWorkflow(FrontendLanguage::kBeer, workload.source);
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  CostModel model(Ec2Cluster(16), nullptr, "syn");
+  auto sizes = model.PredictSizes(**dag, BaseSizes(workload));
+  ASSERT_TRUE(sizes.ok()) << sizes.status();
+
+  auto same = [](const Partitioning& a, const Partitioning& b) {
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    for (size_t i = 0; i < a.jobs.size(); ++i) {
+      EXPECT_EQ(a.jobs[i].ops, b.jobs[i].ops);
+      EXPECT_EQ(a.jobs[i].engine, b.jobs[i].engine);
+    }
+    EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+  };
+
+  auto legacy_dp = PartitionDp(**dag, model, *sizes);
+  ASSERT_TRUE(legacy_dp.ok());
+  PlannerConfig config;
+  config.strategy = PartitionStrategyKind::kDp;
+  auto new_dp = PartitionWorkflow(**dag, model, *sizes, config);
+  ASSERT_TRUE(new_dp.ok());
+  same(*legacy_dp, *new_dp);
+
+  auto legacy_ex = PartitionExhaustive(**dag, model, *sizes);
+  ASSERT_TRUE(legacy_ex.ok());
+  config.strategy = PartitionStrategyKind::kExhaustive;
+  auto new_ex = PartitionWorkflow(**dag, model, *sizes, config);
+  ASSERT_TRUE(new_ex.ok());
+  same(*legacy_ex, *new_ex);
+
+  auto legacy_auto = PartitionDag(**dag, model, *sizes);
+  ASSERT_TRUE(legacy_auto.ok());
+  config.strategy = PartitionStrategyKind::kAuto;
+  auto new_auto = PartitionWorkflow(**dag, model, *sizes, config);
+  ASSERT_TRUE(new_auto.ok());
+  same(*legacy_auto, *new_auto);
+}
+
+}  // namespace
+}  // namespace musketeer
+#pragma GCC diagnostic pop

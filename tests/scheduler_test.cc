@@ -98,9 +98,10 @@ TEST(PartitionerTest, DpSplitsMapReduceAtShuffles) {
   CostModel model(LocalCluster(), nullptr, "wf");
   auto sizes = model.PredictSizes(*dag, PropertySizes());
   ASSERT_TRUE(sizes.ok());
-  PartitionOptions options;
-  options.engines = {EngineKind::kHadoop};
-  auto part = PartitionDp(*dag, model, *sizes, options);
+  PlannerConfig config;
+  config.strategy = PartitionStrategyKind::kDp;
+  config.engines = {EngineKind::kHadoop};
+  auto part = PartitionWorkflow(*dag, model, *sizes, config);
   ASSERT_TRUE(part.ok()) << part.status();
   EXPECT_EQ(part->jobs.size(), 2u);  // (project+join) | (group-by)
   for (const auto& job : part->jobs) {
@@ -113,9 +114,10 @@ TEST(PartitionerTest, GeneralEngineMergesEverything) {
   CostModel model(LocalCluster(), nullptr, "wf");
   auto sizes = model.PredictSizes(*dag, PropertySizes());
   ASSERT_TRUE(sizes.ok());
-  PartitionOptions options;
-  options.engines = {EngineKind::kNaiad};
-  auto part = PartitionDp(*dag, model, *sizes, options);
+  PlannerConfig config;
+  config.strategy = PartitionStrategyKind::kDp;
+  config.engines = {EngineKind::kNaiad};
+  auto part = PartitionWorkflow(*dag, model, *sizes, config);
   ASSERT_TRUE(part.ok()) << part.status();
   EXPECT_EQ(part->jobs.size(), 1u);
 }
@@ -125,9 +127,10 @@ TEST(PartitionerTest, MergingDisabledYieldsOneJobPerOperator) {
   CostModel model(LocalCluster(), nullptr, "wf");
   auto sizes = model.PredictSizes(*dag, PropertySizes());
   ASSERT_TRUE(sizes.ok());
-  PartitionOptions options;
-  options.enable_merging = false;
-  auto part = PartitionDp(*dag, model, *sizes, options);
+  PlannerConfig config;
+  config.strategy = PartitionStrategyKind::kDp;
+  config.enable_merging = false;
+  auto part = PartitionWorkflow(*dag, model, *sizes, config);
   ASSERT_TRUE(part.ok()) << part.status();
   EXPECT_EQ(part->jobs.size(), 3u);
 }
@@ -137,8 +140,10 @@ TEST(PartitionerTest, ExhaustiveMatchesOrBeatsDp) {
   CostModel model(LocalCluster(), nullptr, "wf");
   auto sizes = model.PredictSizes(*dag, PropertySizes());
   ASSERT_TRUE(sizes.ok());
-  auto dp = PartitionDp(*dag, model, *sizes);
-  auto ex = PartitionExhaustive(*dag, model, *sizes);
+  auto dp = PartitionWorkflow(*dag, model, *sizes,
+                              {.strategy = PartitionStrategyKind::kDp});
+  auto ex = PartitionWorkflow(*dag, model, *sizes,
+                              {.strategy = PartitionStrategyKind::kExhaustive});
   ASSERT_TRUE(dp.ok());
   ASSERT_TRUE(ex.ok());
   EXPECT_LE(ex->total_cost, dp->total_cost * 1.0000001);
@@ -162,10 +167,12 @@ TEST(PartitionerTest, ExhaustiveBeatsDpOnFigure16Shape) {
   CostModel model(LocalCluster(), nullptr, "wf");
   auto sizes = model.PredictSizes(**dag, sizes_in);
   ASSERT_TRUE(sizes.ok());
-  PartitionOptions options;
-  options.engines = {EngineKind::kHadoop};  // restricted-expressivity engine
-  auto dp = PartitionDp(**dag, model, *sizes, options);
-  auto ex = PartitionExhaustive(**dag, model, *sizes, options);
+  PlannerConfig config;
+  config.engines = {EngineKind::kHadoop};  // restricted-expressivity engine
+  config.strategy = PartitionStrategyKind::kDp;
+  auto dp = PartitionWorkflow(**dag, model, *sizes, config);
+  config.strategy = PartitionStrategyKind::kExhaustive;
+  auto ex = PartitionWorkflow(**dag, model, *sizes, config);
   ASSERT_TRUE(dp.ok()) << dp.status();
   ASSERT_TRUE(ex.ok()) << ex.status();
   EXPECT_LT(ex->total_cost, dp->total_cost);
@@ -180,7 +187,7 @@ TEST(PartitionerTest, ExhaustiveBeatsDpOnFigure16Shape) {
 }
 
 TEST(PartitionerTest, MultipleLinearOrdersRecoverFigure16Merge) {
-  // §8's proposed fix, implemented as PartitionOptions::dp_linear_orders:
+  // §8's proposed fix, implemented as PlannerConfig::dp_linear_orders:
   // with several randomized topological orders, the DP finds the
   // JOIN+PROJECT merge that the single depth-first order breaks.
   const char* kSource = R"(
@@ -194,18 +201,20 @@ TEST(PartitionerTest, MultipleLinearOrdersRecoverFigure16Merge) {
   CostModel model(LocalCluster(), nullptr, "wf");
   auto sizes = model.PredictSizes(**dag, sizes_in);
   ASSERT_TRUE(sizes.ok());
-  PartitionOptions options;
-  options.engines = {EngineKind::kHadoop};
+  PlannerConfig config;
+  config.engines = {EngineKind::kHadoop};
+  config.strategy = PartitionStrategyKind::kDp;
 
-  auto single = PartitionDp(**dag, model, *sizes, options);
+  auto single = PartitionWorkflow(**dag, model, *sizes, config);
   ASSERT_TRUE(single.ok());
 
-  options.dp_linear_orders = 8;
-  auto multi = PartitionDp(**dag, model, *sizes, options);
+  config.dp_linear_orders = 8;
+  auto multi = PartitionWorkflow(**dag, model, *sizes, config);
   ASSERT_TRUE(multi.ok());
   EXPECT_LT(multi->total_cost, single->total_cost);
 
-  auto exhaustive = PartitionExhaustive(**dag, model, *sizes, options);
+  config.strategy = PartitionStrategyKind::kExhaustive;
+  auto exhaustive = PartitionWorkflow(**dag, model, *sizes, config);
   ASSERT_TRUE(exhaustive.ok());
   EXPECT_NEAR(multi->total_cost, exhaustive->total_cost,
               exhaustive->total_cost * 1e-9);
@@ -218,7 +227,7 @@ TEST(PartitionerTest, AutomaticMappingPrefersGraphEngineForPageRank) {
   CostModel model(Ec2Cluster(100), nullptr, "pagerank");
   auto sizes = model.PredictSizes(**dag, sizes_in);
   ASSERT_TRUE(sizes.ok());
-  auto part = PartitionDag(**dag, model, *sizes);
+  auto part = PartitionWorkflow(**dag, model, *sizes, PlannerConfig{});
   ASSERT_TRUE(part.ok()) << part.status();
   ASSERT_EQ(part->jobs.size(), 1u);
   // At 100 nodes the specialized path on Naiad (GraphLINQ) or PowerGraph
@@ -236,10 +245,10 @@ TEST(PartitionerTest, SmallInputsMapToSingleMachine) {
   ASSERT_TRUE(sizes.ok());
   // Fig. 2a's system set: the high-overhead distributed engines lose to
   // single-machine execution on small inputs.
-  PartitionOptions options;
-  options.engines = {EngineKind::kHadoop, EngineKind::kSpark, EngineKind::kMetis,
-                     EngineKind::kSerialC};
-  auto part = PartitionDag(*dag, model, *sizes, options);
+  PlannerConfig config;
+  config.engines = {EngineKind::kHadoop, EngineKind::kSpark, EngineKind::kMetis,
+                    EngineKind::kSerialC};
+  auto part = PartitionWorkflow(*dag, model, *sizes, config);
   ASSERT_TRUE(part.ok());
   for (const auto& job : part->jobs) {
     EXPECT_FALSE(IsDistributedEngine(job.engine))

@@ -462,7 +462,7 @@ TEST(StreamExecutionTest, ForcedChainActuallyStreams) {
   RunOptions off;
   off.cluster = Ec2Cluster(16);
   off.engines = {EngineKind::kSpark};
-  off.partition.enable_merging = false;
+  off.planner.enable_merging = false;
   auto barrier = RunWith(setup, off);
   ASSERT_TRUE(barrier.ok()) << barrier.status();
   ASSERT_GT(barrier->plans.size(), 1u);
@@ -488,7 +488,7 @@ TEST(StreamExecutionTest, PipelinedRunRecoversInjectedFaults) {
   RunOptions clean;
   clean.cluster = Ec2Cluster(16);
   clean.engines = {EngineKind::kSpark};
-  clean.partition.enable_merging = false;
+  clean.planner.enable_merging = false;
   auto expected = RunWith(setup, clean);
   ASSERT_TRUE(expected.ok()) << expected.status();
 
@@ -625,7 +625,7 @@ TEST(IncrementalTest, UntouchedBranchIsActuallyReused) {
   WfSetup setup = MakeSetup(Wf::kTpchHive);  // lineitem + part inputs
   RunOptions options;
   options.cluster = Ec2Cluster(16);
-  options.partition.enable_merging = false;  // keep the branches separate jobs
+  options.planner.enable_merging = false;  // keep the branches separate jobs
   Dfs dfs;
   for (const auto& [name, table] : setup.inputs) {
     dfs.Put(name, table);
@@ -764,7 +764,7 @@ TEST(IncrementalTest, ClobberedIntermediateRecomputes) {
   RunOptions options;
   options.cluster = Ec2Cluster(16);
   options.engines = {EngineKind::kSpark};
-  options.partition.enable_merging = false;  // expose intermediates
+  options.planner.enable_merging = false;  // expose intermediates
   Dfs dfs;
   for (const auto& [name, table] : setup.inputs) {
     dfs.Put(name, table);
@@ -797,7 +797,7 @@ TEST(IncrementalTest, ComposesWithPipelinedExecution) {
   RunOptions options;
   options.cluster = Ec2Cluster(16);
   options.engines = {EngineKind::kSpark};
-  options.partition.enable_merging = false;
+  options.planner.enable_merging = false;
   options.pipeline = PipelineMode::kForce;
   Dfs dfs;
   for (const auto& [name, table] : setup.inputs) {
@@ -818,7 +818,7 @@ TEST(IncrementalTest, ComposesWithPipelinedExecution) {
   RunOptions clean;
   clean.cluster = Ec2Cluster(16);
   clean.engines = {EngineKind::kSpark};
-  clean.partition.enable_merging = false;
+  clean.planner.enable_merging = false;
   auto expected = RunWith(setup, clean, nullptr, &appended);
   ASSERT_TRUE(expected.ok()) << expected.status();
   for (const auto& [name, table] : expected->outputs) {

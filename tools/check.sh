@@ -22,7 +22,12 @@
 # incremental gate (relation-channel storms and the pipelined end-to-end
 # sweep under TSan, a scripted CLI run asserting --pipeline=force and
 # --incremental output is byte-identical to --pipeline=off, and
-# bench_stream_pipeline's pipelined-speedup / reused-job acceptance).
+# bench_stream_pipeline's pipelined-speedup / reused-job acceptance), and
+# finally the planner-at-scale gate (the forced re-planning sweep under
+# TSan, a scripted CLI run asserting every --partitioner choice produces
+# byte-identical output, and bench_partitioner_scale's 250 ms planning
+# budget on 1000-operator synthetic DAGs plus the DP optimality-gap
+# acceptance).
 # Run from anywhere;
 # builds land in <repo>/build, <repo>/build-tsan, <repo>/build-asan and
 # <repo>/build-relassert.
@@ -31,28 +36,28 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc)"
 
-echo "== [1/10] normal build + tests =="
+echo "== [1/11] normal build + tests =="
 cmake -S "$repo" -B "$repo/build" >/dev/null
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
-echo "== [2/10] ThreadSanitizer build + tests =="
+echo "== [2/11] ThreadSanitizer build + tests =="
 cmake -S "$repo" -B "$repo/build-tsan" -DMUSKETEER_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs"
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs"
 
-echo "== [3/10] AddressSanitizer+UBSan build + tests =="
+echo "== [3/11] AddressSanitizer+UBSan build + tests =="
 cmake -S "$repo" -B "$repo/build-asan" -DMUSKETEER_SANITIZE=address >/dev/null
 cmake --build "$repo/build-asan" -j "$jobs"
 ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
 
-echo "== [4/10] Release-with-assertions build + tests =="
+echo "== [4/11] Release-with-assertions build + tests =="
 cmake -S "$repo" -B "$repo/build-relassert" -DCMAKE_BUILD_TYPE=Release \
       -DMUSKETEER_KEEP_ASSERTS=ON >/dev/null
 cmake --build "$repo/build-relassert" -j "$jobs"
 ctest --test-dir "$repo/build-relassert" --output-on-failure -j "$jobs"
 
-echo "== [5/10] observability: overhead budget + trace validity =="
+echo "== [5/11] observability: overhead budget + trace validity =="
 # Overhead gate: instrumented-vs-uninstrumented kernel throughput, exits
 # non-zero above the 5% budget; writes BENCH_obs_overhead.json.
 (cd "$repo/build" && ./bench/bench_obs_overhead)
@@ -92,7 +97,7 @@ else
   echo "trace written (python3 unavailable, JSON not validated)"
 fi
 
-echo "== [6/10] fault tolerance: TSan fault tests + seeded sweep + overhead gate =="
+echo "== [6/11] fault tolerance: TSan fault tests + seeded sweep + overhead gate =="
 # The concurrency and cancellation fault tests under ThreadSanitizer: workers
 # recovering injected faults and racing cancellations against one shared DFS.
 "$repo/build-tsan/tests/fault_test" --gtest_filter='*Concurrent*:*Cancel*'
@@ -110,7 +115,7 @@ test -s "$obs_tmp/fault_out.csv"
 # service throughput.
 (cd "$repo/build" && ./bench/bench_service_throughput)
 
-echo "== [7/10] network front door: scripted client session + TSan net tests =="
+echo "== [7/11] network front door: scripted client session + TSan net tests =="
 # Server tests (HTTP parser, live-socket e2e, line protocol, tenant quotas)
 # under ThreadSanitizer: the poll loop, worker pool and client threads all
 # share the ticket registry.
@@ -167,7 +172,7 @@ kill -TERM "$server_pid"
 wait "$server_pid" || true
 grep -q "shutting down" "$obs_tmp/server_out.txt"
 
-echo "== [8/10] vectorized kernels: Release scaling gate + TSan sweep =="
+echo "== [8/11] vectorized kernels: Release scaling gate + TSan sweep =="
 # Scaling gate: bench_columnar_ops sweeps threads {1,2,4,8} over every op and
 # exits non-zero when a floor is missed. Floors are hardware-aware: with >= 8
 # real cores, hash_join and group_by_agg must reach >= 4x at 8 threads and
@@ -185,7 +190,7 @@ MUSKETEER_THREADS=8 "$repo/build-tsan/tests/column_test"
 MUSKETEER_THREADS=8 "$repo/build-tsan/tests/engine_equivalence_test" \
     --gtest_filter='*Parallel*:*RowReference*:*Fused*'
 
-echo "== [9/10] sharded execution: TSan coordinator tests + CLI bit-identity + scaling gate =="
+echo "== [9/11] sharded execution: TSan coordinator tests + CLI bit-identity + scaling gate =="
 # The shard coordinator under ThreadSanitizer: per-shard worker pools execute
 # against per-shard DFS views of one ShardedDfs while the coordinator thread
 # reads the shared directory and fetch counters.
@@ -215,7 +220,7 @@ grep -q "sharding: 3 shard(s)" "$obs_tmp/shard3_out.txt"
 # BENCH_shard_scaling.json.
 (cd "$repo/build" && ./bench/bench_shard_scaling)
 
-echo "== [10/10] streaming + incremental: TSan channel storms + CLI pipeline bit-identity + bench gate =="
+echo "== [10/11] streaming + incremental: TSan channel storms + CLI pipeline bit-identity + bench gate =="
 # The relation channels under ThreadSanitizer: concurrent producer/consumer
 # pairs hammer push/pop/close/abort while the counters are read, plus the
 # pipelined end-to-end sweep where group members execute in their own
@@ -245,5 +250,41 @@ cmp "$obs_tmp/pipe_off.csv" "$obs_tmp/pipe_inc.csv"
 # overlap ratios in a -O0 build are not the numbers we ship. Writes
 # BENCH_stream_pipeline.json.
 (cd "$repo/build-relassert" && ./bench/bench_stream_pipeline)
+
+echo "== [11/11] planner at scale: TSan re-planning sweep + CLI strategy selection + latency gate =="
+# The online re-planning sweep under ThreadSanitizer: forced mid-run
+# re-plans splice new job tails into runs whose outputs must stay
+# bit-identical, while morsel workers execute each job in parallel.
+"$repo/build-tsan/tests/planner_scale_test" \
+    --gtest_filter='ReplanningTest.*:PlannerScaleTest.*'
+
+# Scripted CLI strategy selection: every built-in partitioner must produce
+# byte-identical output on the same workflow, the report must name the
+# strategy that ran, and an unknown strategy name must be rejected.
+(cd "$obs_tmp" && "$repo/build/tools/musketeer" \
+    --input=lhs=lhs.csv:id:int,v:int --input=rhs=rhs.csv:id:int,w:int \
+    --output=joined=part_auto.csv --partitioner=auto tiny.beer > part_auto_out.txt)
+(cd "$obs_tmp" && "$repo/build/tools/musketeer" \
+    --input=lhs=lhs.csv:id:int,v:int --input=rhs=rhs.csv:id:int,w:int \
+    --output=joined=part_dp.csv --partitioner=dp --replan-threshold=0.5 \
+    tiny.beer > part_dp_out.txt)
+(cd "$obs_tmp" && "$repo/build/tools/musketeer" \
+    --input=lhs=lhs.csv:id:int,v:int --input=rhs=rhs.csv:id:int,w:int \
+    --output=joined=part_ex.csv --partitioner=exhaustive tiny.beer > part_ex_out.txt)
+cmp "$obs_tmp/part_auto.csv" "$obs_tmp/part_dp.csv"
+cmp "$obs_tmp/part_auto.csv" "$obs_tmp/part_ex.csv"
+grep -q "exhaustive partitioner" "$obs_tmp/part_auto_out.txt"
+grep -q "dp partitioner" "$obs_tmp/part_dp_out.txt"
+if "$repo/build/tools/musketeer" --partitioner=bogus tiny.beer \
+    > /dev/null 2>&1; then
+  echo "expected --partitioner=bogus to be rejected"; exit 1
+fi
+
+# Planning-latency gate: seeded synthetic DAGs at 100-1000 operators must
+# plan under the 250 ms budget with the production-default strategy, cover
+# every operator, and hold the DP-vs-exhaustive 1.5x optimality gap on
+# small DAGs. Release tree — planner latency in a -O0 build is not the
+# number we ship. Writes BENCH_partitioner_scale.json.
+(cd "$repo/build-relassert" && ./bench/bench_partitioner_scale)
 
 echo "== all checks passed =="

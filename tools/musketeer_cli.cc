@@ -68,6 +68,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/relational/csv.h"
+#include "src/scheduler/partition_strategy.h"
 #include "src/service/service.h"
 #include "src/service/shard_coordinator.h"
 
@@ -175,7 +176,16 @@ void PrintUsage() {
       "                                 are unchanged since the last run —\n"
       "                                 with --serve/--listen, resubmits\n"
       "                                 recompute only the affected DAG\n"
-      "                                 suffix)\n");
+      "                                 suffix)\n"
+      "  --partitioner=auto|dp|exhaustive|dp-multi\n"
+      "                                (partitioning strategy; auto picks\n"
+      "                                 exhaustive below the op threshold,\n"
+      "                                 DP above it. Names registered via\n"
+      "                                 PartitionStrategyRegistry also work)\n"
+      "  --replan-threshold=R          (re-plan the remaining DAG when a\n"
+      "                                 job's measured runtime is off by\n"
+      "                                 more than Rx from its prediction;\n"
+      "                                 0 = off, needs runtime history)\n");
 }
 
 // Infers the front-end language for `path` from --language or the extension.
@@ -422,6 +432,8 @@ int main(int argc, char** argv) {
   bool peers_given = false;
   PipelineMode pipeline_mode = PipelineMode::kOff;
   bool incremental = false;
+  std::string partitioner;         // "" = planner default (auto)
+  double replan_threshold = -1;    // < 0 = off (planner default)
 
   // Input relations are parsed now but loaded only after the storage layer
   // (plain, sharded, or peer) is chosen.
@@ -636,6 +648,28 @@ int main(int argc, char** argv) {
       incremental = true;
       continue;
     }
+    if (StartsWith(arg, "--partitioner=")) {
+      partitioner = arg.substr(14);
+      if (!PartitionStrategyKindFromName(partitioner).has_value() &&
+          PartitionStrategyRegistry::Global().Find(partitioner) == nullptr) {
+        std::string known;
+        for (const std::string& name :
+             PartitionStrategyRegistry::Global().Names()) {
+          if (!known.empty()) known += "|";
+          known += name;
+        }
+        return Fail("--partitioner needs one of " + known);
+      }
+      continue;
+    }
+    if (StartsWith(arg, "--replan-threshold=")) {
+      auto r = ParseDouble(arg.substr(19));
+      if (!r.has_value() || *r < 0) {
+        return Fail("--replan-threshold needs a ratio >= 0 (0 = off)");
+      }
+      replan_threshold = *r;
+      continue;
+    }
     if (StartsWith(arg, "--shards=")) {
       auto n = ParseInt64(arg.substr(9));
       if (!n.has_value() || *n < 1 || *n > 64) {
@@ -830,6 +864,18 @@ int main(int argc, char** argv) {
   options.fault_seed = static_cast<uint64_t>(fault_seed);
   options.pipeline = pipeline_mode;
   options.incremental = incremental;
+  if (!partitioner.empty()) {
+    auto kind = PartitionStrategyKindFromName(partitioner);
+    if (kind.has_value()) {
+      options.planner.strategy = *kind;
+      options.planner.custom_strategy.clear();
+    } else {
+      options.planner.custom_strategy = partitioner;  // registry extension
+    }
+  }
+  if (replan_threshold >= 0) {
+    options.planner.replan_threshold = replan_threshold;
+  }
   // One process, one fingerprint store: one-shot runs record into it (a
   // --repeat'd or resubmitted workflow in --serve/--listen mode instead uses
   // the service-owned store, plumbed when options.fingerprints stays null).
@@ -898,8 +944,13 @@ int main(int argc, char** argv) {
     return Fail(result.status().ToString());
   }
 
-  std::printf("%zu job(s), %.1f simulated seconds on %s:\n",
-              result->plans.size(), result->makespan, cluster.name.c_str());
+  std::printf("%zu job(s), %.1f simulated seconds on %s (%s partitioner%s):\n",
+              result->plans.size(), result->makespan, cluster.name.c_str(),
+              result->partition_strategy.c_str(),
+              result->replans > 0
+                  ? (", " + std::to_string(result->replans) + " replan(s)")
+                        .c_str()
+                  : "");
   for (size_t i = 0; i < result->plans.size(); ++i) {
     std::printf("  job %zu: %s (%.1f s)\n", i + 1,
                 result->plans[i].name.c_str(),
